@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of the cache models: set-associative L2
+//! throughput under hit- and miss-dominated streams, warp-level constant
+//! broadcast, texture fetch, and shared bank-conflict counting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hms_cache::{shared_conflict_passes, ConstantCache, L2Cache, L2Source, TextureCache};
+use hms_types::GpuConfig;
+
+fn bench_l2(c: &mut Criterion) {
+    let cfg = GpuConfig::tesla_k80();
+    let n: u64 = 8192;
+    let mut g = c.benchmark_group("l2_cache");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("hit_stream", |b| {
+        b.iter(|| {
+            let mut l2 = L2Cache::new(cfg.l2_cache);
+            for i in 0..n {
+                black_box(l2.access((i % 64) * 128, L2Source::Global));
+            }
+        })
+    });
+    g.bench_function("miss_stream", |b| {
+        b.iter(|| {
+            let mut l2 = L2Cache::new(cfg.l2_cache);
+            for i in 0..n {
+                black_box(l2.access(i * 4096, L2Source::Global));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_warp_caches(c: &mut Criterion) {
+    let cfg = GpuConfig::tesla_k80();
+    let uniform: Vec<u64> = vec![256; 32];
+    let divergent: Vec<u64> = (0..32u64).map(|i| i * 64).collect();
+    let mut g = c.benchmark_group("warp_level");
+    g.throughput(Throughput::Elements(256));
+
+    g.bench_function("constant_broadcast", |b| {
+        b.iter(|| {
+            let mut cc = ConstantCache::new(cfg.const_cache);
+            for _ in 0..256 {
+                black_box(cc.access_warp(&uniform));
+            }
+        })
+    });
+    g.bench_function("constant_divergent", |b| {
+        b.iter(|| {
+            let mut cc = ConstantCache::new(cfg.const_cache);
+            for _ in 0..256 {
+                black_box(cc.access_warp(&divergent));
+            }
+        })
+    });
+    g.bench_function("texture_fetch", |b| {
+        b.iter(|| {
+            let mut tc = TextureCache::new(cfg.tex_cache);
+            for i in 0..256u64 {
+                let addrs: Vec<u64> = (0..32).map(|l| i * 128 + l * 4).collect();
+                black_box(tc.access_warp(&addrs));
+            }
+        })
+    });
+    g.bench_function("shared_conflict_count", |b| {
+        b.iter(|| {
+            for _ in 0..256 {
+                black_box(shared_conflict_passes(&divergent, 32));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_l2, bench_warp_caches);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the GDDR5 controller: request throughput
+//! under streaming, scattered, and conflict-heavy address patterns, and
+//! the cost of the Algorithm-1 mapping probe.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hms_dram::{detect_mapping, AddressMapping, MemoryController};
+use hms_types::GpuConfig;
+
+fn controller() -> MemoryController {
+    let t = GpuConfig::tesla_k80().dram;
+    MemoryController::new(AddressMapping::k80_like(t.total_banks()), t, false)
+}
+
+fn bench_access_patterns(c: &mut Criterion) {
+    let n: u64 = 4096;
+    let mut g = c.benchmark_group("dram_controller");
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("streaming_rows", |b| {
+        b.iter(|| {
+            let mut ctl = controller();
+            for i in 0..n {
+                black_box(ctl.access(i, i * 32));
+            }
+        })
+    });
+
+    g.bench_function("scattered_banks", |b| {
+        b.iter(|| {
+            let mut ctl = controller();
+            for i in 0..n {
+                // Large stride hops banks and rows.
+                black_box(ctl.access(i, (i * 7919) % (1 << 30)));
+            }
+        })
+    });
+
+    g.bench_function("row_conflict_pingpong", |b| {
+        b.iter(|| {
+            let mut ctl = controller();
+            for i in 0..n {
+                black_box(ctl.access(i, (i & 1) << 20));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_mapping_detection(c: &mut Criterion) {
+    for bits in [24u32, 32] {
+        c.bench_with_input(
+            BenchmarkId::new("algorithm1_detect", bits),
+            &bits,
+            |b, &bits| {
+                b.iter(|| {
+                    black_box(detect_mapping(controller, bits));
+                })
+            },
+        );
+    }
+}
+
+criterion_group!(benches, bench_access_patterns, bench_mapping_detection);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark of the headline productivity claim: predicting a
+//! target placement analytically versus actually building and running it
+//! (here: simulating it). The paper's tool exists because prediction is
+//! much cheaper than implementing every placement.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hms_core::{profile_sample, Predictor};
+use hms_kernels::Scale;
+use hms_sim::simulate_default;
+use hms_trace::materialize;
+use hms_types::{ArrayId, GpuConfig, MemorySpace};
+
+fn bench_predict_vs_simulate(c: &mut Criterion) {
+    let cfg = GpuConfig::tesla_k80();
+    for name in ["vecadd", "spmv", "stencil2d"] {
+        let kt = hms_kernels::by_name(name, Scale::Full).expect("known kernel");
+        let sample = kt.default_placement();
+        let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
+        let target = sample.with(ArrayId(0), MemorySpace::Texture1D);
+        let predictor = Predictor::new(cfg.clone());
+
+        c.bench_with_input(BenchmarkId::new("predict", name), &(), |b, _| {
+            b.iter(|| black_box(predictor.predict(&profile, &target).expect("predicts")))
+        });
+        c.bench_with_input(BenchmarkId::new("simulate", name), &(), |b, _| {
+            b.iter(|| {
+                let ct = materialize(&kt, &target, &cfg).expect("valid");
+                black_box(simulate_default(&ct, &cfg).expect("simulates"))
+            })
+        });
+    }
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let cfg = GpuConfig::tesla_k80();
+    let kt = hms_kernels::by_name("vecadd", Scale::Full).expect("vecadd");
+    let pm = kt.default_placement();
+    c.bench_function("profile_sample_vecadd", |b| {
+        b.iter(|| black_box(profile_sample(&kt, &pm, &cfg).expect("profiles")))
+    });
+}
+
+criterion_group!(benches, bench_predict_vs_simulate, bench_profile);
+criterion_main!(benches);

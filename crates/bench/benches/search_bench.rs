@@ -1,0 +1,39 @@
+//! Criterion benchmark of the placement-space exploration: enumeration
+//! and model-driven ranking as the number of candidate arrays grows —
+//! the `m^n` search the paper motivates in its introduction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hms_core::{enumerate_placements, profile_sample, rank_placements, Predictor};
+use hms_kernels::Scale;
+use hms_types::{ArrayId, GpuConfig};
+
+fn bench_search(c: &mut Criterion) {
+    let cfg = GpuConfig::tesla_k80();
+    let kt = hms_kernels::by_name("spmv", Scale::Full).expect("spmv");
+    let sample = kt.default_placement();
+    let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
+    let predictor = Predictor::new(cfg.clone());
+
+    for n_arrays in 1..=3usize {
+        let candidates: Vec<ArrayId> = (0..n_arrays as u32).map(ArrayId).collect();
+        let placements =
+            enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
+        c.bench_with_input(
+            BenchmarkId::new("enumerate", n_arrays),
+            &candidates,
+            |b, cand| {
+                b.iter(|| {
+                    black_box(enumerate_placements(&kt.arrays, &sample, cand, &cfg, 4096))
+                })
+            },
+        );
+        c.bench_with_input(
+            BenchmarkId::new(format!("rank_{}_placements", placements.len()), n_arrays),
+            &placements,
+            |b, pl| b.iter(|| black_box(rank_placements(&predictor, &profile, pl).unwrap())),
+        );
+    }
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! **Figure 6**: ranking the five `neuralnet` weight placements — our
+//! model vs a PORPLE-style latency-oriented model, against the measured
+//! ranking.
+//!
+//! "PORPLE cannot correctly rank different data placements, especially
+//! because of its poor performance modeling result for a data placement
+//! (NN_S). Our models correctly rank the performance of those data
+//! placements."
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin fig6
+//! ```
+
+use hms_bench::{trained_predictor, Harness, Table};
+use hms_core::{ModelOptions, PorpleModel};
+use hms_stats::{rank_inversions, rank_of, spearman};
+use hms_types::{ArrayId, MemorySpace};
+
+fn main() {
+    let h = Harness::paper();
+    let kt = hms_kernels::by_name("neuralnet", h.scale).expect("neuralnet exists");
+    let weights = ArrayId(
+        kt.arrays.iter().position(|a| a.name == "weights").expect("weights array") as u32,
+    );
+    let sample = kt.default_placement();
+
+    eprintln!("training T_overlap...");
+    let (predictor, _) = trained_predictor(&h, ModelOptions::full());
+    let porple = PorpleModel::new(h.cfg.clone());
+    let profile = hms_core::profile_sample(&kt, &sample, &h.cfg).expect("profiles");
+
+    let placements = [
+        ("NN_G", MemorySpace::Global),
+        ("NN_C", MemorySpace::Constant),
+        ("NN_S", MemorySpace::Shared),
+        ("NN_T", MemorySpace::Texture1D),
+        ("NN_2T", MemorySpace::Texture2D),
+    ];
+
+    let mut labels = Vec::new();
+    let mut measured = Vec::new();
+    let mut ours = Vec::new();
+    let mut porple_scores = Vec::new();
+    for (label, space) in placements {
+        let pm = sample.with(weights, space);
+        let m = {
+            let ct = hms_trace::materialize(&kt, &pm, &h.cfg).expect("valid");
+            hms_sim::simulate_default(&ct, &h.cfg).expect("simulates").cycles as f64
+        };
+        let p = predictor.predict(&profile, &pm).expect("predicts").cycles;
+        let s = porple.score(&profile, &pm).expect("scores");
+        labels.push(label);
+        measured.push(m);
+        ours.push(p);
+        porple_scores.push(s);
+    }
+
+    let rank_m = rank_of(&measured);
+    let rank_o = rank_of(&ours);
+    let rank_p = rank_of(&porple_scores);
+
+    println!("Figure 6: ranking five neuralnet weight placements (rank 0 = fastest)\n");
+    let mut table = Table::new(&[
+        "placement",
+        "measured cyc",
+        "measured rank",
+        "ours pred",
+        "ours rank",
+        "PORPLE score",
+        "PORPLE rank",
+    ]);
+    for i in 0..labels.len() {
+        table.row(vec![
+            labels[i].into(),
+            format!("{:.0}", measured[i]),
+            rank_m[i].to_string(),
+            format!("{:.0}", ours[i]),
+            rank_o[i].to_string(),
+            format!("{:.0}", porple_scores[i]),
+            rank_p[i].to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let inv_ours = rank_inversions(&ours, &measured);
+    let inv_porple = rank_inversions(&porple_scores, &measured);
+    println!(
+        "pairwise rank inversions vs measured: ours {inv_ours}, PORPLE {inv_porple} (of 10 pairs)"
+    );
+    println!(
+        "Spearman correlation vs measured:     ours {:.2}, PORPLE {:.2}",
+        spearman(&ours, &measured).unwrap_or(f64::NAN),
+        spearman(&porple_scores, &measured).unwrap_or(f64::NAN)
+    );
+    println!("\npaper: our model ranks all five placements correctly; PORPLE misranks,");
+    println!("driven by its poor estimate for NN_S (it is blind to staging + occupancy).");
+}

@@ -1,0 +1,64 @@
+//! **Figure 8**: the impact of the queuing model (with the detailed
+//! instruction counting already in place), then of the address-mapping-
+//! aware request distribution.
+//!
+//! "With the employment of the queuing model (assuming even distribution
+//! of memory requests), we improve modeling accuracy by 31%, comparing
+//! with the baseline. With the consideration of address mapping, we
+//! further improve the modeling accuracy of the queuing model by 8.1%."
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin fig8
+//! ```
+
+use hms_bench::runner::{ablation_predictors, mean_error, run_suite, training_profiles};
+use hms_bench::{evaluation_suite, Harness, Table};
+use hms_core::ModelOptions;
+
+fn main() {
+    let h = Harness::paper();
+    let suite = evaluation_suite();
+    eprintln!("training T_overlap variants...");
+    let profiles = training_profiles(&h);
+    let variants = [
+        ("baseline", ModelOptions::baseline()),
+        ("+instr", ModelOptions::baseline_plus_instr()),
+        ("+instr+queuing(even)", ModelOptions::instr_plus_queuing_even()),
+        ("our model (mapped)", ModelOptions::full()),
+    ];
+    let predictors = ablation_predictors(&h, &variants, &profiles);
+    let results: Vec<_> = predictors
+        .iter()
+        .map(|(name, p)| (*name, run_suite(&h, p, &suite)))
+        .collect();
+
+    println!("Figure 8: queuing model + address mapping ablation (predicted / measured)\n");
+    let mut header = vec!["benchmark"];
+    header.extend(results.iter().map(|(n, _)| *n));
+    let mut table = Table::new(&header);
+    for i in 0..suite.len() {
+        let mut row = vec![results[0].1[i].label.to_string()];
+        for (_, rs) in &results {
+            row.push(format!("{:.3}", rs[i].normalized()));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    println!("average prediction error:");
+    for (name, rs) in &results {
+        println!("  {:<22} {:.1}%", name, mean_error(rs) * 100.0);
+    }
+    let base = mean_error(&results[0].1);
+    let even = mean_error(&results[2].1);
+    let full = mean_error(&results[3].1);
+    println!();
+    println!(
+        "queuing(even) vs baseline: {:+.1}pp (paper: ~31% improvement)",
+        (base - even) * 100.0
+    );
+    println!(
+        "address mapping on top of even: {:+.1}pp (paper: ~8.1% further improvement)",
+        (even - full) * 100.0
+    );
+}

@@ -1,0 +1,61 @@
+//! **Figure 9**: the queuing model applied *alone* (without the detailed
+//! instruction counting), separating its effect; and the
+//! super-additivity of combining both techniques.
+//!
+//! "The queuing model alone improves modeling accuracy by 13.8% on
+//! average. With the queuing model in place, applying other modeling
+//! techniques improves modeling accuracy by 25.3% ... when employing
+//! both of them, we improve the baseline by 39.1%, larger than the
+//! combination of the improvements of using the two techniques alone."
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin fig9
+//! ```
+
+use hms_bench::runner::{ablation_predictors, mean_error, run_suite, training_profiles};
+use hms_bench::{evaluation_suite, Harness, Table};
+use hms_core::ModelOptions;
+
+fn main() {
+    let h = Harness::paper();
+    let suite = evaluation_suite();
+    eprintln!("training T_overlap variants...");
+    let profiles = training_profiles(&h);
+    let variants = [
+        ("baseline", ModelOptions::baseline()),
+        ("queuing only", ModelOptions::queuing_only()),
+        ("instr only", ModelOptions::baseline_plus_instr()),
+        ("our model (both)", ModelOptions::full()),
+    ];
+    let predictors = ablation_predictors(&h, &variants, &profiles);
+    let results: Vec<_> = predictors
+        .iter()
+        .map(|(name, p)| (*name, run_suite(&h, p, &suite)))
+        .collect();
+
+    println!("Figure 9: queuing model alone vs combined techniques (predicted / measured)\n");
+    let mut header = vec!["benchmark"];
+    header.extend(results.iter().map(|(n, _)| *n));
+    let mut table = Table::new(&header);
+    for i in 0..suite.len() {
+        let mut row = vec![results[0].1[i].label.to_string()];
+        for (_, rs) in &results {
+            row.push(format!("{:.3}", rs[i].normalized()));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    let errs: Vec<(&str, f64)> =
+        results.iter().map(|(n, rs)| (*n, mean_error(rs))).collect();
+    println!("average prediction error:");
+    for (name, e) in &errs {
+        println!("  {:<18} {:.1}%", name, e * 100.0);
+    }
+    let base = errs[0].1;
+    println!();
+    println!("improvement over baseline:");
+    println!("  queuing alone   {:+.1}pp (paper: ~13.8%)", (base - errs[1].1) * 100.0);
+    println!("  instr alone     {:+.1}pp (paper: ~17%)", (base - errs[2].1) * 100.0);
+    println!("  both            {:+.1}pp (paper: ~39.1%, super-additive)", (base - errs[3].1) * 100.0);
+}

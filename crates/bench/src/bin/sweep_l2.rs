@@ -1,0 +1,43 @@
+//! Design-choice ablation: L2 capacity sensitivity.
+//!
+//! The paper's caching-effects argument ("moving data objects from one
+//! memory component A to B has non-trivial impact on the data caching of
+//! A and B") depends on the shared L2 being contended. This sweep halves
+//! and doubles the configured 1.5 MiB L2 and reports how the measured
+//! time and L2 miss ratio of the evaluation kernels respond.
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin sweep_l2
+//! ```
+
+use hms_bench::{evaluation_suite, Harness, Table};
+use hms_trace::materialize;
+use hms_types::CacheGeometry;
+
+fn main() {
+    let h = Harness::paper();
+    let sizes_kib = [384u64, 768, 1536, 3072];
+    println!("L2 capacity sweep (measured cycles / L2 miss ratio)\n");
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(sizes_kib.iter().map(|s| format!("{s} KiB")));
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for t in evaluation_suite() {
+        let mut row = vec![t.label.to_string()];
+        for &kib in &sizes_kib {
+            let mut cfg = h.cfg.clone();
+            cfg.l2_cache = CacheGeometry::new(kib * 1024, 128, 16);
+            let kt = t.kernel(h.scale);
+            let pm = t.target_placement(&kt);
+            let ct = materialize(&kt, &pm, &cfg).expect("valid");
+            let r = hms_sim::simulate_default(&ct, &cfg).expect("simulates");
+            let miss = if r.events.l2_transactions > 0 {
+                r.events.l2_misses as f64 / r.events.l2_transactions as f64
+            } else {
+                0.0
+            };
+            row.push(format!("{}/{:.2}", r.cycles, miss));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,81 @@
+//! Scale-sensitivity study: how prediction accuracy behaves as the
+//! workload grows — an extension beyond the paper's single-size
+//! evaluation.
+//!
+//! Sweeps vecadd, spmv and matrixMul over problem sizes, predicting a
+//! fixed placement move at each size from a sample profile of the same
+//! size.
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin sweep_scale
+//! ```
+
+use hms_bench::{Harness, Table};
+use hms_core::{profile_sample, Predictor};
+use hms_kernels::params::{MatmulParams, SpmvParams, VecAddParams};
+use hms_trace::{materialize, KernelTrace};
+use hms_types::{ArrayId, MemorySpace};
+
+fn run_point(
+    h: &Harness,
+    kt: &KernelTrace,
+    move_array: &str,
+    to: MemorySpace,
+) -> (u64, f64, u64) {
+    let sample = kt.default_placement();
+    let id = ArrayId(kt.arrays.iter().position(|a| a.name == move_array).expect("array") as u32);
+    let target = sample.with(id, to);
+    let profile = profile_sample(kt, &sample, &h.cfg).expect("profiles");
+    let pred = Predictor::new(h.cfg.clone()).predict(&profile, &target).expect("predicts");
+    let measured = {
+        let ct = materialize(kt, &target, &h.cfg).expect("valid");
+        hms_sim::simulate_default(&ct, &h.cfg).expect("simulates").cycles
+    };
+    (kt.geometry.total_warps(), pred.cycles, measured)
+}
+
+fn main() {
+    let h = Harness::paper();
+    println!("Prediction accuracy vs problem scale (untrained overlap model)\n");
+    let mut table = Table::new(&["kernel", "size", "warps", "predicted", "measured", "error"]);
+
+    for blocks in [8u32, 32, 128, 512] {
+        let kt = VecAddParams { blocks, threads_per_block: 128 }.build().expect("valid");
+        let (w, p, m) = run_point(&h, &kt, "a", MemorySpace::Texture1D);
+        table.row(vec![
+            "vecadd a->T".into(),
+            format!("{} blocks", blocks),
+            w.to_string(),
+            format!("{p:.0}"),
+            m.to_string(),
+            format!("{:.1}%", (p / m as f64 - 1.0).abs() * 100.0),
+        ]);
+    }
+    for rows in [64u64, 256, 1024] {
+        let kt = SpmvParams { rows, max_nnz_per_row: 96, warps_per_block: 4, seed: 0x535D }
+            .build()
+            .expect("valid");
+        let (w, p, m) = run_point(&h, &kt, "d_vec", MemorySpace::Texture1D);
+        table.row(vec![
+            "spmv vec->T".into(),
+            format!("{rows} rows"),
+            w.to_string(),
+            format!("{p:.0}"),
+            m.to_string(),
+            format!("{:.1}%", (p / m as f64 - 1.0).abs() * 100.0),
+        ]);
+    }
+    for n in [64u64, 128, 256] {
+        let kt = MatmulParams { n }.build().expect("valid");
+        let (w, p, m) = run_point(&h, &kt, "B", MemorySpace::Texture2D);
+        table.row(vec![
+            "matrixMul B->2T".into(),
+            format!("{n}x{n}"),
+            w.to_string(),
+            format!("{p:.0}"),
+            m.to_string(),
+            format!("{:.1}%", (p / m as f64 - 1.0).abs() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+}

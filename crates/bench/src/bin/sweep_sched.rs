@@ -1,0 +1,65 @@
+//! Design-choice ablation: how much does the FIFO-per-bank assumption of
+//! the paper's queuing model cost versus an FR-FCFS controller, and what
+//! would a closed-page policy do to the row-buffer effects the model
+//! depends on?
+//!
+//! Runs each evaluation kernel's DRAM request stream (from the trace
+//! analysis) through the batch scheduler under each policy combination.
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin sweep_sched
+//! ```
+
+use hms_bench::{evaluation_suite, Harness, Table};
+use hms_core::analysis::analyze;
+use hms_dram::{schedule_batch, AddressMapping, BatchRequest, PagePolicy, SchedPolicy};
+use hms_trace::materialize;
+
+fn main() {
+    let h = Harness::paper();
+    let mapping = AddressMapping::k80_like(h.cfg.dram.total_banks());
+    println!("Scheduling-policy ablation over the evaluation kernels' DRAM streams\n");
+    let mut table = Table::new(&[
+        "benchmark",
+        "requests",
+        "FIFO/open makespan",
+        "FR-FCFS/open",
+        "FIFO/closed",
+        "FR-FCFS hit-rate gain",
+    ]);
+    for t in evaluation_suite() {
+        let kt = t.kernel(h.scale);
+        let pm = t.target_placement(&kt);
+        let ct = materialize(&kt, &pm, &h.cfg).expect("valid");
+        let a = analyze(&ct, &h.cfg);
+        if a.dram.len() < 8 {
+            continue;
+        }
+        // Arrival proxy: analysis positions (one cycle per instruction).
+        let reqs: Vec<BatchRequest> =
+            a.dram.iter().map(|r| BatchRequest { addr: r.addr, arrival: r.position }).collect();
+        let (_, fifo_open) =
+            schedule_batch(&reqs, &mapping, &h.cfg.dram, SchedPolicy::Fifo, PagePolicy::Open);
+        let (_, fr_open) =
+            schedule_batch(&reqs, &mapping, &h.cfg.dram, SchedPolicy::FrFcfs, PagePolicy::Open);
+        let (_, fifo_closed) =
+            schedule_batch(&reqs, &mapping, &h.cfg.dram, SchedPolicy::Fifo, PagePolicy::Closed);
+        let hit_rate = |s: &hms_dram::sched::ScheduleStats| {
+            s.hits as f64 / (s.hits + s.misses + s.conflicts) as f64
+        };
+        table.row(vec![
+            t.label.into(),
+            reqs.len().to_string(),
+            fifo_open.makespan.to_string(),
+            format!("{} ({:+.1}%)", fr_open.makespan,
+                (fr_open.makespan as f64 / fifo_open.makespan as f64 - 1.0) * 100.0),
+            format!("{} ({:+.1}%)", fifo_closed.makespan,
+                (fifo_closed.makespan as f64 / fifo_open.makespan as f64 - 1.0) * 100.0),
+            format!("{:+.1}pp", (hit_rate(&fr_open) - hit_rate(&fifo_open)) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Reading: FR-FCFS reorders for row locality (never slower per bank);");
+    println!("a closed-page policy removes row-buffer variation entirely — the very");
+    println!("signal the paper's T_mem model exploits.");
+}

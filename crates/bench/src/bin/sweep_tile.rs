@@ -1,0 +1,54 @@
+//! Design-choice ablation: the 2-D texture block-linear tile edge.
+//!
+//! The NVIDIA tiling is undocumented; DESIGN.md fixes an 8-element square
+//! tile. This sweep measures, on the machine, how the tile edge changes
+//! the kernels whose Table IV tests bind 2-D textures (matrixMul,
+//! transpose, scan, qtc, convolution).
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin sweep_tile
+//! ```
+
+use hms_bench::suite::PlacementTest;
+use hms_bench::{Harness, Table};
+use hms_trace::materialize;
+use hms_types::MemorySpace;
+
+fn main() {
+    let h = Harness::paper();
+    use MemorySpace::Texture2D as T2;
+    let tests: Vec<PlacementTest> = vec![
+        PlacementTest { kernel: "matrixMul", label: "mm_A2T_B2T",
+            sample: &[("As", MemorySpace::Shared), ("Bs", MemorySpace::Shared)],
+            moves: &[("A", T2), ("B", T2)] },
+        PlacementTest { kernel: "transpose", label: "tr_idata_2T", sample: &[], moves: &[("idata", T2)] },
+        PlacementTest { kernel: "scan", label: "scan_2T",
+            sample: &[("s_block", MemorySpace::Shared)], moves: &[("g_idata", T2)] },
+        PlacementTest { kernel: "qtc", label: "qtc_2T", sample: &[], moves: &[("distance_matrix", T2)] },
+        PlacementTest { kernel: "convolutionCols", label: "conv2_2T",
+            sample: &[("c_Kernel", MemorySpace::Constant)], moves: &[("d_Src", T2)] },
+    ];
+    let tiles = [2u64, 4, 8, 16, 32];
+
+    println!("2-D texture tile-edge sweep (measured cycles; default tile = 8)\n");
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(tiles.iter().map(|t| format!("tile {t}")));
+    let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for t in &tests {
+        let mut row = vec![t.label.to_string()];
+        for &tile in &tiles {
+            let mut cfg = h.cfg.clone();
+            cfg.tex2d_tile = tile;
+            let kt = t.kernel(h.scale);
+            let pm = t.target_placement(&kt);
+            let ct = materialize(&kt, &pm, &cfg).expect("valid");
+            let r = hms_sim::simulate_default(&ct, &cfg).expect("simulates");
+            row.push(r.cycles.to_string());
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("Reading: tiles must be large enough that a 32-byte texture-cache line");
+    println!("holds a whole tile row, and small enough that 2-D neighbourhoods fit");
+    println!("few lines — the 8-element default balances both.");
+}

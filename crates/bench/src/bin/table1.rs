@@ -1,0 +1,78 @@
+//! **Table I**: cosine similarity between performance-event vectors and
+//! the execution-time vector across data placements (paper Section
+//! II-B).
+//!
+//! For each kernel we simulate its placement set, build the time vector
+//! and one vector per event, and report the events of the paper's
+//! Table I plus whichever other events clear the 0.94 threshold.
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin table1
+//! ```
+
+use rayon::prelude::*;
+
+use hms_bench::suite::table1_suite;
+use hms_bench::{mine_events_paper, Harness, PlacementStudy, Table};
+use hms_stats::cosine::PAPER_THRESHOLD;
+use hms_trace::materialize;
+
+fn main() {
+    let h = Harness::paper();
+    let suite = table1_suite();
+    println!("Table I: cosine similarity of performance events vs execution time");
+    println!("(events with similarity < {PAPER_THRESHOLD} print as N/A, as in the paper)\n");
+
+    let paper_events = ["issue_slots", "inst_issued", "inst_integer", "ldst_issue", "L2_transactions"];
+    let mut table = Table::new(&[
+        "GPU kernel",
+        "placements",
+        "issue_slots",
+        "inst_issued",
+        "inst_integer",
+        "ldst_issue",
+        "L2_trans",
+    ]);
+    let mut studies: Vec<PlacementStudy> = Vec::new();
+
+    for (name, tests) in &suite {
+        // Simulate every placement of this kernel.
+        let runs: Vec<(u64, hms_sim::EventSet)> = tests
+            .par_iter()
+            .map(|t| {
+                let kt = t.kernel(h.scale);
+                let pm = t.target_placement(&kt);
+                let ct = materialize(&kt, &pm, &h.cfg).expect("valid placement");
+                let r = hms_sim::simulate_default(&ct, &h.cfg).expect("simulates");
+                (r.cycles, r.events)
+            })
+            .collect();
+        let study = PlacementStudy::from_runs(name, &runs);
+        let sims = study.similarities();
+
+        let mut row = vec![name.to_string(), tests.len().to_string()];
+        for target in paper_events {
+            let (_, sim) = sims.iter().find(|(n, _)| *n == target).expect("event exists");
+            row.push(match sim {
+                Some(s) if *s >= PAPER_THRESHOLD => format!("{s:.3}"),
+                _ => "N/A".into(),
+            });
+        }
+        studies.push(study);
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    // The paper's aggregation step: events clearing the threshold in at
+    // least 3 kernels become general model indicators.
+    println!("\nEvents qualifying as general indicators (>= 3 kernels at {PAPER_THRESHOLD}):");
+    for m in mine_events_paper(&studies) {
+        println!(
+            "  {:<28} kernels {:>2}/{}  mean similarity {:.3}",
+            m.name,
+            m.qualified_in.len(),
+            studies.len(),
+            m.mean_similarity
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! **Section V training setup**: fit the `T_overlap` regression on the
+//! Table IV training placements and report diagnostics.
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin train_overlap
+//! ```
+
+use hms_bench::{trained_predictor, training_suite, Harness, Table};
+use hms_core::ModelOptions;
+
+fn main() {
+    let h = Harness::paper();
+    let suite = training_suite();
+    println!("T_overlap training set: {} placements over {} kernels", suite.len(), {
+        let mut k: Vec<&str> = suite.iter().map(|t| t.kernel).collect();
+        k.sort_unstable();
+        k.dedup();
+        k.len()
+    });
+    println!("(paper uses 38 training placements; Table IV lower half)\n");
+
+    let (predictor, profiles) = trained_predictor(&h, ModelOptions::full());
+    println!(
+        "fit: R^2 = {:.3} on {} observations",
+        predictor.overlap.r_squared.unwrap_or(f64::NAN),
+        profiles.len()
+    );
+
+    // Per-placement residual check: predict each training placement
+    // against itself (in-sample residuals of the whole pipeline).
+    let mut table = Table::new(&["placement", "measured cyc", "predicted cyc", "error"]);
+    let mut total = 0.0;
+    for (t, p) in suite.iter().zip(&profiles) {
+        let kt = t.kernel(h.scale);
+        let pm = t.target_placement(&kt);
+        let pred = predictor.predict(p, &pm).expect("predicts");
+        let err = (pred.cycles - p.measured_cycles as f64).abs() / p.measured_cycles as f64;
+        total += err;
+        table.row(vec![
+            t.label.into(),
+            p.measured_cycles.to_string(),
+            format!("{:.0}", pred.cycles),
+            format!("{:.1}%", err * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("in-sample mean error: {:.1}%", total / suite.len() as f64 * 100.0);
+}

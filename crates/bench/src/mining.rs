@@ -1,0 +1,172 @@
+//! Event mining (paper Section II-B): selecting the performance events
+//! whose variation across data placements tracks the execution-time
+//! variation.
+//!
+//! The paper starts from 265 `nvprof` events, keeps those whose cosine
+//! similarity with the time vector exceeds 0.94, aggregates events with
+//! the same modeling indication (e.g. `L2_L1_read_transactions` +
+//! `L2_L1_write_transactions` -> `L2_L1_transactions`), and drops events
+//! that qualify for too few kernels to generalize. This module
+//! implements that pipeline over the simulator's event set.
+
+use hms_sim::EventSet;
+use hms_stats::cosine::{cosine_similarity, PAPER_THRESHOLD};
+
+/// One kernel's placement study: execution times and event sets, one
+/// entry per placement.
+#[derive(Debug, Clone)]
+pub struct PlacementStudy {
+    pub kernel: String,
+    pub times: Vec<f64>,
+    pub events: Vec<EventSet>,
+}
+
+impl PlacementStudy {
+    /// Build from simulation results.
+    pub fn from_runs(kernel: &str, runs: &[(u64, EventSet)]) -> Self {
+        PlacementStudy {
+            kernel: kernel.to_owned(),
+            times: runs.iter().map(|(c, _)| *c as f64).collect(),
+            events: runs.iter().map(|(_, e)| e.clone()).collect(),
+        }
+    }
+
+    /// Cosine similarity of each named event against the time vector;
+    /// `None` where undefined (constant-zero event).
+    pub fn similarities(&self) -> Vec<(&'static str, Option<f64>)> {
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let names: Vec<&'static str> =
+            self.events[0].named().iter().map(|(n, _)| *n).collect();
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let series: Vec<f64> =
+                    self.events.iter().map(|e| e.named()[i].1).collect();
+                (*name, cosine_similarity(&self.times, &series))
+            })
+            .collect()
+    }
+}
+
+/// An event that survived mining, with per-kernel support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedEvent {
+    pub name: &'static str,
+    /// Kernels (by index into the input studies) where it qualified.
+    pub qualified_in: Vec<usize>,
+    /// Mean similarity over qualifying kernels.
+    pub mean_similarity: f64,
+}
+
+/// Run the Section II-B selection: keep events clearing `threshold` in at
+/// least `min_kernels` of the studies, ranked by mean similarity.
+pub fn mine_events(
+    studies: &[PlacementStudy],
+    threshold: f64,
+    min_kernels: usize,
+) -> Vec<MinedEvent> {
+    let mut out: Vec<MinedEvent> = Vec::new();
+    if studies.is_empty() {
+        return out;
+    }
+    let per_study: Vec<Vec<(&'static str, Option<f64>)>> =
+        studies.iter().map(|s| s.similarities()).collect();
+    let names: Vec<&'static str> = per_study[0].iter().map(|(n, _)| *n).collect();
+    for (ei, name) in names.iter().enumerate() {
+        let mut qualified_in = Vec::new();
+        let mut acc = 0.0;
+        for (si, sims) in per_study.iter().enumerate() {
+            if let (_, Some(s)) = sims[ei] {
+                if s >= threshold {
+                    qualified_in.push(si);
+                    acc += s;
+                }
+            }
+        }
+        if qualified_in.len() >= min_kernels {
+            let mean_similarity = acc / qualified_in.len() as f64;
+            out.push(MinedEvent { name, qualified_in, mean_similarity });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.qualified_in
+            .len()
+            .cmp(&a.qualified_in.len())
+            .then(b.mean_similarity.partial_cmp(&a.mean_similarity).expect("finite"))
+    });
+    out
+}
+
+/// The paper's default mining parameters: 0.94 threshold, and an event
+/// must qualify in at least 3 kernels ("remove those events that only
+/// appear in two kernels").
+pub fn mine_events_paper(studies: &[PlacementStudy]) -> Vec<MinedEvent> {
+    mine_events(studies, PAPER_THRESHOLD, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study(kernel: &str, times: &[f64], l2: &[f64], noise: &[f64]) -> PlacementStudy {
+        let events = l2
+            .iter()
+            .zip(noise)
+            .map(|(&l, &n)| EventSet {
+                l2_transactions: l as u64,
+                stall_cycles: n as u64,
+                ..Default::default()
+            })
+            .collect();
+        PlacementStudy { kernel: kernel.into(), times: times.to_vec(), events }
+    }
+
+    #[test]
+    fn mining_selects_time_tracking_events() {
+        // Three kernels where L2 transactions track time and stall_cycles
+        // vary independently.
+        let studies = vec![
+            study("a", &[10.0, 20.0, 40.0], &[11.0, 19.0, 41.0], &[5.0, 100.0, 2.0]),
+            study("b", &[5.0, 8.0, 6.0], &[10.0, 16.0, 12.0], &[90.0, 1.0, 50.0]),
+            study("c", &[100.0, 50.0, 75.0], &[99.0, 52.0, 73.0], &[3.0, 80.0, 7.0]),
+        ];
+        let mined = mine_events_paper(&studies);
+        let names: Vec<&str> = mined.iter().map(|m| m.name).collect();
+        assert!(names.contains(&"L2_transactions"));
+        assert!(!names.contains(&"stall_cycles"));
+        let l2 = mined.iter().find(|m| m.name == "L2_transactions").unwrap();
+        assert_eq!(l2.qualified_in, vec![0, 1, 2]);
+        assert!(l2.mean_similarity > PAPER_THRESHOLD);
+    }
+
+    #[test]
+    fn min_kernels_filters_narrow_events() {
+        // Event tracks time in only one kernel.
+        let studies = vec![
+            study("a", &[10.0, 20.0], &[10.0, 20.0], &[0.0, 0.0]),
+            study("b", &[10.0, 20.0], &[0.0, 0.0], &[0.0, 0.0]),
+            study("c", &[10.0, 20.0], &[0.0, 0.0], &[0.0, 0.0]),
+        ];
+        assert!(mine_events(&studies, 0.94, 2).is_empty());
+        assert_eq!(mine_events(&studies, 0.94, 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(mine_events_paper(&[]).is_empty());
+    }
+
+    #[test]
+    fn similarities_align_with_named_order() {
+        let s = study("x", &[1.0, 2.0], &[1.0, 2.0], &[2.0, 1.0]);
+        let sims = s.similarities();
+        let names: Vec<&str> = EventSet::default().named().iter().map(|(n, _)| *n).collect();
+        assert_eq!(sims.len(), names.len());
+        for (i, (n, _)) in sims.iter().enumerate() {
+            assert_eq!(*n, names[i]);
+        }
+    }
+}

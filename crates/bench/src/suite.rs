@@ -1,0 +1,483 @@
+//! The Table IV benchmark/placement suites.
+//!
+//! Each [`PlacementTest`] names a kernel, its *sample* placement (the
+//! benchmark's natural placement — e.g. SHOC binds spmv's `d_vec` to a
+//! texture and keeps fft's staging buffer in shared memory), and the
+//! moves that produce the *target* placement, in the paper's
+//! `object(from->to)` notation.
+
+use hms_kernels::Scale;
+use hms_trace::KernelTrace;
+use hms_types::{ArrayId, MemorySpace, PlacementMap};
+
+/// One placement test from Table IV.
+#[derive(Debug, Clone)]
+pub struct PlacementTest {
+    /// Kernel name in the `hms_kernels` registry.
+    pub kernel: &'static str,
+    /// Figure 5 label (e.g. `"NN_C"`).
+    pub label: &'static str,
+    /// Sample placement as `(array_name, space)` overrides of all-global.
+    pub sample: &'static [(&'static str, MemorySpace)],
+    /// Moves applied to the sample placement to form the target.
+    pub moves: &'static [(&'static str, MemorySpace)],
+}
+
+impl PlacementTest {
+    /// Build the kernel trace at `scale`.
+    pub fn kernel(&self, scale: Scale) -> KernelTrace {
+        hms_kernels::by_name(self.kernel, scale)
+            .unwrap_or_else(|| panic!("unknown kernel `{}`", self.kernel))
+    }
+
+    /// Resolve a named placement override list against a kernel.
+    fn resolve(kt: &KernelTrace, overrides: &[(&str, MemorySpace)], base: PlacementMap) -> PlacementMap {
+        let mut pm = base;
+        for (name, space) in overrides {
+            let id = kt
+                .arrays
+                .iter()
+                .position(|a| a.name == *name)
+                .unwrap_or_else(|| panic!("kernel `{}` has no array `{name}`", kt.name));
+            pm = pm.with(ArrayId(id as u32), *space);
+        }
+        pm
+    }
+
+    /// The sample placement for this test's kernel.
+    pub fn sample_placement(&self, kt: &KernelTrace) -> PlacementMap {
+        Self::resolve(kt, self.sample, PlacementMap::all_global(kt.arrays.len()))
+    }
+
+    /// The target placement.
+    pub fn target_placement(&self, kt: &KernelTrace) -> PlacementMap {
+        Self::resolve(kt, self.moves, self.sample_placement(kt))
+    }
+}
+
+use MemorySpace::{Constant as C, Global as G, Shared as S, Texture1D as T, Texture2D as T2};
+
+/// The natural (sample) placements, shared by several tests.
+const FFT_SAMPLE: &[(&str, MemorySpace)] = &[("smem", S)];
+const MATMUL_SAMPLE: &[(&str, MemorySpace)] = &[("As", S), ("Bs", S)];
+const REDUCTION_SAMPLE: &[(&str, MemorySpace)] = &[("sdata", S)];
+const SCAN_SAMPLE: &[(&str, MemorySpace)] = &[("s_block", S)];
+const SORT_SAMPLE: &[(&str, MemorySpace)] = &[("sBlockOffsets", S)];
+const SPMV_SAMPLE: &[(&str, MemorySpace)] = &[("d_vec", T)];
+const MD_SAMPLE: &[(&str, MemorySpace)] = &[("d_position", T)];
+const CONV_SAMPLE: &[(&str, MemorySpace)] = &[("c_Kernel", C)];
+
+/// The evaluation set (Table IV, top): the paper's Figure 5 points.
+pub fn evaluation_suite() -> Vec<PlacementTest> {
+    vec![
+        PlacementTest {
+            kernel: "bfs",
+            label: "bfs_2",
+            sample: &[],
+            moves: &[("edgeArray", T)],
+        },
+        PlacementTest { kernel: "fft", label: "fft_1", sample: FFT_SAMPLE, moves: &[("smem", G)] },
+        PlacementTest {
+            kernel: "neuralnet",
+            label: "NN_C",
+            sample: &[],
+            moves: &[("weights", C)],
+        },
+        PlacementTest {
+            kernel: "neuralnet",
+            label: "NN_S",
+            sample: &[],
+            moves: &[("weights", S)],
+        },
+        PlacementTest {
+            kernel: "neuralnet",
+            label: "NN_T",
+            sample: &[],
+            moves: &[("weights", T)],
+        },
+        PlacementTest {
+            kernel: "neuralnet",
+            label: "NN_2T",
+            sample: &[],
+            moves: &[("weights", T2)],
+        },
+        PlacementTest {
+            kernel: "reduction",
+            label: "Reduction_2",
+            sample: REDUCTION_SAMPLE,
+            moves: &[("sdata", G)],
+        },
+        PlacementTest {
+            kernel: "scan",
+            label: "SCAN_2",
+            sample: SCAN_SAMPLE,
+            moves: &[("g_idata", T2)],
+        },
+        PlacementTest {
+            kernel: "sort",
+            label: "Sort_2",
+            sample: SORT_SAMPLE,
+            moves: &[("sBlockOffsets", G)],
+        },
+        PlacementTest {
+            kernel: "stencil2d",
+            label: "Stencil_2",
+            sample: &[],
+            moves: &[("data", T)],
+        },
+        PlacementTest {
+            kernel: "md5hash",
+            label: "MD5_2",
+            sample: &[],
+            moves: &[("foundKey", S)],
+        },
+        PlacementTest {
+            kernel: "s3d",
+            label: "S3D_p",
+            sample: &[],
+            moves: &[("gpu_p", T)],
+        },
+        PlacementTest {
+            kernel: "s3d",
+            label: "S3D_y",
+            sample: &[],
+            moves: &[("gpu_y", T)],
+        },
+        PlacementTest {
+            kernel: "s3d",
+            label: "S3D_py",
+            sample: &[],
+            moves: &[("gpu_p", T), ("gpu_y", T)],
+        },
+    ]
+}
+
+/// The `T_overlap` training set (Table IV, bottom): 38 placements over
+/// convolution, md, matrixMul, spmv, transpose, cfd, triad, and QTC.
+pub fn training_suite() -> Vec<PlacementTest> {
+    vec![
+        // convolutionSeparable (SDK): 5 placements incl. samples.
+        PlacementTest { kernel: "convolutionRows", label: "conv_sample", sample: CONV_SAMPLE, moves: &[] },
+        PlacementTest {
+            kernel: "convolutionRows",
+            label: "conv_src_2T",
+            sample: CONV_SAMPLE,
+            moves: &[("d_Src", T2)],
+        },
+        PlacementTest {
+            kernel: "convolutionRows",
+            label: "conv_src_T",
+            sample: CONV_SAMPLE,
+            moves: &[("d_Src", T)],
+        },
+        PlacementTest {
+            kernel: "convolutionRows",
+            label: "conv_kern_G",
+            sample: CONV_SAMPLE,
+            moves: &[("c_Kernel", G)],
+        },
+        PlacementTest {
+            kernel: "convolutionRows",
+            label: "conv_kern_T",
+            sample: CONV_SAMPLE,
+            moves: &[("c_Kernel", T)],
+        },
+        PlacementTest {
+            kernel: "convolutionCols",
+            label: "conv2_src_2T",
+            sample: CONV_SAMPLE,
+            moves: &[("d_Src", T2)],
+        },
+        PlacementTest {
+            kernel: "convolutionCols",
+            label: "conv2_kern_G",
+            sample: CONV_SAMPLE,
+            moves: &[("c_Kernel", G)],
+        },
+        // md (SHOC): 6 placements.
+        PlacementTest { kernel: "md", label: "md_sample", sample: MD_SAMPLE, moves: &[] },
+        PlacementTest {
+            kernel: "md",
+            label: "md_pos_G",
+            sample: MD_SAMPLE,
+            moves: &[("d_position", G)],
+        },
+        PlacementTest {
+            kernel: "md",
+            label: "md_neigh_T",
+            sample: MD_SAMPLE,
+            moves: &[("neighList", T)],
+        },
+        PlacementTest {
+            kernel: "md",
+            label: "md_pos_G_neigh_T",
+            sample: MD_SAMPLE,
+            moves: &[("d_position", G), ("neighList", T)],
+        },
+        // matrixMul (SDK): 8 placements.
+        PlacementTest { kernel: "matrixMul", label: "mm_sample", sample: MATMUL_SAMPLE, moves: &[] },
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_A2T_B2T",
+            sample: MATMUL_SAMPLE,
+            moves: &[("A", T2), ("B", T2)],
+        },
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_A2T",
+            sample: MATMUL_SAMPLE,
+            moves: &[("A", T2)],
+        },
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_AT",
+            sample: MATMUL_SAMPLE,
+            moves: &[("A", T)],
+        },
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_AT_B2T",
+            sample: MATMUL_SAMPLE,
+            moves: &[("A", T), ("B", T2)],
+        },
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_B2T",
+            sample: MATMUL_SAMPLE,
+            moves: &[("B", T2)],
+        },
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_AT_BT",
+            sample: MATMUL_SAMPLE,
+            moves: &[("A", T), ("B", T)],
+        },
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_BT",
+            sample: MATMUL_SAMPLE,
+            moves: &[("B", T)],
+        },
+        // spmv (SHOC): 10 placements.
+        PlacementTest { kernel: "spmv", label: "spmv_sample", sample: SPMV_SAMPLE, moves: &[] },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_rowD_S_vec_G",
+            sample: SPMV_SAMPLE,
+            moves: &[("rowDelimiters", S), ("d_vec", G)],
+        },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_rowD_C_vec_G",
+            sample: SPMV_SAMPLE,
+            moves: &[("rowDelimiters", C), ("d_vec", G)],
+        },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_rowD_T_vec_G",
+            sample: SPMV_SAMPLE,
+            moves: &[("rowDelimiters", T), ("d_vec", G)],
+        },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_rowD_S",
+            sample: SPMV_SAMPLE,
+            moves: &[("rowDelimiters", S)],
+        },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_val_T_vec_G",
+            sample: SPMV_SAMPLE,
+            moves: &[("val", T), ("d_vec", G)],
+        },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_rowD_T_vec_C",
+            sample: SPMV_SAMPLE,
+            moves: &[("rowDelimiters", T), ("d_vec", C)],
+        },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_val_cols_T_rowD_C_vec_G",
+            sample: SPMV_SAMPLE,
+            moves: &[("val", T), ("cols", T), ("rowDelimiters", C), ("d_vec", G)],
+        },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_val_cols_T",
+            sample: SPMV_SAMPLE,
+            moves: &[("val", T), ("cols", T)],
+        },
+        // transpose (SDK): 3 placements.
+        PlacementTest { kernel: "transpose", label: "tr_sample", sample: &[], moves: &[] },
+        PlacementTest {
+            kernel: "transpose",
+            label: "tr_idata_2T",
+            sample: &[],
+            moves: &[("idata", T2)],
+        },
+        PlacementTest {
+            kernel: "transpose",
+            label: "tr_idata_T",
+            sample: &[],
+            moves: &[("idata", T)],
+        },
+        // cfd (SDK): 2 placements.
+        PlacementTest { kernel: "cfd", label: "cfd_sample", sample: &[], moves: &[] },
+        PlacementTest {
+            kernel: "cfd",
+            label: "cfd_var_T",
+            sample: &[],
+            moves: &[("variables", T)],
+        },
+        // triad (SHOC): 2 placements.
+        PlacementTest { kernel: "triad", label: "triad_sample", sample: &[], moves: &[] },
+        PlacementTest { kernel: "triad", label: "triad_B_S", sample: &[], moves: &[("B", S)] },
+        // QTC (SHOC): 2 placements.
+        PlacementTest { kernel: "qtc", label: "qtc_sample", sample: &[], moves: &[] },
+        PlacementTest {
+            kernel: "qtc",
+            label: "qtc_dist_2T",
+            sample: &[],
+            moves: &[("distance_matrix", T2)],
+        },
+    ]
+}
+
+/// Table I's six benchmarks / seven kernels with the placement sets used
+/// for the cosine-similarity event mining (34 placements).
+pub fn table1_suite() -> Vec<(&'static str, Vec<PlacementTest>)> {
+    fn t(
+        kernel: &'static str,
+        label: &'static str,
+        sample: &'static [(&'static str, MemorySpace)],
+        moves: &'static [(&'static str, MemorySpace)],
+    ) -> PlacementTest {
+        PlacementTest { kernel, label, sample, moves }
+    }
+    vec![
+        (
+            "cfd",
+            vec![
+                t("cfd", "G", &[], &[]),
+                t("cfd", "var_T", &[], &[("variables", T)]),
+                t("cfd", "norm_T", &[], &[("normals", T)]),
+                t("cfd", "conn_T", &[], &[("elements_surrounding", T)]),
+            ],
+        ),
+        (
+            "convo1",
+            vec![
+                t("convolutionRows", "C", CONV_SAMPLE, &[]),
+                t("convolutionRows", "kern_G", CONV_SAMPLE, &[("c_Kernel", G)]),
+                t("convolutionRows", "src_T", CONV_SAMPLE, &[("d_Src", T)]),
+                t("convolutionRows", "src_2T", CONV_SAMPLE, &[("d_Src", T2)]),
+                t("convolutionRows", "kern_S", CONV_SAMPLE, &[("c_Kernel", S)]),
+            ],
+        ),
+        (
+            "convo2",
+            vec![
+                t("convolutionCols", "C", CONV_SAMPLE, &[]),
+                t("convolutionCols", "kern_G", CONV_SAMPLE, &[("c_Kernel", G)]),
+                t("convolutionCols", "src_T", CONV_SAMPLE, &[("d_Src", T)]),
+                t("convolutionCols", "src_2T", CONV_SAMPLE, &[("d_Src", T2)]),
+            ],
+        ),
+        (
+            "md",
+            vec![
+                t("md", "T", MD_SAMPLE, &[]),
+                t("md", "pos_G", MD_SAMPLE, &[("d_position", G)]),
+                t("md", "neigh_T", MD_SAMPLE, &[("neighList", T)]),
+                t("md", "both", MD_SAMPLE, &[("d_position", G), ("neighList", T)]),
+            ],
+        ),
+        (
+            "matrixMul",
+            vec![
+                t("matrixMul", "S", MATMUL_SAMPLE, &[]),
+                t("matrixMul", "A2T", MATMUL_SAMPLE, &[("A", T2)]),
+                t("matrixMul", "B2T", MATMUL_SAMPLE, &[("B", T2)]),
+                t("matrixMul", "AT_BT", MATMUL_SAMPLE, &[("A", T), ("B", T)]),
+                t("matrixMul", "A2T_B2T", MATMUL_SAMPLE, &[("A", T2), ("B", T2)]),
+            ],
+        ),
+        (
+            "spmv",
+            vec![
+                t("spmv", "T", SPMV_SAMPLE, &[]),
+                t("spmv", "vec_G", SPMV_SAMPLE, &[("d_vec", G)]),
+                t("spmv", "vec_C", SPMV_SAMPLE, &[("d_vec", C)]),
+                t("spmv", "rowD_C", SPMV_SAMPLE, &[("rowDelimiters", C)]),
+                t("spmv", "rowD_S", SPMV_SAMPLE, &[("rowDelimiters", S)]),
+                t("spmv", "val_T", SPMV_SAMPLE, &[("val", T)]),
+            ],
+        ),
+        (
+            "transpose",
+            vec![
+                t("transpose", "G", &[], &[]),
+                t("transpose", "idata_T", &[], &[("idata", T)]),
+                t("transpose", "idata_2T", &[], &[("idata", T2)]),
+            ],
+        ),
+        (
+            "triad",
+            vec![
+                t("triad", "G", &[], &[]),
+                t("triad", "B_T", &[], &[("B", T)]),
+                t("triad", "B_S", &[], &[("B", S)]),
+                t("triad", "C_T", &[], &[("C", T)]),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_types::GpuConfig;
+
+    #[test]
+    fn every_test_resolves_and_validates_at_both_scales() {
+        let cfg = GpuConfig::tesla_k80();
+        let mut all = evaluation_suite();
+        all.extend(training_suite());
+        for (_, tests) in table1_suite() {
+            all.extend(tests);
+        }
+        for scale in [Scale::Test, Scale::Full] {
+            for t in &all {
+                let kt = t.kernel(scale);
+                let sample = t.sample_placement(&kt);
+                let target = t.target_placement(&kt);
+                sample
+                    .validate(&kt.arrays, &cfg)
+                    .unwrap_or_else(|e| panic!("{} [{scale:?}]: sample invalid: {e}", t.label));
+                target
+                    .validate(&kt.arrays, &cfg)
+                    .unwrap_or_else(|e| panic!("{} [{scale:?}]: target invalid: {e}", t.label));
+            }
+        }
+    }
+
+    #[test]
+    fn suites_have_paper_scale_counts() {
+        assert!(evaluation_suite().len() >= 12, "evaluation points");
+        assert!(training_suite().len() >= 30, "training placements (paper: 38)");
+        let t1: usize = table1_suite().iter().map(|(_, v)| v.len()).sum();
+        assert!(t1 >= 30, "Table I placements (paper: 34), got {t1}");
+    }
+
+    #[test]
+    fn labels_are_unique_within_suites() {
+        for suite in [evaluation_suite(), training_suite()] {
+            let mut labels: Vec<&str> = suite.iter().map(|t| t.label).collect();
+            let n = labels.len();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), n);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the set-associative cache against a naive
+//! reference model, plus invariants of the warp-level models.
+
+use proptest::prelude::*;
+
+use hms_cache::{shared_conflict_passes, AccessOutcome, SetAssocCache};
+use hms_types::CacheGeometry;
+
+/// A trivially-correct LRU cache: a vector of (set, tag) in recency
+/// order per set.
+struct RefLru {
+    line_bytes: u64,
+    sets: u64,
+    ways: usize,
+    state: Vec<Vec<u64>>, // per set: tags, most-recent last
+}
+
+impl RefLru {
+    fn new(g: CacheGeometry) -> Self {
+        RefLru {
+            line_bytes: g.line_bytes,
+            sets: g.sets().max(1),
+            ways: g.ways as usize,
+            state: vec![Vec::new(); g.sets().max(1) as usize],
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let s = &mut self.state[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            s.remove(pos);
+            s.push(tag);
+            true
+        } else {
+            if s.len() == self.ways {
+                s.remove(0);
+            }
+            s.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The production cache and the reference LRU agree on every
+    /// hit/miss outcome for arbitrary address streams and geometries.
+    #[test]
+    fn setassoc_matches_reference_lru(
+        addrs in prop::collection::vec(0u64..16_384, 1..400),
+        sets_pow in 0u32..4,
+        ways in 1u32..5,
+    ) {
+        let line = 64u64;
+        let sets = 1u64 << sets_pow;
+        let g = CacheGeometry::new(sets * line * u64::from(ways), line, ways);
+        let mut real = SetAssocCache::new(g);
+        let mut reference = RefLru::new(g);
+        for &a in &addrs {
+            let want_hit = reference.access(a);
+            let got = real.access(a);
+            prop_assert_eq!(got.is_hit(), want_hit, "diverged at addr {}", a);
+        }
+        prop_assert_eq!(real.accesses(), addrs.len() as u64);
+        prop_assert_eq!(real.hits() + real.misses(), real.accesses());
+    }
+
+    /// Hit count never decreases when the cache gets more ways at the
+    /// same set count (LRU is a stack algorithm per set).
+    #[test]
+    fn more_ways_never_hurt(
+        addrs in prop::collection::vec(0u64..4096, 1..300),
+    ) {
+        let line = 64u64;
+        let sets = 4u64;
+        let hits = |ways: u32| {
+            let g = CacheGeometry::new(sets * line * u64::from(ways), line, ways);
+            let mut c = SetAssocCache::new(g);
+            for &a in &addrs {
+                c.access(a);
+            }
+            c.hits()
+        };
+        prop_assert!(hits(4) >= hits(2));
+        prop_assert!(hits(2) >= hits(1));
+    }
+
+    /// Shared-memory conflict passes are within [1, active lanes] and
+    /// invariant under lane permutation.
+    #[test]
+    fn conflict_passes_bounds_and_symmetry(
+        mut addrs in prop::collection::vec((0u64..4096).prop_map(|a| a * 4), 1..32),
+    ) {
+        let p = shared_conflict_passes(&addrs, 32);
+        prop_assert!(p >= 1);
+        prop_assert!(p <= addrs.len() as u32);
+        addrs.reverse();
+        prop_assert_eq!(shared_conflict_passes(&addrs, 32), p);
+    }
+
+    /// Dirty-eviction count is bounded by the number of write accesses.
+    #[test]
+    fn writebacks_bounded_by_writes(
+        ops in prop::collection::vec((0u64..8192, any::<bool>()), 1..300),
+    ) {
+        let g = CacheGeometry::new(512, 64, 2);
+        let mut c = SetAssocCache::new(g);
+        let mut writes = 0u64;
+        for &(a, w) in &ops {
+            if w {
+                writes += 1;
+            }
+            let _ = c.access_rw(a, w);
+        }
+        c.flush();
+        prop_assert!(c.dirty_evictions() <= writes);
+    }
+}
+
+#[test]
+fn outcome_reports_eviction_only_when_full() {
+    let g = CacheGeometry::new(128, 64, 2); // 1 set, 2 ways
+    let mut c = SetAssocCache::new(g);
+    assert_eq!(c.access(0), AccessOutcome::Miss { evicted: false });
+    assert_eq!(c.access(64), AccessOutcome::Miss { evicted: false });
+    assert_eq!(c.access(128), AccessOutcome::Miss { evicted: true });
+}

@@ -1,0 +1,181 @@
+//! Minimal argument parsing for the `hms` tool (no external parser —
+//! the surface is five subcommands and a handful of flags).
+
+use hms_kernels::Scale;
+use hms_types::MemorySpace;
+
+/// A parsed `--move array=SPACE` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveSpec {
+    pub array: String,
+    pub space: MemorySpace,
+}
+
+impl MoveSpec {
+    /// Parse `name=SPACE` with the paper's short space notation
+    /// (`G`, `T`, `2T`, `C`, `S`).
+    pub fn parse(s: &str) -> Result<MoveSpec, String> {
+        let (array, space) = s
+            .split_once('=')
+            .ok_or_else(|| format!("expected `array=SPACE`, got `{s}`"))?;
+        if array.is_empty() {
+            return Err(format!("empty array name in `{s}`"));
+        }
+        let space = MemorySpace::from_short(space)
+            .ok_or_else(|| format!("unknown space `{space}` (use G, T, 2T, C, or S)"))?;
+        Ok(MoveSpec { array: array.to_owned(), space })
+    }
+}
+
+/// The `hms` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the built-in kernels.
+    List,
+    /// Probe the DRAM address mapping (Algorithm 1).
+    Probe,
+    /// Simulate a kernel and print its event set.
+    Simulate { kernel: String, scale: Scale, moves: Vec<MoveSpec> },
+    /// Predict a target placement from a profiled sample.
+    Predict { kernel: String, scale: Scale, moves: Vec<MoveSpec>, train: bool },
+    /// Rank every legal placement of the kernel's read-only arrays.
+    Advise { kernel: String, scale: Scale, train: bool, top: usize },
+    /// Dump a kernel's concrete trace in the v1 text format.
+    Dump { kernel: String, scale: Scale, moves: Vec<MoveSpec> },
+    /// Print usage.
+    Help,
+}
+
+/// Parse a full argument vector (excluding argv[0]).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else { return Ok(Command::Help) };
+    let rest: Vec<&String> = it.collect();
+
+    let mut scale = Scale::Full;
+    let mut moves = Vec::new();
+    let mut train = false;
+    let mut top = 5usize;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--scale needs a value")?;
+                scale = match v.as_str() {
+                    "full" => Scale::Full,
+                    "test" => Scale::Test,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--move" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--move needs `array=SPACE`")?;
+                moves.push(MoveSpec::parse(v)?);
+            }
+            "--train" => train = true,
+            "--top" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--top needs a number")?;
+                top = v.parse().map_err(|_| format!("bad --top value `{v}`"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            pos => positional.push(pos),
+        }
+        i += 1;
+    }
+
+    let kernel = |pos: &[&str]| -> Result<String, String> {
+        pos.first().map(|s| s.to_string()).ok_or_else(|| "missing kernel name".into())
+    };
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "probe" => Ok(Command::Probe),
+        "simulate" => Ok(Command::Simulate { kernel: kernel(&positional)?, scale, moves }),
+        "predict" => Ok(Command::Predict { kernel: kernel(&positional)?, scale, moves, train }),
+        "advise" => Ok(Command::Advise { kernel: kernel(&positional)?, scale, train, top }),
+        "dump" => Ok(Command::Dump { kernel: kernel(&positional)?, scale, moves }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command `{other}` (try `hms help`)")),
+    }
+}
+
+pub const USAGE: &str = "\
+hms — data-placement advisor for GPU heterogeneous memory systems
+
+USAGE:
+    hms list
+    hms probe
+    hms simulate <kernel> [--scale full|test] [--move array=SPACE]...
+    hms predict  <kernel> [--scale full|test] [--train] --move array=SPACE...
+    hms advise   <kernel> [--scale full|test] [--train] [--top N]
+    hms dump     <kernel> [--scale full|test] [--move array=SPACE]...
+
+SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
+
+EXAMPLES:
+    hms advise neuralnet --train
+    hms predict spmv --move d_vec=G --move rowDelimiters=C
+    hms simulate md --move d_position=T
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_moves_and_flags() {
+        let cmd = parse(&v(&["predict", "spmv", "--move", "d_vec=G", "--move", "rowDelimiters=C", "--train"]))
+            .unwrap();
+        let Command::Predict { kernel, moves, train, .. } = cmd else { panic!() };
+        assert_eq!(kernel, "spmv");
+        assert!(train);
+        assert_eq!(moves.len(), 2);
+        assert_eq!(moves[0], MoveSpec { array: "d_vec".into(), space: MemorySpace::Global });
+        assert_eq!(moves[1].space, MemorySpace::Constant);
+    }
+
+    #[test]
+    fn parses_scale_and_top() {
+        let cmd = parse(&v(&["advise", "md", "--scale", "test", "--top", "3"])).unwrap();
+        let Command::Advise { kernel, scale, top, train } = cmd else { panic!() };
+        assert_eq!(kernel, "md");
+        assert_eq!(scale, Scale::Test);
+        assert_eq!(top, 3);
+        assert!(!train);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&["predict"])).is_err()); // missing kernel
+        assert!(parse(&v(&["predict", "x", "--move", "novalue"])).is_err());
+        assert!(parse(&v(&["predict", "x", "--move", "a=Q"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["simulate", "x", "--scale", "medium"])).is_err());
+        assert!(parse(&v(&["simulate", "x", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn two_t_notation() {
+        let m = MoveSpec::parse("img=2T").unwrap();
+        assert_eq!(m.space, MemorySpace::Texture2D);
+    }
+
+    #[test]
+    fn dump_parses() {
+        let cmd = parse(&v(&["dump", "vecadd", "--move", "a=T"])).unwrap();
+        let Command::Dump { kernel, moves, .. } = cmd else { panic!() };
+        assert_eq!(kernel, "vecadd");
+        assert_eq!(moves.len(), 1);
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+}

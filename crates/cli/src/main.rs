@@ -1,0 +1,191 @@
+//! `hms` — the data-placement advisor as a command-line tool.
+//!
+//! "Our models can work as a tool to help programmers for GPU
+//! performance optimization and improve their productivity." This binary
+//! wraps the workspace's predictor, simulator, and Algorithm-1 probe in
+//! the workflow a performance engineer would actually run: inspect a
+//! kernel, probe the machine, predict placement moves, and get ranked
+//! advice. Run `hms help` for usage.
+
+mod args;
+
+use args::{parse, Command, MoveSpec, USAGE};
+use hms_core::{
+    enumerate_placements, profile_sample, rank_placements, ModelOptions, Predictor,
+};
+use hms_dram::{detect_mapping, AddressMapping, MemoryController};
+use hms_kernels::{by_name, registry, Scale};
+use hms_sim::simulate_default;
+use hms_trace::{materialize, KernelTrace};
+use hms_types::{ArrayId, GpuConfig, PlacementMap};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(cmd) => run(cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load_kernel(name: &str, scale: Scale) -> KernelTrace {
+    by_name(name, scale).unwrap_or_else(|| {
+        eprintln!("unknown kernel `{name}`; run `hms list`");
+        std::process::exit(2);
+    })
+}
+
+fn apply_moves(kt: &KernelTrace, base: PlacementMap, moves: &[MoveSpec]) -> PlacementMap {
+    let mut pm = base;
+    for m in moves {
+        let Some(idx) = kt.arrays.iter().position(|a| a.name == m.array) else {
+            eprintln!(
+                "kernel `{}` has no array `{}`; arrays: {}",
+                kt.name,
+                m.array,
+                kt.arrays.iter().map(|a| a.name.as_str()).collect::<Vec<_>>().join(", ")
+            );
+            std::process::exit(2);
+        };
+        pm = pm.with(ArrayId(idx as u32), m.space);
+    }
+    pm
+}
+
+fn predictor(cfg: &GpuConfig, train: bool) -> Predictor {
+    if train {
+        eprintln!("training T_overlap on the built-in training suite...");
+        let (p, _) = hms_bench::trained_predictor(
+            &hms_bench::Harness { cfg: cfg.clone(), scale: Scale::Full },
+            ModelOptions::full(),
+        );
+        p
+    } else {
+        Predictor::new(cfg.clone())
+    }
+}
+
+fn run(cmd: Command) {
+    let cfg = GpuConfig::tesla_k80();
+    match cmd {
+        Command::Help => println!("{USAGE}"),
+        Command::List => {
+            println!("{:<18} {:<10} arrays", "kernel", "warps");
+            for spec in registry() {
+                let kt = (spec.build)(Scale::Full);
+                println!(
+                    "{:<18} {:<10} {}",
+                    spec.name,
+                    kt.geometry.total_warps(),
+                    kt.arrays
+                        .iter()
+                        .map(|a| {
+                            format!(
+                                "{}[{}{}]",
+                                a.name,
+                                a.dims.elements(),
+                                if a.written { ", W" } else { "" }
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+            }
+        }
+        Command::Probe => {
+            let truth = AddressMapping::k80_like(cfg.dram.total_banks());
+            let d = detect_mapping(
+                || MemoryController::new(truth.clone(), cfg.dram, false),
+                truth.addr_bits,
+            );
+            println!("column/byte bits: {:?}", d.column_bits());
+            println!("row bits:         {:?}", d.row_bits());
+            println!("bank bits:        {:?}", d.bank_bits());
+            println!(
+                "latencies: hit {:.0} ns, miss {:.0} ns, conflict {:.0} ns",
+                cfg.cycles_to_ns(d.hit_latency as f64),
+                cfg.cycles_to_ns(d.miss_latency as f64),
+                cfg.cycles_to_ns(d.conflict_latency as f64),
+            );
+        }
+        Command::Simulate { kernel, scale, moves } => {
+            let kt = load_kernel(&kernel, scale);
+            let pm = apply_moves(&kt, kt.default_placement(), &moves);
+            let ct = materialize(&kt, &pm, &cfg).unwrap_or_else(|e| {
+                eprintln!("invalid placement: {e}");
+                std::process::exit(2);
+            });
+            let r = simulate_default(&ct, &cfg).expect("simulation completes");
+            println!("placement: {}", pm.describe(&kt.arrays));
+            println!("cycles: {}  ({:.1} us)", r.cycles, r.time_ns / 1000.0);
+            println!();
+            for (name, value) in r.events.named() {
+                if value != 0.0 {
+                    println!("  {name:<26} {value:>14.0}");
+                }
+            }
+        }
+        Command::Dump { kernel, scale, moves } => {
+            let kt = load_kernel(&kernel, scale);
+            let pm = apply_moves(&kt, kt.default_placement(), &moves);
+            let ct = materialize(&kt, &pm, &cfg).unwrap_or_else(|e| {
+                eprintln!("invalid placement: {e}");
+                std::process::exit(2);
+            });
+            print!("{}", hms_trace::dump(&ct));
+        }
+        Command::Predict { kernel, scale, moves, train } => {
+            if moves.is_empty() {
+                eprintln!("predict needs at least one --move");
+                std::process::exit(2);
+            }
+            let kt = load_kernel(&kernel, scale);
+            let sample = kt.default_placement();
+            let target = apply_moves(&kt, sample.clone(), &moves);
+            let p = predictor(&cfg, train);
+            let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
+            let pred = p.predict(&profile, &target).unwrap_or_else(|e| {
+                eprintln!("invalid placement: {e}");
+                std::process::exit(2);
+            });
+            let measured = {
+                let ct = materialize(&kt, &target, &cfg).expect("valid");
+                simulate_default(&ct, &cfg).expect("simulates").cycles
+            };
+            println!("sample placement:  {}", sample.describe(&kt.arrays));
+            println!("target placement:  {}", target.describe(&kt.arrays));
+            println!("sample measured:   {} cycles", profile.measured_cycles);
+            println!(
+                "target predicted:  {:.0} cycles  (T_comp {:.0} + T_mem {:.0} - T_overlap {:.0})",
+                pred.cycles, pred.t_comp, pred.t_mem, pred.t_overlap
+            );
+            println!("target measured:   {measured} cycles (verification run)");
+            println!("prediction error:  {:.1}%", (pred.cycles / measured as f64 - 1.0).abs() * 100.0);
+        }
+        Command::Advise { kernel, scale, train, top } => {
+            let kt = load_kernel(&kernel, scale);
+            let sample = kt.default_placement();
+            let p = predictor(&cfg, train);
+            let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
+            let candidates: Vec<ArrayId> =
+                kt.arrays.iter().filter(|a| !a.written).map(|a| a.id).collect();
+            let placements =
+                enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
+            let ranked = rank_placements(&p, &profile, &placements).expect("predicts");
+            println!(
+                "{} legal placements over {} candidate arrays; top {top}:",
+                ranked.len(),
+                candidates.len()
+            );
+            for r in ranked.iter().take(top) {
+                println!(
+                    "  {:<44} predicted {:>10.0} cycles",
+                    r.placement.describe(&kt.arrays),
+                    r.predicted_cycles
+                );
+            }
+        }
+    }
+}

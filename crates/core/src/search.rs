@@ -1,0 +1,133 @@
+//! Placement-space enumeration and model-driven ranking.
+//!
+//! "In theory, to decide data placement of n data objects on m
+//! programmable memory components there are m^n possible data
+//! placements, subject to the limitation of memory capacities and
+//! read/write properties." The models make exhausting that space cheap:
+//! one profiled sample run, then one analytical evaluation per
+//! candidate.
+
+use hms_types::{ArrayDef, ArrayId, GpuConfig, HmsError, MemorySpace, PlacementMap};
+
+use crate::predictor::Predictor;
+use crate::profile::Profile;
+
+/// Enumerate every *legal* placement of `candidates` (other arrays stay
+/// as in `base`), bounded by `limit` to keep pathological spaces in
+/// check.
+pub fn enumerate_placements(
+    arrays: &[ArrayDef],
+    base: &PlacementMap,
+    candidates: &[ArrayId],
+    cfg: &GpuConfig,
+    limit: usize,
+) -> Vec<PlacementMap> {
+    let mut out = Vec::new();
+    let spaces = MemorySpace::ALL;
+    let mut stack: Vec<PlacementMap> = vec![base.clone()];
+    for &array in candidates {
+        let mut next = Vec::new();
+        for pm in &stack {
+            for space in spaces {
+                let cand = pm.with(array, space);
+                // Quick per-array legality; full validation below.
+                if cand.validate(arrays, cfg).is_ok() {
+                    next.push(cand);
+                    if next.len() >= limit {
+                        break;
+                    }
+                }
+            }
+            if next.len() >= limit {
+                break;
+            }
+        }
+        stack = next;
+    }
+    out.extend(stack);
+    out.truncate(limit);
+    out.sort_by_key(|p| p.iter().map(|(_, s)| s.short().to_owned()).collect::<Vec<_>>());
+    out.dedup();
+    out
+}
+
+/// One ranked candidate.
+#[derive(Debug, Clone)]
+pub struct RankedPlacement {
+    pub placement: PlacementMap,
+    pub predicted_cycles: f64,
+}
+
+/// Predict every candidate placement and rank ascending by predicted
+/// time (best first).
+pub fn rank_placements(
+    predictor: &Predictor,
+    profile: &Profile,
+    candidates: &[PlacementMap],
+) -> Result<Vec<RankedPlacement>, HmsError> {
+    let mut ranked = Vec::with_capacity(candidates.len());
+    for pm in candidates {
+        let pred = predictor.predict(profile, pm)?;
+        ranked.push(RankedPlacement { placement: pm.clone(), predicted_cycles: pred.cycles });
+    }
+    ranked.sort_by(|a, b| {
+        a.predicted_cycles.partial_cmp(&b.predicted_cycles).expect("finite predictions")
+    });
+    Ok(ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_sample;
+    use hms_kernels::{vecadd, Scale};
+
+    #[test]
+    fn enumeration_respects_legality() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        // Candidate: array 2 ("v") is written -> only global/shared are
+        // legal; 1-D shape forbids Texture2D anyway.
+        let all = enumerate_placements(&kt.arrays, &base, &[ArrayId(2)], &cfg, 100);
+        assert_eq!(all.len(), 2);
+        for pm in &all {
+            assert!(pm.validate(&kt.arrays, &cfg).is_ok());
+        }
+    }
+
+    #[test]
+    fn enumeration_is_combinatorial_over_candidates() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        // a and b are read-only 1-D arrays: legal spaces are G, T, C, S
+        // (4 each) -> 16 combinations.
+        let all = enumerate_placements(&kt.arrays, &base, &[ArrayId(0), ArrayId(1)], &cfg, 100);
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        let all = enumerate_placements(&kt.arrays, &base, &[ArrayId(0), ArrayId(1)], &cfg, 5);
+        assert!(all.len() <= 5);
+    }
+
+    #[test]
+    fn ranking_orders_by_prediction() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let candidates = enumerate_placements(&kt.arrays, &base, &[ArrayId(0)], &cfg, 100);
+        let predictor = Predictor::new(cfg);
+        let ranked = rank_placements(&predictor, &profile, &candidates).unwrap();
+        assert_eq!(ranked.len(), candidates.len());
+        for w in ranked.windows(2) {
+            assert!(w[0].predicted_cycles <= w[1].predicted_cycles);
+        }
+    }
+}

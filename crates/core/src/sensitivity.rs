@@ -1,0 +1,179 @@
+//! Sensitivity analysis: how robust is a placement decision to the
+//! model's calibrated constants?
+//!
+//! The paper's model inherits measured constants (row-buffer latencies,
+//! the L2 hit latency, the warp ILP). A placement recommendation is only
+//! trustworthy if it survives perturbation of those constants — this
+//! module sweeps them and reports whether the *ranking* of candidate
+//! placements changes, which is the model's actual decision output.
+
+use hms_types::{GpuConfig, HmsError, PlacementMap};
+
+use crate::predictor::Predictor;
+use crate::profile::Profile;
+
+/// A single knob the sweep can perturb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Knob {
+    /// Scale all three row-buffer service latencies.
+    DramLatency,
+    /// Scale the L2 hit latency (and with it every off-chip hit path).
+    L2HitLatency,
+    /// Scale the shared-memory latency.
+    SharedLatency,
+    /// Scale the assumed warp-local ILP of Eq. 14.
+    WarpIlp,
+}
+
+impl Knob {
+    pub const ALL: [Knob; 4] =
+        [Knob::DramLatency, Knob::L2HitLatency, Knob::SharedLatency, Knob::WarpIlp];
+
+    /// Apply a multiplicative factor to this knob in a copied config.
+    pub fn apply(self, cfg: &GpuConfig, factor: f64) -> GpuConfig {
+        let mut c = cfg.clone();
+        let scale = |x: u64| ((x as f64) * factor).round().max(1.0) as u64;
+        match self {
+            Knob::DramLatency => {
+                c.dram.hit_cycles = scale(c.dram.hit_cycles);
+                c.dram.miss_cycles = scale(c.dram.miss_cycles);
+                c.dram.conflict_cycles = scale(c.dram.conflict_cycles);
+            }
+            Knob::L2HitLatency => c.l2_hit_lat = scale(c.l2_hit_lat),
+            Knob::SharedLatency => c.shared_lat = scale(c.shared_lat),
+            Knob::WarpIlp => c.warp_ilp = (c.warp_ilp * factor).max(0.5),
+        }
+        c
+    }
+}
+
+/// Result of one sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct SensitivityReport {
+    pub knob: Knob,
+    /// `(factor, predicted cycles per candidate)` per sweep point.
+    pub points: Vec<(f64, Vec<f64>)>,
+    /// Whether the argmin candidate stayed the same across the sweep.
+    pub winner_stable: bool,
+}
+
+/// Sweep `knob` over `factors` and re-predict every candidate placement.
+///
+/// The predictor's trained overlap model and the profile are held fixed;
+/// only the analytic constants move — isolating the decision's
+/// sensitivity to calibration error.
+pub fn sweep(
+    predictor: &Predictor,
+    profile: &Profile,
+    candidates: &[PlacementMap],
+    knob: Knob,
+    factors: &[f64],
+) -> Result<SensitivityReport, HmsError> {
+    if candidates.is_empty() {
+        return Err(HmsError::InvalidInput("no candidate placements".into()));
+    }
+    let mut points = Vec::with_capacity(factors.len());
+    let mut winners = Vec::new();
+    for &f in factors {
+        let cfg = knob.apply(&predictor.cfg, f);
+        let p = Predictor {
+            cfg,
+            options: predictor.options,
+            overlap: predictor.overlap.clone(),
+        };
+        let mut preds = Vec::with_capacity(candidates.len());
+        for pm in candidates {
+            preds.push(p.predict(profile, pm)?.cycles);
+        }
+        let winner = preds
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        winners.push(winner);
+        points.push((f, preds));
+    }
+    let winner_stable = winners.windows(2).all(|w| w[0] == w[1]);
+    Ok(SensitivityReport { knob, points, winner_stable })
+}
+
+/// Convenience: sweep every knob over +-`spread` (e.g. 0.25 for +-25%)
+/// and report which knobs can flip the recommended placement.
+pub fn stability(
+    predictor: &Predictor,
+    profile: &Profile,
+    candidates: &[PlacementMap],
+    spread: f64,
+) -> Result<Vec<SensitivityReport>, HmsError> {
+    let factors = [1.0 - spread, 1.0, 1.0 + spread];
+    Knob::ALL
+        .iter()
+        .map(|&k| sweep(predictor, profile, candidates, k, &factors))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_sample;
+    use hms_kernels::{vecadd, Scale};
+    use hms_types::{ArrayId, MemorySpace};
+
+    fn setup() -> (Predictor, Profile, Vec<PlacementMap>) {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let sample = kt.default_placement();
+        let profile = profile_sample(&kt, &sample, &cfg).unwrap();
+        let candidates = vec![
+            sample.clone(),
+            sample.with(ArrayId(0), MemorySpace::Texture1D),
+            sample.with(ArrayId(0), MemorySpace::Constant),
+        ];
+        (Predictor::new(cfg), profile, candidates)
+    }
+
+    #[test]
+    fn knobs_scale_the_right_fields() {
+        let cfg = GpuConfig::tesla_k80();
+        let c = Knob::DramLatency.apply(&cfg, 2.0);
+        assert_eq!(c.dram.hit_cycles, cfg.dram.hit_cycles * 2);
+        assert_eq!(c.l2_hit_lat, cfg.l2_hit_lat);
+        let c = Knob::L2HitLatency.apply(&cfg, 0.5);
+        assert_eq!(c.l2_hit_lat, cfg.l2_hit_lat / 2);
+        let c = Knob::WarpIlp.apply(&cfg, 2.0);
+        assert!((c.warp_ilp - cfg.warp_ilp * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_dram_response() {
+        let (p, profile, candidates) = setup();
+        let r = sweep(&p, &profile, &candidates, Knob::DramLatency, &[0.5, 1.0, 2.0]).unwrap();
+        assert_eq!(r.points.len(), 3);
+        // Higher DRAM latency must not *decrease* the prediction for the
+        // all-global placement (index 0).
+        let series: Vec<f64> = r.points.iter().map(|(_, v)| v[0]).collect();
+        assert!(series[0] <= series[1] + 1e-9);
+        assert!(series[1] <= series[2] + 1e-9);
+    }
+
+    #[test]
+    fn stability_covers_every_knob() {
+        let (p, profile, candidates) = setup();
+        let reports = stability(&p, &profile, &candidates, 0.25).unwrap();
+        assert_eq!(reports.len(), Knob::ALL.len());
+        for r in &reports {
+            assert_eq!(r.points.len(), 3);
+            for (_, preds) in &r.points {
+                assert_eq!(preds.len(), candidates.len());
+                assert!(preds.iter().all(|x| x.is_finite() && *x > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let (p, profile, _) = setup();
+        assert!(sweep(&p, &profile, &[], Knob::WarpIlp, &[1.0]).is_err());
+    }
+}

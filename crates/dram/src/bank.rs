@@ -1,0 +1,144 @@
+//! One GDDR5 bank: a row buffer plus a busy-until timestamp.
+//!
+//! "For any memory request, a row of data is first read into a row buffer
+//! associated with each bank. If the request is to a currently open row
+//! (a row buffer hit), then the data is directly serviced from the row
+//! buffer. If the request is not to a currently open row, the memory
+//! controller has to write back data in the open row and fetch a new row,
+//! which causes longer access latency." (paper Section II-A.)
+
+use hms_types::DramTimingConfig;
+
+/// Outcome class of one bank access, ordered by service time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Requested row is open in the row buffer — shortest latency.
+    Hit,
+    /// No row open (first touch of the bank) — the paper's "row buffer
+    /// miss" without a conflict.
+    Miss,
+    /// A *different* row is open: write-back + activate — the paper's "row
+    /// conflict", the longest latency of all memory requests.
+    Conflict,
+}
+
+impl AccessKind {
+    /// Service time of this outcome under `t`.
+    #[inline]
+    pub fn service_cycles(self, t: &DramTimingConfig) -> u64 {
+        match self {
+            AccessKind::Hit => t.hit_cycles,
+            AccessKind::Miss => t.miss_cycles,
+            AccessKind::Conflict => t.conflict_cycles,
+        }
+    }
+}
+
+/// Mutable state of one bank.
+#[derive(Debug, Clone, Default)]
+pub struct BankState {
+    /// Currently open row, if any.
+    pub open_row: Option<u64>,
+    /// Cycle at which the bank finishes its last queued request.
+    pub free_at: u64,
+}
+
+impl BankState {
+    /// Classify an access to `row` against the current row-buffer state
+    /// *without* mutating it.
+    #[inline]
+    pub fn classify(&self, row: u64) -> AccessKind {
+        match self.open_row {
+            Some(open) if open == row => AccessKind::Hit,
+            Some(_) => AccessKind::Conflict,
+            None => AccessKind::Miss,
+        }
+    }
+
+    /// Service a request to `row` arriving at `arrival`: the request waits
+    /// until the bank is free (FIFO per-bank queue), then occupies the
+    /// bank for the row-buffer-dependent service time. Returns
+    /// `(completion_cycle, kind, queuing_delay)`.
+    pub fn service(
+        &mut self,
+        arrival: u64,
+        row: u64,
+        t: &DramTimingConfig,
+    ) -> (u64, AccessKind, u64) {
+        let kind = self.classify(row);
+        let start = arrival.max(self.free_at);
+        let queuing = start - arrival;
+        let done = start + kind.service_cycles(t);
+        self.free_at = done;
+        self.open_row = Some(row);
+        (done, kind, queuing)
+    }
+
+    /// Close the open row (models a refresh or explicit precharge between
+    /// probe rounds in Algorithm 1).
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_types::GpuConfig;
+
+    fn timing() -> DramTimingConfig {
+        GpuConfig::tesla_k80().dram
+    }
+
+    #[test]
+    fn first_touch_is_miss_then_hit() {
+        let t = timing();
+        let mut b = BankState::default();
+        let (done, kind, q) = b.service(0, 7, &t);
+        assert_eq!(kind, AccessKind::Miss);
+        assert_eq!(done, t.miss_cycles);
+        assert_eq!(q, 0);
+        // Same row again: hit, queued behind the first.
+        let (done2, kind2, q2) = b.service(0, 7, &t);
+        assert_eq!(kind2, AccessKind::Hit);
+        assert_eq!(q2, t.miss_cycles);
+        assert_eq!(done2, t.miss_cycles + t.hit_cycles);
+    }
+
+    #[test]
+    fn different_row_is_conflict() {
+        let t = timing();
+        let mut b = BankState::default();
+        b.service(0, 1, &t);
+        let (_, kind, _) = b.service(10_000, 2, &t);
+        assert_eq!(kind, AccessKind::Conflict);
+        assert_eq!(b.open_row, Some(2));
+    }
+
+    #[test]
+    fn idle_bank_has_no_queuing_delay() {
+        let t = timing();
+        let mut b = BankState::default();
+        b.service(0, 1, &t);
+        // Arrive long after the bank drained.
+        let (_, _, q) = b.service(1_000_000, 1, &t);
+        assert_eq!(q, 0);
+    }
+
+    #[test]
+    fn precharge_turns_hit_into_miss() {
+        let t = timing();
+        let mut b = BankState::default();
+        b.service(0, 3, &t);
+        b.precharge();
+        assert_eq!(b.classify(3), AccessKind::Miss);
+    }
+
+    #[test]
+    fn latency_ordering_matches_paper() {
+        // hit < miss < conflict, the invariant Algorithm 1 relies on.
+        let t = timing();
+        assert!(AccessKind::Hit.service_cycles(&t) < AccessKind::Miss.service_cycles(&t));
+        assert!(AccessKind::Miss.service_cycles(&t) < AccessKind::Conflict.service_cycles(&t));
+    }
+}

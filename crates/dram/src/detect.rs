@@ -1,0 +1,189 @@
+//! The paper's **Algorithm 1**: black-box detection of the DRAM address
+//! mapping and of the row-buffer hit/miss/conflict latencies.
+//!
+//! For each address bit `x`, generate two addresses differing only in `x`
+//! and access them back to back on a quiet memory system:
+//!
+//! * the first access always misses (its bank was never touched);
+//! * if `x` is a **column** (or byte-offset) bit, the second access lands
+//!   in the same open row — a row-buffer **hit**, the shortest latency;
+//! * if `x` is a **row** bit, the second access conflicts with the open
+//!   row — the **longest** latency;
+//! * otherwise `x` selects a different **bank**, so the second access is
+//!   another plain miss (the middle latency).
+//!
+//! The probe only calls [`MemoryController::access`] — it never inspects
+//! the controller's mapping, exactly like the CUDA microbenchmark the
+//! paper runs with `ld.global.cs` uncached loads on a single thread.
+
+use crate::controller::MemoryController;
+
+/// Classification of one address bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitClass {
+    /// Flipping the bit keeps bank and row: column or byte-offset bit.
+    Column,
+    /// Flipping the bit keeps the bank but changes the row.
+    Row,
+    /// Flipping the bit changes the bank.
+    Bank,
+}
+
+/// Result of running Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedMapping {
+    /// Per-bit classification, index = bit position.
+    pub classes: Vec<BitClass>,
+    /// Observed row-buffer-hit latency (cycles, bus included).
+    pub hit_latency: u64,
+    /// Observed row-buffer-miss latency.
+    pub miss_latency: u64,
+    /// Observed row-conflict latency.
+    pub conflict_latency: u64,
+}
+
+impl DetectedMapping {
+    /// Bit positions classified as column/byte (the shortest-latency
+    /// group of the paper's step 11).
+    pub fn column_bits(&self) -> Vec<u32> {
+        self.bits_of(BitClass::Column)
+    }
+
+    /// Bit positions classified as row (the longest-latency group).
+    pub fn row_bits(&self) -> Vec<u32> {
+        self.bits_of(BitClass::Row)
+    }
+
+    /// Bit positions whose combination identifies a bank.
+    pub fn bank_bits(&self) -> Vec<u32> {
+        self.bits_of(BitClass::Bank)
+    }
+
+    fn bits_of(&self, class: BitClass) -> Vec<u32> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == class)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Run Algorithm 1 against a fresh controller produced by `make` for each
+/// probed bit (a fresh controller is the equivalent of the paper's fresh
+/// kernel launch: cold row buffers, idle queues).
+///
+/// `addr_bits` limits the probe to the meaningful address width.
+pub fn detect_mapping<F>(mut make: F, addr_bits: u32) -> DetectedMapping
+where
+    F: FnMut() -> MemoryController,
+{
+    assert!(addr_bits > 0 && addr_bits <= 48);
+    // Pass 1: collect (first, second) latency per bit.
+    let mut first_lat = Vec::with_capacity(addr_bits as usize);
+    let mut second_lat = Vec::with_capacity(addr_bits as usize);
+    for x in 0..addr_bits {
+        let mut ctl = make();
+        let a = 0u64;
+        let b = 1u64 << x;
+        let r1 = ctl.access(0, a);
+        // Quiet system: issue the second access only after the first
+        // completed, so queuing never pollutes the measurement.
+        let r2 = ctl.access(r1.complete_at, b);
+        first_lat.push(r1.latency);
+        second_lat.push(r2.latency);
+    }
+    // Pass 2 (paper step 11): classify bits into three groups by the
+    // second access's latency. The first access is always a miss, giving
+    // the miss reference directly.
+    let miss_latency = first_lat[0];
+    debug_assert!(first_lat.iter().all(|&l| l == miss_latency));
+    let shortest = *second_lat.iter().min().expect("probed at least one bit");
+    let longest = *second_lat.iter().max().expect("probed at least one bit");
+    let classes = second_lat
+        .iter()
+        .map(|&l| {
+            if l == shortest && shortest < miss_latency {
+                BitClass::Column
+            } else if l == longest && longest > miss_latency {
+                BitClass::Row
+            } else {
+                BitClass::Bank
+            }
+        })
+        .collect();
+    DetectedMapping {
+        classes,
+        hit_latency: shortest,
+        miss_latency,
+        conflict_latency: longest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AddressMapping;
+    use hms_types::GpuConfig;
+
+    fn probe(mapping: AddressMapping) -> DetectedMapping {
+        let timing = {
+            let mut t = GpuConfig::tesla_k80().dram;
+            // Match bank count to the mapping under test.
+            t.channels = 1;
+            t.banks_per_channel = mapping.total_banks;
+            t
+        };
+        let bits = mapping.addr_bits;
+        detect_mapping(|| MemoryController::new(mapping.clone(), timing, false), bits)
+    }
+
+    #[test]
+    fn recovers_k80_like_mapping() {
+        let truth = AddressMapping::k80_like(96);
+        let d = probe(truth.clone());
+        // Columns: the true column bits plus the byte-offset bits.
+        let mut expected_cols: Vec<u32> = (0..truth.byte_bits).collect();
+        expected_cols.extend(&truth.col_bit_positions);
+        assert_eq!(d.column_bits(), expected_cols);
+        // Rows detected exactly.
+        assert_eq!(d.row_bits(), truth.row_bit_positions);
+        // Everything else identifies banks: bits 11–16 plus the top
+        // bit 31, which is neither byte, column, nor row in this layout.
+        assert_eq!(d.bank_bits(), vec![11, 12, 13, 14, 15, 16, 31]);
+    }
+
+    #[test]
+    fn recovers_paper_reported_mapping() {
+        // The exotic layout the paper reports (rows 8–21, cols 30–32,
+        // bytes 0–2) is detected just as well — the algorithm never
+        // assumes bit ordering.
+        let truth = AddressMapping::paper_k80(96);
+        let d = probe(truth.clone());
+        let mut expected_cols: Vec<u32> = (0..3).collect();
+        expected_cols.extend(&truth.col_bit_positions);
+        assert_eq!(d.column_bits(), expected_cols);
+        assert_eq!(d.row_bits(), truth.row_bit_positions);
+    }
+
+    #[test]
+    fn measures_latencies_in_order() {
+        let d = probe(AddressMapping::k80_like(96));
+        assert!(d.hit_latency < d.miss_latency);
+        assert!(d.miss_latency < d.conflict_latency);
+        // With the default K80 timing the measured values are the
+        // configured service times plus one channel burst.
+        let t = GpuConfig::tesla_k80().dram;
+        assert_eq!(d.hit_latency, t.hit_cycles + t.burst_cycles);
+        assert_eq!(d.miss_latency, t.miss_cycles + t.burst_cycles);
+        assert_eq!(d.conflict_latency, t.conflict_cycles + t.burst_cycles);
+    }
+
+    #[test]
+    fn latency_ratio_matches_paper_measurement() {
+        // Paper: 352 ns hit vs 742 ns miss — "up to 110% difference".
+        let d = probe(AddressMapping::k80_like(96));
+        let ratio = d.miss_latency as f64 / d.hit_latency as f64;
+        assert!(ratio > 2.0 && ratio < 2.2, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # hms-dram
+//!
+//! A GDDR5 off-chip memory model for a Kepler-class GPU, built to exercise
+//! every off-chip effect the paper's `T_mem` model captures:
+//!
+//! * an **address-mapping scheme** resolving a physical address into
+//!   channel/bank/row/column indexes ([`mapping`]);
+//! * **banks with row buffers** whose service time depends on row-buffer
+//!   hit, miss, or conflict ([`bank`]) — defaults match the paper's
+//!   measured 352/742/1008 ns;
+//! * **per-bank queues** at the memory controller, so concurrent requests
+//!   to a busy bank experience queuing delay ([`controller`]) — the
+//!   behaviour the paper models with a G/G/1 queue per bank;
+//! * the paper's **Algorithm 1**: a microbenchmark that probes an unknown
+//!   mapping one address bit at a time and classifies each bit as column,
+//!   row, or bank from the observed latency ([`detect`]).
+//!
+//! The controller also records per-bank arrival streams so the harness can
+//! reproduce Figure 4's inter-arrival distribution analysis.
+
+pub mod bank;
+pub mod controller;
+pub mod detect;
+pub mod mapping;
+pub mod sched;
+pub mod stats;
+
+pub use bank::{AccessKind, BankState};
+pub use controller::{DramRequestResult, MemoryController};
+pub use detect::{detect_mapping, BitClass, DetectedMapping};
+pub use mapping::{AddressMapping, DecodedAddr};
+pub use sched::{schedule_batch, BatchRequest, PagePolicy, SchedPolicy};
+pub use stats::DramStats;

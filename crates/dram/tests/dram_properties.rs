@@ -1,0 +1,107 @@
+//! Property tests for the DRAM model: latency bounds, FIFO causality,
+//! mapping decode consistency, and Algorithm-1 detection under random
+//! (but well-formed) hidden mappings.
+
+use proptest::prelude::*;
+
+use hms_dram::{
+    detect_mapping, AddressMapping, BitClass, MemoryController,
+};
+use hms_types::GpuConfig;
+
+fn timing() -> hms_types::DramTimingConfig {
+    GpuConfig::tesla_k80().dram
+}
+
+/// Strategy: a well-formed random mapping — byte bits at the bottom,
+/// then a shuffle-free split of the remaining bits into column, bank,
+/// and row fields of random widths.
+fn arb_mapping() -> impl Strategy<Value = AddressMapping> {
+    (2u32..6, 3u32..8, 2u32..7).prop_map(|(byte_bits, col_bits, bank_bits)| {
+        let col: Vec<u32> = (byte_bits..byte_bits + col_bits).collect();
+        let row_start = byte_bits + col_bits + bank_bits;
+        let row: Vec<u32> = (row_start..row_start + 8).collect();
+        let addr_bits = row_start + 8;
+        AddressMapping::new(addr_bits, byte_bits, col, row, 96)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every access latency is bounded below by hit+burst and above by
+    /// conflict service plus the total backlog of its bank.
+    #[test]
+    fn latency_bounds(addrs in prop::collection::vec(0u64..(1u64 << 28), 1..200)) {
+        let t = timing();
+        let mapping = AddressMapping::k80_like(t.total_banks());
+        let mut ctl = MemoryController::new(mapping, t, false);
+        let n = addrs.len() as u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            let r = ctl.access(i as u64, a);
+            prop_assert!(r.latency >= t.hit_cycles + t.burst_cycles);
+            prop_assert!(
+                r.latency <= (t.conflict_cycles + t.burst_cycles) * n,
+                "latency {} beyond total backlog", r.latency
+            );
+            prop_assert!(r.complete_at >= i as u64 + t.hit_cycles);
+            prop_assert!(r.bank < t.total_banks());
+        }
+        let stats = ctl.stats();
+        let (h, m, c) = stats.row_buffer_totals();
+        prop_assert_eq!(h + m + c, n);
+    }
+
+    /// Per-bank FIFO causality: completions at one bank are strictly
+    /// increasing in arrival order.
+    #[test]
+    fn per_bank_fifo_causality(addrs in prop::collection::vec(0u64..(1u64 << 26), 2..150)) {
+        let t = timing();
+        let mapping = AddressMapping::k80_like(t.total_banks());
+        let mut ctl = MemoryController::new(mapping.clone(), t, false);
+        let mut last_done = vec![0u64; t.total_banks() as usize];
+        for (i, &a) in addrs.iter().enumerate() {
+            let r = ctl.access(i as u64, a);
+            prop_assert!(r.complete_at > last_done[r.bank as usize]);
+            last_done[r.bank as usize] = r.complete_at;
+        }
+    }
+
+    /// Decode is stable and in-range for any mapping and address.
+    #[test]
+    fn decode_is_consistent(mapping in arb_mapping(), addr in any::<u64>()) {
+        let d1 = mapping.decode(addr);
+        let d2 = mapping.decode(addr);
+        prop_assert_eq!(d1, d2);
+        prop_assert!(d1.bank < mapping.total_banks);
+        prop_assert!(d1.col < mapping.columns());
+        // Byte bits never matter.
+        let d3 = mapping.decode(addr ^ 1);
+        prop_assert_eq!(d1.bank, d3.bank);
+        prop_assert_eq!(d1.row, d3.row);
+        prop_assert_eq!(d1.col, d3.col);
+    }
+
+    /// Algorithm 1 classifies the true column and row bits correctly for
+    /// any well-formed hidden mapping.
+    #[test]
+    fn detection_recovers_random_mappings(mapping in arb_mapping()) {
+        let mut t = timing();
+        t.channels = 1;
+        t.banks_per_channel = mapping.total_banks;
+        let bits = mapping.addr_bits;
+        let truth = mapping.clone();
+        let d = detect_mapping(
+            move || MemoryController::new(mapping.clone(), t, false),
+            bits,
+        );
+        for &c in &truth.col_bit_positions {
+            prop_assert_eq!(d.classes[c as usize], BitClass::Column, "col bit {}", c);
+        }
+        for &r in &truth.row_bit_positions {
+            prop_assert_eq!(d.classes[r as usize], BitClass::Row, "row bit {}", r);
+        }
+        prop_assert!(d.hit_latency < d.miss_latency);
+        prop_assert!(d.miss_latency < d.conflict_latency);
+    }
+}

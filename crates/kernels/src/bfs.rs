@@ -1,0 +1,116 @@
+//! SHOC `bfs` (`BFS_kernel_warp`): a frontier expansion step. Threads
+//! whose vertex is on the frontier walk its adjacency list in
+//! `edgeArray` and relax neighbor levels — heavily masked warps and
+//! irregular gathers. Table IV tests `edgeArray(G->T)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, load_masked, store_masked, tid_preamble, warp_tids};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (blocks, threads, max_degree, frontier_fraction) = match scale {
+        Scale::Test => (4u32, 64u32, 6u64, 0.4),
+        Scale::Full => (32u32, 128u32, 12u64, 0.3),
+    };
+    let vertices = u64::from(blocks) * u64::from(threads);
+    let edges = vertices * max_degree;
+    let mut rng = StdRng::seed_from_u64(0xBF5);
+    let on_frontier: Vec<bool> = (0..vertices).map(|_| rng.gen_bool(frontier_fraction)).collect();
+    let degree: Vec<u64> = (0..vertices).map(|_| rng.gen_range(1..=max_degree)).collect();
+    let neighbor: Vec<u64> = (0..edges).map(|_| rng.gen_range(0..vertices)).collect();
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "edgeArray", DType::U32, edges, false),
+        ArrayDef::new_1d(1, "levels", DType::U32, vertices, true),
+        ArrayDef::new_1d(2, "edgeOffsets", DType::U32, vertices + 1, false),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let mut ops = vec![tid_preamble()];
+            // Load own level + adjacency bounds (coalesced).
+            ops.push(addr(1));
+            ops.push(load(1, tids.iter().copied()));
+            ops.push(addr(2));
+            ops.push(load(2, tids.iter().copied()));
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::IntAlu(2)); // frontier test + loop bounds
+            for step in 0..max_degree {
+                // Lanes active only while on the frontier with edges left.
+                let edge_idx: Vec<Option<u64>> = tids
+                    .iter()
+                    .map(|&v| {
+                        (on_frontier[v as usize] && step < degree[v as usize])
+                            .then(|| v * max_degree + step)
+                    })
+                    .collect();
+                if edge_idx.iter().all(|e| e.is_none()) {
+                    continue;
+                }
+                ops.push(addr(0));
+                ops.push(load_masked(0, edge_idx.iter().copied()));
+                ops.push(SymOp::WaitLoads);
+                // Gather + relax the neighbor's level.
+                let neigh_idx: Vec<Option<u64>> = edge_idx
+                    .iter()
+                    .map(|oe| oe.map(|e| neighbor[e as usize]))
+                    .collect();
+                ops.push(addr(1));
+                ops.push(load_masked(1, neigh_idx.iter().copied()));
+                ops.push(SymOp::WaitLoads);
+                ops.push(SymOp::IntAlu(1)); // min(level, mine + 1)
+                ops.push(addr(1));
+                ops.push(store_masked(1, neigh_idx));
+            }
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "BFS_kernel_warp".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WARP;
+
+    #[test]
+    fn warps_are_partially_masked() {
+        let kt = build(Scale::Test);
+        let mut saw_partial = false;
+        for w in &kt.warps {
+            for op in &w.ops {
+                if let SymOp::Access(m) = op {
+                    if m.array.0 == 0 {
+                        let act = m.active_lanes();
+                        assert!(act >= 1);
+                        if act < WARP as u32 {
+                            saw_partial = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_partial, "frontier masking never kicked in");
+    }
+
+    #[test]
+    fn level_updates_follow_edge_loads() {
+        let kt = build(Scale::Test);
+        for w in &kt.warps {
+            let stores =
+                w.ops.iter().filter(|o| matches!(o, SymOp::Access(m) if m.is_store)).count();
+            let edge_loads = w
+                .ops
+                .iter()
+                .filter(|o| matches!(o, SymOp::Access(m) if !m.is_store && m.array.0 == 0))
+                .count();
+            assert_eq!(stores, edge_loads);
+        }
+    }
+}

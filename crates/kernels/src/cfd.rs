@@ -1,0 +1,111 @@
+//! Rodinia/SDK `cfd` (`cuda_compute_flux`): unstructured-mesh flux
+//! computation. Each cell loads its own five conserved `variables`,
+//! gathers the four surrounding cells' variables through the mesh
+//! connectivity, and does heavy floating-point work. Table IV tests
+//! `variables(G->T)` — gathers through a texture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, store, tid_preamble, warp_tids};
+use crate::Scale;
+
+/// Conserved variables per cell (density, 3x momentum, energy).
+const NVAR: u64 = 5;
+/// Faces per cell.
+const NNB: u64 = 4;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (blocks, threads) = match scale {
+        Scale::Test => (4u32, 64u32),
+        Scale::Full => (32u32, 128u32),
+    };
+    let cells = u64::from(blocks) * u64::from(threads);
+    let mut rng = StdRng::seed_from_u64(0xCFD);
+    // Mesh connectivity: neighbors cluster spatially.
+    let nb: Vec<u64> = (0..cells * NNB)
+        .map(|k| {
+            let i = k / NNB;
+            let off = rng.gen_range(-32i64..=32);
+            ((i as i64 + off).rem_euclid(cells as i64)) as u64
+        })
+        .collect();
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "variables", DType::F32, cells * NVAR, false),
+        ArrayDef::new_1d(1, "elements_surrounding", DType::U32, cells * NNB, false),
+        ArrayDef::new_1d(2, "normals", DType::F32, cells * NNB, false),
+        ArrayDef::new_1d(3, "fluxes", DType::F32, cells * NVAR, true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let mut ops = vec![tid_preamble()];
+            // Own variables: NVAR strided loads (SoA layout: v*cells + i).
+            for v in 0..NVAR {
+                let idx: Vec<u64> = tids.iter().map(|&i| v * cells + i).collect();
+                ops.push(addr(0));
+                ops.push(load(0, idx));
+            }
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::FpAlu(6)); // velocity, speed of sound
+            ops.push(SymOp::Sfu(1)); // sqrt
+            for f in 0..NNB {
+                // Connectivity + normals: coalesced (f*cells + i).
+                let con_idx: Vec<u64> = tids.iter().map(|&i| f * cells + i).collect();
+                ops.push(addr(1));
+                ops.push(load(1, con_idx.iter().copied()));
+                ops.push(addr(2));
+                ops.push(load(2, con_idx.iter().copied()));
+                ops.push(SymOp::WaitLoads);
+                // Gather the neighbor's five variables.
+                for v in 0..NVAR {
+                    let g: Vec<u64> = tids
+                        .iter()
+                        .map(|&i| v * cells + nb[(i * NNB + f) as usize])
+                        .collect();
+                    ops.push(addr(0));
+                    ops.push(load(0, g));
+                }
+                ops.push(SymOp::WaitLoads);
+                ops.push(SymOp::FpAlu(12)); // flux contribution
+            }
+            // Store the five flux components.
+            for v in 0..NVAR {
+                let idx: Vec<u64> = tids.iter().map(|&i| v * cells + i).collect();
+                ops.push(addr(3));
+                ops.push(store(3, idx));
+            }
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "cuda_compute_flux".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flux_kernel_is_memory_and_fp_heavy() {
+        let kt = build(Scale::Test);
+        let w = &kt.warps[0];
+        let loads =
+            w.ops.iter().filter(|o| matches!(o, SymOp::Access(m) if !m.is_store)).count() as u64;
+        // 5 own + per face (2 + 5 gathers) x 4 faces = 5 + 28 = 33.
+        assert_eq!(loads, 5 + NNB * (2 + NVAR));
+        let fp: u64 = w
+            .ops
+            .iter()
+            .map(|o| match o {
+                SymOp::FpAlu(n) => u64::from(*n),
+                _ => 0,
+            })
+            .sum();
+        assert!(fp >= 50);
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared helpers for the kernel generators.
+
+use hms_trace::{ElemIdx, MemRef, SymOp};
+use hms_types::ArrayId;
+
+/// Threads per warp used by every generator.
+pub const WARP: u64 = 32;
+
+/// The global thread ids of one warp (`block * threads + warp*32 + lane`).
+pub fn warp_tids(block: u32, warp: u32, block_threads: u32) -> impl Iterator<Item = u64> {
+    let base = u64::from(block) * u64::from(block_threads) + u64::from(warp) * WARP;
+    base..base + WARP
+}
+
+/// The canonical two-instruction thread-id preamble
+/// (`blockIdx.x * blockDim.x + threadIdx.x`).
+pub fn tid_preamble() -> SymOp {
+    SymOp::IntAlu(2)
+}
+
+/// An `AddrCalc` op for one upcoming reference to `array`.
+pub fn addr(array: u32) -> SymOp {
+    SymOp::AddrCalc { array: ArrayId(array), count: 1 }
+}
+
+/// A fully-active warp load of linear element indices.
+pub fn load(array: u32, idx: impl IntoIterator<Item = u64>) -> SymOp {
+    SymOp::Access(MemRef::load_lin(ArrayId(array), idx))
+}
+
+/// A warp load where each lane may be inactive.
+pub fn load_masked(array: u32, idx: impl IntoIterator<Item = Option<u64>>) -> SymOp {
+    SymOp::Access(MemRef::load(
+        ArrayId(array),
+        idx.into_iter().map(|o| o.map(ElemIdx::Lin)).collect(),
+    ))
+}
+
+/// A warp load of 2-D element coordinates.
+pub fn load_xy(array: u32, idx: impl IntoIterator<Item = (u64, u64)>) -> SymOp {
+    SymOp::Access(MemRef::load(
+        ArrayId(array),
+        idx.into_iter().map(|(x, y)| Some(ElemIdx::XY(x, y))).collect(),
+    ))
+}
+
+/// A uniform (broadcast) load: all 32 lanes read element `i`.
+pub fn load_uniform(array: u32, i: u64) -> SymOp {
+    SymOp::Access(MemRef::load(ArrayId(array), vec![Some(ElemIdx::Lin(i)); WARP as usize]))
+}
+
+/// A fully-active warp store of linear element indices.
+pub fn store(array: u32, idx: impl IntoIterator<Item = u64>) -> SymOp {
+    SymOp::Access(MemRef::store_lin(ArrayId(array), idx))
+}
+
+/// A warp store where each lane may be inactive.
+pub fn store_masked(array: u32, idx: impl IntoIterator<Item = Option<u64>>) -> SymOp {
+    SymOp::Access(MemRef::store(
+        ArrayId(array),
+        idx.into_iter().map(|o| o.map(ElemIdx::Lin)).collect(),
+    ))
+}
+
+/// A warp store of 2-D element coordinates.
+pub fn store_xy(array: u32, idx: impl IntoIterator<Item = (u64, u64)>) -> SymOp {
+    SymOp::Access(MemRef::store(
+        ArrayId(array),
+        idx.into_iter().map(|(x, y)| Some(ElemIdx::XY(x, y))).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_tids_are_contiguous() {
+        let tids: Vec<u64> = warp_tids(2, 1, 64).collect();
+        assert_eq!(tids[0], 2 * 64 + 32);
+        assert_eq!(tids.len(), 32);
+        assert_eq!(tids[31], tids[0] + 31);
+    }
+
+    #[test]
+    fn uniform_load_broadcasts() {
+        let SymOp::Access(m) = load_uniform(3, 7) else { panic!() };
+        assert_eq!(m.active_lanes(), 32);
+        assert!(m.idx.iter().all(|i| *i == Some(ElemIdx::Lin(7))));
+    }
+}

@@ -1,0 +1,149 @@
+//! CUDA SDK `convolutionSeparable`: the rows pass (`convo1`) and the
+//! columns pass (`convo2`).
+//!
+//! Both passes read a small coefficient array uniformly across lanes —
+//! the textbook constant-memory workload (the SDK keeps `c_Kernel` in
+//! constant memory; Table IV tests moving it to global and texture) —
+//! while the image `d_Src` is the texture-placement candidate
+//! (`d_Src(G->T)`, `d_Src(G->2T)`). The columns pass walks the image
+//! vertically, so its global-memory accesses coalesce per row but thrash
+//! caches across rows; the 2-D texture layout fixes that.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load_uniform, load_xy, store_xy, tid_preamble, WARP};
+use crate::Scale;
+
+/// Half-width of the separable filter (kernel length = 2R + 1).
+pub const RADIUS: u64 = 4;
+
+fn build_pass(name: &str, vertical: bool, scale: Scale) -> KernelTrace {
+    let (dim, rows_per_block) = match scale {
+        Scale::Test => (64u64, 4u32),
+        Scale::Full => (160u64, 8u32),
+    };
+    let klen = 2 * RADIUS + 1;
+    let tiles_x = dim / WARP;
+    let tiles_y = dim / u64::from(rows_per_block);
+    let blocks = (tiles_x * tiles_y) as u32;
+    let geometry = Geometry::new(blocks, 32 * rows_per_block);
+    let arrays = vec![
+        ArrayDef::new_2d(0, "d_Src", DType::F32, dim, dim, false),
+        ArrayDef::new_1d(1, "c_Kernel", DType::F32, klen, false),
+        ArrayDef::new_2d(2, "d_Dst", DType::F32, dim, dim, true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        let bx = (u64::from(block) % tiles_x) * WARP;
+        let by = (u64::from(block) / tiles_x) * u64::from(rows_per_block);
+        for warp in 0..geometry.warps_per_block() {
+            let y = by + u64::from(warp);
+            let mut ops = vec![tid_preamble(), SymOp::IntAlu(2)];
+            for k in 0..klen {
+                let off = k as i64 - RADIUS as i64;
+                let taps: Vec<(u64, u64)> = (0..WARP)
+                    .map(|l| {
+                        let (mut x, mut ty) = (bx + l, y);
+                        if vertical {
+                            ty = (ty as i64 + off).clamp(0, dim as i64 - 1) as u64;
+                        } else {
+                            x = (x as i64 + off).clamp(0, dim as i64 - 1) as u64;
+                        }
+                        (x, ty)
+                    })
+                    .collect();
+                ops.push(addr(0));
+                ops.push(load_xy(0, taps));
+                // The coefficient index is loop-invariant per iteration:
+                // a uniform broadcast read.
+                ops.push(addr(1));
+                ops.push(load_uniform(1, k));
+                ops.push(SymOp::WaitLoads);
+                ops.push(SymOp::FpAlu(1)); // fma into the accumulator
+            }
+            let out: Vec<(u64, u64)> = (0..WARP).map(|l| (bx + l, y)).collect();
+            ops.push(addr(2));
+            ops.push(store_xy(2, out));
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: name.into(), arrays, geometry, warps }
+}
+
+/// The rows pass (`convolutionRowsKernel`, "convo1").
+pub fn build_rows(scale: Scale) -> KernelTrace {
+    build_pass("convolutionRowsKernel", false, scale)
+}
+
+/// The columns pass (`convolutionColumnsKernel`, "convo2").
+pub fn build_cols(scale: Scale) -> KernelTrace {
+    build_pass("convolutionColumnsKernel", true, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_trace::{ElemIdx, MemRef};
+
+    fn kernel_loads(kt: &KernelTrace) -> Vec<&MemRef> {
+        kt.warps[0]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                SymOp::Access(m) if !m.is_store && m.array.0 == 1 => Some(m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coefficient_reads_are_uniform() {
+        let kt = build_rows(Scale::Test);
+        let loads = kernel_loads(&kt);
+        assert_eq!(loads.len() as u64, 2 * RADIUS + 1);
+        for m in loads {
+            let first = m.idx[0];
+            assert!(m.idx.iter().all(|i| *i == first));
+        }
+    }
+
+    #[test]
+    fn passes_differ_in_walk_direction() {
+        let rows = build_rows(Scale::Test);
+        let cols = build_cols(Scale::Test);
+        let first_tap = |kt: &KernelTrace| -> (u64, u64) {
+            for op in &kt.warps[0].ops {
+                if let SymOp::Access(m) = op {
+                    if m.array.0 == 0 {
+                        let Some(ElemIdx::XY(x, y)) = m.idx[0] else { panic!() };
+                        return (x, y);
+                    }
+                }
+            }
+            panic!("no src load")
+        };
+        // k = 0 means offset -RADIUS: horizontal for rows, vertical for
+        // cols (clamped at the border).
+        assert_eq!(first_tap(&rows), (0, 0));
+        assert_eq!(first_tap(&cols), (0, 0));
+        // Check an interior warp instead.
+        let interior = |kt: &KernelTrace| -> Vec<(u64, u64)> {
+            let w = &kt.warps[kt.warps.len() - 1];
+            w.ops
+                .iter()
+                .filter_map(|op| match op {
+                    SymOp::Access(m) if m.array.0 == 0 => {
+                        let Some(ElemIdx::XY(x, y)) = m.idx[0] else { panic!() };
+                        Some((x, y))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        let r = interior(&rows);
+        let c = interior(&cols);
+        assert!(r.windows(2).all(|w| w[0].1 == w[1].1), "rows pass fixes y");
+        assert!(c.windows(2).all(|w| w[0].0 == w[1].0), "cols pass fixes x");
+    }
+}

@@ -1,0 +1,128 @@
+//! SHOC `fft` (`FFT512_device`): each block transforms 512 points,
+//! staging them through the scratch buffer `smem` with *strided*
+//! shared-memory accesses — the bank-conflict-heavy pattern that makes
+//! Table IV's `FFT512_device[smem(S->G)]` placement test interesting:
+//! moving the staging buffer to global memory trades bank-conflict
+//! replays for off-chip traffic.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, store, tid_preamble, WARP};
+use crate::Scale;
+
+/// Points per block.
+pub const POINTS: u64 = 512;
+/// Threads per block (each handles 8 points, as in SHOC).
+const THREADS: u32 = 64;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let blocks: u32 = match scale {
+        Scale::Test => 4,
+        Scale::Full => 48,
+    };
+    let n = POINTS * u64::from(blocks);
+    let geometry = Geometry::new(blocks, THREADS);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "work", DType::F32, n, true),
+        // +padding column in real SHOC; conflicts are the point here.
+        ArrayDef::new_1d(1, "smem", DType::F32, POINTS, true).scratch().per_block(),
+    ];
+    let per_thread = POINTS / u64::from(THREADS); // 8
+    let stages = [1u64, 8, 64]; // radix-8 stage strides within 512
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        let gbase = u64::from(block) * POINTS;
+        for warp in 0..geometry.warps_per_block() {
+            let lane0 = u64::from(warp) * WARP;
+            let mut ops = vec![tid_preamble()];
+            // Load 8 points per thread, coalesced from global.
+            for p in 0..per_thread {
+                let idx: Vec<u64> =
+                    (0..WARP).map(|l| gbase + p * u64::from(THREADS) + lane0 + l).collect();
+                ops.push(addr(0));
+                ops.push(load(0, idx));
+            }
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::FpAlu(8)); // radix-8 butterfly on registers
+            for (s, &stride) in stages.iter().enumerate() {
+                // Exchange through the staging buffer with a
+                // stage-dependent stride: stride 8 and 64 collide in the
+                // 32-bank layout (bank conflicts), stride 1 does not.
+                for p in 0..per_thread {
+                    let idx: Vec<u64> = (0..WARP)
+                        .map(|l| {
+                            let t = lane0 + l; // thread id in block
+                            (t * stride + p * u64::from(THREADS) * stride) % POINTS
+                        })
+                        .collect();
+                    ops.push(addr(1));
+                    ops.push(store(1, idx));
+                }
+                ops.push(SymOp::SyncThreads);
+                for p in 0..per_thread {
+                    let idx: Vec<u64> = (0..WARP)
+                        .map(|l| {
+                            let t = lane0 + l;
+                            (t + p * u64::from(THREADS) + s as u64 * 16) % POINTS
+                        })
+                        .collect();
+                    ops.push(addr(1));
+                    ops.push(load(1, idx));
+                }
+                ops.push(SymOp::WaitLoads);
+                ops.push(SymOp::Sfu(2)); // twiddle sin/cos
+                ops.push(SymOp::FpAlu(8));
+                ops.push(SymOp::SyncThreads);
+            }
+            // Write results back, coalesced.
+            for p in 0..per_thread {
+                let idx: Vec<u64> =
+                    (0..WARP).map(|l| gbase + p * u64::from(THREADS) + lane0 + l).collect();
+                ops.push(addr(0));
+                ops.push(store(0, idx));
+            }
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "FFT512_device".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_cache::shared_conflict_passes;
+    use hms_trace::ElemIdx;
+
+    #[test]
+    fn strided_stage_conflicts_in_shared_banks() {
+        let kt = build(Scale::Test);
+        // Find a store to smem with stride 8: words 8 apart in 32 banks
+        // collide 8 ways (8*4B steps => every 4th bank, 8 lanes per bank).
+        let mut worst = 1;
+        for op in &kt.warps[0].ops {
+            if let SymOp::Access(m) = op {
+                if m.array.0 == 1 {
+                    let addrs: Vec<u64> = m
+                        .idx
+                        .iter()
+                        .flatten()
+                        .map(|i| {
+                            let ElemIdx::Lin(i) = i else { panic!() };
+                            i * 4
+                        })
+                        .collect();
+                    worst = worst.max(shared_conflict_passes(&addrs, 32));
+                }
+            }
+        }
+        assert!(worst >= 8, "expected >=8-way conflicts, got {worst}");
+    }
+
+    #[test]
+    fn smem_is_scratch() {
+        let kt = build(Scale::Test);
+        assert!(kt.arrays[1].scratch);
+        assert!(kt.arrays[1].per_block);
+    }
+}

@@ -1,0 +1,119 @@
+//! CUDA SDK `matrixMul`: tiled matrix multiply with shared-memory
+//! staging tiles `As`/`Bs`.
+//!
+//! The SDK default keeps the tiles in shared memory; Table IV explores
+//! moving the input operands `A` and `B` into 1-D and 2-D texture
+//! memory. The `B` operand's tile loads walk columns of a row-major
+//! matrix — the access the 2-D texture layout accelerates.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, load_xy, store, store_xy, WARP};
+use crate::Scale;
+
+/// Tile edge (threads per block = TILE x TILE / how we map warps).
+pub const TILE: u64 = 16;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let n: u64 = match scale {
+        Scale::Test => 32,
+        Scale::Full => 128,
+    };
+    build_sized(n)
+}
+
+/// [`build`] at an explicit matrix edge (`n` must be a multiple of [`TILE`]).
+pub fn build_sized(n: u64) -> KernelTrace {
+    let tiles = n / TILE;
+    let blocks = (tiles * tiles) as u32;
+    // One block computes a TILE x TILE output tile with TILE*TILE = 256
+    // threads = 8 warps (2 rows of the tile per warp at TILE=16).
+    let threads = (TILE * TILE) as u32;
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_2d(0, "A", DType::F32, n, n, false),
+        ArrayDef::new_2d(1, "B", DType::F32, n, n, false),
+        ArrayDef::new_2d(2, "C", DType::F32, n, n, true),
+        ArrayDef::new_1d(3, "As", DType::F32, TILE * TILE, true).scratch().per_block(),
+        ArrayDef::new_1d(4, "Bs", DType::F32, TILE * TILE, true).scratch().per_block(),
+    ];
+    let rows_per_warp = WARP / TILE; // 2
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        let tx = (u64::from(block) % tiles) * TILE;
+        let ty = (u64::from(block) / tiles) * TILE;
+        for warp in 0..geometry.warps_per_block() {
+            let r0 = u64::from(warp) * rows_per_warp; // first tile row of this warp
+            let mut ops = vec![SymOp::IntAlu(4)]; // 2-D thread-id setup
+            for t in 0..tiles {
+                // Stage A(ty + r, t*TILE + c) and B(t*TILE + r, tx + c).
+                let a_coords: Vec<(u64, u64)> = (0..WARP)
+                    .map(|l| (t * TILE + l % TILE, ty + r0 + l / TILE))
+                    .collect();
+                let b_coords: Vec<(u64, u64)> = (0..WARP)
+                    .map(|l| (tx + l % TILE, t * TILE + r0 + l / TILE))
+                    .collect();
+                let tile_idx: Vec<u64> = (0..WARP).map(|l| (r0 + l / TILE) * TILE + l % TILE).collect();
+                ops.push(addr(0));
+                ops.push(load_xy(0, a_coords));
+                ops.push(addr(1));
+                ops.push(load_xy(1, b_coords));
+                ops.push(SymOp::WaitLoads);
+                ops.push(addr(3));
+                ops.push(store(3, tile_idx.iter().copied()));
+                ops.push(addr(4));
+                ops.push(store(4, tile_idx.iter().copied()));
+                ops.push(SymOp::SyncThreads);
+                // Inner product over the staged tile.
+                for k in 0..TILE {
+                    let as_idx: Vec<u64> = (0..WARP).map(|l| (r0 + l / TILE) * TILE + k).collect();
+                    let bs_idx: Vec<u64> = (0..WARP).map(|l| k * TILE + l % TILE).collect();
+                    ops.push(addr(3));
+                    ops.push(load(3, as_idx));
+                    ops.push(addr(4));
+                    ops.push(load(4, bs_idx));
+                    ops.push(SymOp::WaitLoads);
+                    ops.push(SymOp::FpAlu(1)); // fma
+                }
+                ops.push(SymOp::SyncThreads);
+            }
+            let c_coords: Vec<(u64, u64)> =
+                (0..WARP).map(|l| (tx + l % TILE, ty + r0 + l / TILE)).collect();
+            ops.push(addr(2));
+            ops.push(store_xy(2, c_coords));
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "matrixMul".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_are_block_scoped_scratch() {
+        let kt = build(Scale::Test);
+        assert!(kt.arrays[3].scratch && kt.arrays[3].per_block);
+        assert!(kt.arrays[4].scratch && kt.arrays[4].per_block);
+    }
+
+    #[test]
+    fn inner_product_structure() {
+        let kt = build(Scale::Test);
+        let syncs =
+            kt.warps[0].ops.iter().filter(|o| matches!(o, SymOp::SyncThreads)).count() as u64;
+        let tiles = 32 / TILE;
+        assert_eq!(syncs, 2 * tiles);
+        let fmas: u64 = kt.warps[0]
+            .ops
+            .iter()
+            .map(|o| match o {
+                SymOp::FpAlu(n) => u64::from(*n),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(fmas, tiles * TILE);
+    }
+}

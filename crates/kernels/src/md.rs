@@ -1,0 +1,139 @@
+//! SHOC `md` (`compute_lj_force`): Lennard-Jones forces over a neighbor
+//! list. The neighbor-index loads are coalesced (`neighList[j*N + i]`)
+//! but the position gathers they drive are scattered — which is why the
+//! SHOC sample placement binds `d_position` to a texture and Table IV
+//! explores `d_position(T->G)` and `neighList(G->T)` moves. The gather
+//! clumps also make md the paper's poster child for bursty DRAM arrivals
+//! (Figure 4: mean per-bank `c_a` approximately 2.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, store, tid_preamble, warp_tids};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (blocks, threads, neighbors) = match scale {
+        Scale::Test => (4u32, 64u32, 6u64),
+        Scale::Full => (32u32, 128u32, 16u64),
+    };
+    let atoms = u64::from(blocks) * u64::from(threads);
+    let mut rng = StdRng::seed_from_u64(0x4D44);
+    // Neighbor lists: mostly nearby atoms (spatial locality) with a tail
+    // of far ones, reproducing cell-list structure.
+    let neigh: Vec<u64> = (0..atoms * neighbors)
+        .map(|k| {
+            let i = k % atoms;
+            if rng.gen_bool(0.7) {
+                let span = 64i64;
+                let off = rng.gen_range(-span..=span);
+                ((i as i64 + off).rem_euclid(atoms as i64)) as u64
+            } else {
+                rng.gen_range(0..atoms)
+            }
+        })
+        .collect();
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        // position as float4: element index = atom (using one element per
+        // atom of a wide type keeps the gather pattern).
+        ArrayDef::new_1d(0, "d_position", DType::F64, atoms, false),
+        ArrayDef::new_1d(1, "neighList", DType::U32, atoms * neighbors, false),
+        ArrayDef::new_1d(2, "d_force", DType::F64, atoms, true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let mut ops = vec![tid_preamble()];
+            // Own position.
+            ops.push(addr(0));
+            ops.push(load(0, tids.iter().copied()));
+            ops.push(SymOp::WaitLoads);
+            for j in 0..neighbors {
+                // Coalesced neighbor-index load: neighList[j*N + i].
+                let nl_idx: Vec<u64> = tids.iter().map(|&i| j * atoms + i).collect();
+                ops.push(addr(1));
+                ops.push(load(1, nl_idx.iter().copied()));
+                ops.push(SymOp::WaitLoads);
+                // Scattered position gather.
+                let gather: Vec<u64> =
+                    nl_idx.iter().map(|&k| neigh[k as usize]).collect();
+                ops.push(addr(0));
+                ops.push(load(0, gather));
+                ops.push(SymOp::WaitLoads);
+                // LJ kernel: r2, r6, force scale (double precision).
+                ops.push(SymOp::Fp64(6));
+                ops.push(SymOp::FpAlu(2));
+            }
+            ops.push(addr(2));
+            ops.push(store(2, tids.iter().copied()));
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "compute_lj_force".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_index_loads_are_coalesced() {
+        let kt = build(Scale::Test);
+        for op in &kt.warps[0].ops {
+            if let SymOp::Access(m) = op {
+                if m.array.0 == 1 {
+                    let idx: Vec<u64> = m
+                        .idx
+                        .iter()
+                        .flatten()
+                        .map(|i| {
+                            let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                            *i
+                        })
+                        .collect();
+                    assert!(idx.windows(2).all(|p| p[1] == p[0] + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn position_gathers_are_scattered() {
+        let kt = build(Scale::Test);
+        let mut scattered = 0u32;
+        let mut total = 0u32;
+        for op in &kt.warps[0].ops {
+            if let SymOp::Access(m) = op {
+                if m.array.0 == 0 && !m.is_store {
+                    total += 1;
+                    let idx: Vec<u64> = m
+                        .idx
+                        .iter()
+                        .flatten()
+                        .map(|i| {
+                            let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                            *i
+                        })
+                        .collect();
+                    if idx.windows(2).any(|p| p[1] != p[0] + 1) {
+                        scattered += 1;
+                    }
+                }
+            }
+        }
+        // First load (own position) is contiguous; the gathers are not.
+        assert!(total >= 2);
+        assert!(scattered >= total - 1);
+    }
+
+    #[test]
+    fn uses_double_precision_pipeline() {
+        let kt = build(Scale::Test);
+        assert!(kt.warps[0].ops.iter().any(|o| matches!(o, SymOp::Fp64(_))));
+    }
+}

@@ -1,0 +1,134 @@
+//! Explicit workload parameters for the most-used kernels.
+//!
+//! The registry's [`crate::Scale`] presets cover the paper's experiments;
+//! downstream users tuning their own placement questions need control
+//! over problem sizes. Each `*Params` struct builds the same trace shape
+//! as its registry counterpart at a caller-chosen size, with validation
+//! of the structural requirements (warp-multiple threads, tileable
+//! matrix dimensions, ...).
+
+use hms_trace::KernelTrace;
+use hms_types::HmsError;
+
+use crate::Scale;
+
+/// Parameters for the vecadd kernel: `v = a + b` over `n` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VecAddParams {
+    pub blocks: u32,
+    pub threads_per_block: u32,
+}
+
+impl VecAddParams {
+    pub fn build(self) -> Result<KernelTrace, HmsError> {
+        if self.blocks == 0 || self.threads_per_block == 0 {
+            return Err(HmsError::InvalidInput("vecadd needs a non-empty launch".into()));
+        }
+        if !self.threads_per_block.is_multiple_of(32) {
+            return Err(HmsError::InvalidInput(
+                "vecadd threads_per_block must be a warp multiple".into(),
+            ));
+        }
+        Ok(crate::vecadd::build_sized(self.blocks, self.threads_per_block))
+    }
+}
+
+/// Parameters for the CSR SpMV kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmvParams {
+    /// Matrix rows (one warp per row).
+    pub rows: u64,
+    /// Maximum nonzeros per row (row lengths are drawn below this).
+    pub max_nnz_per_row: u64,
+    /// Warps per thread block.
+    pub warps_per_block: u32,
+    /// RNG seed for the sparsity structure.
+    pub seed: u64,
+}
+
+impl SpmvParams {
+    pub fn build(self) -> Result<KernelTrace, HmsError> {
+        if self.rows == 0 || self.max_nnz_per_row == 0 || self.warps_per_block == 0 {
+            return Err(HmsError::InvalidInput("spmv needs non-zero sizes".into()));
+        }
+        Ok(crate::spmv::build_sized(self.rows, self.max_nnz_per_row, self.warps_per_block, self.seed))
+    }
+}
+
+/// Parameters for the tiled matrix multiply (`n x n`, TILE = 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulParams {
+    pub n: u64,
+}
+
+impl MatmulParams {
+    pub fn build(self) -> Result<KernelTrace, HmsError> {
+        if self.n == 0 || !self.n.is_multiple_of(crate::matmul::TILE) {
+            return Err(HmsError::InvalidInput(format!(
+                "matrixMul n must be a positive multiple of {}",
+                crate::matmul::TILE
+            )));
+        }
+        Ok(crate::matmul::build_sized(self.n))
+    }
+}
+
+/// Parameters matching one of the registry presets.
+pub fn preset(scale: Scale) -> (VecAddParams, SpmvParams, MatmulParams) {
+    match scale {
+        Scale::Test => (
+            VecAddParams { blocks: 4, threads_per_block: 64 },
+            SpmvParams { rows: 16, max_nnz_per_row: 48, warps_per_block: 2, seed: 0x535D },
+            MatmulParams { n: 32 },
+        ),
+        Scale::Full => (
+            VecAddParams { blocks: 64, threads_per_block: 128 },
+            SpmvParams { rows: 256, max_nnz_per_row: 96, warps_per_block: 4, seed: 0x535D },
+            MatmulParams { n: 128 },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_registry_builds() {
+        for scale in [Scale::Test, Scale::Full] {
+            let (v, s, m) = preset(scale);
+            assert_eq!(v.build().unwrap(), crate::vecadd::build(scale));
+            assert_eq!(s.build().unwrap(), crate::spmv::build(scale));
+            assert_eq!(m.build().unwrap(), crate::matmul::build(scale));
+        }
+    }
+
+    #[test]
+    fn custom_sizes_scale_the_trace() {
+        let small = VecAddParams { blocks: 2, threads_per_block: 64 }.build().unwrap();
+        let large = VecAddParams { blocks: 8, threads_per_block: 64 }.build().unwrap();
+        assert_eq!(large.warps.len(), 4 * small.warps.len());
+        assert_eq!(large.arrays[0].dims.elements(), 4 * small.arrays[0].dims.elements());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(VecAddParams { blocks: 0, threads_per_block: 64 }.build().is_err());
+        assert!(VecAddParams { blocks: 1, threads_per_block: 33 }.build().is_err());
+        assert!(MatmulParams { n: 24 }.build().is_err());
+        assert!(SpmvParams { rows: 0, max_nnz_per_row: 8, warps_per_block: 1, seed: 0 }
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn spmv_seed_changes_structure() {
+        let a = SpmvParams { rows: 16, max_nnz_per_row: 32, warps_per_block: 2, seed: 1 }
+            .build()
+            .unwrap();
+        let b = SpmvParams { rows: 16, max_nnz_per_row: 32, warps_per_block: 2, seed: 2 }
+            .build()
+            .unwrap();
+        assert_ne!(a, b);
+    }
+}

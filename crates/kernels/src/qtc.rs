@@ -1,0 +1,85 @@
+//! SHOC `QTC` (quality-threshold clustering): each thread walks rows of
+//! the pairwise `distance_matrix` testing cluster membership. The matrix
+//! is read row-by-row with 2-D reuse across threads — Table IV's
+//! `distance_matrix_txt(G->2T)` test binds it to a 2-D texture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load_xy, store, tid_preamble, warp_tids, WARP};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (points, blocks, threads, candidates) = match scale {
+        Scale::Test => (64u64, 2u32, 64u32, 4u64),
+        Scale::Full => (192u64, 12u32, 128u32, 12u64),
+    };
+    let mut rng = StdRng::seed_from_u64(0x97C);
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_2d(0, "distance_matrix", DType::F32, points, points, false),
+        ArrayDef::new_1d(1, "cluster_sizes", DType::U32, points, true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let mut ops = vec![tid_preamble()];
+            for _ in 0..candidates {
+                // All lanes examine the same candidate row (2-D reuse)
+                // at lane-specific columns.
+                let row = rng.gen_range(0..points);
+                let col0 = rng.gen_range(0..points - WARP.min(points - 1));
+                let coords: Vec<(u64, u64)> =
+                    (0..WARP).map(|l| ((col0 + l) % points, row)).collect();
+                ops.push(addr(0));
+                ops.push(load_xy(0, coords));
+                // And the transposed column (the symmetric distance),
+                // which row-major layouts serve badly.
+                let coords_t: Vec<(u64, u64)> =
+                    (0..WARP).map(|l| (row, (col0 + l) % points)).collect();
+                ops.push(addr(0));
+                ops.push(load_xy(0, coords_t));
+                ops.push(SymOp::WaitLoads);
+                ops.push(SymOp::FpAlu(2)); // threshold compare + accumulate
+                ops.push(SymOp::IntAlu(1));
+            }
+            let out: Vec<u64> = tids.iter().map(|&t| t % points).collect();
+            ops.push(addr(1));
+            ops.push(store(1, out));
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "QTC_device".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_trace::ElemIdx;
+
+    #[test]
+    fn reads_both_row_and_column_directions() {
+        let kt = build(Scale::Test);
+        let mut row_walks = 0;
+        let mut col_walks = 0;
+        for op in &kt.warps[0].ops {
+            if let SymOp::Access(m) = op {
+                if m.array.0 == 0 {
+                    let Some(ElemIdx::XY(x0, y0)) = m.idx[0] else { panic!() };
+                    let Some(ElemIdx::XY(x1, y1)) = m.idx[1] else { panic!() };
+                    if y0 == y1 && x0 != x1 {
+                        row_walks += 1;
+                    }
+                    if x0 == x1 && y0 != y1 {
+                        col_walks += 1;
+                    }
+                }
+            }
+        }
+        assert!(row_walks > 0 && col_walks > 0);
+    }
+}

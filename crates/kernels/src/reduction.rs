@@ -1,0 +1,103 @@
+//! SHOC `reduction`: each block loads a slice of `idata`, stages partial
+//! sums in the scratch buffer `sdata`, and tree-reduces it with a barrier
+//! per level. Table IV's test is `reduce[sdata(S->G)]` — moving the
+//! reduction buffer out of shared memory, exactly the placement our
+//! Figure 5 evaluation point `Reduction_2` covers (a row-buffer-heavy
+//! loser the constant-latency baseline mispredicts).
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, load_masked, store, store_masked, tid_preamble, warp_tids, WARP};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (blocks, threads) = match scale {
+        Scale::Test => (4u32, 64u32),
+        Scale::Full => (64u32, 128u32),
+    };
+    let n = u64::from(blocks) * u64::from(threads) * 2;
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "idata", DType::F32, n, false),
+        ArrayDef::new_1d(1, "sdata", DType::F32, u64::from(threads), true).scratch().per_block(),
+        ArrayDef::new_1d(2, "odata", DType::F32, u64::from(blocks), true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let local: Vec<u64> = (0..WARP).map(|l| u64::from(warp) * WARP + l).collect();
+            let mut ops = vec![tid_preamble()];
+            // Grid-stride first add: each thread sums two input elements.
+            let hi: Vec<u64> = tids.iter().map(|t| t + n / 2).collect();
+            ops.push(addr(0));
+            ops.push(load(0, tids.iter().copied()));
+            ops.push(addr(0));
+            ops.push(load(0, hi));
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::FpAlu(1));
+            ops.push(addr(1));
+            ops.push(store(1, local.iter().copied()));
+            ops.push(SymOp::SyncThreads);
+            // Tree reduction: stride halves each level; lanes beyond the
+            // stride go inactive.
+            let mut stride = u64::from(threads) / 2;
+            while stride > 0 {
+                let lo: Vec<Option<u64>> =
+                    local.iter().map(|&i| (i < stride).then_some(i)).collect();
+                let hi: Vec<Option<u64>> =
+                    local.iter().map(|&i| (i < stride).then_some(i + stride)).collect();
+                if lo.iter().any(|x| x.is_some()) {
+                    ops.push(addr(1));
+                    ops.push(load_masked(1, lo.iter().copied()));
+                    ops.push(addr(1));
+                    ops.push(load_masked(1, hi));
+                    ops.push(SymOp::WaitLoads);
+                    ops.push(SymOp::FpAlu(1));
+                    ops.push(addr(1));
+                    ops.push(store_masked(1, lo));
+                }
+                ops.push(SymOp::SyncThreads);
+                stride /= 2;
+            }
+            // Lane 0 of warp 0 writes the block result.
+            if warp == 0 {
+                let out: Vec<Option<u64>> = (0..WARP)
+                    .map(|l| (l == 0).then_some(u64::from(block)))
+                    .collect();
+                ops.push(addr(2));
+                ops.push(store_masked(2, out));
+            }
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "reduce".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_depth_matches_block_size() {
+        let kt = build(Scale::Test);
+        // 64 threads -> strides 32,16,8,4,2,1 -> 6 levels, each ends in a
+        // sync; plus the initial staging sync.
+        let syncs =
+            kt.warps[0].ops.iter().filter(|o| matches!(o, SymOp::SyncThreads)).count();
+        assert_eq!(syncs, 7);
+    }
+
+    #[test]
+    fn only_warp0_writes_output() {
+        let kt = build(Scale::Test);
+        for w in &kt.warps {
+            let writes_out = w
+                .ops
+                .iter()
+                .any(|o| matches!(o, SymOp::Access(m) if m.is_store && m.array.0 == 2));
+            assert_eq!(writes_out, w.warp == 0);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! SHOC `S3D` (`gr_base`): chemical reaction-rate evaluation. Each grid
+//! point reads pressure/temperature (`gpu_p`) and a long vector of
+//! species mass fractions (`gpu_y`, species-major so every load
+//! coalesces), then burns many FLOPs and transcendentals per species.
+//! Table IV tests `gpu_p(G->T)`, `gpu_y(G->T)`, and both together.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, store, tid_preamble, warp_tids};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (blocks, threads, species) = match scale {
+        Scale::Test => (4u32, 64u32, 4u64),
+        Scale::Full => (24u32, 128u32, 22u64),
+    };
+    let points = u64::from(blocks) * u64::from(threads);
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "gpu_p", DType::F64, points * 2, false), // p and T interleaved blocks
+        ArrayDef::new_1d(1, "gpu_y", DType::F64, points * species, false),
+        ArrayDef::new_1d(2, "gpu_wdot", DType::F64, points * species, true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let mut ops = vec![tid_preamble()];
+            // Pressure and temperature.
+            ops.push(addr(0));
+            ops.push(load(0, tids.iter().copied()));
+            ops.push(addr(0));
+            ops.push(load(0, tids.iter().map(|&i| points + i)));
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::Sfu(2)); // log(T), 1/T
+            ops.push(SymOp::Fp64(4));
+            for s in 0..species {
+                let idx: Vec<u64> = tids.iter().map(|&i| s * points + i).collect();
+                ops.push(addr(1));
+                ops.push(load(1, idx.iter().copied()));
+                ops.push(SymOp::WaitLoads);
+                // Arrhenius rate: exp + polynomial, double precision.
+                ops.push(SymOp::Sfu(1));
+                ops.push(SymOp::Fp64(8));
+                ops.push(addr(2));
+                ops.push(store(2, idx));
+            }
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "gr_base".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn species_loop_shape() {
+        let kt = build(Scale::Test);
+        let w = &kt.warps[0];
+        let stores = w.ops.iter().filter(|o| matches!(o, SymOp::Access(m) if m.is_store)).count();
+        assert_eq!(stores, 4); // one per species at test scale
+        let sfu: u64 = w
+            .ops
+            .iter()
+            .map(|o| match o {
+                SymOp::Sfu(n) => u64::from(*n),
+                _ => 0,
+            })
+            .sum();
+        assert!(sfu >= 6);
+    }
+}

@@ -1,0 +1,102 @@
+//! SHOC `scan`'s first phase (`reduce`): each block strides over a 2-D
+//! view of `g_idata` accumulating a partial sum, then tree-reduces in a
+//! scratch buffer. Table IV tests `reduce[g_idata(G->2T)]`, which is why
+//! the input carries a 2-D shape here.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load_masked, load_xy, store_masked, tid_preamble, WARP};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (width, height, blocks, threads) = match scale {
+        Scale::Test => (64u64, 16u64, 4u32, 64u32),
+        Scale::Full => (256u64, 64u64, 32u32, 128u32),
+    };
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_2d(0, "g_idata", DType::F32, width, height, false),
+        ArrayDef::new_1d(1, "s_block", DType::F32, u64::from(threads), true).scratch().per_block(),
+        ArrayDef::new_1d(2, "d_block_sums", DType::F32, u64::from(blocks), true),
+    ];
+    // Each block owns a horizontal stripe of rows.
+    let rows_per_block = height / u64::from(blocks).min(height);
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        let row0 = u64::from(block) * rows_per_block % height;
+        for warp in 0..geometry.warps_per_block() {
+            let mut ops = vec![tid_preamble()];
+            // Stride across the stripe: each warp covers its share of
+            // columns in every row.
+            for row in 0..rows_per_block {
+                let y = (row0 + row) % height;
+                let mut x0 = u64::from(warp) * WARP;
+                while x0 < width {
+                    let coords: Vec<(u64, u64)> =
+                        (0..WARP).map(|l| ((x0 + l) % width, y)).collect();
+                    ops.push(addr(0));
+                    ops.push(load_xy(0, coords));
+                    ops.push(SymOp::WaitLoads);
+                    ops.push(SymOp::FpAlu(1));
+                    x0 += u64::from(geometry.warps_per_block()) * WARP;
+                }
+            }
+            // Stage the per-thread partials and tree-reduce.
+            let local: Vec<u64> = (0..WARP).map(|l| u64::from(warp) * WARP + l).collect();
+            ops.push(addr(1));
+            ops.push(store_masked(1, local.iter().map(|&i| Some(i))));
+            ops.push(SymOp::SyncThreads);
+            let mut stride = u64::from(threads) / 2;
+            while stride > 0 {
+                let lo: Vec<Option<u64>> =
+                    local.iter().map(|&i| (i < stride).then_some(i)).collect();
+                let hi: Vec<Option<u64>> =
+                    local.iter().map(|&i| (i < stride).then_some(i + stride)).collect();
+                if lo.iter().any(|x| x.is_some()) {
+                    ops.push(addr(1));
+                    ops.push(load_masked(1, lo.iter().copied()));
+                    ops.push(addr(1));
+                    ops.push(load_masked(1, hi));
+                    ops.push(SymOp::WaitLoads);
+                    ops.push(SymOp::FpAlu(1));
+                    ops.push(addr(1));
+                    ops.push(store_masked(1, lo));
+                }
+                ops.push(SymOp::SyncThreads);
+                stride /= 2;
+            }
+            if warp == 0 {
+                let out: Vec<Option<u64>> =
+                    (0..WARP).map(|l| (l == 0).then_some(u64::from(block))).collect();
+                ops.push(addr(2));
+                ops.push(store_masked(2, out));
+            }
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "scan_reduce".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_types::Dims;
+
+    #[test]
+    fn input_is_2d_for_texture2d_tests() {
+        let kt = build(Scale::Test);
+        assert!(matches!(kt.arrays[0].dims, Dims::D2 { .. }));
+    }
+
+    #[test]
+    fn every_warp_reads_input() {
+        let kt = build(Scale::Test);
+        for w in &kt.warps {
+            assert!(w
+                .ops
+                .iter()
+                .any(|o| matches!(o, SymOp::Access(m) if m.array.0 == 0 && !m.is_store)));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! SHOC radix `sort`'s `reorderData` step: each block stages its 16
+//! bucket offsets in the small scratch table `sBlockOffsets`, then
+//! scatters keys to their sorted positions. Table IV's test moves the
+//! offsets table out of shared memory (`reorderdata[sBlockOffsets(S->G)]`)
+//! — a tiny, hot, randomly-indexed table, the classic shared-memory win.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, load_masked, store, store_masked, tid_preamble, warp_tids, WARP};
+use crate::Scale;
+
+/// Radix buckets per pass.
+const BUCKETS: u64 = 16;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (blocks, threads) = match scale {
+        Scale::Test => (4u32, 64u32),
+        Scale::Full => (48u32, 128u32),
+    };
+    let n = u64::from(blocks) * u64::from(threads);
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "keysIn", DType::U32, n, false),
+        ArrayDef::new_1d(1, "keysOut", DType::U32, n, true),
+        ArrayDef::new_1d(2, "blockOffsets", DType::U32, BUCKETS * u64::from(blocks), false),
+        ArrayDef::new_1d(3, "sBlockOffsets", DType::U32, BUCKETS, true).scratch().per_block(),
+    ];
+    let mut rng = StdRng::seed_from_u64(0x5047);
+    // Pre-draw each key's bucket so the trace is a function of the data,
+    // like the real kernel.
+    let bucket_of: Vec<u64> = (0..n).map(|_| rng.gen_range(0..BUCKETS)).collect();
+    // Scatter destination: position within bucket, per block.
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        // Per-block running count per bucket to derive scatter targets.
+        let mut counts = [0u64; BUCKETS as usize];
+        let base = u64::from(block) * u64::from(threads);
+        let dest: Vec<u64> = (0..u64::from(threads))
+            .map(|t| {
+                let b = bucket_of[(base + t) as usize];
+                let d = b * n / BUCKETS + u64::from(block) * 4 + counts[b as usize] % 4
+                    + (counts[b as usize] / 4) * 64 % (n / BUCKETS);
+                counts[b as usize] += 1;
+                d.min(n - 1)
+            })
+            .collect();
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let mut ops = vec![tid_preamble()];
+            // Warp 0 stages the block's bucket offsets.
+            if warp == 0 {
+                let src: Vec<Option<u64>> = (0..WARP)
+                    .map(|l| (l < BUCKETS).then(|| u64::from(block) * BUCKETS + l))
+                    .collect();
+                let dst: Vec<Option<u64>> = (0..WARP).map(|l| (l < BUCKETS).then_some(l)).collect();
+                ops.push(addr(2));
+                ops.push(load_masked(2, src));
+                ops.push(SymOp::WaitLoads);
+                ops.push(addr(3));
+                ops.push(store_masked(3, dst));
+            }
+            ops.push(SymOp::SyncThreads);
+            // Load key, extract digit, gather offset, scatter.
+            ops.push(addr(0));
+            ops.push(load(0, tids.iter().copied()));
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::IntAlu(3)); // shift/mask digit extraction
+            let bucket_idx: Vec<u64> =
+                tids.iter().map(|&t| bucket_of[t as usize]).collect();
+            ops.push(addr(3));
+            ops.push(load(3, bucket_idx));
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::IntAlu(2)); // destination arithmetic
+            let dests: Vec<u64> = tids
+                .iter()
+                .map(|&t| dest[(t - base) as usize])
+                .collect();
+            ops.push(addr(1));
+            ops.push(store(1, dests));
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "reorderData".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_table_is_tiny_and_block_scoped() {
+        let kt = build(Scale::Test);
+        assert_eq!(kt.arrays[3].dims.elements(), BUCKETS);
+        assert!(kt.arrays[3].per_block);
+    }
+
+    #[test]
+    fn scatter_stores_are_divergent() {
+        // The scatter must touch multiple 128-byte transactions for at
+        // least one warp (that is the cost reorderData pays).
+        let kt = build(Scale::Test);
+        let mut max_txs = 0usize;
+        for w in &kt.warps {
+            for op in &w.ops {
+                if let SymOp::Access(m) = op {
+                    if m.is_store && m.array.0 == 1 {
+                        let mut txs: Vec<u64> = m
+                            .idx
+                            .iter()
+                            .flatten()
+                            .map(|i| {
+                                let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                                i * 4 / 128
+                            })
+                            .collect();
+                        txs.sort_unstable();
+                        txs.dedup();
+                        max_txs = max_txs.max(txs.len());
+                    }
+                }
+            }
+        }
+        assert!(max_txs > 1, "scatter coalesced perfectly — unrealistic");
+    }
+}

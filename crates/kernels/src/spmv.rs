@@ -1,0 +1,167 @@
+//! SHOC `spmv` (`spmv_csr_vector_kernel`): one warp per CSR row; the
+//! dense vector `d_vec` is gathered through the column-index array — the
+//! classic texture-memory workload (SHOC's sample placement binds
+//! `d_vec` to a texture, and Table IV's training set moves it back to
+//! global, plus `rowDelimiters` into shared/constant/texture).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load_masked, load_uniform, store_masked, tid_preamble, WARP};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (rows, nnz_per_row_max, warps_per_block) = match scale {
+        Scale::Test => (16u64, 48u64, 2u32),
+        Scale::Full => (256u64, 96u64, 4u32),
+    };
+    build_sized(rows, nnz_per_row_max, warps_per_block, 0x535D)
+}
+
+/// [`build`] at explicit matrix dimensions and sparsity seed.
+pub fn build_sized(rows: u64, nnz_per_row_max: u64, warps_per_block: u32, seed: u64) -> KernelTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Build a CSR structure: row lengths vary (power-law-ish), columns
+    // are a mix of near-diagonal and random — the locality profile of
+    // real matrices.
+    let mut row_len: Vec<u64> = Vec::with_capacity(rows as usize);
+    for _ in 0..rows {
+        let r: f64 = rng.gen();
+        row_len.push(((nnz_per_row_max as f64) * r * r).max(1.0) as u64);
+    }
+    let nnz: u64 = row_len.iter().sum();
+    let dim = rows * 8; // vector length
+    let cols: Vec<u64> = {
+        let mut v = Vec::with_capacity(nnz as usize);
+        for (r, &len) in row_len.iter().enumerate() {
+            for _ in 0..len {
+                if rng.gen_bool(0.6) {
+                    // near-diagonal
+                    let c = (r as u64 * 8 + rng.gen_range(0..16)).min(dim - 1);
+                    v.push(c);
+                } else {
+                    v.push(rng.gen_range(0..dim));
+                }
+            }
+        }
+        v
+    };
+    let blocks = (rows as u32).div_ceil(warps_per_block);
+    let geometry = Geometry::new(blocks, warps_per_block * 32);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "val", DType::F32, nnz, false),
+        ArrayDef::new_1d(1, "cols", DType::U32, nnz, false),
+        ArrayDef::new_1d(2, "rowDelimiters", DType::U32, rows + 1, false),
+        ArrayDef::new_1d(3, "d_vec", DType::F32, dim, false),
+        ArrayDef::new_1d(4, "out", DType::F32, rows, true),
+    ];
+    let row_start: Vec<u64> = {
+        let mut v = vec![0u64];
+        for &l in &row_len {
+            v.push(v.last().unwrap() + l);
+        }
+        v
+    };
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..warps_per_block {
+            let row = u64::from(block) * u64::from(warps_per_block) + u64::from(warp);
+            let mut ops = vec![tid_preamble()];
+            if row >= rows {
+                warps.push(WarpTrace { block, warp, ops });
+                continue;
+            }
+            // Row bounds: uniform reads (all lanes need the same two
+            // delimiters).
+            ops.push(addr(2));
+            ops.push(load_uniform(2, row));
+            ops.push(addr(2));
+            ops.push(load_uniform(2, row + 1));
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::IntAlu(2));
+            let (start, end) = (row_start[row as usize], row_start[row as usize + 1]);
+            // Warp-strided sweep over the row's nonzeros.
+            let mut base = start;
+            while base < end {
+                let idx: Vec<Option<u64>> =
+                    (0..WARP).map(|l| (base + l < end).then_some(base + l)).collect();
+                ops.push(addr(0));
+                ops.push(load_masked(0, idx.iter().copied()));
+                ops.push(addr(1));
+                ops.push(load_masked(1, idx.iter().copied()));
+                ops.push(SymOp::WaitLoads);
+                // Gather the vector through the loaded column indices.
+                let gather: Vec<Option<u64>> = (0..WARP)
+                    .map(|l| {
+                        (base + l < end).then(|| cols[(base + l) as usize])
+                    })
+                    .collect();
+                ops.push(addr(3));
+                ops.push(load_masked(3, gather));
+                ops.push(SymOp::WaitLoads);
+                ops.push(SymOp::FpAlu(1)); // fma into the running sum
+                base += WARP;
+            }
+            // Intra-warp reduction (register shuffles) and the row store
+            // by lane 0.
+            ops.push(SymOp::FpAlu(5));
+            let out: Vec<Option<u64>> = (0..WARP).map(|l| (l == 0).then_some(row)).collect();
+            ops.push(addr(4));
+            ops.push(store_masked(4, out));
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "spmv_csr_vector".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gathers_are_irregular() {
+        let kt = build(Scale::Test);
+        // Gather loads of d_vec should not be a contiguous warp access
+        // for at least one warp.
+        let mut any_scattered = false;
+        for w in &kt.warps {
+            for op in &w.ops {
+                if let SymOp::Access(m) = op {
+                    if m.array.0 == 3 {
+                        let idx: Vec<u64> = m
+                            .idx
+                            .iter()
+                            .flatten()
+                            .map(|i| {
+                                let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                                *i
+                            })
+                            .collect();
+                        if idx.windows(2).any(|p| p[1] != p[0] + 1) {
+                            any_scattered = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(any_scattered);
+    }
+
+    #[test]
+    fn row_delimiter_reads_are_uniform() {
+        let kt = build(Scale::Test);
+        for w in &kt.warps {
+            for op in &w.ops {
+                if let SymOp::Access(m) = op {
+                    if m.array.0 == 2 {
+                        let first = m.idx[0];
+                        assert!(m.idx.iter().all(|i| *i == first));
+                    }
+                }
+            }
+        }
+    }
+}

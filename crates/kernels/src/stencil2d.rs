@@ -1,0 +1,98 @@
+//! SHOC `stencil2d`: a 9-point stencil over a 2-D grid. Each output cell
+//! reads its 3x3 neighbourhood — the canonical 2-D-locality workload that
+//! Table IV tests with `data(G->T)`.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load_xy, store_xy, tid_preamble, WARP};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    let (dim, rows_per_block) = match scale {
+        Scale::Test => (64u64, 4u32),
+        Scale::Full => (192u64, 8u32),
+    };
+    let inner = dim - 2; // halo excluded
+    let tiles_x = inner.div_ceil(WARP);
+    let tiles_y = inner.div_ceil(u64::from(rows_per_block));
+    let blocks = (tiles_x * tiles_y) as u32;
+    let threads = 32 * rows_per_block;
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_2d(0, "data", DType::F32, dim, dim, false),
+        ArrayDef::new_2d(1, "out", DType::F32, dim, dim, true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        let bx = (u64::from(block) % tiles_x) * WARP;
+        let by = (u64::from(block) / tiles_x) * u64::from(rows_per_block);
+        for warp in 0..geometry.warps_per_block() {
+            let y = by + u64::from(warp) + 1;
+            let mut ops = vec![tid_preamble(), SymOp::IntAlu(2)];
+            if y > inner {
+                // Out-of-range row: this warp only computes its indices.
+                warps.push(WarpTrace { block, warp, ops });
+                continue;
+            }
+            // 3 rows x 3 columns of loads around each lane's cell.
+            for dy in [-1i64, 0, 1] {
+                for dx in [-1i64, 0, 1] {
+                    let coords: Vec<(u64, u64)> = (0..WARP)
+                        .map(|l| {
+                            let x = (bx + l + 1).min(inner) as i64 + dx;
+                            ((x.max(0) as u64).min(dim - 1), (y as i64 + dy) as u64)
+                        })
+                        .collect();
+                    ops.push(addr(0));
+                    ops.push(load_xy(0, coords));
+                }
+                // Accumulate the row's three taps while the next row
+                // streams in.
+                ops.push(SymOp::FpAlu(3));
+            }
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::FpAlu(2)); // center weighting + final combine
+            let out: Vec<(u64, u64)> = (0..WARP).map(|l| ((bx + l + 1).min(inner), y)).collect();
+            ops.push(addr(1));
+            ops.push(store_xy(1, out));
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "StencilKernel".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_loads_per_active_warp() {
+        let kt = build(Scale::Test);
+        let loads = kt.warps[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, SymOp::Access(m) if !m.is_store))
+            .count();
+        assert_eq!(loads, 9);
+    }
+
+    #[test]
+    fn coordinates_stay_in_bounds() {
+        let kt = build(Scale::Test);
+        let (w, h) = match kt.arrays[0].dims {
+            hms_types::Dims::D2 { width, height } => (width, height),
+            _ => panic!(),
+        };
+        for warp in &kt.warps {
+            for op in &warp.ops {
+                if let SymOp::Access(m) = op {
+                    for i in m.idx.iter().flatten() {
+                        let hms_trace::ElemIdx::XY(x, y) = i else { panic!() };
+                        assert!(*x < w && *y < h, "({x},{y}) out of {w}x{h}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! CUDA SDK `transposeNaive`: coalesced reads of `idata`, strided
+//! (divergent) writes of `odata`. Table IV tests `odata(G->2T)` — illegal
+//! for a written array, so the harness instead exercises the paper's
+//! other transpose tests, `idata(G->T)` and `idata(G->2T)`; the 2-D
+//! texture layout turns the row-major read + column write combination
+//! into a placement question.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load_xy, store_xy, tid_preamble, WARP};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    // A dim x dim matrix; each block handles a 32 x block_rows tile.
+    let (dim, block_rows) = match scale {
+        Scale::Test => (64u64, 4u32),
+        Scale::Full => (256u64, 8u32),
+    };
+    let tiles_x = dim / WARP;
+    let tiles_y = dim / u64::from(block_rows);
+    let blocks = (tiles_x * tiles_y) as u32;
+    let threads = 32 * block_rows;
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_2d(0, "idata", DType::F32, dim, dim, false),
+        ArrayDef::new_2d(1, "odata", DType::F32, dim, dim, true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        let tile_x = (u64::from(block) % tiles_x) * WARP;
+        let tile_y = (u64::from(block) / tiles_x) * u64::from(block_rows);
+        for warp in 0..geometry.warps_per_block() {
+            // Each warp reads one row of the tile and writes it as a
+            // column of the output.
+            let y = tile_y + u64::from(warp);
+            let read: Vec<(u64, u64)> = (0..WARP).map(|l| (tile_x + l, y)).collect();
+            let write: Vec<(u64, u64)> = (0..WARP).map(|l| (y, tile_x + l)).collect();
+            let ops = vec![
+                tid_preamble(),
+                SymOp::IntAlu(2), // x/y index math
+                addr(0),
+                load_xy(0, read),
+                SymOp::WaitLoads,
+                addr(1),
+                store_xy(1, write),
+            ];
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "transposeNaive".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_trace::ElemIdx;
+
+    #[test]
+    fn writes_are_transposed_reads() {
+        let kt = build(Scale::Test);
+        for w in &kt.warps {
+            let mut read = None;
+            let mut write = None;
+            for op in &w.ops {
+                if let SymOp::Access(m) = op {
+                    if m.is_store {
+                        write = Some(m.idx.clone());
+                    } else {
+                        read = Some(m.idx.clone());
+                    }
+                }
+            }
+            let (r, wr) = (read.unwrap(), write.unwrap());
+            for (ri, wi) in r.iter().zip(&wr) {
+                let Some(ElemIdx::XY(rx, ry)) = ri else { panic!() };
+                let Some(ElemIdx::XY(wx, wy)) = wi else { panic!() };
+                assert_eq!((rx, ry), (wy, wx));
+            }
+        }
+    }
+}

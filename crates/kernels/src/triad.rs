@@ -1,0 +1,76 @@
+//! SHOC `triad`: `A[i] = B[i] + s * C[i]` — a pure streaming kernel with
+//! no reuse. Table IV's test moves `B` into shared memory
+//! (`triad[B(G->S)]`), a placement that *loses*: the staging copy costs as
+//! much as the stream itself.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, store, tid_preamble, warp_tids};
+use crate::Scale;
+
+pub fn build(scale: Scale) -> KernelTrace {
+    // Sized so the arrays stay within one SM's shared memory: Table IV's
+    // `triad[B(G->S)]` test must be legal, and staging the whole stream
+    // per block is exactly the cost that makes it lose.
+    let (blocks, threads, iters) = match scale {
+        Scale::Test => (4, 64, 2),
+        Scale::Full => (24, 128, 2),
+    };
+    // Each thread strides through `iters` grid-sized chunks, the SHOC
+    // triad pattern.
+    let n = u64::from(blocks) * u64::from(threads) * iters;
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "A", DType::F32, n, true),
+        ArrayDef::new_1d(1, "B", DType::F32, n, false),
+        ArrayDef::new_1d(2, "C", DType::F32, n, false),
+    ];
+    let grid_span = u64::from(blocks) * u64::from(threads);
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let mut ops = vec![tid_preamble()];
+            for it in 0..iters {
+                let idx: Vec<u64> = tids.iter().map(|t| t + it * grid_span).collect();
+                ops.push(addr(1));
+                ops.push(load(1, idx.iter().copied()));
+                ops.push(addr(2));
+                ops.push(load(2, idx.iter().copied()));
+                ops.push(SymOp::WaitLoads);
+                ops.push(SymOp::FpAlu(1)); // fused multiply-add
+                ops.push(addr(0));
+                ops.push(store(0, idx.iter().copied()));
+                ops.push(SymOp::IntAlu(1)); // index advance
+            }
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "triad".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_indices_cover_disjoint_chunks() {
+        let kt = build(Scale::Test);
+        // Collect all loaded B-indices; they must be unique (no reuse).
+        let mut seen = std::collections::HashSet::new();
+        for w in &kt.warps {
+            for op in &w.ops {
+                if let SymOp::Access(m) = op {
+                    if m.array.0 == 1 && !m.is_store {
+                        for i in m.idx.iter().flatten() {
+                            let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                            assert!(seen.insert(*i), "index {i} reused");
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, kt.arrays[1].dims.elements());
+    }
+}

@@ -1,0 +1,69 @@
+//! Vector addition `v = a + b` — the paper's running example (Figure 2),
+//! whose four placements of `a` and `b` illustrate the addressing-mode
+//! differences between global, texture, constant and shared memories.
+
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, store, tid_preamble, warp_tids};
+use crate::Scale;
+
+/// Build the vecadd kernel: `v[id] = a[id] + b[id]`.
+pub fn build(scale: Scale) -> KernelTrace {
+    let (blocks, threads) = match scale {
+        Scale::Test => (4, 64),
+        Scale::Full => (64, 128),
+    };
+    build_sized(blocks, threads)
+}
+
+/// [`build`] at an explicit launch size.
+pub fn build_sized(blocks: u32, threads: u32) -> KernelTrace {
+    let n = u64::from(blocks) * u64::from(threads);
+    let geometry = Geometry::new(blocks, threads);
+    let arrays = vec![
+        ArrayDef::new_1d(0, "a", DType::F32, n, false),
+        ArrayDef::new_1d(1, "b", DType::F32, n, false),
+        ArrayDef::new_1d(2, "v", DType::F32, n, true),
+    ];
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let ops = vec![
+                tid_preamble(),
+                SymOp::IntAlu(1), // bounds check `id < N`
+                addr(0),
+                load(0, tids.iter().copied()),
+                addr(1),
+                load(1, tids.iter().copied()),
+                SymOp::WaitLoads,
+                SymOp::FpAlu(1),
+                addr(2),
+                store(2, tids.iter().copied()),
+            ];
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace { name: "vecAdd".into(), arrays, geometry, warps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let kt = build(Scale::Test);
+        assert_eq!(kt.arrays.len(), 3);
+        assert_eq!(kt.warps.len(), 4 * 2);
+        assert!(kt.arrays[2].written);
+        // Every warp: 2 loads, 1 store, 3 addr-calcs.
+        let loads = kt.warps[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, SymOp::Access(m) if !m.is_store))
+            .count();
+        assert_eq!(loads, 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! The simulator's `nvprof`-like performance-event set.
+//!
+//! The paper collects 265 hardware events per placement and mines them
+//! with cosine similarity (Section II-B); our simulator exposes the ~40
+//! events its machinery actually produces, including every event the
+//! paper's Table I and `T_overlap` feature vector (Eq. 11) need:
+//! `issue_slots`, `inst_issued`, `inst_integer`, `ldst_issue`,
+//! `L2_transactions`, per-space requests and cache misses, shared-memory
+//! bank conflicts, and row-buffer hit/miss/conflict counts.
+
+/// Counter values accumulated over one simulated kernel launch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventSet {
+    // ---- time ----
+    /// Total elapsed cycles (the simulator's "measured" execution time).
+    pub elapsed_cycles: u64,
+
+    // ---- instruction issue ----
+    /// Instructions issued, *including* replays (the paper's preferred
+    /// computation-cost indicator).
+    pub inst_issued: u64,
+    /// Issue slots consumed: like `inst_issued` but double-width
+    /// instructions occupy two slots.
+    pub issue_slots: u64,
+    /// Instructions executed (each instruction once, replays excluded).
+    pub inst_executed: u64,
+    /// Integer instructions executed (ALU + addressing arithmetic).
+    pub inst_integer: u64,
+    /// Single-precision FP instructions executed.
+    pub inst_fp32: u64,
+    /// Double-precision FP instructions executed.
+    pub inst_fp64: u64,
+    /// SFU instructions executed.
+    pub inst_sfu: u64,
+    /// Load/store instructions issued, including replays (`ldst_issue`).
+    pub ldst_issued: u64,
+    /// Load/store instructions executed.
+    pub ldst_executed: u64,
+    /// Barrier instructions executed.
+    pub sync_count: u64,
+
+    // ---- instruction replays by cause (paper Section III-B) ----
+    /// (1) global-memory address divergence.
+    pub replay_global_divergence: u64,
+    /// (2) constant-cache misses.
+    pub replay_const_miss: u64,
+    /// (3) address divergence in indexed constant loads.
+    pub replay_const_divergence: u64,
+    /// (4) shared-memory bank conflicts.
+    pub replay_shared_conflict: u64,
+    /// (5) double-width instructions issuing over two cycles.
+    pub replay_double_width: u64,
+    /// (7) L1 misses on local-memory accesses (register spills / stack).
+    pub replay_local_l1_miss: u64,
+    /// (9) address divergence in local-memory accesses.
+    pub replay_local_divergence: u64,
+
+    // ---- per-space warp-level requests ----
+    pub global_ld_requests: u64,
+    pub global_st_requests: u64,
+    pub global_transactions: u64,
+    pub tex_requests: u64,
+    pub tex_transactions: u64,
+    pub tex_cache_misses: u64,
+    pub const_requests: u64,
+    pub const_transactions: u64,
+    pub const_cache_misses: u64,
+    pub shared_ld_requests: u64,
+    pub shared_st_requests: u64,
+    pub local_ld_requests: u64,
+    pub local_st_requests: u64,
+    pub l1_local_hits: u64,
+    pub l1_local_misses: u64,
+
+    // ---- L2 ----
+    pub l2_transactions: u64,
+    pub l2_misses: u64,
+    pub l2_from_global: u64,
+    pub l2_from_tex: u64,
+    pub l2_from_const: u64,
+    /// Dirty L2 lines written back to DRAM (write-back policy traffic;
+    /// counted, not timed — see the machine docs).
+    pub l2_writebacks: u64,
+
+    // ---- DRAM ----
+    pub dram_requests: u64,
+    pub row_buffer_hits: u64,
+    pub row_buffer_misses: u64,
+    pub row_buffer_conflicts: u64,
+    /// Sum of DRAM request latencies (cycles).
+    pub dram_total_latency: u64,
+    /// Sum of DRAM queuing delays (cycles).
+    pub dram_total_queuing: u64,
+
+    // ---- occupancy / stalls ----
+    pub blocks_launched: u64,
+    pub warps_launched: u64,
+    /// Cycle-slots where an SM had resident warps but could issue
+    /// nothing (all warps blocked on memory or barriers).
+    pub stall_cycles: u64,
+}
+
+impl EventSet {
+    /// Total instruction replays across causes.
+    pub fn total_replays(&self) -> u64 {
+        self.replay_global_divergence
+            + self.replay_const_miss
+            + self.replay_const_divergence
+            + self.replay_shared_conflict
+            + self.replay_double_width
+            + self.replay_local_l1_miss
+            + self.replay_local_divergence
+    }
+
+    /// Replays attributable to causes (1)–(4) — the placement-dependent
+    /// replays of the paper's Eq. 3.
+    pub fn replays_1_to_4(&self) -> u64 {
+        self.replay_global_divergence
+            + self.replay_const_miss
+            + self.replay_const_divergence
+            + self.replay_shared_conflict
+    }
+
+    /// All counters as named values, for the Table I cosine-similarity
+    /// mining. Names follow `nvprof` conventions where one exists.
+    pub fn named(&self) -> Vec<(&'static str, f64)> {
+        let f = |x: u64| x as f64;
+        vec![
+            ("inst_issued", f(self.inst_issued)),
+            ("issue_slots", f(self.issue_slots)),
+            ("inst_executed", f(self.inst_executed)),
+            ("inst_integer", f(self.inst_integer)),
+            ("inst_fp32", f(self.inst_fp32)),
+            ("inst_fp64", f(self.inst_fp64)),
+            ("inst_sfu", f(self.inst_sfu)),
+            ("ldst_issue", f(self.ldst_issued)),
+            ("ldst_executed", f(self.ldst_executed)),
+            ("sync_count", f(self.sync_count)),
+            ("replay_global_divergence", f(self.replay_global_divergence)),
+            ("replay_const_miss", f(self.replay_const_miss)),
+            ("replay_const_divergence", f(self.replay_const_divergence)),
+            ("replay_shared_conflict", f(self.replay_shared_conflict)),
+            ("replay_double_width", f(self.replay_double_width)),
+            ("replay_local_l1_miss", f(self.replay_local_l1_miss)),
+            ("replay_local_divergence", f(self.replay_local_divergence)),
+            ("total_replays", f(self.total_replays())),
+            ("global_ld_requests", f(self.global_ld_requests)),
+            ("global_st_requests", f(self.global_st_requests)),
+            ("global_transactions", f(self.global_transactions)),
+            ("tex_requests", f(self.tex_requests)),
+            ("tex_transactions", f(self.tex_transactions)),
+            ("tex_cache_misses", f(self.tex_cache_misses)),
+            ("const_requests", f(self.const_requests)),
+            ("const_transactions", f(self.const_transactions)),
+            ("const_cache_misses", f(self.const_cache_misses)),
+            ("shared_ld_requests", f(self.shared_ld_requests)),
+            ("shared_st_requests", f(self.shared_st_requests)),
+            ("local_ld_requests", f(self.local_ld_requests)),
+            ("local_st_requests", f(self.local_st_requests)),
+            ("l1_local_hits", f(self.l1_local_hits)),
+            ("l1_local_misses", f(self.l1_local_misses)),
+            ("L2_transactions", f(self.l2_transactions)),
+            ("L2_misses", f(self.l2_misses)),
+            ("L2_from_global", f(self.l2_from_global)),
+            ("L2_from_tex", f(self.l2_from_tex)),
+            ("L2_from_const", f(self.l2_from_const)),
+            ("L2_writebacks", f(self.l2_writebacks)),
+            ("dram_requests", f(self.dram_requests)),
+            ("row_buffer_hits", f(self.row_buffer_hits)),
+            ("row_buffer_misses", f(self.row_buffer_misses)),
+            ("row_buffer_conflicts", f(self.row_buffer_conflicts)),
+            ("dram_total_latency", f(self.dram_total_latency)),
+            ("dram_total_queuing", f(self.dram_total_queuing)),
+            ("blocks_launched", f(self.blocks_launched)),
+            ("warps_launched", f(self.warps_launched)),
+            ("stall_cycles", f(self.stall_cycles)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_totals_compose() {
+        let e = EventSet {
+            replay_global_divergence: 3,
+            replay_const_miss: 1,
+            replay_const_divergence: 2,
+            replay_shared_conflict: 4,
+            replay_double_width: 5,
+            ..Default::default()
+        };
+        assert_eq!(e.total_replays(), 15);
+        assert_eq!(e.replays_1_to_4(), 10);
+    }
+
+    #[test]
+    fn named_exports_every_table1_event() {
+        let e = EventSet::default();
+        let names: Vec<&str> = e.named().iter().map(|(n, _)| *n).collect();
+        for required in ["issue_slots", "inst_issued", "inst_integer", "ldst_issue", "L2_transactions"]
+        {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        // No duplicate names.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

@@ -1,0 +1,25 @@
+//! # hms-sim
+//!
+//! A trace-driven, cycle-level GPU execution simulator that stands in for
+//! the paper's evaluation platform (an NVIDIA Tesla K80 profiled with
+//! `nvprof` and SASSI). It consumes the concrete traces of `hms-trace`,
+//! executes them on a machine with SMs, a warp scheduler with instruction
+//! replays, per-SM constant/texture caches, a shared L2 and a GDDR5 DRAM
+//! model with row buffers and per-bank queues (`hms-dram`), and reports:
+//!
+//! * the **measured execution time** (cycles / nanoseconds) that the
+//!   paper's models are validated against, and
+//! * an `nvprof`-like **event set** ([`EventSet`]) covering every counter
+//!   the paper's methodology consumes (Table I events, the replay causes
+//!   of Section III-B, and the `T_overlap` features of Eq. 11).
+//!
+//! See `DESIGN.md` for why a simulator is the faithful substitution for
+//! the paper's hardware: the models only ever observe event counts,
+//! traces, and times.
+
+pub mod copy;
+pub mod events;
+pub mod machine;
+
+pub use events::EventSet;
+pub use machine::{simulate, simulate_default, SimOptions, SimResult};

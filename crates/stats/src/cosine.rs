@@ -1,0 +1,83 @@
+//! Cosine similarity between a performance-event vector and the
+//! execution-time vector (paper Section II-B).
+//!
+//! For a kernel with `N` data placements the paper builds a length-`N`
+//! *time vector* and one length-`N` vector per hardware performance event,
+//! then keeps the events whose cosine similarity with the time vector
+//! exceeds 0.94 — those become the model's critical indicators
+//! (`issue_slots`, `inst_issued`, `inst_integer`, `ldst_issue`,
+//! `L2_transactions`).
+
+/// Cosine similarity of two equal-length vectors.
+///
+/// Returns `None` when the vectors differ in length or either has zero
+/// magnitude (the similarity is undefined there; the paper's event vectors
+/// are non-negative counts, so a zero vector means the event never fired).
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return None;
+    }
+    Some(dot / (na.sqrt() * nb.sqrt()))
+}
+
+/// The paper's event-selection threshold: events with similarity above
+/// 0.94 are considered strongly correlated with the time variation.
+pub const PAPER_THRESHOLD: f64 = 0.94;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_are_one() {
+        let v = [1.0, 2.0, 3.0];
+        let s = cosine_similarity(&v, &v).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_vectors_are_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        let s = cosine_similarity(&a, &b).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_are_zero() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!(cosine_similarity(&a, &b).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_or_degenerate_inputs() {
+        assert_eq!(cosine_similarity(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(cosine_similarity(&[], &[]), None);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn similarity_tracks_shape_not_scale() {
+        // An event that follows time closely scores higher than one that
+        // varies independently.
+        let time = [10.0, 20.0, 15.0, 40.0];
+        let follower = [11.0, 19.0, 16.0, 41.0];
+        let noise = [30.0, 5.0, 40.0, 10.0];
+        let s_f = cosine_similarity(&time, &follower).unwrap();
+        let s_n = cosine_similarity(&time, &noise).unwrap();
+        assert!(s_f > PAPER_THRESHOLD);
+        assert!(s_n < s_f);
+    }
+}

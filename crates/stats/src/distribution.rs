@@ -1,0 +1,150 @@
+//! Distribution analysis for Figure 4: do memory-request inter-arrival
+//! times follow an exponential (Markov) distribution?
+//!
+//! The paper collects per-bank inter-arrival times, fits the maximum-
+//! likelihood exponential, and compares the empirical distribution against
+//! it — concluding that md and matrixMul are far from exponential (bursty
+//! arrivals, `c_a` up to 2.22) while spmv approximately follows it.
+
+/// Maximum-likelihood rate of an exponential distribution: `1 / mean`.
+///
+/// Returns `None` for an empty sample or a non-positive mean.
+pub fn fit_exponential_rate(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean <= 0.0 {
+        return None;
+    }
+    Some(1.0 / mean)
+}
+
+/// Kolmogorov–Smirnov distance between the empirical CDF of `xs` and the
+/// exponential CDF with `rate`: `sup_x |F_n(x) - (1 - e^{-rate x})|`.
+///
+/// A small distance means the sample is compatible with a Markov arrival
+/// stream; the paper's bursty kernels produce large distances.
+pub fn exp_cdf_distance(xs: &[f64], rate: f64) -> f64 {
+    if xs.is_empty() || rate <= 0.0 {
+        return 1.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = sorted.len() as f64;
+    let mut sup = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let model = 1.0 - (-rate * x).exp();
+        // Empirical CDF jumps at x: check both the pre- and post-jump gap.
+        let lo = i as f64 / n;
+        let hi = (i as f64 + 1.0) / n;
+        sup = sup.max((model - lo).abs()).max((hi - model).abs());
+    }
+    sup
+}
+
+/// A fixed-width histogram over `[0, max)` used to print Figure 4's
+/// measured-vs-theoretical distribution series.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub bin_width: f64,
+    pub counts: Vec<u64>,
+    pub total: u64,
+    /// Samples at or beyond the last bin edge.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` bins of width `bin_width`.
+    pub fn build(xs: &[f64], bin_width: f64, bins: usize) -> Histogram {
+        assert!(bin_width > 0.0 && bins > 0);
+        let mut counts = vec![0u64; bins];
+        let mut overflow = 0u64;
+        for &x in xs {
+            let idx = (x / bin_width).floor();
+            if idx >= 0.0 && (idx as usize) < bins {
+                counts[idx as usize] += 1;
+            } else {
+                overflow += 1;
+            }
+        }
+        Histogram { bin_width, counts, total: xs.len() as u64, overflow }
+    }
+
+    /// Fraction of samples in bin `i`.
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// The probability mass an exponential with `rate` puts in bin `i` —
+    /// the "theoretical" series of Figure 4.
+    pub fn exp_mass(&self, i: usize, rate: f64) -> f64 {
+        let lo = i as f64 * self.bin_width;
+        let hi = lo + self.bin_width;
+        (-rate * lo).exp() - (-rate * hi).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic Exp(rate) sample via inverse-CDF over a uniform grid.
+    fn exp_sample(rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                -(1.0 - u).ln() / rate
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ml_rate_is_inverse_mean() {
+        let xs = [2.0, 4.0, 6.0];
+        assert!((fit_exponential_rate(&xs).unwrap() - 0.25).abs() < 1e-12);
+        assert!(fit_exponential_rate(&[]).is_none());
+        assert!(fit_exponential_rate(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn exponential_sample_has_small_ks_distance() {
+        let xs = exp_sample(0.1, 5000);
+        let rate = fit_exponential_rate(&xs).unwrap();
+        let d = exp_cdf_distance(&xs, rate);
+        assert!(d < 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn bursty_sample_has_large_ks_distance() {
+        // Clumped arrivals: 90% tiny gaps, 10% huge gaps — the GPU pattern
+        // the paper describes ("memory requests tend to arrive in clumps").
+        let mut xs = vec![1.0; 900];
+        xs.extend(vec![500.0; 100]);
+        let rate = fit_exponential_rate(&xs).unwrap();
+        let d = exp_cdf_distance(&xs, rate);
+        assert!(d > 0.3, "d = {d}");
+    }
+
+    #[test]
+    fn histogram_masses_sum_to_total() {
+        let xs = [0.5, 1.5, 2.5, 3.5, 100.0];
+        let h = Histogram::build(&xs, 1.0, 4);
+        assert_eq!(h.counts, vec![1, 1, 1, 1]);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total, 5);
+        assert!((h.density(0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_mass_sums_to_one_over_all_bins() {
+        let h = Histogram::build(&[0.1], 0.5, 100);
+        let total: f64 = (0..100).map(|i| h.exp_mass(i, 0.5)).sum();
+        // 100 bins * 0.5 width at rate 0.5 covers 1 - e^{-25} ~ 1.
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

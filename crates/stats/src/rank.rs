@@ -1,0 +1,97 @@
+//! Rank statistics for the PORPLE comparison (Figure 6).
+//!
+//! PORPLE "aims to rank performance of different data placements instead
+//! of predicting execution time"; Figure 6 checks whether each model's
+//! predicted ranking matches the measured ranking. We quantify agreement
+//! with Spearman correlation and the number of pairwise inversions.
+
+/// Ranks of the values in `xs` (0 = smallest). Ties receive distinct ranks
+/// in input order, which is adequate for strictly-ordered execution times.
+pub fn rank_of(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranking input"));
+    let mut ranks = vec![0usize; xs.len()];
+    for (rank, &i) in idx.iter().enumerate() {
+        ranks[i] = rank;
+    }
+    ranks
+}
+
+/// Spearman rank correlation between two paired samples.
+///
+/// Returns `None` for mismatched lengths or fewer than 2 points.
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = rank_of(a);
+    let rb = rank_of(b);
+    let n = a.len() as f64;
+    let d2: f64 = ra
+        .iter()
+        .zip(&rb)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    Some(1.0 - 6.0 * d2 / (n * (n * n - 1.0)))
+}
+
+/// Number of discordant pairs between the ranking induced by `predicted`
+/// and the one induced by `measured` — 0 means the model ranks the
+/// placements exactly as the hardware does.
+pub fn rank_inversions(predicted: &[f64], measured: &[f64]) -> usize {
+    assert_eq!(predicted.len(), measured.len());
+    let n = predicted.len();
+    let mut inversions = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let p = predicted[i].partial_cmp(&predicted[j]).expect("NaN");
+            let m = measured[i].partial_cmp(&measured[j]).expect("NaN");
+            if p != std::cmp::Ordering::Equal && m != std::cmp::Ordering::Equal && p != m {
+                inversions += 1;
+            }
+        }
+    }
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_positional() {
+        assert_eq!(rank_of(&[30.0, 10.0, 20.0]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(rank_inversions(&a, &b), 0);
+    }
+
+    #[test]
+    fn perfect_disagreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(rank_inversions(&a, &b), 6); // all C(4,2) pairs flipped
+    }
+
+    #[test]
+    fn single_swap_costs_one_inversion() {
+        let measured = [1.0, 2.0, 3.0];
+        let predicted = [1.0, 3.0, 2.0];
+        assert_eq!(rank_inversions(&predicted, &measured), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(spearman(&[1.0], &[1.0]).is_none());
+        assert!(spearman(&[1.0, 2.0], &[1.0]).is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Percentiles and bootstrap confidence intervals.
+//!
+//! Used by the experiment harness to attach uncertainty to the mean
+//! prediction errors it reports: the evaluation suite has 14 points, so
+//! the headline averages deserve intervals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Linear-interpolated percentile of a sample, `q` in `[0, 1]`.
+///
+/// Returns `None` on an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// A bootstrap confidence interval for a statistic of the sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+    /// Point estimate on the original sample.
+    pub point: f64,
+}
+
+/// Percentile-bootstrap CI for the mean: resample with replacement
+/// `resamples` times (seeded, deterministic), take the
+/// `[(1-level)/2, (1+level)/2]` percentiles of the resampled means.
+pub fn bootstrap_mean_ci(xs: &[f64], level: f64, resamples: u32, seed: u64) -> Option<Interval> {
+    if xs.is_empty() || !(0.0..1.0).contains(&level) {
+        return None;
+    }
+    let n = xs.len();
+    let point = xs.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Some(Interval { lo: point, hi: point, point });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples as usize);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += xs[rng.gen_range(0..n)];
+        }
+        means.push(acc / n as f64);
+    }
+    let alpha = (1.0 - level) / 2.0;
+    Some(Interval {
+        lo: percentile(&means, alpha)?,
+        hi: percentile(&means, 1.0 - alpha)?,
+        point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile(&xs, 0.5), Some(2.5));
+        assert_eq!(percentile(&[], 0.5), None);
+        // Order-independence.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(percentile(&shuffled, 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn bootstrap_brackets_the_mean() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let ci = bootstrap_mean_ci(&xs, 0.95, 2000, 7).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        // Interval is non-degenerate but not absurdly wide.
+        assert!(ci.hi - ci.lo > 0.0);
+        assert!(ci.hi - ci.lo < 2.0);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let xs = [0.1, 0.5, 0.9, 0.3, 0.7];
+        let a = bootstrap_mean_ci(&xs, 0.9, 500, 42).unwrap();
+        let b = bootstrap_mean_ci(&xs, 0.9, 500, 42).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&xs, 0.9, 500, 43).unwrap();
+        assert!(a != c || a.point == c.point); // point identical, bounds may differ
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(bootstrap_mean_ci(&[], 0.9, 100, 0).is_none());
+        assert!(bootstrap_mean_ci(&[1.0, 2.0], 1.5, 100, 0).is_none());
+        let one = bootstrap_mean_ci(&[5.0], 0.9, 100, 0).unwrap();
+        assert_eq!(one.lo, 5.0);
+        assert_eq!(one.hi, 5.0);
+    }
+
+    #[test]
+    fn narrower_level_gives_narrower_interval() {
+        let xs: Vec<f64> = (0..40).map(|i| (i * 37 % 11) as f64).collect();
+        let wide = bootstrap_mean_ci(&xs, 0.99, 2000, 1).unwrap();
+        let narrow = bootstrap_mean_ci(&xs, 0.5, 2000, 1).unwrap();
+        assert!(narrow.hi - narrow.lo < wide.hi - wide.lo);
+    }
+}

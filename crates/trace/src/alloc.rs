@@ -1,0 +1,200 @@
+//! Deterministic address assignment (paper Section III-E).
+//!
+//! "If the location of the target data object is changed between the
+//! off-chip memories, the address of the target data object remains the
+//! same. If the location ... is changed between an off-chip memory and
+//! shared memory, we assign an address range ... after the allocated
+//! largest memory addresses ... following the requirements of memory
+//! alignment and data object size."
+//!
+//! We satisfy the invariant by assigning every array a *stable* off-chip
+//! range in declaration order, independent of placement: an array moved
+//! between off-chip spaces keeps its address; an array placed in shared
+//! memory leaves its off-chip range unused and receives a per-block
+//! shared-memory offset instead. Block-scoped arrays placed off-chip get
+//! one region per block, laid out after all shared ranges.
+
+use hms_types::{ArrayDef, ArrayId, MemorySpace, PlacementMap};
+
+/// Alignment of every off-chip allocation (matches `cudaMalloc`'s
+/// 256-byte guarantee).
+pub const OFFCHIP_ALIGN: u64 = 256;
+/// Alignment of shared-memory allocations.
+pub const SHARED_ALIGN: u64 = 128;
+
+/// Resolved base addresses for one kernel under one placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressAllocator {
+    /// Stable off-chip base per array (assigned regardless of placement).
+    offchip_base: Vec<u64>,
+    /// Per-block region stride for block-scoped arrays placed off-chip
+    /// (0 for globally-shared arrays).
+    block_stride: Vec<u64>,
+    /// Shared-memory offset per array (`None` when not placed in shared).
+    shared_base: Vec<Option<u64>>,
+    /// Total shared memory consumed per block.
+    shared_bytes_per_block: u64,
+    /// One past the highest off-chip byte allocated.
+    offchip_end: u64,
+}
+
+fn align_up(x: u64, a: u64) -> u64 {
+    x.div_ceil(a) * a
+}
+
+impl AddressAllocator {
+    /// Lay out `arrays` for `placement`. The off-chip layout is computed
+    /// first and is placement-independent; per-block regions for
+    /// block-scoped off-chip arrays are appended after it.
+    pub fn new(arrays: &[ArrayDef], placement: &PlacementMap, grid_blocks: u32) -> Self {
+        assert_eq!(arrays.len(), placement.len());
+        let mut offchip_base = Vec::with_capacity(arrays.len());
+        let mut block_stride = vec![0u64; arrays.len()];
+        let mut cursor = 0u64;
+        // Pass 1: stable ranges for every array (per-block arrays reserve
+        // one region here as their backing store; they are re-pointed at
+        // per-block regions below when placed off-chip).
+        for a in arrays {
+            cursor = align_up(cursor, OFFCHIP_ALIGN);
+            offchip_base.push(cursor);
+            cursor += a.size_bytes();
+        }
+        // Pass 2: block-scoped arrays placed off-chip get `grid_blocks`
+        // regions "after the allocated largest memory addresses".
+        for (i, a) in arrays.iter().enumerate() {
+            if a.per_block && placement.space(ArrayId(i as u32)).is_off_chip() {
+                cursor = align_up(cursor, OFFCHIP_ALIGN);
+                offchip_base[i] = cursor;
+                let stride = align_up(a.size_bytes(), OFFCHIP_ALIGN);
+                block_stride[i] = stride;
+                cursor += stride * u64::from(grid_blocks);
+            }
+        }
+        // Shared-memory offsets.
+        let mut shared_base = vec![None; arrays.len()];
+        let mut shared_cursor = 0u64;
+        for (i, a) in arrays.iter().enumerate() {
+            if placement.space(ArrayId(i as u32)) == MemorySpace::Shared {
+                shared_cursor = align_up(shared_cursor, SHARED_ALIGN);
+                shared_base[i] = Some(shared_cursor);
+                shared_cursor += a.size_bytes();
+            }
+        }
+        AddressAllocator {
+            offchip_base,
+            block_stride,
+            shared_base,
+            shared_bytes_per_block: shared_cursor,
+            offchip_end: cursor,
+        }
+    }
+
+    /// Byte base address for `array` as referenced by `block`.
+    ///
+    /// For shared placements the returned address is an offset into the
+    /// block's shared memory; off-chip placements return a device
+    /// physical address.
+    pub fn base(&self, array: ArrayId, block: u32, placement: &PlacementMap) -> u64 {
+        let i = array.index();
+        if placement.space(array) == MemorySpace::Shared {
+            self.shared_base[i].expect("shared base exists for shared placement")
+        } else {
+            self.offchip_base[i] + self.block_stride[i] * u64::from(block)
+        }
+    }
+
+    /// Stable off-chip base (useful for identifying an array from a raw
+    /// address, as the rewriter does).
+    pub fn offchip_base(&self, array: ArrayId) -> u64 {
+        self.offchip_base[array.index()]
+    }
+
+    /// Shared bytes a block consumes under this placement (limits
+    /// occupancy in the simulator).
+    pub fn shared_bytes_per_block(&self) -> u64 {
+        self.shared_bytes_per_block
+    }
+
+    /// One past the highest allocated off-chip address.
+    pub fn offchip_end(&self) -> u64 {
+        self.offchip_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_types::DType;
+
+    fn arrays() -> Vec<ArrayDef> {
+        vec![
+            ArrayDef::new_1d(0, "a", DType::F32, 100, false), // 400 B
+            ArrayDef::new_1d(1, "b", DType::F64, 33, false),  // 264 B
+            ArrayDef::new_1d(2, "tile", DType::F32, 64, true).scratch().per_block(),
+        ]
+    }
+
+    #[test]
+    fn offchip_layout_is_aligned_and_disjoint() {
+        let arrs = arrays();
+        let pm = PlacementMap::all_global(3);
+        let al = AddressAllocator::new(&arrs, &pm, 4);
+        let a = al.base(ArrayId(0), 0, &pm);
+        let b = al.base(ArrayId(1), 0, &pm);
+        assert_eq!(a % OFFCHIP_ALIGN, 0);
+        assert_eq!(b % OFFCHIP_ALIGN, 0);
+        assert!(b >= a + 400);
+    }
+
+    #[test]
+    fn moving_between_offchip_spaces_keeps_address() {
+        // The paper's invariant: off-chip -> off-chip moves keep the
+        // target object's address.
+        let arrs = arrays();
+        let g = PlacementMap::all_global(3);
+        let t = g.with(ArrayId(0), MemorySpace::Texture1D);
+        let ag = AddressAllocator::new(&arrs, &g, 4);
+        let at = AddressAllocator::new(&arrs, &t, 4);
+        assert_eq!(ag.base(ArrayId(0), 0, &g), at.base(ArrayId(0), 0, &t));
+        assert_eq!(ag.base(ArrayId(1), 0, &g), at.base(ArrayId(1), 0, &t));
+    }
+
+    #[test]
+    fn per_block_offchip_regions_are_disjoint_and_last() {
+        let arrs = arrays();
+        let pm = PlacementMap::all_global(3);
+        let al = AddressAllocator::new(&arrs, &pm, 4);
+        let b0 = al.base(ArrayId(2), 0, &pm);
+        let b1 = al.base(ArrayId(2), 1, &pm);
+        assert!(b1 >= b0 + 256);
+        // Appended after the grid-wide arrays.
+        assert!(b0 > al.base(ArrayId(1), 0, &pm));
+        assert!(al.offchip_end() >= b0 + 4 * 256);
+    }
+
+    #[test]
+    fn shared_placement_uses_shared_offsets() {
+        let arrs = arrays();
+        let pm = PlacementMap::all_global(3).with(ArrayId(2), MemorySpace::Shared);
+        let al = AddressAllocator::new(&arrs, &pm, 4);
+        // Shared offsets start at 0 and are identical across blocks.
+        assert_eq!(al.base(ArrayId(2), 0, &pm), 0);
+        assert_eq!(al.base(ArrayId(2), 3, &pm), 0);
+        assert_eq!(al.shared_bytes_per_block(), 256);
+    }
+
+    #[test]
+    fn two_shared_arrays_do_not_overlap() {
+        let arrs = vec![
+            ArrayDef::new_1d(0, "x", DType::F32, 10, false),
+            ArrayDef::new_1d(1, "y", DType::F32, 10, false),
+        ];
+        let pm = PlacementMap::from_spaces(vec![MemorySpace::Shared, MemorySpace::Shared]);
+        let al = AddressAllocator::new(&arrs, &pm, 1);
+        let x = al.base(ArrayId(0), 0, &pm);
+        let y = al.base(ArrayId(1), 0, &pm);
+        assert_ne!(x, y);
+        assert!(y >= x + 40);
+        assert_eq!(y % SHARED_ALIGN, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Sample-to-target trace rewriting (paper Section IV).
+//!
+//! "The memory trace is then processed to replace load and store
+//! operations of the sample data placement with those of the target data
+//! placement accommodating the addressing mode difference."
+//!
+//! The rewriter consumes only what the paper's SASSI-based framework has:
+//! the *concrete* sample trace (byte addresses + the array each access
+//! belongs to, recovered from address ranges) and the array metadata. It
+//! recovers each lane's element coordinates by inverting the sample
+//! layout, then re-lays the element out under the target placement. By
+//! construction `rewrite(materialize(k, s), t) == materialize(k, t)` —
+//! an equivalence the integration tests assert.
+
+use hms_types::layout::tex2d_invert;
+use hms_types::{Dims, GpuConfig, HmsError, MemorySpace, PlacementMap};
+
+use crate::alloc::AddressAllocator;
+use crate::concrete::{element_offset, CInstr, CMemRef, ConcreteTrace, ConcreteWarp};
+use crate::op::ElemIdx;
+
+/// Rewrite `sample` (a concrete trace of the sample placement) into the
+/// concrete trace of `target`.
+pub fn rewrite(
+    sample: &ConcreteTrace,
+    target: &PlacementMap,
+    cfg: &GpuConfig,
+) -> Result<ConcreteTrace, HmsError> {
+    target.validate(&sample.arrays, cfg)?;
+    let alloc = AddressAllocator::new(&sample.arrays, target, sample.geometry.grid_blocks);
+    let mut warps = Vec::with_capacity(sample.warps.len());
+    for w in &sample.warps {
+        let mut instrs = Vec::with_capacity(w.instrs.len());
+        for instr in &w.instrs {
+            match instr {
+                CInstr::Mem(m) => {
+                    let array = &sample.arrays[m.array.index()];
+                    let from_space = m.space;
+                    let to_space = target.space(m.array);
+                    let from_base = sample.alloc.base(m.array, w.block, &sample.placement);
+                    let to_base = alloc.base(m.array, w.block, target);
+                    let esize = array.dtype.size_bytes();
+                    let width = match array.dims {
+                        Dims::D1 { len } => len,
+                        Dims::D2 { width, .. } => width,
+                    };
+                    let addrs = m
+                        .addrs
+                        .iter()
+                        .map(|oa| {
+                            oa.map(|a| {
+                                let off = a - from_base;
+                                // Invert the sample layout to recover the
+                                // element, then apply the target layout.
+                                let idx = if from_space == MemorySpace::Texture2D {
+                                    let (x, y) = tex2d_invert(off, width, esize, cfg.tex2d_tile);
+                                    ElemIdx::XY(x, y)
+                                } else {
+                                    ElemIdx::Lin(off / esize)
+                                };
+                                to_base + element_offset(array, to_space, idx, cfg)
+                            })
+                        })
+                        .collect();
+                    instrs.push(CInstr::Mem(CMemRef {
+                        array: m.array,
+                        space: to_space,
+                        is_store: m.is_store,
+                        elem_bytes: m.elem_bytes,
+                        addrs,
+                    }));
+                }
+                other => instrs.push(other.clone()),
+            }
+        }
+        warps.push(ConcreteWarp { block: w.block, warp: w.warp, instrs });
+    }
+    Ok(ConcreteTrace {
+        name: sample.name.clone(),
+        arrays: sample.arrays.clone(),
+        geometry: sample.geometry,
+        placement: target.clone(),
+        alloc,
+        warps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::materialize;
+    use crate::op::{KernelTrace, MemRef, SymOp, WarpTrace};
+    use hms_types::{ArrayDef, ArrayId, DType, Geometry};
+
+    fn kernel() -> KernelTrace {
+        KernelTrace {
+            name: "k".into(),
+            arrays: vec![
+                ArrayDef::new_1d(0, "a", DType::F32, 256, false),
+                ArrayDef::new_2d(1, "img", DType::F64, 32, 32, false),
+                ArrayDef::new_1d(2, "out", DType::F32, 256, true),
+            ],
+            geometry: Geometry::new(4, 64),
+            warps: (0..8)
+                .map(|i| WarpTrace {
+                    block: i / 2,
+                    warp: i % 2,
+                    ops: vec![
+                        SymOp::AddrCalc { array: ArrayId(0), count: 1 },
+                        SymOp::Access(MemRef::load_lin(ArrayId(0), (0..32).map(|l| (i as u64 * 32 + l) % 256))),
+                        SymOp::Access(MemRef::load(
+                            ArrayId(1),
+                            (0..32).map(|l| Some(ElemIdx::XY(l % 8, l / 8 + i as u64))).collect(),
+                        )),
+                        SymOp::WaitLoads,
+                        SymOp::FpAlu(4),
+                        SymOp::Access(MemRef::store_lin(ArrayId(2), (0..32).map(|l| i as u64 * 32 + l))),
+                    ],
+                })
+                .collect(),
+        }
+    }
+
+    /// The central equivalence: rewriting the sample trace must be
+    /// indistinguishable from materializing the target directly.
+    #[test]
+    fn rewrite_equals_direct_materialization() {
+        let kt = kernel();
+        let cfg = GpuConfig::tesla_k80();
+        let sample_pm = kt.default_placement().with(ArrayId(1), MemorySpace::Texture2D);
+        let sample = materialize(&kt, &sample_pm, &cfg).unwrap();
+        let targets = [
+            kt.default_placement(),
+            kt.default_placement().with(ArrayId(0), MemorySpace::Constant),
+            kt.default_placement().with(ArrayId(0), MemorySpace::Texture1D),
+            kt.default_placement()
+                .with(ArrayId(0), MemorySpace::Shared)
+                .with(ArrayId(1), MemorySpace::Texture2D),
+            sample_pm.clone(),
+        ];
+        for t in targets {
+            let rewritten = rewrite(&sample, &t, &cfg).unwrap();
+            let direct = materialize(&kt, &t, &cfg).unwrap();
+            assert_eq!(rewritten, direct, "divergence for target {t:?}");
+        }
+    }
+
+    #[test]
+    fn rewrite_round_trip_is_identity() {
+        let kt = kernel();
+        let cfg = GpuConfig::tesla_k80();
+        let s = kt.default_placement();
+        let t = s.with(ArrayId(0), MemorySpace::Constant);
+        let sample = materialize(&kt, &s, &cfg).unwrap();
+        let there = rewrite(&sample, &t, &cfg).unwrap();
+        let back = rewrite(&there, &s, &cfg).unwrap();
+        assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn rewrite_rejects_invalid_target() {
+        let kt = kernel();
+        let cfg = GpuConfig::tesla_k80();
+        let sample = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
+        // `out` is written: texture placement is illegal.
+        let bad = kt.default_placement().with(ArrayId(2), MemorySpace::Texture1D);
+        assert!(rewrite(&sample, &bad, &cfg).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Text serialization of concrete traces.
+//!
+//! The paper's framework materializes SASSI instruction/memory traces as
+//! files and post-processes them offline; this module provides the same
+//! workflow: [`dump`] a concrete trace to a line-oriented text format,
+//! [`load`] it back. The format is deliberately simple — one record per
+//! line, space-separated — so external tools (awk, Python) can consume
+//! the traces too.
+//!
+//! ```text
+//! # gpu-hms trace v1
+//! kernel vecAdd
+//! geometry 64 128 32
+//! array 0 a f32 d1 8192 ro data grid
+//! placement G G G
+//! warp 0 0
+//! alu int 2
+//! addr 0 1
+//! mem 0 G ld 4 0:1000 1:1004 ...
+//! wait
+//! sync
+//! end
+//! ```
+
+use std::fmt::Write as _;
+
+use hms_types::{ArrayDef, ArrayId, DType, Dims, Geometry, GpuConfig, HmsError, MemorySpace, PlacementMap};
+
+use crate::alloc::AddressAllocator;
+use crate::concrete::{AluKind, CInstr, CMemRef, ConcreteTrace, ConcreteWarp};
+
+fn dtype_name(d: DType) -> &'static str {
+    match d {
+        DType::F32 => "f32",
+        DType::F64 => "f64",
+        DType::I32 => "i32",
+        DType::U32 => "u32",
+        DType::I64 => "i64",
+    }
+}
+
+fn dtype_parse(s: &str) -> Option<DType> {
+    Some(match s {
+        "f32" => DType::F32,
+        "f64" => DType::F64,
+        "i32" => DType::I32,
+        "u32" => DType::U32,
+        "i64" => DType::I64,
+        _ => return None,
+    })
+}
+
+fn alu_name(k: AluKind) -> &'static str {
+    match k {
+        AluKind::Int => "int",
+        AluKind::Fp32 => "fp32",
+        AluKind::Fp64 => "fp64",
+        AluKind::Sfu => "sfu",
+    }
+}
+
+fn alu_parse(s: &str) -> Option<AluKind> {
+    Some(match s {
+        "int" => AluKind::Int,
+        "fp32" => AluKind::Fp32,
+        "fp64" => AluKind::Fp64,
+        "sfu" => AluKind::Sfu,
+        _ => return None,
+    })
+}
+
+/// Serialize a concrete trace to the v1 text format.
+pub fn dump(trace: &ConcreteTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# gpu-hms trace v1");
+    let _ = writeln!(out, "kernel {}", trace.name.replace(' ', "_"));
+    let g = trace.geometry;
+    let _ = writeln!(out, "geometry {} {} {}", g.grid_blocks, g.block_threads, g.warp_size);
+    for a in &trace.arrays {
+        let (shape, extents) = match a.dims {
+            Dims::D1 { len } => ("d1", format!("{len}")),
+            Dims::D2 { width, height } => ("d2", format!("{width}x{height}")),
+        };
+        let _ = writeln!(
+            out,
+            "array {} {} {} {shape} {extents} {} {} {}",
+            a.id.0,
+            a.name.replace(' ', "_"),
+            dtype_name(a.dtype),
+            if a.written { "rw" } else { "ro" },
+            if a.scratch { "scratch" } else { "data" },
+            if a.per_block { "block" } else { "grid" },
+        );
+    }
+    let spaces: Vec<&str> = trace.placement.iter().map(|(_, s)| s.short()).collect();
+    let _ = writeln!(out, "placement {}", spaces.join(" "));
+    for w in &trace.warps {
+        let _ = writeln!(out, "warp {} {}", w.block, w.warp);
+        for instr in &w.instrs {
+            match instr {
+                CInstr::Alu { kind, count } => {
+                    let _ = writeln!(out, "alu {} {count}", alu_name(*kind));
+                }
+                CInstr::AddrCalc { array, count } => {
+                    let _ = writeln!(out, "addr {} {count}", array.0);
+                }
+                CInstr::WaitLoads => {
+                    let _ = writeln!(out, "wait");
+                }
+                CInstr::SyncThreads => {
+                    let _ = writeln!(out, "sync");
+                }
+                CInstr::Local { is_store, slots } => {
+                    let lanes: Vec<String> = slots.iter().map(|s| s.to_string()).collect();
+                    let _ = writeln!(
+                        out,
+                        "local {} {}",
+                        if *is_store { "st" } else { "ld" },
+                        lanes.join(" ")
+                    );
+                }
+                CInstr::Mem(m) => {
+                    let lanes: Vec<String> = m
+                        .addrs
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(l, a)| a.map(|a| format!("{l}:{a}")))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "mem {} {} {} {} {}",
+                        m.array.0,
+                        m.space.short(),
+                        if m.is_store { "st" } else { "ld" },
+                        m.elem_bytes,
+                        lanes.join(" ")
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "end");
+    }
+    out
+}
+
+/// Parse the v1 text format back into a concrete trace.
+///
+/// `cfg` is needed to rebuild the address allocator (it is derived state,
+/// not serialized).
+pub fn load(text: &str, cfg: &GpuConfig) -> Result<ConcreteTrace, HmsError> {
+    let bad = |line: usize, msg: &str| {
+        HmsError::InvalidInput(format!("trace line {}: {msg}", line + 1))
+    };
+    let mut name = String::new();
+    let mut geometry: Option<Geometry> = None;
+    let mut arrays: Vec<ArrayDef> = Vec::new();
+    let mut placement: Option<PlacementMap> = None;
+    let mut warps: Vec<ConcreteWarp> = Vec::new();
+    let mut current: Option<ConcreteWarp> = None;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let head = tok.next().expect("non-empty line");
+        let rest: Vec<&str> = tok.collect();
+        match head {
+            "kernel" => name = rest.first().ok_or_else(|| bad(ln, "kernel needs a name"))?.to_string(),
+            "geometry" => {
+                if rest.len() != 3 {
+                    return Err(bad(ln, "geometry needs 3 fields"));
+                }
+                let p = |s: &str| s.parse::<u32>().map_err(|_| bad(ln, "bad geometry number"));
+                geometry = Some(Geometry {
+                    grid_blocks: p(rest[0])?,
+                    block_threads: p(rest[1])?,
+                    warp_size: p(rest[2])?,
+                });
+            }
+            "array" => {
+                if rest.len() != 8 {
+                    return Err(bad(ln, "array needs 8 fields"));
+                }
+                let id: u32 = rest[0].parse().map_err(|_| bad(ln, "bad array id"))?;
+                let dtype = dtype_parse(rest[2]).ok_or_else(|| bad(ln, "bad dtype"))?;
+                let written = match rest[5] {
+                    "rw" => true,
+                    "ro" => false,
+                    _ => return Err(bad(ln, "expected ro/rw")),
+                };
+                let mut def = match rest[3] {
+                    "d1" => {
+                        let len = rest[4].parse().map_err(|_| bad(ln, "bad length"))?;
+                        ArrayDef::new_1d(id, rest[1], dtype, len, written)
+                    }
+                    "d2" => {
+                        let (w, h) = rest[4]
+                            .split_once('x')
+                            .ok_or_else(|| bad(ln, "d2 extents need WxH"))?;
+                        let w = w.parse().map_err(|_| bad(ln, "bad width"))?;
+                        let h = h.parse().map_err(|_| bad(ln, "bad height"))?;
+                        ArrayDef::new_2d(id, rest[1], dtype, w, h, written)
+                    }
+                    _ => return Err(bad(ln, "expected d1/d2")),
+                };
+                if rest[6] == "scratch" {
+                    def = def.scratch();
+                }
+                if rest[7] == "block" {
+                    def = def.per_block();
+                }
+                arrays.push(def);
+            }
+            "placement" => {
+                let spaces: Option<Vec<MemorySpace>> =
+                    rest.iter().map(|s| MemorySpace::from_short(s)).collect();
+                placement = Some(PlacementMap::from_spaces(
+                    spaces.ok_or_else(|| bad(ln, "bad space"))?,
+                ));
+            }
+            "warp" => {
+                if current.is_some() {
+                    return Err(bad(ln, "warp before previous `end`"));
+                }
+                if rest.len() != 2 {
+                    return Err(bad(ln, "warp needs block and index"));
+                }
+                current = Some(ConcreteWarp {
+                    block: rest[0].parse().map_err(|_| bad(ln, "bad block"))?,
+                    warp: rest[1].parse().map_err(|_| bad(ln, "bad warp"))?,
+                    instrs: Vec::new(),
+                });
+            }
+            "end" => {
+                warps.push(current.take().ok_or_else(|| bad(ln, "end without warp"))?);
+            }
+            "alu" | "addr" | "wait" | "sync" | "mem" | "local" => {
+                let w = current.as_mut().ok_or_else(|| bad(ln, "instruction outside warp"))?;
+                match head {
+                    "alu" => {
+                        let kind = alu_parse(rest.first().copied().unwrap_or(""))
+                            .ok_or_else(|| bad(ln, "bad alu kind"))?;
+                        let count =
+                            rest.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| bad(ln, "bad count"))?;
+                        w.instrs.push(CInstr::Alu { kind, count });
+                    }
+                    "addr" => {
+                        let array: u32 =
+                            rest.first().and_then(|s| s.parse().ok()).ok_or_else(|| bad(ln, "bad array"))?;
+                        let count =
+                            rest.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| bad(ln, "bad count"))?;
+                        w.instrs.push(CInstr::AddrCalc { array: ArrayId(array), count });
+                    }
+                    "wait" => w.instrs.push(CInstr::WaitLoads),
+                    "sync" => w.instrs.push(CInstr::SyncThreads),
+                    "local" => {
+                        let is_store = match rest.first().copied() {
+                            Some("st") => true,
+                            Some("ld") => false,
+                            _ => return Err(bad(ln, "local needs ld/st")),
+                        };
+                        let slots: Result<Vec<u32>, _> =
+                            rest[1..].iter().map(|s| s.parse()).collect();
+                        w.instrs.push(CInstr::Local {
+                            is_store,
+                            slots: slots.map_err(|_| bad(ln, "bad slot"))?,
+                        });
+                    }
+                    "mem" => {
+                        if rest.len() < 4 {
+                            return Err(bad(ln, "mem needs array/space/dir/esize"));
+                        }
+                        let array: u32 = rest[0].parse().map_err(|_| bad(ln, "bad array"))?;
+                        let space = MemorySpace::from_short(rest[1])
+                            .ok_or_else(|| bad(ln, "bad space"))?;
+                        let is_store = match rest[2] {
+                            "st" => true,
+                            "ld" => false,
+                            _ => return Err(bad(ln, "expected ld/st")),
+                        };
+                        let elem_bytes: u8 = rest[3].parse().map_err(|_| bad(ln, "bad esize"))?;
+                        let warp_size = geometry
+                            .ok_or_else(|| bad(ln, "mem before geometry"))?
+                            .warp_size as usize;
+                        let mut addrs = vec![None; warp_size];
+                        for lane_spec in &rest[4..] {
+                            let (lane, addr) = lane_spec
+                                .split_once(':')
+                                .ok_or_else(|| bad(ln, "lane spec needs lane:addr"))?;
+                            let lane: usize = lane.parse().map_err(|_| bad(ln, "bad lane"))?;
+                            if lane >= warp_size {
+                                return Err(bad(ln, "lane out of range"));
+                            }
+                            addrs[lane] =
+                                Some(addr.parse().map_err(|_| bad(ln, "bad address"))?);
+                        }
+                        w.instrs.push(CInstr::Mem(CMemRef {
+                            array: ArrayId(array),
+                            space,
+                            is_store,
+                            elem_bytes,
+                            addrs,
+                        }));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => return Err(bad(ln, &format!("unknown record `{other}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(HmsError::InvalidInput("trace ends inside a warp".into()));
+    }
+    let geometry = geometry.ok_or_else(|| HmsError::InvalidInput("missing geometry".into()))?;
+    let placement =
+        placement.ok_or_else(|| HmsError::InvalidInput("missing placement".into()))?;
+    if placement.len() != arrays.len() {
+        return Err(HmsError::InvalidInput("placement/array count mismatch".into()));
+    }
+    let _ = cfg;
+    let alloc = AddressAllocator::new(&arrays, &placement, geometry.grid_blocks);
+    Ok(ConcreteTrace { name, arrays, geometry, placement, alloc, warps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::materialize;
+    use crate::op::{KernelTrace, MemRef, SymOp, WarpTrace};
+
+    fn sample() -> ConcreteTrace {
+        let kt = KernelTrace {
+            name: "roundtrip".into(),
+            arrays: vec![
+                ArrayDef::new_1d(0, "a", DType::F32, 128, false),
+                ArrayDef::new_2d(1, "img", DType::F64, 16, 8, false),
+                ArrayDef::new_1d(2, "tile", DType::F32, 64, true).scratch().per_block(),
+            ],
+            geometry: Geometry::new(2, 64),
+            warps: (0..4)
+                .map(|i| WarpTrace {
+                    block: i / 2,
+                    warp: i % 2,
+                    ops: vec![
+                        SymOp::IntAlu(2),
+                        SymOp::AddrCalc { array: ArrayId(0), count: 1 },
+                        SymOp::Access(MemRef::load(
+                            ArrayId(0),
+                            (0..32)
+                                .map(|l| (l % 2 == 0).then_some(crate::op::ElemIdx::Lin(l)))
+                                .collect(),
+                        )),
+                        SymOp::WaitLoads,
+                        SymOp::Fp64(1),
+                        SymOp::SyncThreads,
+                        SymOp::Access(MemRef::store_lin(ArrayId(2), 0..32)),
+                    ],
+                })
+                .collect(),
+        };
+        let pm = kt
+            .default_placement()
+            .with(ArrayId(1), MemorySpace::Texture2D)
+            .with(ArrayId(2), MemorySpace::Shared);
+        materialize(&kt, &pm, &GpuConfig::tesla_k80()).unwrap()
+    }
+
+    #[test]
+    fn dump_load_round_trips() {
+        let cfg = GpuConfig::tesla_k80();
+        let t = sample();
+        let text = dump(&t);
+        let back = load(&text, &cfg).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn format_is_line_oriented_and_commented() {
+        let text = dump(&sample());
+        assert!(text.starts_with("# gpu-hms trace v1\n"));
+        assert!(text.contains("placement G 2T S"));
+        assert!(text.contains("mem 0 G ld 4 0:"));
+    }
+
+    #[test]
+    fn load_rejects_malformed_input() {
+        let cfg = GpuConfig::tesla_k80();
+        for bad in [
+            "geometry 1 32",                          // wrong arity
+            "kernel k\nwarp 0 0\nalu int 1",          // unterminated warp
+            "kernel k\ngeometry 1 32 32\nplacement X", // bad space
+            "garbage line",
+        ] {
+            assert!(load(bad, &cfg).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn loaded_trace_simulates_identically() {
+        let cfg = GpuConfig::tesla_k80();
+        let t = sample();
+        let back = load(&dump(&t), &cfg).unwrap();
+        // Both traces are the same object, so this is implied by
+        // dump_load_round_trips — but assert the behavioural equivalence
+        // explicitly for the serialization contract.
+        assert_eq!(format!("{:?}", back.warps), format!("{:?}", t.warps));
+    }
+}

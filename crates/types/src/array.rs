@@ -1,0 +1,126 @@
+//! Data-array descriptors — the objects whose placement is optimized.
+//!
+//! Following the paper ("our work focuses on the placement of data arrays
+//! ... because the data array is the most common data structure in GPU
+//! programming"), the placement unit is a 1-D or 2-D array of a fixed
+//! element type.
+
+use crate::dtype::DType;
+
+/// Identifier of a data array within one kernel, assigned by the kernel
+/// generator in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Logical dimensionality of an array.
+///
+/// The paper keeps "the dimension of the array in the target data placement
+/// ... the same as that in the sample data placement"; a 2-D shape is what
+/// makes a `Texture2D` placement meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dims {
+    /// Flat array of `len` elements.
+    D1 { len: u64 },
+    /// Row-major `height x width` array.
+    D2 { width: u64, height: u64 },
+}
+
+impl Dims {
+    /// Total number of elements.
+    #[inline]
+    pub fn elements(&self) -> u64 {
+        match *self {
+            Dims::D1 { len } => len,
+            Dims::D2 { width, height } => width * height,
+        }
+    }
+}
+
+/// Descriptor of one placeable data array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDef {
+    pub id: ArrayId,
+    /// Human-readable name, matching the paper's Table IV object names
+    /// where applicable (e.g. `"neighList"`, `"rowDelimiters"`).
+    pub name: String,
+    pub dtype: DType,
+    pub dims: Dims,
+    /// Whether the kernel ever stores to the array. Writable arrays cannot
+    /// be placed in texture or constant memory.
+    pub written: bool,
+    /// A *scratch* array holds no input data (e.g. a reduction buffer or
+    /// an FFT staging tile): moving it into shared memory needs no
+    /// initialization copy, and moving it out needs no write-back.
+    pub scratch: bool,
+    /// A *block-scoped* array is logically private to each thread block
+    /// (the natural shape of shared-memory data). When such an array is
+    /// placed off-chip, every block addresses its own region — the
+    /// paper's "the array index in shared memory is replaced with a
+    /// global thread ID" convention.
+    pub per_block: bool,
+}
+
+impl ArrayDef {
+    pub fn new_1d(id: u32, name: &str, dtype: DType, len: u64, written: bool) -> Self {
+        ArrayDef {
+            id: ArrayId(id),
+            name: name.to_owned(),
+            dtype,
+            dims: Dims::D1 { len },
+            written,
+            scratch: false,
+            per_block: false,
+        }
+    }
+
+    pub fn new_2d(id: u32, name: &str, dtype: DType, width: u64, height: u64, written: bool) -> Self {
+        ArrayDef {
+            id: ArrayId(id),
+            name: name.to_owned(),
+            dtype,
+            dims: Dims::D2 { width, height },
+            written,
+            scratch: false,
+            per_block: false,
+        }
+    }
+
+    /// Mark the array as scratch (no input contents; see [`ArrayDef::scratch`]).
+    pub fn scratch(mut self) -> Self {
+        self.scratch = true;
+        self
+    }
+
+    /// Mark the array as block-scoped (see [`ArrayDef::per_block`]).
+    pub fn per_block(mut self) -> Self {
+        self.per_block = true;
+        self
+    }
+
+    /// Footprint of the array in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.dims.elements() * self.dtype.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let a = ArrayDef::new_1d(0, "a", DType::F32, 1024, false);
+        assert_eq!(a.size_bytes(), 4096);
+        let b = ArrayDef::new_2d(1, "b", DType::F64, 64, 32, true);
+        assert_eq!(b.dims.elements(), 2048);
+        assert_eq!(b.size_bytes(), 16384);
+    }
+}

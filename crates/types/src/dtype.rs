@@ -1,0 +1,76 @@
+//! Element data types of placed arrays.
+//!
+//! The paper enumerates "common data types (double-precision floating
+//! point and integer)" when quantifying addressing-mode instruction
+//! differences (Section III-B), so the type of an array element is part of
+//! the model input.
+
+use std::fmt;
+
+/// Element type of a data array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit single-precision float (`float`).
+    F32,
+    /// 64-bit double-precision float (`double`).
+    F64,
+    /// 32-bit signed integer (`int`).
+    I32,
+    /// 32-bit unsigned integer (`unsigned int`).
+    U32,
+    /// 64-bit signed integer (`long long`).
+    I64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 | DType::U32 => 4,
+            DType::F64 | DType::I64 => 8,
+        }
+    }
+
+    /// Whether arithmetic on this type uses the double-precision pipeline,
+    /// whose instructions "issue over 2 cycles" (replay cause (5) in the
+    /// paper's Section III-B).
+    #[inline]
+    pub fn is_double_width(self) -> bool {
+        matches!(self, DType::F64 | DType::I64)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+            DType::I32 => "i32",
+            DType::U32 => "u32",
+            DType::I64 => "i64",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F64.size_bytes(), 8);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::U32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn double_width() {
+        assert!(DType::F64.is_double_width());
+        assert!(DType::I64.is_double_width());
+        assert!(!DType::F32.is_double_width());
+    }
+}

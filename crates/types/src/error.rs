@@ -1,0 +1,71 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+use crate::space::MemorySpace;
+
+/// Errors surfaced by placement validation, trace rewriting and the models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmsError {
+    /// A placement map covers a different number of arrays than the kernel
+    /// declares.
+    ArrayCountMismatch { expected: usize, got: usize },
+    /// A written array was placed in a read-only memory space.
+    ReadOnlyPlacement { array: String, space: MemorySpace },
+    /// The combined footprint in a space exceeds its capacity.
+    CapacityExceeded { space: MemorySpace, used: u64, capacity: u64 },
+    /// A 1-D array was bound to a 2-D texture.
+    Texture2DNeeds2D { array: String },
+    /// The T_overlap regression was asked to predict before being fitted.
+    ModelNotTrained,
+    /// A numerical routine failed (e.g. singular regression system).
+    Numerical(String),
+    /// A model input was inconsistent (message explains).
+    InvalidInput(String),
+}
+
+impl fmt::Display for HmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmsError::ArrayCountMismatch { expected, got } => {
+                write!(f, "placement covers {got} arrays, kernel declares {expected}")
+            }
+            HmsError::ReadOnlyPlacement { array, space } => {
+                write!(f, "array `{array}` is written but placed in read-only {space} memory")
+            }
+            HmsError::CapacityExceeded { space, used, capacity } => {
+                write!(f, "{space} memory over capacity: {used} bytes used, {capacity} available")
+            }
+            HmsError::Texture2DNeeds2D { array } => {
+                write!(f, "array `{array}` is 1-D but placed in 2-D texture memory")
+            }
+            HmsError::ModelNotTrained => write!(f, "T_overlap model used before fit()"),
+            HmsError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            HmsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HmsError::ReadOnlyPlacement {
+            array: "weights".into(),
+            space: MemorySpace::Constant,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("weights"));
+        assert!(msg.contains("constant"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(HmsError::ModelNotTrained);
+        assert!(e.to_string().contains("fit"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Kernel launch geometry: grid, blocks, warps.
+
+/// Launch geometry of one GPU kernel invocation.
+///
+/// Only the sizes matter to the models — thread indices are linearized, so
+/// multi-dimensional launches are expressed by the kernel generators through
+/// the element indices they emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Number of threads per block (multiple of the warp size is typical
+    /// but not required; a ragged final warp is masked).
+    pub block_threads: u32,
+    /// Threads per warp (32 on every NVIDIA architecture the paper covers).
+    pub warp_size: u32,
+}
+
+impl Geometry {
+    /// A geometry with the standard 32-thread warps.
+    pub fn new(grid_blocks: u32, block_threads: u32) -> Self {
+        Geometry { grid_blocks, block_threads, warp_size: 32 }
+    }
+
+    /// Warps per block, rounding a ragged tail up to a full (masked) warp.
+    #[inline]
+    pub fn warps_per_block(&self) -> u32 {
+        self.block_threads.div_ceil(self.warp_size)
+    }
+
+    /// Total warps in the launch (`#total_warps` in the paper's Eq. 2).
+    #[inline]
+    pub fn total_warps(&self) -> u64 {
+        u64::from(self.grid_blocks) * u64::from(self.warps_per_block())
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    pub fn total_threads(&self) -> u64 {
+        u64::from(self.grid_blocks) * u64::from(self.block_threads)
+    }
+
+    /// Global linear thread id of lane `lane` in warp `warp` of block
+    /// `block`, or `None` for lanes beyond a ragged block tail.
+    #[inline]
+    pub fn thread_id(&self, block: u32, warp: u32, lane: u32) -> Option<u64> {
+        debug_assert!(lane < self.warp_size);
+        let in_block = warp * self.warp_size + lane;
+        if in_block >= self.block_threads {
+            return None;
+        }
+        Some(u64::from(block) * u64::from(self.block_threads) + u64::from(in_block))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_counts() {
+        let g = Geometry::new(4, 128);
+        assert_eq!(g.warps_per_block(), 4);
+        assert_eq!(g.total_warps(), 16);
+        assert_eq!(g.total_threads(), 512);
+    }
+
+    #[test]
+    fn ragged_block_rounds_up() {
+        let g = Geometry::new(2, 100);
+        assert_eq!(g.warps_per_block(), 4); // 100/32 -> 4 warps, last masked
+        assert_eq!(g.total_warps(), 8);
+    }
+
+    #[test]
+    fn thread_ids_and_masking() {
+        let g = Geometry::new(2, 100);
+        assert_eq!(g.thread_id(0, 0, 0), Some(0));
+        assert_eq!(g.thread_id(0, 3, 3), Some(99));
+        assert_eq!(g.thread_id(0, 3, 4), None); // beyond ragged tail
+        assert_eq!(g.thread_id(1, 0, 0), Some(100));
+    }
+}

@@ -1,0 +1,104 @@
+//! Array element -> byte-offset layout functions.
+//!
+//! Global, constant and shared placements use the ordinary row-major
+//! layout. A 2-D texture binding instead stores elements in a
+//! *block-linear* (tiled) order so that small 2-D neighbourhoods land in
+//! the same cache lines — the "2D spatial locality" caching the paper
+//! attributes to texture memory (Section I). The exact NVIDIA tiling is
+//! undocumented; a square-tile layout reproduces its locality behaviour.
+
+/// Row-major byte offset of element `(x, y)` in a `width`-wide array of
+/// `elem_bytes`-sized elements.
+#[inline]
+pub fn row_major_offset(x: u64, y: u64, width: u64, elem_bytes: u64) -> u64 {
+    (y * width + x) * elem_bytes
+}
+
+/// Block-linear (tiled) byte offset of element `(x, y)` for a 2-D texture:
+/// the array is partitioned into `tile x tile` element tiles stored
+/// contiguously in row-major tile order, elements row-major within a tile.
+///
+/// `width` is rounded up to a whole number of tiles, mirroring the padded
+/// pitch of a real texture allocation.
+#[inline]
+pub fn tex2d_offset(x: u64, y: u64, width: u64, elem_bytes: u64, tile: u64) -> u64 {
+    debug_assert!(tile > 0);
+    let tiles_per_row = width.div_ceil(tile);
+    let (tx, ty) = (x / tile, y / tile);
+    let (ix, iy) = (x % tile, y % tile);
+    let tile_index = ty * tiles_per_row + tx;
+    (tile_index * tile * tile + iy * tile + ix) * elem_bytes
+}
+
+/// Inverse of [`tex2d_offset`]: recover `(x, y)` from a byte offset.
+///
+/// Used by the trace rewriter, which — like the paper's SASSI-based
+/// framework — sees only byte addresses in the sample trace and must
+/// recover element coordinates to re-lay them out for a target placement.
+#[inline]
+pub fn tex2d_invert(offset: u64, width: u64, elem_bytes: u64, tile: u64) -> (u64, u64) {
+    debug_assert!(tile > 0 && elem_bytes > 0);
+    let elem = offset / elem_bytes;
+    let tiles_per_row = width.div_ceil(tile);
+    let tile_index = elem / (tile * tile);
+    let within = elem % (tile * tile);
+    let (tx, ty) = (tile_index % tiles_per_row, tile_index / tiles_per_row);
+    let (ix, iy) = (within % tile, within / tile);
+    (tx * tile + ix, ty * tile + iy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tex2d_invert_roundtrip() {
+        for y in 0..17u64 {
+            for x in 0..29u64 {
+                let off = tex2d_offset(x, y, 29, 8, 8);
+                assert_eq!(tex2d_invert(off, 29, 8, 8), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_basics() {
+        assert_eq!(row_major_offset(0, 0, 64, 4), 0);
+        assert_eq!(row_major_offset(3, 0, 64, 4), 12);
+        assert_eq!(row_major_offset(0, 1, 64, 4), 256);
+    }
+
+    #[test]
+    fn tex2d_tile_is_contiguous() {
+        // All 64 elements of the first 8x8 tile occupy the first
+        // 64*4 bytes, in some order.
+        let mut offsets: Vec<u64> =
+            (0..8).flat_map(|y| (0..8).map(move |x| tex2d_offset(x, y, 64, 4, 8))).collect();
+        offsets.sort_unstable();
+        let expected: Vec<u64> = (0..64).map(|i| i * 4).collect();
+        assert_eq!(offsets, expected);
+    }
+
+    #[test]
+    fn tex2d_vertical_neighbours_are_close() {
+        // Row-major puts (0,0) and (0,7) a full row apart; the tiled
+        // layout keeps them within one tile.
+        let width = 1024;
+        let rm = row_major_offset(0, 7, width, 4) - row_major_offset(0, 0, width, 4);
+        let tex = tex2d_offset(0, 7, width, 4, 8) - tex2d_offset(0, 0, width, 4, 8);
+        assert!(tex < rm);
+        assert!(tex < 8 * 8 * 4);
+    }
+
+    #[test]
+    fn tex2d_offsets_unique_over_padded_region() {
+        // Injectivity over a ragged-width array (width not a multiple of
+        // the tile edge).
+        let mut seen = std::collections::HashSet::new();
+        for y in 0..20u64 {
+            for x in 0..13u64 {
+                assert!(seen.insert(tex2d_offset(x, y, 13, 4, 8)));
+            }
+        }
+    }
+}

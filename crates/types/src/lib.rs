@@ -1,0 +1,27 @@
+//! # hms-types
+//!
+//! Shared vocabulary for the `gpu-hms` workspace: the programmable memory
+//! spaces of a GPU heterogeneous memory system (HMS), data types, kernel
+//! launch geometry, data-array descriptors, placement maps, and the GPU
+//! hardware configuration (defaulting to an NVIDIA Tesla K80 / Kepler-like
+//! machine, the platform used throughout the paper).
+//!
+//! Everything downstream — the DRAM model, the cache models, the execution
+//! simulator and the performance models — speaks in these types.
+
+pub mod array;
+pub mod config;
+pub mod dtype;
+pub mod error;
+pub mod geometry;
+pub mod layout;
+pub mod placement;
+pub mod space;
+
+pub use array::{ArrayDef, ArrayId, Dims};
+pub use config::{CacheGeometry, DramTimingConfig, GpuConfig};
+pub use dtype::DType;
+pub use error::HmsError;
+pub use geometry::Geometry;
+pub use placement::{Placement, PlacementDelta, PlacementMap};
+pub use space::MemorySpace;

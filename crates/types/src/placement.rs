@@ -1,0 +1,238 @@
+//! Placement maps: which memory space holds each data array.
+//!
+//! A *sample placement* is the placement the kernel was profiled with; a
+//! *target placement* is any candidate the models must predict. The paper's
+//! search space is `m^n` placements for `n` arrays over `m` programmable
+//! memories, pruned by capacity and read/write legality.
+
+use std::fmt;
+
+use crate::array::{ArrayDef, ArrayId, Dims};
+use crate::config::GpuConfig;
+use crate::error::HmsError;
+use crate::space::MemorySpace;
+
+/// Placement of a single array.
+pub type Placement = MemorySpace;
+
+/// Assignment of every array of a kernel to a memory space, indexed by
+/// [`ArrayId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlacementMap {
+    spaces: Vec<MemorySpace>,
+}
+
+impl PlacementMap {
+    /// A placement map putting every one of `n` arrays in global memory —
+    /// the conventional starting point of most CUDA code.
+    pub fn all_global(n: usize) -> Self {
+        PlacementMap { spaces: vec![MemorySpace::Global; n] }
+    }
+
+    /// Build from an explicit per-array list (index = `ArrayId`).
+    pub fn from_spaces(spaces: Vec<MemorySpace>) -> Self {
+        PlacementMap { spaces }
+    }
+
+    /// Number of arrays covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spaces.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spaces.is_empty()
+    }
+
+    /// Space assigned to `id`.
+    #[inline]
+    pub fn space(&self, id: ArrayId) -> MemorySpace {
+        self.spaces[id.index()]
+    }
+
+    /// Iterate `(ArrayId, MemorySpace)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ArrayId, MemorySpace)> + '_ {
+        self.spaces.iter().enumerate().map(|(i, &s)| (ArrayId(i as u32), s))
+    }
+
+    /// Return a copy with `id` moved to `space` (the paper's single
+    /// target-data-object move).
+    pub fn with(&self, id: ArrayId, space: MemorySpace) -> Self {
+        let mut spaces = self.spaces.clone();
+        spaces[id.index()] = space;
+        PlacementMap { spaces }
+    }
+
+    /// The arrays whose space differs between `self` (sample) and `target`.
+    pub fn delta(&self, target: &PlacementMap) -> Vec<PlacementDelta> {
+        assert_eq!(self.len(), target.len(), "placement maps cover different kernels");
+        self.iter()
+            .zip(target.iter())
+            .filter(|((_, a), (_, b))| a != b)
+            .map(|((id, from), (_, to))| PlacementDelta { array: id, from, to })
+            .collect()
+    }
+
+    /// Validate the placement against hardware constraints:
+    ///
+    /// * written arrays may only live in global or shared memory;
+    /// * the sum of constant-placed footprints must fit the 64 KiB constant
+    ///   memory;
+    /// * shared-placed footprints must fit the per-SM shared memory (the
+    ///   whole working set of one block's share);
+    /// * `Texture2D` requires a 2-D array shape.
+    pub fn validate(&self, arrays: &[ArrayDef], cfg: &GpuConfig) -> Result<(), HmsError> {
+        if arrays.len() != self.len() {
+            return Err(HmsError::ArrayCountMismatch { expected: arrays.len(), got: self.len() });
+        }
+        let mut constant_bytes = 0u64;
+        let mut shared_bytes = 0u64;
+        for (id, space) in self.iter() {
+            let a = &arrays[id.index()];
+            if a.written && !space.is_writable() {
+                return Err(HmsError::ReadOnlyPlacement { array: a.name.clone(), space });
+            }
+            match space {
+                MemorySpace::Constant => constant_bytes += a.size_bytes(),
+                MemorySpace::Shared => shared_bytes += a.size_bytes(),
+                MemorySpace::Texture2D
+                    if !matches!(a.dims, Dims::D2 { .. }) => {
+                        return Err(HmsError::Texture2DNeeds2D { array: a.name.clone() });
+                    }
+                _ => {}
+            }
+        }
+        if constant_bytes > cfg.constant_mem_bytes {
+            return Err(HmsError::CapacityExceeded {
+                space: MemorySpace::Constant,
+                used: constant_bytes,
+                capacity: cfg.constant_mem_bytes,
+            });
+        }
+        if shared_bytes > cfg.shared_mem_bytes_per_sm {
+            return Err(HmsError::CapacityExceeded {
+                space: MemorySpace::Shared,
+                used: shared_bytes,
+                capacity: cfg.shared_mem_bytes_per_sm,
+            });
+        }
+        Ok(())
+    }
+
+    /// Placement-test notation in the paper's Table IV style, e.g.
+    /// `"[a(G), b(C)]"`.
+    pub fn describe(&self, arrays: &[ArrayDef]) -> String {
+        let mut out = String::from("[");
+        for (i, (id, space)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let name = arrays.get(id.index()).map_or("?", |a| a.name.as_str());
+            out.push_str(name);
+            out.push('(');
+            out.push_str(space.short());
+            out.push(')');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// One array moved between a sample and a target placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementDelta {
+    pub array: ArrayId,
+    pub from: MemorySpace,
+    pub to: MemorySpace,
+}
+
+impl fmt::Display for PlacementDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}({}->{})", self.array.0, self.from.short(), self.to.short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+
+    fn arrays() -> Vec<ArrayDef> {
+        vec![
+            ArrayDef::new_1d(0, "a", DType::F32, 1024, false),
+            ArrayDef::new_1d(1, "b", DType::F32, 1024, false),
+            ArrayDef::new_1d(2, "v", DType::F32, 1024, true),
+        ]
+    }
+
+    #[test]
+    fn all_global_and_with() {
+        let p = PlacementMap::all_global(3);
+        assert_eq!(p.space(ArrayId(1)), MemorySpace::Global);
+        let q = p.with(ArrayId(1), MemorySpace::Constant);
+        assert_eq!(q.space(ArrayId(1)), MemorySpace::Constant);
+        assert_eq!(p.space(ArrayId(1)), MemorySpace::Global); // original untouched
+    }
+
+    #[test]
+    fn delta_lists_moved_arrays_only() {
+        let p = PlacementMap::all_global(3);
+        let q = p.with(ArrayId(0), MemorySpace::Texture1D).with(ArrayId(2), MemorySpace::Shared);
+        let d = p.delta(&q);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].array, ArrayId(0));
+        assert_eq!(d[0].to, MemorySpace::Texture1D);
+        assert_eq!(d[1].from, MemorySpace::Global);
+    }
+
+    #[test]
+    fn written_array_rejected_in_readonly_space() {
+        let cfg = GpuConfig::tesla_k80();
+        let p = PlacementMap::all_global(3).with(ArrayId(2), MemorySpace::Constant);
+        assert!(matches!(
+            p.validate(&arrays(), &cfg),
+            Err(HmsError::ReadOnlyPlacement { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_capacity_enforced() {
+        let cfg = GpuConfig::tesla_k80();
+        let big = vec![ArrayDef::new_1d(0, "huge", DType::F32, 1 << 20, false)];
+        let p = PlacementMap::from_spaces(vec![MemorySpace::Constant]);
+        assert!(matches!(
+            p.validate(&big, &cfg),
+            Err(HmsError::CapacityExceeded { space: MemorySpace::Constant, .. })
+        ));
+    }
+
+    #[test]
+    fn texture2d_requires_2d_shape() {
+        let cfg = GpuConfig::tesla_k80();
+        let p = PlacementMap::from_spaces(vec![
+            MemorySpace::Texture2D,
+            MemorySpace::Global,
+            MemorySpace::Global,
+        ]);
+        assert!(matches!(
+            p.validate(&arrays(), &cfg),
+            Err(HmsError::Texture2DNeeds2D { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_placement_passes() {
+        let cfg = GpuConfig::tesla_k80();
+        let p = PlacementMap::all_global(3)
+            .with(ArrayId(0), MemorySpace::Constant)
+            .with(ArrayId(1), MemorySpace::Texture1D);
+        assert!(p.validate(&arrays(), &cfg).is_ok());
+    }
+
+    #[test]
+    fn describe_notation() {
+        let p = PlacementMap::all_global(3).with(ArrayId(1), MemorySpace::Texture2D);
+        assert_eq!(p.describe(&arrays()), "[a(G), b(2T), v(G)]");
+    }
+}

@@ -1,0 +1,95 @@
+//! Placement advisor: the paper's end-to-end use case as a tool.
+//!
+//! "Our models can work as a tool to help programmers for GPU
+//! performance optimization and improve their productivity." Given a
+//! kernel name from the built-in benchmark registry, this example:
+//!
+//! 1. profiles the kernel's conventional placement;
+//! 2. trains the `T_overlap` model on the Table IV training suite;
+//! 3. exhaustively ranks every legal placement of every read-only
+//!    array (the `m^n` search space the paper describes);
+//! 4. reports the advised placement and checks it against the machine.
+//!
+//! ```text
+//! cargo run --release --example placement_advisor -- neuralnet
+//! ```
+
+use gpu_hms::prelude::*;
+use hms_bench::{trained_predictor, Harness};
+use hms_types::ArrayId;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "neuralnet".into());
+    let cfg = GpuConfig::tesla_k80();
+    let Some(kernel) = by_name(&name, Scale::Full) else {
+        eprintln!("unknown kernel `{name}`; available:");
+        for k in registry() {
+            eprintln!("  {}", k.name);
+        }
+        std::process::exit(1);
+    };
+    let sample = kernel.default_placement();
+    println!("advising placements for `{}`", kernel.name);
+
+    eprintln!("training T_overlap on the Table IV training suite...");
+    let (predictor, _) = trained_predictor(&Harness::paper(), ModelOptions::full());
+
+    let profile = profile_sample(&kernel, &sample, &cfg).expect("profiles");
+
+    // Candidate arrays: everything the kernel only reads (written arrays
+    // are pinned to global/shared by hardware rules anyway).
+    let candidates: Vec<ArrayId> = kernel
+        .arrays
+        .iter()
+        .filter(|a| !a.written)
+        .map(|a| a.id)
+        .collect();
+    println!(
+        "candidate arrays: {:?}",
+        candidates.iter().map(|id| kernel.arrays[id.index()].name.as_str()).collect::<Vec<_>>()
+    );
+
+    let placements =
+        enumerate_placements(&kernel.arrays, &sample, &candidates, &cfg, 1024);
+    println!("legal placements in the search space: {}", placements.len());
+
+    let ranked = rank_placements(&predictor, &profile, &placements).expect("predicts");
+
+    println!("\ntop 5 advised placements:");
+    for r in ranked.iter().take(5) {
+        let measured = {
+            let ct = materialize(&kernel, &r.placement, &cfg).expect("valid");
+            simulate_default(&ct, &cfg).expect("simulates").cycles
+        };
+        println!(
+            "  {:<40} predicted {:>9.0}  measured {:>8}",
+            r.placement.describe(&kernel.arrays),
+            r.predicted_cycles,
+            measured
+        );
+    }
+
+    // How good is the advice? Compare the advised placement's measured
+    // time against the measured-best of the whole space.
+    let advised = &ranked[0].placement;
+    let mut best_measured = u64::MAX;
+    let mut best_pm = sample.clone();
+    for pm in &placements {
+        let ct = materialize(&kernel, pm, &cfg).expect("valid");
+        let c = simulate_default(&ct, &cfg).expect("simulates").cycles;
+        if c < best_measured {
+            best_measured = c;
+            best_pm = pm.clone();
+        }
+    }
+    let advised_measured = {
+        let ct = materialize(&kernel, advised, &cfg).expect("valid");
+        simulate_default(&ct, &cfg).expect("simulates").cycles
+    };
+    println!("\nadvised:       {} -> {} cycles", advised.describe(&kernel.arrays), advised_measured);
+    println!("true optimum:  {} -> {} cycles", best_pm.describe(&kernel.arrays), best_measured);
+    println!(
+        "advice quality: {:.1}% of optimal",
+        best_measured as f64 / advised_measured as f64 * 100.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: predict how data placement changes a kernel's performance
+//! from one profiled run.
+//!
+//! This walks the paper's core workflow on its running example — the
+//! vector-addition kernel of Figure 2, whose inputs `a` and `b` can live
+//! in global, texture, constant, or shared memory:
+//!
+//! 1. profile the kernel under its conventional all-global placement;
+//! 2. predict every legal placement of the two input arrays *without*
+//!    running them;
+//! 3. verify the ranking against the simulated machine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_hms::prelude::*;
+
+fn main() {
+    let cfg = GpuConfig::tesla_k80();
+    let kernel = gpu_hms::kernels::vecadd::build(Scale::Full);
+    let sample = kernel.default_placement();
+
+    println!("kernel: {} ({} arrays, {} warps)", kernel.name, kernel.arrays.len(), kernel.geometry.total_warps());
+    println!("sample placement: {}\n", sample.describe(&kernel.arrays));
+
+    // One profiled run of the sample placement — trace + events + time.
+    let profile = profile_sample(&kernel, &sample, &cfg).expect("sample profiles");
+    println!(
+        "profiled: {} cycles, {} instructions issued, {} DRAM requests\n",
+        profile.measured_cycles, profile.events.inst_issued, profile.events.dram_requests
+    );
+
+    // Enumerate every legal placement of the two inputs and predict.
+    let candidates = enumerate_placements(
+        &kernel.arrays,
+        &sample,
+        &[ArrayId(0), ArrayId(1)],
+        &cfg,
+        64,
+    );
+    let predictor = Predictor::new(cfg.clone());
+    let ranked = rank_placements(&predictor, &profile, &candidates).expect("predicts");
+
+    println!("{} candidate placements, ranked by predicted time:", ranked.len());
+    println!("{:<28} {:>12} {:>12} {:>8}", "placement", "predicted", "measured", "pred/meas");
+    for r in &ranked {
+        // "Measure" by actually simulating, for comparison.
+        let ct = materialize(&kernel, &r.placement, &cfg).expect("valid");
+        let measured = simulate_default(&ct, &cfg).expect("simulates").cycles;
+        println!(
+            "{:<28} {:>12.0} {:>12} {:>8.2}",
+            r.placement.describe(&kernel.arrays),
+            r.predicted_cycles,
+            measured,
+            r.predicted_cycles / measured as f64
+        );
+    }
+
+    let best = &ranked[0];
+    println!(
+        "\nmodel-recommended placement: {}",
+        best.placement.describe(&kernel.arrays)
+    );
+}

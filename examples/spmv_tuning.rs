@@ -1,0 +1,102 @@
+//! SpMV placement tuning: a domain-specific walk-through on the sparse
+//! matrix-vector kernel, the workload the paper's Figure 4 uses to
+//! motivate the G/G/1 queuing model.
+//!
+//! The CSR SpMV kernel has five arrays with very different access
+//! characters:
+//!
+//! * `val`, `cols` — streamed once, coalesced: texture adds little;
+//! * `rowDelimiters` — two uniform reads per warp: broadcast-friendly;
+//! * `d_vec` — gathered through `cols`: the cache-sensitive one (SHOC
+//!   binds it to a texture for a reason);
+//! * `out` — written once.
+//!
+//! The example profiles the SHOC sample placement, inspects the DRAM
+//! inter-arrival burstiness that rules out an M/M/1 queue, then compares
+//! predicted vs measured time for the placement moves in the paper's
+//! Table IV training rows.
+//!
+//! ```text
+//! cargo run --release --example spmv_tuning
+//! ```
+
+use gpu_hms::prelude::*;
+use gpu_hms::stats::Summary;
+use hms_types::ArrayId;
+
+fn array_id(kernel: &KernelTrace, name: &str) -> ArrayId {
+    ArrayId(kernel.arrays.iter().position(|a| a.name == name).expect("array exists") as u32)
+}
+
+fn main() {
+    let cfg = GpuConfig::tesla_k80();
+    let kernel = by_name("spmv", Scale::Full).expect("spmv registered");
+    // SHOC's sample placement: the dense vector behind a texture.
+    let sample = kernel.default_placement().with(array_id(&kernel, "d_vec"), MemorySpace::Texture1D);
+
+    // --- Figure 4 style burstiness check ---
+    let ct = materialize(&kernel, &sample, &cfg).expect("valid");
+    let r = simulate(&ct, &cfg, &SimOptions { record_dram_arrivals: true, ..Default::default() })
+        .expect("simulates");
+    let mut cas = Vec::new();
+    for bank in 0..cfg.dram.total_banks() {
+        let inter: Vec<f64> =
+            r.dram.interarrival_times(bank).iter().map(|&x| x as f64).collect();
+        if inter.len() >= 4 {
+            if let Some(s) = Summary::of(&inter) {
+                if s.mean > 0.0 {
+                    cas.push(s.cv());
+                }
+            }
+        }
+    }
+    let ca = Summary::of(&cas).expect("busy banks exist");
+    println!("spmv sample placement: {} cycles", r.cycles);
+    println!(
+        "per-bank inter-arrival c_a: mean {:.2} (std {:.2}) over {} banks",
+        ca.mean, ca.std_dev, cas.len()
+    );
+    println!(
+        "=> {} (exponential arrivals would have c_a = 1)",
+        if ca.mean > 1.3 { "bursty: a G/G/1 queue is required" } else { "close to Markovian" }
+    );
+
+    // --- Placement moves from Table IV's spmv training rows ---
+    let profile = profile_sample(&kernel, &sample, &cfg).expect("profiles");
+    let predictor = Predictor::new(cfg.clone());
+    let moves: Vec<(&str, PlacementMap)> = vec![
+        ("sample (vec in texture)", sample.clone()),
+        ("vec -> global", sample.with(array_id(&kernel, "d_vec"), MemorySpace::Global)),
+        ("vec -> constant", sample.with(array_id(&kernel, "d_vec"), MemorySpace::Constant)),
+        (
+            "rowDelimiters -> constant",
+            sample.with(array_id(&kernel, "rowDelimiters"), MemorySpace::Constant),
+        ),
+        (
+            "rowDelimiters -> shared",
+            sample.with(array_id(&kernel, "rowDelimiters"), MemorySpace::Shared),
+        ),
+        (
+            "val, cols -> texture",
+            sample
+                .with(array_id(&kernel, "val"), MemorySpace::Texture1D)
+                .with(array_id(&kernel, "cols"), MemorySpace::Texture1D),
+        ),
+    ];
+
+    println!("\n{:<28} {:>11} {:>11} {:>10}", "move", "predicted", "measured", "pred/meas");
+    for (label, pm) in &moves {
+        let pred = predictor.predict(&profile, pm).expect("predicts");
+        let measured = {
+            let ct = materialize(&kernel, pm, &cfg).expect("valid");
+            simulate_default(&ct, &cfg).expect("simulates").cycles
+        };
+        println!(
+            "{:<28} {:>11.0} {:>11} {:>10.2}",
+            label,
+            pred.cycles,
+            measured,
+            pred.cycles / measured as f64
+        );
+    }
+}

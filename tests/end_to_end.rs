@@ -1,0 +1,117 @@
+//! End-to-end integration tests: kernel generation -> materialization ->
+//! simulation -> profiling -> prediction, across crates.
+
+use gpu_hms::prelude::*;
+use hms_types::ArrayId;
+
+fn cfg() -> GpuConfig {
+    GpuConfig::test_small()
+}
+
+/// The full predict-vs-measure loop stays sane for every registered
+/// kernel under its default placement.
+#[test]
+fn predict_identity_for_every_kernel() {
+    let cfg = cfg();
+    let predictor = Predictor::new(cfg.clone());
+    for spec in registry() {
+        let kt = (spec.build)(Scale::Test);
+        let pm = kt.default_placement();
+        let profile = profile_sample(&kt, &pm, &cfg)
+            .unwrap_or_else(|e| panic!("{}: profile failed: {e}", spec.name));
+        let pred = predictor
+            .predict(&profile, &pm)
+            .unwrap_or_else(|e| panic!("{}: predict failed: {e}", spec.name));
+        let measured = profile.measured_cycles as f64;
+        assert!(pred.cycles.is_finite() && pred.cycles > 0.0, "{}", spec.name);
+        // Identity predictions should be within an order of magnitude
+        // even untrained — they share the trace analysis with the
+        // machine.
+        assert!(
+            pred.cycles > measured / 10.0 && pred.cycles < measured * 10.0,
+            "{}: pred {} vs measured {}",
+            spec.name,
+            pred.cycles,
+            measured
+        );
+    }
+}
+
+/// Every legal single-array move of the vecadd kernel can be predicted
+/// and simulated; predicted and measured times are positive and finite.
+#[test]
+fn all_single_moves_round_trip() {
+    let cfg = cfg();
+    let kt = gpu_hms::kernels::vecadd::build(Scale::Test);
+    let sample = kt.default_placement();
+    let profile = profile_sample(&kt, &sample, &cfg).unwrap();
+    let predictor = Predictor::new(cfg.clone());
+    let mut tried = 0;
+    for (id, _) in sample.iter() {
+        for space in MemorySpace::ALL {
+            let target = sample.with(id, space);
+            if target.validate(&kt.arrays, &cfg).is_err() {
+                continue;
+            }
+            tried += 1;
+            let pred = predictor.predict(&profile, &target).unwrap();
+            let ct = materialize(&kt, &target, &cfg).unwrap();
+            let sim = simulate_default(&ct, &cfg).unwrap();
+            assert!(pred.cycles > 0.0);
+            assert!(sim.cycles > 0);
+        }
+    }
+    assert!(tried >= 8, "probe set unexpectedly small: {tried}");
+}
+
+/// The simulator is deterministic: same trace, same result.
+#[test]
+fn simulation_is_deterministic() {
+    let cfg = cfg();
+    let kt = gpu_hms::kernels::md::build(Scale::Test);
+    let ct = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
+    let a = simulate_default(&ct, &cfg).unwrap();
+    let b = simulate_default(&ct, &cfg).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.events, b.events);
+}
+
+/// Moving arrays around must never change how much *work* the kernel
+/// does — only addressing instructions, replays, and memory behaviour.
+#[test]
+fn placement_preserves_algorithmic_work() {
+    let cfg = cfg();
+    let kt = gpu_hms::kernels::stencil2d::build(Scale::Test);
+    let sample = kt.default_placement();
+    let s = {
+        let ct = materialize(&kt, &sample, &cfg).unwrap();
+        simulate_default(&ct, &cfg).unwrap()
+    };
+    let t = {
+        let pm = sample.with(ArrayId(0), MemorySpace::Texture2D);
+        let ct = materialize(&kt, &pm, &cfg).unwrap();
+        simulate_default(&ct, &cfg).unwrap()
+    };
+    // FP work identical; loads/stores identical in count.
+    assert_eq!(s.events.inst_fp32, t.events.inst_fp32);
+    assert_eq!(s.events.ldst_executed, t.events.ldst_executed);
+    // Addressing instructions differ (texture drops them).
+    assert!(t.events.inst_integer < s.events.inst_integer);
+}
+
+/// The placement search respects hardware legality end to end.
+#[test]
+fn search_only_returns_legal_placements() {
+    let cfg = cfg();
+    let kt = gpu_hms::kernels::spmv::build(Scale::Test);
+    let sample = kt.default_placement();
+    let candidates: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
+    let all = enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
+    assert!(!all.is_empty());
+    for pm in &all {
+        pm.validate(&kt.arrays, &cfg).expect("search returned an illegal placement");
+        // The written output array must never be in a read-only space.
+        let out = kt.arrays.iter().find(|a| a.written).unwrap();
+        assert!(pm.space(out.id).is_writable());
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate model validation: the analytical models against the
+//! simulated machine, beyond what unit tests cover.
+
+use gpu_hms::core::analysis::analyze;
+use gpu_hms::core::tmem::{dram_estimate, QueuingMode};
+use gpu_hms::prelude::*;
+use hms_types::ArrayId;
+
+fn cfg() -> GpuConfig {
+    GpuConfig::test_small()
+}
+
+/// The trace analysis must agree with the simulator on every event it
+/// shares, for every kernel — the property that makes the prediction
+/// pipeline trustworthy (all model error is then timing, not counting).
+#[test]
+fn analysis_event_counts_match_simulator_exactly() {
+    let cfg = cfg();
+    for spec in registry() {
+        let kt = (spec.build)(Scale::Test);
+        let ct = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
+        let sim = simulate_default(&ct, &cfg).unwrap();
+        let a = analyze(&ct, &cfg);
+        assert_eq!(a.executed, sim.events.inst_executed, "{}: executed", spec.name);
+        assert_eq!(a.mem_instrs, sim.events.ldst_executed, "{}: mem instrs", spec.name);
+        assert_eq!(a.l2_transactions, sim.events.l2_transactions, "{}: L2", spec.name);
+        assert_eq!(a.l2_misses, sim.events.l2_misses, "{}: L2 misses", spec.name);
+        assert_eq!(a.dram.len() as u64, sim.events.dram_requests, "{}: DRAM", spec.name);
+        assert_eq!(a.replays_1_to_4(), sim.events.replays_1_to_4(), "{}: replays", spec.name);
+        assert_eq!(a.sync_count, sim.events.sync_count, "{}: syncs", spec.name);
+        assert_eq!(
+            a.shared_requests,
+            sim.events.shared_ld_requests + sim.events.shared_st_requests,
+            "{}: shared",
+            spec.name
+        );
+    }
+}
+
+/// The queuing model's mapped mode must estimate the mean DRAM latency
+/// at least as well as the constant-latency assumption for a majority of
+/// kernels (the paper's Figures 8–9 claim, as a regression guard).
+#[test]
+fn mapped_queuing_beats_constant_latency_for_most_kernels() {
+    let cfg = cfg();
+    let mut mapped_wins = 0u32;
+    let mut total = 0u32;
+    for spec in registry() {
+        let kt = (spec.build)(Scale::Test);
+        let pm = kt.default_placement();
+        let profile = profile_sample(&kt, &pm, &cfg).unwrap();
+        if profile.events.dram_requests < 16 {
+            continue; // not enough off-chip traffic to classify
+        }
+        let a = analyze(&profile.trace, &cfg);
+        let measured = profile.events.dram_total_latency as f64
+            / profile.events.dram_requests as f64;
+        let c = dram_estimate(&profile, &a, &cfg, QueuingMode::ConstantLatency).avg_latency;
+        let m = dram_estimate(&profile, &a, &cfg, QueuingMode::Mapped).avg_latency;
+        total += 1;
+        if (m - measured).abs() <= (c - measured).abs() {
+            mapped_wins += 1;
+        }
+    }
+    assert!(total >= 10, "too few DRAM-active kernels: {total}");
+    assert!(
+        mapped_wins * 3 >= total * 2,
+        "mapped queuing won only {mapped_wins}/{total} kernels"
+    );
+}
+
+/// Trained prediction must beat the untrained default on the training
+/// distribution (in-sample sanity of the Eq. 11 regression).
+#[test]
+fn training_reduces_in_sample_error() {
+    let cfg = cfg();
+    let kernels = ["vecadd", "convolutionRows", "triad", "spmv", "md", "transpose", "qtc",
+        "matrixMul", "cfd", "stencil2d", "scan", "sort"];
+    let mut profiles = Vec::new();
+    for name in kernels {
+        let kt = by_name(name, Scale::Test).unwrap();
+        profiles.push(profile_sample(&kt, &kt.default_placement(), &cfg).unwrap());
+    }
+    let mut trained = Predictor::new(cfg.clone());
+    trained.train(&profiles).unwrap();
+    let untrained = Predictor::new(cfg.clone());
+
+    let err = |p: &Predictor| -> f64 {
+        profiles
+            .iter()
+            .map(|prof| {
+                let pred = p.predict(prof, &prof.trace.placement).unwrap();
+                (pred.cycles - prof.measured_cycles as f64).abs()
+                    / prof.measured_cycles as f64
+            })
+            .sum::<f64>()
+            / profiles.len() as f64
+    };
+    let e_trained = err(&trained);
+    let e_untrained = err(&untrained);
+    assert!(
+        e_trained <= e_untrained + 1e-9,
+        "training made in-sample error worse: {e_trained:.3} vs {e_untrained:.3}"
+    );
+}
+
+/// The PORPLE-style baseline and our model disagree on at least one
+/// placement ranking for the neuralnet kernel — the Figure 6 setup.
+#[test]
+fn porple_and_full_model_are_distinguishable() {
+    let cfg = cfg();
+    let kt = by_name("neuralnet", Scale::Test).unwrap();
+    let sample = kt.default_placement();
+    let profile = profile_sample(&kt, &sample, &cfg).unwrap();
+    let porple = gpu_hms::core::PorpleModel::new(cfg.clone());
+    let ours = Predictor::new(cfg.clone());
+
+    let weights = ArrayId(0);
+    let mut porple_scores = Vec::new();
+    let mut our_preds = Vec::new();
+    for space in MemorySpace::ALL {
+        let pm = sample.with(weights, space);
+        if pm.validate(&kt.arrays, &cfg).is_err() {
+            continue;
+        }
+        porple_scores.push(porple.score(&profile, &pm).unwrap());
+        our_preds.push(ours.predict(&profile, &pm).unwrap().cycles);
+    }
+    assert!(porple_scores.len() >= 4);
+    let rank = |xs: &[f64]| gpu_hms::stats::rank_of(xs);
+    assert_ne!(
+        rank(&porple_scores),
+        rank(&our_preds),
+        "models rank identically — the comparison would be vacuous"
+    );
+}

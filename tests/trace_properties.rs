@@ -1,0 +1,155 @@
+//! Property-based tests on the trace machinery (proptest): the
+//! rewrite/materialize equivalence, coalescing invariants, and the
+//! address allocator, under randomized kernels and placements.
+
+use proptest::prelude::*;
+
+use gpu_hms::prelude::*;
+use gpu_hms::trace::{coalesce, ElemIdx, MemRef, SymOp, WarpTrace};
+use hms_types::{ArrayDef, ArrayId};
+
+fn cfg() -> GpuConfig {
+    GpuConfig::test_small()
+}
+
+/// Strategy: a random small kernel with 3 arrays and randomized accesses.
+fn arb_kernel() -> impl Strategy<Value = KernelTrace> {
+    let lane_idx = prop::collection::vec(prop::option::of(0u64..256), 32);
+    let ops = prop::collection::vec(
+        prop_oneof![
+            (1u16..4).prop_map(SymOp::IntAlu),
+            (1u16..4).prop_map(SymOp::FpAlu),
+            (0u32..2, lane_idx.clone()).prop_map(|(a, idx)| {
+                SymOp::Access(MemRef::load(
+                    ArrayId(a),
+                    idx.into_iter().map(|o| o.map(ElemIdx::Lin)).collect(),
+                ))
+            }),
+            (lane_idx).prop_map(|idx| {
+                SymOp::Access(MemRef::store(
+                    ArrayId(2),
+                    idx.into_iter().map(|o| o.map(ElemIdx::Lin)).collect(),
+                ))
+            }),
+            Just(SymOp::WaitLoads),
+        ],
+        1..12,
+    );
+    prop::collection::vec(ops, 1..4).prop_map(|warp_ops| {
+        let blocks = warp_ops.len() as u32;
+        KernelTrace {
+            name: "prop".into(),
+            arrays: vec![
+                ArrayDef::new_1d(0, "a", DType::F32, 256, false),
+                ArrayDef::new_2d(1, "b", DType::F64, 16, 16, false),
+                ArrayDef::new_1d(2, "out", DType::F32, 256, true),
+            ],
+            geometry: Geometry::new(blocks, 32),
+            warps: warp_ops
+                .into_iter()
+                .enumerate()
+                .map(|(b, ops)| WarpTrace { block: b as u32, warp: 0, ops })
+                .collect(),
+        }
+    })
+}
+
+fn arb_placement() -> impl Strategy<Value = Vec<MemorySpace>> {
+    use MemorySpace::*;
+    (
+        prop::sample::select(vec![Global, Texture1D, Constant, Shared]),
+        prop::sample::select(vec![Global, Texture1D, Texture2D, Constant, Shared]),
+        prop::sample::select(vec![Global, Shared]),
+    )
+        .prop_map(|(a, b, c)| vec![a, b, c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// rewrite(materialize(k, s), t) == materialize(k, t) for random
+    /// kernels and placement pairs — the SASSI-flow equivalence.
+    #[test]
+    fn rewrite_equals_materialize(
+        kt in arb_kernel(),
+        s in arb_placement(),
+        t in arb_placement(),
+    ) {
+        let cfg = cfg();
+        let s = PlacementMap::from_spaces(s);
+        let t = PlacementMap::from_spaces(t);
+        prop_assume!(s.validate(&kt.arrays, &cfg).is_ok());
+        prop_assume!(t.validate(&kt.arrays, &cfg).is_ok());
+        let sample = materialize(&kt, &s, &cfg).unwrap();
+        let direct = materialize(&kt, &t, &cfg).unwrap();
+        let rewritten = rewrite(&sample, &t, &cfg).unwrap();
+        prop_assert_eq!(rewritten, direct);
+    }
+
+    /// Simulation completes and conserves instruction counts for random
+    /// kernels: executed <= issued <= issue slots.
+    #[test]
+    fn simulation_instruction_accounting(kt in arb_kernel(), s in arb_placement()) {
+        let cfg = cfg();
+        let s = PlacementMap::from_spaces(s);
+        prop_assume!(s.validate(&kt.arrays, &cfg).is_ok());
+        let ct = materialize(&kt, &s, &cfg).unwrap();
+        let r = simulate_default(&ct, &cfg).unwrap();
+        prop_assert!(r.events.inst_executed <= r.events.inst_issued);
+        prop_assert!(r.events.inst_issued <= r.events.issue_slots);
+        prop_assert_eq!(
+            r.events.inst_issued,
+            r.events.inst_executed + r.events.total_replays()
+                - r.events.replay_double_width
+        );
+        // Row-buffer outcomes partition DRAM requests.
+        prop_assert_eq!(
+            r.events.dram_requests,
+            r.events.row_buffer_hits + r.events.row_buffer_misses
+                + r.events.row_buffer_conflicts
+        );
+    }
+
+    /// Coalescing invariants: transaction count bounded by active lanes
+    /// (+1 for straddle), aligned, sorted, deduplicated.
+    #[test]
+    fn coalescing_invariants(
+        addrs in prop::collection::vec(0u64..100_000, 1..32),
+        elem in prop::sample::select(vec![4u64, 8]),
+    ) {
+        let r = coalesce(addrs.iter().copied(), elem, 128);
+        prop_assert!(!r.transactions.is_empty());
+        prop_assert!(r.transactions.len() <= addrs.len() * 2);
+        prop_assert_eq!(r.replays as usize, r.transactions.len() - 1);
+        for w in r.transactions.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for t in &r.transactions {
+            prop_assert_eq!(t % 128, 0);
+        }
+        // Every byte touched is covered by some transaction.
+        for &a in &addrs {
+            let covered = r
+                .transactions
+                .iter()
+                .any(|&t| a >= t && a + elem <= t + 256);
+            prop_assert!(covered);
+        }
+    }
+
+    /// Predictions are finite and positive for any legal target.
+    #[test]
+    fn predictions_are_finite(kt in arb_kernel(), s in arb_placement(), t in arb_placement()) {
+        let cfg = cfg();
+        let s = PlacementMap::from_spaces(s);
+        let t = PlacementMap::from_spaces(t);
+        prop_assume!(s.validate(&kt.arrays, &cfg).is_ok());
+        prop_assume!(t.validate(&kt.arrays, &cfg).is_ok());
+        let profile = profile_sample(&kt, &s, &cfg).unwrap();
+        let pred = Predictor::new(cfg.clone()).predict(&profile, &t).unwrap();
+        prop_assert!(pred.cycles.is_finite());
+        prop_assert!(pred.cycles >= 1.0);
+        prop_assert!(pred.t_comp >= 0.0);
+        prop_assert!(pred.t_mem >= 0.0);
+    }
+}
