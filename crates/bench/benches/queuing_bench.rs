@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hms_core::analysis::analyze;
-use hms_core::tmem::{dram_estimate, QueuingMode};
 use hms_core::profile_sample;
+use hms_core::tmem::{dram_estimate, QueuingMode};
 use hms_kernels::Scale;
 use hms_stats::{kingman_waiting_time, GG1Inputs};
 use hms_types::GpuConfig;
@@ -27,8 +27,11 @@ fn bench_dram_estimate(c: &mut Criterion) {
     let kt = hms_kernels::by_name("md", Scale::Full).expect("md exists");
     let profile = profile_sample(&kt, &kt.default_placement(), &cfg).expect("profiles");
     let analysis = analyze(&profile.trace, &cfg);
-    for mode in [QueuingMode::ConstantLatency, QueuingMode::EvenDistribution, QueuingMode::Mapped]
-    {
+    for mode in [
+        QueuingMode::ConstantLatency,
+        QueuingMode::EvenDistribution,
+        QueuingMode::Mapped,
+    ] {
         c.bench_with_input(
             BenchmarkId::new("dram_estimate", format!("{mode:?}")),
             &mode,
@@ -41,13 +44,17 @@ fn bench_trace_analysis(c: &mut Criterion) {
     let cfg = GpuConfig::tesla_k80();
     for name in ["spmv", "matrixMul", "stencil2d"] {
         let kt = hms_kernels::by_name(name, Scale::Full).expect("known kernel");
-        let ct =
-            hms_trace::materialize(&kt, &kt.default_placement(), &cfg).expect("valid");
+        let ct = hms_trace::materialize(&kt, &kt.default_placement(), &cfg).expect("valid");
         c.bench_with_input(BenchmarkId::new("analyze", name), &ct, |b, ct| {
             b.iter(|| black_box(analyze(ct, &cfg)))
         });
     }
 }
 
-criterion_group!(benches, bench_kingman, bench_dram_estimate, bench_trace_analysis);
+criterion_group!(
+    benches,
+    bench_kingman,
+    bench_dram_estimate,
+    bench_trace_analysis
+);
 criterion_main!(benches);

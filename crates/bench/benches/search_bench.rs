@@ -16,15 +16,12 @@ fn bench_search(c: &mut Criterion) {
 
     for n_arrays in 1..=3usize {
         let candidates: Vec<ArrayId> = (0..n_arrays as u32).map(ArrayId).collect();
-        let placements =
-            enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
+        let placements = enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
         c.bench_with_input(
             BenchmarkId::new("enumerate", n_arrays),
             &candidates,
             |b, cand| {
-                b.iter(|| {
-                    black_box(enumerate_placements(&kt.arrays, &sample, cand, &cfg, 4096))
-                })
+                b.iter(|| black_box(enumerate_placements(&kt.arrays, &sample, cand, &cfg, 4096)))
             },
         );
         c.bench_with_input(

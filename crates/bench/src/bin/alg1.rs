@@ -19,8 +19,7 @@ fn main() {
     let bits = truth.addr_bits;
     let timing = cfg.dram;
 
-    let detected =
-        detect_mapping(|| MemoryController::new(truth.clone(), timing, false), bits);
+    let detected = detect_mapping(|| MemoryController::new(truth.clone(), timing, false), bits);
 
     println!("Algorithm 1: address-mapping detection on the simulated GDDR5\n");
     println!("bit classes (0..{bits}):");
@@ -37,20 +36,33 @@ fn main() {
     println!("detected row bits:         {:?}", detected.row_bits());
     println!("detected bank bits:        {:?}", detected.bank_bits());
     println!();
-    println!("ground truth column bits:  {:?} (+ byte bits 0..{})", truth.col_bit_positions, truth.byte_bits);
+    println!(
+        "ground truth column bits:  {:?} (+ byte bits 0..{})",
+        truth.col_bit_positions, truth.byte_bits
+    );
     println!("ground truth row bits:     {:?}", truth.row_bit_positions);
 
     let ns = |cycles: u64| cfg.cycles_to_ns(cycles as f64);
     println!();
     println!("measured latencies (paper's K80: hit 352 ns, miss 742 ns, conflict 1008 ns):");
-    println!("  row-buffer hit:      {:>6} cycles = {:>7.0} ns", detected.hit_latency, ns(detected.hit_latency));
-    println!("  row-buffer miss:     {:>6} cycles = {:>7.0} ns", detected.miss_latency, ns(detected.miss_latency));
-    println!("  row conflict:        {:>6} cycles = {:>7.0} ns", detected.conflict_latency, ns(detected.conflict_latency));
+    println!(
+        "  row-buffer hit:      {:>6} cycles = {:>7.0} ns",
+        detected.hit_latency,
+        ns(detected.hit_latency)
+    );
+    println!(
+        "  row-buffer miss:     {:>6} cycles = {:>7.0} ns",
+        detected.miss_latency,
+        ns(detected.miss_latency)
+    );
+    println!(
+        "  row conflict:        {:>6} cycles = {:>7.0} ns",
+        detected.conflict_latency,
+        ns(detected.conflict_latency)
+    );
     let variation = (detected.miss_latency as f64 / detected.hit_latency as f64 - 1.0) * 100.0;
     println!();
-    println!(
-        "hit-vs-miss latency variation: {variation:.0}% (paper reports up to 110%)"
-    );
+    println!("hit-vs-miss latency variation: {variation:.0}% (paper reports up to 110%)");
 
     // Verification summary.
     let cols_ok = {
@@ -62,6 +74,10 @@ fn main() {
     println!();
     println!(
         "detection {} ground truth",
-        if cols_ok && rows_ok { "MATCHES" } else { "DIVERGES FROM" }
+        if cols_ok && rows_ok {
+            "MATCHES"
+        } else {
+            "DIVERGES FROM"
+        }
     );
 }

@@ -21,7 +21,9 @@ fn main() {
     let mut h = Harness::paper();
     h.cfg = hms_types::GpuConfig::tesla_c2050();
     let kernels = ["spmv", "md", "matrixMul"];
-    println!("Figure 4: DRAM inter-arrival distributions (default placements, Tesla C2050 config)\n");
+    println!(
+        "Figure 4: DRAM inter-arrival distributions (default placements, Tesla C2050 config)\n"
+    );
 
     let mut table = Table::new(&[
         "kernel",
@@ -35,8 +37,15 @@ fn main() {
         let kt = hms_kernels::by_name(name, h.scale).expect("known kernel");
         let pm = kt.default_placement();
         let ct = materialize(&kt, &pm, &h.cfg).expect("valid");
-        let r = simulate(&ct, &h.cfg, &SimOptions { record_dram_arrivals: true, ..Default::default() })
-            .expect("simulates");
+        let r = simulate(
+            &ct,
+            &h.cfg,
+            &SimOptions {
+                record_dram_arrivals: true,
+                ..Default::default()
+            },
+        )
+        .expect("simulates");
 
         // Per-bank c_a over banks with enough samples.
         let mut cas = Vec::new();
@@ -52,10 +61,20 @@ fn main() {
                 all_inter.extend(xs);
             }
         }
-        let ca = Summary::of(&cas).unwrap_or(Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 });
+        let ca = Summary::of(&cas).unwrap_or(Summary {
+            n: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        });
         let rate = fit_exponential_rate(&all_inter).unwrap_or(0.0);
         let ks = exp_cdf_distance(&all_inter, rate);
-        let verdict = if ca.mean > 1.3 { "bursty (not Markov)" } else { "approx. exponential" };
+        let verdict = if ca.mean > 1.3 {
+            "bursty (not Markov)"
+        } else {
+            "approx. exponential"
+        };
         table.row(vec![
             name.into(),
             cas.len().to_string(),

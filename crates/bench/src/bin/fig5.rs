@@ -30,7 +30,14 @@ fn main() {
 
     println!("Figure 5: predicted performance normalized by measured performance");
     println!("(1.000 = perfect prediction)\n");
-    let mut table = Table::new(&["benchmark", "measured cyc", "ours", "ours err", "[7]", "[7] err"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "measured cyc",
+        "ours",
+        "ours err",
+        "[7]",
+        "[7] err",
+    ]);
     for (o, s) in ours.iter().zip(&simkim) {
         assert_eq!(o.label, s.label);
         table.row(vec![
@@ -47,12 +54,10 @@ fn main() {
     let ours_err = mean_error(&ours);
     let simkim_err = mean_error(&simkim);
     // Bootstrap 95% CIs over the 14 evaluation points.
-    let errs = |rs: &[hms_bench::ExperimentResult]| -> Vec<f64> {
-        rs.iter().map(|r| r.error()).collect()
-    };
+    let errs =
+        |rs: &[hms_bench::ExperimentResult]| -> Vec<f64> { rs.iter().map(|r| r.error()).collect() };
     let ci_ours = hms_stats::bootstrap_mean_ci(&errs(&ours), 0.95, 4000, 5).expect("non-empty");
-    let ci_simkim =
-        hms_stats::bootstrap_mean_ci(&errs(&simkim), 0.95, 4000, 5).expect("non-empty");
+    let ci_simkim = hms_stats::bootstrap_mean_ci(&errs(&simkim), 0.95, 4000, 5).expect("non-empty");
     println!(
         "average prediction error: ours {:.1}% (95% CI {:.1}-{:.1}%)  |  [7]-style {:.1}% (95% CI {:.1}-{:.1}%)",
         ours_err * 100.0,

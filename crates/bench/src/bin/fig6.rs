@@ -20,7 +20,10 @@ fn main() {
     let h = Harness::paper();
     let kt = hms_kernels::by_name("neuralnet", h.scale).expect("neuralnet exists");
     let weights = ArrayId(
-        kt.arrays.iter().position(|a| a.name == "weights").expect("weights array") as u32,
+        kt.arrays
+            .iter()
+            .position(|a| a.name == "weights")
+            .expect("weights array") as u32,
     );
     let sample = kt.default_placement();
 
@@ -45,7 +48,9 @@ fn main() {
         let pm = sample.with(weights, space);
         let m = {
             let ct = hms_trace::materialize(&kt, &pm, &h.cfg).expect("valid");
-            hms_sim::simulate_default(&ct, &h.cfg).expect("simulates").cycles as f64
+            hms_sim::simulate_default(&ct, &h.cfg)
+                .expect("simulates")
+                .cycles as f64
         };
         let p = predictor.predict(&profile, &pm).expect("predicts").cycles;
         let s = porple.score(&profile, &pm).expect("scores");

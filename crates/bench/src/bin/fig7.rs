@@ -31,7 +31,14 @@ fn main() {
 
     println!("Figure 7: baseline vs baseline + instruction replay & addressing-mode counting");
     println!("(predicted / measured; 1.000 is perfect)\n");
-    let mut table = Table::new(&["benchmark", "baseline", "base err", "+instr counting", "+instr err", "delta"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "baseline",
+        "base err",
+        "+instr counting",
+        "+instr err",
+        "delta",
+    ]);
     for (b, i) in r_base.iter().zip(&r_instr) {
         table.row(vec![
             b.label.into(),
@@ -45,6 +52,13 @@ fn main() {
     println!("{}", table.render());
     let eb = mean_error(&r_base);
     let ei = mean_error(&r_instr);
-    println!("average error: baseline {:.1}%  ->  +instr counting {:.1}%", eb * 100.0, ei * 100.0);
-    println!("improvement: {:.1} percentage points (paper: ~17% average improvement)", (eb - ei) * 100.0);
+    println!(
+        "average error: baseline {:.1}%  ->  +instr counting {:.1}%",
+        eb * 100.0,
+        ei * 100.0
+    );
+    println!(
+        "improvement: {:.1} percentage points (paper: ~17% average improvement)",
+        (eb - ei) * 100.0
+    );
 }

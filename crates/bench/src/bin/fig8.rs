@@ -23,7 +23,10 @@ fn main() {
     let variants = [
         ("baseline", ModelOptions::baseline()),
         ("+instr", ModelOptions::baseline_plus_instr()),
-        ("+instr+queuing(even)", ModelOptions::instr_plus_queuing_even()),
+        (
+            "+instr+queuing(even)",
+            ModelOptions::instr_plus_queuing_even(),
+        ),
         ("our model (mapped)", ModelOptions::full()),
     ];
     let predictors = ablation_predictors(&h, &variants, &profiles);

@@ -46,8 +46,7 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let errs: Vec<(&str, f64)> =
-        results.iter().map(|(n, rs)| (*n, mean_error(rs))).collect();
+    let errs: Vec<(&str, f64)> = results.iter().map(|(n, rs)| (*n, mean_error(rs))).collect();
     println!("average prediction error:");
     for (name, e) in &errs {
         println!("  {:<18} {:.1}%", name, e * 100.0);
@@ -55,7 +54,16 @@ fn main() {
     let base = errs[0].1;
     println!();
     println!("improvement over baseline:");
-    println!("  queuing alone   {:+.1}pp (paper: ~13.8%)", (base - errs[1].1) * 100.0);
-    println!("  instr alone     {:+.1}pp (paper: ~17%)", (base - errs[2].1) * 100.0);
-    println!("  both            {:+.1}pp (paper: ~39.1%, super-additive)", (base - errs[3].1) * 100.0);
+    println!(
+        "  queuing alone   {:+.1}pp (paper: ~13.8%)",
+        (base - errs[1].1) * 100.0
+    );
+    println!(
+        "  instr alone     {:+.1}pp (paper: ~17%)",
+        (base - errs[2].1) * 100.0
+    );
+    println!(
+        "  both            {:+.1}pp (paper: ~39.1%, super-additive)",
+        (base - errs[3].1) * 100.0
+    );
 }

@@ -16,20 +16,24 @@ use hms_kernels::params::{MatmulParams, SpmvParams, VecAddParams};
 use hms_trace::{materialize, KernelTrace};
 use hms_types::{ArrayId, MemorySpace};
 
-fn run_point(
-    h: &Harness,
-    kt: &KernelTrace,
-    move_array: &str,
-    to: MemorySpace,
-) -> (u64, f64, u64) {
+fn run_point(h: &Harness, kt: &KernelTrace, move_array: &str, to: MemorySpace) -> (u64, f64, u64) {
     let sample = kt.default_placement();
-    let id = ArrayId(kt.arrays.iter().position(|a| a.name == move_array).expect("array") as u32);
+    let id = ArrayId(
+        kt.arrays
+            .iter()
+            .position(|a| a.name == move_array)
+            .expect("array") as u32,
+    );
     let target = sample.with(id, to);
     let profile = profile_sample(kt, &sample, &h.cfg).expect("profiles");
-    let pred = Predictor::new(h.cfg.clone()).predict(&profile, &target).expect("predicts");
+    let pred = Predictor::new(h.cfg.clone())
+        .predict(&profile, &target)
+        .expect("predicts");
     let measured = {
         let ct = materialize(kt, &target, &h.cfg).expect("valid");
-        hms_sim::simulate_default(&ct, &h.cfg).expect("simulates").cycles
+        hms_sim::simulate_default(&ct, &h.cfg)
+            .expect("simulates")
+            .cycles
     };
     (kt.geometry.total_warps(), pred.cycles, measured)
 }
@@ -40,7 +44,12 @@ fn main() {
     let mut table = Table::new(&["kernel", "size", "warps", "predicted", "measured", "error"]);
 
     for blocks in [8u32, 32, 128, 512] {
-        let kt = VecAddParams { blocks, threads_per_block: 128 }.build().expect("valid");
+        let kt = VecAddParams {
+            blocks,
+            threads_per_block: 128,
+        }
+        .build()
+        .expect("valid");
         let (w, p, m) = run_point(&h, &kt, "a", MemorySpace::Texture1D);
         table.row(vec![
             "vecadd a->T".into(),
@@ -52,9 +61,14 @@ fn main() {
         ]);
     }
     for rows in [64u64, 256, 1024] {
-        let kt = SpmvParams { rows, max_nnz_per_row: 96, warps_per_block: 4, seed: 0x535D }
-            .build()
-            .expect("valid");
+        let kt = SpmvParams {
+            rows,
+            max_nnz_per_row: 96,
+            warps_per_block: 4,
+            seed: 0x535D,
+        }
+        .build()
+        .expect("valid");
         let (w, p, m) = run_point(&h, &kt, "d_vec", MemorySpace::Texture1D);
         table.row(vec![
             "spmv vec->T".into(),

@@ -36,14 +36,35 @@ fn main() {
             continue;
         }
         // Arrival proxy: analysis positions (one cycle per instruction).
-        let reqs: Vec<BatchRequest> =
-            a.dram.iter().map(|r| BatchRequest { addr: r.addr, arrival: r.position }).collect();
-        let (_, fifo_open) =
-            schedule_batch(&reqs, &mapping, &h.cfg.dram, SchedPolicy::Fifo, PagePolicy::Open);
-        let (_, fr_open) =
-            schedule_batch(&reqs, &mapping, &h.cfg.dram, SchedPolicy::FrFcfs, PagePolicy::Open);
-        let (_, fifo_closed) =
-            schedule_batch(&reqs, &mapping, &h.cfg.dram, SchedPolicy::Fifo, PagePolicy::Closed);
+        let reqs: Vec<BatchRequest> = a
+            .dram
+            .iter()
+            .map(|r| BatchRequest {
+                addr: r.addr,
+                arrival: r.position,
+            })
+            .collect();
+        let (_, fifo_open) = schedule_batch(
+            &reqs,
+            &mapping,
+            &h.cfg.dram,
+            SchedPolicy::Fifo,
+            PagePolicy::Open,
+        );
+        let (_, fr_open) = schedule_batch(
+            &reqs,
+            &mapping,
+            &h.cfg.dram,
+            SchedPolicy::FrFcfs,
+            PagePolicy::Open,
+        );
+        let (_, fifo_closed) = schedule_batch(
+            &reqs,
+            &mapping,
+            &h.cfg.dram,
+            SchedPolicy::Fifo,
+            PagePolicy::Closed,
+        );
         let hit_rate = |s: &hms_dram::sched::ScheduleStats| {
             s.hits as f64 / (s.hits + s.misses + s.conflicts) as f64
         };
@@ -51,11 +72,20 @@ fn main() {
             t.label.into(),
             reqs.len().to_string(),
             fifo_open.makespan.to_string(),
-            format!("{} ({:+.1}%)", fr_open.makespan,
-                (fr_open.makespan as f64 / fifo_open.makespan as f64 - 1.0) * 100.0),
-            format!("{} ({:+.1}%)", fifo_closed.makespan,
-                (fifo_closed.makespan as f64 / fifo_open.makespan as f64 - 1.0) * 100.0),
-            format!("{:+.1}pp", (hit_rate(&fr_open) - hit_rate(&fifo_open)) * 100.0),
+            format!(
+                "{} ({:+.1}%)",
+                fr_open.makespan,
+                (fr_open.makespan as f64 / fifo_open.makespan as f64 - 1.0) * 100.0
+            ),
+            format!(
+                "{} ({:+.1}%)",
+                fifo_closed.makespan,
+                (fifo_closed.makespan as f64 / fifo_open.makespan as f64 - 1.0) * 100.0
+            ),
+            format!(
+                "{:+.1}pp",
+                (hit_rate(&fr_open) - hit_rate(&fifo_open)) * 100.0
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -18,15 +18,36 @@ fn main() {
     let h = Harness::paper();
     use MemorySpace::Texture2D as T2;
     let tests: Vec<PlacementTest> = vec![
-        PlacementTest { kernel: "matrixMul", label: "mm_A2T_B2T",
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_A2T_B2T",
             sample: &[("As", MemorySpace::Shared), ("Bs", MemorySpace::Shared)],
-            moves: &[("A", T2), ("B", T2)] },
-        PlacementTest { kernel: "transpose", label: "tr_idata_2T", sample: &[], moves: &[("idata", T2)] },
-        PlacementTest { kernel: "scan", label: "scan_2T",
-            sample: &[("s_block", MemorySpace::Shared)], moves: &[("g_idata", T2)] },
-        PlacementTest { kernel: "qtc", label: "qtc_2T", sample: &[], moves: &[("distance_matrix", T2)] },
-        PlacementTest { kernel: "convolutionCols", label: "conv2_2T",
-            sample: &[("c_Kernel", MemorySpace::Constant)], moves: &[("d_Src", T2)] },
+            moves: &[("A", T2), ("B", T2)],
+        },
+        PlacementTest {
+            kernel: "transpose",
+            label: "tr_idata_2T",
+            sample: &[],
+            moves: &[("idata", T2)],
+        },
+        PlacementTest {
+            kernel: "scan",
+            label: "scan_2T",
+            sample: &[("s_block", MemorySpace::Shared)],
+            moves: &[("g_idata", T2)],
+        },
+        PlacementTest {
+            kernel: "qtc",
+            label: "qtc_2T",
+            sample: &[],
+            moves: &[("distance_matrix", T2)],
+        },
+        PlacementTest {
+            kernel: "convolutionCols",
+            label: "conv2_2T",
+            sample: &[("c_Kernel", MemorySpace::Constant)],
+            moves: &[("d_Src", T2)],
+        },
     ];
     let tiles = [2u64, 4, 8, 16, 32];
 

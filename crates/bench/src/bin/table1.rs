@@ -10,8 +10,6 @@
 //! cargo run -p hms-bench --release --bin table1
 //! ```
 
-use rayon::prelude::*;
-
 use hms_bench::suite::table1_suite;
 use hms_bench::{mine_events_paper, Harness, PlacementStudy, Table};
 use hms_stats::cosine::PAPER_THRESHOLD;
@@ -23,7 +21,13 @@ fn main() {
     println!("Table I: cosine similarity of performance events vs execution time");
     println!("(events with similarity < {PAPER_THRESHOLD} print as N/A, as in the paper)\n");
 
-    let paper_events = ["issue_slots", "inst_issued", "inst_integer", "ldst_issue", "L2_transactions"];
+    let paper_events = [
+        "issue_slots",
+        "inst_issued",
+        "inst_integer",
+        "ldst_issue",
+        "L2_transactions",
+    ];
     let mut table = Table::new(&[
         "GPU kernel",
         "placements",
@@ -37,22 +41,22 @@ fn main() {
 
     for (name, tests) in &suite {
         // Simulate every placement of this kernel.
-        let runs: Vec<(u64, hms_sim::EventSet)> = tests
-            .par_iter()
-            .map(|t| {
-                let kt = t.kernel(h.scale);
-                let pm = t.target_placement(&kt);
-                let ct = materialize(&kt, &pm, &h.cfg).expect("valid placement");
-                let r = hms_sim::simulate_default(&ct, &h.cfg).expect("simulates");
-                (r.cycles, r.events)
-            })
-            .collect();
+        let runs: Vec<(u64, hms_sim::EventSet)> = hms_stats::par::par_map(tests, |t| {
+            let kt = t.kernel(h.scale);
+            let pm = t.target_placement(&kt);
+            let ct = materialize(&kt, &pm, &h.cfg).expect("valid placement");
+            let r = hms_sim::simulate_default(&ct, &h.cfg).expect("simulates");
+            (r.cycles, r.events)
+        });
         let study = PlacementStudy::from_runs(name, &runs);
         let sims = study.similarities();
 
         let mut row = vec![name.to_string(), tests.len().to_string()];
         for target in paper_events {
-            let (_, sim) = sims.iter().find(|(n, _)| *n == target).expect("event exists");
+            let (_, sim) = sims
+                .iter()
+                .find(|(n, _)| *n == target)
+                .expect("event exists");
             row.push(match sim {
                 Some(s) if *s >= PAPER_THRESHOLD => format!("{s:.3}"),
                 _ => "N/A".into(),

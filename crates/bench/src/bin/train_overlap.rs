@@ -11,12 +11,16 @@ use hms_core::ModelOptions;
 fn main() {
     let h = Harness::paper();
     let suite = training_suite();
-    println!("T_overlap training set: {} placements over {} kernels", suite.len(), {
-        let mut k: Vec<&str> = suite.iter().map(|t| t.kernel).collect();
-        k.sort_unstable();
-        k.dedup();
-        k.len()
-    });
+    println!(
+        "T_overlap training set: {} placements over {} kernels",
+        suite.len(),
+        {
+            let mut k: Vec<&str> = suite.iter().map(|t| t.kernel).collect();
+            k.sort_unstable();
+            k.dedup();
+            k.len()
+        }
+    );
     println!("(paper uses 38 training placements; Table IV lower half)\n");
 
     let (predictor, profiles) = trained_predictor(&h, ModelOptions::full());
@@ -44,5 +48,8 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("in-sample mean error: {:.1}%", total / suite.len() as f64 * 100.0);
+    println!(
+        "in-sample mean error: {:.1}%",
+        total / suite.len() as f64 * 100.0
+    );
 }

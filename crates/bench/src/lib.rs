@@ -7,8 +7,8 @@
 //! * [`suite`] — the benchmark/placement suites of Table IV: each
 //!   kernel's *sample* placement and its placement tests, split into the
 //!   evaluation set and the `T_overlap` training set;
-//! * [`runner`] — profile / measure / predict plumbing with rayon
-//!   parallelism across placements;
+//! * [`runner`] — profile / measure / predict plumbing with
+//!   `hms_stats::par` parallelism across placements;
 //! * [`table`] — plain-text table rendering for the experiment binaries.
 //!
 //! Binaries (all under `--release`):

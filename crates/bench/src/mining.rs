@@ -37,14 +37,12 @@ impl PlacementStudy {
         if self.events.is_empty() {
             return Vec::new();
         }
-        let names: Vec<&'static str> =
-            self.events[0].named().iter().map(|(n, _)| *n).collect();
+        let names: Vec<&'static str> = self.events[0].named().iter().map(|(n, _)| *n).collect();
         names
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                let series: Vec<f64> =
-                    self.events.iter().map(|e| e.named()[i].1).collect();
+                let series: Vec<f64> = self.events.iter().map(|e| e.named()[i].1).collect();
                 (*name, cosine_similarity(&self.times, &series))
             })
             .collect()
@@ -88,14 +86,19 @@ pub fn mine_events(
         }
         if qualified_in.len() >= min_kernels {
             let mean_similarity = acc / qualified_in.len() as f64;
-            out.push(MinedEvent { name, qualified_in, mean_similarity });
+            out.push(MinedEvent {
+                name,
+                qualified_in,
+                mean_similarity,
+            });
         }
     }
     out.sort_by(|a, b| {
-        b.qualified_in
-            .len()
-            .cmp(&a.qualified_in.len())
-            .then(b.mean_similarity.partial_cmp(&a.mean_similarity).expect("finite"))
+        b.qualified_in.len().cmp(&a.qualified_in.len()).then(
+            b.mean_similarity
+                .partial_cmp(&a.mean_similarity)
+                .expect("finite"),
+        )
     });
     out
 }
@@ -121,7 +124,11 @@ mod tests {
                 ..Default::default()
             })
             .collect();
-        PlacementStudy { kernel: kernel.into(), times: times.to_vec(), events }
+        PlacementStudy {
+            kernel: kernel.into(),
+            times: times.to_vec(),
+            events,
+        }
     }
 
     #[test]
@@ -129,9 +136,24 @@ mod tests {
         // Three kernels where L2 transactions track time and stall_cycles
         // vary independently.
         let studies = vec![
-            study("a", &[10.0, 20.0, 40.0], &[11.0, 19.0, 41.0], &[5.0, 100.0, 2.0]),
-            study("b", &[5.0, 8.0, 6.0], &[10.0, 16.0, 12.0], &[90.0, 1.0, 50.0]),
-            study("c", &[100.0, 50.0, 75.0], &[99.0, 52.0, 73.0], &[3.0, 80.0, 7.0]),
+            study(
+                "a",
+                &[10.0, 20.0, 40.0],
+                &[11.0, 19.0, 41.0],
+                &[5.0, 100.0, 2.0],
+            ),
+            study(
+                "b",
+                &[5.0, 8.0, 6.0],
+                &[10.0, 16.0, 12.0],
+                &[90.0, 1.0, 50.0],
+            ),
+            study(
+                "c",
+                &[100.0, 50.0, 75.0],
+                &[99.0, 52.0, 73.0],
+                &[3.0, 80.0, 7.0],
+            ),
         ];
         let mined = mine_events_paper(&studies);
         let names: Vec<&str> = mined.iter().map(|m| m.name).collect();
@@ -163,7 +185,11 @@ mod tests {
     fn similarities_align_with_named_order() {
         let s = study("x", &[1.0, 2.0], &[1.0, 2.0], &[2.0, 1.0]);
         let sims = s.similarities();
-        let names: Vec<&str> = EventSet::default().named().iter().map(|(n, _)| *n).collect();
+        let names: Vec<&str> = EventSet::default()
+            .named()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
         assert_eq!(sims.len(), names.len());
         for (i, (n, _)) in sims.iter().enumerate() {
             assert_eq!(*n, names[i]);

@@ -1,11 +1,10 @@
 //! Experiment plumbing: profile samples, measure targets, predict with
 //! every model variant, in parallel across placements.
 
-use rayon::prelude::*;
-
 use hms_core::{ModelOptions, Predictor, Profile, SimKimModel};
 use hms_kernels::Scale;
 use hms_sim::{simulate, SimOptions};
+use hms_stats::par::par_map;
 use hms_trace::materialize;
 use hms_types::{GpuConfig, PlacementMap};
 
@@ -22,12 +21,18 @@ impl Harness {
     /// The configuration every experiment binary uses: the K80 machine
     /// at full workload scale.
     pub fn paper() -> Self {
-        Harness { cfg: GpuConfig::tesla_k80(), scale: Scale::Full }
+        Harness {
+            cfg: GpuConfig::tesla_k80(),
+            scale: Scale::Full,
+        }
     }
 
     /// A fast configuration for tests.
     pub fn test() -> Self {
-        Harness { cfg: GpuConfig::test_small(), scale: Scale::Test }
+        Harness {
+            cfg: GpuConfig::test_small(),
+            scale: Scale::Test,
+        }
     }
 }
 
@@ -35,7 +40,9 @@ impl Harness {
 pub fn measure(h: &Harness, test: &PlacementTest, pm: &PlacementMap) -> u64 {
     let kt = test.kernel(h.scale);
     let ct = materialize(&kt, pm, &h.cfg).expect("suite placements validate");
-    simulate(&ct, &h.cfg, &SimOptions::default()).expect("simulation completes").cycles
+    simulate(&ct, &h.cfg, &SimOptions::default())
+        .expect("simulation completes")
+        .cycles
 }
 
 /// Profile the sample placement of one test.
@@ -50,14 +57,11 @@ pub fn profile(h: &Harness, test: &PlacementTest) -> Profile {
 /// the ratio model, it never sees the evaluation kernels (Table IV keeps
 /// the two sets disjoint).
 pub fn training_profiles(h: &Harness) -> Vec<Profile> {
-    training_suite()
-        .par_iter()
-        .map(|t| {
-            let kt = t.kernel(h.scale);
-            let pm = t.target_placement(&kt);
-            hms_core::profile_sample(&kt, &pm, &h.cfg).expect("training placement profiles")
-        })
-        .collect()
+    par_map(&training_suite(), |t| {
+        let kt = t.kernel(h.scale);
+        let pm = t.target_placement(&kt);
+        hms_core::profile_sample(&kt, &pm, &h.cfg).expect("training placement profiles")
+    })
 }
 
 /// Build a predictor with `options` and train its `T_overlap` model on
@@ -65,7 +69,9 @@ pub fn training_profiles(h: &Harness) -> Vec<Profile> {
 /// profile set across model variants).
 pub fn predictor_with(h: &Harness, options: ModelOptions, profiles: &[Profile]) -> Predictor {
     let mut predictor = Predictor::with_options(h.cfg.clone(), options);
-    predictor.train(profiles).expect("enough training placements");
+    predictor
+        .train(profiles)
+        .expect("enough training placements");
     predictor
 }
 
@@ -125,41 +131,37 @@ pub fn run_suite(
     predictor: &Predictor,
     suite: &[PlacementTest],
 ) -> Vec<ExperimentResult> {
-    suite
-        .par_iter()
-        .map(|t| {
-            let kt = t.kernel(h.scale);
-            let target = t.target_placement(&kt);
-            let prof = profile(h, t);
-            let pred = predictor.predict(&prof, &target).expect("prediction succeeds");
-            let measured = measure(h, t, &target);
-            ExperimentResult {
-                label: t.label,
-                measured_cycles: measured,
-                predicted_cycles: pred.cycles,
-            }
-        })
-        .collect()
+    par_map(suite, |t| {
+        let kt = t.kernel(h.scale);
+        let target = t.target_placement(&kt);
+        let prof = profile(h, t);
+        let pred = predictor
+            .predict(&prof, &target)
+            .expect("prediction succeeds");
+        let measured = measure(h, t, &target);
+        ExperimentResult {
+            label: t.label,
+            measured_cycles: measured,
+            predicted_cycles: pred.cycles,
+        }
+    })
 }
 
 /// Run the [7]-style baseline over the suite.
 pub fn run_suite_simkim(h: &Harness, suite: &[PlacementTest]) -> Vec<ExperimentResult> {
     let model = SimKimModel::new(h.cfg.clone());
-    suite
-        .par_iter()
-        .map(|t| {
-            let kt = t.kernel(h.scale);
-            let target = t.target_placement(&kt);
-            let prof = profile(h, t);
-            let pred = model.predict(&prof, &target).expect("prediction succeeds");
-            let measured = measure(h, t, &target);
-            ExperimentResult {
-                label: t.label,
-                measured_cycles: measured,
-                predicted_cycles: pred,
-            }
-        })
-        .collect()
+    par_map(suite, |t| {
+        let kt = t.kernel(h.scale);
+        let target = t.target_placement(&kt);
+        let prof = profile(h, t);
+        let pred = model.predict(&prof, &target).expect("prediction succeeds");
+        let measured = measure(h, t, &target);
+        ExperimentResult {
+            label: t.label,
+            measured_cycles: measured,
+            predicted_cycles: pred,
+        }
+    })
 }
 
 /// Arithmetic-mean relative error over a result set (the paper's 9.9%
@@ -190,10 +192,18 @@ mod tests {
 
     #[test]
     fn experiment_result_metrics() {
-        let r = ExperimentResult { label: "x", measured_cycles: 1000, predicted_cycles: 1100.0 };
+        let r = ExperimentResult {
+            label: "x",
+            measured_cycles: 1000,
+            predicted_cycles: 1100.0,
+        };
         assert!((r.normalized() - 1.1).abs() < 1e-12);
         assert!((r.error() - 0.1).abs() < 1e-12);
-        let under = ExperimentResult { label: "y", measured_cycles: 1000, predicted_cycles: 800.0 };
+        let under = ExperimentResult {
+            label: "y",
+            measured_cycles: 1000,
+            predicted_cycles: 800.0,
+        };
         assert!((under.error() - 0.2).abs() < 1e-12);
         assert!((mean_error(&[r, under]) - 0.15).abs() < 1e-12);
     }

@@ -31,7 +31,11 @@ impl PlacementTest {
     }
 
     /// Resolve a named placement override list against a kernel.
-    fn resolve(kt: &KernelTrace, overrides: &[(&str, MemorySpace)], base: PlacementMap) -> PlacementMap {
+    fn resolve(
+        kt: &KernelTrace,
+        overrides: &[(&str, MemorySpace)],
+        base: PlacementMap,
+    ) -> PlacementMap {
         let mut pm = base;
         for (name, space) in overrides {
             let id = kt
@@ -76,7 +80,12 @@ pub fn evaluation_suite() -> Vec<PlacementTest> {
             sample: &[],
             moves: &[("edgeArray", T)],
         },
-        PlacementTest { kernel: "fft", label: "fft_1", sample: FFT_SAMPLE, moves: &[("smem", G)] },
+        PlacementTest {
+            kernel: "fft",
+            label: "fft_1",
+            sample: FFT_SAMPLE,
+            moves: &[("smem", G)],
+        },
         PlacementTest {
             kernel: "neuralnet",
             label: "NN_C",
@@ -157,7 +166,12 @@ pub fn evaluation_suite() -> Vec<PlacementTest> {
 pub fn training_suite() -> Vec<PlacementTest> {
     vec![
         // convolutionSeparable (SDK): 5 placements incl. samples.
-        PlacementTest { kernel: "convolutionRows", label: "conv_sample", sample: CONV_SAMPLE, moves: &[] },
+        PlacementTest {
+            kernel: "convolutionRows",
+            label: "conv_sample",
+            sample: CONV_SAMPLE,
+            moves: &[],
+        },
         PlacementTest {
             kernel: "convolutionRows",
             label: "conv_src_2T",
@@ -195,7 +209,12 @@ pub fn training_suite() -> Vec<PlacementTest> {
             moves: &[("c_Kernel", G)],
         },
         // md (SHOC): 6 placements.
-        PlacementTest { kernel: "md", label: "md_sample", sample: MD_SAMPLE, moves: &[] },
+        PlacementTest {
+            kernel: "md",
+            label: "md_sample",
+            sample: MD_SAMPLE,
+            moves: &[],
+        },
         PlacementTest {
             kernel: "md",
             label: "md_pos_G",
@@ -215,7 +234,12 @@ pub fn training_suite() -> Vec<PlacementTest> {
             moves: &[("d_position", G), ("neighList", T)],
         },
         // matrixMul (SDK): 8 placements.
-        PlacementTest { kernel: "matrixMul", label: "mm_sample", sample: MATMUL_SAMPLE, moves: &[] },
+        PlacementTest {
+            kernel: "matrixMul",
+            label: "mm_sample",
+            sample: MATMUL_SAMPLE,
+            moves: &[],
+        },
         PlacementTest {
             kernel: "matrixMul",
             label: "mm_A2T_B2T",
@@ -259,7 +283,12 @@ pub fn training_suite() -> Vec<PlacementTest> {
             moves: &[("B", T)],
         },
         // spmv (SHOC): 10 placements.
-        PlacementTest { kernel: "spmv", label: "spmv_sample", sample: SPMV_SAMPLE, moves: &[] },
+        PlacementTest {
+            kernel: "spmv",
+            label: "spmv_sample",
+            sample: SPMV_SAMPLE,
+            moves: &[],
+        },
         PlacementTest {
             kernel: "spmv",
             label: "spmv_rowD_S_vec_G",
@@ -309,7 +338,12 @@ pub fn training_suite() -> Vec<PlacementTest> {
             moves: &[("val", T), ("cols", T)],
         },
         // transpose (SDK): 3 placements.
-        PlacementTest { kernel: "transpose", label: "tr_sample", sample: &[], moves: &[] },
+        PlacementTest {
+            kernel: "transpose",
+            label: "tr_sample",
+            sample: &[],
+            moves: &[],
+        },
         PlacementTest {
             kernel: "transpose",
             label: "tr_idata_2T",
@@ -323,7 +357,12 @@ pub fn training_suite() -> Vec<PlacementTest> {
             moves: &[("idata", T)],
         },
         // cfd (SDK): 2 placements.
-        PlacementTest { kernel: "cfd", label: "cfd_sample", sample: &[], moves: &[] },
+        PlacementTest {
+            kernel: "cfd",
+            label: "cfd_sample",
+            sample: &[],
+            moves: &[],
+        },
         PlacementTest {
             kernel: "cfd",
             label: "cfd_var_T",
@@ -331,10 +370,25 @@ pub fn training_suite() -> Vec<PlacementTest> {
             moves: &[("variables", T)],
         },
         // triad (SHOC): 2 placements.
-        PlacementTest { kernel: "triad", label: "triad_sample", sample: &[], moves: &[] },
-        PlacementTest { kernel: "triad", label: "triad_B_S", sample: &[], moves: &[("B", S)] },
+        PlacementTest {
+            kernel: "triad",
+            label: "triad_sample",
+            sample: &[],
+            moves: &[],
+        },
+        PlacementTest {
+            kernel: "triad",
+            label: "triad_B_S",
+            sample: &[],
+            moves: &[("B", S)],
+        },
         // QTC (SHOC): 2 placements.
-        PlacementTest { kernel: "qtc", label: "qtc_sample", sample: &[], moves: &[] },
+        PlacementTest {
+            kernel: "qtc",
+            label: "qtc_sample",
+            sample: &[],
+            moves: &[],
+        },
         PlacementTest {
             kernel: "qtc",
             label: "qtc_dist_2T",
@@ -353,7 +407,12 @@ pub fn table1_suite() -> Vec<(&'static str, Vec<PlacementTest>)> {
         sample: &'static [(&'static str, MemorySpace)],
         moves: &'static [(&'static str, MemorySpace)],
     ) -> PlacementTest {
-        PlacementTest { kernel, label, sample, moves }
+        PlacementTest {
+            kernel,
+            label,
+            sample,
+            moves,
+        }
     }
     vec![
         (
@@ -390,7 +449,12 @@ pub fn table1_suite() -> Vec<(&'static str, Vec<PlacementTest>)> {
                 t("md", "T", MD_SAMPLE, &[]),
                 t("md", "pos_G", MD_SAMPLE, &[("d_position", G)]),
                 t("md", "neigh_T", MD_SAMPLE, &[("neighList", T)]),
-                t("md", "both", MD_SAMPLE, &[("d_position", G), ("neighList", T)]),
+                t(
+                    "md",
+                    "both",
+                    MD_SAMPLE,
+                    &[("d_position", G), ("neighList", T)],
+                ),
             ],
         ),
         (
@@ -400,7 +464,12 @@ pub fn table1_suite() -> Vec<(&'static str, Vec<PlacementTest>)> {
                 t("matrixMul", "A2T", MATMUL_SAMPLE, &[("A", T2)]),
                 t("matrixMul", "B2T", MATMUL_SAMPLE, &[("B", T2)]),
                 t("matrixMul", "AT_BT", MATMUL_SAMPLE, &[("A", T), ("B", T)]),
-                t("matrixMul", "A2T_B2T", MATMUL_SAMPLE, &[("A", T2), ("B", T2)]),
+                t(
+                    "matrixMul",
+                    "A2T_B2T",
+                    MATMUL_SAMPLE,
+                    &[("A", T2), ("B", T2)],
+                ),
             ],
         ),
         (
@@ -465,7 +534,10 @@ mod tests {
     #[test]
     fn suites_have_paper_scale_counts() {
         assert!(evaluation_suite().len() >= 12, "evaluation points");
-        assert!(training_suite().len() >= 30, "training placements (paper: 38)");
+        assert!(
+            training_suite().len() >= 30,
+            "training placements (paper: 38)"
+        );
         let t1: usize = table1_suite().iter().map(|(_, v)| v.len()).sum();
         assert!(t1 >= 30, "Table I placements (paper: 34), got {t1}");
     }

@@ -78,7 +78,12 @@ impl ConstantCache {
         self.transactions += u64::from(transactions);
         self.misses += u64::from(misses);
         self.divergence_replays += u64::from(divergence);
-        ConstAccessResult { transactions, misses, replays: divergence + misses, missed_lines }
+        ConstAccessResult {
+            transactions,
+            misses,
+            replays: divergence + misses,
+            missed_lines,
+        }
     }
 
     pub fn misses(&self) -> u64 {

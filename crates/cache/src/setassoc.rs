@@ -11,7 +11,9 @@ use hms_types::CacheGeometry;
 pub enum AccessOutcome {
     Hit,
     /// Miss; `evicted` reports whether a valid line was displaced.
-    Miss { evicted: bool },
+    Miss {
+        evicted: bool,
+    },
 }
 
 impl AccessOutcome {
@@ -49,7 +51,12 @@ impl SetAssocCache {
             geometry,
             sets,
             lines: vec![
-                Line { tag: 0, valid: false, dirty: false, last_use: 0 };
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    last_use: 0
+                };
                 sets as usize * ways
             ],
             clock: 0,
@@ -97,7 +104,12 @@ impl SetAssocCache {
         if victim.valid && victim.dirty {
             self.dirty_evictions += 1;
         }
-        *victim = Line { tag, valid: true, dirty: write, last_use: self.clock };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            last_use: self.clock,
+        };
         AccessOutcome::Miss { evicted }
     }
 
@@ -197,7 +209,7 @@ mod tests {
         c.access(64); // set 1
         c.access(128); // set 0
         c.access(192); // set 1
-        // Both sets full, nothing evicted yet.
+                       // Both sets full, nothing evicted yet.
         assert!(c.probe(0) && c.probe(64) && c.probe(128) && c.probe(192));
     }
 

@@ -26,7 +26,12 @@ pub fn shared_conflict_passes(lane_addrs: &[u64], banks: u32) -> u32 {
             per_bank[bank].push(word);
         }
     }
-    per_bank.iter().map(|w| w.len() as u32).max().unwrap_or(0).max(1)
+    per_bank
+        .iter()
+        .map(|w| w.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 /// Running per-SM shared-memory statistics.
@@ -39,7 +44,11 @@ pub struct SharedMemBanks {
 
 impl SharedMemBanks {
     pub fn new(banks: u32) -> Self {
-        SharedMemBanks { banks, warp_accesses: 0, conflicts: 0 }
+        SharedMemBanks {
+            banks,
+            warp_accesses: 0,
+            conflicts: 0,
+        }
     }
 
     /// Account one warp access; returns the replay count (`passes - 1`).

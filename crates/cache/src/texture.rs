@@ -33,7 +33,12 @@ pub struct TextureCache {
 
 impl TextureCache {
     pub fn new(geometry: CacheGeometry) -> Self {
-        TextureCache { cache: SetAssocCache::new(geometry), warp_accesses: 0, transactions: 0, misses: 0 }
+        TextureCache {
+            cache: SetAssocCache::new(geometry),
+            warp_accesses: 0,
+            transactions: 0,
+            misses: 0,
+        }
     }
 
     /// Serve one warp texture fetch given active lanes' byte addresses.
@@ -57,7 +62,11 @@ impl TextureCache {
         let transactions = lines.len() as u32;
         self.transactions += u64::from(transactions);
         self.misses += u64::from(misses);
-        TexAccessResult { transactions, misses, missed_lines }
+        TexAccessResult {
+            transactions,
+            misses,
+            missed_lines,
+        }
     }
 
     pub fn transactions(&self) -> u64 {
@@ -108,7 +117,10 @@ mod tests {
         // neighbourhood access patterns (stencils, matrixMul operands).
         let width = 1024u64;
         let block = |f: &dyn Fn(u64, u64) -> u64| -> Vec<u64> {
-            (0..4u64).flat_map(|y| (0..8u64).map(move |x| (x, y))).map(|(x, y)| f(x, y)).collect()
+            (0..4u64)
+                .flat_map(|y| (0..8u64).map(move |x| (x, y)))
+                .map(|(x, y)| f(x, y))
+                .collect()
         };
         let rm_addrs = block(&|x, y| row_major_offset(x, y, width, 4));
         let tex_addrs = block(&|x, y| tex2d_offset(x, y, width, 4, 8));

@@ -23,7 +23,10 @@ impl MoveSpec {
         }
         let space = MemorySpace::from_short(space)
             .ok_or_else(|| format!("unknown space `{space}` (use G, T, 2T, C, or S)"))?;
-        Ok(MoveSpec { array: array.to_owned(), space })
+        Ok(MoveSpec {
+            array: array.to_owned(),
+            space,
+        })
     }
 }
 
@@ -35,13 +38,31 @@ pub enum Command {
     /// Probe the DRAM address mapping (Algorithm 1).
     Probe,
     /// Simulate a kernel and print its event set.
-    Simulate { kernel: String, scale: Scale, moves: Vec<MoveSpec> },
+    Simulate {
+        kernel: String,
+        scale: Scale,
+        moves: Vec<MoveSpec>,
+    },
     /// Predict a target placement from a profiled sample.
-    Predict { kernel: String, scale: Scale, moves: Vec<MoveSpec>, train: bool },
+    Predict {
+        kernel: String,
+        scale: Scale,
+        moves: Vec<MoveSpec>,
+        train: bool,
+    },
     /// Rank every legal placement of the kernel's read-only arrays.
-    Advise { kernel: String, scale: Scale, train: bool, top: usize },
+    Advise {
+        kernel: String,
+        scale: Scale,
+        train: bool,
+        top: usize,
+    },
     /// Dump a kernel's concrete trace in the v1 text format.
-    Dump { kernel: String, scale: Scale, moves: Vec<MoveSpec> },
+    Dump {
+        kernel: String,
+        scale: Scale,
+        moves: Vec<MoveSpec>,
+    },
     /// Print usage.
     Help,
 }
@@ -49,7 +70,9 @@ pub enum Command {
 /// Parse a full argument vector (excluding argv[0]).
 pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
-    let Some(cmd) = it.next() else { return Ok(Command::Help) };
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
     let rest: Vec<&String> = it.collect();
 
     let mut scale = Scale::Full;
@@ -87,15 +110,35 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 
     let kernel = |pos: &[&str]| -> Result<String, String> {
-        pos.first().map(|s| s.to_string()).ok_or_else(|| "missing kernel name".into())
+        pos.first()
+            .map(|s| s.to_string())
+            .ok_or_else(|| "missing kernel name".into())
     };
     match cmd.as_str() {
         "list" => Ok(Command::List),
         "probe" => Ok(Command::Probe),
-        "simulate" => Ok(Command::Simulate { kernel: kernel(&positional)?, scale, moves }),
-        "predict" => Ok(Command::Predict { kernel: kernel(&positional)?, scale, moves, train }),
-        "advise" => Ok(Command::Advise { kernel: kernel(&positional)?, scale, train, top }),
-        "dump" => Ok(Command::Dump { kernel: kernel(&positional)?, scale, moves }),
+        "simulate" => Ok(Command::Simulate {
+            kernel: kernel(&positional)?,
+            scale,
+            moves,
+        }),
+        "predict" => Ok(Command::Predict {
+            kernel: kernel(&positional)?,
+            scale,
+            moves,
+            train,
+        }),
+        "advise" => Ok(Command::Advise {
+            kernel: kernel(&positional)?,
+            scale,
+            train,
+            top,
+        }),
+        "dump" => Ok(Command::Dump {
+            kernel: kernel(&positional)?,
+            scale,
+            moves,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command `{other}` (try `hms help`)")),
     }
@@ -130,20 +173,50 @@ mod tests {
 
     #[test]
     fn parses_moves_and_flags() {
-        let cmd = parse(&v(&["predict", "spmv", "--move", "d_vec=G", "--move", "rowDelimiters=C", "--train"]))
-            .unwrap();
-        let Command::Predict { kernel, moves, train, .. } = cmd else { panic!() };
+        let cmd = parse(&v(&[
+            "predict",
+            "spmv",
+            "--move",
+            "d_vec=G",
+            "--move",
+            "rowDelimiters=C",
+            "--train",
+        ]))
+        .unwrap();
+        let Command::Predict {
+            kernel,
+            moves,
+            train,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
         assert_eq!(kernel, "spmv");
         assert!(train);
         assert_eq!(moves.len(), 2);
-        assert_eq!(moves[0], MoveSpec { array: "d_vec".into(), space: MemorySpace::Global });
+        assert_eq!(
+            moves[0],
+            MoveSpec {
+                array: "d_vec".into(),
+                space: MemorySpace::Global
+            }
+        );
         assert_eq!(moves[1].space, MemorySpace::Constant);
     }
 
     #[test]
     fn parses_scale_and_top() {
         let cmd = parse(&v(&["advise", "md", "--scale", "test", "--top", "3"])).unwrap();
-        let Command::Advise { kernel, scale, top, train } = cmd else { panic!() };
+        let Command::Advise {
+            kernel,
+            scale,
+            top,
+            train,
+        } = cmd
+        else {
+            panic!()
+        };
         assert_eq!(kernel, "md");
         assert_eq!(scale, Scale::Test);
         assert_eq!(top, 3);
@@ -169,7 +242,9 @@ mod tests {
     #[test]
     fn dump_parses() {
         let cmd = parse(&v(&["dump", "vecadd", "--move", "a=T"])).unwrap();
-        let Command::Dump { kernel, moves, .. } = cmd else { panic!() };
+        let Command::Dump { kernel, moves, .. } = cmd else {
+            panic!()
+        };
         assert_eq!(kernel, "vecadd");
         assert_eq!(moves.len(), 1);
     }

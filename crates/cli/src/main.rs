@@ -10,9 +10,7 @@
 mod args;
 
 use args::{parse, Command, MoveSpec, USAGE};
-use hms_core::{
-    enumerate_placements, profile_sample, rank_placements, ModelOptions, Predictor,
-};
+use hms_core::{enumerate_placements, profile_sample, rank_placements, ModelOptions, Predictor};
 use hms_dram::{detect_mapping, AddressMapping, MemoryController};
 use hms_kernels::{by_name, registry, Scale};
 use hms_sim::simulate_default;
@@ -45,7 +43,11 @@ fn apply_moves(kt: &KernelTrace, base: PlacementMap, moves: &[MoveSpec]) -> Plac
                 "kernel `{}` has no array `{}`; arrays: {}",
                 kt.name,
                 m.array,
-                kt.arrays.iter().map(|a| a.name.as_str()).collect::<Vec<_>>().join(", ")
+                kt.arrays
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
             std::process::exit(2);
         };
@@ -58,7 +60,10 @@ fn predictor(cfg: &GpuConfig, train: bool) -> Predictor {
     if train {
         eprintln!("training T_overlap on the built-in training suite...");
         let (p, _) = hms_bench::trained_predictor(
-            &hms_bench::Harness { cfg: cfg.clone(), scale: Scale::Full },
+            &hms_bench::Harness {
+                cfg: cfg.clone(),
+                scale: Scale::Full,
+            },
             ModelOptions::full(),
         );
         p
@@ -110,7 +115,11 @@ fn run(cmd: Command) {
                 cfg.cycles_to_ns(d.conflict_latency as f64),
             );
         }
-        Command::Simulate { kernel, scale, moves } => {
+        Command::Simulate {
+            kernel,
+            scale,
+            moves,
+        } => {
             let kt = load_kernel(&kernel, scale);
             let pm = apply_moves(&kt, kt.default_placement(), &moves);
             let ct = materialize(&kt, &pm, &cfg).unwrap_or_else(|e| {
@@ -127,7 +136,11 @@ fn run(cmd: Command) {
                 }
             }
         }
-        Command::Dump { kernel, scale, moves } => {
+        Command::Dump {
+            kernel,
+            scale,
+            moves,
+        } => {
             let kt = load_kernel(&kernel, scale);
             let pm = apply_moves(&kt, kt.default_placement(), &moves);
             let ct = materialize(&kt, &pm, &cfg).unwrap_or_else(|e| {
@@ -136,7 +149,12 @@ fn run(cmd: Command) {
             });
             print!("{}", hms_trace::dump(&ct));
         }
-        Command::Predict { kernel, scale, moves, train } => {
+        Command::Predict {
+            kernel,
+            scale,
+            moves,
+            train,
+        } => {
             if moves.is_empty() {
                 eprintln!("predict needs at least one --move");
                 std::process::exit(2);
@@ -162,17 +180,28 @@ fn run(cmd: Command) {
                 pred.cycles, pred.t_comp, pred.t_mem, pred.t_overlap
             );
             println!("target measured:   {measured} cycles (verification run)");
-            println!("prediction error:  {:.1}%", (pred.cycles / measured as f64 - 1.0).abs() * 100.0);
+            println!(
+                "prediction error:  {:.1}%",
+                (pred.cycles / measured as f64 - 1.0).abs() * 100.0
+            );
         }
-        Command::Advise { kernel, scale, train, top } => {
+        Command::Advise {
+            kernel,
+            scale,
+            train,
+            top,
+        } => {
             let kt = load_kernel(&kernel, scale);
             let sample = kt.default_placement();
             let p = predictor(&cfg, train);
             let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
-            let candidates: Vec<ArrayId> =
-                kt.arrays.iter().filter(|a| !a.written).map(|a| a.id).collect();
-            let placements =
-                enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
+            let candidates: Vec<ArrayId> = kt
+                .arrays
+                .iter()
+                .filter(|a| !a.written)
+                .map(|a| a.id)
+                .collect();
+            let placements = enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
             let ranked = rank_placements(&p, &profile, &placements).expect("predicts");
             println!(
                 "{} legal placements over {} candidate arrays; top {top}:",

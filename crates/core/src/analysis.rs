@@ -148,7 +148,9 @@ pub struct AnalysisOptions {
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
-        AnalysisOptions { include_staging: true }
+        AnalysisOptions {
+            include_staging: true,
+        }
     }
 }
 
@@ -159,7 +161,11 @@ pub fn analyze(trace: &ConcreteTrace, cfg: &GpuConfig) -> TraceAnalysis {
 }
 
 /// [`analyze`] with explicit options.
-pub fn analyze_with(trace: &ConcreteTrace, cfg: &GpuConfig, opts: AnalysisOptions) -> TraceAnalysis {
+pub fn analyze_with(
+    trace: &ConcreteTrace,
+    cfg: &GpuConfig,
+    opts: AnalysisOptions,
+) -> TraceAnalysis {
     let mut out = TraceAnalysis::default();
     let num_sms = cfg.num_sms as usize;
     let blocks = trace.geometry.grid_blocks as usize;
@@ -175,8 +181,8 @@ pub fn analyze_with(trace: &ConcreteTrace, cfg: &GpuConfig, opts: AnalysisOption
         .map_or(usize::MAX, |b| (b as usize).max(1));
     let blocks_per_sm = by_warps.min(by_blocks).min(by_shared);
     out.active_sms = num_sms.min(blocks).max(1) as u32;
-    out.warps_per_sm = f64::from(wpb)
-        * (blocks_per_sm.min(blocks.div_ceil(out.active_sms as usize))) as f64;
+    out.warps_per_sm =
+        f64::from(wpb) * (blocks_per_sm.min(blocks.div_ceil(out.active_sms as usize))) as f64;
     out.total_warps = trace.geometry.total_warps();
 
     // Group warps by block.
@@ -188,14 +194,18 @@ pub fn analyze_with(trace: &ConcreteTrace, cfg: &GpuConfig, opts: AnalysisOption
     // Shared device structures.
     let mut l2 = L2Cache::new(cfg.l2_cache);
     // Per-SM structures.
-    let mut const_caches: Vec<ConstantCache> =
-        (0..num_sms).map(|_| ConstantCache::new(cfg.const_cache)).collect();
-    let mut tex_caches: Vec<TextureCache> =
-        (0..num_sms).map(|_| TextureCache::new(cfg.tex_cache)).collect();
-    let mut shared_banks: Vec<SharedMemBanks> =
-        (0..num_sms).map(|_| SharedMemBanks::new(cfg.shared_banks)).collect();
-    let mut l1_caches: Vec<hms_cache::SetAssocCache> =
-        (0..num_sms).map(|_| hms_cache::SetAssocCache::new(cfg.l1_cache)).collect();
+    let mut const_caches: Vec<ConstantCache> = (0..num_sms)
+        .map(|_| ConstantCache::new(cfg.const_cache))
+        .collect();
+    let mut tex_caches: Vec<TextureCache> = (0..num_sms)
+        .map(|_| TextureCache::new(cfg.tex_cache))
+        .collect();
+    let mut shared_banks: Vec<SharedMemBanks> = (0..num_sms)
+        .map(|_| SharedMemBanks::new(cfg.shared_banks))
+        .collect();
+    let mut l1_caches: Vec<hms_cache::SetAssocCache> = (0..num_sms)
+        .map(|_| hms_cache::SetAssocCache::new(cfg.l1_cache))
+        .collect();
     let mut sm_pos = vec![0u64; num_sms];
 
     let mut wait_count: u64 = 0;
@@ -250,7 +260,9 @@ pub fn analyze_with(trace: &ConcreteTrace, cfg: &GpuConfig, opts: AnalysisOption
             for sm in 0..num_sms {
                 for wi in 0..per_sm[sm].len() {
                     let cur = &mut per_sm[sm][wi];
-                    let Some(instr) = cur.get(cur.pc) else { continue };
+                    let Some(instr) = cur.get(cur.pc) else {
+                        continue;
+                    };
                     let instr = instr.clone();
                     cur.pc += 1;
                     if cur.get(cur.pc).is_none() {
@@ -300,19 +312,14 @@ pub fn analyze_with(trace: &ConcreteTrace, cfg: &GpuConfig, opts: AnalysisOption
                                 .enumerate()
                                 .filter_map(|(lane, &slot)| {
                                     g.thread_id(cb, cw, lane as u32).map(|tid| {
-                                        hms_trace::concrete::local_addr(
-                                            slot,
-                                            tid,
-                                            total_threads,
-                                        )
+                                        hms_trace::concrete::local_addr(slot, tid, total_threads)
                                     })
                                 })
                                 .collect();
                             if addrs.is_empty() {
                                 continue;
                             }
-                            let co =
-                                coalesce(addrs.iter().copied(), 4, cfg.transaction_bytes);
+                            let co = coalesce(addrs.iter().copied(), 4, cfg.transaction_bytes);
                             out.replay_local += u64::from(co.replays);
                             for t in &co.transactions {
                                 if !l1_caches[sm].access_rw(*t, *is_store).is_hit() {
@@ -353,8 +360,7 @@ pub fn analyze_with(trace: &ConcreteTrace, cfg: &GpuConfig, opts: AnalysisOption
                                     out.const_requests += 1;
                                     out.const_transactions += u64::from(r.transactions);
                                     out.const_misses += u64::from(r.misses);
-                                    out.replay_const_divergence +=
-                                        u64::from(r.transactions - 1);
+                                    out.replay_const_divergence += u64::from(r.transactions - 1);
                                     out.replay_const_miss += u64::from(r.misses);
                                     for line in &r.missed_lines {
                                         l2_fill(
@@ -417,7 +423,11 @@ pub fn analyze_with(trace: &ConcreteTrace, cfg: &GpuConfig, opts: AnalysisOption
     out.l2_misses = l2.misses();
     out.l2_writebacks = l2.writebacks();
     out.wait_events = wait_count;
-    out.mlp = if wait_count == 0 { 1.0 } else { (loads_total as f64 / wait_count as f64).max(1.0) };
+    out.mlp = if wait_count == 0 {
+        1.0
+    } else {
+        (loads_total as f64 / wait_count as f64).max(1.0)
+    };
     out
 }
 
@@ -471,7 +481,8 @@ mod tests {
         let g = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
         let c = materialize(
             &kt,
-            &kt.default_placement().with(ArrayId(1), hms_types::MemorySpace::Constant),
+            &kt.default_placement()
+                .with(ArrayId(1), hms_types::MemorySpace::Constant),
             &cfg,
         )
         .unwrap();
@@ -513,9 +524,13 @@ mod tests {
     fn shared_placement_adds_staging_traffic() {
         let cfg = cfg();
         let kt = vecadd::build(Scale::Test);
-        let pm: PlacementMap =
-            kt.default_placement().with(ArrayId(0), hms_types::MemorySpace::Shared);
-        let g = analyze(&materialize(&kt, &kt.default_placement(), &cfg).unwrap(), &cfg);
+        let pm: PlacementMap = kt
+            .default_placement()
+            .with(ArrayId(0), hms_types::MemorySpace::Shared);
+        let g = analyze(
+            &materialize(&kt, &kt.default_placement(), &cfg).unwrap(),
+            &cfg,
+        );
         let s = analyze(&materialize(&kt, &pm, &cfg).unwrap(), &cfg);
         assert!(s.shared_requests > 0);
         assert!(s.sync_count > g.sync_count);

@@ -48,8 +48,7 @@ impl SimKimModel {
         // does not model the issued-instruction difference between
         // placements.
         let inst_per_warp = profile.events.inst_executed as f64 / total_warps;
-        let t_comp =
-            inst_per_warp * total_warps / active_sms * effective_throughput(cfg, n);
+        let t_comp = inst_per_warp * total_warps / active_sms * effective_throughput(cfg, n);
 
         // Constant memory latency: one microbenchmark number for every
         // off-chip access (the assumption the paper's Section III-C
@@ -61,8 +60,7 @@ impl SimKimModel {
                 } else {
                     0.0
                 };
-        let mem_instrs_per_warp =
-            analysis.mem_instrs as f64 / total_warps;
+        let mem_instrs_per_warp = analysis.mem_instrs as f64 / total_warps;
         let mwp = (mem_lat / cfg.dram.burst_cycles as f64).max(1.0).min(n);
         let t_mem = mem_instrs_per_warp * total_warps / active_sms / mwp.max(1.0) * mem_lat;
 
@@ -110,7 +108,9 @@ impl PorpleModel {
         let analysis = crate::analysis::analyze_with(
             &trace,
             &self.cfg,
-            crate::analysis::AnalysisOptions { include_staging: false },
+            crate::analysis::AnalysisOptions {
+                include_staging: false,
+            },
         );
         Ok(self.score_from_analysis(&analysis))
     }
@@ -122,8 +122,8 @@ impl PorpleModel {
         // Off-chip paths: per-space request counts weighted by hit path
         // latency + miss path latency.
         let global = analysis.global_transactions as f64 * l2;
-        let tex = analysis.tex_requests as f64 * cfg.tex_hit_lat as f64
-            + analysis.tex_misses as f64 * l2;
+        let tex =
+            analysis.tex_requests as f64 * cfg.tex_hit_lat as f64 + analysis.tex_misses as f64 * l2;
         let konst = analysis.const_requests as f64 * cfg.const_hit_lat as f64
             + analysis.const_misses as f64 * l2;
         let shared = analysis.shared_requests as f64 * cfg.shared_lat as f64;
@@ -135,10 +135,10 @@ impl PorpleModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hms_types::MemorySpace;
     use crate::profile::profile_sample;
     use hms_kernels::{neuralnet, vecadd, Scale};
     use hms_types::ArrayId;
+    use hms_types::MemorySpace;
 
     fn cfg() -> GpuConfig {
         GpuConfig::test_small()
@@ -164,7 +164,9 @@ mod tests {
         let pm = kt.default_placement();
         let profile = profile_sample(&kt, &pm, &cfg).unwrap();
         let model = SimKimModel::new(cfg.clone());
-        let t = pm.with(ArrayId(0), MemorySpace::Texture1D).with(ArrayId(1), MemorySpace::Texture1D);
+        let t = pm
+            .with(ArrayId(0), MemorySpace::Texture1D)
+            .with(ArrayId(1), MemorySpace::Texture1D);
         let a_g = analyze(&profile.trace, &cfg);
         let a_t = analyze(&rewrite(&profile.trace, &t, &cfg).unwrap(), &cfg);
         // Memory side may differ, but the instruction side is fixed:
@@ -183,7 +185,9 @@ mod tests {
         let profile = profile_sample(&kt, &pm, &cfg).unwrap();
         let model = PorpleModel::new(cfg);
         let g = model.score(&profile, &pm).unwrap();
-        let c = model.score(&profile, &pm.with(ArrayId(1), MemorySpace::Constant)).unwrap();
+        let c = model
+            .score(&profile, &pm.with(ArrayId(1), MemorySpace::Constant))
+            .unwrap();
         assert!(c < g, "constant {c} should score below global {g}");
     }
 
@@ -199,7 +203,9 @@ mod tests {
         let profile = profile_sample(&kt, &pm, &cfg).unwrap();
         let model = PorpleModel::new(cfg);
         let g = model.score(&profile, &pm).unwrap();
-        let s = model.score(&profile, &pm.with(ArrayId(0), MemorySpace::Shared)).unwrap();
+        let s = model
+            .score(&profile, &pm.with(ArrayId(0), MemorySpace::Shared))
+            .unwrap();
         assert!(s < g, "PORPLE must (wrongly) prefer shared here");
     }
 }

@@ -42,6 +42,9 @@ pub use analysis::{analyze, TraceAnalysis};
 pub use baselines::{PorpleModel, SimKimModel};
 pub use predictor::{ModelOptions, Prediction, Predictor, QueuingMode};
 pub use profile::{profile_sample, Profile};
-pub use search::{enumerate_placements, rank_placements, RankedPlacement};
+pub use search::{
+    enumerate_placements, exhaustive_search, rank_placements, rank_placements_threads,
+    RankedPlacement,
+};
 pub use sensitivity::{stability, sweep, Knob, SensitivityReport};
 pub use toverlap::ToverlapModel;

@@ -33,29 +33,44 @@ pub struct ModelOptions {
 impl ModelOptions {
     /// The full model ("Our Model" in the figures).
     pub fn full() -> Self {
-        ModelOptions { detailed_instr: true, queuing: QueuingMode::Mapped }
+        ModelOptions {
+            detailed_instr: true,
+            queuing: QueuingMode::Mapped,
+        }
     }
 
     /// The ablation baseline: no detailed instruction counting, constant
     /// DRAM latency, even request distribution.
     pub fn baseline() -> Self {
-        ModelOptions { detailed_instr: false, queuing: QueuingMode::ConstantLatency }
+        ModelOptions {
+            detailed_instr: false,
+            queuing: QueuingMode::ConstantLatency,
+        }
     }
 
     /// Baseline + detailed instruction counting (Figure 7's second bar).
     pub fn baseline_plus_instr() -> Self {
-        ModelOptions { detailed_instr: true, queuing: QueuingMode::ConstantLatency }
+        ModelOptions {
+            detailed_instr: true,
+            queuing: QueuingMode::ConstantLatency,
+        }
     }
 
     /// Detailed counting + queuing with even request distribution
     /// (Figure 8's third bar).
     pub fn instr_plus_queuing_even() -> Self {
-        ModelOptions { detailed_instr: true, queuing: QueuingMode::EvenDistribution }
+        ModelOptions {
+            detailed_instr: true,
+            queuing: QueuingMode::EvenDistribution,
+        }
     }
 
     /// Queuing alone, no detailed instruction counting (Figure 9).
     pub fn queuing_only() -> Self {
-        ModelOptions { detailed_instr: false, queuing: QueuingMode::Mapped }
+        ModelOptions {
+            detailed_instr: false,
+            queuing: QueuingMode::Mapped,
+        }
     }
 }
 
@@ -81,11 +96,19 @@ pub struct Predictor {
 impl Predictor {
     /// A full-model predictor with an untrained overlap model.
     pub fn new(cfg: GpuConfig) -> Self {
-        Predictor { cfg, options: ModelOptions::full(), overlap: ToverlapModel::untrained() }
+        Predictor {
+            cfg,
+            options: ModelOptions::full(),
+            overlap: ToverlapModel::untrained(),
+        }
     }
 
     pub fn with_options(cfg: GpuConfig, options: ModelOptions) -> Self {
-        Predictor { cfg, options, overlap: ToverlapModel::untrained() }
+        Predictor {
+            cfg,
+            options,
+            overlap: ToverlapModel::untrained(),
+        }
     }
 
     /// Replace the overlap model (after training).
@@ -108,11 +131,7 @@ impl Predictor {
 
     /// Predict from a pre-computed analysis (used by the harness to
     /// share work across model variants).
-    pub fn predict_from_analysis(
-        &self,
-        profile: &Profile,
-        analysis: TraceAnalysis,
-    ) -> Prediction {
+    pub fn predict_from_analysis(&self, profile: &Profile, analysis: TraceAnalysis) -> Prediction {
         let tc = tcomp(profile, &analysis, &self.cfg, self.options.detailed_instr);
         let tm = tmem(profile, &analysis, &self.cfg, self.options.queuing);
         // Without the detailed counting framework a model cannot know
@@ -122,13 +141,21 @@ impl Predictor {
         // reason, so the degraded variants feed Eq. 11 the sample
         // placement's events.
         let to = if self.options.detailed_instr {
-            self.overlap.t_overlap(&analysis, &self.cfg, tc.cycles, tm.cycles)
+            self.overlap
+                .t_overlap(&analysis, &self.cfg, tc.cycles, tm.cycles)
         } else {
             let sample_analysis = analyze(&profile.trace, &self.cfg);
-            self.overlap.t_overlap(&sample_analysis, &self.cfg, tc.cycles, tm.cycles)
+            self.overlap
+                .t_overlap(&sample_analysis, &self.cfg, tc.cycles, tm.cycles)
         };
         let cycles = (tc.cycles + tm.cycles - to).max(1.0);
-        Prediction { cycles, t_comp: tc.cycles, t_mem: tm.cycles, t_overlap: to, analysis }
+        Prediction {
+            cycles,
+            t_comp: tc.cycles,
+            t_mem: tm.cycles,
+            t_overlap: to,
+            analysis,
+        }
     }
 
     /// Build one `T_overlap` training observation from a profiled
@@ -139,8 +166,7 @@ impl Predictor {
         let tc = tcomp(profile, &analysis, &self.cfg, self.options.detailed_instr);
         let tm = tmem(profile, &analysis, &self.cfg, self.options.queuing);
         let ratio = if tm.cycles > 0.0 {
-            ((tc.cycles + tm.cycles - profile.measured_cycles as f64) / tm.cycles)
-                .clamp(-1.0, 1.0)
+            ((tc.cycles + tm.cycles - profile.measured_cycles as f64) / tm.cycles).clamp(-1.0, 1.0)
         } else {
             0.0
         };
@@ -164,8 +190,7 @@ impl Predictor {
     /// as in the paper (Table IV's lower half trains, upper half
     /// evaluates).
     pub fn train(&mut self, training: &[Profile]) -> Result<(), HmsError> {
-        let points: Vec<TrainingPoint> =
-            training.iter().map(|p| self.training_point(p)).collect();
+        let points: Vec<TrainingPoint> = training.iter().map(|p| self.training_point(p)).collect();
         self.overlap = ToverlapModel::fit(&points)?;
         Ok(())
     }
@@ -231,8 +256,7 @@ mod tests {
             if target.validate(&kt.arrays, &cfg).is_err() {
                 continue;
             }
-            let meas_target =
-                profile_sample(&kt, &target, &cfg).unwrap().measured_cycles as f64;
+            let meas_target = profile_sample(&kt, &target, &cfg).unwrap().measured_cycles as f64;
             let rel = (meas_target - meas_sample).abs() / meas_sample;
             if rel < 0.12 {
                 continue;

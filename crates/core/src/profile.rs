@@ -26,7 +26,9 @@ impl Profile {
     /// approximates inter-arrival "with the number of instructions
     /// between" two requests).
     pub fn cycles_per_instruction(&self, cfg: &GpuConfig) -> f64 {
-        let active_sms = u64::from(cfg.num_sms).min(self.trace.geometry.grid_blocks as u64).max(1);
+        let active_sms = u64::from(cfg.num_sms)
+            .min(self.trace.geometry.grid_blocks as u64)
+            .max(1);
         let per_sm_instrs = (self.events.inst_issued as f64 / active_sms as f64).max(1.0);
         self.measured_cycles as f64 / per_sm_instrs
     }
@@ -46,9 +48,12 @@ pub fn profile_sample(
     cfg: &GpuConfig,
 ) -> Result<Profile, HmsError> {
     let trace = materialize(kernel, sample, cfg)?;
-    let SimResult { cycles, events, .. } =
-        simulate(&trace, cfg, &SimOptions::default())?;
-    Ok(Profile { trace, events, measured_cycles: cycles })
+    let SimResult { cycles, events, .. } = simulate(&trace, cfg, &SimOptions::default())?;
+    Ok(Profile {
+        trace,
+        events,
+        measured_cycles: cycles,
+    })
 }
 
 #[cfg(test)]

@@ -46,7 +46,11 @@ pub fn enumerate_placements(
     }
     out.extend(stack);
     out.truncate(limit);
-    out.sort_by_key(|p| p.iter().map(|(_, s)| s.short().to_owned()).collect::<Vec<_>>());
+    out.sort_by_key(|p| {
+        p.iter()
+            .map(|(_, s)| s.short().to_owned())
+            .collect::<Vec<_>>()
+    });
     out.dedup();
     out
 }
@@ -59,21 +63,68 @@ pub struct RankedPlacement {
 }
 
 /// Predict every candidate placement and rank ascending by predicted
-/// time (best first).
+/// time (best first). Fans the per-candidate predictions out across all
+/// cores; see [`rank_placements_threads`] for determinism notes.
 pub fn rank_placements(
     predictor: &Predictor,
     profile: &Profile,
     candidates: &[PlacementMap],
 ) -> Result<Vec<RankedPlacement>, HmsError> {
+    rank_placements_threads(predictor, profile, candidates, 0)
+}
+
+/// [`rank_placements`] with an explicit worker count (`0` = all cores).
+///
+/// Candidate predictions are independent, so they run on a
+/// [`hms_stats::par`] pool. The result is **bit-identical for every
+/// worker count**: `par_map` reassembles results in input order, and the
+/// final ordering is a *stable* sort on the predicted time, so ties keep
+/// enumeration order no matter how the work was scheduled.
+pub fn rank_placements_threads(
+    predictor: &Predictor,
+    profile: &Profile,
+    candidates: &[PlacementMap],
+    threads: usize,
+) -> Result<Vec<RankedPlacement>, HmsError> {
+    let predictions = hms_stats::par::par_map_threads(threads, candidates, |pm| {
+        predictor.predict(profile, pm).map(|pred| RankedPlacement {
+            placement: pm.clone(),
+            predicted_cycles: pred.cycles,
+        })
+    });
     let mut ranked = Vec::with_capacity(candidates.len());
-    for pm in candidates {
-        let pred = predictor.predict(profile, pm)?;
-        ranked.push(RankedPlacement { placement: pm.clone(), predicted_cycles: pred.cycles });
+    for p in predictions {
+        ranked.push(p?);
     }
     ranked.sort_by(|a, b| {
-        a.predicted_cycles.partial_cmp(&b.predicted_cycles).expect("finite predictions")
+        a.predicted_cycles
+            .partial_cmp(&b.predicted_cycles)
+            .expect("finite predictions")
     });
     Ok(ranked)
+}
+
+/// Exhaustively search the placement space of `candidates` (up to
+/// `limit` legal placements of the `m^n` space) and return the full
+/// ranking, fanning the model evaluations out across `threads` workers
+/// (`0` = all cores).
+///
+/// Enumeration stays sequential — it is a cheap, deterministic walk —
+/// while the per-placement model evaluation, the hot path, runs on the
+/// pool. Single-threaded and multi-threaded searches return identical
+/// rankings (and therefore the identical best placement).
+pub fn exhaustive_search(
+    predictor: &Predictor,
+    profile: &Profile,
+    arrays: &[ArrayDef],
+    base: &PlacementMap,
+    candidates: &[ArrayId],
+    cfg: &GpuConfig,
+    limit: usize,
+    threads: usize,
+) -> Result<Vec<RankedPlacement>, HmsError> {
+    let space = enumerate_placements(arrays, base, candidates, cfg, limit);
+    rank_placements_threads(predictor, profile, &space, threads)
 }
 
 #[cfg(test)]
@@ -114,6 +165,50 @@ mod tests {
         let base = kt.default_placement();
         let all = enumerate_placements(&kt.arrays, &base, &[ArrayId(0), ArrayId(1)], &cfg, 5);
         assert!(all.len() <= 5);
+    }
+
+    #[test]
+    fn parallel_search_matches_single_threaded() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg.clone());
+        let candidates: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
+        let single = exhaustive_search(
+            &predictor,
+            &profile,
+            &kt.arrays,
+            &base,
+            &candidates,
+            &cfg,
+            4096,
+            1,
+        )
+        .unwrap();
+        assert!(!single.is_empty());
+        for threads in [2, 0] {
+            let multi = exhaustive_search(
+                &predictor,
+                &profile,
+                &kt.arrays,
+                &base,
+                &candidates,
+                &cfg,
+                4096,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(single.len(), multi.len());
+            for (a, b) in single.iter().zip(&multi) {
+                assert_eq!(a.placement, b.placement);
+                assert_eq!(
+                    a.predicted_cycles.to_bits(),
+                    b.predicted_cycles.to_bits(),
+                    "prediction differs across thread counts"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,8 +26,12 @@ pub enum Knob {
 }
 
 impl Knob {
-    pub const ALL: [Knob; 4] =
-        [Knob::DramLatency, Knob::L2HitLatency, Knob::SharedLatency, Knob::WarpIlp];
+    pub const ALL: [Knob; 4] = [
+        Knob::DramLatency,
+        Knob::L2HitLatency,
+        Knob::SharedLatency,
+        Knob::WarpIlp,
+    ];
 
     /// Apply a multiplicative factor to this knob in a copied config.
     pub fn apply(self, cfg: &GpuConfig, factor: f64) -> GpuConfig {
@@ -95,7 +99,11 @@ pub fn sweep(
         points.push((f, preds));
     }
     let winner_stable = winners.windows(2).all(|w| w[0] == w[1]);
-    Ok(SensitivityReport { knob, points, winner_stable })
+    Ok(SensitivityReport {
+        knob,
+        points,
+        winner_stable,
+    })
 }
 
 /// Convenience: sweep every knob over +-`spread` (e.g. 0.25 for +-25%)
@@ -148,7 +156,14 @@ mod tests {
     #[test]
     fn sweep_produces_monotone_dram_response() {
         let (p, profile, candidates) = setup();
-        let r = sweep(&p, &profile, &candidates, Knob::DramLatency, &[0.5, 1.0, 2.0]).unwrap();
+        let r = sweep(
+            &p,
+            &profile,
+            &candidates,
+            Knob::DramLatency,
+            &[0.5, 1.0, 2.0],
+        )
+        .unwrap();
         assert_eq!(r.points.len(), 3);
         // Higher DRAM latency must not *decrease* the prediction for the
         // all-global placement (index 0).

@@ -60,8 +60,7 @@ pub fn tcomp(
     let inst_per_warp = if detailed_instr {
         // Eq. 3: target replays = sample replays - sample_(1-4) + target_(1-4),
         // where the sample terms fold into `other_replays()`.
-        let issued =
-            analysis.executed + analysis.replays_1_to_4() + profile.other_replays();
+        let issued = analysis.executed + analysis.replays_1_to_4() + profile.other_replays();
         issued as f64 / total_warps
     } else {
         profile.events.inst_executed as f64 / total_warps
@@ -76,7 +75,12 @@ pub fn tcomp(
     let w_serial = syncs_per_sm * cfg.avg_inst_lat as f64;
 
     let cycles = inst_per_warp * total_warps / active_sms * throughput + w_serial;
-    TcompResult { cycles, inst_per_warp, effective_throughput: throughput, w_serial }
+    TcompResult {
+        cycles,
+        inst_per_warp,
+        effective_throughput: throughput,
+        w_serial,
+    }
 }
 
 #[cfg(test)]

@@ -164,7 +164,11 @@ pub fn dram_estimate(
         acc += lambda_weight * lat_bank;
     }
     let _ = &channels; // channel streams feed only the makespan guard
-    DramEstimate { avg_latency: acc + burst, bank_makespan, channel_makespan }
+    DramEstimate {
+        avg_latency: acc + burst,
+        bank_makespan,
+        channel_makespan,
+    }
 }
 
 /// Mean queuing delay of one server's finite request stream.
@@ -184,8 +188,10 @@ fn queue_wait(arrivals_sorted: &[f64], service: &[f64]) -> f64 {
         return 0.0;
     }
     let svc = Summary::of(service).expect("non-empty");
-    let inter: Vec<f64> =
-        arrivals_sorted.windows(2).map(|w| (w[1] - w[0]).max(1.0)).collect();
+    let inter: Vec<f64> = arrivals_sorted
+        .windows(2)
+        .map(|w| (w[1] - w[0]).max(1.0))
+        .collect();
     let ia = Summary::of(&inter).expect("non-empty");
     let nf = n as f64;
     let backlog_cap = (nf - 1.0) / 2.0 * svc.mean;
@@ -258,7 +264,9 @@ pub fn tmem(
     // effective requests per SM = waits_per_warp x waves.
     let itmlp = (analysis.mlp * analysis.warps_per_sm).max(1.0);
     let per_sm = analysis.waits_per_warp() * f64::from(analysis.waves.max(1));
-    let cycles = (per_sm * amat).max(est.bank_makespan).max(est.channel_makespan);
+    let cycles = (per_sm * amat)
+        .max(est.bank_makespan)
+        .max(est.channel_makespan);
     TmemResult {
         cycles,
         amat,
@@ -307,8 +315,8 @@ mod tests {
         // spread (and far better than a constant).
         for kt in [triad::build(Scale::Test), vecadd::build(Scale::Test)] {
             let (p, a, cfg) = setup(&kt);
-            let measured = p.events.dram_total_latency as f64
-                / p.events.dram_requests.max(1) as f64;
+            let measured =
+                p.events.dram_total_latency as f64 / p.events.dram_requests.max(1) as f64;
             let err = |x: f64| (x - measured).abs();
             let constant = dram_latency(&p, &a, &cfg, QueuingMode::ConstantLatency);
             let even = dram_latency(&p, &a, &cfg, QueuingMode::EvenDistribution);
@@ -327,7 +335,10 @@ mod tests {
         let (p, mut a, cfg) = setup(&kt);
         a.dram.clear();
         let lat = dram_latency(&p, &a, &cfg, QueuingMode::Mapped);
-        assert_eq!(lat, cfg.dram.hit_cycles as f64 + cfg.dram.burst_cycles as f64);
+        assert_eq!(
+            lat,
+            cfg.dram.hit_cycles as f64 + cfg.dram.burst_cycles as f64
+        );
     }
 
     #[test]
@@ -346,7 +357,9 @@ mod tests {
         // SHOC placement — the all-global default is the Table IV move).
         let kt = hms_kernels::fft::build(Scale::Test);
         let cfg = GpuConfig::test_small();
-        let pm = kt.default_placement().with(hms_types::ArrayId(1), hms_types::MemorySpace::Shared);
+        let pm = kt
+            .default_placement()
+            .with(hms_types::ArrayId(1), hms_types::MemorySpace::Shared);
         let p = profile_sample(&kt, &pm, &cfg).unwrap();
         let a = analyze(&materialize(&kt, &pm, &cfg).unwrap(), &cfg);
         let r = tmem(&p, &a, &cfg, QueuingMode::Mapped);

@@ -38,7 +38,12 @@ pub const STABLE_FEATURES: [usize; 3] = [8, 7, 6];
 /// `min(T_comp/T_mem, 1)` and `min(T_mem/T_comp, 1)` encode which side
 /// dominates — overlap can hide at most the smaller of the two costs, a
 /// regime indicator a purely event-based linear model cannot express.
-pub fn features(analysis: &TraceAnalysis, cfg: &GpuConfig, t_comp: f64, t_mem: f64) -> [f64; FEATURES] {
+pub fn features(
+    analysis: &TraceAnalysis,
+    cfg: &GpuConfig,
+    t_comp: f64,
+    t_mem: f64,
+) -> [f64; FEATURES] {
     let m = analysis.mem_instrs.max(1) as f64;
     [
         // Global: L2 misses + global requests.
@@ -59,16 +64,23 @@ pub fn features(analysis: &TraceAnalysis, cfg: &GpuConfig, t_comp: f64, t_mem: f
         // MLP: loads in flight per dependence barrier.
         analysis.mlp,
         // Regime balance: which of the two costs dominates.
-        if t_mem > 0.0 { (t_comp / t_mem).min(1.0) } else { 1.0 },
-        if t_comp > 0.0 { (t_mem / t_comp).min(1.0) } else { 1.0 },
+        if t_mem > 0.0 {
+            (t_comp / t_mem).min(1.0)
+        } else {
+            1.0
+        },
+        if t_comp > 0.0 {
+            (t_mem / t_comp).min(1.0)
+        } else {
+            1.0
+        },
         // Per-wait DRAM fan-out: a wait batch completes at the *max* of
         // its parallel requests; the wider the fan-out, the more the
         // mean-based AMAT underestimates. (cfd/spmv-style divergent
         // gathers have large fan-out; md's serialized gathers do not.)
         {
-            let offchip = (analysis.global_requests
-                + analysis.tex_requests
-                + analysis.const_requests) as f64;
+            let offchip =
+                (analysis.global_requests + analysis.tex_requests + analysis.const_requests) as f64;
             if offchip > 0.0 {
                 let txs_per_access = analysis.l2_transactions as f64 / offchip;
                 let p_dram = (analysis.dram.len() as f64 / offchip).min(1.0);
@@ -107,7 +119,11 @@ impl ToverlapModel {
     /// An untrained model; predictions fall back to a neutral default
     /// ratio, so an untrained predictor still produces usable output.
     pub fn untrained() -> Self {
-        ToverlapModel { model: None, ratio_range: (0.0, 1.0), r_squared: None }
+        ToverlapModel {
+            model: None,
+            ratio_range: (0.0, 1.0),
+            r_squared: None,
+        }
     }
 
     /// Fit Eq. 11's coefficients from training observations.
@@ -182,7 +198,13 @@ impl ToverlapModel {
     }
 
     /// Eq. 12: `T_overlap = ratio x T_mem`.
-    pub fn t_overlap(&self, analysis: &TraceAnalysis, cfg: &GpuConfig, t_comp: f64, t_mem: f64) -> f64 {
+    pub fn t_overlap(
+        &self,
+        analysis: &TraceAnalysis,
+        cfg: &GpuConfig,
+        t_comp: f64,
+        t_mem: f64,
+    ) -> f64 {
         self.ratio(analysis, cfg, t_comp, t_mem) * t_mem
     }
 }
@@ -198,7 +220,10 @@ mod tests {
     fn an() -> (TraceAnalysis, GpuConfig) {
         let cfg = GpuConfig::test_small();
         let kt = vecadd::build(Scale::Test);
-        let a = analyze(&materialize(&kt, &kt.default_placement(), &cfg).unwrap(), &cfg);
+        let a = analyze(
+            &materialize(&kt, &kt.default_placement(), &cfg).unwrap(),
+            &cfg,
+        );
         (a, cfg)
     }
 
@@ -239,7 +264,11 @@ mod tests {
             a2.mlp = 1.0 + (i % 5) as f64;
             let f = features(&a2, &cfg, tc, tm);
             let ratio = 0.2 + 0.3 * f[8] - 0.05 * f[7];
-            points.push(TrainingPoint { features: f, ratio, group: i });
+            points.push(TrainingPoint {
+                features: f,
+                ratio,
+                group: i,
+            });
         }
         let m = ToverlapModel::fit(&points).unwrap();
         assert!(m.is_trained());
@@ -262,7 +291,11 @@ mod tests {
             .map(|i| {
                 let mut f = features(&a, &cfg, TC, TM);
                 f[0] += i as f64;
-                TrainingPoint { features: f, ratio: 50.0 + i as f64, group: i as u64 } // absurd ratios
+                TrainingPoint {
+                    features: f,
+                    ratio: 50.0 + i as f64,
+                    group: i as u64,
+                } // absurd ratios
             })
             .collect();
         let m = ToverlapModel::fit(&points).unwrap();

@@ -1,0 +1,263 @@
+//! A hermetic stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace's build policy is zero crates.io dependencies in the
+//! default graph (no network in CI), but the microbenchmarks under
+//! `crates/bench/benches/` are written against criterion's API. This
+//! crate reproduces exactly the slice of that API those benches use —
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`,
+//! `black_box`, `criterion_group!`, `criterion_main!` — over plain
+//! `std::time` measurement, so
+//!
+//! ```text
+//! cargo bench --features external-deps --offline
+//! ```
+//!
+//! works on an air-gapped machine. What it does *not* reproduce:
+//! criterion's statistical machinery (outlier classification, regression
+//! against saved baselines, HTML reports). Numbers printed here are a
+//! mean over a fixed measurement window — useful for spotting
+//! order-of-magnitude movement, not for rigorous comparisons. If the
+//! real criterion is ever wanted, point the workspace's `criterion`
+//! dependency back at crates.io; the bench sources need no change.
+//!
+//! Environment knobs: `HMS_BENCH_MS` (measurement window per benchmark,
+//! default 300 ms), `HMS_BENCH_WARMUP_MS` (default 100 ms).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    let ms = std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default);
+    Duration::from_millis(ms)
+}
+
+/// Per-iteration work declared for a benchmark, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The measurement loop handed to benchmark closures.
+pub struct Bencher {
+    /// Total time and iteration count of the measured window.
+    measured: Option<(Duration, u64)>,
+    warmup: Duration,
+    window: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then running batches until the
+    /// measurement window is filled.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: run until the warmup window elapses (at least once).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Measure in doubling batches so timer overhead stays negligible
+        // for nanosecond-scale routines.
+        let mut batch: u64 = 1;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.window {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        measured: None,
+        warmup: env_ms("HMS_BENCH_WARMUP_MS", 100),
+        window: env_ms("HMS_BENCH_MS", 300),
+    };
+    f(&mut b);
+    match b.measured {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total / u32::try_from(iters).unwrap_or(u32::MAX).max(1);
+            let rate = throughput.map(|t| {
+                let per_sec = |n: u64| n as f64 * iters as f64 / total.as_secs_f64();
+                match t {
+                    Throughput::Elements(n) => format!("  ({:.3e} elem/s)", per_sec(n)),
+                    Throughput::Bytes(n) => format!("  ({:.3e} B/s)", per_sec(n)),
+                }
+            });
+            println!(
+                "bench: {label:<48} {:>12}/iter  ({iters} iters){}",
+                fmt_duration(per_iter),
+                rate.unwrap_or_default()
+            );
+        }
+        _ => println!("bench: {label:<48} (no measurement — closure never called iter)"),
+    }
+}
+
+/// The harness entry point; mirrors criterion's builder-style API.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.label, None, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("HMS_BENCH_MS", "5");
+        std::env::set_var("HMS_BENCH_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("detect", 24).label, "detect/24");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -96,8 +96,15 @@ impl MemoryController {
         // fixed transfer-time addend.
         let complete_at = bank_done + self.timing.burst_cycles;
         let latency = complete_at - arrival;
-        self.stats.record(d.bank, arrival, kind, queuing, latency, 0);
-        DramRequestResult { complete_at, latency, kind, bank: d.bank, queuing }
+        self.stats
+            .record(d.bank, arrival, kind, queuing, latency, 0);
+        DramRequestResult {
+            complete_at,
+            latency,
+            kind,
+            bank: d.bank,
+            queuing,
+        }
     }
 
     /// Classify what `addr` *would* experience right now, without issuing.

@@ -135,7 +135,10 @@ mod tests {
             t
         };
         let bits = mapping.addr_bits;
-        detect_mapping(|| MemoryController::new(mapping.clone(), timing, false), bits)
+        detect_mapping(
+            || MemoryController::new(mapping.clone(), timing, false),
+            bits,
+        )
     }
 
     #[test]

@@ -61,7 +61,13 @@ impl AddressMapping {
             assert!(!seen[p as usize], "bit {p} assigned twice");
             seen[p as usize] = true;
         }
-        AddressMapping { addr_bits, byte_bits, col_bit_positions, row_bit_positions, total_banks }
+        AddressMapping {
+            addr_bits,
+            byte_bits,
+            col_bit_positions,
+            row_bit_positions,
+            total_banks,
+        }
     }
 
     /// The default mapping of the simulated K80-like machine: 32-bit
@@ -109,7 +115,11 @@ impl AddressMapping {
             other |= ((addr >> bit) & 1) << out;
             out += 1;
         }
-        DecodedAddr { bank: (other % u64::from(self.total_banks)) as u32, row, col }
+        DecodedAddr {
+            bank: (other % u64::from(self.total_banks)) as u32,
+            row,
+            col,
+        }
     }
 
     /// Number of distinct columns per row.
@@ -144,7 +154,14 @@ mod tests {
     fn k80_like_decodes_consistently() {
         let m = AddressMapping::k80_like(96);
         let d = m.decode(0);
-        assert_eq!(d, DecodedAddr { bank: 0, row: 0, col: 0 });
+        assert_eq!(
+            d,
+            DecodedAddr {
+                bank: 0,
+                row: 0,
+                col: 0
+            }
+        );
         // Flipping a byte bit changes nothing.
         assert_eq!(m.decode(0b1), d);
         assert_eq!(m.decode(0b10000), d);

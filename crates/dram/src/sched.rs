@@ -82,8 +82,13 @@ pub fn schedule_batch(
     }
 
     let mut out = Vec::with_capacity(requests.len());
-    let mut stats =
-        ScheduleStats { makespan: 0, total_latency: 0, hits: 0, misses: 0, conflicts: 0 };
+    let mut stats = ScheduleStats {
+        makespan: 0,
+        total_latency: 0,
+        hits: 0,
+        misses: 0,
+        conflicts: 0,
+    };
 
     for queue in &mut per_bank {
         if queue.is_empty() {
@@ -130,7 +135,11 @@ pub fn schedule_batch(
             }
             stats.total_latency += complete_at - arrival;
             stats.makespan = stats.makespan.max(complete_at);
-            out.push(ScheduledAccess { index: idx, complete_at, kind });
+            out.push(ScheduledAccess {
+                index: idx,
+                complete_at,
+                kind,
+            });
         }
     }
     out.sort_by_key(|a| a.index);
@@ -154,11 +163,19 @@ mod tests {
         let (m, t) = setup();
         let row_bit = m.row_bit_positions[0];
         let reqs: Vec<BatchRequest> = (0..16u64)
-            .map(|i| BatchRequest { addr: (i & 1) << row_bit, arrival: 0 })
+            .map(|i| BatchRequest {
+                addr: (i & 1) << row_bit,
+                arrival: 0,
+            })
             .collect();
         let (_, fifo) = schedule_batch(&reqs, &m, &t, SchedPolicy::Fifo, PagePolicy::Open);
         let (_, fr) = schedule_batch(&reqs, &m, &t, SchedPolicy::FrFcfs, PagePolicy::Open);
-        assert!(fifo.conflicts > fr.conflicts, "{} vs {}", fifo.conflicts, fr.conflicts);
+        assert!(
+            fifo.conflicts > fr.conflicts,
+            "{} vs {}",
+            fifo.conflicts,
+            fr.conflicts
+        );
         assert!(fr.makespan < fifo.makespan);
         assert!(fr.hits > fifo.hits);
     }
@@ -166,8 +183,12 @@ mod tests {
     #[test]
     fn closed_page_turns_everything_into_misses() {
         let (m, t) = setup();
-        let reqs: Vec<BatchRequest> =
-            (0..8u64).map(|i| BatchRequest { addr: i * 32, arrival: 0 }).collect();
+        let reqs: Vec<BatchRequest> = (0..8u64)
+            .map(|i| BatchRequest {
+                addr: i * 32,
+                arrival: 0,
+            })
+            .collect();
         let (_, s) = schedule_batch(&reqs, &m, &t, SchedPolicy::Fifo, PagePolicy::Closed);
         assert_eq!(s.hits, 0);
         assert_eq!(s.conflicts, 0);
@@ -177,8 +198,12 @@ mod tests {
     #[test]
     fn open_page_streaming_hits() {
         let (m, t) = setup();
-        let reqs: Vec<BatchRequest> =
-            (0..8u64).map(|i| BatchRequest { addr: i * 32, arrival: 0 }).collect();
+        let reqs: Vec<BatchRequest> = (0..8u64)
+            .map(|i| BatchRequest {
+                addr: i * 32,
+                arrival: 0,
+            })
+            .collect();
         let (_, s) = schedule_batch(&reqs, &m, &t, SchedPolicy::Fifo, PagePolicy::Open);
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 7);
@@ -188,7 +213,10 @@ mod tests {
     fn every_request_is_scheduled_exactly_once() {
         let (m, t) = setup();
         let reqs: Vec<BatchRequest> = (0..64u64)
-            .map(|i| BatchRequest { addr: i * 7919 % (1 << 28), arrival: i * 3 })
+            .map(|i| BatchRequest {
+                addr: i * 7919 % (1 << 28),
+                arrival: i * 3,
+            })
             .collect();
         for policy in [SchedPolicy::Fifo, SchedPolicy::FrFcfs] {
             let (accesses, s) = schedule_batch(&reqs, &m, &t, policy, PagePolicy::Open);

@@ -35,7 +35,14 @@ impl DramStats {
     pub fn new(num_banks: u32, record_arrivals: bool) -> Self {
         DramStats {
             banks: vec![BankStats::default(); num_banks as usize],
-            arrivals: vec![Vec::new(); if record_arrivals { num_banks as usize } else { 0 }],
+            arrivals: vec![
+                Vec::new();
+                if record_arrivals {
+                    num_banks as usize
+                } else {
+                    0
+                }
+            ],
             record_arrivals,
         }
     }
@@ -111,7 +118,9 @@ impl DramStats {
     /// Inter-arrival times (cycles) of requests to `bank`; empty when
     /// arrival recording was off or the bank saw fewer than two requests.
     pub fn interarrival_times(&self, bank: u32) -> Vec<u64> {
-        let Some(a) = self.arrivals.get(bank as usize) else { return Vec::new() };
+        let Some(a) = self.arrivals.get(bank as usize) else {
+            return Vec::new();
+        };
         if a.len() < 2 {
             return Vec::new();
         }
@@ -125,7 +134,10 @@ impl DramStats {
         if total == 0 {
             return vec![0.0; self.banks.len()];
         }
-        self.banks.iter().map(|b| b.requests as f64 / total as f64).collect()
+        self.banks
+            .iter()
+            .map(|b| b.requests as f64 / total as f64)
+            .collect()
     }
 }
 

@@ -1,107 +1,181 @@
 //! Property tests for the DRAM model: latency bounds, FIFO causality,
 //! mapping decode consistency, and Algorithm-1 detection under random
-//! (but well-formed) hidden mappings.
+//! (but well-formed) hidden mappings. Runs on the in-repo
+//! `hms_stats::proptest_lite` harness; failures print an
+//! `HMS_PROPTEST_SEED` replay line.
 
-use proptest::prelude::*;
-
-use hms_dram::{
-    detect_mapping, AddressMapping, BitClass, MemoryController,
-};
+use hms_dram::{detect_mapping, AddressMapping, BitClass, MemoryController};
+use hms_stats::proptest_lite::{check, check_shrink, shrink_vec, Config};
+use hms_stats::rng::Rng;
 use hms_types::GpuConfig;
 
 fn timing() -> hms_types::DramTimingConfig {
     GpuConfig::tesla_k80().dram
 }
 
-/// Strategy: a well-formed random mapping — byte bits at the bottom,
-/// then a shuffle-free split of the remaining bits into column, bank,
-/// and row fields of random widths.
-fn arb_mapping() -> impl Strategy<Value = AddressMapping> {
-    (2u32..6, 3u32..8, 2u32..7).prop_map(|(byte_bits, col_bits, bank_bits)| {
-        let col: Vec<u32> = (byte_bits..byte_bits + col_bits).collect();
-        let row_start = byte_bits + col_bits + bank_bits;
-        let row: Vec<u32> = (row_start..row_start + 8).collect();
-        let addr_bits = row_start + 8;
-        AddressMapping::new(addr_bits, byte_bits, col, row, 96)
-    })
+/// A well-formed random mapping — byte bits at the bottom, then a
+/// shuffle-free split of the remaining bits into column, bank, and row
+/// fields of random widths.
+fn arb_mapping(rng: &mut Rng) -> AddressMapping {
+    let byte_bits = rng.gen_range(2u32..6);
+    let col_bits = rng.gen_range(3u32..8);
+    let bank_bits = rng.gen_range(2u32..7);
+    let col: Vec<u32> = (byte_bits..byte_bits + col_bits).collect();
+    let row_start = byte_bits + col_bits + bank_bits;
+    let row: Vec<u32> = (row_start..row_start + 8).collect();
+    let addr_bits = row_start + 8;
+    AddressMapping::new(addr_bits, byte_bits, col, row, 96)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Every access latency is bounded below by hit+burst and above by
+/// conflict service plus the total backlog of its bank.
+#[test]
+fn latency_bounds() {
+    check_shrink(
+        "latency_bounds",
+        &Config::with_cases(64),
+        |rng| {
+            let n = rng.gen_range(1usize..200);
+            (0..n)
+                .map(|_| rng.gen_range(0u64..(1u64 << 28)))
+                .collect::<Vec<_>>()
+        },
+        |addrs| shrink_vec(addrs),
+        |addrs| {
+            let t = timing();
+            let mapping = AddressMapping::k80_like(t.total_banks());
+            let mut ctl = MemoryController::new(mapping, t, false);
+            let n = addrs.len() as u64;
+            for (i, &a) in addrs.iter().enumerate() {
+                let r = ctl.access(i as u64, a);
+                if r.latency < t.hit_cycles + t.burst_cycles {
+                    return Err(format!("latency {} below hit+burst", r.latency));
+                }
+                if r.latency > (t.conflict_cycles + t.burst_cycles) * n {
+                    return Err(format!("latency {} beyond total backlog", r.latency));
+                }
+                if r.complete_at < i as u64 + t.hit_cycles {
+                    return Err(format!("completion {} before issue+hit", r.complete_at));
+                }
+                if r.bank >= t.total_banks() {
+                    return Err(format!("bank {} out of range", r.bank));
+                }
+            }
+            let stats = ctl.stats();
+            let (h, m, c) = stats.row_buffer_totals();
+            if h + m + c != n {
+                return Err(format!("row-buffer outcomes {h}+{m}+{c} != {n} requests"));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every access latency is bounded below by hit+burst and above by
-    /// conflict service plus the total backlog of its bank.
-    #[test]
-    fn latency_bounds(addrs in prop::collection::vec(0u64..(1u64 << 28), 1..200)) {
-        let t = timing();
-        let mapping = AddressMapping::k80_like(t.total_banks());
-        let mut ctl = MemoryController::new(mapping, t, false);
-        let n = addrs.len() as u64;
-        for (i, &a) in addrs.iter().enumerate() {
-            let r = ctl.access(i as u64, a);
-            prop_assert!(r.latency >= t.hit_cycles + t.burst_cycles);
-            prop_assert!(
-                r.latency <= (t.conflict_cycles + t.burst_cycles) * n,
-                "latency {} beyond total backlog", r.latency
+/// Per-bank FIFO causality: completions at one bank are strictly
+/// increasing in arrival order.
+#[test]
+fn per_bank_fifo_causality() {
+    check_shrink(
+        "per_bank_fifo_causality",
+        &Config::with_cases(64),
+        |rng| {
+            let n = rng.gen_range(2usize..150);
+            (0..n)
+                .map(|_| rng.gen_range(0u64..(1u64 << 26)))
+                .collect::<Vec<_>>()
+        },
+        |addrs| shrink_vec(addrs),
+        |addrs| {
+            let t = timing();
+            let mapping = AddressMapping::k80_like(t.total_banks());
+            let mut ctl = MemoryController::new(mapping.clone(), t, false);
+            let mut last_done = vec![0u64; t.total_banks() as usize];
+            for (i, &a) in addrs.iter().enumerate() {
+                let r = ctl.access(i as u64, a);
+                if r.complete_at <= last_done[r.bank as usize] {
+                    return Err(format!(
+                        "bank {} completion {} not after previous {}",
+                        r.bank, r.complete_at, last_done[r.bank as usize]
+                    ));
+                }
+                last_done[r.bank as usize] = r.complete_at;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Decode is stable and in-range for any mapping and address.
+#[test]
+fn decode_is_consistent() {
+    check(
+        "decode_is_consistent",
+        &Config::with_cases(64),
+        |rng| (arb_mapping(rng), rng.next_u64()),
+        |(mapping, addr)| {
+            let d1 = mapping.decode(*addr);
+            let d2 = mapping.decode(*addr);
+            if d1 != d2 {
+                return Err("decode not stable".into());
+            }
+            if d1.bank >= mapping.total_banks {
+                return Err(format!("bank {} out of range", d1.bank));
+            }
+            if d1.col >= mapping.columns() {
+                return Err(format!("col {} out of range", d1.col));
+            }
+            // Byte bits never matter.
+            let d3 = mapping.decode(*addr ^ 1);
+            if (d1.bank, d1.row, d1.col) != (d3.bank, d3.row, d3.col) {
+                return Err("byte bit changed the decode".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Algorithm 1 classifies the true column and row bits correctly for any
+/// well-formed hidden mapping.
+#[test]
+fn detection_recovers_random_mappings() {
+    check(
+        "detection_recovers_random_mappings",
+        &Config::with_cases(64),
+        arb_mapping,
+        |mapping| {
+            let mut t = timing();
+            t.channels = 1;
+            t.banks_per_channel = mapping.total_banks;
+            let bits = mapping.addr_bits;
+            let truth = mapping.clone();
+            let hidden = mapping.clone();
+            let d = detect_mapping(
+                move || MemoryController::new(hidden.clone(), t, false),
+                bits,
             );
-            prop_assert!(r.complete_at >= i as u64 + t.hit_cycles);
-            prop_assert!(r.bank < t.total_banks());
-        }
-        let stats = ctl.stats();
-        let (h, m, c) = stats.row_buffer_totals();
-        prop_assert_eq!(h + m + c, n);
-    }
-
-    /// Per-bank FIFO causality: completions at one bank are strictly
-    /// increasing in arrival order.
-    #[test]
-    fn per_bank_fifo_causality(addrs in prop::collection::vec(0u64..(1u64 << 26), 2..150)) {
-        let t = timing();
-        let mapping = AddressMapping::k80_like(t.total_banks());
-        let mut ctl = MemoryController::new(mapping.clone(), t, false);
-        let mut last_done = vec![0u64; t.total_banks() as usize];
-        for (i, &a) in addrs.iter().enumerate() {
-            let r = ctl.access(i as u64, a);
-            prop_assert!(r.complete_at > last_done[r.bank as usize]);
-            last_done[r.bank as usize] = r.complete_at;
-        }
-    }
-
-    /// Decode is stable and in-range for any mapping and address.
-    #[test]
-    fn decode_is_consistent(mapping in arb_mapping(), addr in any::<u64>()) {
-        let d1 = mapping.decode(addr);
-        let d2 = mapping.decode(addr);
-        prop_assert_eq!(d1, d2);
-        prop_assert!(d1.bank < mapping.total_banks);
-        prop_assert!(d1.col < mapping.columns());
-        // Byte bits never matter.
-        let d3 = mapping.decode(addr ^ 1);
-        prop_assert_eq!(d1.bank, d3.bank);
-        prop_assert_eq!(d1.row, d3.row);
-        prop_assert_eq!(d1.col, d3.col);
-    }
-
-    /// Algorithm 1 classifies the true column and row bits correctly for
-    /// any well-formed hidden mapping.
-    #[test]
-    fn detection_recovers_random_mappings(mapping in arb_mapping()) {
-        let mut t = timing();
-        t.channels = 1;
-        t.banks_per_channel = mapping.total_banks;
-        let bits = mapping.addr_bits;
-        let truth = mapping.clone();
-        let d = detect_mapping(
-            move || MemoryController::new(mapping.clone(), t, false),
-            bits,
-        );
-        for &c in &truth.col_bit_positions {
-            prop_assert_eq!(d.classes[c as usize], BitClass::Column, "col bit {}", c);
-        }
-        for &r in &truth.row_bit_positions {
-            prop_assert_eq!(d.classes[r as usize], BitClass::Row, "row bit {}", r);
-        }
-        prop_assert!(d.hit_latency < d.miss_latency);
-        prop_assert!(d.miss_latency < d.conflict_latency);
-    }
+            for &c in &truth.col_bit_positions {
+                if d.classes[c as usize] != BitClass::Column {
+                    return Err(format!(
+                        "col bit {c} classified as {:?}",
+                        d.classes[c as usize]
+                    ));
+                }
+            }
+            for &r in &truth.row_bit_positions {
+                if d.classes[r as usize] != BitClass::Row {
+                    return Err(format!(
+                        "row bit {r} classified as {:?}",
+                        d.classes[r as usize]
+                    ));
+                }
+            }
+            if d.hit_latency >= d.miss_latency {
+                return Err("hit latency not below miss latency".into());
+            }
+            if d.miss_latency >= d.conflict_latency {
+                return Err("miss latency not below conflict latency".into());
+            }
+            Ok(())
+        },
+    );
 }

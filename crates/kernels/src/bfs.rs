@@ -3,8 +3,7 @@
 //! `edgeArray` and relax neighbor levels — heavily masked warps and
 //! irregular gathers. Table IV tests `edgeArray(G->T)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hms_stats::rng::Rng;
 
 use hms_trace::{KernelTrace, SymOp, WarpTrace};
 use hms_types::{ArrayDef, DType, Geometry};
@@ -19,9 +18,13 @@ pub fn build(scale: Scale) -> KernelTrace {
     };
     let vertices = u64::from(blocks) * u64::from(threads);
     let edges = vertices * max_degree;
-    let mut rng = StdRng::seed_from_u64(0xBF5);
-    let on_frontier: Vec<bool> = (0..vertices).map(|_| rng.gen_bool(frontier_fraction)).collect();
-    let degree: Vec<u64> = (0..vertices).map(|_| rng.gen_range(1..=max_degree)).collect();
+    let mut rng = Rng::seed_from_u64(0xBF5);
+    let on_frontier: Vec<bool> = (0..vertices)
+        .map(|_| rng.gen_bool(frontier_fraction))
+        .collect();
+    let degree: Vec<u64> = (0..vertices)
+        .map(|_| rng.gen_range(1..=max_degree))
+        .collect();
     let neighbor: Vec<u64> = (0..edges).map(|_| rng.gen_range(0..vertices)).collect();
     let geometry = Geometry::new(blocks, threads);
     let arrays = vec![
@@ -71,7 +74,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "BFS_kernel_warp".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "BFS_kernel_warp".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -103,8 +111,11 @@ mod tests {
     fn level_updates_follow_edge_loads() {
         let kt = build(Scale::Test);
         for w in &kt.warps {
-            let stores =
-                w.ops.iter().filter(|o| matches!(o, SymOp::Access(m) if m.is_store)).count();
+            let stores = w
+                .ops
+                .iter()
+                .filter(|o| matches!(o, SymOp::Access(m) if m.is_store))
+                .count();
             let edge_loads = w
                 .ops
                 .iter()

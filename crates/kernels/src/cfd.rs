@@ -4,8 +4,7 @@
 //! connectivity, and does heavy floating-point work. Table IV tests
 //! `variables(G->T)` — gathers through a texture.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hms_stats::rng::Rng;
 
 use hms_trace::{KernelTrace, SymOp, WarpTrace};
 use hms_types::{ArrayDef, DType, Geometry};
@@ -24,7 +23,7 @@ pub fn build(scale: Scale) -> KernelTrace {
         Scale::Full => (32u32, 128u32),
     };
     let cells = u64::from(blocks) * u64::from(threads);
-    let mut rng = StdRng::seed_from_u64(0xCFD);
+    let mut rng = Rng::seed_from_u64(0xCFD);
     // Mesh connectivity: neighbors cluster spatially.
     let nb: Vec<u64> = (0..cells * NNB)
         .map(|k| {
@@ -83,7 +82,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "cuda_compute_flux".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "cuda_compute_flux".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -94,8 +98,11 @@ mod tests {
     fn flux_kernel_is_memory_and_fp_heavy() {
         let kt = build(Scale::Test);
         let w = &kt.warps[0];
-        let loads =
-            w.ops.iter().filter(|o| matches!(o, SymOp::Access(m) if !m.is_store)).count() as u64;
+        let loads = w
+            .ops
+            .iter()
+            .filter(|o| matches!(o, SymOp::Access(m) if !m.is_store))
+            .count() as u64;
         // 5 own + per face (2 + 5 gathers) x 4 faces = 5 + 28 = 33.
         assert_eq!(loads, 5 + NNB * (2 + NVAR));
         let fp: u64 = w

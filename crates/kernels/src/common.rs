@@ -20,7 +20,10 @@ pub fn tid_preamble() -> SymOp {
 
 /// An `AddrCalc` op for one upcoming reference to `array`.
 pub fn addr(array: u32) -> SymOp {
-    SymOp::AddrCalc { array: ArrayId(array), count: 1 }
+    SymOp::AddrCalc {
+        array: ArrayId(array),
+        count: 1,
+    }
 }
 
 /// A fully-active warp load of linear element indices.
@@ -40,13 +43,18 @@ pub fn load_masked(array: u32, idx: impl IntoIterator<Item = Option<u64>>) -> Sy
 pub fn load_xy(array: u32, idx: impl IntoIterator<Item = (u64, u64)>) -> SymOp {
     SymOp::Access(MemRef::load(
         ArrayId(array),
-        idx.into_iter().map(|(x, y)| Some(ElemIdx::XY(x, y))).collect(),
+        idx.into_iter()
+            .map(|(x, y)| Some(ElemIdx::XY(x, y)))
+            .collect(),
     ))
 }
 
 /// A uniform (broadcast) load: all 32 lanes read element `i`.
 pub fn load_uniform(array: u32, i: u64) -> SymOp {
-    SymOp::Access(MemRef::load(ArrayId(array), vec![Some(ElemIdx::Lin(i)); WARP as usize]))
+    SymOp::Access(MemRef::load(
+        ArrayId(array),
+        vec![Some(ElemIdx::Lin(i)); WARP as usize],
+    ))
 }
 
 /// A fully-active warp store of linear element indices.
@@ -66,7 +74,9 @@ pub fn store_masked(array: u32, idx: impl IntoIterator<Item = Option<u64>>) -> S
 pub fn store_xy(array: u32, idx: impl IntoIterator<Item = (u64, u64)>) -> SymOp {
     SymOp::Access(MemRef::store(
         ArrayId(array),
-        idx.into_iter().map(|(x, y)| Some(ElemIdx::XY(x, y))).collect(),
+        idx.into_iter()
+            .map(|(x, y)| Some(ElemIdx::XY(x, y)))
+            .collect(),
     ))
 }
 
@@ -84,7 +94,9 @@ mod tests {
 
     #[test]
     fn uniform_load_broadcasts() {
-        let SymOp::Access(m) = load_uniform(3, 7) else { panic!() };
+        let SymOp::Access(m) = load_uniform(3, 7) else {
+            panic!()
+        };
         assert_eq!(m.active_lanes(), 32);
         assert!(m.idx.iter().all(|i| *i == Some(ElemIdx::Lin(7))));
     }

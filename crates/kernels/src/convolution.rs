@@ -68,7 +68,12 @@ fn build_pass(name: &str, vertical: bool, scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: name.into(), arrays, geometry, warps }
+    KernelTrace {
+        name: name.into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 /// The rows pass (`convolutionRowsKernel`, "convo1").
@@ -116,7 +121,9 @@ mod tests {
             for op in &kt.warps[0].ops {
                 if let SymOp::Access(m) = op {
                     if m.array.0 == 0 {
-                        let Some(ElemIdx::XY(x, y)) = m.idx[0] else { panic!() };
+                        let Some(ElemIdx::XY(x, y)) = m.idx[0] else {
+                            panic!()
+                        };
                         return (x, y);
                     }
                 }
@@ -134,7 +141,9 @@ mod tests {
                 .iter()
                 .filter_map(|op| match op {
                     SymOp::Access(m) if m.array.0 == 0 => {
-                        let Some(ElemIdx::XY(x, y)) = m.idx[0] else { panic!() };
+                        let Some(ElemIdx::XY(x, y)) = m.idx[0] else {
+                            panic!()
+                        };
                         Some((x, y))
                     }
                     _ => None,

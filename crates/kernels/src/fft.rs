@@ -26,7 +26,9 @@ pub fn build(scale: Scale) -> KernelTrace {
     let arrays = vec![
         ArrayDef::new_1d(0, "work", DType::F32, n, true),
         // +padding column in real SHOC; conflicts are the point here.
-        ArrayDef::new_1d(1, "smem", DType::F32, POINTS, true).scratch().per_block(),
+        ArrayDef::new_1d(1, "smem", DType::F32, POINTS, true)
+            .scratch()
+            .per_block(),
     ];
     let per_thread = POINTS / u64::from(THREADS); // 8
     let stages = [1u64, 8, 64]; // radix-8 stage strides within 512
@@ -38,8 +40,9 @@ pub fn build(scale: Scale) -> KernelTrace {
             let mut ops = vec![tid_preamble()];
             // Load 8 points per thread, coalesced from global.
             for p in 0..per_thread {
-                let idx: Vec<u64> =
-                    (0..WARP).map(|l| gbase + p * u64::from(THREADS) + lane0 + l).collect();
+                let idx: Vec<u64> = (0..WARP)
+                    .map(|l| gbase + p * u64::from(THREADS) + lane0 + l)
+                    .collect();
                 ops.push(addr(0));
                 ops.push(load(0, idx));
             }
@@ -77,15 +80,21 @@ pub fn build(scale: Scale) -> KernelTrace {
             }
             // Write results back, coalesced.
             for p in 0..per_thread {
-                let idx: Vec<u64> =
-                    (0..WARP).map(|l| gbase + p * u64::from(THREADS) + lane0 + l).collect();
+                let idx: Vec<u64> = (0..WARP)
+                    .map(|l| gbase + p * u64::from(THREADS) + lane0 + l)
+                    .collect();
                 ops.push(addr(0));
                 ops.push(store(0, idx));
             }
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "FFT512_device".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "FFT512_device".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]

@@ -57,31 +57,91 @@ pub struct KernelSpec {
 /// then the `T_overlap` training set).
 pub fn registry() -> Vec<KernelSpec> {
     vec![
-        KernelSpec { name: "bfs", build: bfs::build },
-        KernelSpec { name: "fft", build: fft::build },
-        KernelSpec { name: "neuralnet", build: neuralnet::build },
-        KernelSpec { name: "reduction", build: reduction::build },
-        KernelSpec { name: "scan", build: scan::build },
-        KernelSpec { name: "sort", build: sort::build },
-        KernelSpec { name: "stencil2d", build: stencil2d::build },
-        KernelSpec { name: "md5hash", build: md5hash::build },
-        KernelSpec { name: "s3d", build: s3d::build },
-        KernelSpec { name: "convolutionRows", build: convolution::build_rows },
-        KernelSpec { name: "convolutionCols", build: convolution::build_cols },
-        KernelSpec { name: "md", build: md::build },
-        KernelSpec { name: "matrixMul", build: matmul::build },
-        KernelSpec { name: "spmv", build: spmv::build },
-        KernelSpec { name: "transpose", build: transpose::build },
-        KernelSpec { name: "cfd", build: cfd::build },
-        KernelSpec { name: "triad", build: triad::build },
-        KernelSpec { name: "qtc", build: qtc::build },
-        KernelSpec { name: "vecadd", build: vecadd::build },
+        KernelSpec {
+            name: "bfs",
+            build: bfs::build,
+        },
+        KernelSpec {
+            name: "fft",
+            build: fft::build,
+        },
+        KernelSpec {
+            name: "neuralnet",
+            build: neuralnet::build,
+        },
+        KernelSpec {
+            name: "reduction",
+            build: reduction::build,
+        },
+        KernelSpec {
+            name: "scan",
+            build: scan::build,
+        },
+        KernelSpec {
+            name: "sort",
+            build: sort::build,
+        },
+        KernelSpec {
+            name: "stencil2d",
+            build: stencil2d::build,
+        },
+        KernelSpec {
+            name: "md5hash",
+            build: md5hash::build,
+        },
+        KernelSpec {
+            name: "s3d",
+            build: s3d::build,
+        },
+        KernelSpec {
+            name: "convolutionRows",
+            build: convolution::build_rows,
+        },
+        KernelSpec {
+            name: "convolutionCols",
+            build: convolution::build_cols,
+        },
+        KernelSpec {
+            name: "md",
+            build: md::build,
+        },
+        KernelSpec {
+            name: "matrixMul",
+            build: matmul::build,
+        },
+        KernelSpec {
+            name: "spmv",
+            build: spmv::build,
+        },
+        KernelSpec {
+            name: "transpose",
+            build: transpose::build,
+        },
+        KernelSpec {
+            name: "cfd",
+            build: cfd::build,
+        },
+        KernelSpec {
+            name: "triad",
+            build: triad::build,
+        },
+        KernelSpec {
+            name: "qtc",
+            build: qtc::build,
+        },
+        KernelSpec {
+            name: "vecadd",
+            build: vecadd::build,
+        },
     ]
 }
 
 /// Look a kernel up by name.
 pub fn by_name(name: &str, scale: Scale) -> Option<KernelTrace> {
-    registry().into_iter().find(|k| k.name == name).map(|k| (k.build)(scale))
+    registry()
+        .into_iter()
+        .find(|k| k.name == name)
+        .map(|k| (k.build)(scale))
 }
 
 #[cfg(test)]
@@ -111,7 +171,11 @@ mod tests {
             let r = simulate_default(&ct, &cfg)
                 .unwrap_or_else(|e| panic!("{}: simulate failed: {e}", spec.name));
             assert!(r.cycles > 0, "{}: zero cycles", spec.name);
-            assert!(r.events.inst_executed > 0, "{}: nothing executed", spec.name);
+            assert!(
+                r.events.inst_executed > 0,
+                "{}: nothing executed",
+                spec.name
+            );
         }
     }
 

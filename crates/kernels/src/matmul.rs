@@ -35,8 +35,12 @@ pub fn build_sized(n: u64) -> KernelTrace {
         ArrayDef::new_2d(0, "A", DType::F32, n, n, false),
         ArrayDef::new_2d(1, "B", DType::F32, n, n, false),
         ArrayDef::new_2d(2, "C", DType::F32, n, n, true),
-        ArrayDef::new_1d(3, "As", DType::F32, TILE * TILE, true).scratch().per_block(),
-        ArrayDef::new_1d(4, "Bs", DType::F32, TILE * TILE, true).scratch().per_block(),
+        ArrayDef::new_1d(3, "As", DType::F32, TILE * TILE, true)
+            .scratch()
+            .per_block(),
+        ArrayDef::new_1d(4, "Bs", DType::F32, TILE * TILE, true)
+            .scratch()
+            .per_block(),
     ];
     let rows_per_warp = WARP / TILE; // 2
     let mut warps = Vec::new();
@@ -54,7 +58,9 @@ pub fn build_sized(n: u64) -> KernelTrace {
                 let b_coords: Vec<(u64, u64)> = (0..WARP)
                     .map(|l| (tx + l % TILE, t * TILE + r0 + l / TILE))
                     .collect();
-                let tile_idx: Vec<u64> = (0..WARP).map(|l| (r0 + l / TILE) * TILE + l % TILE).collect();
+                let tile_idx: Vec<u64> = (0..WARP)
+                    .map(|l| (r0 + l / TILE) * TILE + l % TILE)
+                    .collect();
                 ops.push(addr(0));
                 ops.push(load_xy(0, a_coords));
                 ops.push(addr(1));
@@ -78,14 +84,20 @@ pub fn build_sized(n: u64) -> KernelTrace {
                 }
                 ops.push(SymOp::SyncThreads);
             }
-            let c_coords: Vec<(u64, u64)> =
-                (0..WARP).map(|l| (tx + l % TILE, ty + r0 + l / TILE)).collect();
+            let c_coords: Vec<(u64, u64)> = (0..WARP)
+                .map(|l| (tx + l % TILE, ty + r0 + l / TILE))
+                .collect();
             ops.push(addr(2));
             ops.push(store_xy(2, c_coords));
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "matrixMul".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "matrixMul".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -102,8 +114,11 @@ mod tests {
     #[test]
     fn inner_product_structure() {
         let kt = build(Scale::Test);
-        let syncs =
-            kt.warps[0].ops.iter().filter(|o| matches!(o, SymOp::SyncThreads)).count() as u64;
+        let syncs = kt.warps[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, SymOp::SyncThreads))
+            .count() as u64;
         let tiles = 32 / TILE;
         assert_eq!(syncs, 2 * tiles);
         let fmas: u64 = kt.warps[0]

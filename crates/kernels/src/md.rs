@@ -6,8 +6,7 @@
 //! clumps also make md the paper's poster child for bursty DRAM arrivals
 //! (Figure 4: mean per-bank `c_a` approximately 2.2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hms_stats::rng::Rng;
 
 use hms_trace::{KernelTrace, SymOp, WarpTrace};
 use hms_types::{ArrayDef, DType, Geometry};
@@ -21,7 +20,7 @@ pub fn build(scale: Scale) -> KernelTrace {
         Scale::Full => (32u32, 128u32, 16u64),
     };
     let atoms = u64::from(blocks) * u64::from(threads);
-    let mut rng = StdRng::seed_from_u64(0x4D44);
+    let mut rng = Rng::seed_from_u64(0x4D44);
     // Neighbor lists: mostly nearby atoms (spatial locality) with a tail
     // of far ones, reproducing cell-list structure.
     let neigh: Vec<u64> = (0..atoms * neighbors)
@@ -60,8 +59,7 @@ pub fn build(scale: Scale) -> KernelTrace {
                 ops.push(load(1, nl_idx.iter().copied()));
                 ops.push(SymOp::WaitLoads);
                 // Scattered position gather.
-                let gather: Vec<u64> =
-                    nl_idx.iter().map(|&k| neigh[k as usize]).collect();
+                let gather: Vec<u64> = nl_idx.iter().map(|&k| neigh[k as usize]).collect();
                 ops.push(addr(0));
                 ops.push(load(0, gather));
                 ops.push(SymOp::WaitLoads);
@@ -74,7 +72,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "compute_lj_force".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "compute_lj_force".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -92,7 +95,9 @@ mod tests {
                         .iter()
                         .flatten()
                         .map(|i| {
-                            let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                            let hms_trace::ElemIdx::Lin(i) = i else {
+                                panic!()
+                            };
                             *i
                         })
                         .collect();
@@ -116,7 +121,9 @@ mod tests {
                         .iter()
                         .flatten()
                         .map(|i| {
-                            let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                            let hms_trace::ElemIdx::Lin(i) = i else {
+                                panic!()
+                            };
                             *i
                         })
                         .collect();

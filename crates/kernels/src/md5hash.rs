@@ -32,13 +32,19 @@ pub fn build(scale: Scale) -> KernelTrace {
             // memory. Model one spill store up front and a reload every
             // 16 rounds — the traffic behind the paper's replay causes
             // (7) and (9).
-            ops.push(SymOp::Local { is_store: true, slots: vec![0; 32] });
+            ops.push(SymOp::Local {
+                is_store: true,
+                slots: vec![0; 32],
+            });
             // MD5 rounds: 4 ops per round per the FF/GG/HH/II macros
             // (add, rotate, add, xor-mix), purely integer.
             for r in 0..rounds {
                 ops.push(SymOp::IntAlu(4));
                 if r % 16 == 15 {
-                    ops.push(SymOp::Local { is_store: false, slots: vec![r as u32 / 16; 32] });
+                    ops.push(SymOp::Local {
+                        is_store: false,
+                        slots: vec![r as u32 / 16; 32],
+                    });
                     ops.push(SymOp::WaitLoads);
                 }
             }
@@ -48,20 +54,27 @@ pub fn build(scale: Scale) -> KernelTrace {
                 // one lane.
                 let lane = tids.iter().position(|&t| t == winner).unwrap();
                 for word in 0..8u64 {
-                    let idx: Vec<Option<u64>> =
-                        (0..WARP as usize).map(|l| (l == lane).then_some(word)).collect();
+                    let idx: Vec<Option<u64>> = (0..WARP as usize)
+                        .map(|l| (l == lane).then_some(word))
+                        .collect();
                     ops.push(addr(0));
                     ops.push(store_masked(0, idx));
                 }
-                let idx: Vec<Option<u64>> =
-                    (0..WARP as usize).map(|l| (l == lane).then_some(0)).collect();
+                let idx: Vec<Option<u64>> = (0..WARP as usize)
+                    .map(|l| (l == lane).then_some(0))
+                    .collect();
                 ops.push(addr(1));
                 ops.push(store_masked(1, idx));
             }
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "FindKeyWithDigest".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "FindKeyWithDigest".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +87,11 @@ mod tests {
         let storing = kt
             .warps
             .iter()
-            .filter(|w| w.ops.iter().any(|o| matches!(o, SymOp::Access(m) if m.is_store)))
+            .filter(|w| {
+                w.ops
+                    .iter()
+                    .any(|o| matches!(o, SymOp::Access(m) if m.is_store))
+            })
             .count();
         assert_eq!(storing, 1);
     }
@@ -90,7 +107,15 @@ mod tests {
         let reloads = kt.warps[0]
             .ops
             .iter()
-            .filter(|o| matches!(o, SymOp::Local { is_store: false, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    SymOp::Local {
+                        is_store: false,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(spill_stores, 1);
         assert!(reloads >= 2);

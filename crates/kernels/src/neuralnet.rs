@@ -48,8 +48,8 @@ pub fn build(scale: Scale) -> KernelTrace {
     let mut warps = Vec::new();
     for block in 0..blocks {
         let batch = u64::from(block) / u64::from(outputs as u32 / threads).max(1);
-        let j0 = (u64::from(block) % u64::from((outputs as u32 / threads).max(1)))
-            * u64::from(threads);
+        let j0 =
+            (u64::from(block) % u64::from((outputs as u32 / threads).max(1))) * u64::from(threads);
         for warp in 0..geometry.warps_per_block() {
             let lanes: Vec<u64> = warp_tids(0, warp, threads).collect(); // j within block
             let mut ops = vec![tid_preamble()];
@@ -65,14 +65,18 @@ pub fn build(scale: Scale) -> KernelTrace {
                 ops.push(SymOp::FpAlu(1)); // fma
             }
             ops.push(SymOp::Sfu(1)); // sigmoid
-            let out: Vec<u64> =
-                lanes.iter().map(|&j| batch * outputs + j0 + j).collect();
+            let out: Vec<u64> = lanes.iter().map(|&j| batch * outputs + j0 + j).collect();
             ops.push(addr(2));
             ops.push(store(2, out));
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "kernelFeedForward1".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "kernelFeedForward1".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +99,10 @@ mod tests {
         let cfg = GpuConfig::tesla_k80();
         for space in MemorySpace::ALL {
             let pm = kt.default_placement().with(hms_types::ArrayId(0), space);
-            assert!(pm.validate(&kt.arrays, &cfg).is_ok(), "weights({space}) rejected");
+            assert!(
+                pm.validate(&kt.arrays, &cfg).is_ok(),
+                "weights({space}) rejected"
+            );
         }
     }
 
@@ -115,7 +122,9 @@ mod tests {
                             .iter()
                             .flatten()
                             .map(|i| {
-                                let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                                let hms_trace::ElemIdx::Lin(i) = i else {
+                                    panic!()
+                                };
                                 *i
                             })
                             .collect();

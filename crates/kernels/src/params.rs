@@ -22,14 +22,19 @@ pub struct VecAddParams {
 impl VecAddParams {
     pub fn build(self) -> Result<KernelTrace, HmsError> {
         if self.blocks == 0 || self.threads_per_block == 0 {
-            return Err(HmsError::InvalidInput("vecadd needs a non-empty launch".into()));
+            return Err(HmsError::InvalidInput(
+                "vecadd needs a non-empty launch".into(),
+            ));
         }
         if !self.threads_per_block.is_multiple_of(32) {
             return Err(HmsError::InvalidInput(
                 "vecadd threads_per_block must be a warp multiple".into(),
             ));
         }
-        Ok(crate::vecadd::build_sized(self.blocks, self.threads_per_block))
+        Ok(crate::vecadd::build_sized(
+            self.blocks,
+            self.threads_per_block,
+        ))
     }
 }
 
@@ -51,7 +56,12 @@ impl SpmvParams {
         if self.rows == 0 || self.max_nnz_per_row == 0 || self.warps_per_block == 0 {
             return Err(HmsError::InvalidInput("spmv needs non-zero sizes".into()));
         }
-        Ok(crate::spmv::build_sized(self.rows, self.max_nnz_per_row, self.warps_per_block, self.seed))
+        Ok(crate::spmv::build_sized(
+            self.rows,
+            self.max_nnz_per_row,
+            self.warps_per_block,
+            self.seed,
+        ))
     }
 }
 
@@ -77,13 +87,29 @@ impl MatmulParams {
 pub fn preset(scale: Scale) -> (VecAddParams, SpmvParams, MatmulParams) {
     match scale {
         Scale::Test => (
-            VecAddParams { blocks: 4, threads_per_block: 64 },
-            SpmvParams { rows: 16, max_nnz_per_row: 48, warps_per_block: 2, seed: 0x535D },
+            VecAddParams {
+                blocks: 4,
+                threads_per_block: 64,
+            },
+            SpmvParams {
+                rows: 16,
+                max_nnz_per_row: 48,
+                warps_per_block: 2,
+                seed: 0x535D,
+            },
             MatmulParams { n: 32 },
         ),
         Scale::Full => (
-            VecAddParams { blocks: 64, threads_per_block: 128 },
-            SpmvParams { rows: 256, max_nnz_per_row: 96, warps_per_block: 4, seed: 0x535D },
+            VecAddParams {
+                blocks: 64,
+                threads_per_block: 128,
+            },
+            SpmvParams {
+                rows: 256,
+                max_nnz_per_row: 96,
+                warps_per_block: 4,
+                seed: 0x535D,
+            },
             MatmulParams { n: 128 },
         ),
     }
@@ -105,30 +131,68 @@ mod tests {
 
     #[test]
     fn custom_sizes_scale_the_trace() {
-        let small = VecAddParams { blocks: 2, threads_per_block: 64 }.build().unwrap();
-        let large = VecAddParams { blocks: 8, threads_per_block: 64 }.build().unwrap();
+        let small = VecAddParams {
+            blocks: 2,
+            threads_per_block: 64,
+        }
+        .build()
+        .unwrap();
+        let large = VecAddParams {
+            blocks: 8,
+            threads_per_block: 64,
+        }
+        .build()
+        .unwrap();
         assert_eq!(large.warps.len(), 4 * small.warps.len());
-        assert_eq!(large.arrays[0].dims.elements(), 4 * small.arrays[0].dims.elements());
+        assert_eq!(
+            large.arrays[0].dims.elements(),
+            4 * small.arrays[0].dims.elements()
+        );
     }
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(VecAddParams { blocks: 0, threads_per_block: 64 }.build().is_err());
-        assert!(VecAddParams { blocks: 1, threads_per_block: 33 }.build().is_err());
+        assert!(VecAddParams {
+            blocks: 0,
+            threads_per_block: 64
+        }
+        .build()
+        .is_err());
+        assert!(VecAddParams {
+            blocks: 1,
+            threads_per_block: 33
+        }
+        .build()
+        .is_err());
         assert!(MatmulParams { n: 24 }.build().is_err());
-        assert!(SpmvParams { rows: 0, max_nnz_per_row: 8, warps_per_block: 1, seed: 0 }
-            .build()
-            .is_err());
+        assert!(SpmvParams {
+            rows: 0,
+            max_nnz_per_row: 8,
+            warps_per_block: 1,
+            seed: 0
+        }
+        .build()
+        .is_err());
     }
 
     #[test]
     fn spmv_seed_changes_structure() {
-        let a = SpmvParams { rows: 16, max_nnz_per_row: 32, warps_per_block: 2, seed: 1 }
-            .build()
-            .unwrap();
-        let b = SpmvParams { rows: 16, max_nnz_per_row: 32, warps_per_block: 2, seed: 2 }
-            .build()
-            .unwrap();
+        let a = SpmvParams {
+            rows: 16,
+            max_nnz_per_row: 32,
+            warps_per_block: 2,
+            seed: 1,
+        }
+        .build()
+        .unwrap();
+        let b = SpmvParams {
+            rows: 16,
+            max_nnz_per_row: 32,
+            warps_per_block: 2,
+            seed: 2,
+        }
+        .build()
+        .unwrap();
         assert_ne!(a, b);
     }
 }

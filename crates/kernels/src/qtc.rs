@@ -3,8 +3,7 @@
 //! is read row-by-row with 2-D reuse across threads — Table IV's
 //! `distance_matrix_txt(G->2T)` test binds it to a 2-D texture.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hms_stats::rng::Rng;
 
 use hms_trace::{KernelTrace, SymOp, WarpTrace};
 use hms_types::{ArrayDef, DType, Geometry};
@@ -17,7 +16,7 @@ pub fn build(scale: Scale) -> KernelTrace {
         Scale::Test => (64u64, 2u32, 64u32, 4u64),
         Scale::Full => (192u64, 12u32, 128u32, 12u64),
     };
-    let mut rng = StdRng::seed_from_u64(0x97C);
+    let mut rng = Rng::seed_from_u64(0x97C);
     let geometry = Geometry::new(blocks, threads);
     let arrays = vec![
         ArrayDef::new_2d(0, "distance_matrix", DType::F32, points, points, false),
@@ -53,7 +52,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "QTC_device".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "QTC_device".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -69,8 +73,12 @@ mod tests {
         for op in &kt.warps[0].ops {
             if let SymOp::Access(m) = op {
                 if m.array.0 == 0 {
-                    let Some(ElemIdx::XY(x0, y0)) = m.idx[0] else { panic!() };
-                    let Some(ElemIdx::XY(x1, y1)) = m.idx[1] else { panic!() };
+                    let Some(ElemIdx::XY(x0, y0)) = m.idx[0] else {
+                        panic!()
+                    };
+                    let Some(ElemIdx::XY(x1, y1)) = m.idx[1] else {
+                        panic!()
+                    };
                     if y0 == y1 && x0 != x1 {
                         row_walks += 1;
                     }

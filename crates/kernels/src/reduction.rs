@@ -20,7 +20,9 @@ pub fn build(scale: Scale) -> KernelTrace {
     let geometry = Geometry::new(blocks, threads);
     let arrays = vec![
         ArrayDef::new_1d(0, "idata", DType::F32, n, false),
-        ArrayDef::new_1d(1, "sdata", DType::F32, u64::from(threads), true).scratch().per_block(),
+        ArrayDef::new_1d(1, "sdata", DType::F32, u64::from(threads), true)
+            .scratch()
+            .per_block(),
         ArrayDef::new_1d(2, "odata", DType::F32, u64::from(blocks), true),
     ];
     let mut warps = Vec::new();
@@ -46,8 +48,10 @@ pub fn build(scale: Scale) -> KernelTrace {
             while stride > 0 {
                 let lo: Vec<Option<u64>> =
                     local.iter().map(|&i| (i < stride).then_some(i)).collect();
-                let hi: Vec<Option<u64>> =
-                    local.iter().map(|&i| (i < stride).then_some(i + stride)).collect();
+                let hi: Vec<Option<u64>> = local
+                    .iter()
+                    .map(|&i| (i < stride).then_some(i + stride))
+                    .collect();
                 if lo.iter().any(|x| x.is_some()) {
                     ops.push(addr(1));
                     ops.push(load_masked(1, lo.iter().copied()));
@@ -72,7 +76,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "reduce".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "reduce".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -84,8 +93,11 @@ mod tests {
         let kt = build(Scale::Test);
         // 64 threads -> strides 32,16,8,4,2,1 -> 6 levels, each ends in a
         // sync; plus the initial staging sync.
-        let syncs =
-            kt.warps[0].ops.iter().filter(|o| matches!(o, SymOp::SyncThreads)).count();
+        let syncs = kt.warps[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, SymOp::SyncThreads))
+            .count();
         assert_eq!(syncs, 7);
     }
 

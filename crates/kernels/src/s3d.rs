@@ -49,7 +49,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "gr_base".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "gr_base".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -60,7 +65,11 @@ mod tests {
     fn species_loop_shape() {
         let kt = build(Scale::Test);
         let w = &kt.warps[0];
-        let stores = w.ops.iter().filter(|o| matches!(o, SymOp::Access(m) if m.is_store)).count();
+        let stores = w
+            .ops
+            .iter()
+            .filter(|o| matches!(o, SymOp::Access(m) if m.is_store))
+            .count();
         assert_eq!(stores, 4); // one per species at test scale
         let sfu: u64 = w
             .ops

@@ -17,7 +17,9 @@ pub fn build(scale: Scale) -> KernelTrace {
     let geometry = Geometry::new(blocks, threads);
     let arrays = vec![
         ArrayDef::new_2d(0, "g_idata", DType::F32, width, height, false),
-        ArrayDef::new_1d(1, "s_block", DType::F32, u64::from(threads), true).scratch().per_block(),
+        ArrayDef::new_1d(1, "s_block", DType::F32, u64::from(threads), true)
+            .scratch()
+            .per_block(),
         ArrayDef::new_1d(2, "d_block_sums", DType::F32, u64::from(blocks), true),
     ];
     // Each block owns a horizontal stripe of rows.
@@ -51,8 +53,10 @@ pub fn build(scale: Scale) -> KernelTrace {
             while stride > 0 {
                 let lo: Vec<Option<u64>> =
                     local.iter().map(|&i| (i < stride).then_some(i)).collect();
-                let hi: Vec<Option<u64>> =
-                    local.iter().map(|&i| (i < stride).then_some(i + stride)).collect();
+                let hi: Vec<Option<u64>> = local
+                    .iter()
+                    .map(|&i| (i < stride).then_some(i + stride))
+                    .collect();
                 if lo.iter().any(|x| x.is_some()) {
                     ops.push(addr(1));
                     ops.push(load_masked(1, lo.iter().copied()));
@@ -67,15 +71,21 @@ pub fn build(scale: Scale) -> KernelTrace {
                 stride /= 2;
             }
             if warp == 0 {
-                let out: Vec<Option<u64>> =
-                    (0..WARP).map(|l| (l == 0).then_some(u64::from(block))).collect();
+                let out: Vec<Option<u64>> = (0..WARP)
+                    .map(|l| (l == 0).then_some(u64::from(block)))
+                    .collect();
                 ops.push(addr(2));
                 ops.push(store_masked(2, out));
             }
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "scan_reduce".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "scan_reduce".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]

@@ -4,8 +4,7 @@
 //! offsets table out of shared memory (`reorderdata[sBlockOffsets(S->G)]`)
 //! — a tiny, hot, randomly-indexed table, the classic shared-memory win.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hms_stats::rng::Rng;
 
 use hms_trace::{KernelTrace, SymOp, WarpTrace};
 use hms_types::{ArrayDef, DType, Geometry};
@@ -26,10 +25,18 @@ pub fn build(scale: Scale) -> KernelTrace {
     let arrays = vec![
         ArrayDef::new_1d(0, "keysIn", DType::U32, n, false),
         ArrayDef::new_1d(1, "keysOut", DType::U32, n, true),
-        ArrayDef::new_1d(2, "blockOffsets", DType::U32, BUCKETS * u64::from(blocks), false),
-        ArrayDef::new_1d(3, "sBlockOffsets", DType::U32, BUCKETS, true).scratch().per_block(),
+        ArrayDef::new_1d(
+            2,
+            "blockOffsets",
+            DType::U32,
+            BUCKETS * u64::from(blocks),
+            false,
+        ),
+        ArrayDef::new_1d(3, "sBlockOffsets", DType::U32, BUCKETS, true)
+            .scratch()
+            .per_block(),
     ];
-    let mut rng = StdRng::seed_from_u64(0x5047);
+    let mut rng = Rng::seed_from_u64(0x5047);
     // Pre-draw each key's bucket so the trace is a function of the data,
     // like the real kernel.
     let bucket_of: Vec<u64> = (0..n).map(|_| rng.gen_range(0..BUCKETS)).collect();
@@ -42,7 +49,9 @@ pub fn build(scale: Scale) -> KernelTrace {
         let dest: Vec<u64> = (0..u64::from(threads))
             .map(|t| {
                 let b = bucket_of[(base + t) as usize];
-                let d = b * n / BUCKETS + u64::from(block) * 4 + counts[b as usize] % 4
+                let d = b * n / BUCKETS
+                    + u64::from(block) * 4
+                    + counts[b as usize] % 4
                     + (counts[b as usize] / 4) * 64 % (n / BUCKETS);
                 counts[b as usize] += 1;
                 d.min(n - 1)
@@ -69,22 +78,23 @@ pub fn build(scale: Scale) -> KernelTrace {
             ops.push(load(0, tids.iter().copied()));
             ops.push(SymOp::WaitLoads);
             ops.push(SymOp::IntAlu(3)); // shift/mask digit extraction
-            let bucket_idx: Vec<u64> =
-                tids.iter().map(|&t| bucket_of[t as usize]).collect();
+            let bucket_idx: Vec<u64> = tids.iter().map(|&t| bucket_of[t as usize]).collect();
             ops.push(addr(3));
             ops.push(load(3, bucket_idx));
             ops.push(SymOp::WaitLoads);
             ops.push(SymOp::IntAlu(2)); // destination arithmetic
-            let dests: Vec<u64> = tids
-                .iter()
-                .map(|&t| dest[(t - base) as usize])
-                .collect();
+            let dests: Vec<u64> = tids.iter().map(|&t| dest[(t - base) as usize]).collect();
             ops.push(addr(1));
             ops.push(store(1, dests));
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "reorderData".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "reorderData".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +123,9 @@ mod tests {
                             .iter()
                             .flatten()
                             .map(|i| {
-                                let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                                let hms_trace::ElemIdx::Lin(i) = i else {
+                                    panic!()
+                                };
                                 i * 4 / 128
                             })
                             .collect();

@@ -4,8 +4,7 @@
 //! `d_vec` to a texture, and Table IV's training set moves it back to
 //! global, plus `rowDelimiters` into shared/constant/texture).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hms_stats::rng::Rng;
 
 use hms_trace::{KernelTrace, SymOp, WarpTrace};
 use hms_types::{ArrayDef, DType, Geometry};
@@ -22,14 +21,19 @@ pub fn build(scale: Scale) -> KernelTrace {
 }
 
 /// [`build`] at explicit matrix dimensions and sparsity seed.
-pub fn build_sized(rows: u64, nnz_per_row_max: u64, warps_per_block: u32, seed: u64) -> KernelTrace {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn build_sized(
+    rows: u64,
+    nnz_per_row_max: u64,
+    warps_per_block: u32,
+    seed: u64,
+) -> KernelTrace {
+    let mut rng = Rng::seed_from_u64(seed);
     // Build a CSR structure: row lengths vary (power-law-ish), columns
     // are a mix of near-diagonal and random — the locality profile of
     // real matrices.
     let mut row_len: Vec<u64> = Vec::with_capacity(rows as usize);
     for _ in 0..rows {
-        let r: f64 = rng.gen();
+        let r: f64 = rng.gen_f64();
         row_len.push(((nnz_per_row_max as f64) * r * r).max(1.0) as u64);
     }
     let nnz: u64 = row_len.iter().sum();
@@ -40,7 +44,7 @@ pub fn build_sized(rows: u64, nnz_per_row_max: u64, warps_per_block: u32, seed: 
             for _ in 0..len {
                 if rng.gen_bool(0.6) {
                     // near-diagonal
-                    let c = (r as u64 * 8 + rng.gen_range(0..16)).min(dim - 1);
+                    let c = (r as u64 * 8 + rng.gen_range(0..16u64)).min(dim - 1);
                     v.push(c);
                 } else {
                     v.push(rng.gen_range(0..dim));
@@ -86,8 +90,9 @@ pub fn build_sized(rows: u64, nnz_per_row_max: u64, warps_per_block: u32, seed: 
             // Warp-strided sweep over the row's nonzeros.
             let mut base = start;
             while base < end {
-                let idx: Vec<Option<u64>> =
-                    (0..WARP).map(|l| (base + l < end).then_some(base + l)).collect();
+                let idx: Vec<Option<u64>> = (0..WARP)
+                    .map(|l| (base + l < end).then_some(base + l))
+                    .collect();
                 ops.push(addr(0));
                 ops.push(load_masked(0, idx.iter().copied()));
                 ops.push(addr(1));
@@ -95,9 +100,7 @@ pub fn build_sized(rows: u64, nnz_per_row_max: u64, warps_per_block: u32, seed: 
                 ops.push(SymOp::WaitLoads);
                 // Gather the vector through the loaded column indices.
                 let gather: Vec<Option<u64>> = (0..WARP)
-                    .map(|l| {
-                        (base + l < end).then(|| cols[(base + l) as usize])
-                    })
+                    .map(|l| (base + l < end).then(|| cols[(base + l) as usize]))
                     .collect();
                 ops.push(addr(3));
                 ops.push(load_masked(3, gather));
@@ -114,7 +117,12 @@ pub fn build_sized(rows: u64, nnz_per_row_max: u64, warps_per_block: u32, seed: 
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "spmv_csr_vector".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "spmv_csr_vector".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +144,9 @@ mod tests {
                             .iter()
                             .flatten()
                             .map(|i| {
-                                let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                                let hms_trace::ElemIdx::Lin(i) = i else {
+                                    panic!()
+                                };
                                 *i
                             })
                             .collect();

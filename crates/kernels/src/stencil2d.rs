@@ -59,7 +59,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "StencilKernel".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "StencilKernel".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +93,9 @@ mod tests {
             for op in &warp.ops {
                 if let SymOp::Access(m) = op {
                     for i in m.idx.iter().flatten() {
-                        let hms_trace::ElemIdx::XY(x, y) = i else { panic!() };
+                        let hms_trace::ElemIdx::XY(x, y) = i else {
+                            panic!()
+                        };
                         assert!(*x < w && *y < h, "({x},{y}) out of {w}x{h}");
                     }
                 }

@@ -48,7 +48,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "transposeNaive".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "transposeNaive".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -73,8 +78,12 @@ mod tests {
             }
             let (r, wr) = (read.unwrap(), write.unwrap());
             for (ri, wi) in r.iter().zip(&wr) {
-                let Some(ElemIdx::XY(rx, ry)) = ri else { panic!() };
-                let Some(ElemIdx::XY(wx, wy)) = wi else { panic!() };
+                let Some(ElemIdx::XY(rx, ry)) = ri else {
+                    panic!()
+                };
+                let Some(ElemIdx::XY(wx, wy)) = wi else {
+                    panic!()
+                };
                 assert_eq!((rx, ry), (wy, wx));
             }
         }

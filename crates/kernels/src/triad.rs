@@ -47,7 +47,12 @@ pub fn build(scale: Scale) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "triad".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "triad".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]
@@ -64,7 +69,9 @@ mod tests {
                 if let SymOp::Access(m) = op {
                     if m.array.0 == 1 && !m.is_store {
                         for i in m.idx.iter().flatten() {
-                            let hms_trace::ElemIdx::Lin(i) = i else { panic!() };
+                            let hms_trace::ElemIdx::Lin(i) = i else {
+                                panic!()
+                            };
                             assert!(seen.insert(*i), "index {i} reused");
                         }
                     }

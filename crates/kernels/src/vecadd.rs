@@ -45,7 +45,12 @@ pub fn build_sized(blocks: u32, threads: u32) -> KernelTrace {
             warps.push(WarpTrace { block, warp, ops });
         }
     }
-    KernelTrace { name: "vecAdd".into(), arrays, geometry, warps }
+    KernelTrace {
+        name: "vecAdd".into(),
+        arrays,
+        geometry,
+        warps,
+    }
 }
 
 #[cfg(test)]

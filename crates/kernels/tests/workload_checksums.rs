@@ -1,0 +1,92 @@
+//! Committed per-kernel checksums of the generated workloads.
+//!
+//! The kernel builders draw their irregular structure (sparse matrices,
+//! neighbor lists, graphs, key distributions) from `hms_stats::rng`.
+//! These checksums pin the exact generated traces, so any change to the
+//! generator — a reseeded kernel, a reordered draw, an edit to the PRNG
+//! itself — fails loudly here instead of silently shifting every
+//! downstream experiment. If a workload change is *intended*, update the
+//! table in the same commit (`cargo test -p hms-kernels --test
+//! workload_checksums -- --nocapture` prints the new values on failure).
+
+use hms_kernels::{registry, Scale};
+
+/// FNV-1a over the trace's canonical debug rendering — stable across
+/// runs and platforms because every field is ordered data, no pointers
+/// or floats-from-timing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// (kernel, checksum of its `Scale::Test` build) — regenerate with the
+/// command in the module docs.
+const EXPECTED: [(&str, u64); 19] = [
+    ("bfs", 0x78d684be0657430c),
+    ("fft", 0x39de55b86b0690a9),
+    ("neuralnet", 0x3da779bf19cc0192),
+    ("reduction", 0xe680657cf5095816),
+    ("scan", 0xf90e5e0214686576),
+    ("sort", 0xeb86a7c3ba612757),
+    ("stencil2d", 0x945adfdcdb862387),
+    ("md5hash", 0x64640b91008bd660),
+    ("s3d", 0xef081f3cb74e86c8),
+    ("convolutionRows", 0xf3ab386f5b387673),
+    ("convolutionCols", 0x069cc9b8b6e10a5b),
+    ("md", 0xb932dbfab3af7944),
+    ("matrixMul", 0x39efeb3355f511cd),
+    ("spmv", 0xf83e13a0731ddcff),
+    ("transpose", 0x8611faff01fb4e1a),
+    ("cfd", 0xdccbcb4102eef476),
+    ("triad", 0xe13e6d5d3198dd3e),
+    ("qtc", 0xbf37bdfaa2360f5b),
+    ("vecadd", 0xc87b1cf59c7f19bf),
+];
+
+#[test]
+fn generated_workloads_match_committed_checksums() {
+    let specs = registry();
+    assert_eq!(
+        specs.len(),
+        EXPECTED.len(),
+        "registry size changed — update EXPECTED"
+    );
+    let mut failures = Vec::new();
+    for spec in &specs {
+        let kt = (spec.build)(Scale::Test);
+        let got = fnv1a(format!("{kt:?}").as_bytes());
+        match EXPECTED.iter().find(|(name, _)| *name == spec.name) {
+            Some(&(_, want)) if want == got => {}
+            Some(&(_, want)) => {
+                failures.push(format!(
+                    "{}: got 0x{got:016x}, committed 0x{want:016x}",
+                    spec.name
+                ));
+            }
+            None => failures.push(format!(
+                "{}: missing from EXPECTED (0x{got:016x})",
+                spec.name
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "workload checksums drifted:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The checksum basis itself must be run-to-run stable, or the table
+/// above would be meaningless.
+#[test]
+fn checksum_basis_is_stable() {
+    for spec in registry() {
+        let a = fnv1a(format!("{:?}", (spec.build)(Scale::Test)).as_bytes());
+        let b = fnv1a(format!("{:?}", (spec.build)(Scale::Test)).as_bytes());
+        assert_eq!(a, b, "{}: unstable checksum basis", spec.name);
+    }
+}

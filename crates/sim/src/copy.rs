@@ -51,9 +51,19 @@ fn copy_chunks(
                 .collect()
         };
         let (src_base, src_space, dst_base, dst_space) = if to_shared {
-            (global_base, MemorySpace::Global, shared_base, MemorySpace::Shared)
+            (
+                global_base,
+                MemorySpace::Global,
+                shared_base,
+                MemorySpace::Shared,
+            )
         } else {
-            (shared_base, MemorySpace::Shared, global_base, MemorySpace::Global)
+            (
+                shared_base,
+                MemorySpace::Shared,
+                global_base,
+                MemorySpace::Global,
+            )
         };
         ops.push(CInstr::Mem(CMemRef {
             array,

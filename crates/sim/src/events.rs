@@ -200,8 +200,13 @@ mod tests {
     fn named_exports_every_table1_event() {
         let e = EventSet::default();
         let names: Vec<&str> = e.named().iter().map(|(n, _)| *n).collect();
-        for required in ["issue_slots", "inst_issued", "inst_integer", "ldst_issue", "L2_transactions"]
-        {
+        for required in [
+            "issue_slots",
+            "inst_issued",
+            "inst_integer",
+            "ldst_issue",
+            "L2_transactions",
+        ] {
             assert!(names.contains(&required), "missing {required}");
         }
         // No duplicate names.

@@ -50,7 +50,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { record_dram_arrivals: false, max_cycles: 1 << 34 }
+        SimOptions {
+            record_dram_arrivals: false,
+            max_cycles: 1 << 34,
+        }
     }
 }
 
@@ -221,7 +224,10 @@ impl<'t> Machine<'t> {
         let warps = &self.block_warps[block_id];
         let sm = &mut self.sms[sm_id];
         let slot = sm.blocks.len();
-        sm.blocks.push(BlockCtx { alive: warps.len() as u32, arrived: 0 });
+        sm.blocks.push(BlockCtx {
+            alive: warps.len() as u32,
+            arrived: 0,
+        });
         for w in warps {
             let prologue = shared_init_prologue(self.trace, w.block, w.warp, self.cfg);
             let epilogue = shared_writeback_epilogue(self.trace, w.block, w.warp, self.cfg);
@@ -260,13 +266,7 @@ impl<'t> Machine<'t> {
 
         let mut finish: u64 = 0;
         loop {
-            let Some(now) = self
-                .sms
-                .iter()
-                .filter(|s| s.live > 0)
-                .map(|s| s.wake)
-                .min()
-            else {
+            let Some(now) = self.sms.iter().filter(|s| s.live > 0).map(|s| s.wake).min() else {
                 break;
             };
             if now > self.opts.max_cycles {
@@ -296,8 +296,7 @@ impl<'t> Machine<'t> {
         self.events.row_buffer_hits = h;
         self.events.row_buffer_misses = m;
         self.events.row_buffer_conflicts = c;
-        self.events.dram_total_latency =
-            d.banks.iter().map(|b| b.total_latency).sum();
+        self.events.dram_total_latency = d.banks.iter().map(|b| b.total_latency).sum();
         self.events.dram_total_queuing = d.banks.iter().map(|b| b.total_queuing).sum();
         self.events.l2_transactions = self.l2.transactions();
         self.events.l2_misses = self.l2.misses();
@@ -462,10 +461,18 @@ impl<'t> Machine<'t> {
             w.sub = 0;
         }
         w.next_ready = now + gap;
-        IssueOutcome::Issued { double_width: double }
+        IssueOutcome::Issued {
+            double_width: double,
+        }
     }
 
-    fn issue_addr_calc(&mut self, sm_id: usize, wi: usize, now: u64, expanded: u32) -> IssueOutcome {
+    fn issue_addr_calc(
+        &mut self,
+        sm_id: usize,
+        wi: usize,
+        now: u64,
+        expanded: u32,
+    ) -> IssueOutcome {
         self.events.inst_issued += 1;
         self.events.issue_slots += 1;
         self.events.inst_executed += 1;
@@ -478,7 +485,9 @@ impl<'t> Machine<'t> {
             w.sub = 0;
         }
         w.next_ready = now + gap;
-        IssueOutcome::Issued { double_width: false }
+        IssueOutcome::Issued {
+            double_width: false,
+        }
     }
 
     fn issue_sync(&mut self, sm_id: usize, wi: usize, now: u64) -> IssueOutcome {
@@ -503,7 +512,9 @@ impl<'t> Machine<'t> {
                 }
             }
         }
-        IssueOutcome::Issued { double_width: false }
+        IssueOutcome::Issued {
+            double_width: false,
+        }
     }
 
     /// Per-warp issue gap after an arithmetic instruction: the pipeline
@@ -529,14 +540,18 @@ impl<'t> Machine<'t> {
                     w.replays_left = 0;
                 }
                 w.next_ready = now + 1;
-                return IssueOutcome::Issued { double_width: false };
+                return IssueOutcome::Issued {
+                    double_width: false,
+                };
             }
         }
         // First slot: perform the access. Clone the lane addresses out to
         // appease the borrow checker (32 words, cheap).
         let instr = {
             let w = &self.sms[sm_id].warps[wi];
-            w.at(w.pc).expect("pc points at a memory instruction").clone()
+            w.at(w.pc)
+                .expect("pc points at a memory instruction")
+                .clone()
         };
         let (replays_and_completion, is_load) = match &instr {
             CInstr::Mem(m) => (None, !m.is_store),
@@ -546,8 +561,7 @@ impl<'t> Machine<'t> {
         let _ = replays_and_completion;
         // LSU capacity: a full load queue stalls the warp.
         if is_load
-            && self.sms[sm_id].warps[wi].pending.len()
-                >= self.cfg.max_pending_per_warp as usize
+            && self.sms[sm_id].warps[wi].pending.len() >= self.cfg.max_pending_per_warp as usize
         {
             return IssueOutcome::Nothing;
         }
@@ -581,7 +595,9 @@ impl<'t> Machine<'t> {
             w.pc += 1;
         }
         w.next_ready = now + 1;
-        IssueOutcome::Issued { double_width: false }
+        IssueOutcome::Issued {
+            double_width: false,
+        }
     }
 
     /// Execute the memory semantics of one warp access; returns
@@ -635,7 +651,11 @@ impl<'t> Machine<'t> {
                 (0, completion)
             }
             MemorySpace::Global => {
-                let co = coalesce(lane_addrs.iter().copied(), u64::from(m.elem_bytes), self.cfg.transaction_bytes);
+                let co = coalesce(
+                    lane_addrs.iter().copied(),
+                    u64::from(m.elem_bytes),
+                    self.cfg.transaction_bytes,
+                );
                 if m.is_store {
                     self.events.global_st_requests += 1;
                 } else {
@@ -776,14 +796,32 @@ mod tests {
                     warp: 0,
                     ops: vec![
                         SymOp::IntAlu(2), // thread-id computation
-                        SymOp::AddrCalc { array: ArrayId(0), count: 1 },
-                        SymOp::Access(MemRef::load_lin(ArrayId(0), (0..32).map(|l| u64::from(b) * 32 + l))),
-                        SymOp::AddrCalc { array: ArrayId(1), count: 1 },
-                        SymOp::Access(MemRef::load_lin(ArrayId(1), (0..32).map(|l| u64::from(b) * 32 + l))),
+                        SymOp::AddrCalc {
+                            array: ArrayId(0),
+                            count: 1,
+                        },
+                        SymOp::Access(MemRef::load_lin(
+                            ArrayId(0),
+                            (0..32).map(|l| u64::from(b) * 32 + l),
+                        )),
+                        SymOp::AddrCalc {
+                            array: ArrayId(1),
+                            count: 1,
+                        },
+                        SymOp::Access(MemRef::load_lin(
+                            ArrayId(1),
+                            (0..32).map(|l| u64::from(b) * 32 + l),
+                        )),
                         SymOp::WaitLoads,
                         SymOp::FpAlu(1),
-                        SymOp::AddrCalc { array: ArrayId(2), count: 1 },
-                        SymOp::Access(MemRef::store_lin(ArrayId(2), (0..32).map(|l| u64::from(b) * 32 + l))),
+                        SymOp::AddrCalc {
+                            array: ArrayId(2),
+                            count: 1,
+                        },
+                        SymOp::Access(MemRef::store_lin(
+                            ArrayId(2),
+                            (0..32).map(|l| u64::from(b) * 32 + l),
+                        )),
                     ],
                 })
                 .collect(),
@@ -864,7 +902,10 @@ mod tests {
                     ops: (0..16)
                         .flat_map(|i| {
                             vec![
-                                SymOp::AddrCalc { array: ArrayId(0), count: 1 },
+                                SymOp::AddrCalc {
+                                    array: ArrayId(0),
+                                    count: 1,
+                                },
                                 SymOp::Access(MemRef::load(
                                     ArrayId(0),
                                     vec![Some(ElemIdx::Lin(i)); 32],
@@ -878,7 +919,11 @@ mod tests {
                 .collect(),
         };
         let g = run(&kt, &kt.default_placement());
-        let c = run(&kt, &kt.default_placement().with(ArrayId(0), MemorySpace::Constant));
+        let c = run(
+            &kt,
+            &kt.default_placement()
+                .with(ArrayId(0), MemorySpace::Constant),
+        );
         assert!(c.events.const_requests > 0);
         assert_eq!(c.events.replay_const_divergence, 0);
         // Uniform broadcast reads should finish no slower from constant
@@ -902,7 +947,10 @@ mod tests {
                         .flat_map(|r| {
                             let base = (r * 64 + (i % 2) as u64 * 32) % 992;
                             vec![
-                                SymOp::AddrCalc { array: ArrayId(0), count: 1 },
+                                SymOp::AddrCalc {
+                                    array: ArrayId(0),
+                                    count: 1,
+                                },
                                 SymOp::Access(MemRef::load_lin(ArrayId(0), base..base + 32)),
                                 SymOp::WaitLoads,
                                 SymOp::FpAlu(2),
@@ -912,7 +960,10 @@ mod tests {
                 })
                 .collect(),
         };
-        let s = run(&kt, &kt.default_placement().with(ArrayId(0), MemorySpace::Shared));
+        let s = run(
+            &kt,
+            &kt.default_placement().with(ArrayId(0), MemorySpace::Shared),
+        );
         assert!(s.events.shared_ld_requests > 0);
         // Staging happened: global loads + shared stores + a barrier.
         assert!(s.events.global_ld_requests > 0);
@@ -960,7 +1011,11 @@ mod tests {
             name: "dp".into(),
             arrays: vec![ArrayDef::new_1d(0, "x", DType::F64, 32, false)],
             geometry: Geometry::new(1, 32),
-            warps: vec![WarpTrace { block: 0, warp: 0, ops: vec![SymOp::Fp64(10)] }],
+            warps: vec![WarpTrace {
+                block: 0,
+                warp: 0,
+                ops: vec![SymOp::Fp64(10)],
+            }],
         };
         let r = run(&kt, &kt.default_placement());
         assert_eq!(r.events.inst_fp64, 10);

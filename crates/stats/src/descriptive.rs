@@ -29,7 +29,13 @@ impl Summary {
             min = min.min(x);
             max = max.max(x);
         }
-        Some(Summary { n, mean, std_dev: var.sqrt(), min, max })
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
     }
 
     /// Coefficient of variation `sigma / mu`.
@@ -72,7 +78,13 @@ pub fn summary_of_u64(xs: &[u64]) -> Option<Summary> {
         })
         .sum::<f64>()
         / n;
-    Some(Summary { n: xs.len(), mean, std_dev: var.sqrt(), min, max })
+    Some(Summary {
+        n: xs.len(),
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    })
 }
 
 #[cfg(test)]

@@ -68,7 +68,12 @@ impl Histogram {
                 overflow += 1;
             }
         }
-        Histogram { bin_width, counts, total: xs.len() as u64, overflow }
+        Histogram {
+            bin_width,
+            counts,
+            total: xs.len() as u64,
+            overflow,
+        }
     }
 
     /// Fraction of samples in bin `i`.

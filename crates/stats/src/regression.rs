@@ -99,14 +99,20 @@ impl OlsFit {
                     }
                 }
             }
-            let scale = (0..d).map(|i| a2[i * p + i]).fold(0.0f64, f64::max).max(1.0);
+            let scale = (0..d)
+                .map(|i| a2[i * p + i])
+                .fold(0.0f64, f64::max)
+                .max(1.0);
             for i in 0..d {
                 a2[i * p + i] += 1e-6 * scale;
             }
             solve_linear(&mut a2, &mut v2, p)
         })?;
 
-        let model = LinearModel { weights: coeffs[..d].to_vec(), intercept: coeffs[d] };
+        let model = LinearModel {
+            weights: coeffs[..d].to_vec(),
+            intercept: coeffs[d],
+        };
 
         // Diagnostics.
         let y_mean = ys.iter().sum::<f64>() / n as f64;
@@ -117,8 +123,16 @@ impl OlsFit {
             ss_res += e * e;
             ss_tot += (y - y_mean) * (y - y_mean);
         }
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-        Ok(OlsFit { model, r_squared, rmse: (ss_res / n as f64).sqrt() })
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(OlsFit {
+            model,
+            r_squared,
+            rmse: (ss_res / n as f64).sqrt(),
+        })
     }
 }
 
@@ -201,9 +215,8 @@ pub fn stepwise_fit_seeded(
     distinct_groups.sort_unstable();
     distinct_groups.dedup();
 
-    let project = |cols: &[usize], row: &[f64]| -> Vec<f64> {
-        cols.iter().map(|&c| row[c]).collect()
-    };
+    let project =
+        |cols: &[usize], row: &[f64]| -> Vec<f64> { cols.iter().map(|&c| row[c]).collect() };
     // Leave-one-group-out MSE of an OLS fit restricted to `cols`.
     let loo = |cols: &[usize]| -> Option<f64> {
         let mut se = 0.0;
@@ -239,9 +252,8 @@ pub fn stepwise_fit_seeded(
     // noise and anti-generalize.
     const MIN_IMPROVEMENT: f64 = 0.90;
     let mut selected: Vec<usize> = seed.to_vec();
-    let mut best_mse = loo(&selected).ok_or_else(|| {
-        HmsError::Numerical("seeded stepwise fit failed".into())
-    })?;
+    let mut best_mse =
+        loo(&selected).ok_or_else(|| HmsError::Numerical("seeded stepwise fit failed".into()))?;
     while selected.len() < max_features {
         let mut best_candidate: Option<(usize, f64)> = None;
         for &c in candidates {
@@ -252,9 +264,7 @@ pub fn stepwise_fit_seeded(
             let mut cols = selected.clone();
             cols.push(c);
             if let Some(mse) = loo(&cols) {
-                if mse < best_mse * MIN_IMPROVEMENT
-                    && best_candidate.is_none_or(|(_, m)| mse < m)
-                {
+                if mse < best_mse * MIN_IMPROVEMENT && best_candidate.is_none_or(|(_, m)| mse < m) {
                     best_candidate = Some((c, mse));
                 }
             }
@@ -276,7 +286,10 @@ pub fn stepwise_fit_seeded(
         weights[c] = fit.model.weights[i];
     }
     Ok(OlsFit {
-        model: LinearModel { weights, intercept: fit.model.intercept },
+        model: LinearModel {
+            weights,
+            intercept: fit.model.intercept,
+        },
         r_squared: fit.r_squared,
         rmse: fit.rmse,
     })

@@ -4,8 +4,7 @@
 //! prediction errors it reports: the evaluation suite has 14 points, so
 //! the headline averages deserve intervals.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Linear-interpolated percentile of a sample, `q` in `[0, 1]`.
 ///
@@ -47,9 +46,13 @@ pub fn bootstrap_mean_ci(xs: &[f64], level: f64, resamples: u32, seed: u64) -> O
     let n = xs.len();
     let point = xs.iter().sum::<f64>() / n as f64;
     if n == 1 {
-        return Some(Interval { lo: point, hi: point, point });
+        return Some(Interval {
+            lo: point,
+            hi: point,
+            point,
+        });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut means = Vec::with_capacity(resamples as usize);
     for _ in 0..resamples {
         let mut acc = 0.0;

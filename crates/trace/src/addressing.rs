@@ -83,8 +83,14 @@ mod tests {
     #[test]
     fn type_does_not_change_counts() {
         for s in MemorySpace::ALL {
-            assert_eq!(addr_calc_instrs(s, DType::F32), addr_calc_instrs(s, DType::F64));
-            assert_eq!(addr_calc_instrs(s, DType::I32), addr_calc_instrs(s, DType::I64));
+            assert_eq!(
+                addr_calc_instrs(s, DType::F32),
+                addr_calc_instrs(s, DType::F64)
+            );
+            assert_eq!(
+                addr_calc_instrs(s, DType::I32),
+                addr_calc_instrs(s, DType::I64)
+            );
         }
     }
 }

@@ -130,7 +130,9 @@ mod tests {
         vec![
             ArrayDef::new_1d(0, "a", DType::F32, 100, false), // 400 B
             ArrayDef::new_1d(1, "b", DType::F64, 33, false),  // 264 B
-            ArrayDef::new_1d(2, "tile", DType::F32, 64, true).scratch().per_block(),
+            ArrayDef::new_1d(2, "tile", DType::F32, 64, true)
+                .scratch()
+                .per_block(),
         ]
     }
 

@@ -50,16 +50,25 @@ impl CMemRef {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CInstr {
     /// A run of `count` arithmetic instructions of one kind.
-    Alu { kind: AluKind, count: u16 },
+    Alu {
+        kind: AluKind,
+        count: u16,
+    },
     /// Placement-dependent addressing arithmetic for `count` references
     /// to `array` (expand with `addr_calc_instrs(space, dtype) * count`).
-    AddrCalc { array: ArrayId, count: u16 },
+    AddrCalc {
+        array: ArrayId,
+        count: u16,
+    },
     Mem(CMemRef),
     /// A local-memory access: each active lane touches a 4-byte slot of
     /// its private local space. Addresses are resolved by the consumer
     /// (simulator) from the thread id, since local memory is
     /// placement-independent.
-    Local { is_store: bool, slots: Vec<u32> },
+    Local {
+        is_store: bool,
+        slots: Vec<u32>,
+    },
     WaitLoads,
     SyncThreads,
 }
@@ -151,18 +160,32 @@ pub fn materialize(
         let mut instrs = Vec::with_capacity(w.ops.len());
         for op in &w.ops {
             match op {
-                SymOp::IntAlu(n) => instrs.push(CInstr::Alu { kind: AluKind::Int, count: *n }),
-                SymOp::FpAlu(n) => instrs.push(CInstr::Alu { kind: AluKind::Fp32, count: *n }),
-                SymOp::Fp64(n) => instrs.push(CInstr::Alu { kind: AluKind::Fp64, count: *n }),
-                SymOp::Sfu(n) => instrs.push(CInstr::Alu { kind: AluKind::Sfu, count: *n }),
-                SymOp::AddrCalc { array, count } => {
-                    instrs.push(CInstr::AddrCalc { array: *array, count: *count })
-                }
+                SymOp::IntAlu(n) => instrs.push(CInstr::Alu {
+                    kind: AluKind::Int,
+                    count: *n,
+                }),
+                SymOp::FpAlu(n) => instrs.push(CInstr::Alu {
+                    kind: AluKind::Fp32,
+                    count: *n,
+                }),
+                SymOp::Fp64(n) => instrs.push(CInstr::Alu {
+                    kind: AluKind::Fp64,
+                    count: *n,
+                }),
+                SymOp::Sfu(n) => instrs.push(CInstr::Alu {
+                    kind: AluKind::Sfu,
+                    count: *n,
+                }),
+                SymOp::AddrCalc { array, count } => instrs.push(CInstr::AddrCalc {
+                    array: *array,
+                    count: *count,
+                }),
                 SymOp::WaitLoads => instrs.push(CInstr::WaitLoads),
                 SymOp::SyncThreads => instrs.push(CInstr::SyncThreads),
-                SymOp::Local { is_store, slots } => {
-                    instrs.push(CInstr::Local { is_store: *is_store, slots: slots.clone() })
-                }
+                SymOp::Local { is_store, slots } => instrs.push(CInstr::Local {
+                    is_store: *is_store,
+                    slots: slots.clone(),
+                }),
                 SymOp::Access(m) => {
                     let array = &kernel.arrays[m.array.index()];
                     let space = placement.space(m.array);
@@ -182,7 +205,11 @@ pub fn materialize(
                 }
             }
         }
-        warps.push(ConcreteWarp { block: w.block, warp: w.warp, instrs });
+        warps.push(ConcreteWarp {
+            block: w.block,
+            warp: w.warp,
+            instrs,
+        });
     }
     Ok(ConcreteTrace {
         name: kernel.name.clone(),
@@ -213,7 +240,10 @@ mod tests {
                     block: b,
                     warp: 0,
                     ops: vec![
-                        SymOp::AddrCalc { array: ArrayId(0), count: 1 },
+                        SymOp::AddrCalc {
+                            array: ArrayId(0),
+                            count: 1,
+                        },
                         SymOp::Access(MemRef::load_lin(ArrayId(0), 0..32)),
                         SymOp::WaitLoads,
                         SymOp::FpAlu(1),
@@ -228,7 +258,9 @@ mod tests {
         let kt = kernel();
         let cfg = GpuConfig::tesla_k80();
         let ct = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
-        let CInstr::Mem(m) = &ct.warps[0].instrs[1] else { panic!("expected mem") };
+        let CInstr::Mem(m) = &ct.warps[0].instrs[1] else {
+            panic!("expected mem")
+        };
         assert_eq!(m.space, MemorySpace::Global);
         let base = ct.alloc.base(ArrayId(0), 0, &ct.placement);
         let addrs: Vec<u64> = m.active_addrs().collect();
@@ -243,13 +275,21 @@ mod tests {
         let cfg = GpuConfig::tesla_k80();
         let g = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
         assert_eq!(g.addr_calc_expansion(ArrayId(0), 1), 2);
-        let t =
-            materialize(&kt, &kt.default_placement().with(ArrayId(0), MemorySpace::Texture1D), &cfg)
-                .unwrap();
+        let t = materialize(
+            &kt,
+            &kt.default_placement()
+                .with(ArrayId(0), MemorySpace::Texture1D),
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(t.addr_calc_expansion(ArrayId(0), 1), 0);
-        let c =
-            materialize(&kt, &kt.default_placement().with(ArrayId(0), MemorySpace::Constant), &cfg)
-                .unwrap();
+        let c = materialize(
+            &kt,
+            &kt.default_placement()
+                .with(ArrayId(0), MemorySpace::Constant),
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(c.addr_calc_expansion(ArrayId(0), 1), 1);
     }
 
@@ -257,12 +297,18 @@ mod tests {
     fn texture2d_placement_tiles_addresses() {
         let mut kt = kernel();
         // Access row 1 of the image: elements (0..32, y=1) linearized.
-        kt.warps[0].ops[1] =
-            SymOp::Access(MemRef::load(ArrayId(1), (0..16).map(|x| Some(ElemIdx::XY(x, 1))).collect()));
+        kt.warps[0].ops[1] = SymOp::Access(MemRef::load(
+            ArrayId(1),
+            (0..16).map(|x| Some(ElemIdx::XY(x, 1))).collect(),
+        ));
         let cfg = GpuConfig::tesla_k80();
-        let pm = kt.default_placement().with(ArrayId(1), MemorySpace::Texture2D);
+        let pm = kt
+            .default_placement()
+            .with(ArrayId(1), MemorySpace::Texture2D);
         let ct = materialize(&kt, &pm, &cfg).unwrap();
-        let CInstr::Mem(m) = &ct.warps[0].instrs[1] else { panic!() };
+        let CInstr::Mem(m) = &ct.warps[0].instrs[1] else {
+            panic!()
+        };
         assert_eq!(m.space, MemorySpace::Texture2D);
         let base = ct.alloc.base(ArrayId(1), 0, &pm);
         let addrs: Vec<u64> = m.active_addrs().collect();
@@ -279,7 +325,9 @@ mod tests {
         let pm = kt.default_placement().with(ArrayId(0), MemorySpace::Shared);
         let ct = materialize(&kt, &pm, &cfg).unwrap();
         for w in &ct.warps {
-            let CInstr::Mem(m) = &w.instrs[1] else { panic!() };
+            let CInstr::Mem(m) = &w.instrs[1] else {
+                panic!()
+            };
             assert_eq!(m.space, MemorySpace::Shared);
             // Both blocks see the same (block-local) offsets.
             assert_eq!(m.active_addrs().next().unwrap(), 0);
@@ -291,7 +339,9 @@ mod tests {
         let kt = kernel();
         let cfg = GpuConfig::tesla_k80();
         // 1-D array into 2-D texture.
-        let pm = kt.default_placement().with(ArrayId(0), MemorySpace::Texture2D);
+        let pm = kt
+            .default_placement()
+            .with(ArrayId(0), MemorySpace::Texture2D);
         assert!(materialize(&kt, &pm, &cfg).is_err());
     }
 
@@ -303,7 +353,9 @@ mod tests {
         kt.warps[0].ops[1] = SymOp::Access(MemRef::load(ArrayId(0), idx));
         let cfg = GpuConfig::tesla_k80();
         let ct = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
-        let CInstr::Mem(m) = &ct.warps[0].instrs[1] else { panic!() };
+        let CInstr::Mem(m) = &ct.warps[0].instrs[1] else {
+            panic!()
+        };
         assert_eq!(m.addrs.iter().filter(|a| a.is_some()).count(), 16);
     }
 }

@@ -49,21 +49,35 @@ pub struct MemRef {
 
 impl MemRef {
     pub fn load(array: ArrayId, idx: Vec<Option<ElemIdx>>) -> Self {
-        MemRef { array, is_store: false, idx }
+        MemRef {
+            array,
+            is_store: false,
+            idx,
+        }
     }
 
     pub fn store(array: ArrayId, idx: Vec<Option<ElemIdx>>) -> Self {
-        MemRef { array, is_store: true, idx }
+        MemRef {
+            array,
+            is_store: true,
+            idx,
+        }
     }
 
     /// A fully-active load with linear indices.
     pub fn load_lin(array: ArrayId, idx: impl IntoIterator<Item = u64>) -> Self {
-        MemRef::load(array, idx.into_iter().map(|i| Some(ElemIdx::Lin(i))).collect())
+        MemRef::load(
+            array,
+            idx.into_iter().map(|i| Some(ElemIdx::Lin(i))).collect(),
+        )
     }
 
     /// A fully-active store with linear indices.
     pub fn store_lin(array: ArrayId, idx: impl IntoIterator<Item = u64>) -> Self {
-        MemRef::store(array, idx.into_iter().map(|i| Some(ElemIdx::Lin(i))).collect())
+        MemRef::store(
+            array,
+            idx.into_iter().map(|i| Some(ElemIdx::Lin(i))).collect(),
+        )
     }
 
     /// Number of active lanes.
@@ -177,7 +191,10 @@ mod tests {
     #[test]
     fn executed_instruction_counting() {
         let ops = vec![
-            SymOp::AddrCalc { array: ArrayId(0), count: 1 },
+            SymOp::AddrCalc {
+                array: ArrayId(0),
+                count: 1,
+            },
             SymOp::Access(MemRef::load_lin(ArrayId(0), 0..32)),
             SymOp::WaitLoads,
             SymOp::FpAlu(3),
@@ -194,7 +211,11 @@ mod tests {
             name: "t".into(),
             arrays: vec![ArrayDef::new_1d(0, "a", DType::F32, 8, false)],
             geometry: Geometry::new(1, 32),
-            warps: vec![WarpTrace { block: 0, warp: 0, ops: vec![SymOp::FpAlu(1)] }],
+            warps: vec![WarpTrace {
+                block: 0,
+                warp: 0,
+                ops: vec![SymOp::FpAlu(1)],
+            }],
         };
         assert_eq!(kt.default_placement().len(), 1);
         assert_eq!(kt.total_ops(), 1);

@@ -73,7 +73,11 @@ pub fn rewrite(
                 other => instrs.push(other.clone()),
             }
         }
-        warps.push(ConcreteWarp { block: w.block, warp: w.warp, instrs });
+        warps.push(ConcreteWarp {
+            block: w.block,
+            warp: w.warp,
+            instrs,
+        });
     }
     Ok(ConcreteTrace {
         name: sample.name.clone(),
@@ -106,15 +110,26 @@ mod tests {
                     block: i / 2,
                     warp: i % 2,
                     ops: vec![
-                        SymOp::AddrCalc { array: ArrayId(0), count: 1 },
-                        SymOp::Access(MemRef::load_lin(ArrayId(0), (0..32).map(|l| (i as u64 * 32 + l) % 256))),
+                        SymOp::AddrCalc {
+                            array: ArrayId(0),
+                            count: 1,
+                        },
+                        SymOp::Access(MemRef::load_lin(
+                            ArrayId(0),
+                            (0..32).map(|l| (i as u64 * 32 + l) % 256),
+                        )),
                         SymOp::Access(MemRef::load(
                             ArrayId(1),
-                            (0..32).map(|l| Some(ElemIdx::XY(l % 8, l / 8 + i as u64))).collect(),
+                            (0..32)
+                                .map(|l| Some(ElemIdx::XY(l % 8, l / 8 + i as u64)))
+                                .collect(),
                         )),
                         SymOp::WaitLoads,
                         SymOp::FpAlu(4),
-                        SymOp::Access(MemRef::store_lin(ArrayId(2), (0..32).map(|l| i as u64 * 32 + l))),
+                        SymOp::Access(MemRef::store_lin(
+                            ArrayId(2),
+                            (0..32).map(|l| i as u64 * 32 + l),
+                        )),
                     ],
                 })
                 .collect(),
@@ -127,12 +142,16 @@ mod tests {
     fn rewrite_equals_direct_materialization() {
         let kt = kernel();
         let cfg = GpuConfig::tesla_k80();
-        let sample_pm = kt.default_placement().with(ArrayId(1), MemorySpace::Texture2D);
+        let sample_pm = kt
+            .default_placement()
+            .with(ArrayId(1), MemorySpace::Texture2D);
         let sample = materialize(&kt, &sample_pm, &cfg).unwrap();
         let targets = [
             kt.default_placement(),
-            kt.default_placement().with(ArrayId(0), MemorySpace::Constant),
-            kt.default_placement().with(ArrayId(0), MemorySpace::Texture1D),
+            kt.default_placement()
+                .with(ArrayId(0), MemorySpace::Constant),
+            kt.default_placement()
+                .with(ArrayId(0), MemorySpace::Texture1D),
             kt.default_placement()
                 .with(ArrayId(0), MemorySpace::Shared)
                 .with(ArrayId(1), MemorySpace::Texture2D),
@@ -163,7 +182,9 @@ mod tests {
         let cfg = GpuConfig::tesla_k80();
         let sample = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
         // `out` is written: texture placement is illegal.
-        let bad = kt.default_placement().with(ArrayId(2), MemorySpace::Texture1D);
+        let bad = kt
+            .default_placement()
+            .with(ArrayId(2), MemorySpace::Texture1D);
         assert!(rewrite(&sample, &bad, &cfg).is_err());
     }
 }

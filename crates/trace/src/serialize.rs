@@ -24,7 +24,9 @@
 
 use std::fmt::Write as _;
 
-use hms_types::{ArrayDef, ArrayId, DType, Dims, Geometry, GpuConfig, HmsError, MemorySpace, PlacementMap};
+use hms_types::{
+    ArrayDef, ArrayId, DType, Dims, Geometry, GpuConfig, HmsError, MemorySpace, PlacementMap,
+};
 
 use crate::alloc::AddressAllocator;
 use crate::concrete::{AluKind, CInstr, CMemRef, ConcreteTrace, ConcreteWarp};
@@ -75,7 +77,11 @@ pub fn dump(trace: &ConcreteTrace) -> String {
     let _ = writeln!(out, "# gpu-hms trace v1");
     let _ = writeln!(out, "kernel {}", trace.name.replace(' ', "_"));
     let g = trace.geometry;
-    let _ = writeln!(out, "geometry {} {} {}", g.grid_blocks, g.block_threads, g.warp_size);
+    let _ = writeln!(
+        out,
+        "geometry {} {} {}",
+        g.grid_blocks, g.block_threads, g.warp_size
+    );
     for a in &trace.arrays {
         let (shape, extents) = match a.dims {
             Dims::D1 { len } => ("d1", format!("{len}")),
@@ -148,9 +154,8 @@ pub fn dump(trace: &ConcreteTrace) -> String {
 /// `cfg` is needed to rebuild the address allocator (it is derived state,
 /// not serialized).
 pub fn load(text: &str, cfg: &GpuConfig) -> Result<ConcreteTrace, HmsError> {
-    let bad = |line: usize, msg: &str| {
-        HmsError::InvalidInput(format!("trace line {}: {msg}", line + 1))
-    };
+    let bad =
+        |line: usize, msg: &str| HmsError::InvalidInput(format!("trace line {}: {msg}", line + 1));
     let mut name = String::new();
     let mut geometry: Option<Geometry> = None;
     let mut arrays: Vec<ArrayDef> = Vec::new();
@@ -167,7 +172,12 @@ pub fn load(text: &str, cfg: &GpuConfig) -> Result<ConcreteTrace, HmsError> {
         let head = tok.next().expect("non-empty line");
         let rest: Vec<&str> = tok.collect();
         match head {
-            "kernel" => name = rest.first().ok_or_else(|| bad(ln, "kernel needs a name"))?.to_string(),
+            "kernel" => {
+                name = rest
+                    .first()
+                    .ok_or_else(|| bad(ln, "kernel needs a name"))?
+                    .to_string()
+            }
             "geometry" => {
                 if rest.len() != 3 {
                     return Err(bad(ln, "geometry needs 3 fields"));
@@ -237,21 +247,32 @@ pub fn load(text: &str, cfg: &GpuConfig) -> Result<ConcreteTrace, HmsError> {
                 warps.push(current.take().ok_or_else(|| bad(ln, "end without warp"))?);
             }
             "alu" | "addr" | "wait" | "sync" | "mem" | "local" => {
-                let w = current.as_mut().ok_or_else(|| bad(ln, "instruction outside warp"))?;
+                let w = current
+                    .as_mut()
+                    .ok_or_else(|| bad(ln, "instruction outside warp"))?;
                 match head {
                     "alu" => {
                         let kind = alu_parse(rest.first().copied().unwrap_or(""))
                             .ok_or_else(|| bad(ln, "bad alu kind"))?;
-                        let count =
-                            rest.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| bad(ln, "bad count"))?;
+                        let count = rest
+                            .get(1)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| bad(ln, "bad count"))?;
                         w.instrs.push(CInstr::Alu { kind, count });
                     }
                     "addr" => {
-                        let array: u32 =
-                            rest.first().and_then(|s| s.parse().ok()).ok_or_else(|| bad(ln, "bad array"))?;
-                        let count =
-                            rest.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| bad(ln, "bad count"))?;
-                        w.instrs.push(CInstr::AddrCalc { array: ArrayId(array), count });
+                        let array: u32 = rest
+                            .first()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| bad(ln, "bad array"))?;
+                        let count = rest
+                            .get(1)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| bad(ln, "bad count"))?;
+                        w.instrs.push(CInstr::AddrCalc {
+                            array: ArrayId(array),
+                            count,
+                        });
                     }
                     "wait" => w.instrs.push(CInstr::WaitLoads),
                     "sync" => w.instrs.push(CInstr::SyncThreads),
@@ -273,8 +294,8 @@ pub fn load(text: &str, cfg: &GpuConfig) -> Result<ConcreteTrace, HmsError> {
                             return Err(bad(ln, "mem needs array/space/dir/esize"));
                         }
                         let array: u32 = rest[0].parse().map_err(|_| bad(ln, "bad array"))?;
-                        let space = MemorySpace::from_short(rest[1])
-                            .ok_or_else(|| bad(ln, "bad space"))?;
+                        let space =
+                            MemorySpace::from_short(rest[1]).ok_or_else(|| bad(ln, "bad space"))?;
                         let is_store = match rest[2] {
                             "st" => true,
                             "ld" => false,
@@ -293,8 +314,7 @@ pub fn load(text: &str, cfg: &GpuConfig) -> Result<ConcreteTrace, HmsError> {
                             if lane >= warp_size {
                                 return Err(bad(ln, "lane out of range"));
                             }
-                            addrs[lane] =
-                                Some(addr.parse().map_err(|_| bad(ln, "bad address"))?);
+                            addrs[lane] = Some(addr.parse().map_err(|_| bad(ln, "bad address"))?);
                         }
                         w.instrs.push(CInstr::Mem(CMemRef {
                             array: ArrayId(array),
@@ -314,14 +334,22 @@ pub fn load(text: &str, cfg: &GpuConfig) -> Result<ConcreteTrace, HmsError> {
         return Err(HmsError::InvalidInput("trace ends inside a warp".into()));
     }
     let geometry = geometry.ok_or_else(|| HmsError::InvalidInput("missing geometry".into()))?;
-    let placement =
-        placement.ok_or_else(|| HmsError::InvalidInput("missing placement".into()))?;
+    let placement = placement.ok_or_else(|| HmsError::InvalidInput("missing placement".into()))?;
     if placement.len() != arrays.len() {
-        return Err(HmsError::InvalidInput("placement/array count mismatch".into()));
+        return Err(HmsError::InvalidInput(
+            "placement/array count mismatch".into(),
+        ));
     }
     let _ = cfg;
     let alloc = AddressAllocator::new(&arrays, &placement, geometry.grid_blocks);
-    Ok(ConcreteTrace { name, arrays, geometry, placement, alloc, warps })
+    Ok(ConcreteTrace {
+        name,
+        arrays,
+        geometry,
+        placement,
+        alloc,
+        warps,
+    })
 }
 
 #[cfg(test)]
@@ -336,7 +364,9 @@ mod tests {
             arrays: vec![
                 ArrayDef::new_1d(0, "a", DType::F32, 128, false),
                 ArrayDef::new_2d(1, "img", DType::F64, 16, 8, false),
-                ArrayDef::new_1d(2, "tile", DType::F32, 64, true).scratch().per_block(),
+                ArrayDef::new_1d(2, "tile", DType::F32, 64, true)
+                    .scratch()
+                    .per_block(),
             ],
             geometry: Geometry::new(2, 64),
             warps: (0..4)
@@ -345,7 +375,10 @@ mod tests {
                     warp: i % 2,
                     ops: vec![
                         SymOp::IntAlu(2),
-                        SymOp::AddrCalc { array: ArrayId(0), count: 1 },
+                        SymOp::AddrCalc {
+                            array: ArrayId(0),
+                            count: 1,
+                        },
                         SymOp::Access(MemRef::load(
                             ArrayId(0),
                             (0..32)
@@ -388,8 +421,8 @@ mod tests {
     fn load_rejects_malformed_input() {
         let cfg = GpuConfig::tesla_k80();
         for bad in [
-            "geometry 1 32",                          // wrong arity
-            "kernel k\nwarp 0 0\nalu int 1",          // unterminated warp
+            "geometry 1 32",                           // wrong arity
+            "kernel k\nwarp 0 0\nalu int 1",           // unterminated warp
             "kernel k\ngeometry 1 32 32\nplacement X", // bad space
             "garbage line",
         ] {

@@ -80,7 +80,14 @@ impl ArrayDef {
         }
     }
 
-    pub fn new_2d(id: u32, name: &str, dtype: DType, width: u64, height: u64, written: bool) -> Self {
+    pub fn new_2d(
+        id: u32,
+        name: &str,
+        dtype: DType,
+        width: u64,
+        height: u64,
+        written: bool,
+    ) -> Self {
         ArrayDef {
             id: ArrayId(id),
             name: name.to_owned(),

@@ -18,7 +18,11 @@ pub struct CacheGeometry {
 
 impl CacheGeometry {
     pub const fn new(size_bytes: u64, line_bytes: u64, ways: u32) -> Self {
-        CacheGeometry { size_bytes, line_bytes, ways }
+        CacheGeometry {
+            size_bytes,
+            line_bytes,
+            ways,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -294,9 +298,7 @@ mod tests {
         assert!(fermi.l2_cache.size_bytes < kepler.l2_cache.size_bytes);
         // Same absolute DRAM timings, different clock -> more cycles.
         assert!(fermi.dram.hit_cycles > kepler.dram.hit_cycles);
-        assert!(
-            (fermi.cycles_to_ns(fermi.dram.hit_cycles as f64) - 352.0).abs() < 1.0
-        );
+        assert!((fermi.cycles_to_ns(fermi.dram.hit_cycles as f64) - 352.0).abs() < 1.0);
     }
 
     #[test]

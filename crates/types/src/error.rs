@@ -13,7 +13,11 @@ pub enum HmsError {
     /// A written array was placed in a read-only memory space.
     ReadOnlyPlacement { array: String, space: MemorySpace },
     /// The combined footprint in a space exceeds its capacity.
-    CapacityExceeded { space: MemorySpace, used: u64, capacity: u64 },
+    CapacityExceeded {
+        space: MemorySpace,
+        used: u64,
+        capacity: u64,
+    },
     /// A 1-D array was bound to a 2-D texture.
     Texture2DNeeds2D { array: String },
     /// The T_overlap regression was asked to predict before being fitted.
@@ -28,13 +32,26 @@ impl fmt::Display for HmsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HmsError::ArrayCountMismatch { expected, got } => {
-                write!(f, "placement covers {got} arrays, kernel declares {expected}")
+                write!(
+                    f,
+                    "placement covers {got} arrays, kernel declares {expected}"
+                )
             }
             HmsError::ReadOnlyPlacement { array, space } => {
-                write!(f, "array `{array}` is written but placed in read-only {space} memory")
+                write!(
+                    f,
+                    "array `{array}` is written but placed in read-only {space} memory"
+                )
             }
-            HmsError::CapacityExceeded { space, used, capacity } => {
-                write!(f, "{space} memory over capacity: {used} bytes used, {capacity} available")
+            HmsError::CapacityExceeded {
+                space,
+                used,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "{space} memory over capacity: {used} bytes used, {capacity} available"
+                )
             }
             HmsError::Texture2DNeeds2D { array } => {
                 write!(f, "array `{array}` is 1-D but placed in 2-D texture memory")

@@ -19,7 +19,11 @@ pub struct Geometry {
 impl Geometry {
     /// A geometry with the standard 32-thread warps.
     pub fn new(grid_blocks: u32, block_threads: u32) -> Self {
-        Geometry { grid_blocks, block_threads, warp_size: 32 }
+        Geometry {
+            grid_blocks,
+            block_threads,
+            warp_size: 32,
+        }
     }
 
     /// Warps per block, rounding a ragged tail up to a full (masked) warp.

@@ -72,8 +72,9 @@ mod tests {
     fn tex2d_tile_is_contiguous() {
         // All 64 elements of the first 8x8 tile occupy the first
         // 64*4 bytes, in some order.
-        let mut offsets: Vec<u64> =
-            (0..8).flat_map(|y| (0..8).map(move |x| tex2d_offset(x, y, 64, 4, 8))).collect();
+        let mut offsets: Vec<u64> = (0..8)
+            .flat_map(|y| (0..8).map(move |x| tex2d_offset(x, y, 64, 4, 8)))
+            .collect();
         offsets.sort_unstable();
         let expected: Vec<u64> = (0..64).map(|i| i * 4).collect();
         assert_eq!(offsets, expected);

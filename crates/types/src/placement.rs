@@ -26,7 +26,9 @@ impl PlacementMap {
     /// A placement map putting every one of `n` arrays in global memory —
     /// the conventional starting point of most CUDA code.
     pub fn all_global(n: usize) -> Self {
-        PlacementMap { spaces: vec![MemorySpace::Global; n] }
+        PlacementMap {
+            spaces: vec![MemorySpace::Global; n],
+        }
     }
 
     /// Build from an explicit per-array list (index = `ArrayId`).
@@ -53,7 +55,10 @@ impl PlacementMap {
 
     /// Iterate `(ArrayId, MemorySpace)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ArrayId, MemorySpace)> + '_ {
-        self.spaces.iter().enumerate().map(|(i, &s)| (ArrayId(i as u32), s))
+        self.spaces
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (ArrayId(i as u32), s))
     }
 
     /// Return a copy with `id` moved to `space` (the paper's single
@@ -66,11 +71,19 @@ impl PlacementMap {
 
     /// The arrays whose space differs between `self` (sample) and `target`.
     pub fn delta(&self, target: &PlacementMap) -> Vec<PlacementDelta> {
-        assert_eq!(self.len(), target.len(), "placement maps cover different kernels");
+        assert_eq!(
+            self.len(),
+            target.len(),
+            "placement maps cover different kernels"
+        );
         self.iter()
             .zip(target.iter())
             .filter(|((_, a), (_, b))| a != b)
-            .map(|((id, from), (_, to))| PlacementDelta { array: id, from, to })
+            .map(|((id, from), (_, to))| PlacementDelta {
+                array: id,
+                from,
+                to,
+            })
             .collect()
     }
 
@@ -84,22 +97,29 @@ impl PlacementMap {
     /// * `Texture2D` requires a 2-D array shape.
     pub fn validate(&self, arrays: &[ArrayDef], cfg: &GpuConfig) -> Result<(), HmsError> {
         if arrays.len() != self.len() {
-            return Err(HmsError::ArrayCountMismatch { expected: arrays.len(), got: self.len() });
+            return Err(HmsError::ArrayCountMismatch {
+                expected: arrays.len(),
+                got: self.len(),
+            });
         }
         let mut constant_bytes = 0u64;
         let mut shared_bytes = 0u64;
         for (id, space) in self.iter() {
             let a = &arrays[id.index()];
             if a.written && !space.is_writable() {
-                return Err(HmsError::ReadOnlyPlacement { array: a.name.clone(), space });
+                return Err(HmsError::ReadOnlyPlacement {
+                    array: a.name.clone(),
+                    space,
+                });
             }
             match space {
                 MemorySpace::Constant => constant_bytes += a.size_bytes(),
                 MemorySpace::Shared => shared_bytes += a.size_bytes(),
-                MemorySpace::Texture2D
-                    if !matches!(a.dims, Dims::D2 { .. }) => {
-                        return Err(HmsError::Texture2DNeeds2D { array: a.name.clone() });
-                    }
+                MemorySpace::Texture2D if !matches!(a.dims, Dims::D2 { .. }) => {
+                    return Err(HmsError::Texture2DNeeds2D {
+                        array: a.name.clone(),
+                    });
+                }
                 _ => {}
             }
         }
@@ -149,7 +169,13 @@ pub struct PlacementDelta {
 
 impl fmt::Display for PlacementDelta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{}({}->{})", self.array.0, self.from.short(), self.to.short())
+        write!(
+            f,
+            "#{}({}->{})",
+            self.array.0,
+            self.from.short(),
+            self.to.short()
+        )
     }
 }
 
@@ -178,7 +204,9 @@ mod tests {
     #[test]
     fn delta_lists_moved_arrays_only() {
         let p = PlacementMap::all_global(3);
-        let q = p.with(ArrayId(0), MemorySpace::Texture1D).with(ArrayId(2), MemorySpace::Shared);
+        let q = p
+            .with(ArrayId(0), MemorySpace::Texture1D)
+            .with(ArrayId(2), MemorySpace::Shared);
         let d = p.delta(&q);
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].array, ArrayId(0));
@@ -203,7 +231,10 @@ mod tests {
         let p = PlacementMap::from_spaces(vec![MemorySpace::Constant]);
         assert!(matches!(
             p.validate(&big, &cfg),
-            Err(HmsError::CapacityExceeded { space: MemorySpace::Constant, .. })
+            Err(HmsError::CapacityExceeded {
+                space: MemorySpace::Constant,
+                ..
+            })
         ));
     }
 

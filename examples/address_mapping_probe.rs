@@ -48,7 +48,10 @@ fn main() {
     // --- Use the detected mapping to craft two access patterns ---
     // Pattern A: walk the detected column bits -> stays in one row.
     let mut ctl = fresh(&cfg);
-    let col_bit = *cols.iter().find(|&&b| b >= 5).expect("a column bit above the byte offset");
+    let col_bit = *cols
+        .iter()
+        .find(|&&b| b >= 5)
+        .expect("a column bit above the byte offset");
     let mut t = 0;
     let mut total_a = 0u64;
     for i in 0..64u64 {

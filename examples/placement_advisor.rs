@@ -19,7 +19,9 @@ use hms_bench::{trained_predictor, Harness};
 use hms_types::ArrayId;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "neuralnet".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "neuralnet".into());
     let cfg = GpuConfig::tesla_k80();
     let Some(kernel) = by_name(&name, Scale::Full) else {
         eprintln!("unknown kernel `{name}`; available:");
@@ -46,11 +48,13 @@ fn main() {
         .collect();
     println!(
         "candidate arrays: {:?}",
-        candidates.iter().map(|id| kernel.arrays[id.index()].name.as_str()).collect::<Vec<_>>()
+        candidates
+            .iter()
+            .map(|id| kernel.arrays[id.index()].name.as_str())
+            .collect::<Vec<_>>()
     );
 
-    let placements =
-        enumerate_placements(&kernel.arrays, &sample, &candidates, &cfg, 1024);
+    let placements = enumerate_placements(&kernel.arrays, &sample, &candidates, &cfg, 1024);
     println!("legal placements in the search space: {}", placements.len());
 
     let ranked = rank_placements(&predictor, &profile, &placements).expect("predicts");
@@ -86,8 +90,16 @@ fn main() {
         let ct = materialize(&kernel, advised, &cfg).expect("valid");
         simulate_default(&ct, &cfg).expect("simulates").cycles
     };
-    println!("\nadvised:       {} -> {} cycles", advised.describe(&kernel.arrays), advised_measured);
-    println!("true optimum:  {} -> {} cycles", best_pm.describe(&kernel.arrays), best_measured);
+    println!(
+        "\nadvised:       {} -> {} cycles",
+        advised.describe(&kernel.arrays),
+        advised_measured
+    );
+    println!(
+        "true optimum:  {} -> {} cycles",
+        best_pm.describe(&kernel.arrays),
+        best_measured
+    );
     println!(
         "advice quality: {:.1}% of optimal",
         best_measured as f64 / advised_measured as f64 * 100.0

@@ -21,7 +21,12 @@ fn main() {
     let kernel = gpu_hms::kernels::vecadd::build(Scale::Full);
     let sample = kernel.default_placement();
 
-    println!("kernel: {} ({} arrays, {} warps)", kernel.name, kernel.arrays.len(), kernel.geometry.total_warps());
+    println!(
+        "kernel: {} ({} arrays, {} warps)",
+        kernel.name,
+        kernel.arrays.len(),
+        kernel.geometry.total_warps()
+    );
     println!("sample placement: {}\n", sample.describe(&kernel.arrays));
 
     // One profiled run of the sample placement — trace + events + time.
@@ -32,18 +37,19 @@ fn main() {
     );
 
     // Enumerate every legal placement of the two inputs and predict.
-    let candidates = enumerate_placements(
-        &kernel.arrays,
-        &sample,
-        &[ArrayId(0), ArrayId(1)],
-        &cfg,
-        64,
-    );
+    let candidates =
+        enumerate_placements(&kernel.arrays, &sample, &[ArrayId(0), ArrayId(1)], &cfg, 64);
     let predictor = Predictor::new(cfg.clone());
     let ranked = rank_placements(&predictor, &profile, &candidates).expect("predicts");
 
-    println!("{} candidate placements, ranked by predicted time:", ranked.len());
-    println!("{:<28} {:>12} {:>12} {:>8}", "placement", "predicted", "measured", "pred/meas");
+    println!(
+        "{} candidate placements, ranked by predicted time:",
+        ranked.len()
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "placement", "predicted", "measured", "pred/meas"
+    );
     for r in &ranked {
         // "Measure" by actually simulating, for comparison.
         let ct = materialize(&kernel, &r.placement, &cfg).expect("valid");

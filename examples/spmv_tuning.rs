@@ -25,23 +25,42 @@ use gpu_hms::stats::Summary;
 use hms_types::ArrayId;
 
 fn array_id(kernel: &KernelTrace, name: &str) -> ArrayId {
-    ArrayId(kernel.arrays.iter().position(|a| a.name == name).expect("array exists") as u32)
+    ArrayId(
+        kernel
+            .arrays
+            .iter()
+            .position(|a| a.name == name)
+            .expect("array exists") as u32,
+    )
 }
 
 fn main() {
     let cfg = GpuConfig::tesla_k80();
     let kernel = by_name("spmv", Scale::Full).expect("spmv registered");
     // SHOC's sample placement: the dense vector behind a texture.
-    let sample = kernel.default_placement().with(array_id(&kernel, "d_vec"), MemorySpace::Texture1D);
+    let sample = kernel
+        .default_placement()
+        .with(array_id(&kernel, "d_vec"), MemorySpace::Texture1D);
 
     // --- Figure 4 style burstiness check ---
     let ct = materialize(&kernel, &sample, &cfg).expect("valid");
-    let r = simulate(&ct, &cfg, &SimOptions { record_dram_arrivals: true, ..Default::default() })
-        .expect("simulates");
+    let r = simulate(
+        &ct,
+        &cfg,
+        &SimOptions {
+            record_dram_arrivals: true,
+            ..Default::default()
+        },
+    )
+    .expect("simulates");
     let mut cas = Vec::new();
     for bank in 0..cfg.dram.total_banks() {
-        let inter: Vec<f64> =
-            r.dram.interarrival_times(bank).iter().map(|&x| x as f64).collect();
+        let inter: Vec<f64> = r
+            .dram
+            .interarrival_times(bank)
+            .iter()
+            .map(|&x| x as f64)
+            .collect();
         if inter.len() >= 4 {
             if let Some(s) = Summary::of(&inter) {
                 if s.mean > 0.0 {
@@ -54,11 +73,17 @@ fn main() {
     println!("spmv sample placement: {} cycles", r.cycles);
     println!(
         "per-bank inter-arrival c_a: mean {:.2} (std {:.2}) over {} banks",
-        ca.mean, ca.std_dev, cas.len()
+        ca.mean,
+        ca.std_dev,
+        cas.len()
     );
     println!(
         "=> {} (exponential arrivals would have c_a = 1)",
-        if ca.mean > 1.3 { "bursty: a G/G/1 queue is required" } else { "close to Markovian" }
+        if ca.mean > 1.3 {
+            "bursty: a G/G/1 queue is required"
+        } else {
+            "close to Markovian"
+        }
     );
 
     // --- Placement moves from Table IV's spmv training rows ---
@@ -66,8 +91,14 @@ fn main() {
     let predictor = Predictor::new(cfg.clone());
     let moves: Vec<(&str, PlacementMap)> = vec![
         ("sample (vec in texture)", sample.clone()),
-        ("vec -> global", sample.with(array_id(&kernel, "d_vec"), MemorySpace::Global)),
-        ("vec -> constant", sample.with(array_id(&kernel, "d_vec"), MemorySpace::Constant)),
+        (
+            "vec -> global",
+            sample.with(array_id(&kernel, "d_vec"), MemorySpace::Global),
+        ),
+        (
+            "vec -> constant",
+            sample.with(array_id(&kernel, "d_vec"), MemorySpace::Constant),
+        ),
         (
             "rowDelimiters -> constant",
             sample.with(array_id(&kernel, "rowDelimiters"), MemorySpace::Constant),
@@ -84,7 +115,10 @@ fn main() {
         ),
     ];
 
-    println!("\n{:<28} {:>11} {:>11} {:>10}", "move", "predicted", "measured", "pred/meas");
+    println!(
+        "\n{:<28} {:>11} {:>11} {:>10}",
+        "move", "predicted", "measured", "pred/meas"
+    );
     for (label, pm) in &moves {
         let pred = predictor.predict(&profile, pm).expect("predicts");
         let measured = {

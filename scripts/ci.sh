@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The repository's CI gate: hermetic (offline) build + full test suite +
+# formatting. Must pass from a clean checkout with no network and no
+# cargo registry cache — the default dependency graph is workspace
+# crates only (see DESIGN.md §8, "Hermetic build & determinism").
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

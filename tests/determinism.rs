@@ -1,0 +1,73 @@
+//! End-to-end determinism: the full prediction + placement-search
+//! pipeline over every registered kernel is bit-identical between runs
+//! and across worker counts.
+//!
+//! This is the guarantee that makes the parallel search trustworthy: the
+//! `hms_stats::par` pool reassembles results in input order and the
+//! ranking sort is stable, so scheduling nondeterminism can never leak
+//! into model output (see DESIGN.md, "Hermetic build & determinism").
+
+use gpu_hms::prelude::*;
+use hms_core::exhaustive_search;
+use hms_kernels::{registry, Scale};
+use hms_types::ArrayId;
+
+/// One search outcome, reduced to exactly-comparable form: the best
+/// placement and the bit pattern of every ranked prediction.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    kernel: &'static str,
+    best: String,
+    prediction_bits: Vec<u64>,
+}
+
+fn search_all(threads: usize, limit: usize) -> Vec<Outcome> {
+    let cfg = GpuConfig::test_small();
+    registry()
+        .iter()
+        .map(|spec| {
+            let kt = (spec.build)(Scale::Test);
+            let base = kt.default_placement();
+            let profile = profile_sample(&kt, &base, &cfg).unwrap();
+            let predictor = Predictor::new(cfg.clone());
+            let candidates: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
+            let ranked = exhaustive_search(
+                &predictor,
+                &profile,
+                &kt.arrays,
+                &base,
+                &candidates,
+                &cfg,
+                limit,
+                threads,
+            )
+            .unwrap();
+            assert!(!ranked.is_empty(), "{}: empty search space", spec.name);
+            Outcome {
+                kernel: spec.name,
+                best: format!("{:?}", ranked[0].placement),
+                prediction_bits: ranked
+                    .iter()
+                    .map(|r| r.predicted_cycles.to_bits())
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn predictor_and_search_are_bit_deterministic() {
+    const LIMIT: usize = 16;
+    // Two independent runs at full parallelism must agree bit-for-bit.
+    let first = search_all(0, LIMIT);
+    let second = search_all(0, LIMIT);
+    assert_eq!(first, second, "repeated runs diverged");
+    // And the worker count (1, 2, all cores) must not matter either.
+    for threads in [1usize, 2] {
+        let other = search_all(threads, LIMIT);
+        assert_eq!(
+            first, other,
+            "search with {threads} worker(s) diverged from the all-cores run"
+        );
+    }
+}

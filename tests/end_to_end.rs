@@ -23,7 +23,11 @@ fn predict_identity_for_every_kernel() {
             .predict(&profile, &pm)
             .unwrap_or_else(|e| panic!("{}: predict failed: {e}", spec.name));
         let measured = profile.measured_cycles as f64;
-        assert!(pred.cycles.is_finite() && pred.cycles > 0.0, "{}", spec.name);
+        assert!(
+            pred.cycles.is_finite() && pred.cycles > 0.0,
+            "{}",
+            spec.name
+        );
         // Identity predictions should be within an order of magnitude
         // even untrained — they share the trace analysis with the
         // machine.
@@ -109,7 +113,8 @@ fn search_only_returns_legal_placements() {
     let all = enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
     assert!(!all.is_empty());
     for pm in &all {
-        pm.validate(&kt.arrays, &cfg).expect("search returned an illegal placement");
+        pm.validate(&kt.arrays, &cfg)
+            .expect("search returned an illegal placement");
         // The written output array must never be in a read-only space.
         let out = kt.arrays.iter().find(|a| a.written).unwrap();
         assert!(pm.space(out.id).is_writable());

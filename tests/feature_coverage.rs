@@ -67,8 +67,7 @@ fn local_memory_spills_are_observable() {
     assert!(r.events.l1_local_hits + r.events.l1_local_misses > 0);
     // Cause (7) replays only exist if some local access missed L1.
     assert_eq!(
-        r.events.replay_local_l1_miss,
-        r.events.l1_local_misses,
+        r.events.replay_local_l1_miss, r.events.l1_local_misses,
         "one replay per local L1 miss"
     );
     // Causes (5)-(10) are placement-invariant: moving foundKey to shared
@@ -76,7 +75,10 @@ fn local_memory_spills_are_observable() {
     let pm = kt.default_placement().with(ArrayId(0), MemorySpace::Shared);
     let ct2 = materialize(&kt, &pm, &cfg).unwrap();
     let r2 = simulate_default(&ct2, &cfg).unwrap();
-    assert_eq!(r.events.replay_local_divergence, r2.events.replay_local_divergence);
+    assert_eq!(
+        r.events.replay_local_divergence,
+        r2.events.replay_local_divergence
+    );
 }
 
 /// Serialized traces simulate to identical results after a round trip.
@@ -90,8 +92,14 @@ fn serialized_trace_simulates_identically() {
         let back = gpu_hms::trace::load(&text, &cfg).unwrap();
         let a = simulate_default(&ct, &cfg).unwrap();
         let b = simulate_default(&back, &cfg).unwrap();
-        assert_eq!(a.cycles, b.cycles, "{name}: cycles diverged after round trip");
-        assert_eq!(a.events, b.events, "{name}: events diverged after round trip");
+        assert_eq!(
+            a.cycles, b.cycles,
+            "{name}: cycles diverged after round trip"
+        );
+        assert_eq!(
+            a.events, b.events,
+            "{name}: events diverged after round trip"
+        );
     }
 }
 
@@ -131,7 +139,11 @@ fn sensitivity_reports_are_internally_consistent() {
             })
             .collect();
         let stable = winners.windows(2).all(|w| w[0] == w[1]);
-        assert_eq!(r.winner_stable, stable, "{:?}: flag disagrees with data", r.knob);
+        assert_eq!(
+            r.winner_stable, stable,
+            "{:?}: flag disagrees with data",
+            r.knob
+        );
     }
 }
 
@@ -145,7 +157,11 @@ fn event_mining_on_real_runs() {
         let kt = by_name(name, Scale::Test).unwrap();
         let mut runs = Vec::new();
         for (id, _) in kt.default_placement().iter() {
-            for space in [MemorySpace::Global, MemorySpace::Texture1D, MemorySpace::Constant] {
+            for space in [
+                MemorySpace::Global,
+                MemorySpace::Texture1D,
+                MemorySpace::Constant,
+            ] {
                 let pm = kt.default_placement().with(id, space);
                 if pm.validate(&kt.arrays, &cfg).is_err() {
                     continue;

@@ -1,0 +1,149 @@
+//! Golden-value regression tests for the three sub-models.
+//!
+//! Every number here was computed once from the deterministic pipeline
+//! and committed; the tests assert *exact* equality (f64 bit equality
+//! where the quantity is model output). If a model change moves one of
+//! these values intentionally, recompute and update the constant in the
+//! same commit — these tests exist to make silent numeric drift
+//! impossible, not to freeze the models forever.
+
+use gpu_hms::prelude::*;
+use hms_core::toverlap::{features, ToverlapModel, TrainingPoint};
+use hms_core::QueuingMode;
+use hms_stats::queuing::{kingman_waiting_time, kingman_waiting_time_squared, GG1Inputs, RHO_CAP};
+use hms_trace::addressing::{addr_calc_delta, addr_calc_instrs};
+use hms_types::MemorySpace::{Constant, Global, Shared, Texture1D};
+
+/// Eq. 2's addressing-instruction table: "the numbers of instructions
+/// required to calculate the address of a 1D-array element ... are
+/// 2, 0, 1, 1 for global, 1D texture, constant, and shared memories."
+#[test]
+fn golden_tcomp_addressing_deltas() {
+    assert_eq!(addr_calc_instrs(Global, DType::F32), 2);
+    assert_eq!(addr_calc_instrs(Texture1D, DType::F32), 0);
+    assert_eq!(addr_calc_instrs(Constant, DType::F32), 1);
+    assert_eq!(addr_calc_instrs(Shared, DType::F32), 1);
+    // The deltas T_comp adds per access when an array moves.
+    assert_eq!(addr_calc_delta(Global, Texture1D, DType::F32), -2);
+    assert_eq!(addr_calc_delta(Global, Constant, DType::F32), -1);
+    assert_eq!(addr_calc_delta(Global, Shared, DType::F32), -1);
+    assert_eq!(addr_calc_delta(Texture1D, Global, DType::F64), 2);
+    assert_eq!(addr_calc_delta(Constant, Global, DType::F64), 1);
+    assert_eq!(addr_calc_delta(Shared, Global, DType::I32), 1);
+    assert_eq!(addr_calc_delta(Constant, Shared, DType::F32), 0);
+}
+
+/// Kingman's approximation (Eq. 9–10), both published forms, at
+/// hand-checkable operating points.
+#[test]
+fn golden_kingman_waiting_times() {
+    // rho = 0.5, c_a = 1.5, c_s = 0.5, tau_a = 100:
+    // ((1.5 + 0.5)/2) * (0.5/0.5) * 100 = 100 exactly.
+    let q = GG1Inputs {
+        mean_interarrival: 100.0,
+        cv_interarrival: 1.5,
+        mean_service: 50.0,
+        cv_service: 0.5,
+    };
+    assert_eq!(kingman_waiting_time(&q), 100.0);
+    // Textbook squared-CV form: ((2.25 + 0.25)/2) * (0.5/0.5) * 50 = 62.5.
+    assert_eq!(kingman_waiting_time_squared(&q), 62.5);
+    // Saturated queue (rho = 5) clamps to RHO_CAP and stays finite:
+    // 1.25 * (0.995/0.005) * 10 = 2487.4999999999977 in f64.
+    let sat = GG1Inputs {
+        mean_interarrival: 10.0,
+        cv_interarrival: 1.5,
+        mean_service: 50.0,
+        cv_service: 1.0,
+    };
+    assert_eq!(RHO_CAP, 0.995);
+    assert_eq!(kingman_waiting_time(&sat), 2487.4999999999977);
+}
+
+/// The full AMAT path through `core::tmem` for vecadd at test scale
+/// under its default placement — the composition of Eq. 4–10.
+#[test]
+fn golden_tmem_amat_path() {
+    let cfg = GpuConfig::test_small();
+    let kt = hms_kernels::vecadd::build(hms_kernels::Scale::Test);
+    let pm = kt.default_placement();
+    let profile = profile_sample(&kt, &pm, &cfg).unwrap();
+    let analysis = hms_core::analyze(&gpu_hms::trace::materialize(&kt, &pm, &cfg).unwrap(), &cfg);
+    let tm = hms_core::tmem::tmem(&profile, &analysis, &cfg, QueuingMode::Mapped);
+    assert_eq!(tm.cycles, 3606.0);
+    assert_eq!(tm.amat, 1450.2772435897434);
+    assert_eq!(tm.dram_lat, 1228.2772435897436);
+    assert_eq!(tm.effective_requests_per_sm, 1.0);
+    assert_eq!(tm.itmlp, 8.0);
+}
+
+/// The detailed `T_comp` (Eq. 2/3/13–16) and the assembled Eq. 1
+/// prediction for the same kernel/placement.
+#[test]
+fn golden_tcomp_and_prediction() {
+    let cfg = GpuConfig::test_small();
+    let kt = hms_kernels::vecadd::build(hms_kernels::Scale::Test);
+    let pm = kt.default_placement();
+    let profile = profile_sample(&kt, &pm, &cfg).unwrap();
+    let analysis = hms_core::analyze(&gpu_hms::trace::materialize(&kt, &pm, &cfg).unwrap(), &cfg);
+    let tc = hms_core::tcomp::tcomp(&profile, &analysis, &cfg, true);
+    assert_eq!(tc.cycles, 39.0);
+    assert_eq!(tc.inst_per_warp, 13.0);
+    assert_eq!(tc.effective_throughput, 0.75);
+    assert_eq!(tc.w_serial, 0.0);
+    // Eq. 1 with the untrained overlap default (ratio 0.5):
+    // T = 39 + 3606 - 0.5 * 3606 = 1842.
+    let pred = Predictor::new(cfg.clone()).predict(&profile, &pm).unwrap();
+    assert_eq!(pred.t_comp, 39.0);
+    assert_eq!(pred.t_mem, 3606.0);
+    assert_eq!(pred.t_overlap, 1803.0);
+    assert_eq!(pred.cycles, 1842.0);
+}
+
+/// `T_overlap` regression round-trip (Eq. 11–12): a model fitted on
+/// ratios planted over the selectable features recovers the planted
+/// value at an unseen probe, and inverting Eq. 1/12 from the assembled
+/// prediction returns the model's own ratio.
+#[test]
+fn golden_toverlap_round_trip() {
+    let cfg = GpuConfig::test_small();
+    let kt = hms_kernels::vecadd::build(hms_kernels::Scale::Test);
+    let pm = kt.default_placement();
+    let analysis = hms_core::analyze(&gpu_hms::trace::materialize(&kt, &pm, &cfg).unwrap(), &cfg);
+    // Plant ratio = 0.2 + 0.3 f8 - 0.05 f7 (f8: regime balance,
+    // f7: MLP) and fit over a sweep of both.
+    let mut points = Vec::new();
+    for i in 0..40u64 {
+        let tc = 50.0 + 10.0 * i as f64;
+        let tm = 500.0;
+        let mut a2 = analysis.clone();
+        a2.mlp = 1.0 + (i % 5) as f64;
+        let f = features(&a2, &cfg, tc, tm);
+        let ratio = 0.2 + 0.3 * f[8] - 0.05 * f[7];
+        points.push(TrainingPoint {
+            features: f,
+            ratio,
+            group: i,
+        });
+    }
+    let m = ToverlapModel::fit(&points).unwrap();
+    // Probe at tc = 123, tm = 500, MLP = 2.5 (inside the seen ranges but
+    // not a training point): planted value is
+    // 0.2 + 0.3 * 0.246 - 0.05 * 2.5 = 0.1488.
+    let mut probe = analysis.clone();
+    probe.mlp = 2.5;
+    let (tc, tm) = (123.0, 500.0);
+    let ratio = m.ratio(&probe, &cfg, tc, tm);
+    assert!((ratio - 0.1488).abs() < 1e-6, "recovered ratio {ratio}");
+    // Eq. 12 exactly: T_overlap = ratio x T_mem.
+    let t_overlap = m.t_overlap(&probe, &cfg, tc, tm);
+    assert_eq!(t_overlap, ratio * tm);
+    // Round-trip through Eq. 1: T = T_comp + T_mem - T_overlap, so the
+    // ratio recovered from the total is the model's ratio again.
+    let total = tc + tm - t_overlap;
+    let recovered = (tc + tm - total) / tm;
+    assert!(
+        (recovered - ratio).abs() < 1e-12,
+        "round-trip ratio {recovered} != {ratio}"
+    );
+}

@@ -21,12 +21,38 @@ fn analysis_event_counts_match_simulator_exactly() {
         let ct = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
         let sim = simulate_default(&ct, &cfg).unwrap();
         let a = analyze(&ct, &cfg);
-        assert_eq!(a.executed, sim.events.inst_executed, "{}: executed", spec.name);
-        assert_eq!(a.mem_instrs, sim.events.ldst_executed, "{}: mem instrs", spec.name);
-        assert_eq!(a.l2_transactions, sim.events.l2_transactions, "{}: L2", spec.name);
-        assert_eq!(a.l2_misses, sim.events.l2_misses, "{}: L2 misses", spec.name);
-        assert_eq!(a.dram.len() as u64, sim.events.dram_requests, "{}: DRAM", spec.name);
-        assert_eq!(a.replays_1_to_4(), sim.events.replays_1_to_4(), "{}: replays", spec.name);
+        assert_eq!(
+            a.executed, sim.events.inst_executed,
+            "{}: executed",
+            spec.name
+        );
+        assert_eq!(
+            a.mem_instrs, sim.events.ldst_executed,
+            "{}: mem instrs",
+            spec.name
+        );
+        assert_eq!(
+            a.l2_transactions, sim.events.l2_transactions,
+            "{}: L2",
+            spec.name
+        );
+        assert_eq!(
+            a.l2_misses, sim.events.l2_misses,
+            "{}: L2 misses",
+            spec.name
+        );
+        assert_eq!(
+            a.dram.len() as u64,
+            sim.events.dram_requests,
+            "{}: DRAM",
+            spec.name
+        );
+        assert_eq!(
+            a.replays_1_to_4(),
+            sim.events.replays_1_to_4(),
+            "{}: replays",
+            spec.name
+        );
         assert_eq!(a.sync_count, sim.events.sync_count, "{}: syncs", spec.name);
         assert_eq!(
             a.shared_requests,
@@ -53,8 +79,8 @@ fn mapped_queuing_beats_constant_latency_for_most_kernels() {
             continue; // not enough off-chip traffic to classify
         }
         let a = analyze(&profile.trace, &cfg);
-        let measured = profile.events.dram_total_latency as f64
-            / profile.events.dram_requests as f64;
+        let measured =
+            profile.events.dram_total_latency as f64 / profile.events.dram_requests as f64;
         let c = dram_estimate(&profile, &a, &cfg, QueuingMode::ConstantLatency).avg_latency;
         let m = dram_estimate(&profile, &a, &cfg, QueuingMode::Mapped).avg_latency;
         total += 1;
@@ -74,8 +100,20 @@ fn mapped_queuing_beats_constant_latency_for_most_kernels() {
 #[test]
 fn training_reduces_in_sample_error() {
     let cfg = cfg();
-    let kernels = ["vecadd", "convolutionRows", "triad", "spmv", "md", "transpose", "qtc",
-        "matrixMul", "cfd", "stencil2d", "scan", "sort"];
+    let kernels = [
+        "vecadd",
+        "convolutionRows",
+        "triad",
+        "spmv",
+        "md",
+        "transpose",
+        "qtc",
+        "matrixMul",
+        "cfd",
+        "stencil2d",
+        "scan",
+        "sort",
+    ];
     let mut profiles = Vec::new();
     for name in kernels {
         let kt = by_name(name, Scale::Test).unwrap();
@@ -90,8 +128,7 @@ fn training_reduces_in_sample_error() {
             .iter()
             .map(|prof| {
                 let pred = p.predict(prof, &prof.trace.placement).unwrap();
-                (pred.cycles - prof.measured_cycles as f64).abs()
-                    / prof.measured_cycles as f64
+                (pred.cycles - prof.measured_cycles as f64).abs() / prof.measured_cycles as f64
             })
             .sum::<f64>()
             / profiles.len() as f64

@@ -1,155 +1,252 @@
-//! Property-based tests on the trace machinery (proptest): the
-//! rewrite/materialize equivalence, coalescing invariants, and the
-//! address allocator, under randomized kernels and placements.
-
-use proptest::prelude::*;
+//! Property-based tests on the trace machinery (via the in-repo
+//! `hms_stats::proptest_lite` harness): the rewrite/materialize
+//! equivalence, coalescing invariants, and prediction sanity, under
+//! randomized kernels and placements.
+//!
+//! Failing cases print an `HMS_PROPTEST_SEED=<seed>` replay line; see
+//! the harness docs for the replay workflow.
 
 use gpu_hms::prelude::*;
 use gpu_hms::trace::{coalesce, ElemIdx, MemRef, SymOp, WarpTrace};
+use hms_stats::proptest_lite::{check, check_shrink, gen_where, shrink_vec, Config};
+use hms_stats::rng::Rng;
 use hms_types::{ArrayDef, ArrayId};
 
 fn cfg() -> GpuConfig {
     GpuConfig::test_small()
 }
 
-/// Strategy: a random small kernel with 3 arrays and randomized accesses.
-fn arb_kernel() -> impl Strategy<Value = KernelTrace> {
-    let lane_idx = prop::collection::vec(prop::option::of(0u64..256), 32);
-    let ops = prop::collection::vec(
-        prop_oneof![
-            (1u16..4).prop_map(SymOp::IntAlu),
-            (1u16..4).prop_map(SymOp::FpAlu),
-            (0u32..2, lane_idx.clone()).prop_map(|(a, idx)| {
-                SymOp::Access(MemRef::load(
-                    ArrayId(a),
-                    idx.into_iter().map(|o| o.map(ElemIdx::Lin)).collect(),
-                ))
-            }),
-            (lane_idx).prop_map(|idx| {
-                SymOp::Access(MemRef::store(
-                    ArrayId(2),
-                    idx.into_iter().map(|o| o.map(ElemIdx::Lin)).collect(),
-                ))
-            }),
-            Just(SymOp::WaitLoads),
+fn arb_lane_idx(rng: &mut Rng) -> Vec<Option<ElemIdx>> {
+    (0..32)
+        .map(|_| {
+            rng.gen_bool(0.5)
+                .then(|| ElemIdx::Lin(rng.gen_range(0u64..256)))
+        })
+        .collect()
+}
+
+fn arb_op(rng: &mut Rng) -> SymOp {
+    match rng.gen_range(0u32..5) {
+        0 => SymOp::IntAlu(rng.gen_range(1u32..4) as u16),
+        1 => SymOp::FpAlu(rng.gen_range(1u32..4) as u16),
+        2 => {
+            let a = rng.gen_range(0u32..2);
+            SymOp::Access(MemRef::load(ArrayId(a), arb_lane_idx(rng)))
+        }
+        3 => SymOp::Access(MemRef::store(ArrayId(2), arb_lane_idx(rng))),
+        _ => SymOp::WaitLoads,
+    }
+}
+
+/// A random small kernel with 3 arrays and randomized accesses.
+fn arb_kernel(rng: &mut Rng) -> KernelTrace {
+    let blocks = rng.gen_range(1u32..4);
+    let warps = (0..blocks)
+        .map(|b| {
+            let nops = rng.gen_range(1usize..12);
+            WarpTrace {
+                block: b,
+                warp: 0,
+                ops: (0..nops).map(|_| arb_op(rng)).collect(),
+            }
+        })
+        .collect();
+    KernelTrace {
+        name: "prop".into(),
+        arrays: vec![
+            ArrayDef::new_1d(0, "a", DType::F32, 256, false),
+            ArrayDef::new_2d(1, "b", DType::F64, 16, 16, false),
+            ArrayDef::new_1d(2, "out", DType::F32, 256, true),
         ],
-        1..12,
-    );
-    prop::collection::vec(ops, 1..4).prop_map(|warp_ops| {
-        let blocks = warp_ops.len() as u32;
-        KernelTrace {
-            name: "prop".into(),
-            arrays: vec![
-                ArrayDef::new_1d(0, "a", DType::F32, 256, false),
-                ArrayDef::new_2d(1, "b", DType::F64, 16, 16, false),
-                ArrayDef::new_1d(2, "out", DType::F32, 256, true),
-            ],
-            geometry: Geometry::new(blocks, 32),
-            warps: warp_ops
-                .into_iter()
-                .enumerate()
-                .map(|(b, ops)| WarpTrace { block: b as u32, warp: 0, ops })
-                .collect(),
-        }
-    })
+        geometry: Geometry::new(blocks, 32),
+        warps,
+    }
 }
 
-fn arb_placement() -> impl Strategy<Value = Vec<MemorySpace>> {
+fn arb_placement(rng: &mut Rng) -> Vec<MemorySpace> {
     use MemorySpace::*;
-    (
-        prop::sample::select(vec![Global, Texture1D, Constant, Shared]),
-        prop::sample::select(vec![Global, Texture1D, Texture2D, Constant, Shared]),
-        prop::sample::select(vec![Global, Shared]),
-    )
-        .prop_map(|(a, b, c)| vec![a, b, c])
+    fn pick(rng: &mut Rng, opts: &[MemorySpace]) -> MemorySpace {
+        opts[rng.gen_range(0..opts.len())]
+    }
+    vec![
+        pick(rng, &[Global, Texture1D, Constant, Shared]),
+        pick(rng, &[Global, Texture1D, Texture2D, Constant, Shared]),
+        pick(rng, &[Global, Shared]),
+    ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A placement that validates against `kt`'s arrays (the
+/// `prop_assume!`-replacement: regenerate until legal).
+fn valid_placement(rng: &mut Rng, kt: &KernelTrace, cfg: &GpuConfig) -> PlacementMap {
+    gen_where(
+        rng,
+        256,
+        |rng| PlacementMap::from_spaces(arb_placement(rng)),
+        |p| p.validate(&kt.arrays, cfg).is_ok(),
+    )
+}
 
-    /// rewrite(materialize(k, s), t) == materialize(k, t) for random
-    /// kernels and placement pairs — the SASSI-flow equivalence.
-    #[test]
-    fn rewrite_equals_materialize(
-        kt in arb_kernel(),
-        s in arb_placement(),
-        t in arb_placement(),
-    ) {
-        let cfg = cfg();
-        let s = PlacementMap::from_spaces(s);
-        let t = PlacementMap::from_spaces(t);
-        prop_assume!(s.validate(&kt.arrays, &cfg).is_ok());
-        prop_assume!(t.validate(&kt.arrays, &cfg).is_ok());
-        let sample = materialize(&kt, &s, &cfg).unwrap();
-        let direct = materialize(&kt, &t, &cfg).unwrap();
-        let rewritten = rewrite(&sample, &t, &cfg).unwrap();
-        prop_assert_eq!(rewritten, direct);
-    }
+/// rewrite(materialize(k, s), t) == materialize(k, t) for random kernels
+/// and placement pairs — the SASSI-flow equivalence.
+#[test]
+fn rewrite_equals_materialize() {
+    let cfg = cfg();
+    check(
+        "rewrite_equals_materialize",
+        &Config::with_cases(64),
+        |rng| {
+            let kt = arb_kernel(rng);
+            let s = valid_placement(rng, &kt, &cfg);
+            let t = valid_placement(rng, &kt, &cfg);
+            (kt, s, t)
+        },
+        |(kt, s, t)| {
+            let sample = materialize(kt, s, &cfg).map_err(|e| e.to_string())?;
+            let direct = materialize(kt, t, &cfg).map_err(|e| e.to_string())?;
+            let rewritten = rewrite(&sample, t, &cfg).map_err(|e| e.to_string())?;
+            if rewritten == direct {
+                Ok(())
+            } else {
+                Err("rewrite(materialize(k,s), t) != materialize(k,t)".into())
+            }
+        },
+    );
+}
 
-    /// Simulation completes and conserves instruction counts for random
-    /// kernels: executed <= issued <= issue slots.
-    #[test]
-    fn simulation_instruction_accounting(kt in arb_kernel(), s in arb_placement()) {
-        let cfg = cfg();
-        let s = PlacementMap::from_spaces(s);
-        prop_assume!(s.validate(&kt.arrays, &cfg).is_ok());
-        let ct = materialize(&kt, &s, &cfg).unwrap();
-        let r = simulate_default(&ct, &cfg).unwrap();
-        prop_assert!(r.events.inst_executed <= r.events.inst_issued);
-        prop_assert!(r.events.inst_issued <= r.events.issue_slots);
-        prop_assert_eq!(
-            r.events.inst_issued,
-            r.events.inst_executed + r.events.total_replays()
-                - r.events.replay_double_width
-        );
-        // Row-buffer outcomes partition DRAM requests.
-        prop_assert_eq!(
-            r.events.dram_requests,
-            r.events.row_buffer_hits + r.events.row_buffer_misses
-                + r.events.row_buffer_conflicts
-        );
-    }
+/// Simulation completes and conserves instruction counts for random
+/// kernels: executed <= issued <= issue slots.
+#[test]
+fn simulation_instruction_accounting() {
+    let cfg = cfg();
+    check(
+        "simulation_instruction_accounting",
+        &Config::with_cases(64),
+        |rng| {
+            let kt = arb_kernel(rng);
+            let s = valid_placement(rng, &kt, &cfg);
+            (kt, s)
+        },
+        |(kt, s)| {
+            let ct = materialize(kt, s, &cfg).map_err(|e| e.to_string())?;
+            let r = simulate_default(&ct, &cfg).map_err(|e| e.to_string())?;
+            let e = &r.events;
+            if e.inst_executed > e.inst_issued {
+                return Err(format!(
+                    "executed {} > issued {}",
+                    e.inst_executed, e.inst_issued
+                ));
+            }
+            if e.inst_issued > e.issue_slots {
+                return Err(format!(
+                    "issued {} > slots {}",
+                    e.inst_issued, e.issue_slots
+                ));
+            }
+            let want = e.inst_executed + e.total_replays() - e.replay_double_width;
+            if e.inst_issued != want {
+                return Err(format!(
+                    "issued {} != executed+replays {}",
+                    e.inst_issued, want
+                ));
+            }
+            // Row-buffer outcomes partition DRAM requests.
+            let parts = e.row_buffer_hits + e.row_buffer_misses + e.row_buffer_conflicts;
+            if e.dram_requests != parts {
+                return Err(format!("dram {} != outcome sum {}", e.dram_requests, parts));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Coalescing invariants: transaction count bounded by active lanes
-    /// (+1 for straddle), aligned, sorted, deduplicated.
-    #[test]
-    fn coalescing_invariants(
-        addrs in prop::collection::vec(0u64..100_000, 1..32),
-        elem in prop::sample::select(vec![4u64, 8]),
-    ) {
-        let r = coalesce(addrs.iter().copied(), elem, 128);
-        prop_assert!(!r.transactions.is_empty());
-        prop_assert!(r.transactions.len() <= addrs.len() * 2);
-        prop_assert_eq!(r.replays as usize, r.transactions.len() - 1);
-        for w in r.transactions.windows(2) {
-            prop_assert!(w[0] < w[1]);
-        }
-        for t in &r.transactions {
-            prop_assert_eq!(t % 128, 0);
-        }
-        // Every byte touched is covered by some transaction.
-        for &a in &addrs {
-            let covered = r
-                .transactions
-                .iter()
-                .any(|&t| a >= t && a + elem <= t + 256);
-            prop_assert!(covered);
-        }
-    }
+/// Coalescing invariants: transaction count bounded by active lanes
+/// (+1 for straddle), aligned, sorted, deduplicated.
+#[test]
+fn coalescing_invariants() {
+    check_shrink(
+        "coalescing_invariants",
+        &Config::with_cases(64),
+        |rng| {
+            let n = rng.gen_range(1usize..32);
+            let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..100_000)).collect();
+            let elem = if rng.gen_bool(0.5) { 4u64 } else { 8 };
+            (addrs, elem)
+        },
+        |(addrs, elem)| shrink_vec(addrs).into_iter().map(|a| (a, *elem)).collect(),
+        |(addrs, elem)| {
+            if addrs.is_empty() {
+                return Ok(());
+            }
+            let r = coalesce(addrs.iter().copied(), *elem, 128);
+            if r.transactions.is_empty() {
+                return Err("no transactions".into());
+            }
+            if r.transactions.len() > addrs.len() * 2 {
+                return Err(format!(
+                    "{} transactions for {} lanes",
+                    r.transactions.len(),
+                    addrs.len()
+                ));
+            }
+            if r.replays as usize != r.transactions.len() - 1 {
+                return Err(format!("replays {} != transactions-1", r.replays));
+            }
+            for w in r.transactions.windows(2) {
+                if w[0] >= w[1] {
+                    return Err("transactions not strictly sorted".into());
+                }
+            }
+            for t in &r.transactions {
+                if t % 128 != 0 {
+                    return Err(format!("transaction {t} misaligned"));
+                }
+            }
+            // Every byte touched is covered by some transaction.
+            for &a in addrs {
+                if !r
+                    .transactions
+                    .iter()
+                    .any(|&t| a >= t && a + elem <= t + 256)
+                {
+                    return Err(format!("addr {a} not covered"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Predictions are finite and positive for any legal target.
-    #[test]
-    fn predictions_are_finite(kt in arb_kernel(), s in arb_placement(), t in arb_placement()) {
-        let cfg = cfg();
-        let s = PlacementMap::from_spaces(s);
-        let t = PlacementMap::from_spaces(t);
-        prop_assume!(s.validate(&kt.arrays, &cfg).is_ok());
-        prop_assume!(t.validate(&kt.arrays, &cfg).is_ok());
-        let profile = profile_sample(&kt, &s, &cfg).unwrap();
-        let pred = Predictor::new(cfg.clone()).predict(&profile, &t).unwrap();
-        prop_assert!(pred.cycles.is_finite());
-        prop_assert!(pred.cycles >= 1.0);
-        prop_assert!(pred.t_comp >= 0.0);
-        prop_assert!(pred.t_mem >= 0.0);
-    }
+/// Predictions are finite and positive for any legal target.
+#[test]
+fn predictions_are_finite() {
+    let cfg = cfg();
+    check(
+        "predictions_are_finite",
+        &Config::with_cases(64),
+        |rng| {
+            let kt = arb_kernel(rng);
+            let s = valid_placement(rng, &kt, &cfg);
+            let t = valid_placement(rng, &kt, &cfg);
+            (kt, s, t)
+        },
+        |(kt, s, t)| {
+            let profile = profile_sample(kt, s, &cfg).map_err(|e| e.to_string())?;
+            let pred = Predictor::new(cfg.clone())
+                .predict(&profile, t)
+                .map_err(|e| e.to_string())?;
+            if !pred.cycles.is_finite() {
+                return Err(format!("non-finite cycles {}", pred.cycles));
+            }
+            if pred.cycles < 1.0 {
+                return Err(format!("cycles {} < 1", pred.cycles));
+            }
+            if pred.t_comp < 0.0 || pred.t_mem < 0.0 {
+                return Err(format!(
+                    "negative component: {} / {}",
+                    pred.t_comp, pred.t_mem
+                ));
+            }
+            Ok(())
+        },
+    );
 }
