@@ -3,7 +3,7 @@
 //! the `m^n` search the paper motivates in its introduction.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hms_core::{enumerate_placements, profile_sample, rank_placements, Predictor};
+use hms_core::{enumerate_placements, profile_sample, Engine, Predictor, SearchRequest};
 use hms_kernels::Scale;
 use hms_types::{ArrayId, GpuConfig};
 
@@ -24,10 +24,31 @@ fn bench_search(c: &mut Criterion) {
                 b.iter(|| black_box(enumerate_placements(&kt.arrays, &sample, cand, &cfg, 4096)))
             },
         );
+        // Cold engine per iteration: skeleton + memo build included.
         c.bench_with_input(
-            BenchmarkId::new(format!("rank_{}_placements", placements.len()), n_arrays),
+            BenchmarkId::new(format!("search_{}_placements", placements.len()), n_arrays),
+            &candidates,
+            |b, cand| {
+                b.iter(|| {
+                    black_box(
+                        SearchRequest::new(&kt.arrays, &sample)
+                            .candidates(cand)
+                            .run(&predictor, &profile)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        // Warm engine: pure delta-composed ranking.
+        let engine = Engine::new(&predictor, &profile);
+        engine.rank(&placements, 0).unwrap();
+        c.bench_with_input(
+            BenchmarkId::new(
+                format!("rank_warm_{}_placements", placements.len()),
+                n_arrays,
+            ),
             &placements,
-            |b, pl| b.iter(|| black_box(rank_placements(&predictor, &profile, pl).unwrap())),
+            |b, pl| b.iter(|| black_box(engine.rank(pl, 0).unwrap())),
         );
     }
 }

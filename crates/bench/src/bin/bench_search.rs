@@ -1,0 +1,105 @@
+//! Search micro-benchmark: the incremental engine vs the naive
+//! rewrite-per-candidate path on a three-array placement search, with
+//! the engine's observability counters, emitted as `BENCH_search.json`
+//! for CI trend tracking.
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin bench_search [-- test]
+//! ```
+
+use std::time::Instant;
+
+use hms_core::{profile_sample, Predictor, SearchRequest, SearchStrategy};
+use hms_kernels::Scale;
+use hms_types::{ArrayId, GpuConfig};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("test") => Scale::Test,
+        _ => Scale::Full,
+    };
+    let cfg = GpuConfig::tesla_k80();
+    let kt = hms_kernels::by_name("spmv", scale).expect("spmv");
+    let sample = kt.default_placement();
+    let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
+    let predictor = Predictor::new(cfg.clone());
+    let candidates: Vec<ArrayId> = kt
+        .arrays
+        .iter()
+        .filter(|a| !a.written)
+        .map(|a| a.id)
+        .take(3)
+        .collect();
+
+    // Naive baseline: full rewrite + analysis per candidate.
+    let space = hms_core::enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
+    let t0 = Instant::now();
+    #[allow(deprecated)]
+    let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 0).expect("ranks");
+    let naive_secs = t0.elapsed().as_secs_f64();
+
+    // Incremental engine, exhaustive.
+    let t0 = Instant::now();
+    let outcome = SearchRequest::new(&kt.arrays, &sample)
+        .candidates(&candidates)
+        .run(&predictor, &profile)
+        .expect("searches");
+    let engine_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(naive.len(), outcome.ranked.len());
+    for (a, b) in naive.iter().zip(&outcome.ranked) {
+        assert_eq!(
+            a.predicted_cycles.to_bits(),
+            b.predicted_cycles.to_bits(),
+            "engine diverged from naive"
+        );
+    }
+
+    // Branch-and-bound, for the prune-rate counter.
+    let bb = SearchRequest::new(&kt.arrays, &sample)
+        .candidates(&candidates)
+        .strategy(SearchStrategy::BranchAndBound)
+        .run(&predictor, &profile)
+        .expect("searches");
+    assert_eq!(
+        bb.ranked.first().map(|r| r.predicted_cycles.to_bits()),
+        outcome.ranked.first().map(|r| r.predicted_cycles.to_bits()),
+        "pruning dropped the optimum"
+    );
+
+    let stats = &outcome.stats;
+    let engine_cps = stats.candidates_evaluated as f64 / engine_secs.max(1e-9);
+    let naive_cps = naive.len() as f64 / naive_secs.max(1e-9);
+    println!("search micro-benchmark (spmv, 3 read-only candidate arrays)");
+    println!("  candidates:            {}", stats.candidates_evaluated);
+    println!("  naive:                 {naive_secs:.3} s  ({naive_cps:.0} cand/s)");
+    println!("  engine:                {engine_secs:.3} s  ({engine_cps:.0} cand/s)");
+    println!("  full rewrites:         {}", stats.full_rewrites);
+    println!("  rewrite reduction:     {:.2}x", stats.rewrite_reduction());
+    println!(
+        "  b&b prune rate:        {:.1}%",
+        bb.stats.prune_rate() * 100.0
+    );
+
+    // Hand-rolled JSON: the workspace has no serializer by design.
+    let json = format!(
+        "{{\n  \"kernel\": \"spmv\",\n  \"candidate_arrays\": {},\n  \"candidates\": {},\n  \
+         \"naive_secs\": {:.6},\n  \"engine_secs\": {:.6},\n  \
+         \"naive_candidates_per_sec\": {:.2},\n  \"engine_candidates_per_sec\": {:.2},\n  \
+         \"full_rewrites\": {},\n  \"delta_cache_hits\": {},\n  \
+         \"rewrite_reduction\": {:.4},\n  \"bb_candidates_pruned\": {},\n  \
+         \"bb_prune_rate\": {:.4}\n}}\n",
+        candidates.len(),
+        stats.candidates_evaluated,
+        naive_secs,
+        engine_secs,
+        naive_cps,
+        engine_cps,
+        stats.full_rewrites,
+        stats.delta_cache_hits,
+        stats.rewrite_reduction(),
+        bb.stats.candidates_pruned,
+        bb.stats.prune_rate(),
+    );
+    std::fs::write("BENCH_search.json", &json).expect("writes BENCH_search.json");
+    println!("wrote BENCH_search.json");
+}

@@ -52,20 +52,30 @@ impl ConstantCache {
         if lane_addrs.is_empty() {
             return ConstAccessResult::default();
         }
-        self.warp_accesses += 1;
         // Distinct addresses at word granularity define the serialized
         // broadcast groups.
-        let mut distinct: Vec<u64> = lane_addrs.iter().map(|a| a / 4).collect();
+        let mut distinct: Vec<u64> = lane_addrs.iter().map(|a| a / 4 * 4).collect();
         distinct.sort_unstable();
         distinct.dedup();
-        let transactions = distinct.len() as u32;
+        self.access_words(&distinct)
+    }
+
+    /// Serve one warp load already deduplicated to sorted, word-aligned
+    /// byte addresses — the form the incremental search engine memoizes.
+    /// [`access_warp`](Self::access_warp) delegates here, so both entry
+    /// points apply identical state transitions.
+    pub fn access_words(&mut self, words: &[u64]) -> ConstAccessResult {
+        if words.is_empty() {
+            return ConstAccessResult::default();
+        }
+        self.warp_accesses += 1;
+        let transactions = words.len() as u32;
 
         let mut misses = 0u32;
         let mut missed_lines = Vec::new();
         let line = self.cache.geometry().line_bytes;
         // Each distinct word probes the cache (line granularity inside).
-        for w in &distinct {
-            let addr = w * 4;
+        for &addr in words {
             if !self.cache.access(addr).is_hit() {
                 misses += 1;
                 let la = addr / line * line;
@@ -159,7 +169,29 @@ mod tests {
         let mut c = cc();
         let r = c.access_warp(&[]);
         assert_eq!(r, ConstAccessResult::default());
+        assert_eq!(c.access_words(&[]), ConstAccessResult::default());
         assert_eq!(c.warp_accesses(), 0);
+    }
+
+    #[test]
+    fn access_words_matches_access_warp() {
+        let mut via_warp = cc();
+        let mut via_words = cc();
+        let warps: Vec<Vec<u64>> = (0..16u64)
+            .map(|i| (0..32u64).map(|l| (i * 29 + l * (i % 3)) % 2048).collect())
+            .collect();
+        for addrs in &warps {
+            let mut words: Vec<u64> = addrs.iter().map(|a| a / 4 * 4).collect();
+            words.sort_unstable();
+            words.dedup();
+            assert_eq!(via_warp.access_warp(addrs), via_words.access_words(&words));
+        }
+        assert_eq!(via_warp.transactions(), via_words.transactions());
+        assert_eq!(via_warp.misses(), via_words.misses());
+        assert_eq!(
+            via_warp.divergence_replays(),
+            via_words.divergence_replays()
+        );
     }
 
     impl ConstAccessResult {

@@ -46,17 +46,28 @@ impl TextureCache {
         if lane_addrs.is_empty() {
             return TexAccessResult::default();
         }
-        self.warp_accesses += 1;
         let line = self.cache.geometry().line_bytes;
-        let mut lines: Vec<u64> = lane_addrs.iter().map(|a| a / line).collect();
+        let mut lines: Vec<u64> = lane_addrs.iter().map(|a| a / line * line).collect();
         lines.sort_unstable();
         lines.dedup();
+        self.access_lines(&lines)
+    }
+
+    /// Serve one warp fetch already deduplicated to sorted, line-aligned
+    /// byte addresses — the form the incremental search engine memoizes.
+    /// [`access_warp`](Self::access_warp) delegates here, so both entry
+    /// points apply identical state transitions.
+    pub fn access_lines(&mut self, lines: &[u64]) -> TexAccessResult {
+        if lines.is_empty() {
+            return TexAccessResult::default();
+        }
+        self.warp_accesses += 1;
         let mut misses = 0u32;
         let mut missed_lines = Vec::new();
-        for l in &lines {
-            if !self.cache.access(l * line).is_hit() {
+        for &l in lines {
+            if !self.cache.access(l).is_hit() {
                 misses += 1;
-                missed_lines.push(l * line);
+                missed_lines.push(l);
             }
         }
         let transactions = lines.len() as u32;
@@ -143,7 +154,28 @@ mod tests {
     fn empty_warp_is_noop() {
         let mut c = tc();
         assert_eq!(c.access_warp(&[]), TexAccessResult::default());
+        assert_eq!(c.access_lines(&[]), TexAccessResult::default());
         assert_eq!(c.warp_accesses(), 0);
+    }
+
+    #[test]
+    fn access_lines_matches_access_warp() {
+        // Two caches fed the same stream through the two entry points
+        // must stay in lockstep — the engine's replay depends on it.
+        let mut via_warp = tc();
+        let mut via_lines = tc();
+        let line = 32u64;
+        let warps: Vec<Vec<u64>> = (0..16u64)
+            .map(|i| (0..32u64).map(|l| (i * 37 + l * 13) % 4096).collect())
+            .collect();
+        for addrs in &warps {
+            let mut lines: Vec<u64> = addrs.iter().map(|a| a / line * line).collect();
+            lines.sort_unstable();
+            lines.dedup();
+            assert_eq!(via_warp.access_warp(addrs), via_lines.access_lines(&lines));
+        }
+        assert_eq!(via_warp.transactions(), via_lines.transactions());
+        assert_eq!(via_warp.misses(), via_lines.misses());
     }
 
     #[test]

@@ -57,6 +57,17 @@ pub enum Command {
         train: bool,
         top: usize,
     },
+    /// Search the placement space through the incremental engine, with
+    /// optional branch-and-bound pruning and observability stats.
+    Search {
+        kernel: String,
+        scale: Scale,
+        train: bool,
+        top: usize,
+        stats: bool,
+        prune: bool,
+        threads: usize,
+    },
     /// Dump a kernel's concrete trace in the v1 text format.
     Dump {
         kernel: String,
@@ -79,6 +90,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut moves = Vec::new();
     let mut train = false;
     let mut top = 5usize;
+    let mut stats = false;
+    let mut prune = false;
+    let mut threads = 0usize;
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -98,6 +112,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 moves.push(MoveSpec::parse(v)?);
             }
             "--train" => train = true,
+            "--stats" => stats = true,
+            "--prune" => prune = true,
+            "--threads" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--threads needs a number")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value `{v}`"))?;
+            }
             "--top" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--top needs a number")?;
@@ -134,6 +157,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             train,
             top,
         }),
+        "search" => Ok(Command::Search {
+            kernel: kernel(&positional)?,
+            scale,
+            train,
+            top,
+            stats,
+            prune,
+            threads,
+        }),
         "dump" => Ok(Command::Dump {
             kernel: kernel(&positional)?,
             scale,
@@ -153,12 +185,18 @@ USAGE:
     hms simulate <kernel> [--scale full|test] [--move array=SPACE]...
     hms predict  <kernel> [--scale full|test] [--train] --move array=SPACE...
     hms advise   <kernel> [--scale full|test] [--train] [--top N]
+    hms search   <kernel> [--scale full|test] [--train] [--top N] [--stats] [--prune] [--threads N]
     hms dump     <kernel> [--scale full|test] [--move array=SPACE]...
 
 SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
 
+`search` ranks like `advise` but runs the incremental delta-evaluation
+engine; `--stats` prints its observability counters (full rewrites,
+delta hits, prune rate), `--prune` switches to branch-and-bound.
+
 EXAMPLES:
     hms advise neuralnet --train
+    hms search spmv --stats --prune
     hms predict spmv --move d_vec=G --move rowDelimiters=C
     hms simulate md --move d_position=T
 ";
@@ -231,6 +269,39 @@ mod tests {
         assert!(parse(&v(&["frobnicate"])).is_err());
         assert!(parse(&v(&["simulate", "x", "--scale", "medium"])).is_err());
         assert!(parse(&v(&["simulate", "x", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn parses_search_flags() {
+        let cmd = parse(&v(&[
+            "search",
+            "spmv",
+            "--stats",
+            "--prune",
+            "--threads",
+            "2",
+            "--top",
+            "7",
+        ]))
+        .unwrap();
+        let Command::Search {
+            kernel,
+            top,
+            stats,
+            prune,
+            threads,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(kernel, "spmv");
+        assert_eq!(top, 7);
+        assert!(stats);
+        assert!(prune);
+        assert_eq!(threads, 2);
+        assert!(parse(&v(&["search", "x", "--threads", "many"])).is_err());
+        assert!(parse(&v(&["search"])).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 mod args;
 
 use args::{parse, Command, MoveSpec, USAGE};
-use hms_core::{enumerate_placements, profile_sample, rank_placements, ModelOptions, Predictor};
+use hms_core::{profile_sample, ModelOptions, Predictor, SearchRequest, SearchStrategy};
 use hms_dram::{detect_mapping, AddressMapping, MemoryController};
 use hms_kernels::{by_name, registry, Scale};
 use hms_sim::simulate_default;
@@ -195,26 +195,52 @@ fn run(cmd: Command) {
             let sample = kt.default_placement();
             let p = predictor(&cfg, train);
             let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
-            let candidates: Vec<ArrayId> = kt
-                .arrays
-                .iter()
-                .filter(|a| !a.written)
-                .map(|a| a.id)
-                .collect();
-            let placements = enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
-            let ranked = rank_placements(&p, &profile, &placements).expect("predicts");
-            println!(
-                "{} legal placements over {} candidate arrays; top {top}:",
-                ranked.len(),
-                candidates.len()
-            );
-            for r in ranked.iter().take(top) {
-                println!(
-                    "  {:<44} predicted {:>10.0} cycles",
-                    r.placement.describe(&kt.arrays),
-                    r.predicted_cycles
-                );
+            let outcome = SearchRequest::new(&kt.arrays, &sample)
+                .read_only_candidates()
+                .run(&p, &profile)
+                .expect("predicts");
+            print_ranking(&kt, &outcome, top);
+        }
+        Command::Search {
+            kernel,
+            scale,
+            train,
+            top,
+            stats,
+            prune,
+            threads,
+        } => {
+            let kt = load_kernel(&kernel, scale);
+            let sample = kt.default_placement();
+            let p = predictor(&cfg, train);
+            let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
+            let strategy = if prune {
+                SearchStrategy::BranchAndBound
+            } else {
+                SearchStrategy::Exhaustive
+            };
+            let outcome = SearchRequest::new(&kt.arrays, &sample)
+                .read_only_candidates()
+                .strategy(strategy)
+                .threads(threads)
+                .run(&p, &profile)
+                .expect("predicts");
+            print_ranking(&kt, &outcome, top);
+            if stats {
+                println!();
+                print!("{}", outcome.stats);
             }
         }
+    }
+}
+
+fn print_ranking(kt: &KernelTrace, outcome: &hms_core::SearchOutcome, top: usize) {
+    println!("{} placements ranked; top {top}:", outcome.ranked.len());
+    for r in outcome.ranked.iter().take(top) {
+        println!(
+            "  {:<44} predicted {:>10.0} cycles",
+            r.placement.describe(&kt.arrays),
+            r.predicted_cycles
+        );
     }
 }

@@ -36,7 +36,11 @@ pub struct DramRequest {
 }
 
 /// Event statistics and the filtered DRAM stream for one target trace.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is exact (bit-level on the float fields): the incremental
+/// search engine's self-check compares a composed analysis against the
+/// direct `rewrite`+`analyze` result field for field.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceAnalysis {
     /// Executed instructions (replays excluded), addressing-mode
     /// expansion included, staging copies included.
@@ -154,6 +158,57 @@ impl Default for AnalysisOptions {
     }
 }
 
+/// A walk event, emitted in exact walk order to a [`WalkObserver`].
+///
+/// The incremental search engine ([`crate::engine`]) records these while
+/// analyzing one canonical placement per shared-memory set and replays
+/// them to compose other candidates' analyses without re-walking the
+/// trace. The event split mirrors what is placement-dependent:
+/// `Advance` covers every issue slot whose count cannot change between
+/// candidates sharing the walk (ALU runs, syncs, local and staging
+/// instructions), `AddrCalc` and `Access` cover the parts that can.
+#[derive(Debug)]
+pub(crate) enum WalkEvent<'a> {
+    /// `n` placement-invariant issue slots retired on `sm`.
+    Advance { sm: usize, n: u64 },
+    /// Addressing-mode expansion site for `array` (`count` references).
+    AddrCalc {
+        sm: usize,
+        array: hms_types::ArrayId,
+        count: u16,
+    },
+    /// A warp memory access. `body_idx` is the instruction's index in
+    /// the warp's body stream, or `None` for staging prologue/epilogue
+    /// copies. Emitted *before* the access's cache probes.
+    Access {
+        sm: usize,
+        block: u32,
+        warp: u32,
+        body_idx: Option<usize>,
+        mem: &'a hms_trace::CMemRef,
+    },
+    /// An L1-missed local transaction continuing to L2 (the L1 outcome
+    /// is walk-internal state the observer cannot recompute).
+    LocalFill {
+        sm: usize,
+        addr: u64,
+        is_store: bool,
+    },
+}
+
+/// Observer of the analysis walk; see [`WalkEvent`].
+pub(crate) trait WalkObserver {
+    fn event(&mut self, ev: WalkEvent<'_>);
+}
+
+/// The default no-op observer; monomorphizes away entirely.
+pub(crate) struct NoObserver;
+
+impl WalkObserver for NoObserver {
+    #[inline(always)]
+    fn event(&mut self, _ev: WalkEvent<'_>) {}
+}
+
 /// Analyze `trace` (already materialized/rewritten for the target
 /// placement) through the cache models.
 pub fn analyze(trace: &ConcreteTrace, cfg: &GpuConfig) -> TraceAnalysis {
@@ -165,6 +220,17 @@ pub fn analyze_with(
     trace: &ConcreteTrace,
     cfg: &GpuConfig,
     opts: AnalysisOptions,
+) -> TraceAnalysis {
+    analyze_observed(trace, cfg, opts, &mut NoObserver)
+}
+
+/// [`analyze_with`] that also streams [`WalkEvent`]s to `obs` in exact
+/// walk order — the recording entry point of the incremental engine.
+pub(crate) fn analyze_observed(
+    trace: &ConcreteTrace,
+    cfg: &GpuConfig,
+    opts: AnalysisOptions,
+    obs: &mut impl WalkObserver,
 ) -> TraceAnalysis {
     let mut out = TraceAnalysis::default();
     let num_sms = cfg.num_sms as usize;
@@ -281,6 +347,7 @@ pub fn analyze_with(
                             out.sync_count += 1;
                             out.executed += 1;
                             sm_pos[sm] += 1;
+                            obs.event(WalkEvent::Advance { sm, n: 1 });
                         }
                         CInstr::Alu { kind, count } => {
                             let n = u64::from(*count);
@@ -289,17 +356,24 @@ pub fn analyze_with(
                             if matches!(kind, hms_trace::concrete::AluKind::Fp64) {
                                 out.replay_double_width += n;
                             }
+                            obs.event(WalkEvent::Advance { sm, n });
                         }
                         CInstr::AddrCalc { array, count } => {
                             let n = trace.addr_calc_expansion(*array, *count);
                             out.executed += n;
                             sm_pos[sm] += n;
+                            obs.event(WalkEvent::AddrCalc {
+                                sm,
+                                array: *array,
+                                count: *count,
+                            });
                         }
                         CInstr::Local { is_store, slots } => {
                             out.executed += 1;
                             out.mem_instrs += 1;
                             out.local_requests += 1;
                             sm_pos[sm] += 1;
+                            obs.event(WalkEvent::Advance { sm, n: 1 });
                             if !is_store {
                                 cur.outstanding += 1;
                                 cur.loads_since_wait += 1;
@@ -325,6 +399,11 @@ pub fn analyze_with(
                                 if !l1_caches[sm].access_rw(*t, *is_store).is_hit() {
                                     out.l1_local_misses += 1;
                                     out.replay_local += 1;
+                                    obs.event(WalkEvent::LocalFill {
+                                        sm,
+                                        addr: *t,
+                                        is_store: *is_store,
+                                    });
                                     l2_fill(
                                         &mut l2,
                                         &mut out,
@@ -341,6 +420,14 @@ pub fn analyze_with(
                             out.executed += 1;
                             out.mem_instrs += 1;
                             sm_pos[sm] += 1;
+                            let pc0 = cur.pc - 1;
+                            obs.event(WalkEvent::Access {
+                                sm,
+                                block: cur.block,
+                                warp: cur.warp,
+                                body_idx: pc0.checked_sub(cur.instrs.len()),
+                                mem: m,
+                            });
                             if !m.is_store {
                                 cur.outstanding += 1;
                                 cur.loads_since_wait += 1;
@@ -431,8 +518,11 @@ pub fn analyze_with(
     out
 }
 
+/// Probe L2 and record a DRAM request on miss — shared by the walk and
+/// the incremental engine's replay so both paths fill `out.dram`
+/// identically.
 #[allow(clippy::too_many_arguments)]
-fn l2_fill(
+pub(crate) fn l2_fill(
     l2: &mut L2Cache,
     out: &mut TraceAnalysis,
     addr: u64,

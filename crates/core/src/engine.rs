@@ -1,0 +1,1276 @@
+//! Incremental placement-search engine: delta evaluation, memoization,
+//! and branch-and-bound support for the placement search.
+//!
+//! The naive search pipeline re-runs `rewrite` + `analyze` for every
+//! candidate placement, even though most of the work is identical
+//! between candidates. Two structural facts make incremental evaluation
+//! possible:
+//!
+//! 1. **The walk skeleton depends only on the shared-memory set.** The
+//!    analysis walk's block-to-SM assignment, occupancy, staging
+//!    prologue/epilogue, warp interleaving, and every placement-invariant
+//!    counter (`mem_instrs`, waits, MLP, syncs, shared/local traffic)
+//!    are functions of *which arrays sit in shared memory* — never of
+//!    the global/texture/constant choice for the rest. The engine
+//!    therefore performs **one** exact `rewrite` + recorded `analyze`
+//!    per distinct shared set (a [`Skeleton`]) and replays the recorded
+//!    event stream for every other candidate sharing it.
+//!
+//! 2. **Per-access outcomes are stateless per `(array, space, base)`.**
+//!    Coalescing, constant-word dedup, and texture-line dedup depend
+//!    only on the lane element indices (recovered once from the sample
+//!    trace via [`hms_trace::recover_elem_indices`]), the target space's
+//!    layout, and the allocator base — not on cache state. The engine
+//!    memoizes them per `(array, space, base, stride)` and composes a
+//!    candidate's [`TraceAnalysis`] by re-running only the *stateful*
+//!    models (texture/constant caches, L2, DRAM stream) over the
+//!    composed access sequence.
+//!
+//! The composition is **bit-identical** to the direct path by
+//! construction: the stateful caches expose the same entry points the
+//! walk uses ([`hms_cache::TextureCache::access_lines`],
+//! [`hms_cache::ConstantCache::access_words`]), and every skeleton
+//! self-checks by replaying its own canonical placement and comparing
+//! the full `TraceAnalysis` (exact `PartialEq`) against the direct
+//! result. A skeleton that fails the self-check is *poisoned* and its
+//! candidates silently take the exact `rewrite`+`analyze` fallback, so
+//! correctness never depends on the delta machinery.
+//!
+//! For branch-and-bound pruning the engine also precomputes a **monotone
+//! lower bound** on the predicted time of any completion of a partial
+//! assignment (see [`Engine::lower_bound`]): a `T_comp` floor from
+//! placement-invariant issue slots plus per-space stateless-replay and
+//! addressing floors, and a `T_mem` floor from per-space hit-latency
+//! floors — combined through the overlap model's
+//! [`ToverlapModel::max_ratio`](crate::toverlap::ToverlapModel::max_ratio)
+//! ceiling. Every quantity in the bound can only grow when staging or
+//! cache misses are added, so no subtree containing the true optimum is
+//! ever pruned.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hms_cache::{ConstantCache, L2Cache, L2Source, TextureCache};
+use hms_trace::{
+    addr_calc_instrs, coalesce, element_offset, recover_elem_indices, rewrite, CInstr, ElemIdx,
+};
+use hms_types::{ArrayId, DType, GpuConfig, HmsError, MemorySpace, PlacementMap};
+
+use crate::analysis::{
+    analyze_observed, l2_fill, AnalysisOptions, TraceAnalysis, WalkEvent, WalkObserver,
+};
+use crate::predictor::{Prediction, Predictor};
+use crate::profile::Profile;
+use crate::search::RankedPlacement;
+use crate::tcomp::effective_throughput;
+
+/// Search observability counters, exposed through
+/// [`SearchOutcome`](crate::search::SearchOutcome) and `hms search
+/// --stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Distinct walk skeletons built (one exact rewrite + recorded
+    /// analysis each).
+    pub skeletons_built: u64,
+    /// Whole-trace `rewrite` + `analyze` runs: skeleton builds plus
+    /// exact fallbacks. The headline economy metric — compare against
+    /// `candidates_evaluated`.
+    pub full_rewrites: u64,
+    /// Candidate evaluations composed from memoized deltas instead of a
+    /// full rewrite.
+    pub delta_cache_hits: u64,
+    /// Candidates that fell back to the exact path (poisoned skeleton).
+    pub exact_fallbacks: u64,
+    /// `(array, space, base)` delta-memo tables built.
+    pub memo_tables_built: u64,
+    /// Legal candidates produced by enumeration (exhaustive) or visited
+    /// as branch-and-bound leaves.
+    pub candidates_enumerated: u64,
+    /// Candidates actually evaluated by the model.
+    pub candidates_evaluated: u64,
+    /// Completions skipped by the lower bound. Counted via per-array
+    /// standalone legality, so jointly-illegal completions inflate the
+    /// number slightly; it is an upper estimate of work avoided.
+    pub candidates_pruned: u64,
+    /// Prefix subtrees cut by the bound.
+    pub subtrees_pruned: u64,
+    /// Wall time preparing skeletons and delta memos.
+    pub prepare_nanos: u64,
+    /// Wall time enumerating candidates.
+    pub enumerate_nanos: u64,
+    /// Wall time evaluating candidates (model math + ranking).
+    pub evaluate_nanos: u64,
+}
+
+impl EngineStats {
+    /// Candidates evaluated per full trace rewrite — the factor the
+    /// incremental engine saves over the naive search (≥ 5x on a
+    /// 3-array search is the working target).
+    pub fn rewrite_reduction(&self) -> f64 {
+        self.candidates_evaluated as f64 / self.full_rewrites.max(1) as f64
+    }
+
+    /// Fraction of the (estimated) candidate space skipped by pruning.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.candidates_pruned + self.candidates_evaluated;
+        if total == 0 {
+            0.0
+        } else {
+            self.candidates_pruned as f64 / total as f64
+        }
+    }
+
+    /// Candidates evaluated per second of evaluation wall time.
+    pub fn candidates_per_sec(&self) -> f64 {
+        if self.evaluate_nanos == 0 {
+            0.0
+        } else {
+            self.candidates_evaluated as f64 / (self.evaluate_nanos as f64 / 1e9)
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "search engine stats:")?;
+        writeln!(
+            f,
+            "  candidates enumerated   {:>10}",
+            self.candidates_enumerated
+        )?;
+        writeln!(
+            f,
+            "  candidates evaluated    {:>10}",
+            self.candidates_evaluated
+        )?;
+        writeln!(
+            f,
+            "  candidates pruned (est) {:>10}",
+            self.candidates_pruned
+        )?;
+        writeln!(f, "  subtrees pruned         {:>10}", self.subtrees_pruned)?;
+        writeln!(f, "  skeletons built         {:>10}", self.skeletons_built)?;
+        writeln!(f, "  full trace rewrites     {:>10}", self.full_rewrites)?;
+        writeln!(f, "  delta-composed evals    {:>10}", self.delta_cache_hits)?;
+        writeln!(f, "  exact fallbacks         {:>10}", self.exact_fallbacks)?;
+        writeln!(
+            f,
+            "  delta memo tables       {:>10}",
+            self.memo_tables_built
+        )?;
+        writeln!(
+            f,
+            "  rewrite reduction       {:>13.2}x",
+            self.rewrite_reduction()
+        )?;
+        writeln!(
+            f,
+            "  prune rate              {:>12.1}%",
+            self.prune_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  prepare / enumerate / evaluate  {:.2} ms / {:.2} ms / {:.2} ms",
+            self.prepare_nanos as f64 / 1e6,
+            self.enumerate_nanos as f64 / 1e6,
+            self.evaluate_nanos as f64 / 1e6,
+        )
+    }
+}
+
+/// Thread-safe mirror of [`EngineStats`], bumped from worker threads.
+#[derive(Debug, Default)]
+pub(crate) struct EngineCounters {
+    pub skeletons_built: AtomicU64,
+    pub full_rewrites: AtomicU64,
+    pub delta_cache_hits: AtomicU64,
+    pub exact_fallbacks: AtomicU64,
+    pub memo_tables_built: AtomicU64,
+    pub candidates_enumerated: AtomicU64,
+    pub candidates_evaluated: AtomicU64,
+    pub candidates_pruned: AtomicU64,
+    pub subtrees_pruned: AtomicU64,
+    pub prepare_nanos: AtomicU64,
+    pub enumerate_nanos: AtomicU64,
+    pub evaluate_nanos: AtomicU64,
+}
+
+impl EngineCounters {
+    fn snapshot(&self) -> EngineStats {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        EngineStats {
+            skeletons_built: g(&self.skeletons_built),
+            full_rewrites: g(&self.full_rewrites),
+            delta_cache_hits: g(&self.delta_cache_hits),
+            exact_fallbacks: g(&self.exact_fallbacks),
+            memo_tables_built: g(&self.memo_tables_built),
+            candidates_enumerated: g(&self.candidates_enumerated),
+            candidates_evaluated: g(&self.candidates_evaluated),
+            candidates_pruned: g(&self.candidates_pruned),
+            subtrees_pruned: g(&self.subtrees_pruned),
+            prepare_nanos: g(&self.prepare_nanos),
+            enumerate_nanos: g(&self.enumerate_nanos),
+            evaluate_nanos: g(&self.evaluate_nanos),
+        }
+    }
+
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// One recorded walk event, replayable under any placement sharing the
+/// skeleton's shared-memory set.
+#[derive(Debug, Clone)]
+enum REvent {
+    /// `n` placement-invariant issue slots on `sm` (adjacent same-SM
+    /// runs are merged during recording).
+    Advance { sm: u16, n: u64 },
+    /// Addressing-mode expansion site; the expansion is re-derived from
+    /// the candidate's space at replay.
+    AddrCalc { sm: u16, array: ArrayId, count: u16 },
+    /// A body access of a non-shared array: outcome comes from the
+    /// `(array, space, base)` memo at replay.
+    Body {
+        sm: u16,
+        array: ArrayId,
+        ordinal: u32,
+    },
+    /// A staging (prologue/epilogue) global access: its coalescing is
+    /// fixed per skeleton, but its L2 probes interleave with candidate
+    /// traffic, so the transaction list is replayed against L2.
+    StagingGlobal {
+        sm: u16,
+        is_store: bool,
+        replays: u32,
+        transactions: Vec<u64>,
+    },
+    /// A fixed L2 probe (an L1-missed local transaction).
+    L2Probe { sm: u16, addr: u64, is_store: bool },
+}
+
+/// The recorded walk of one shared-memory set.
+#[derive(Debug)]
+struct Skeleton {
+    /// Placement-invariant counters copied from the canonical analysis;
+    /// placement-dependent fields zeroed (recomputed at replay).
+    consts: TraceAnalysis,
+    events: Vec<REvent>,
+    /// Per-array `(offchip_base, block_stride)` under this skeleton's
+    /// allocator (meaningless for arrays inside the shared set, which
+    /// never appear as `Body` events).
+    bases: Vec<(u64, u64)>,
+    /// Self-check failed (or recording hit an inconsistency): all
+    /// candidates of this shared set take the exact path.
+    poisoned: bool,
+}
+
+/// Per-access shape recovered once from the sample trace.
+#[derive(Debug)]
+struct AccessShape {
+    block: u32,
+    is_store: bool,
+    elem_bytes: u8,
+    idx: Vec<Option<ElemIdx>>,
+}
+
+/// Memoized stateless outcome of one access under one `(space, base)`.
+#[derive(Debug, Clone)]
+enum MemoOutcome {
+    /// No active lanes: the access advances the position but touches no
+    /// memory system.
+    Empty,
+    Global {
+        replays: u32,
+        transactions: Vec<u64>,
+        is_store: bool,
+    },
+    /// Sorted, deduplicated line-aligned addresses (texture).
+    Tex { lines: Vec<u64> },
+    /// Sorted, deduplicated word-aligned addresses (constant).
+    Const { words: Vec<u64> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey {
+    array: ArrayId,
+    space: MemorySpace,
+    base: u64,
+    stride: u64,
+}
+
+/// Index of `space` in [`MemorySpace::ALL`] order.
+fn space_idx(space: MemorySpace) -> usize {
+    match space {
+        MemorySpace::Global => 0,
+        MemorySpace::Texture1D => 1,
+        MemorySpace::Texture2D => 2,
+        MemorySpace::Constant => 3,
+        MemorySpace::Shared => 4,
+    }
+}
+
+/// Placement-invariant quantities behind the branch-and-bound lower
+/// bound. Every term either equals or under-approximates its
+/// counterpart in the real model for *any* completion of a partial
+/// assignment.
+#[derive(Debug)]
+struct LbStatics {
+    detailed: bool,
+    /// Body issue slots excluding addressing expansion (ALU + syncs +
+    /// memory + local); staging only adds to this.
+    body_fixed_executed: u64,
+    body_mem_instrs: u64,
+    body_wait_events: u64,
+    /// Per array: addressing expansion per space (already scaled by the
+    /// trace's AddrCalc counts).
+    expansion: Vec<[u64; 5]>,
+    /// Per array: exact stateless replays per space (global divergence,
+    /// constant divergence, shared conflicts; texture 0). Stateful
+    /// replay causes (cache misses) only add to these.
+    stateless_replays: Vec<[u64; 5]>,
+    /// Per array: non-empty body accesses.
+    body_requests: Vec<u64>,
+    /// Per array: minima over that array's standalone-legal spaces.
+    free_expansion: Vec<u64>,
+    free_replays: Vec<u64>,
+    free_floor: Vec<f64>,
+    /// Standalone-legal spaces per array (a superset of jointly-legal).
+    legal_spaces: Vec<Vec<MemorySpace>>,
+    /// Per-space AMAT hit-latency floor.
+    floor_lat: [f64; 5],
+    /// Floor for any staging access the completion might add.
+    c_min: f64,
+    /// Throughput at the maximum (shared-free) occupancy: the fastest
+    /// any completion can issue.
+    thr_min: f64,
+    active_sms: f64,
+    total_warps: f64,
+    waves_min: f64,
+    w_serial_lb: f64,
+    other_replays: u64,
+    inst_executed_sample: u64,
+    rmax: f64,
+}
+
+/// The incremental evaluation engine. Create once per `(predictor,
+/// profile)` pair; skeletons and delta memos accumulate across calls.
+pub struct Engine<'a> {
+    predictor: &'a Predictor,
+    profile: &'a Profile,
+    /// Sample-trace analysis, shared across predictions by the
+    /// non-detailed model variants (computed once instead of per call).
+    sample_analysis: Option<TraceAnalysis>,
+    dtypes: Vec<DType>,
+    /// Per array, its body accesses in sample-trace order.
+    access_info: Vec<Vec<AccessShape>>,
+    /// `(block, warp)` → per-body-instruction `(array, ordinal)`.
+    warp_body_map: HashMap<(u32, u32), Vec<Option<(ArrayId, u32)>>>,
+    skeletons: Mutex<HashMap<Vec<bool>, Arc<Skeleton>>>,
+    memos: Mutex<HashMap<MemoKey, Arc<Vec<MemoOutcome>>>>,
+    lb: LbStatics,
+    pub(crate) counters: EngineCounters,
+}
+
+impl<'a> Engine<'a> {
+    /// Scan the sample trace once: recover per-access element indices,
+    /// assign per-array ordinals, and precompute the lower-bound
+    /// statics.
+    pub fn new(predictor: &'a Predictor, profile: &'a Profile) -> Self {
+        let cfg = &predictor.cfg;
+        let trace = &profile.trace;
+        let n = trace.arrays.len();
+
+        let mut access_info: Vec<Vec<AccessShape>> = (0..n).map(|_| Vec::new()).collect();
+        let mut warp_body_map = HashMap::new();
+        let mut body_fixed_executed = 0u64;
+        let mut body_syncs = 0u64;
+        let mut body_mem_instrs = 0u64;
+        let mut body_wait_events = 0u64;
+        let mut addrcalc_total = vec![0u64; n];
+        for w in &trace.warps {
+            let mut per_instr = Vec::with_capacity(w.instrs.len());
+            let mut outstanding = 0u32;
+            for instr in &w.instrs {
+                let mut slot = None;
+                match instr {
+                    CInstr::Alu { count, .. } => body_fixed_executed += u64::from(*count),
+                    CInstr::SyncThreads => {
+                        body_fixed_executed += 1;
+                        body_syncs += 1;
+                    }
+                    CInstr::WaitLoads => {
+                        if outstanding > 0 {
+                            body_wait_events += 1;
+                            outstanding = 0;
+                        }
+                    }
+                    CInstr::AddrCalc { array, count } => {
+                        addrcalc_total[array.index()] += u64::from(*count);
+                    }
+                    CInstr::Local { is_store, .. } => {
+                        body_fixed_executed += 1;
+                        body_mem_instrs += 1;
+                        if !is_store {
+                            outstanding += 1;
+                        }
+                    }
+                    CInstr::Mem(m) => {
+                        body_fixed_executed += 1;
+                        body_mem_instrs += 1;
+                        if !m.is_store {
+                            outstanding += 1;
+                        }
+                        let ai = m.array.index();
+                        slot = Some((m.array, access_info[ai].len() as u32));
+                        access_info[ai].push(AccessShape {
+                            block: w.block,
+                            is_store: m.is_store,
+                            elem_bytes: m.elem_bytes,
+                            idx: recover_elem_indices(trace, w.block, m, cfg),
+                        });
+                    }
+                }
+                per_instr.push(slot);
+            }
+            warp_body_map.insert((w.block, w.warp), per_instr);
+        }
+
+        // Per-array, per-space stateless floors. Offsets are computed at
+        // base 0: coalescing, word counts, and bank patterns are all
+        // invariant under the allocator's aligned base shifts.
+        let mut expansion = vec![[0u64; 5]; n];
+        let mut stateless_replays = vec![[0u64; 5]; n];
+        let mut body_requests = vec![0u64; n];
+        let mut legal_spaces: Vec<Vec<MemorySpace>> = vec![Vec::new(); n];
+        let all_global = PlacementMap::all_global(n);
+        for (i, arr) in trace.arrays.iter().enumerate() {
+            for space in MemorySpace::ALL {
+                expansion[i][space_idx(space)] =
+                    u64::from(addr_calc_instrs(space, arr.dtype)) * addrcalc_total[i];
+                if all_global
+                    .with(ArrayId(i as u32), space)
+                    .validate(&trace.arrays, cfg)
+                    .is_ok()
+                {
+                    legal_spaces[i].push(space);
+                }
+            }
+            for acc in &access_info[i] {
+                let offs: Vec<u64> = acc
+                    .idx
+                    .iter()
+                    .flatten()
+                    .map(|&ix| element_offset(arr, MemorySpace::Global, ix, cfg))
+                    .collect();
+                if offs.is_empty() {
+                    continue;
+                }
+                body_requests[i] += 1;
+                let co = coalesce(
+                    offs.iter().copied(),
+                    u64::from(acc.elem_bytes),
+                    cfg.transaction_bytes,
+                );
+                stateless_replays[i][space_idx(MemorySpace::Global)] += u64::from(co.replays);
+                let mut words: Vec<u64> = offs.iter().map(|a| a / 4 * 4).collect();
+                words.sort_unstable();
+                words.dedup();
+                stateless_replays[i][space_idx(MemorySpace::Constant)] += words.len() as u64 - 1;
+                stateless_replays[i][space_idx(MemorySpace::Shared)] += u64::from(
+                    hms_cache::shared_conflict_passes(&offs, cfg.shared_banks).saturating_sub(1),
+                );
+            }
+        }
+        let floor_lat = [
+            cfg.l2_hit_lat as f64,
+            cfg.tex_hit_lat as f64,
+            cfg.tex_hit_lat as f64,
+            cfg.const_hit_lat as f64,
+            cfg.shared_lat as f64,
+        ];
+        let mins = |f: &dyn Fn(MemorySpace) -> f64, legal: &[MemorySpace]| -> f64 {
+            legal.iter().map(|&s| f(s)).fold(f64::INFINITY, f64::min)
+        };
+        let mut free_expansion = vec![0u64; n];
+        let mut free_replays = vec![0u64; n];
+        let mut free_floor = vec![0.0f64; n];
+        for i in 0..n {
+            let legal = &legal_spaces[i];
+            if legal.is_empty() {
+                continue;
+            }
+            free_expansion[i] = legal
+                .iter()
+                .map(|&s| expansion[i][space_idx(s)])
+                .min()
+                .unwrap_or(0);
+            free_replays[i] = legal
+                .iter()
+                .map(|&s| stateless_replays[i][space_idx(s)])
+                .min()
+                .unwrap_or(0);
+            free_floor[i] = mins(&|s| floor_lat[space_idx(s)], legal);
+        }
+
+        // Occupancy extremes: with zero shared usage the SM packs the
+        // most blocks, issuing fastest and draining the grid in the
+        // fewest waves — both floors for any completion.
+        let g = &trace.geometry;
+        let blocks = g.grid_blocks as usize;
+        let wpb = g.warps_per_block().max(1);
+        let by_warps = (cfg.max_warps_per_sm / wpb).max(1) as usize;
+        let bps_max = by_warps.min(cfg.max_blocks_per_sm as usize);
+        let active_sms = (cfg.num_sms as usize).min(blocks).max(1);
+        let wps_max = f64::from(wpb) * (bps_max.min(blocks.div_ceil(active_sms))) as f64;
+        let thr_min = effective_throughput(cfg, wps_max.max(1.0));
+        let waves_min = blocks
+            .div_ceil((cfg.num_sms as usize * bps_max).max(1))
+            .max(1) as f64;
+        let active_sms_f = active_sms as f64;
+        let total_warps = g.total_warps().max(1) as f64;
+
+        let lb = LbStatics {
+            detailed: predictor.options.detailed_instr,
+            body_fixed_executed,
+            body_mem_instrs,
+            body_wait_events,
+            expansion,
+            stateless_replays,
+            body_requests,
+            free_expansion,
+            free_replays,
+            free_floor,
+            legal_spaces,
+            floor_lat,
+            c_min: (cfg.l2_hit_lat as f64).min(cfg.shared_lat as f64),
+            thr_min,
+            active_sms: active_sms_f,
+            total_warps,
+            waves_min,
+            w_serial_lb: body_syncs as f64 / active_sms_f * cfg.avg_inst_lat as f64,
+            other_replays: profile.other_replays(),
+            inst_executed_sample: profile.events.inst_executed,
+            rmax: predictor.overlap.max_ratio(),
+        };
+
+        let sample_analysis = if predictor.options.detailed_instr {
+            None
+        } else {
+            Some(crate::analysis::analyze(&profile.trace, cfg))
+        };
+
+        Engine {
+            predictor,
+            profile,
+            sample_analysis,
+            dtypes: trace.arrays.iter().map(|a| a.dtype).collect(),
+            access_info,
+            warp_body_map,
+            skeletons: Mutex::new(HashMap::new()),
+            memos: Mutex::new(HashMap::new()),
+            lb,
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// The predictor this engine evaluates with.
+    pub fn predictor(&self) -> &Predictor {
+        self.predictor
+    }
+
+    /// The profiled sample this engine searches from.
+    pub fn profile(&self) -> &Profile {
+        self.profile
+    }
+
+    /// Snapshot of the engine's observability counters.
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+
+    fn shared_key(&self, pm: &PlacementMap) -> Vec<bool> {
+        (0..self.dtypes.len())
+            .map(|i| pm.space(ArrayId(i as u32)) == MemorySpace::Shared)
+            .collect()
+    }
+
+    /// Fetch (or build) the delta memo for `(array, space)` under the
+    /// given allocator bases.
+    fn get_memo(
+        &self,
+        array: ArrayId,
+        space: MemorySpace,
+        bases: (u64, u64),
+    ) -> Arc<Vec<MemoOutcome>> {
+        let key = MemoKey {
+            array,
+            space,
+            base: bases.0,
+            stride: bases.1,
+        };
+        if let Some(m) = self.memos.lock().expect("memo lock").get(&key) {
+            return m.clone();
+        }
+        let built = Arc::new(self.build_memo(array, space, bases));
+        // Count only winning inserts: losing a build race must not make
+        // the observability counters depend on the worker count.
+        match self.memos.lock().expect("memo lock").entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.counters.add(&self.counters.memo_tables_built, 1);
+                v.insert(built).clone()
+            }
+        }
+    }
+
+    fn build_memo(
+        &self,
+        array: ArrayId,
+        space: MemorySpace,
+        bases: (u64, u64),
+    ) -> Vec<MemoOutcome> {
+        let cfg = &self.predictor.cfg;
+        let arr = &self.profile.trace.arrays[array.index()];
+        let tex_line = cfg.tex_cache.line_bytes;
+        self.access_info[array.index()]
+            .iter()
+            .map(|acc| {
+                let base = bases.0 + bases.1 * u64::from(acc.block);
+                let addrs: Vec<u64> = acc
+                    .idx
+                    .iter()
+                    .flatten()
+                    .map(|&ix| base + element_offset(arr, space, ix, cfg))
+                    .collect();
+                if addrs.is_empty() {
+                    return MemoOutcome::Empty;
+                }
+                match space {
+                    MemorySpace::Global => {
+                        let co = coalesce(
+                            addrs.iter().copied(),
+                            u64::from(acc.elem_bytes),
+                            cfg.transaction_bytes,
+                        );
+                        MemoOutcome::Global {
+                            replays: co.replays,
+                            transactions: co.transactions,
+                            is_store: acc.is_store,
+                        }
+                    }
+                    MemorySpace::Texture1D | MemorySpace::Texture2D => {
+                        let mut lines: Vec<u64> =
+                            addrs.iter().map(|a| a / tex_line * tex_line).collect();
+                        lines.sort_unstable();
+                        lines.dedup();
+                        MemoOutcome::Tex { lines }
+                    }
+                    MemorySpace::Constant => {
+                        let mut words: Vec<u64> = addrs.iter().map(|a| a / 4 * 4).collect();
+                        words.sort_unstable();
+                        words.dedup();
+                        MemoOutcome::Const { words }
+                    }
+                    // Shared-placed arrays never appear as Body events;
+                    // an empty outcome keeps the replay total-safe.
+                    MemorySpace::Shared => MemoOutcome::Empty,
+                }
+            })
+            .collect()
+    }
+
+    /// Get (or build, recording one full rewrite) the skeleton for the
+    /// shared set of `canonical`.
+    fn skeleton_for(&self, canonical: &PlacementMap) -> Arc<Skeleton> {
+        let key = self.shared_key(canonical);
+        if let Some(s) = self.skeletons.lock().expect("skeleton lock").get(&key) {
+            return s.clone();
+        }
+        let built = Arc::new(self.build_skeleton(canonical));
+        self.skeletons
+            .lock()
+            .expect("skeleton lock")
+            .entry(key)
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Prebuild the skeletons for every distinct shared set among
+    /// `candidates` (parallel across `threads` workers) so that
+    /// subsequent evaluation only reads the cache.
+    fn prepare(&self, candidates: &[PlacementMap], threads: usize) {
+        let t0 = Instant::now();
+        let mut missing: Vec<PlacementMap> = Vec::new();
+        {
+            let cache = self.skeletons.lock().expect("skeleton lock");
+            let mut seen: Vec<Vec<bool>> = Vec::new();
+            for pm in candidates {
+                let key = self.shared_key(pm);
+                if !cache.contains_key(&key) && !seen.contains(&key) {
+                    seen.push(key);
+                    missing.push(pm.clone());
+                }
+            }
+        }
+        let built = hms_stats::par::par_map_threads(threads, &missing, |pm| {
+            (self.shared_key(pm), Arc::new(self.build_skeleton(pm)))
+        });
+        let mut cache = self.skeletons.lock().expect("skeleton lock");
+        for (key, skel) in built {
+            cache.entry(key).or_insert(skel);
+        }
+        drop(cache);
+        // Warm every (array, space, base) memo the candidates will need,
+        // sequentially, so the parallel evaluation pass only reads.
+        for pm in candidates {
+            let skel = self.skeleton_for(pm);
+            if skel.poisoned {
+                continue;
+            }
+            for i in 0..self.dtypes.len() {
+                let id = ArrayId(i as u32);
+                let space = pm.space(id);
+                if space != MemorySpace::Shared && !self.access_info[i].is_empty() {
+                    self.get_memo(id, space, skel.bases[i]);
+                }
+            }
+        }
+        self.counters
+            .add(&self.counters.prepare_nanos, t0.elapsed().as_nanos() as u64);
+    }
+
+    fn build_skeleton(&self, canonical: &PlacementMap) -> Skeleton {
+        let cfg = &self.predictor.cfg;
+        self.counters.add(&self.counters.skeletons_built, 1);
+        self.counters.add(&self.counters.full_rewrites, 1);
+        let n = self.dtypes.len();
+        let poisoned_skeleton = || Skeleton {
+            consts: TraceAnalysis::default(),
+            events: Vec::new(),
+            bases: vec![(0, 0); n],
+            poisoned: true,
+        };
+        let Ok(rewritten) = rewrite(&self.profile.trace, canonical, cfg) else {
+            return poisoned_skeleton();
+        };
+        let mut rec = Recorder {
+            cfg,
+            map: &self.warp_body_map,
+            events: Vec::new(),
+            last_advance: vec![None; cfg.num_sms as usize],
+            ok: true,
+        };
+        let canonical_analysis =
+            analyze_observed(&rewritten, cfg, AnalysisOptions::default(), &mut rec);
+        if !rec.ok {
+            return poisoned_skeleton();
+        }
+        let bases: Vec<(u64, u64)> = (0..n)
+            .map(|i| {
+                let id = ArrayId(i as u32);
+                if canonical.space(id) == MemorySpace::Shared {
+                    (0, 0)
+                } else {
+                    let b0 = rewritten.alloc.base(id, 0, canonical);
+                    let stride = if rewritten.geometry.grid_blocks > 1 {
+                        rewritten.alloc.base(id, 1, canonical) - b0
+                    } else {
+                        0
+                    };
+                    (b0, stride)
+                }
+            })
+            .collect();
+        let mut consts = canonical_analysis.clone();
+        consts.executed = 0;
+        consts.replay_global_divergence = 0;
+        consts.replay_const_miss = 0;
+        consts.replay_const_divergence = 0;
+        consts.global_requests = 0;
+        consts.global_transactions = 0;
+        consts.tex_requests = 0;
+        consts.tex_transactions = 0;
+        consts.tex_misses = 0;
+        consts.const_requests = 0;
+        consts.const_transactions = 0;
+        consts.const_misses = 0;
+        consts.l2_transactions = 0;
+        consts.l2_misses = 0;
+        consts.l2_writebacks = 0;
+        consts.dram = Vec::new();
+        let skel = Skeleton {
+            consts,
+            events: rec.events,
+            bases,
+            poisoned: false,
+        };
+        // Self-check: replaying the canonical placement must reproduce
+        // the direct analysis bit for bit. A mismatch poisons the
+        // skeleton — its candidates silently use the exact path.
+        if self.replay(&skel, canonical) != canonical_analysis {
+            return Skeleton {
+                poisoned: true,
+                ..skel
+            };
+        }
+        skel
+    }
+
+    /// Compose the exact `TraceAnalysis` of `target` from the skeleton's
+    /// recorded events plus per-`(array, space)` memos, re-running only
+    /// the stateful cache models.
+    fn replay(&self, skel: &Skeleton, target: &PlacementMap) -> TraceAnalysis {
+        let cfg = &self.predictor.cfg;
+        let num_sms = cfg.num_sms as usize;
+        let mut out = skel.consts.clone();
+        let mut l2 = L2Cache::new(cfg.l2_cache);
+        let mut const_caches: Vec<ConstantCache> = (0..num_sms)
+            .map(|_| ConstantCache::new(cfg.const_cache))
+            .collect();
+        let mut tex_caches: Vec<TextureCache> = (0..num_sms)
+            .map(|_| TextureCache::new(cfg.tex_cache))
+            .collect();
+        let mut sm_pos = vec![0u64; num_sms];
+        // Per-(array, space) memo handles resolved once per replay.
+        let mut local: HashMap<(ArrayId, MemorySpace), Arc<Vec<MemoOutcome>>> = HashMap::new();
+        for ev in &skel.events {
+            match ev {
+                REvent::Advance { sm, n } => {
+                    out.executed += n;
+                    sm_pos[*sm as usize] += n;
+                }
+                REvent::AddrCalc { sm, array, count } => {
+                    let n = u64::from(addr_calc_instrs(
+                        target.space(*array),
+                        self.dtypes[array.index()],
+                    )) * u64::from(*count);
+                    out.executed += n;
+                    sm_pos[*sm as usize] += n;
+                }
+                REvent::StagingGlobal {
+                    sm,
+                    is_store,
+                    replays,
+                    transactions,
+                } => {
+                    let sm = *sm as usize;
+                    out.executed += 1;
+                    sm_pos[sm] += 1;
+                    out.global_requests += 1;
+                    out.global_transactions += transactions.len() as u64;
+                    out.replay_global_divergence += u64::from(*replays);
+                    for t in transactions {
+                        l2_fill(
+                            &mut l2,
+                            &mut out,
+                            *t,
+                            L2Source::Global,
+                            sm_pos[sm],
+                            sm as u32,
+                            *is_store,
+                        );
+                    }
+                }
+                REvent::L2Probe { sm, addr, is_store } => {
+                    let sm = *sm as usize;
+                    l2_fill(
+                        &mut l2,
+                        &mut out,
+                        *addr,
+                        L2Source::Global,
+                        sm_pos[sm],
+                        sm as u32,
+                        *is_store,
+                    );
+                }
+                REvent::Body { sm, array, ordinal } => {
+                    let sm = *sm as usize;
+                    out.executed += 1;
+                    sm_pos[sm] += 1;
+                    let space = target.space(*array);
+                    let memo = local
+                        .entry((*array, space))
+                        .or_insert_with(|| self.get_memo(*array, space, skel.bases[array.index()]));
+                    match &memo[*ordinal as usize] {
+                        MemoOutcome::Empty => {}
+                        MemoOutcome::Global {
+                            replays,
+                            transactions,
+                            is_store,
+                        } => {
+                            out.global_requests += 1;
+                            out.global_transactions += transactions.len() as u64;
+                            out.replay_global_divergence += u64::from(*replays);
+                            for t in transactions {
+                                l2_fill(
+                                    &mut l2,
+                                    &mut out,
+                                    *t,
+                                    L2Source::Global,
+                                    sm_pos[sm],
+                                    sm as u32,
+                                    *is_store,
+                                );
+                            }
+                        }
+                        MemoOutcome::Tex { lines } => {
+                            let r = tex_caches[sm].access_lines(lines);
+                            out.tex_requests += 1;
+                            out.tex_transactions += u64::from(r.transactions);
+                            out.tex_misses += u64::from(r.misses);
+                            for line in &r.missed_lines {
+                                l2_fill(
+                                    &mut l2,
+                                    &mut out,
+                                    *line,
+                                    L2Source::Texture,
+                                    sm_pos[sm],
+                                    sm as u32,
+                                    false,
+                                );
+                            }
+                        }
+                        MemoOutcome::Const { words } => {
+                            let r = const_caches[sm].access_words(words);
+                            out.const_requests += 1;
+                            out.const_transactions += u64::from(r.transactions);
+                            out.const_misses += u64::from(r.misses);
+                            out.replay_const_divergence += u64::from(r.transactions - 1);
+                            out.replay_const_miss += u64::from(r.misses);
+                            for line in &r.missed_lines {
+                                l2_fill(
+                                    &mut l2,
+                                    &mut out,
+                                    *line,
+                                    L2Source::Constant,
+                                    sm_pos[sm],
+                                    sm as u32,
+                                    false,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.l2_transactions = l2.transactions();
+        out.l2_misses = l2.misses();
+        out.l2_writebacks = l2.writebacks();
+        out
+    }
+
+    /// Predict `target`'s execution time through the incremental path
+    /// (exact fallback when the shared set's skeleton is poisoned).
+    /// Bit-identical to [`Predictor::predict`].
+    pub fn predict(&self, target: &PlacementMap) -> Result<Prediction, HmsError> {
+        target.validate(&self.profile.trace.arrays, &self.predictor.cfg)?;
+        let skel = self.skeleton_for(target);
+        if skel.poisoned {
+            self.counters.add(&self.counters.exact_fallbacks, 1);
+            self.counters.add(&self.counters.full_rewrites, 1);
+            return self.predictor.predict(self.profile, target);
+        }
+        let analysis = self.replay(&skel, target);
+        self.counters.add(&self.counters.delta_cache_hits, 1);
+        let pred =
+            self.predictor
+                .predict_prepared(self.profile, analysis, self.sample_analysis.as_ref());
+        if pred.cycles.is_finite() {
+            Ok(pred)
+        } else {
+            Err(HmsError::NonFinitePrediction {
+                cycles: pred.cycles,
+                t_comp: pred.t_comp,
+                t_mem: pred.t_mem,
+                t_overlap: pred.t_overlap,
+            })
+        }
+    }
+
+    /// Evaluate and rank `candidates` (ascending predicted time, stable
+    /// on ties). Bit-identical to the naive
+    /// [`rank_placements_threads`](crate::search::rank_placements_threads)
+    /// for every worker count.
+    pub fn rank(
+        &self,
+        candidates: &[PlacementMap],
+        threads: usize,
+    ) -> Result<Vec<RankedPlacement>, HmsError> {
+        let mut ranked = self.evaluate_batch(candidates, threads)?;
+        ranked.sort_by(|a, b| a.predicted_cycles.total_cmp(&b.predicted_cycles));
+        Ok(ranked)
+    }
+
+    /// Evaluate `candidates` in input order (no sort): prepare the
+    /// skeletons and memos they need, then fan the pure-read
+    /// predictions out across `threads` workers.
+    pub(crate) fn evaluate_batch(
+        &self,
+        candidates: &[PlacementMap],
+        threads: usize,
+    ) -> Result<Vec<RankedPlacement>, HmsError> {
+        self.prepare(candidates, threads);
+        let t0 = Instant::now();
+        let predictions = hms_stats::par::par_map_threads(threads, candidates, |pm| {
+            self.predict(pm).map(|pred| RankedPlacement {
+                placement: pm.clone(),
+                predicted_cycles: pred.cycles,
+            })
+        });
+        let mut ranked = Vec::with_capacity(candidates.len());
+        for p in predictions {
+            ranked.push(p?);
+        }
+        self.counters
+            .add(&self.counters.candidates_evaluated, candidates.len() as u64);
+        self.counters.add(
+            &self.counters.evaluate_nanos,
+            t0.elapsed().as_nanos() as u64,
+        );
+        Ok(ranked)
+    }
+
+    /// Standalone-legal spaces for each array (superset of the jointly
+    /// legal spaces) — drives branch-and-bound enumeration.
+    pub(crate) fn legal_spaces(&self, array: ArrayId) -> &[MemorySpace] {
+        &self.lb.legal_spaces[array.index()]
+    }
+
+    /// Monotone lower bound on the predicted cycles of **any** legal
+    /// completion of a partial assignment (`None` = free array; fixed
+    /// arrays carry `Some(space)`).
+    ///
+    /// `T >= T_comp + (1 - max_ratio) x T_mem`, with `T_comp` floored by
+    /// the body's placement-invariant issue slots, per-space stateless
+    /// replays and addressing expansion (free arrays take their minimum
+    /// over standalone-legal spaces) at maximum-occupancy throughput,
+    /// and `T_mem` floored by the body wait chain at minimum waves times
+    /// an AMAT floor built from per-space hit latencies (staging can
+    /// only pull AMAT toward `c_min`, never below `min(A/B, c_min)`).
+    /// A `1 - 1e-9` discount absorbs float-rounding asymmetry between
+    /// the bound's and the model's operation order.
+    pub(crate) fn lower_bound(&self, spaces: &[Option<MemorySpace>]) -> f64 {
+        let lb = &self.lb;
+        let mut amat_num = 0.0f64;
+        let mut issued = lb.body_fixed_executed + lb.other_replays;
+        for (i, s) in spaces.iter().enumerate() {
+            match s {
+                Some(sp) => {
+                    let k = space_idx(*sp);
+                    issued += lb.expansion[i][k] + lb.stateless_replays[i][k];
+                    amat_num += lb.body_requests[i] as f64 * lb.floor_lat[k];
+                }
+                None => {
+                    issued += lb.free_expansion[i] + lb.free_replays[i];
+                    amat_num += lb.body_requests[i] as f64 * lb.free_floor[i];
+                }
+            }
+        }
+        let inst_per_warp = if lb.detailed {
+            issued as f64 / lb.total_warps
+        } else {
+            lb.inst_executed_sample as f64 / lb.total_warps
+        };
+        let tc = inst_per_warp * lb.total_warps / lb.active_sms * lb.thr_min + lb.w_serial_lb;
+        let amat = if lb.body_mem_instrs == 0 {
+            0.0
+        } else {
+            (amat_num / lb.body_mem_instrs as f64).min(lb.c_min)
+        };
+        let tm = lb.body_wait_events as f64 / lb.total_warps * lb.waves_min * amat;
+        (tc + (1.0 - lb.rmax) * tm).max(1.0) * (1.0 - 1e-9)
+    }
+}
+
+/// Records [`WalkEvent`]s into the skeleton's replayable stream,
+/// accumulating staging coalescing and merging adjacent same-SM
+/// advances.
+struct Recorder<'e> {
+    cfg: &'e GpuConfig,
+    map: &'e HashMap<(u32, u32), Vec<Option<(ArrayId, u32)>>>,
+    events: Vec<REvent>,
+    /// Index of the last `Advance` per SM, merge target for runs.
+    last_advance: Vec<Option<usize>>,
+    ok: bool,
+}
+
+impl Recorder<'_> {
+    fn advance(&mut self, sm: usize, n: u64) {
+        if let Some(i) = self.last_advance[sm] {
+            if let REvent::Advance { n: m, .. } = &mut self.events[i] {
+                *m += n;
+                return;
+            }
+        }
+        self.last_advance[sm] = Some(self.events.len());
+        self.events.push(REvent::Advance { sm: sm as u16, n });
+    }
+}
+
+impl WalkObserver for Recorder<'_> {
+    fn event(&mut self, ev: WalkEvent<'_>) {
+        match ev {
+            WalkEvent::Advance { sm, n } => self.advance(sm, n),
+            WalkEvent::AddrCalc { sm, array, count } => {
+                self.last_advance[sm] = None;
+                self.events.push(REvent::AddrCalc {
+                    sm: sm as u16,
+                    array,
+                    count,
+                });
+            }
+            WalkEvent::LocalFill { sm, addr, is_store } => {
+                self.last_advance[sm] = None;
+                self.events.push(REvent::L2Probe {
+                    sm: sm as u16,
+                    addr,
+                    is_store,
+                });
+            }
+            WalkEvent::Access {
+                sm,
+                block,
+                warp,
+                body_idx,
+                mem,
+            } => match body_idx {
+                Some(i) => {
+                    match self
+                        .map
+                        .get(&(block, warp))
+                        .and_then(|v| v.get(i))
+                        .copied()
+                        .flatten()
+                    {
+                        Some((array, ordinal)) => {
+                            self.last_advance[sm] = None;
+                            self.events.push(REvent::Body {
+                                sm: sm as u16,
+                                array,
+                                ordinal,
+                            });
+                        }
+                        None => self.ok = false,
+                    }
+                }
+                None => {
+                    // Staging copies touch only global and shared
+                    // memory; shared staging counters are skeleton
+                    // constants, so only the position advance replays.
+                    let active: Vec<u64> = mem.active_addrs().collect();
+                    if active.is_empty() || mem.space == MemorySpace::Shared {
+                        self.advance(sm, 1);
+                    } else if mem.space == MemorySpace::Global {
+                        let co = coalesce(
+                            active.iter().copied(),
+                            u64::from(mem.elem_bytes),
+                            self.cfg.transaction_bytes,
+                        );
+                        self.last_advance[sm] = None;
+                        self.events.push(REvent::StagingGlobal {
+                            sm: sm as u16,
+                            is_store: mem.is_store,
+                            replays: co.replays,
+                            transactions: co.transactions,
+                        });
+                    } else {
+                        self.ok = false;
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_sample;
+    use crate::search::enumerate_placements;
+    use hms_kernels::Scale;
+
+    fn setup(name: &str) -> (Predictor, Profile, Vec<hms_types::ArrayDef>) {
+        let cfg = GpuConfig::test_small();
+        let kt = hms_kernels::by_name(name, Scale::Test).expect("kernel exists");
+        let profile = profile_sample(&kt, &kt.default_placement(), &cfg).unwrap();
+        (Predictor::new(cfg), profile, kt.arrays)
+    }
+
+    #[test]
+    fn engine_matches_naive_predictor_bitwise() {
+        let (predictor, profile, arrays) = setup("vecadd");
+        let base = profile.trace.placement.clone();
+        let ids: Vec<ArrayId> = arrays.iter().map(|a| a.id).collect();
+        let cands = enumerate_placements(&arrays, &base, &ids, &predictor.cfg, 4096);
+        let engine = Engine::new(&predictor, &profile);
+        for pm in &cands {
+            let fast = engine.predict(pm).unwrap();
+            let slow = predictor.predict(&profile, pm).unwrap();
+            assert_eq!(
+                fast.cycles.to_bits(),
+                slow.cycles.to_bits(),
+                "divergence for {pm:?}"
+            );
+            assert_eq!(fast.analysis, slow.analysis, "analysis drift for {pm:?}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.exact_fallbacks, 0, "no skeleton may fail self-check");
+        assert!(stats.skeletons_built < cands.len() as u64);
+    }
+
+    #[test]
+    fn skeletons_are_shared_per_shared_set() {
+        let (predictor, profile, arrays) = setup("vecadd");
+        let base = profile.trace.placement.clone();
+        // a and b are read-only: 4 spaces each; one skeleton per shared
+        // subset of {a, b} = 4 skeletons for 16 candidates.
+        let cands = enumerate_placements(
+            &arrays,
+            &base,
+            &[ArrayId(0), ArrayId(1)],
+            &predictor.cfg,
+            4096,
+        );
+        assert_eq!(cands.len(), 16);
+        let engine = Engine::new(&predictor, &profile);
+        let ranked = engine.rank(&cands, 1).unwrap();
+        assert_eq!(ranked.len(), 16);
+        let stats = engine.stats();
+        assert_eq!(stats.skeletons_built, 4);
+        assert_eq!(stats.full_rewrites, 4);
+        assert_eq!(stats.delta_cache_hits, 16); // self-check replays bypass predict()
+        assert!(stats.rewrite_reduction() >= 4.0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_true_prediction() {
+        for name in ["vecadd", "spmv", "stencil2d"] {
+            let (predictor, profile, arrays) = setup(name);
+            let base = profile.trace.placement.clone();
+            let ids: Vec<ArrayId> = arrays.iter().map(|a| a.id).collect();
+            let cands = enumerate_placements(&arrays, &base, &ids, &predictor.cfg, 256);
+            let engine = Engine::new(&predictor, &profile);
+            let free = vec![None; arrays.len()];
+            let lb_all_free = engine.lower_bound(&free);
+            for pm in &cands {
+                let pred = engine.predict(pm).unwrap();
+                let assigned: Vec<Option<MemorySpace>> = (0..arrays.len())
+                    .map(|i| Some(pm.space(ArrayId(i as u32))))
+                    .collect();
+                let lb = engine.lower_bound(&assigned);
+                assert!(
+                    lb <= pred.cycles,
+                    "{name}: bound {lb} exceeds prediction {} for {pm:?}",
+                    pred.cycles
+                );
+                assert!(
+                    lb_all_free <= lb + 1e-9,
+                    "{name}: freeing arrays must not raise the bound"
+                );
+            }
+        }
+    }
+}

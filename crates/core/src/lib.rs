@@ -30,6 +30,7 @@
 
 pub mod analysis;
 pub mod baselines;
+pub mod engine;
 pub mod predictor;
 pub mod profile;
 pub mod search;
@@ -40,11 +41,14 @@ pub mod toverlap;
 
 pub use analysis::{analyze, TraceAnalysis};
 pub use baselines::{PorpleModel, SimKimModel};
+pub use engine::{Engine, EngineStats};
 pub use predictor::{ModelOptions, Prediction, Predictor, QueuingMode};
 pub use profile::{profile_sample, Profile};
 pub use search::{
-    enumerate_placements, exhaustive_search, rank_placements, rank_placements_threads,
-    RankedPlacement,
+    enumerate_placements, rank_placements, search, RankedPlacement, SearchOutcome, SearchRequest,
+    SearchStrategy,
 };
+#[allow(deprecated)]
+pub use search::{exhaustive_search, rank_placements_threads};
 pub use sensitivity::{stability, sweep, Knob, SensitivityReport};
 pub use toverlap::ToverlapModel;

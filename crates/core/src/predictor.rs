@@ -119,6 +119,10 @@ impl Predictor {
 
     /// Predict the execution time of `target` given the sample
     /// `profile`.
+    ///
+    /// A model that produces a NaN or infinite time surfaces as
+    /// [`HmsError::NonFinitePrediction`] rather than a poisoned float, so
+    /// downstream ranking can use [`f64::total_cmp`] on trusted keys.
     pub fn predict(
         &self,
         profile: &Profile,
@@ -126,12 +130,43 @@ impl Predictor {
     ) -> Result<Prediction, HmsError> {
         let target_trace = rewrite(&profile.trace, target, &self.cfg)?;
         let analysis = analyze(&target_trace, &self.cfg);
-        Ok(self.predict_from_analysis(profile, analysis))
+        let pred = self.predict_from_analysis(profile, analysis);
+        if pred.cycles.is_finite() {
+            Ok(pred)
+        } else {
+            Err(HmsError::NonFinitePrediction {
+                cycles: pred.cycles,
+                t_comp: pred.t_comp,
+                t_mem: pred.t_mem,
+                t_overlap: pred.t_overlap,
+            })
+        }
     }
 
     /// Predict from a pre-computed analysis (used by the harness to
     /// share work across model variants).
     pub fn predict_from_analysis(&self, profile: &Profile, analysis: TraceAnalysis) -> Prediction {
+        if self.options.detailed_instr {
+            self.predict_prepared(profile, analysis, None)
+        } else {
+            let sample_analysis = analyze(&profile.trace, &self.cfg);
+            self.predict_prepared(profile, analysis, Some(&sample_analysis))
+        }
+    }
+
+    /// Predict from a pre-computed target analysis plus an optional
+    /// pre-computed *sample* analysis. The non-detailed ablation variants
+    /// feed Eq. 11 the sample placement's events (see below), which
+    /// normally means re-analyzing the sample trace on every call; the
+    /// incremental search engine computes that analysis once and passes
+    /// it here. Float operations are identical either way, so results
+    /// are bit-for-bit the same.
+    pub fn predict_prepared(
+        &self,
+        profile: &Profile,
+        analysis: TraceAnalysis,
+        sample_analysis: Option<&TraceAnalysis>,
+    ) -> Prediction {
         let tc = tcomp(profile, &analysis, &self.cfg, self.options.detailed_instr);
         let tm = tmem(profile, &analysis, &self.cfg, self.options.queuing);
         // Without the detailed counting framework a model cannot know
@@ -140,13 +175,15 @@ impl Predictor {
         // of those memory events needed by Equation 11" for exactly this
         // reason, so the degraded variants feed Eq. 11 the sample
         // placement's events.
-        let to = if self.options.detailed_instr {
-            self.overlap
-                .t_overlap(&analysis, &self.cfg, tc.cycles, tm.cycles)
-        } else {
-            let sample_analysis = analyze(&profile.trace, &self.cfg);
-            self.overlap
-                .t_overlap(&sample_analysis, &self.cfg, tc.cycles, tm.cycles)
+        let to = match (self.options.detailed_instr, sample_analysis) {
+            (true, _) => self
+                .overlap
+                .t_overlap(&analysis, &self.cfg, tc.cycles, tm.cycles),
+            (false, Some(sa)) => self.overlap.t_overlap(sa, &self.cfg, tc.cycles, tm.cycles),
+            (false, None) => {
+                let sa = analyze(&profile.trace, &self.cfg);
+                self.overlap.t_overlap(&sa, &self.cfg, tc.cycles, tm.cycles)
+            }
         };
         let cycles = (tc.cycles + tm.cycles - to).max(1.0);
         Prediction {

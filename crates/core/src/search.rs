@@ -5,10 +5,18 @@
 //! placements, subject to the limitation of memory capacities and
 //! read/write properties." The models make exhausting that space cheap:
 //! one profiled sample run, then one analytical evaluation per
-//! candidate.
+//! candidate — and the incremental [`Engine`] makes each evaluation a
+//! delta composition instead of a full trace rewrite.
+//!
+//! The entry point is [`SearchRequest`]: name the search space, pick a
+//! [`SearchStrategy`], and [`search`] returns a [`SearchOutcome`] with
+//! the ranking plus the engine's observability counters.
+
+use std::time::Instant;
 
 use hms_types::{ArrayDef, ArrayId, GpuConfig, HmsError, MemorySpace, PlacementMap};
 
+use crate::engine::{Engine, EngineStats};
 use crate::predictor::Predictor;
 use crate::profile::Profile;
 
@@ -62,25 +70,315 @@ pub struct RankedPlacement {
     pub predicted_cycles: f64,
 }
 
+/// How [`search`] covers the placement space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Enumerate every legal placement (up to the limit) and rank all of
+    /// them. The full ranking is bit-identical to the naive
+    /// rewrite-per-candidate path for every worker count.
+    #[default]
+    Exhaustive,
+    /// Depth-first branch-and-bound over candidate arrays: subtrees
+    /// whose monotone lower bound already exceeds the best evaluated
+    /// candidate are skipped. Returns a *partial* ranking — pruned
+    /// placements are absent — but the top entry is always the true
+    /// optimum of the legal space, for every worker count.
+    BranchAndBound,
+}
+
+/// A named-field description of one placement search. Replaces the old
+/// eight-positional-argument [`exhaustive_search`] call.
+///
+/// ```ignore
+/// let outcome = SearchRequest::new(&kt.arrays, &base)
+///     .candidates(&[ArrayId(0), ArrayId(1)])
+///     .strategy(SearchStrategy::BranchAndBound)
+///     .run(&predictor, &profile)?;
+/// println!("{}", outcome.stats);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SearchRequest<'a> {
+    arrays: &'a [ArrayDef],
+    base: &'a PlacementMap,
+    candidates: Vec<ArrayId>,
+    limit: usize,
+    threads: usize,
+    strategy: SearchStrategy,
+}
+
+impl<'a> SearchRequest<'a> {
+    /// A search over **all** arrays of the kernel, starting from `base`
+    /// for anything not being varied. Defaults: `limit` 4096 legal
+    /// placements, all-core evaluation, [`SearchStrategy::Exhaustive`].
+    pub fn new(arrays: &'a [ArrayDef], base: &'a PlacementMap) -> Self {
+        SearchRequest {
+            arrays,
+            base,
+            candidates: arrays.iter().map(|a| a.id).collect(),
+            limit: 4096,
+            threads: 0,
+            strategy: SearchStrategy::default(),
+        }
+    }
+
+    /// Restrict the search to these arrays (others keep their `base`
+    /// space).
+    pub fn candidates(mut self, ids: &[ArrayId]) -> Self {
+        self.candidates = ids.to_vec();
+        self
+    }
+
+    /// Restrict the search to the kernel's read-only arrays — the ones
+    /// with the full five-way space choice, where the search space (and
+    /// the delta engine's leverage) is largest.
+    pub fn read_only_candidates(mut self) -> Self {
+        self.candidates = self
+            .arrays
+            .iter()
+            .filter(|a| !a.written)
+            .map(|a| a.id)
+            .collect();
+        self
+    }
+
+    /// Cap the number of legal placements enumerated (exhaustive) or
+    /// evaluated as leaves (branch-and-bound).
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Worker threads for candidate evaluation (`0` = all cores). The
+    /// outcome is identical for every worker count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Pick the coverage strategy.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Run the search. Equivalent to `search(predictor, profile, &self)`.
+    pub fn run(&self, predictor: &Predictor, profile: &Profile) -> Result<SearchOutcome, HmsError> {
+        search(predictor, profile, self)
+    }
+}
+
+/// A completed search: the ranking (ascending predicted cycles, best
+/// first) plus the engine's observability counters.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    pub ranked: Vec<RankedPlacement>,
+    pub stats: EngineStats,
+}
+
+impl SearchOutcome {
+    /// The best placement found, if any candidate was legal.
+    pub fn best(&self) -> Option<&RankedPlacement> {
+        self.ranked.first()
+    }
+}
+
+/// Execute a [`SearchRequest`] through the incremental [`Engine`].
+pub fn search(
+    predictor: &Predictor,
+    profile: &Profile,
+    req: &SearchRequest<'_>,
+) -> Result<SearchOutcome, HmsError> {
+    let engine = Engine::new(predictor, profile);
+    let ranked = match req.strategy {
+        SearchStrategy::Exhaustive => {
+            let t0 = Instant::now();
+            let space = enumerate_placements(
+                req.arrays,
+                req.base,
+                &req.candidates,
+                &predictor.cfg,
+                req.limit,
+            );
+            engine.counters.add(
+                &engine.counters.enumerate_nanos,
+                t0.elapsed().as_nanos() as u64,
+            );
+            engine
+                .counters
+                .add(&engine.counters.candidates_enumerated, space.len() as u64);
+            engine.rank(&space, req.threads)?
+        }
+        SearchStrategy::BranchAndBound => branch_and_bound(&engine, req)?,
+    };
+    Ok(SearchOutcome {
+        ranked,
+        stats: engine.stats(),
+    })
+}
+
+/// Leaves per evaluation batch. Constant (never derived from the worker
+/// count or core count) so the bound-update schedule — and therefore the
+/// exact set of placements evaluated — is machine- and thread-count
+/// independent.
+const BB_BATCH: usize = 64;
+
+/// Depth-first branch-and-bound over the candidate arrays, in candidate
+/// order, spaces in [`MemorySpace::ALL`] order. Leaves are collected
+/// into fixed-size batches and evaluated in parallel; the incumbent
+/// upper bound tightens between batches. A subtree is cut only when its
+/// monotone lower bound *strictly exceeds* the incumbent, so the true
+/// optimum always survives to evaluation.
+fn branch_and_bound(
+    engine: &Engine<'_>,
+    req: &SearchRequest<'_>,
+) -> Result<Vec<RankedPlacement>, HmsError> {
+    let t0 = Instant::now();
+    let n = req.arrays.len();
+    // Remaining-subtree sizes for the pruned-candidate estimate: the
+    // product of standalone-legal space counts below each depth.
+    let mut subtree: Vec<u64> = vec![1; req.candidates.len() + 1];
+    for (d, &id) in req.candidates.iter().enumerate().rev() {
+        subtree[d] = subtree[d + 1].saturating_mul(engine.legal_spaces(id).len().max(1) as u64);
+    }
+    let mut assignment: Vec<Option<MemorySpace>> = (0..n)
+        .map(|i| {
+            let id = ArrayId(i as u32);
+            if req.candidates.contains(&id) {
+                None
+            } else {
+                Some(req.base.space(id))
+            }
+        })
+        .collect();
+
+    struct Dfs<'s, 'e, 'p> {
+        engine: &'s Engine<'e>,
+        req: &'s SearchRequest<'p>,
+        subtree: &'s [u64],
+        ub: f64,
+        batch: Vec<PlacementMap>,
+        evaluated: Vec<RankedPlacement>,
+        leaves: usize,
+        error: Option<HmsError>,
+    }
+
+    impl Dfs<'_, '_, '_> {
+        fn flush(&mut self) {
+            if self.batch.is_empty() || self.error.is_some() {
+                return;
+            }
+            let batch = std::mem::take(&mut self.batch);
+            match self.engine.evaluate_batch(&batch, self.req.threads) {
+                Ok(ranked) => {
+                    for r in &ranked {
+                        if r.predicted_cycles < self.ub {
+                            self.ub = r.predicted_cycles;
+                        }
+                    }
+                    self.evaluated.extend(ranked);
+                }
+                Err(e) => self.error = Some(e),
+            }
+        }
+
+        fn visit(
+            &mut self,
+            depth: usize,
+            assignment: &mut [Option<MemorySpace>],
+            pm: &PlacementMap,
+        ) {
+            if self.error.is_some() || self.leaves >= self.req.limit {
+                return;
+            }
+            if self.engine.lower_bound(assignment) > self.ub {
+                let c = &self.engine.counters;
+                c.add(&c.subtrees_pruned, 1);
+                c.add(&c.candidates_pruned, self.subtree[depth]);
+                return;
+            }
+            let Some(&id) = self.req.candidates.get(depth) else {
+                // Leaf: joint legality can be stricter than the per-array
+                // legality that shaped the tree (e.g. shared capacity).
+                if pm
+                    .validate(self.req.arrays, &self.engine.predictor().cfg)
+                    .is_ok()
+                {
+                    self.leaves += 1;
+                    let c = &self.engine.counters;
+                    c.add(&c.candidates_enumerated, 1);
+                    self.batch.push(pm.clone());
+                    if self.batch.len() >= BB_BATCH {
+                        self.flush();
+                    }
+                }
+                return;
+            };
+            for &space in self.engine.legal_spaces(id) {
+                assignment[id.index()] = Some(space);
+                let child = pm.with(id, space);
+                self.visit(depth + 1, assignment, &child);
+                assignment[id.index()] = None;
+            }
+        }
+    }
+
+    let mut dfs = Dfs {
+        engine,
+        req,
+        subtree: &subtree,
+        ub: f64::INFINITY,
+        batch: Vec::new(),
+        evaluated: Vec::new(),
+        leaves: 0,
+        error: None,
+    };
+    let root = req.base.clone();
+    engine.counters.add(
+        &engine.counters.enumerate_nanos,
+        t0.elapsed().as_nanos() as u64,
+    );
+    dfs.visit(0, &mut assignment, &root);
+    dfs.flush();
+    if let Some(e) = dfs.error {
+        return Err(e);
+    }
+    let mut ranked = dfs.evaluated;
+    ranked.sort_by(|a, b| a.predicted_cycles.total_cmp(&b.predicted_cycles));
+    Ok(ranked)
+}
+
 /// Predict every candidate placement and rank ascending by predicted
-/// time (best first). Fans the per-candidate predictions out across all
-/// cores; see [`rank_placements_threads`] for determinism notes.
+/// time (best first), through the incremental engine. Prefer
+/// [`SearchRequest`] when you also control enumeration.
 pub fn rank_placements(
     predictor: &Predictor,
     profile: &Profile,
     candidates: &[PlacementMap],
 ) -> Result<Vec<RankedPlacement>, HmsError> {
-    rank_placements_threads(predictor, profile, candidates, 0)
+    Engine::new(predictor, profile).rank(candidates, 0)
 }
 
-/// [`rank_placements`] with an explicit worker count (`0` = all cores).
+/// The naive ranking path: one full `rewrite` + `analyze` per
+/// candidate, no delta reuse.
 ///
-/// Candidate predictions are independent, so they run on a
-/// [`hms_stats::par`] pool. The result is **bit-identical for every
-/// worker count**: `par_map` reassembles results in input order, and the
-/// final ordering is a *stable* sort on the predicted time, so ties keep
-/// enumeration order no matter how the work was scheduled.
+/// Kept as the engine's ground truth — the equivalence suite asserts the
+/// incremental path reproduces this bit for bit. The result is
+/// identical for every worker count: `par_map` reassembles in input
+/// order, and the final ordering is a *stable* total sort on the
+/// predicted time, so ties keep enumeration order no matter how the
+/// work was scheduled.
+#[deprecated(note = "use `SearchRequest::run` / `search`, which evaluate incrementally")]
 pub fn rank_placements_threads(
+    predictor: &Predictor,
+    profile: &Profile,
+    candidates: &[PlacementMap],
+    threads: usize,
+) -> Result<Vec<RankedPlacement>, HmsError> {
+    rank_naive(predictor, profile, candidates, threads)
+}
+
+/// Implementation of the naive path (see [`rank_placements_threads`]).
+pub(crate) fn rank_naive(
     predictor: &Predictor,
     profile: &Profile,
     candidates: &[PlacementMap],
@@ -96,35 +394,32 @@ pub fn rank_placements_threads(
     for p in predictions {
         ranked.push(p?);
     }
-    ranked.sort_by(|a, b| {
-        a.predicted_cycles
-            .partial_cmp(&b.predicted_cycles)
-            .expect("finite predictions")
-    });
+    ranked.sort_by(|a, b| a.predicted_cycles.total_cmp(&b.predicted_cycles));
     Ok(ranked)
 }
 
-/// Exhaustively search the placement space of `candidates` (up to
-/// `limit` legal placements of the `m^n` space) and return the full
-/// ranking, fanning the model evaluations out across `threads` workers
-/// (`0` = all cores).
-///
-/// Enumeration stays sequential — it is a cheap, deterministic walk —
-/// while the per-placement model evaluation, the hot path, runs on the
-/// pool. Single-threaded and multi-threaded searches return identical
-/// rankings (and therefore the identical best placement).
+/// Exhaustively search the placement space of `candidates` and return
+/// the full ranking. Thin wrapper over [`SearchRequest`]; `cfg` must
+/// match the predictor's config (it always did at every call site) and
+/// is otherwise ignored.
+#[allow(clippy::too_many_arguments)]
+#[deprecated(note = "use `SearchRequest::new(arrays, base).candidates(..).run(..)`")]
 pub fn exhaustive_search(
     predictor: &Predictor,
     profile: &Profile,
     arrays: &[ArrayDef],
     base: &PlacementMap,
     candidates: &[ArrayId],
-    cfg: &GpuConfig,
+    _cfg: &GpuConfig,
     limit: usize,
     threads: usize,
 ) -> Result<Vec<RankedPlacement>, HmsError> {
-    let space = enumerate_placements(arrays, base, candidates, cfg, limit);
-    rank_placements_threads(predictor, profile, &space, threads)
+    SearchRequest::new(arrays, base)
+        .candidates(candidates)
+        .limit(limit)
+        .threads(threads)
+        .run(predictor, profile)
+        .map(|o| o.ranked)
 }
 
 #[cfg(test)]
@@ -174,33 +469,18 @@ mod tests {
         let base = kt.default_placement();
         let profile = profile_sample(&kt, &base, &cfg).unwrap();
         let predictor = Predictor::new(cfg.clone());
-        let candidates: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
-        let single = exhaustive_search(
-            &predictor,
-            &profile,
-            &kt.arrays,
-            &base,
-            &candidates,
-            &cfg,
-            4096,
-            1,
-        )
-        .unwrap();
-        assert!(!single.is_empty());
-        for threads in [2, 0] {
-            let multi = exhaustive_search(
-                &predictor,
-                &profile,
-                &kt.arrays,
-                &base,
-                &candidates,
-                &cfg,
-                4096,
-                threads,
-            )
+        let single = SearchRequest::new(&kt.arrays, &base)
+            .threads(1)
+            .run(&predictor, &profile)
             .unwrap();
-            assert_eq!(single.len(), multi.len());
-            for (a, b) in single.iter().zip(&multi) {
+        assert!(!single.ranked.is_empty());
+        for threads in [2, 0] {
+            let multi = SearchRequest::new(&kt.arrays, &base)
+                .threads(threads)
+                .run(&predictor, &profile)
+                .unwrap();
+            assert_eq!(single.ranked.len(), multi.ranked.len());
+            for (a, b) in single.ranked.iter().zip(&multi.ranked) {
                 assert_eq!(a.placement, b.placement);
                 assert_eq!(
                     a.predicted_cycles.to_bits(),
@@ -209,6 +489,84 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_new_api() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg.clone());
+        let ids: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
+        let old = exhaustive_search(&predictor, &profile, &kt.arrays, &base, &ids, &cfg, 4096, 1)
+            .unwrap();
+        let new = SearchRequest::new(&kt.arrays, &base)
+            .threads(1)
+            .run(&predictor, &profile)
+            .unwrap();
+        assert_eq!(old.len(), new.ranked.len());
+        for (a, b) in old.iter().zip(&new.ranked) {
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.predicted_cycles.to_bits(), b.predicted_cycles.to_bits());
+        }
+        // And the naive path agrees bit for bit with the engine path.
+        let space = enumerate_placements(&kt.arrays, &base, &ids, &cfg, 4096);
+        let naive = rank_placements_threads(&predictor, &profile, &space, 1).unwrap();
+        for (a, b) in naive.iter().zip(&new.ranked) {
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.predicted_cycles.to_bits(), b.predicted_cycles.to_bits());
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_keeps_true_best() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg);
+        let full = SearchRequest::new(&kt.arrays, &base)
+            .run(&predictor, &profile)
+            .unwrap();
+        for threads in [1, 2, 0] {
+            let bb = SearchRequest::new(&kt.arrays, &base)
+                .strategy(SearchStrategy::BranchAndBound)
+                .threads(threads)
+                .run(&predictor, &profile)
+                .unwrap();
+            let best = bb.best().expect("non-empty");
+            let truth = full.best().expect("non-empty");
+            assert_eq!(best.placement, truth.placement);
+            assert_eq!(
+                best.predicted_cycles.to_bits(),
+                truth.predicted_cycles.to_bits()
+            );
+            assert_eq!(
+                bb.stats.candidates_evaluated + bb.stats.candidates_pruned
+                    >= full.ranked.len() as u64,
+                true
+            );
+        }
+    }
+
+    #[test]
+    fn search_stats_report_delta_economy() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg);
+        let outcome = SearchRequest::new(&kt.arrays, &base)
+            .read_only_candidates()
+            .run(&predictor, &profile)
+            .unwrap();
+        // Two read-only candidates -> 16 placements over 4 skeletons.
+        assert_eq!(outcome.stats.candidates_evaluated, 16);
+        assert_eq!(outcome.stats.full_rewrites, 4);
+        assert!(outcome.stats.rewrite_reduction() >= 4.0);
+        assert_eq!(outcome.stats.exact_fallbacks, 0);
     }
 
     #[test]

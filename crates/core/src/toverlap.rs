@@ -197,6 +197,20 @@ impl ToverlapModel {
         }
     }
 
+    /// The largest ratio [`Self::ratio`] can return for *any* analysis —
+    /// the trained clamp ceiling, or the untrained default. The search
+    /// engine's branch-and-bound lower bound relies on this:
+    /// `T >= T_comp + (1 - max_ratio) x T_mem` for every candidate.
+    pub fn max_ratio(&self) -> f64 {
+        match &self.model {
+            Some(_) => {
+                let lo = self.ratio_range.0.clamp(-1.0, 1.0);
+                self.ratio_range.1.clamp(lo, 1.0)
+            }
+            None => 0.5,
+        }
+    }
+
     /// Eq. 12: `T_overlap = ratio x T_mem`.
     pub fn t_overlap(
         &self,

@@ -34,7 +34,7 @@ pub mod serialize;
 pub use addressing::addr_calc_instrs;
 pub use alloc::AddressAllocator;
 pub use coalesce::{coalesce, CoalesceResult};
-pub use concrete::{materialize, CInstr, CMemRef, ConcreteTrace, ConcreteWarp};
+pub use concrete::{element_offset, materialize, CInstr, CMemRef, ConcreteTrace, ConcreteWarp};
 pub use op::{ElemIdx, KernelTrace, MemRef, SymOp, WarpTrace};
-pub use rewrite::rewrite;
+pub use rewrite::{recover_elem_indices, rewrite};
 pub use serialize::{dump, load};

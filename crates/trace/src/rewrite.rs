@@ -19,6 +19,42 @@ use crate::alloc::AddressAllocator;
 use crate::concrete::{element_offset, CInstr, CMemRef, ConcreteTrace, ConcreteWarp};
 use crate::op::ElemIdx;
 
+/// Recover the per-lane element indices of one sample-trace access by
+/// inverting the sample placement's layout — the per-access core of
+/// [`rewrite`], exposed so the incremental search engine can re-lay
+/// single accesses out under candidate spaces without rebuilding whole
+/// traces. `block` is the issuing warp's block (per-block arrays have
+/// block-dependent bases).
+pub fn recover_elem_indices(
+    sample: &ConcreteTrace,
+    block: u32,
+    m: &CMemRef,
+    cfg: &GpuConfig,
+) -> Vec<Option<ElemIdx>> {
+    let array = &sample.arrays[m.array.index()];
+    let from_space = m.space;
+    let from_base = sample.alloc.base(m.array, block, &sample.placement);
+    let esize = array.dtype.size_bytes();
+    let width = match array.dims {
+        Dims::D1 { len } => len,
+        Dims::D2 { width, .. } => width,
+    };
+    m.addrs
+        .iter()
+        .map(|oa| {
+            oa.map(|a| {
+                let off = a - from_base;
+                if from_space == MemorySpace::Texture2D {
+                    let (x, y) = tex2d_invert(off, width, esize, cfg.tex2d_tile);
+                    ElemIdx::XY(x, y)
+                } else {
+                    ElemIdx::Lin(off / esize)
+                }
+            })
+        })
+        .collect()
+}
+
 /// Rewrite `sample` (a concrete trace of the sample placement) into the
 /// concrete trace of `target`.
 pub fn rewrite(
@@ -35,32 +71,13 @@ pub fn rewrite(
             match instr {
                 CInstr::Mem(m) => {
                     let array = &sample.arrays[m.array.index()];
-                    let from_space = m.space;
                     let to_space = target.space(m.array);
-                    let from_base = sample.alloc.base(m.array, w.block, &sample.placement);
                     let to_base = alloc.base(m.array, w.block, target);
-                    let esize = array.dtype.size_bytes();
-                    let width = match array.dims {
-                        Dims::D1 { len } => len,
-                        Dims::D2 { width, .. } => width,
-                    };
-                    let addrs = m
-                        .addrs
-                        .iter()
-                        .map(|oa| {
-                            oa.map(|a| {
-                                let off = a - from_base;
-                                // Invert the sample layout to recover the
-                                // element, then apply the target layout.
-                                let idx = if from_space == MemorySpace::Texture2D {
-                                    let (x, y) = tex2d_invert(off, width, esize, cfg.tex2d_tile);
-                                    ElemIdx::XY(x, y)
-                                } else {
-                                    ElemIdx::Lin(off / esize)
-                                };
-                                to_base + element_offset(array, to_space, idx, cfg)
-                            })
-                        })
+                    // Invert the sample layout to recover the element,
+                    // then apply the target layout.
+                    let addrs = recover_elem_indices(sample, w.block, m, cfg)
+                        .into_iter()
+                        .map(|oi| oi.map(|idx| to_base + element_offset(array, to_space, idx, cfg)))
                         .collect();
                     instrs.push(CInstr::Mem(CMemRef {
                         array: m.array,

@@ -22,6 +22,14 @@ pub enum HmsError {
     Texture2DNeeds2D { array: String },
     /// The T_overlap regression was asked to predict before being fitted.
     ModelNotTrained,
+    /// A model produced a NaN or infinite predicted time. Surfaced as an
+    /// error so ranking never has to compare non-finite keys.
+    NonFinitePrediction {
+        cycles: f64,
+        t_comp: f64,
+        t_mem: f64,
+        t_overlap: f64,
+    },
     /// A numerical routine failed (e.g. singular regression system).
     Numerical(String),
     /// A model input was inconsistent (message explains).
@@ -57,6 +65,18 @@ impl fmt::Display for HmsError {
                 write!(f, "array `{array}` is 1-D but placed in 2-D texture memory")
             }
             HmsError::ModelNotTrained => write!(f, "T_overlap model used before fit()"),
+            HmsError::NonFinitePrediction {
+                cycles,
+                t_comp,
+                t_mem,
+                t_overlap,
+            } => {
+                write!(
+                    f,
+                    "non-finite prediction: {cycles} cycles \
+                     (T_comp {t_comp} + T_mem {t_mem} - T_overlap {t_overlap})"
+                )
+            }
             HmsError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             HmsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }
@@ -78,6 +98,19 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("weights"));
         assert!(msg.contains("constant"));
+    }
+
+    #[test]
+    fn non_finite_display_carries_terms() {
+        let e = HmsError::NonFinitePrediction {
+            cycles: f64::NAN,
+            t_comp: 1.0,
+            t_mem: f64::INFINITY,
+            t_overlap: 0.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("non-finite"));
+        assert!(msg.contains("inf"));
     }
 
     #[test]

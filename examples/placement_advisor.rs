@@ -54,10 +54,19 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    let placements = enumerate_placements(&kernel.arrays, &sample, &candidates, &cfg, 1024);
-    println!("legal placements in the search space: {}", placements.len());
-
-    let ranked = rank_placements(&predictor, &profile, &placements).expect("predicts");
+    let outcome = SearchRequest::new(&kernel.arrays, &sample)
+        .candidates(&candidates)
+        .limit(1024)
+        .run(&predictor, &profile)
+        .expect("predicts");
+    let ranked = &outcome.ranked;
+    println!("legal placements in the search space: {}", ranked.len());
+    println!(
+        "engine economy: {} evaluations over {} full rewrites ({:.1}x reuse)",
+        outcome.stats.candidates_evaluated,
+        outcome.stats.full_rewrites,
+        outcome.stats.rewrite_reduction()
+    );
 
     println!("\ntop 5 advised placements:");
     for r in ranked.iter().take(5) {
@@ -78,7 +87,8 @@ fn main() {
     let advised = &ranked[0].placement;
     let mut best_measured = u64::MAX;
     let mut best_pm = sample.clone();
-    for pm in &placements {
+    for r in ranked {
+        let pm = &r.placement;
         let ct = materialize(&kernel, pm, &cfg).expect("valid");
         let c = simulate_default(&ct, &cfg).expect("simulates").cycles;
         if c < best_measured {

@@ -36,21 +36,28 @@ fn main() {
         profile.measured_cycles, profile.events.inst_issued, profile.events.dram_requests
     );
 
-    // Enumerate every legal placement of the two inputs and predict.
-    let candidates =
-        enumerate_placements(&kernel.arrays, &sample, &[ArrayId(0), ArrayId(1)], &cfg, 64);
+    // Search every legal placement of the two inputs through the
+    // incremental engine: one trace rewrite per shared-memory set, every
+    // other candidate composed from cached deltas.
     let predictor = Predictor::new(cfg.clone());
-    let ranked = rank_placements(&predictor, &profile, &candidates).expect("predicts");
+    let outcome = SearchRequest::new(&kernel.arrays, &sample)
+        .candidates(&[ArrayId(0), ArrayId(1)])
+        .limit(64)
+        .run(&predictor, &profile)
+        .expect("predicts");
+    let ranked = &outcome.ranked;
 
     println!(
-        "{} candidate placements, ranked by predicted time:",
-        ranked.len()
+        "{} candidate placements, ranked by predicted time ({} full rewrites, {:.0}x reuse):",
+        ranked.len(),
+        outcome.stats.full_rewrites,
+        outcome.stats.rewrite_reduction()
     );
     println!(
         "{:<28} {:>12} {:>12} {:>8}",
         "placement", "predicted", "measured", "pred/meas"
     );
-    for r in &ranked {
+    for r in ranked {
         // "Measure" by actually simulating, for comparison.
         let ct = materialize(&kernel, &r.placement, &cfg).expect("valid");
         let measured = simulate_default(&ct, &cfg).expect("simulates").cycles;

@@ -17,4 +17,7 @@ cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> search micro-benchmark (BENCH_search.json)"
+cargo run -q -p hms-bench --release --offline --bin bench_search -- test
+
 echo "CI OK"

@@ -8,9 +8,7 @@
 //! into model output (see DESIGN.md, "Hermetic build & determinism").
 
 use gpu_hms::prelude::*;
-use hms_core::exhaustive_search;
 use hms_kernels::{registry, Scale};
-use hms_types::ArrayId;
 
 /// One search outcome, reduced to exactly-comparable form: the best
 /// placement and the bit pattern of every ranked prediction.
@@ -30,18 +28,12 @@ fn search_all(threads: usize, limit: usize) -> Vec<Outcome> {
             let base = kt.default_placement();
             let profile = profile_sample(&kt, &base, &cfg).unwrap();
             let predictor = Predictor::new(cfg.clone());
-            let candidates: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
-            let ranked = exhaustive_search(
-                &predictor,
-                &profile,
-                &kt.arrays,
-                &base,
-                &candidates,
-                &cfg,
-                limit,
-                threads,
-            )
-            .unwrap();
+            let ranked = SearchRequest::new(&kt.arrays, &base)
+                .limit(limit)
+                .threads(threads)
+                .run(&predictor, &profile)
+                .unwrap()
+                .ranked;
             assert!(!ranked.is_empty(), "{}: empty search space", spec.name);
             Outcome {
                 kernel: spec.name,

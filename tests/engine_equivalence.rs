@@ -1,0 +1,205 @@
+//! Equivalence suite for the incremental search engine (see DESIGN.md,
+//! "Delta evaluation & search engine").
+//!
+//! The engine's contract is *bit-identity*: composing a candidate's
+//! `TraceAnalysis` from one recorded skeleton walk plus memoized
+//! per-`(array, space)` deltas must reproduce the naive
+//! rewrite-per-candidate path exactly — same prediction bits, same
+//! ranking, for every kernel in the registry and every worker count.
+//! Branch-and-bound pruning must additionally never cut the subtree
+//! holding the true optimum.
+
+use gpu_hms::prelude::*;
+use hms_core::Engine;
+use hms_kernels::{registry, Scale};
+use hms_stats::proptest_lite::{check, Config};
+use hms_types::MemorySpace;
+
+fn bits(ranked: &[hms_core::RankedPlacement]) -> Vec<(String, u64)> {
+    ranked
+        .iter()
+        .map(|r| (format!("{:?}", r.placement), r.predicted_cycles.to_bits()))
+        .collect()
+}
+
+/// For every registered kernel: the engine ranking over the full legal
+/// space equals the naive ranking bit for bit, at 1, 2, and all
+/// workers — and no skeleton ever fails its self-check.
+#[test]
+fn incremental_ranking_is_bit_identical_to_naive_registry_wide() {
+    let cfg = GpuConfig::test_small();
+    for spec in registry() {
+        let kt = (spec.build)(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg.clone());
+        let ids: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
+        let space = enumerate_placements(&kt.arrays, &base, &ids, &cfg, 256);
+        #[allow(deprecated)]
+        let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 1).unwrap();
+        for threads in [1usize, 2, 0] {
+            let outcome = SearchRequest::new(&kt.arrays, &base)
+                .limit(256)
+                .threads(threads)
+                .run(&predictor, &profile)
+                .unwrap();
+            assert_eq!(
+                bits(&naive),
+                bits(&outcome.ranked),
+                "{}: incremental ranking diverged from naive at {threads} workers",
+                spec.name
+            );
+            assert_eq!(
+                outcome.stats.exact_fallbacks, 0,
+                "{}: a skeleton failed its self-check",
+                spec.name
+            );
+            assert!(outcome.stats.full_rewrites <= outcome.stats.candidates_evaluated);
+        }
+    }
+}
+
+/// For every registered kernel: branch-and-bound returns the same best
+/// placement (same prediction bits) as the exhaustive search, at 1, 2,
+/// and all workers, and accounts for the whole space as either
+/// evaluated or pruned.
+#[test]
+fn branch_and_bound_never_drops_the_true_best_registry_wide() {
+    let cfg = GpuConfig::test_small();
+    for spec in registry() {
+        let kt = (spec.build)(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg.clone());
+        let full = SearchRequest::new(&kt.arrays, &base)
+            .run(&predictor, &profile)
+            .unwrap();
+        let truth = full.best().expect("non-empty space");
+        for threads in [1usize, 2, 0] {
+            let bb = SearchRequest::new(&kt.arrays, &base)
+                .strategy(SearchStrategy::BranchAndBound)
+                .threads(threads)
+                .run(&predictor, &profile)
+                .unwrap();
+            let best = bb.best().expect("non-empty space");
+            assert_eq!(
+                best.placement, truth.placement,
+                "{}: pruning dropped the optimum at {threads} workers",
+                spec.name
+            );
+            assert_eq!(
+                best.predicted_cycles.to_bits(),
+                truth.predicted_cycles.to_bits(),
+                "{}: best prediction drifted",
+                spec.name
+            );
+            assert!(
+                bb.stats.candidates_evaluated + bb.stats.candidates_pruned
+                    >= full.ranked.len() as u64,
+                "{}: space not fully accounted for",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Property: for a random kernel and a random *legal* placement, the
+/// engine's single prediction is bit-identical to the naive predictor's
+/// (analysis and all).
+#[test]
+fn engine_prediction_matches_naive_on_random_placements() {
+    let cfg = GpuConfig::test_small();
+    let setups: Vec<_> = registry()
+        .iter()
+        .map(|spec| {
+            let kt = (spec.build)(Scale::Test);
+            let base = kt.default_placement();
+            let profile = profile_sample(&kt, &base, &cfg).unwrap();
+            (spec.name, kt, profile)
+        })
+        .collect();
+    let predictor = Predictor::new(cfg.clone());
+    check(
+        "engine_matches_naive",
+        &Config::with_cases(48),
+        |rng| {
+            let k = rng.gen_range(0u64..setups.len() as u64) as usize;
+            let (_, kt, _) = &setups[k];
+            // Draw random spaces until the joint placement is legal.
+            loop {
+                let mut pm = kt.default_placement();
+                for (i, _) in kt.arrays.iter().enumerate() {
+                    let s =
+                        MemorySpace::ALL[rng.gen_range(0..MemorySpace::ALL.len() as u64) as usize];
+                    pm = pm.with(ArrayId(i as u32), s);
+                }
+                if pm.validate(&kt.arrays, &cfg).is_ok() {
+                    return (k, pm);
+                }
+            }
+        },
+        |(k, pm)| {
+            let (name, _, profile) = &setups[*k];
+            let engine = Engine::new(&predictor, profile);
+            let fast = engine.predict(pm).map_err(|e| e.to_string())?;
+            let slow = predictor.predict(profile, pm).map_err(|e| e.to_string())?;
+            if fast.cycles.to_bits() != slow.cycles.to_bits() {
+                return Err(format!(
+                    "{name}: engine {} != naive {} for {pm:?}",
+                    fast.cycles, slow.cycles
+                ));
+            }
+            if fast.analysis != slow.analysis {
+                return Err(format!("{name}: composed analysis drifted for {pm:?}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Acceptance: on a three-array search over read-only arrays, the
+/// engine performs at least five times fewer full trace rewrites than
+/// candidate evaluations, while staying bit-identical to the naive
+/// path.
+#[test]
+fn three_array_search_reuses_rewrites_five_fold() {
+    let cfg = GpuConfig::test_small();
+    let mut checked = 0;
+    for spec in registry() {
+        let kt = (spec.build)(Scale::Test);
+        let read_only: Vec<ArrayId> = kt
+            .arrays
+            .iter()
+            .filter(|a| !a.written)
+            .map(|a| a.id)
+            .collect();
+        if read_only.len() < 3 {
+            continue;
+        }
+        checked += 1;
+        let candidates = &read_only[..3];
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg.clone());
+        let outcome = SearchRequest::new(&kt.arrays, &base)
+            .candidates(candidates)
+            .run(&predictor, &profile)
+            .unwrap();
+        assert!(
+            outcome.stats.rewrite_reduction() >= 5.0,
+            "{}: only {:.2}x rewrite reduction ({} evals / {} rewrites)",
+            spec.name,
+            outcome.stats.rewrite_reduction(),
+            outcome.stats.candidates_evaluated,
+            outcome.stats.full_rewrites
+        );
+        let space = enumerate_placements(&kt.arrays, &base, candidates, &cfg, 4096);
+        #[allow(deprecated)]
+        let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 0).unwrap();
+        assert_eq!(bits(&naive), bits(&outcome.ranked), "{}", spec.name);
+    }
+    assert!(
+        checked >= 2,
+        "registry lost its kernels with >= 3 read-only arrays"
+    );
+}
