@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use hms_core::{profile_sample, Predictor, SearchRequest, SearchStrategy};
 use hms_kernels::Scale;
+use hms_serve::Json;
 use hms_types::{ArrayId, GpuConfig};
 
 fn main() {
@@ -80,26 +81,41 @@ fn main() {
         bb.stats.prune_rate() * 100.0
     );
 
-    // Hand-rolled JSON: the workspace has no serializer by design.
-    let json = format!(
-        "{{\n  \"kernel\": \"spmv\",\n  \"candidate_arrays\": {},\n  \"candidates\": {},\n  \
-         \"naive_secs\": {:.6},\n  \"engine_secs\": {:.6},\n  \
-         \"naive_candidates_per_sec\": {:.2},\n  \"engine_candidates_per_sec\": {:.2},\n  \
-         \"full_rewrites\": {},\n  \"delta_cache_hits\": {},\n  \
-         \"rewrite_reduction\": {:.4},\n  \"bb_candidates_pruned\": {},\n  \
-         \"bb_prune_rate\": {:.4}\n}}\n",
-        candidates.len(),
-        stats.candidates_evaluated,
-        naive_secs,
-        engine_secs,
-        naive_cps,
-        engine_cps,
-        stats.full_rewrites,
-        stats.delta_cache_hits,
-        stats.rewrite_reduction(),
-        bb.stats.candidates_pruned,
-        bb.stats.prune_rate(),
-    );
+    // Escaping-correct JSON via the serve wire codec (the workspace has
+    // no external serializer by design).
+    let json = Json::Obj(vec![
+        ("kernel".into(), Json::str("spmv")),
+        (
+            "candidate_arrays".into(),
+            Json::Num(candidates.len() as f64),
+        ),
+        (
+            "candidates".into(),
+            Json::Num(stats.candidates_evaluated as f64),
+        ),
+        ("naive_secs".into(), Json::Num(naive_secs)),
+        ("engine_secs".into(), Json::Num(engine_secs)),
+        ("naive_candidates_per_sec".into(), Json::Num(naive_cps)),
+        ("engine_candidates_per_sec".into(), Json::Num(engine_cps)),
+        (
+            "full_rewrites".into(),
+            Json::Num(stats.full_rewrites as f64),
+        ),
+        (
+            "delta_cache_hits".into(),
+            Json::Num(stats.delta_cache_hits as f64),
+        ),
+        (
+            "rewrite_reduction".into(),
+            Json::Num(stats.rewrite_reduction()),
+        ),
+        (
+            "bb_candidates_pruned".into(),
+            Json::Num(bb.stats.candidates_pruned as f64),
+        ),
+        ("bb_prune_rate".into(), Json::Num(bb.stats.prune_rate())),
+    ])
+    .encode_pretty();
     std::fs::write("BENCH_search.json", &json).expect("writes BENCH_search.json");
     println!("wrote BENCH_search.json");
 }

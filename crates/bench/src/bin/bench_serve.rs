@@ -1,0 +1,183 @@
+//! Serving load benchmark: spins up an in-process `hms-serve` instance
+//! on an ephemeral port, hammers it with keep-alive client threads over
+//! plain `std::net::TcpStream`, and reports throughput, latency
+//! percentiles and cache behaviour as `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p hms-bench --release --bin bench_serve [-- test]
+//! ```
+//!
+//! `test` mode shrinks the run (2 clients, ~200 requests) so CI can
+//! exercise the whole path in well under a second of load.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use hms_core::Predictor;
+use hms_serve::{spawn, Advisor, Json, Metrics, ServeConfig};
+use hms_types::GpuConfig;
+
+/// The request mix, cycled per client: mostly repeat predicts (cache
+/// hits after warmup), a few distinct placements, periodic searches.
+const PREDICT_BODIES: &[&str] = &[
+    r#"{"kernel":"vecadd","scale":"test","moves":[{"array":"a","space":"T"}]}"#,
+    r#"{"kernel":"vecadd","scale":"test","moves":[{"array":"b","space":"C"}]}"#,
+    r#"{"kernel":"spmv","scale":"test","moves":[{"array":"d_vec","space":"T"}]}"#,
+    r#"{"kernel":"vecadd","scale":"test","placement":{"a":"C","b":"T"}}"#,
+];
+const SEARCH_BODY: &str = r#"{"kernel":"vecadd","scale":"test","top":3}"#;
+
+fn main() {
+    let test_mode = std::env::args().nth(1).as_deref() == Some("test");
+    let (clients, per_client) = if test_mode { (2, 100) } else { (4, 2000) };
+
+    let cfg = GpuConfig::tesla_k80();
+    let advisor = Advisor::new(cfg.clone(), Predictor::new(cfg));
+    let handle = spawn(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 4,
+            ..ServeConfig::default()
+        },
+        advisor,
+    )
+    .expect("binds ephemeral port");
+    let addr = handle.addr();
+
+    // Warmup: one of each body, so the timed run measures steady state.
+    {
+        let mut c = Client::connect(addr);
+        for body in PREDICT_BODIES {
+            assert_eq!(c.post("/v1/predict", body), 200);
+        }
+        assert_eq!(c.post("/v1/search", SEARCH_BODY), 200);
+    }
+
+    let t0 = Instant::now();
+    let latencies: Vec<Vec<Duration>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let (path, body) = if i % 16 == 15 {
+                            ("/v1/search", SEARCH_BODY)
+                        } else {
+                            ("/v1/predict", PREDICT_BODIES[i % PREDICT_BODIES.len()])
+                        };
+                        let r0 = Instant::now();
+                        let status = c.post(path, body);
+                        assert_eq!(status, 200, "{path} failed");
+                        lat.push(r0.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut all: Vec<Duration> = latencies.into_iter().flatten().collect();
+    all.sort();
+    let total = all.len();
+    let pct = |p: f64| -> f64 {
+        let idx = ((total as f64 * p).ceil() as usize).saturating_sub(1);
+        all[idx.min(total - 1)].as_secs_f64()
+    };
+    let throughput = total as f64 / wall.max(1e-9);
+
+    let metrics = handle.metrics().render();
+    let counter = |series: &str| Metrics::scrape_counter(&metrics, series).unwrap_or(0.0);
+    let hits = counter("hms_prediction_cache_hits_total");
+    let misses = counter("hms_prediction_cache_misses_total");
+    let hit_rate = hits / (hits + misses).max(1.0);
+    let simulations = counter("hms_simulations_total");
+    handle.shutdown();
+
+    println!("serve load benchmark ({clients} clients x {per_client} requests)");
+    println!("  throughput:       {throughput:.0} req/s");
+    println!(
+        "  latency p50/p99:  {:.2} ms / {:.2} ms",
+        pct(0.50) * 1e3,
+        pct(0.99) * 1e3
+    );
+    println!("  cache hit rate:   {:.1}%", hit_rate * 100.0);
+    println!("  simulations run:  {simulations:.0}");
+
+    let json = Json::Obj(vec![
+        ("clients".into(), Json::Num(clients as f64)),
+        ("requests".into(), Json::Num(total as f64)),
+        ("wall_secs".into(), Json::Num(wall)),
+        ("throughput_rps".into(), Json::Num(throughput)),
+        ("p50_secs".into(), Json::Num(pct(0.50))),
+        ("p90_secs".into(), Json::Num(pct(0.90))),
+        ("p99_secs".into(), Json::Num(pct(0.99))),
+        ("prediction_cache_hits".into(), Json::Num(hits)),
+        ("prediction_cache_misses".into(), Json::Num(misses)),
+        ("cache_hit_rate".into(), Json::Num(hit_rate)),
+        ("simulations".into(), Json::Num(simulations)),
+    ])
+    .encode_pretty();
+    std::fs::write("BENCH_serve.json", &json).expect("writes BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}
+
+/// One keep-alive HTTP/1.1 client connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clones stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    /// POST a body, read the full response, return the status code.
+    fn post(&mut self, path: &str, body: &str) -> u16 {
+        write!(
+            self.writer,
+            "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("writes request");
+        self.writer.flush().expect("flushes");
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .expect("reads status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("parses status");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("reads header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse().expect("parses content-length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("reads body");
+        status
+    }
+}

@@ -49,6 +49,7 @@ pub enum Command {
         scale: Scale,
         moves: Vec<MoveSpec>,
         train: bool,
+        json: bool,
     },
     /// Rank every legal placement of the kernel's read-only arrays.
     Advise {
@@ -56,6 +57,7 @@ pub enum Command {
         scale: Scale,
         train: bool,
         top: usize,
+        json: bool,
     },
     /// Search the placement space through the incremental engine, with
     /// optional branch-and-bound pruning and observability stats.
@@ -67,6 +69,17 @@ pub enum Command {
         stats: bool,
         prune: bool,
         threads: usize,
+        json: bool,
+    },
+    /// Run the placement-advisory HTTP server.
+    Serve {
+        addr: String,
+        port: u16,
+        threads: usize,
+        cache_entries: usize,
+        deadline_ms: u64,
+        queue: usize,
+        train: bool,
     },
     /// Dump a kernel's concrete trace in the v1 text format.
     Dump {
@@ -93,6 +106,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut stats = false;
     let mut prune = false;
     let mut threads = 0usize;
+    let mut json = false;
+    let mut addr = String::from("127.0.0.1");
+    let mut port = 7070u16;
+    let mut cache_entries = 4096usize;
+    let mut deadline_ms = 10_000u64;
+    let mut queue = 128usize;
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -114,6 +133,35 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--train" => train = true,
             "--stats" => stats = true,
             "--prune" => prune = true,
+            "--json" => json = true,
+            "--addr" => {
+                i += 1;
+                addr = rest.get(i).ok_or("--addr needs a value")?.to_string();
+            }
+            "--port" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--port needs a number")?;
+                port = v.parse().map_err(|_| format!("bad --port value `{v}`"))?;
+            }
+            "--cache-entries" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--cache-entries needs a number")?;
+                cache_entries = v
+                    .parse()
+                    .map_err(|_| format!("bad --cache-entries value `{v}`"))?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--deadline-ms needs a number")?;
+                deadline_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
+            }
+            "--queue" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--queue needs a number")?;
+                queue = v.parse().map_err(|_| format!("bad --queue value `{v}`"))?;
+            }
             "--threads" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--threads needs a number")?;
@@ -150,12 +198,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             scale,
             moves,
             train,
+            json,
         }),
         "advise" => Ok(Command::Advise {
             kernel: kernel(&positional)?,
             scale,
             train,
             top,
+            json,
         }),
         "search" => Ok(Command::Search {
             kernel: kernel(&positional)?,
@@ -165,6 +215,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             stats,
             prune,
             threads,
+            json,
+        }),
+        "serve" => Ok(Command::Serve {
+            addr,
+            port,
+            threads,
+            cache_entries,
+            deadline_ms,
+            queue,
+            train,
         }),
         "dump" => Ok(Command::Dump {
             kernel: kernel(&positional)?,
@@ -183,10 +243,11 @@ USAGE:
     hms list
     hms probe
     hms simulate <kernel> [--scale full|test] [--move array=SPACE]...
-    hms predict  <kernel> [--scale full|test] [--train] --move array=SPACE...
-    hms advise   <kernel> [--scale full|test] [--train] [--top N]
-    hms search   <kernel> [--scale full|test] [--train] [--top N] [--stats] [--prune] [--threads N]
+    hms predict  <kernel> [--scale full|test] [--train] [--json] --move array=SPACE...
+    hms advise   <kernel> [--scale full|test] [--train] [--top N] [--json]
+    hms search   <kernel> [--scale full|test] [--train] [--top N] [--stats] [--prune] [--threads N] [--json]
     hms dump     <kernel> [--scale full|test] [--move array=SPACE]...
+    hms serve    [--addr HOST] [--port N] [--threads N] [--cache-entries N] [--deadline-ms N] [--queue N] [--train]
 
 SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
 
@@ -194,11 +255,21 @@ SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
 engine; `--stats` prints its observability counters (full rewrites,
 delta hits, prune rate), `--prune` switches to branch-and-bound.
 
+`--json` prints the exact response body the HTTP server would send for
+the equivalent request (byte-identical, asserted by tests).
+
+`serve` runs the advisory HTTP server: POST /v1/predict, /v1/advise,
+/v1/search; GET /v1/kernels, /metrics, /healthz. `--port 0` picks an
+ephemeral port (the bound address is printed). SIGINT/SIGTERM drain
+in-flight requests and exit cleanly.
+
 EXAMPLES:
     hms advise neuralnet --train
     hms search spmv --stats --prune
     hms predict spmv --move d_vec=G --move rowDelimiters=C
+    hms predict spmv --json --move d_vec=T
     hms simulate md --move d_position=T
+    hms serve --port 7070 --threads 4
 ";
 
 #[cfg(test)]
@@ -251,6 +322,7 @@ mod tests {
             scale,
             top,
             train,
+            ..
         } = cmd
         else {
             panic!()
@@ -302,6 +374,54 @@ mod tests {
         assert_eq!(threads, 2);
         assert!(parse(&v(&["search", "x", "--threads", "many"])).is_err());
         assert!(parse(&v(&["search"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_json() {
+        let cmd = parse(&v(&[
+            "serve",
+            "--port",
+            "0",
+            "--threads",
+            "3",
+            "--cache-entries",
+            "64",
+            "--deadline-ms",
+            "250",
+            "--queue",
+            "9",
+        ]))
+        .unwrap();
+        let Command::Serve {
+            addr,
+            port,
+            threads,
+            cache_entries,
+            deadline_ms,
+            queue,
+            train,
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "127.0.0.1");
+        assert_eq!(port, 0);
+        assert_eq!(threads, 3);
+        assert_eq!(cache_entries, 64);
+        assert_eq!(deadline_ms, 250);
+        assert_eq!(queue, 9);
+        assert!(!train);
+        assert!(parse(&v(&["serve", "--port", "high"])).is_err());
+
+        let cmd = parse(&v(&["predict", "spmv", "--json", "--move", "d_vec=T"])).unwrap();
+        let Command::Predict { json, .. } = cmd else {
+            panic!()
+        };
+        assert!(json);
+        let Command::Search { json, .. } = parse(&v(&["search", "spmv"])).unwrap() else {
+            panic!()
+        };
+        assert!(!json);
     }
 
     #[test]

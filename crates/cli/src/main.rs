@@ -4,56 +4,81 @@
 //! performance optimization and improve their productivity." This binary
 //! wraps the workspace's predictor, simulator, and Algorithm-1 probe in
 //! the workflow a performance engineer would actually run: inspect a
-//! kernel, probe the machine, predict placement moves, and get ranked
-//! advice. Run `hms help` for usage.
+//! kernel, probe the machine, predict placement moves, get ranked
+//! advice, or stand the whole thing up as an HTTP service (`hms serve`).
+//! Run `hms help` for usage.
+//!
+//! Failure discipline: usage mistakes (unknown kernel, bad flag, illegal
+//! placement) exit 2 with a one-line diagnostic; model failures on a
+//! valid query (non-finite prediction, numerical trouble) exit 1. The
+//! tool never panics on user input.
 
 mod args;
 
 use args::{parse, Command, MoveSpec, USAGE};
-use hms_core::{profile_sample, ModelOptions, Predictor, SearchRequest, SearchStrategy};
+use hms_core::{ModelOptions, Predictor, SearchStrategy};
 use hms_dram::{detect_mapping, AddressMapping, MemoryController};
-use hms_kernels::{by_name, registry, Scale};
+use hms_kernels::{registry, Scale};
+use hms_serve::api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
+use hms_serve::{signal, ServeConfig};
 use hms_sim::simulate_default;
-use hms_trace::{materialize, KernelTrace};
-use hms_types::{ArrayId, GpuConfig, PlacementMap};
+use hms_trace::materialize;
+use hms_types::GpuConfig;
+use std::time::Duration;
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match parse(&argv) {
-        Ok(cmd) => run(cmd),
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            std::process::exit(2);
+/// A terminal failure: message for stderr plus the process exit code
+/// (2 = the query was wrong, 1 = the model failed on a valid query).
+struct CliError {
+    code: i32,
+    msg: String,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            code: 2,
+            msg: msg.into(),
         }
     }
 }
 
-fn load_kernel(name: &str, scale: Scale) -> KernelTrace {
-    by_name(name, scale).unwrap_or_else(|| {
-        eprintln!("unknown kernel `{name}`; run `hms list`");
-        std::process::exit(2);
-    })
+impl From<ApiError> for CliError {
+    fn from(e: ApiError) -> Self {
+        let code = match e {
+            ApiError::BadRequest(_) | ApiError::UnknownKernel(_) => 2,
+            ApiError::Model(_) => 1,
+        };
+        CliError {
+            code,
+            msg: e.to_string(),
+        }
+    }
 }
 
-fn apply_moves(kt: &KernelTrace, base: PlacementMap, moves: &[MoveSpec]) -> PlacementMap {
-    let mut pm = base;
-    for m in moves {
-        let Some(idx) = kt.arrays.iter().position(|a| a.name == m.array) else {
-            eprintln!(
-                "kernel `{}` has no array `{}`; arrays: {}",
-                kt.name,
-                m.array,
-                kt.arrays
-                    .iter()
-                    .map(|a| a.name.as_str())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            std::process::exit(2);
-        };
-        pm = pm.with(ArrayId(idx as u32), m.space);
+impl From<hms_types::HmsError> for CliError {
+    fn from(e: hms_types::HmsError) -> Self {
+        // Same classification the server uses: validation failures are
+        // the caller's fault, the rest are the model's.
+        CliError::from(ApiError::from(e))
     }
-    pm
+}
+
+fn main() {
+    // Die quietly on a closed pipe (`hms list | head`) like any unix
+    // tool; the serve command re-ignores SIGPIPE before taking traffic.
+    signal::sigpipe_default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse(&argv) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(cmd) {
+        eprintln!("error: {}", e.msg);
+        std::process::exit(e.code);
+    }
 }
 
 fn predictor(cfg: &GpuConfig, train: bool) -> Predictor {
@@ -72,7 +97,15 @@ fn predictor(cfg: &GpuConfig, train: bool) -> Predictor {
     }
 }
 
-fn run(cmd: Command) {
+fn advisor(cfg: &GpuConfig, train: bool) -> Advisor {
+    Advisor::new(cfg.clone(), predictor(cfg, train))
+}
+
+fn to_moves(moves: &[MoveSpec]) -> Vec<(String, hms_types::MemorySpace)> {
+    moves.iter().map(|m| (m.array.clone(), m.space)).collect()
+}
+
+fn run(cmd: Command) -> Result<(), CliError> {
     let cfg = GpuConfig::tesla_k80();
     match cmd {
         Command::Help => println!("{USAGE}"),
@@ -120,13 +153,11 @@ fn run(cmd: Command) {
             scale,
             moves,
         } => {
-            let kt = load_kernel(&kernel, scale);
-            let pm = apply_moves(&kt, kt.default_placement(), &moves);
-            let ct = materialize(&kt, &pm, &cfg).unwrap_or_else(|e| {
-                eprintln!("invalid placement: {e}");
-                std::process::exit(2);
-            });
-            let r = simulate_default(&ct, &cfg).expect("simulation completes");
+            let adv = advisor(&cfg, false);
+            let kt = adv.kernel(&kernel, scale)?;
+            let pm = adv.resolve_placement(&kt, &to_moves(&moves))?;
+            let ct = materialize(&kt, &pm, &cfg)?;
+            let r = simulate_default(&ct, &cfg)?;
             println!("placement: {}", pm.describe(&kt.arrays));
             println!("cycles: {}  ({:.1} us)", r.cycles, r.time_ns / 1000.0);
             println!();
@@ -141,12 +172,10 @@ fn run(cmd: Command) {
             scale,
             moves,
         } => {
-            let kt = load_kernel(&kernel, scale);
-            let pm = apply_moves(&kt, kt.default_placement(), &moves);
-            let ct = materialize(&kt, &pm, &cfg).unwrap_or_else(|e| {
-                eprintln!("invalid placement: {e}");
-                std::process::exit(2);
-            });
+            let adv = advisor(&cfg, false);
+            let kt = adv.kernel(&kernel, scale)?;
+            let pm = adv.resolve_placement(&kt, &to_moves(&moves))?;
+            let ct = materialize(&kt, &pm, &cfg)?;
             print!("{}", hms_trace::dump(&ct));
         }
         Command::Predict {
@@ -154,23 +183,31 @@ fn run(cmd: Command) {
             scale,
             moves,
             train,
+            json,
         } => {
             if moves.is_empty() {
-                eprintln!("predict needs at least one --move");
-                std::process::exit(2);
+                return Err(CliError::usage("predict needs at least one --move"));
             }
-            let kt = load_kernel(&kernel, scale);
+            let adv = advisor(&cfg, train);
+            let q = PredictQuery {
+                kernel,
+                scale,
+                moves: to_moves(&moves),
+            };
+            let mut effort = Effort::default();
+            let (body, pred) = adv.predict(&q, &mut effort)?;
+            if json {
+                // The exact bytes `POST /v1/predict` would return.
+                print!("{}", body.encode_pretty());
+                return Ok(());
+            }
+            let kt = adv.kernel(&q.kernel, q.scale)?;
             let sample = kt.default_placement();
-            let target = apply_moves(&kt, sample.clone(), &moves);
-            let p = predictor(&cfg, train);
-            let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
-            let pred = p.predict(&profile, &target).unwrap_or_else(|e| {
-                eprintln!("invalid placement: {e}");
-                std::process::exit(2);
-            });
+            let target = adv.resolve_placement(&kt, &q.moves)?;
+            let profile = adv.profile(&kt, q.scale, &mut effort)?;
             let measured = {
-                let ct = materialize(&kt, &target, &cfg).expect("valid");
-                simulate_default(&ct, &cfg).expect("simulates").cycles
+                let ct = materialize(&kt, &target, &cfg)?;
+                simulate_default(&ct, &cfg)?.cycles
             };
             println!("sample placement:  {}", sample.describe(&kt.arrays));
             println!("target placement:  {}", target.describe(&kt.arrays));
@@ -190,16 +227,23 @@ fn run(cmd: Command) {
             scale,
             train,
             top,
+            json,
         } => {
-            let kt = load_kernel(&kernel, scale);
-            let sample = kt.default_placement();
-            let p = predictor(&cfg, train);
-            let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
-            let outcome = SearchRequest::new(&kt.arrays, &sample)
-                .read_only_candidates()
-                .run(&p, &profile)
-                .expect("predicts");
-            print_ranking(&kt, &outcome, top);
+            let adv = advisor(&cfg, train);
+            let q = RankQuery {
+                kernel,
+                scale,
+                top,
+                prune: false,
+                threads: 1,
+            };
+            let mut effort = Effort::default();
+            let (body, _stats) = adv.rank(&q, false, &mut effort)?;
+            if json {
+                print!("{}", body.encode_pretty());
+                return Ok(());
+            }
+            print_ranking(&body, top)?;
         }
         Command::Search {
             kernel,
@@ -209,38 +253,119 @@ fn run(cmd: Command) {
             stats,
             prune,
             threads,
+            json,
         } => {
-            let kt = load_kernel(&kernel, scale);
+            let adv = advisor(&cfg, train);
+            // The JSON body intentionally omits wall-clock timings; the
+            // human `--stats` view wants them, so run the full outcome
+            // path here and the body builder for `--json`.
+            if json {
+                let q = RankQuery {
+                    kernel,
+                    scale,
+                    top,
+                    prune,
+                    threads,
+                };
+                let mut effort = Effort::default();
+                let (body, _stats) = adv.rank(&q, true, &mut effort)?;
+                print!("{}", body.encode_pretty());
+                return Ok(());
+            }
+            let kt = adv.kernel(&kernel, scale)?;
+            let mut effort = Effort::default();
+            let profile = adv.profile(&kt, scale, &mut effort)?;
             let sample = kt.default_placement();
-            let p = predictor(&cfg, train);
-            let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
             let strategy = if prune {
                 SearchStrategy::BranchAndBound
             } else {
                 SearchStrategy::Exhaustive
             };
-            let outcome = SearchRequest::new(&kt.arrays, &sample)
+            let outcome = hms_core::SearchRequest::new(&kt.arrays, &sample)
                 .read_only_candidates()
                 .strategy(strategy)
                 .threads(threads)
-                .run(&p, &profile)
-                .expect("predicts");
-            print_ranking(&kt, &outcome, top);
+                .run(&adv.predictor, &profile)?;
+            println!("{} placements ranked; top {top}:", outcome.ranked.len());
+            for r in outcome.ranked.iter().take(top) {
+                println!(
+                    "  {:<44} predicted {:>10.0} cycles",
+                    r.placement.describe(&kt.arrays),
+                    r.predicted_cycles
+                );
+            }
             if stats {
                 println!();
                 print!("{}", outcome.stats);
             }
         }
+        Command::Serve {
+            addr,
+            port,
+            threads,
+            cache_entries,
+            deadline_ms,
+            queue,
+            train,
+        } => {
+            // A client hanging up mid-response must be an io error on
+            // that one connection, not process death.
+            signal::sigpipe_ignore();
+            let adv = advisor(&cfg, train);
+            let scfg = ServeConfig {
+                addr: format!("{addr}:{port}"),
+                threads,
+                cache_entries,
+                deadline: Duration::from_millis(deadline_ms),
+                queue_depth: queue,
+            };
+            let handle = hms_serve::spawn(scfg, adv).map_err(|e| CliError {
+                code: 1,
+                msg: format!("cannot bind `{addr}:{port}`: {e}"),
+            })?;
+            // The smoke tests parse this line to find the ephemeral port.
+            println!("listening on http://{}", handle.addr());
+            signal::install();
+            while !signal::shutdown_requested() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!("shutting down (draining in-flight requests)...");
+            handle.shutdown();
+        }
     }
+    Ok(())
 }
 
-fn print_ranking(kt: &KernelTrace, outcome: &hms_core::SearchOutcome, top: usize) {
-    println!("{} placements ranked; top {top}:", outcome.ranked.len());
-    for r in outcome.ranked.iter().take(top) {
-        println!(
-            "  {:<44} predicted {:>10.0} cycles",
-            r.placement.describe(&kt.arrays),
-            r.predicted_cycles
-        );
+/// Human-readable top-k from the advise response body (single source of
+/// truth for the ranking — same body the server sends).
+fn print_ranking(body: &hms_serve::Json, top: usize) -> Result<(), CliError> {
+    use hms_serve::Json;
+    let total = body
+        .get("ranked_total")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| CliError::usage("malformed ranking body"))?;
+    let ranked = body
+        .get("ranked")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CliError::usage("malformed ranking body"))?;
+    println!("{total} placements ranked; top {top}:");
+    for r in ranked.iter().take(top) {
+        let cycles = r
+            .get("predicted_cycles")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let placement = r
+            .get("placement")
+            .and_then(Json::as_obj)
+            .map(|members| {
+                members
+                    .iter()
+                    .map(|(name, space)| format!("{name}={}", space.as_str().unwrap_or("?")))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default();
+        println!("  {placement:<44} predicted {cycles:>10.0} cycles");
     }
+    Ok(())
 }

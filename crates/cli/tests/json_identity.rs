@@ -1,0 +1,165 @@
+//! `hms <cmd> --json` must print *exactly* the bytes the HTTP server
+//! would send for the equivalent request — the acceptance criterion for
+//! sharing one body builder between the two transports. Also checks the
+//! CLI's failure discipline: usage errors exit 2, and nothing panics.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::Command;
+use std::time::Duration;
+
+use hms_core::Predictor;
+use hms_serve::{spawn, Advisor, ServeConfig};
+use hms_types::GpuConfig;
+
+fn hms(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hms"))
+        .args(args)
+        .output()
+        .expect("runs hms")
+}
+
+/// One POST against an in-process server; returns (status, body bytes).
+fn server_post(path: &str, body: &str) -> (u16, Vec<u8>) {
+    // The CLI builds its advisor over tesla_k80; match it exactly.
+    let cfg = GpuConfig::tesla_k80();
+    let advisor = Advisor::new(cfg.clone(), Predictor::new(cfg));
+    let handle = spawn(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            ..ServeConfig::default()
+        },
+        advisor,
+    )
+    .expect("binds");
+    let stream = TcpStream::connect(handle.addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    write!(
+        writer,
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap();
+        }
+    }
+    let mut bytes = vec![0u8; content_length];
+    reader.read_exact(&mut bytes).unwrap();
+    handle.shutdown();
+    (status, bytes)
+}
+
+#[test]
+fn predict_json_is_byte_identical_to_server() {
+    let out = hms(&[
+        "predict", "vecadd", "--scale", "test", "--json", "--move", "a=T", "--move", "b=C",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (status, server_bytes) = server_post(
+        "/v1/predict",
+        r#"{"kernel":"vecadd","scale":"test","moves":[{"array":"a","space":"T"},{"array":"b","space":"C"}]}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        out.stdout,
+        server_bytes,
+        "cli --json and server body diverged:\ncli:    {}\nserver: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&server_bytes)
+    );
+}
+
+#[test]
+fn advise_json_is_byte_identical_to_server() {
+    let out = hms(&[
+        "advise", "vecadd", "--scale", "test", "--top", "3", "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (status, server_bytes) = server_post(
+        "/v1/advise",
+        r#"{"kernel":"vecadd","scale":"test","top":3}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(out.stdout, server_bytes);
+}
+
+#[test]
+fn search_json_is_byte_identical_to_server() {
+    let out = hms(&[
+        "search", "vecadd", "--scale", "test", "--top", "2", "--prune", "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (status, server_bytes) = server_post(
+        "/v1/search",
+        r#"{"kernel":"vecadd","scale":"test","top":2,"prune":true}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(out.stdout, server_bytes);
+}
+
+#[test]
+fn usage_errors_exit_2_with_one_line_diagnostic() {
+    for args in [
+        &["predict", "ghost", "--move", "a=T"][..], // unknown kernel
+        &["predict", "vecadd"],                     // no moves
+        &["predict", "vecadd", "--move", "ghost=T"], // unknown array
+        &["predict", "vecadd", "--scale", "test", "--move", "v=C"], // illegal placement
+        &["frobnicate"],                            // unknown command
+    ] {
+        let out = hms(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.starts_with("error:"),
+            "args {args:?} stderr: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "args {args:?} panicked: {stderr}"
+        );
+    }
+}

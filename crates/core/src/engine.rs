@@ -122,6 +122,24 @@ impl EngineStats {
         }
     }
 
+    /// Fold another stats snapshot into this one, field by field — the
+    /// hook long-lived callers (the advisory server's `/metrics`, sweep
+    /// harnesses) use to keep cumulative engine totals across searches.
+    pub fn accumulate(&mut self, other: &EngineStats) {
+        self.skeletons_built += other.skeletons_built;
+        self.full_rewrites += other.full_rewrites;
+        self.delta_cache_hits += other.delta_cache_hits;
+        self.exact_fallbacks += other.exact_fallbacks;
+        self.memo_tables_built += other.memo_tables_built;
+        self.candidates_enumerated += other.candidates_enumerated;
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.candidates_pruned += other.candidates_pruned;
+        self.subtrees_pruned += other.subtrees_pruned;
+        self.prepare_nanos += other.prepare_nanos;
+        self.enumerate_nanos += other.enumerate_nanos;
+        self.evaluate_nanos += other.evaluate_nanos;
+    }
+
     /// Candidates evaluated per second of evaluation wall time.
     pub fn candidates_per_sec(&self) -> f64 {
         if self.evaluate_nanos == 0 {

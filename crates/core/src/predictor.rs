@@ -20,7 +20,9 @@ pub use crate::tmem::QueuingMode;
 use crate::toverlap::{features, ToverlapModel, TrainingPoint};
 
 /// Model-configuration knobs — the axes of the paper's ablation study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `Hash` so the serving layer can key prediction caches on the exact
+/// model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelOptions {
     /// Detailed issued-instruction counting: addressing-mode expansion +
     /// replay causes (1)–(4) (Figure 7's "instr replay & addr mode

@@ -21,7 +21,9 @@ use crate::analysis::TraceAnalysis;
 use crate::profile::Profile;
 
 /// How `DRAM_lat` is estimated — the knob behind Figures 8 and 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `Hash` so the serving layer can key prediction caches on the exact
+/// model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueuingMode {
     /// Constant DRAM latency (prior work's assumption: one
     /// microbenchmark-measured number for every request).

@@ -39,12 +39,31 @@ pub mod vecadd;
 use hms_trace::KernelTrace;
 
 /// Scale of a generated workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Tiny inputs for unit tests (a handful of blocks).
     Test,
     /// Evaluation-sized inputs for the experiment harness.
     Full,
+}
+
+impl Scale {
+    /// Parse the CLI/wire spelling (`"test"` / `"full"`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "test" => Some(Scale::Test),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI/wire spelling, inverse of [`Scale::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// A named kernel builder, for the experiment registry.

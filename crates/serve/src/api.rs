@@ -1,0 +1,632 @@
+//! The advisory API: query types, JSON parsing, and response-body
+//! building — shared verbatim by the HTTP server and the CLI's `--json`
+//! mode, which is what makes their outputs byte-identical: both sides
+//! call exactly the same body builder and exactly the same encoder.
+//!
+//! The [`Advisor`] owns the model state a long-lived service amortizes:
+//! the machine config, the predictor, a kernel-build cache, and the
+//! profiled-sample cache (one simulation per `(kernel, scale)`, ever).
+//! Response-level caching (predictions, search results) is layered on
+//! top by the server and deliberately *not* here, so the CLI path stays
+//! a pure function of the query.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use hms_core::{profile_sample, Prediction, Predictor, Profile, SearchRequest, SearchStrategy};
+use hms_kernels::{by_name, registry, Scale};
+use hms_trace::KernelTrace;
+use hms_types::{GpuConfig, HmsError, MemorySpace, PlacementMap};
+
+use crate::cache::ShardedLru;
+use crate::wire::Json;
+
+/// An API failure, classified the way the transport needs it (HTTP
+/// status / CLI exit code).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The query itself is invalid (unparseable JSON, unknown field,
+    /// unknown array, illegal placement) — HTTP 400, CLI exit 2.
+    BadRequest(String),
+    /// The named kernel does not exist — HTTP 404, CLI exit 2.
+    UnknownKernel(String),
+    /// The model failed on a valid query (non-finite prediction,
+    /// numerical failure) — HTTP 500, CLI exit 1.
+    Model(HmsError),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::UnknownKernel(k) => write!(f, "unknown kernel `{k}`"),
+            ApiError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<HmsError> for ApiError {
+    /// Classify a model-layer error: placement-validation failures are
+    /// the client's fault, everything else is the model's.
+    fn from(e: HmsError) -> Self {
+        match e {
+            HmsError::ArrayCountMismatch { .. }
+            | HmsError::ReadOnlyPlacement { .. }
+            | HmsError::CapacityExceeded { .. }
+            | HmsError::Texture2DNeeds2D { .. }
+            | HmsError::InvalidInput(_) => ApiError::BadRequest(e.to_string()),
+            other => ApiError::Model(other),
+        }
+    }
+}
+
+/// `POST /v1/predict` — one target placement of one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictQuery {
+    pub kernel: String,
+    pub scale: Scale,
+    /// `array name -> space` moves applied on the default placement.
+    pub moves: Vec<(String, MemorySpace)>,
+}
+
+/// `POST /v1/advise` and `POST /v1/search` — rank the read-only
+/// placement space of one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankQuery {
+    pub kernel: String,
+    pub scale: Scale,
+    pub top: usize,
+    /// Branch-and-bound instead of exhaustive (mirrors `hms search
+    /// --prune`). Always `false` for `/v1/advise`.
+    pub prune: bool,
+    /// Worker threads for candidate evaluation (0 = all cores). Does not
+    /// affect the response bytes — evaluation is thread-deterministic.
+    pub threads: usize,
+}
+
+impl RankQuery {
+    fn strategy(&self) -> SearchStrategy {
+        if self.prune {
+            SearchStrategy::BranchAndBound
+        } else {
+            SearchStrategy::Exhaustive
+        }
+    }
+}
+
+fn obj_members<'j>(v: &'j Json, what: &str) -> Result<&'j [(String, Json)], ApiError> {
+    v.as_obj()
+        .ok_or_else(|| ApiError::BadRequest(format!("{what} must be a JSON object")))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, ApiError> {
+    v.get(key)
+        .ok_or_else(|| ApiError::BadRequest(format!("missing field `{key}`")))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ApiError::BadRequest(format!("field `{key}` must be a string")))
+}
+
+fn opt_scale(v: &Json) -> Result<Scale, ApiError> {
+    match v.get("scale") {
+        None => Ok(Scale::Full),
+        Some(s) => {
+            let s = s
+                .as_str()
+                .ok_or_else(|| ApiError::BadRequest("field `scale` must be a string".into()))?;
+            Scale::parse(s)
+                .ok_or_else(|| ApiError::BadRequest(format!("unknown scale `{s}` (test|full)")))
+        }
+    }
+}
+
+fn opt_usize(v: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x.as_usize().ok_or_else(|| {
+            ApiError::BadRequest(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn opt_bool(v: &Json, key: &str) -> Result<bool, ApiError> {
+    match v.get(key) {
+        None => Ok(false),
+        Some(x) => x
+            .as_bool()
+            .ok_or_else(|| ApiError::BadRequest(format!("field `{key}` must be a boolean"))),
+    }
+}
+
+fn reject_unknown(v: &Json, allowed: &[&str], what: &str) -> Result<(), ApiError> {
+    for (k, _) in obj_members(v, what)? {
+        if !allowed.contains(&k.as_str()) {
+            return Err(ApiError::BadRequest(format!(
+                "unknown field `{k}` in {what} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+impl PredictQuery {
+    /// Parse a predict request body. Moves come either as a `"moves"`
+    /// array of `{"array": .., "space": ..}` objects or a `"placement"`
+    /// object of `name -> space` pairs; both use the paper's short space
+    /// notation (`G`, `T`, `2T`, `C`, `S`).
+    pub fn from_json(v: &Json) -> Result<PredictQuery, ApiError> {
+        reject_unknown(
+            v,
+            &["kernel", "scale", "moves", "placement"],
+            "predict request",
+        )?;
+        let kernel = field_str(v, "kernel")?;
+        let scale = opt_scale(v)?;
+        let mut moves = Vec::new();
+        if let Some(list) = v.get("moves") {
+            let list = list
+                .as_arr()
+                .ok_or_else(|| ApiError::BadRequest("field `moves` must be an array".into()))?;
+            for m in list {
+                reject_unknown(m, &["array", "space"], "move")?;
+                moves.push((
+                    field_str(m, "array")?,
+                    parse_space(&field_str(m, "space")?)?,
+                ));
+            }
+        }
+        if let Some(pm) = v.get("placement") {
+            for (name, space) in obj_members(pm, "field `placement`")? {
+                let space = space.as_str().ok_or_else(|| {
+                    ApiError::BadRequest(format!("placement of `{name}` must be a string"))
+                })?;
+                moves.push((name.clone(), parse_space(space)?));
+            }
+        }
+        if moves.is_empty() {
+            return Err(ApiError::BadRequest(
+                "predict needs `moves` or `placement`".into(),
+            ));
+        }
+        Ok(PredictQuery {
+            kernel,
+            scale,
+            moves,
+        })
+    }
+}
+
+impl RankQuery {
+    /// Parse an advise/search request body. `allow_search_knobs` gates
+    /// the `prune` and `threads` fields (`/v1/advise` rejects them, like
+    /// `hms advise` has no `--prune`).
+    pub fn from_json(v: &Json, allow_search_knobs: bool) -> Result<RankQuery, ApiError> {
+        let allowed: &[&str] = if allow_search_knobs {
+            &["kernel", "scale", "top", "prune", "threads"]
+        } else {
+            &["kernel", "scale", "top"]
+        };
+        reject_unknown(v, allowed, "rank request")?;
+        Ok(RankQuery {
+            kernel: field_str(v, "kernel")?,
+            scale: opt_scale(v)?,
+            top: opt_usize(v, "top", 5)?,
+            prune: allow_search_knobs && opt_bool(v, "prune")?,
+            threads: if allow_search_knobs {
+                opt_usize(v, "threads", 1)?
+            } else {
+                1
+            },
+        })
+    }
+}
+
+fn parse_space(s: &str) -> Result<MemorySpace, ApiError> {
+    MemorySpace::from_short(s)
+        .ok_or_else(|| ApiError::BadRequest(format!("unknown space `{s}` (use G, T, 2T, C, or S)")))
+}
+
+/// The long-lived model state behind every advisory query.
+pub struct Advisor {
+    pub cfg: GpuConfig,
+    pub predictor: Predictor,
+    kernels: Mutex<HashMap<(String, Scale), Arc<KernelTrace>>>,
+    profiles: ShardedLru<(String, Scale), Arc<Profile>>,
+}
+
+/// What serving one query cost — the hooks the server turns into
+/// metrics. The CLI ignores it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Effort {
+    /// A sample simulation ran (profile-cache miss).
+    pub simulated: bool,
+    /// The profile came from cache.
+    pub profile_hit: bool,
+}
+
+impl Advisor {
+    /// An advisor over `cfg` and `predictor` with a default-sized
+    /// profile cache (64 `(kernel, scale)` entries — the full registry at
+    /// both scales fits with room to spare).
+    pub fn new(cfg: GpuConfig, predictor: Predictor) -> Self {
+        Advisor {
+            cfg,
+            predictor,
+            kernels: Mutex::new(HashMap::new()),
+            profiles: ShardedLru::new(64, 8),
+        }
+    }
+
+    /// Build (or reuse) the kernel trace for `(name, scale)`.
+    pub fn kernel(&self, name: &str, scale: Scale) -> Result<Arc<KernelTrace>, ApiError> {
+        let key = (name.to_string(), scale);
+        if let Some(kt) = self.kernels.lock().expect("kernel cache").get(&key) {
+            return Ok(Arc::clone(kt));
+        }
+        let kt = by_name(name, scale).ok_or_else(|| ApiError::UnknownKernel(name.to_string()))?;
+        let kt = Arc::new(kt);
+        self.kernels
+            .lock()
+            .expect("kernel cache")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&kt));
+        Ok(kt)
+    }
+
+    /// The profiled sample placement for `(kernel, scale)` — one
+    /// simulation ever per key, then served from the LRU underneath the
+    /// prediction cache.
+    pub fn profile(
+        &self,
+        kt: &KernelTrace,
+        scale: Scale,
+        effort: &mut Effort,
+    ) -> Result<Arc<Profile>, ApiError> {
+        let key = (kt.name.clone(), scale);
+        if let Some(p) = self.profiles.get(&key) {
+            effort.profile_hit = true;
+            return Ok(p);
+        }
+        let p = Arc::new(profile_sample(kt, &kt.default_placement(), &self.cfg)?);
+        effort.simulated = true;
+        self.profiles.insert(key, Arc::clone(&p));
+        Ok(p)
+    }
+
+    /// Resolve a query's named moves against the kernel's arrays.
+    pub fn resolve_placement(
+        &self,
+        kt: &KernelTrace,
+        moves: &[(String, MemorySpace)],
+    ) -> Result<PlacementMap, ApiError> {
+        let mut pm = kt.default_placement();
+        for (name, space) in moves {
+            let Some(idx) = kt.arrays.iter().position(|a| &a.name == name) else {
+                return Err(ApiError::BadRequest(format!(
+                    "kernel `{}` has no array `{name}`; arrays: {}",
+                    kt.name,
+                    kt.arrays
+                        .iter()
+                        .map(|a| a.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            };
+            pm = pm.with(kt.arrays[idx].id, *space);
+        }
+        pm.validate(&kt.arrays, &self.cfg)?;
+        Ok(pm)
+    }
+
+    /// Serve one predict query: body plus the prediction itself (the
+    /// server caches the body; callers wanting numbers read the
+    /// [`Prediction`]).
+    pub fn predict(
+        &self,
+        q: &PredictQuery,
+        effort: &mut Effort,
+    ) -> Result<(Json, Prediction), ApiError> {
+        let kt = self.kernel(&q.kernel, q.scale)?;
+        let target = self.resolve_placement(&kt, &q.moves)?;
+        let profile = self.profile(&kt, q.scale, effort)?;
+        let pred = self.predictor.predict(&profile, &target)?;
+        let body = Json::Obj(vec![
+            ("kernel".into(), Json::str(&q.kernel)),
+            ("scale".into(), Json::str(q.scale.as_str())),
+            ("placement".into(), placement_obj(&kt, &target)),
+            ("predicted_cycles".into(), Json::Num(pred.cycles)),
+            ("t_comp".into(), Json::Num(pred.t_comp)),
+            ("t_mem".into(), Json::Num(pred.t_mem)),
+            ("t_overlap".into(), Json::Num(pred.t_overlap)),
+            (
+                "sample_measured_cycles".into(),
+                Json::Num(profile.measured_cycles as f64),
+            ),
+        ]);
+        Ok((body, pred))
+    }
+
+    /// Serve one advise/search query: ranked read-only placements. The
+    /// body carries the ranking (and, for `/v1/search`, the engine's
+    /// deterministic counters); wall-clock timings stay out so identical
+    /// queries produce identical bytes.
+    pub fn rank(
+        &self,
+        q: &RankQuery,
+        include_stats: bool,
+        effort: &mut Effort,
+    ) -> Result<(Json, hms_core::EngineStats), ApiError> {
+        let kt = self.kernel(&q.kernel, q.scale)?;
+        let profile = self.profile(&kt, q.scale, effort)?;
+        let sample = kt.default_placement();
+        let outcome = SearchRequest::new(&kt.arrays, &sample)
+            .read_only_candidates()
+            .strategy(q.strategy())
+            .threads(q.threads)
+            .run(&self.predictor, &profile)?;
+        let ranked: Vec<Json> = outcome
+            .ranked
+            .iter()
+            .take(q.top)
+            .map(|r| {
+                Json::Obj(vec![
+                    ("placement".into(), placement_obj(&kt, &r.placement)),
+                    ("predicted_cycles".into(), Json::Num(r.predicted_cycles)),
+                ])
+            })
+            .collect();
+        let mut members = vec![
+            ("kernel".into(), Json::str(&q.kernel)),
+            ("scale".into(), Json::str(q.scale.as_str())),
+            (
+                "strategy".into(),
+                Json::str(if q.prune {
+                    "branch_and_bound"
+                } else {
+                    "exhaustive"
+                }),
+            ),
+            (
+                "ranked_total".into(),
+                Json::num(outcome.ranked.len() as u32),
+            ),
+            ("ranked".into(), Json::Arr(ranked)),
+        ];
+        if include_stats {
+            let s = &outcome.stats;
+            members.push((
+                "stats".into(),
+                Json::Obj(vec![
+                    (
+                        "candidates_enumerated".into(),
+                        Json::Num(s.candidates_enumerated as f64),
+                    ),
+                    (
+                        "candidates_evaluated".into(),
+                        Json::Num(s.candidates_evaluated as f64),
+                    ),
+                    (
+                        "candidates_pruned".into(),
+                        Json::Num(s.candidates_pruned as f64),
+                    ),
+                    (
+                        "skeletons_built".into(),
+                        Json::Num(s.skeletons_built as f64),
+                    ),
+                    ("full_rewrites".into(), Json::Num(s.full_rewrites as f64)),
+                    (
+                        "delta_cache_hits".into(),
+                        Json::Num(s.delta_cache_hits as f64),
+                    ),
+                    (
+                        "exact_fallbacks".into(),
+                        Json::Num(s.exact_fallbacks as f64),
+                    ),
+                    ("rewrite_reduction".into(), Json::Num(s.rewrite_reduction())),
+                ]),
+            ));
+        }
+        Ok((Json::Obj(members), outcome.stats))
+    }
+
+    /// The `GET /v1/kernels` body: every registered kernel with its
+    /// arrays at `scale`.
+    pub fn kernels_body(&self, scale: Scale) -> Json {
+        let kernels: Vec<Json> = registry()
+            .into_iter()
+            .map(|spec| {
+                let kt = (spec.build)(scale);
+                let arrays: Vec<Json> = kt
+                    .arrays
+                    .iter()
+                    .map(|a| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(&a.name)),
+                            ("elements".into(), Json::Num(a.dims.elements() as f64)),
+                            ("written".into(), Json::Bool(a.written)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("name".into(), Json::str(spec.name)),
+                    ("warps".into(), Json::Num(kt.geometry.total_warps() as f64)),
+                    ("arrays".into(), Json::Arr(arrays)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("scale".into(), Json::str(scale.as_str())),
+            ("kernels".into(), Json::Arr(kernels)),
+        ])
+    }
+}
+
+/// `{array name -> short space}` in array-id order — the placement
+/// spelling every response uses.
+fn placement_obj(kt: &KernelTrace, pm: &PlacementMap) -> Json {
+    Json::Obj(
+        pm.iter()
+            .map(|(id, space)| {
+                let name = kt.arrays.get(id.index()).map_or("?", |a| a.name.as_str());
+                (name.to_string(), Json::str(space.short()))
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::decode;
+
+    fn advisor() -> Advisor {
+        let cfg = GpuConfig::test_small();
+        Advisor::new(cfg.clone(), Predictor::new(cfg))
+    }
+
+    #[test]
+    fn predict_query_parses_moves_and_placement() {
+        let v =
+            decode(r#"{"kernel":"spmv","scale":"test","moves":[{"array":"d_vec","space":"T"}]}"#)
+                .unwrap();
+        let q = PredictQuery::from_json(&v).unwrap();
+        assert_eq!(q.kernel, "spmv");
+        assert_eq!(q.scale, Scale::Test);
+        assert_eq!(q.moves, vec![("d_vec".into(), MemorySpace::Texture1D)]);
+
+        let v = decode(r#"{"kernel":"vecadd","placement":{"a":"C","b":"T"}}"#).unwrap();
+        let q = PredictQuery::from_json(&v).unwrap();
+        assert_eq!(q.scale, Scale::Full);
+        assert_eq!(q.moves.len(), 2);
+    }
+
+    #[test]
+    fn queries_reject_junk() {
+        for body in [
+            r#"{"moves":[]}"#,                                          // no kernel
+            r#"{"kernel":"spmv"}"#,                                     // no moves
+            r#"{"kernel":"spmv","scale":"huge","moves":[]}"#,           // bad scale
+            r#"{"kernel":"spmv","movez":[]}"#,                          // typo field
+            r#"{"kernel":"spmv","moves":[{"array":"x","space":"Q"}]}"#, // bad space
+            r#"[1,2]"#,                                                 // not an object
+        ] {
+            let v = decode(body).unwrap();
+            assert!(
+                matches!(PredictQuery::from_json(&v), Err(ApiError::BadRequest(_))),
+                "accepted {body}"
+            );
+        }
+        let v = decode(r#"{"kernel":"spmv","prune":true}"#).unwrap();
+        assert!(
+            RankQuery::from_json(&v, false).is_err(),
+            "advise took prune"
+        );
+        assert!(RankQuery::from_json(&v, true).is_ok());
+    }
+
+    #[test]
+    fn predict_body_shape_and_profile_cache() {
+        let a = advisor();
+        let q = PredictQuery {
+            kernel: "vecadd".into(),
+            scale: Scale::Test,
+            moves: vec![("a".into(), MemorySpace::Texture1D)],
+        };
+        let mut e1 = Effort::default();
+        let (body, pred) = a.predict(&q, &mut e1).unwrap();
+        assert!(e1.simulated && !e1.profile_hit);
+        assert_eq!(body.get("kernel").and_then(Json::as_str), Some("vecadd"));
+        assert_eq!(
+            body.get("placement")
+                .and_then(|p| p.get("a"))
+                .and_then(Json::as_str),
+            Some("T")
+        );
+        assert_eq!(
+            body.get("predicted_cycles").and_then(Json::as_f64),
+            Some(pred.cycles)
+        );
+        // Same kernel again: profile must come from cache.
+        let mut e2 = Effort::default();
+        let (body2, _) = a.predict(&q, &mut e2).unwrap();
+        assert!(!e2.simulated && e2.profile_hit);
+        assert_eq!(body.encode_pretty(), body2.encode_pretty());
+    }
+
+    #[test]
+    fn unknown_kernel_and_unknown_array() {
+        let a = advisor();
+        let mut e = Effort::default();
+        let q = PredictQuery {
+            kernel: "nope".into(),
+            scale: Scale::Test,
+            moves: vec![("a".into(), MemorySpace::Constant)],
+        };
+        assert!(matches!(
+            a.predict(&q, &mut e),
+            Err(ApiError::UnknownKernel(_))
+        ));
+        let q = PredictQuery {
+            kernel: "vecadd".into(),
+            scale: Scale::Test,
+            moves: vec![("ghost".into(), MemorySpace::Constant)],
+        };
+        assert!(matches!(
+            a.predict(&q, &mut e),
+            Err(ApiError::BadRequest(_))
+        ));
+        // Illegal placement (written array into constant) is a 400-class
+        // error, not a model failure.
+        let q = PredictQuery {
+            kernel: "vecadd".into(),
+            scale: Scale::Test,
+            moves: vec![("v".into(), MemorySpace::Constant)],
+        };
+        assert!(matches!(
+            a.predict(&q, &mut e),
+            Err(ApiError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rank_bodies_are_deterministic_and_thread_invariant() {
+        let a = advisor();
+        let q = RankQuery {
+            kernel: "vecadd".into(),
+            scale: Scale::Test,
+            top: 3,
+            prune: false,
+            threads: 1,
+        };
+        let mut e = Effort::default();
+        let (b1, stats) = a.rank(&q, true, &mut e).unwrap();
+        let q2 = RankQuery {
+            threads: 2,
+            ..q.clone()
+        };
+        let (b2, _) = a.rank(&q2, true, &mut e).unwrap();
+        assert_eq!(b1.encode_pretty(), b2.encode_pretty());
+        assert!(stats.candidates_evaluated > 0);
+        let ranked = b1.get("ranked").and_then(Json::as_arr).unwrap();
+        assert_eq!(ranked.len(), 3);
+        // Stats block excludes wall-clock fields.
+        let s = b1.get("stats").and_then(Json::as_obj).unwrap();
+        assert!(s
+            .iter()
+            .all(|(k, _)| !k.contains("nanos") && !k.contains("secs")));
+    }
+
+    #[test]
+    fn kernels_body_lists_registry() {
+        let a = advisor();
+        let body = a.kernels_body(Scale::Test);
+        let kernels = body.get("kernels").and_then(Json::as_arr).unwrap();
+        assert_eq!(kernels.len(), registry().len());
+        assert!(kernels
+            .iter()
+            .any(|k| k.get("name").and_then(Json::as_str) == Some("spmv")));
+    }
+}

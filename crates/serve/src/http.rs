@@ -1,0 +1,319 @@
+//! Minimal HTTP/1.1 framing over blocking streams — just enough for the
+//! advisory API: request-line + headers + `Content-Length` bodies in,
+//! fixed-length responses out, with keep-alive. No chunked encoding, no
+//! TLS, no pipelining (one request is fully answered before the next is
+//! read, which is how every mainstream client uses HTTP/1.1 anyway).
+//!
+//! Limits are enforced while reading (not after), so a hostile peer
+//! cannot balloon memory: 8 KiB request line, 64 headers of 8 KiB each,
+//! 1 MiB body.
+
+use std::io::{BufRead, Write};
+
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+pub const MAX_HEADERS: usize = 64;
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    /// Path including any query string, exactly as sent.
+    pub target: String,
+    /// Header names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path with any `?query` suffix removed.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`, or HTTP/1.0 semantics — we only
+    /// speak 1.1, so just the header).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before any request byte — the peer just hung up.
+    Closed,
+    /// The read timeout fired while waiting for the *first* byte of a
+    /// request — an idle keep-alive connection, not an error. The server
+    /// uses this to poll its shutdown flag between requests.
+    IdleTimeout,
+    /// Read failed or timed out mid-request.
+    Io(std::io::Error),
+    /// The bytes are not an HTTP/1.1 request we accept; the message is
+    /// safe to echo in a 400.
+    Malformed(String),
+    /// Structurally fine but over a size limit (413 for bodies).
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::IdleTimeout => write!(f, "idle keep-alive timeout"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(what) => write!(f, "{what} too large"),
+        }
+    }
+}
+
+/// Read one CRLF- (or LF-) terminated line without the terminator,
+/// bounded by [`MAX_LINE_BYTES`].
+fn read_line(r: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Malformed("eof inside line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::TooLarge("header line"));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Read and parse one request. `Err(Closed)` means the peer closed the
+/// connection between requests (normal keep-alive teardown).
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
+    // Wait for the first byte explicitly so a read timeout on an idle
+    // keep-alive connection is distinguishable from one mid-request.
+    match r.fill_buf() {
+        Ok([]) => return Err(HttpError::Closed),
+        Ok(_) => {}
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            return Err(HttpError::IdleTimeout)
+        }
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+    let request_line = read_line(r)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r) {
+            Ok(l) => l,
+            Err(HttpError::Closed) => {
+                return Err(HttpError::Malformed("eof inside headers".into()))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("header count"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one fixed-length response. `close` controls the `Connection`
+/// header; the caller owns actually closing the stream.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/v1/predict");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_query() {
+        let req = parse(b"GET /metrics?x=1 HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/metrics");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn tolerates_bare_lf_lines() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(req.path(), "/healthz");
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            parse(b"NOT_A_REQUEST\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversize_body_declaration() {
+        let req = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(req.as_bytes()),
+            Err(HttpError::TooLarge("body"))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_bytes_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn keepalive_reads_two_requests_from_one_stream() {
+        let bytes: &[u8] =
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = BufReader::new(bytes);
+        assert_eq!(read_request(&mut r).unwrap().path(), "/healthz");
+        let second = read_request(&mut r).unwrap();
+        assert_eq!(second.path(), "/metrics");
+        assert!(second.wants_close());
+        assert!(matches!(read_request(&mut r), Err(HttpError::Closed)));
+    }
+}

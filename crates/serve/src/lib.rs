@@ -1,0 +1,41 @@
+//! # hms-serve — placement-advisory server
+//!
+//! A zero-dependency (std-only) HTTP/1.1 service that answers the
+//! paper's core question — *given a kernel and a candidate placement,
+//! how long will it run?* — over the network, so placement decisions
+//! can be made by tooling that doesn't link the model:
+//!
+//! * `POST /v1/predict` — predicted `T`, `T_comp`, `T_mem`, `T_overlap`
+//!   (Eq. 1) for one kernel + scale + placement;
+//! * `POST /v1/advise` — top-k placements, ranked;
+//! * `POST /v1/search` — ranked placements plus the incremental
+//!   engine's deterministic counters;
+//! * `GET /v1/kernels` — the built-in kernel registry;
+//! * `GET /metrics` — Prometheus text exposition (request counts,
+//!   latency histograms, cache hit rates, engine counters);
+//! * `GET /healthz` — liveness.
+//!
+//! Everything is built from `std::net` + `std::thread`: a hand-rolled
+//! escaping-correct JSON codec ([`wire`]), an HTTP/1.1 reader/writer
+//! with strict limits ([`http`]), a sharded LRU ([`cache`]) keying
+//! response bodies by `(kernel, scale, placement, model options)`, a
+//! fixed worker pool with a bounded accept queue and load shedding
+//! ([`server`]), and signal-driven graceful shutdown ([`signal`]).
+//!
+//! The same response-body builders back the CLI's `--json` mode
+//! ([`api`]), so `hms predict --json ...` and `POST /v1/predict` are
+//! byte-identical by construction — asserted by the integration tests.
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+pub mod wire;
+
+pub use api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
+pub use cache::ShardedLru;
+pub use metrics::{Metrics, Route};
+pub use server::{spawn, ServeConfig, ServerHandle};
+pub use wire::{decode, Json, WireError};

@@ -1,0 +1,434 @@
+//! Server observability: lock-free counters and latency histograms,
+//! rendered in the Prometheus text exposition format at `GET /metrics`.
+//!
+//! Everything is a fixed-shape atomic — no allocation on the request
+//! path — and rendering iterates in a fixed order, so the exposition is
+//! deterministic modulo the counter values themselves. The metrics the
+//! acceptance criteria lean on:
+//!
+//! * `hms_prediction_cache_{hits,misses}_total` and
+//!   `hms_profile_cache_{hits,misses}_total` — a warm repeat query must
+//!   hit the former without missing the latter;
+//! * `hms_simulations_total` / `hms_predictions_computed_total` — must
+//!   *not* advance on a warm hit (no re-simulation, no re-rewrite);
+//! * `hms_engine_*` — cumulative [`EngineStats`] from every search the
+//!   server actually ran.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use hms_core::EngineStats;
+
+/// The routes the server distinguishes in its per-route metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    Predict,
+    Advise,
+    Search,
+    Kernels,
+    Metrics,
+    Healthz,
+    Other,
+}
+
+impl Route {
+    pub const ALL: [Route; 7] = [
+        Route::Predict,
+        Route::Advise,
+        Route::Search,
+        Route::Kernels,
+        Route::Metrics,
+        Route::Healthz,
+        Route::Other,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Predict => "predict",
+            Route::Advise => "advise",
+            Route::Search => "search",
+            Route::Kernels => "kernels",
+            Route::Metrics => "metrics",
+            Route::Healthz => "healthz",
+            Route::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Route::ALL.iter().position(|r| *r == self).expect("in ALL")
+    }
+}
+
+/// Status classes tracked per route (the exact codes the server emits).
+const STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 500, 503, 504];
+
+/// Upper bounds (microseconds) of the latency histogram buckets, plus an
+/// implicit `+Inf`. Spans cache-hit microseconds to full-scale
+/// simulation seconds.
+const BUCKET_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 1_000_000,
+    5_000_000,
+];
+
+#[derive(Default)]
+struct Histogram {
+    buckets: [AtomicU64; BUCKET_US.len()],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        for (i, &ub) in BUCKET_US.iter().enumerate() {
+            if us <= ub {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+/// Cumulative counters mirroring [`EngineStats`]'s deterministic fields.
+#[derive(Default)]
+struct EngineTotals {
+    full_rewrites: AtomicU64,
+    skeletons_built: AtomicU64,
+    delta_cache_hits: AtomicU64,
+    exact_fallbacks: AtomicU64,
+    candidates_evaluated: AtomicU64,
+    candidates_pruned: AtomicU64,
+}
+
+/// All server metrics. One instance per server, shared by `Arc`.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [AtomicU64; Route::ALL.len()],
+    responses: [[AtomicU64; STATUSES.len()]; Route::ALL.len()],
+    latency: [Histogram; Route::ALL.len()],
+    pub prediction_cache_hits: AtomicU64,
+    pub prediction_cache_misses: AtomicU64,
+    pub search_cache_hits: AtomicU64,
+    pub search_cache_misses: AtomicU64,
+    pub profile_cache_hits: AtomicU64,
+    pub profile_cache_misses: AtomicU64,
+    /// Sample simulations actually run (profile-cache misses end here).
+    pub simulations: AtomicU64,
+    /// Predictions actually computed (prediction-cache misses end here).
+    pub predictions_computed: AtomicU64,
+    /// Requests refused with 503 because the accept queue was full.
+    pub shed: AtomicU64,
+    /// Requests refused with 504 because their deadline passed.
+    pub deadline_exceeded: AtomicU64,
+    /// Connections currently queued waiting for a worker.
+    pub queue_depth: AtomicU64,
+    /// Requests currently being handled by workers.
+    pub inflight: AtomicU64,
+    engine: EngineTotals,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub fn on_request(&self, route: Route) {
+        self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_response(&self, route: Route, status: u16, latency: Duration) {
+        if let Some(si) = STATUSES.iter().position(|&s| s == status) {
+            self.responses[route.index()][si].fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency[route.index()].observe(latency);
+    }
+
+    /// Fold one search's engine counters into the cumulative totals
+    /// (deterministic fields only — wall-clock nanos stay out of the
+    /// exposition so warm-cache assertions can compare exact values).
+    pub fn on_engine_stats(&self, s: &EngineStats) {
+        let e = &self.engine;
+        e.full_rewrites
+            .fetch_add(s.full_rewrites, Ordering::Relaxed);
+        e.skeletons_built
+            .fetch_add(s.skeletons_built, Ordering::Relaxed);
+        e.delta_cache_hits
+            .fetch_add(s.delta_cache_hits, Ordering::Relaxed);
+        e.exact_fallbacks
+            .fetch_add(s.exact_fallbacks, Ordering::Relaxed);
+        e.candidates_evaluated
+            .fetch_add(s.candidates_evaluated, Ordering::Relaxed);
+        e.candidates_pruned
+            .fetch_add(s.candidates_pruned, Ordering::Relaxed);
+    }
+
+    /// Render the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let g = |out: &mut String, name: &str, help: &str, kind: &str| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        };
+
+        g(
+            &mut out,
+            "hms_requests_total",
+            "Requests received, by route.",
+            "counter",
+        );
+        for r in Route::ALL {
+            out.push_str(&format!(
+                "hms_requests_total{{route=\"{}\"}} {}\n",
+                r.label(),
+                self.requests[r.index()].load(Ordering::Relaxed)
+            ));
+        }
+
+        g(
+            &mut out,
+            "hms_responses_total",
+            "Responses sent, by route and status.",
+            "counter",
+        );
+        for r in Route::ALL {
+            for (si, &status) in STATUSES.iter().enumerate() {
+                let n = self.responses[r.index()][si].load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "hms_responses_total{{route=\"{}\",status=\"{status}\"}} {n}\n",
+                        r.label()
+                    ));
+                }
+            }
+        }
+
+        g(
+            &mut out,
+            "hms_request_duration_seconds",
+            "Request handling latency.",
+            "histogram",
+        );
+        for r in Route::ALL {
+            let h = &self.latency[r.index()];
+            let count = h.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let mut cumulative = 0u64;
+            for (i, &ub) in BUCKET_US.iter().enumerate() {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "hms_request_duration_seconds_bucket{{route=\"{}\",le=\"{}\"}} {cumulative}\n",
+                    r.label(),
+                    ub as f64 / 1e6,
+                ));
+            }
+            out.push_str(&format!(
+                "hms_request_duration_seconds_bucket{{route=\"{}\",le=\"+Inf\"}} {count}\n",
+                r.label()
+            ));
+            out.push_str(&format!(
+                "hms_request_duration_seconds_sum{{route=\"{}\"}} {}\n",
+                r.label(),
+                h.sum_us.load(Ordering::Relaxed) as f64 / 1e6,
+            ));
+            out.push_str(&format!(
+                "hms_request_duration_seconds_count{{route=\"{}\"}} {count}\n",
+                r.label()
+            ));
+        }
+
+        let counters: [(&str, &str, &AtomicU64); 12] = [
+            (
+                "hms_prediction_cache_hits_total",
+                "Predict queries answered from the prediction cache.",
+                &self.prediction_cache_hits,
+            ),
+            (
+                "hms_prediction_cache_misses_total",
+                "Predict queries that had to run the model.",
+                &self.prediction_cache_misses,
+            ),
+            (
+                "hms_search_cache_hits_total",
+                "Advise/search queries answered from the result cache.",
+                &self.search_cache_hits,
+            ),
+            (
+                "hms_search_cache_misses_total",
+                "Advise/search queries that had to run the engine.",
+                &self.search_cache_misses,
+            ),
+            (
+                "hms_profile_cache_hits_total",
+                "Sample profiles reused from cache.",
+                &self.profile_cache_hits,
+            ),
+            (
+                "hms_profile_cache_misses_total",
+                "Sample profiles that had to be simulated.",
+                &self.profile_cache_misses,
+            ),
+            (
+                "hms_simulations_total",
+                "Sample simulations actually run.",
+                &self.simulations,
+            ),
+            (
+                "hms_predictions_computed_total",
+                "Predictions actually computed (cache misses).",
+                &self.predictions_computed,
+            ),
+            (
+                "hms_shed_total",
+                "Requests refused with 503 because the queue was full.",
+                &self.shed,
+            ),
+            (
+                "hms_deadline_exceeded_total",
+                "Requests refused with 504 past their deadline.",
+                &self.deadline_exceeded,
+            ),
+            (
+                "hms_engine_full_rewrites_total",
+                "Whole-trace rewrite+analyze runs across all searches.",
+                &self.engine.full_rewrites,
+            ),
+            (
+                "hms_engine_delta_cache_hits_total",
+                "Candidates composed from memoized deltas.",
+                &self.engine.delta_cache_hits,
+            ),
+        ];
+        for (name, help, v) in counters {
+            g(&mut out, name, help, "counter");
+            out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
+        }
+
+        let more_engine: [(&str, &str, &AtomicU64); 4] = [
+            (
+                "hms_engine_skeletons_built_total",
+                "Distinct walk skeletons built.",
+                &self.engine.skeletons_built,
+            ),
+            (
+                "hms_engine_exact_fallbacks_total",
+                "Candidates that fell back to the exact path.",
+                &self.engine.exact_fallbacks,
+            ),
+            (
+                "hms_engine_candidates_evaluated_total",
+                "Candidates evaluated by the model.",
+                &self.engine.candidates_evaluated,
+            ),
+            (
+                "hms_engine_candidates_pruned_total",
+                "Candidates skipped by branch-and-bound (estimate).",
+                &self.engine.candidates_pruned,
+            ),
+        ];
+        for (name, help, v) in more_engine {
+            g(&mut out, name, help, "counter");
+            out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
+        }
+
+        let gauges: [(&str, &str, &AtomicU64); 2] = [
+            (
+                "hms_queue_depth",
+                "Connections waiting for a worker.",
+                &self.queue_depth,
+            ),
+            (
+                "hms_inflight_requests",
+                "Requests currently being handled.",
+                &self.inflight,
+            ),
+        ];
+        for (name, help, v) in gauges {
+            g(&mut out, name, help, "gauge");
+            out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
+        }
+        out
+    }
+
+    /// Parse a single counter value back out of a rendered exposition —
+    /// test/bench helper, not a full Prometheus parser. Labelled series
+    /// need the full `name{labels}` string.
+    pub fn scrape_counter(exposition: &str, series: &str) -> Option<f64> {
+        exposition.lines().find_map(|l| {
+            let rest = l.strip_prefix(series)?;
+            let rest = rest.strip_prefix(' ')?;
+            rest.trim().parse().ok()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_core_series() {
+        let m = Metrics::new();
+        m.on_request(Route::Predict);
+        m.on_response(Route::Predict, 200, Duration::from_micros(120));
+        m.prediction_cache_hits.fetch_add(3, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("hms_requests_total{route=\"predict\"} 1"));
+        assert!(text.contains("hms_responses_total{route=\"predict\",status=\"200\"} 1"));
+        assert!(text.contains("hms_prediction_cache_hits_total 3"));
+        assert!(
+            text.contains("hms_request_duration_seconds_bucket{route=\"predict\",le=\"+Inf\"} 1")
+        );
+        assert!(text.contains("# TYPE hms_request_duration_seconds histogram"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.on_response(Route::Search, 200, Duration::from_micros(60));
+        m.on_response(Route::Search, 200, Duration::from_micros(60_000));
+        let text = m.render();
+        // 60 us lands in le=0.0001; both land in le=0.1.
+        assert!(
+            text.contains("hms_request_duration_seconds_bucket{route=\"search\",le=\"0.0001\"} 1")
+        );
+        assert!(text.contains("hms_request_duration_seconds_bucket{route=\"search\",le=\"0.1\"} 2"));
+        assert!(text.contains("hms_request_duration_seconds_count{route=\"search\"} 2"));
+    }
+
+    #[test]
+    fn engine_stats_accumulate() {
+        let m = Metrics::new();
+        let s = EngineStats {
+            full_rewrites: 4,
+            delta_cache_hits: 12,
+            candidates_evaluated: 16,
+            ..EngineStats::default()
+        };
+        m.on_engine_stats(&s);
+        m.on_engine_stats(&s);
+        let text = m.render();
+        assert!(text.contains("hms_engine_full_rewrites_total 8"));
+        assert!(text.contains("hms_engine_delta_cache_hits_total 24"));
+        assert!(text.contains("hms_engine_candidates_evaluated_total 32"));
+    }
+
+    #[test]
+    fn scrape_counter_reads_back() {
+        let m = Metrics::new();
+        m.simulations.fetch_add(7, Ordering::Relaxed);
+        m.on_request(Route::Advise);
+        let text = m.render();
+        assert_eq!(
+            Metrics::scrape_counter(&text, "hms_simulations_total"),
+            Some(7.0)
+        );
+        assert_eq!(
+            Metrics::scrape_counter(&text, "hms_requests_total{route=\"advise\"}"),
+            Some(1.0)
+        );
+        assert_eq!(Metrics::scrape_counter(&text, "hms_nope"), None);
+    }
+}

@@ -1,0 +1,566 @@
+//! The placement-advisory HTTP server.
+//!
+//! Architecture (DESIGN.md §10):
+//!
+//! * **acceptor thread** — owns the listener (non-blocking, polled so
+//!   shutdown is prompt) and pushes accepted connections into a bounded
+//!   queue. A full queue sheds load: the acceptor answers `503` inline
+//!   and closes, so a saturated server degrades predictably instead of
+//!   queueing without bound;
+//! * **N worker threads** — pop connections, speak keep-alive HTTP/1.1,
+//!   and serve requests. Each request gets a deadline
+//!   (`deadline_ms` from arrival at the worker); queries past it are
+//!   refused with `504` before any model work runs, and re-checked
+//!   between the expensive stages (profile simulation, engine search);
+//! * **two cache tiers** — response-level sharded LRUs (prediction
+//!   cache keyed by `(kernel, scale, placement, model-options)`; search
+//!   cache keyed by the full rank query) over the [`Advisor`]'s
+//!   profiled-sample cache, so a warm repeat query runs neither the
+//!   simulator nor the trace rewriter — asserted through `/metrics`;
+//! * **graceful shutdown** — a flag flipped by [`ServerHandle::shutdown`]
+//!   or SIGINT/SIGTERM (see [`crate::signal`]). The acceptor stops
+//!   accepting, workers drain the queue and finish in-flight requests
+//!   (answering them with `connection: close`), then everything joins.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hms_core::ModelOptions;
+use hms_kernels::Scale;
+use hms_types::{MemorySpace, PlacementMap};
+
+use crate::api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
+use crate::cache::ShardedLru;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::{Metrics, Route};
+use crate::wire::{decode, Json};
+
+/// Server tunables, mirrored by `hms serve`'s flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (printed/returned).
+    pub addr: String,
+    /// Worker threads (0 = one per core, minimum 2).
+    pub threads: usize,
+    /// Total entries across the prediction and search caches.
+    pub cache_entries: usize,
+    /// Per-request deadline. Queries that can't start (or reach their
+    /// next model stage) in time are refused with 504.
+    pub deadline: Duration,
+    /// Accepted connections waiting for a worker before the acceptor
+    /// sheds with 503. 0 sheds everything (useful for tests).
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            cache_entries: 4096,
+            deadline: Duration::from_millis(10_000),
+            queue_depth: 128,
+        }
+    }
+}
+
+/// Prediction-cache key: everything that can change the response bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PredKey {
+    kernel: String,
+    scale: Scale,
+    placement: Vec<(String, MemorySpace)>,
+    options: ModelOptions,
+    trained: bool,
+}
+
+/// Search-cache key: the full rank query plus which endpoint shape
+/// (advise has no stats block) — threads excluded, results are
+/// thread-invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RankKey {
+    kernel: String,
+    scale: Scale,
+    top: usize,
+    prune: bool,
+    include_stats: bool,
+    options: ModelOptions,
+    trained: bool,
+}
+
+struct Shared {
+    advisor: Advisor,
+    metrics: Arc<Metrics>,
+    pred_cache: ShardedLru<PredKey, Arc<String>>,
+    rank_cache: ShardedLru<RankKey, Arc<String>>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    deadline: Duration,
+}
+
+/// A running server: its bound address plus the levers to observe and
+/// stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (the same numbers `/metrics` renders).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Ask the server to stop without blocking. Idempotent.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+
+    /// Whether a shutdown has been requested (by [`Self::request_shutdown`]
+    /// or a signal).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain queued and in-flight requests, join every
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind, spawn the acceptor and workers, and return immediately.
+pub fn spawn(cfg: ServeConfig, advisor: Advisor) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2)
+    } else {
+        cfg.threads
+    };
+    let cache_entries = cfg.cache_entries.max(2);
+    let shared = Arc::new(Shared {
+        advisor,
+        metrics: Arc::new(Metrics::new()),
+        pred_cache: ShardedLru::new(cache_entries / 2, 8),
+        rank_cache: ShardedLru::new(cache_entries / 2, 8),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        deadline: cfg.deadline,
+    });
+    let mut threads = Vec::with_capacity(workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        let queue_depth = cfg.queue_depth;
+        threads.push(
+            std::thread::Builder::new()
+                .name("hms-accept".into())
+                .spawn(move || acceptor(listener, shared, queue_depth))
+                .expect("spawn acceptor"),
+        );
+    }
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("hms-worker-{i}"))
+                .spawn(move || worker(shared))
+                .expect("spawn worker"),
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn acceptor(listener: TcpListener, shared: Arc<Shared>, queue_depth: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut q = shared.queue.lock().expect("queue");
+                if q.len() >= queue_depth {
+                    drop(q);
+                    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    shed(stream);
+                    continue;
+                }
+                q.push_back(stream);
+                shared
+                    .metrics
+                    .queue_depth
+                    .store(q.len() as u64, Ordering::Relaxed);
+                drop(q);
+                shared.available.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Wake every worker so none sleeps through the shutdown flag.
+    shared.available.notify_all();
+}
+
+/// Refuse one connection with 503 (queue full).
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let body = error_body("server overloaded: request queue is full");
+    let _ = write_response(&mut stream, 503, "application/json", body.as_bytes(), true);
+}
+
+fn worker(shared: Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().expect("queue");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    shared
+                        .metrics
+                        .queue_depth
+                        .store(q.len() as u64, Ordering::Relaxed);
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .available
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("queue wait");
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else {
+            return; // shutdown with an empty queue
+        };
+        handle_connection(&shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // Short read timeout: an idle keep-alive connection surfaces as
+    // `IdleTimeout` every 250 ms, which is the worker's chance to notice
+    // a shutdown request (so `shutdown()` joins promptly instead of
+    // waiting out a long timeout).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::IdleTimeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue; // still idle; keep the connection open
+            }
+            Err(HttpError::Io(_)) => return, // timeout or reset mid-request
+            Err(HttpError::Malformed(m)) => {
+                let body = error_body(&format!("malformed request: {m}"));
+                let _ = write_response(&mut writer, 400, "application/json", body.as_bytes(), true);
+                return;
+            }
+            Err(HttpError::TooLarge(what)) => {
+                let body = error_body(&format!("{what} too large"));
+                let _ = write_response(&mut writer, 413, "application/json", body.as_bytes(), true);
+                return;
+            }
+        };
+        let arrived = Instant::now();
+        let m = &shared.metrics;
+        m.inflight.fetch_add(1, Ordering::Relaxed);
+        let (route, status, content_type, body) = respond(shared, &req, arrived);
+        m.inflight.fetch_sub(1, Ordering::Relaxed);
+        m.on_request(route);
+        m.on_response(route, status, arrived.elapsed());
+        // During shutdown finish this request but close the connection so
+        // the worker can exit instead of waiting on an idle keep-alive.
+        let close = req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
+        if write_response(&mut writer, status, content_type, body.as_bytes(), close).is_err() {
+            return;
+        }
+        if close {
+            let _ = writer.flush();
+            return;
+        }
+    }
+}
+
+/// Route one request. Returns (route, status, content type, body).
+fn respond(shared: &Shared, req: &Request, arrived: Instant) -> (Route, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/healthz") => (Route::Healthz, 200, "text/plain", "ok\n".into()),
+        ("GET", "/metrics") => (
+            Route::Metrics,
+            200,
+            "text/plain; version=0.0.4",
+            shared.metrics.render(),
+        ),
+        ("GET", "/v1/kernels") => {
+            let scale = match query_scale(req) {
+                Ok(s) => s,
+                Err(e) => return (Route::Kernels, 400, JSON, error_body(&e)),
+            };
+            (
+                Route::Kernels,
+                200,
+                JSON,
+                shared.advisor.kernels_body(scale).encode_pretty(),
+            )
+        }
+        ("POST", "/v1/predict") => with_body(req, Route::Predict, |v| predict(shared, v, arrived)),
+        ("POST", "/v1/advise") => {
+            with_body(req, Route::Advise, |v| rank(shared, v, arrived, false))
+        }
+        ("POST", "/v1/search") => with_body(req, Route::Search, |v| rank(shared, v, arrived, true)),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/kernels" | "/v1/predict" | "/v1/advise" | "/v1/search",
+        ) => {
+            let route = match req.path() {
+                "/healthz" => Route::Healthz,
+                "/metrics" => Route::Metrics,
+                "/v1/kernels" => Route::Kernels,
+                "/v1/predict" => Route::Predict,
+                "/v1/advise" => Route::Advise,
+                _ => Route::Search,
+            };
+            (
+                route,
+                405,
+                JSON,
+                error_body(&format!("method {} not allowed here", req.method)),
+            )
+        }
+        _ => (
+            Route::Other,
+            404,
+            JSON,
+            error_body(&format!("no such endpoint `{}`", req.path())),
+        ),
+    }
+}
+
+/// Parse `?scale=` (default full) for `GET /v1/kernels`.
+fn query_scale(req: &Request) -> Result<Scale, String> {
+    match req.target.split_once('?') {
+        None => Ok(Scale::Full),
+        Some((_, qs)) => {
+            for pair in qs.split('&') {
+                if let Some(v) = pair.strip_prefix("scale=") {
+                    return Scale::parse(v).ok_or_else(|| format!("unknown scale `{v}`"));
+                }
+            }
+            Ok(Scale::Full)
+        }
+    }
+}
+
+/// Decode the body as JSON and dispatch, mapping failures to statuses.
+fn with_body(
+    req: &Request,
+    route: Route,
+    f: impl FnOnce(&Json) -> Result<(u16, String), (u16, String)>,
+) -> (Route, u16, &'static str, String) {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            return (
+                route,
+                400,
+                "application/json",
+                error_body("body is not UTF-8"),
+            )
+        }
+    };
+    let v = match decode(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                route,
+                400,
+                "application/json",
+                error_body(&format!("invalid JSON: {e}")),
+            )
+        }
+    };
+    match f(&v) {
+        Ok((status, body)) => (route, status, "application/json", body),
+        Err((status, body)) => (route, status, "application/json", body),
+    }
+}
+
+fn api_error(e: ApiError) -> (u16, String) {
+    let status = match &e {
+        ApiError::BadRequest(_) => 400,
+        ApiError::UnknownKernel(_) => 404,
+        ApiError::Model(_) => 500,
+    };
+    (status, error_body(&e.to_string()))
+}
+
+fn error_body(msg: &str) -> String {
+    Json::Obj(vec![("error".into(), Json::str(msg))]).encode_pretty()
+}
+
+/// Deadline check shared by the POST handlers: refuse with 504 before
+/// starting (or continuing into) expensive work a dead client will
+/// never see the result of.
+fn check_deadline(shared: &Shared, arrived: Instant) -> Result<(), (u16, String)> {
+    if arrived.elapsed() > shared.deadline {
+        shared
+            .metrics
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        Err((
+            504,
+            error_body(&format!(
+                "deadline exceeded ({} ms)",
+                shared.deadline.as_millis()
+            )),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn predict(shared: &Shared, v: &Json, arrived: Instant) -> Result<(u16, String), (u16, String)> {
+    check_deadline(shared, arrived)?;
+    let q = PredictQuery::from_json(v).map_err(api_error)?;
+    let m = &shared.metrics;
+    // Resolving the placement needs the kernel; build it (cached) so the
+    // cache key is the *resolved* placement — `moves` and an equivalent
+    // `placement` object hit the same entry.
+    let kt = shared
+        .advisor
+        .kernel(&q.kernel, q.scale)
+        .map_err(api_error)?;
+    let resolved = shared
+        .advisor
+        .resolve_placement(&kt, &q.moves)
+        .map_err(api_error)?;
+    let key = PredKey {
+        kernel: q.kernel.clone(),
+        scale: q.scale,
+        placement: named_placement(&kt.arrays, &resolved),
+        options: shared.advisor.predictor.options,
+        trained: shared.advisor.predictor.overlap.is_trained(),
+    };
+    if let Some(body) = shared.pred_cache.get(&key) {
+        m.prediction_cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((200, body.as_ref().clone()));
+    }
+    m.prediction_cache_misses.fetch_add(1, Ordering::Relaxed);
+    check_deadline(shared, arrived)?;
+    let mut effort = Effort::default();
+    let (body, _pred) = shared.advisor.predict(&q, &mut effort).map_err(api_error)?;
+    count_effort(m, &effort);
+    m.predictions_computed.fetch_add(1, Ordering::Relaxed);
+    let body = Arc::new(body.encode_pretty());
+    shared.pred_cache.insert(key, Arc::clone(&body));
+    Ok((200, body.as_ref().clone()))
+}
+
+fn rank(
+    shared: &Shared,
+    v: &Json,
+    arrived: Instant,
+    is_search: bool,
+) -> Result<(u16, String), (u16, String)> {
+    check_deadline(shared, arrived)?;
+    let q = RankQuery::from_json(v, is_search).map_err(api_error)?;
+    let m = &shared.metrics;
+    let key = RankKey {
+        kernel: q.kernel.clone(),
+        scale: q.scale,
+        top: q.top,
+        prune: q.prune,
+        include_stats: is_search,
+        options: shared.advisor.predictor.options,
+        trained: shared.advisor.predictor.overlap.is_trained(),
+    };
+    if let Some(body) = shared.rank_cache.get(&key) {
+        m.search_cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((200, body.as_ref().clone()));
+    }
+    m.search_cache_misses.fetch_add(1, Ordering::Relaxed);
+    check_deadline(shared, arrived)?;
+    let mut effort = Effort::default();
+    let (body, stats) = shared
+        .advisor
+        .rank(&q, is_search, &mut effort)
+        .map_err(api_error)?;
+    count_effort(m, &effort);
+    m.on_engine_stats(&stats);
+    let body = Arc::new(body.encode_pretty());
+    shared.rank_cache.insert(key, Arc::clone(&body));
+    Ok((200, body.as_ref().clone()))
+}
+
+fn count_effort(m: &Metrics, e: &Effort) {
+    if e.simulated {
+        m.simulations.fetch_add(1, Ordering::Relaxed);
+        m.profile_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    if e.profile_hit {
+        m.profile_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn named_placement(
+    arrays: &[hms_types::ArrayDef],
+    pm: &PlacementMap,
+) -> Vec<(String, MemorySpace)> {
+    pm.iter()
+        .map(|(id, space)| {
+            (
+                arrays
+                    .get(id.index())
+                    .map_or_else(|| format!("#{}", id.0), |a| a.name.clone()),
+                space,
+            )
+        })
+        .collect()
+}

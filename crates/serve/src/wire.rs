@@ -1,0 +1,687 @@
+//! The serve stack's JSON wire format: a hand-rolled, escaping-correct
+//! encoder/decoder over a single [`Json`] value type.
+//!
+//! The workspace has no serializer by design (hermetic build, no
+//! crates.io deps), and before this module every JSON producer built
+//! strings with `format!` — correct only until a kernel or array name
+//! contains a quote, backslash or control character. `wire` centralizes:
+//!
+//! * **string escaping** per RFC 8259 (`"` `\` and all control
+//!   characters; non-ASCII passes through as UTF-8);
+//! * **float formatting** that round-trips bit-exactly: integers within
+//!   the exact-`f64` range print as integers, everything else uses
+//!   Rust's shortest-roundtrip `Display`, negative zero prints as `-0.0`
+//!   and non-finite values (which valid responses never contain) encode
+//!   as `null`;
+//! * **parsing** with surrogate-pair `\uXXXX` decoding, a depth limit
+//!   against stack-overflow payloads, and byte-offset error reporting.
+//!
+//! Objects keep insertion order (`Vec<(String, Json)>`, not a map), so
+//! encoding is deterministic — the property the CLI/server byte-identity
+//! guarantee rests on. The round-trip law `decode(encode(v)) == v` is
+//! property-tested with `proptest_lite` below.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Numbers are `f64` (like JavaScript); object member
+/// order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for a number value.
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// Object member by key (first match), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Number as a non-negative integer (rejects fractions and negatives).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= usize::MAX as f64 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line encoding.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Two-space-indented encoding with a trailing newline — the format
+    /// of every response body and `--json` CLI output (byte-identical by
+    /// construction: both call exactly this function).
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => write_num(*x, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => write_seq(out, indent, depth, items.is_empty(), '[', ']', |out| {
+                for (i, item) in items.iter().enumerate() {
+                    sep(out, indent, depth + 1, i > 0);
+                    item.write(out, indent, depth + 1);
+                }
+            }),
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, members.is_empty(), '{', '}', |out| {
+                    for (i, (k, v)) in members.iter().enumerate() {
+                        sep(out, indent, depth + 1, i > 0);
+                        write_escaped(k, out);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        v.write(out, indent, depth + 1);
+                    }
+                })
+            }
+        }
+    }
+}
+
+fn sep(out: &mut String, indent: Option<usize>, depth: usize, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    empty: bool,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String),
+) {
+    out.push(open);
+    if !empty {
+        body(out);
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * depth {
+                out.push(' ');
+            }
+        }
+    }
+    out.push(close);
+}
+
+/// Bit-exact round-trip number formatting (see module docs).
+fn write_num(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; a response carrying one is a bug
+        // upstream (the model layer surfaces NonFinitePrediction instead
+        // of emitting poisoned floats), so encode defensively as null.
+        out.push_str("null");
+    } else if x == 0.0 && x.is_sign_negative() {
+        out.push_str("-0.0");
+    } else if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A decode failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub msg: String,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Nesting ceiling for the recursive-descent parser; deeper payloads are
+/// rejected rather than risking stack exhaustion on hostile input.
+const MAX_DEPTH: usize = 64;
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn decode(input: &str) -> Result<Json, WireError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> WireError {
+        WireError {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, WireError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require a low-surrogate pair.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid codepoint"))?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8 by construction).
+                    let s = &self.bytes[self.pos..];
+                    let len = utf8_len(s[0]);
+                    let chunk = std::str::from_utf8(&s[..len.min(s.len())])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let x: f64 = text.parse().map_err(|_| self.err("unparseable number"))?;
+        if x.is_finite() {
+            Ok(Json::Num(x))
+        } else {
+            Err(self.err("number overflows f64"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_stats::proptest_lite::{check, Config};
+    use hms_stats::rng::Rng;
+
+    /// Structural equality with bit-exact number comparison (plain
+    /// `PartialEq` would conflate `0.0` and `-0.0`).
+    fn bit_eq(a: &Json, b: &Json) -> bool {
+        match (a, b) {
+            (Json::Num(x), Json::Num(y)) => x.to_bits() == y.to_bits(),
+            (Json::Arr(x), Json::Arr(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(a, b)| bit_eq(a, b))
+            }
+            (Json::Obj(x), Json::Obj(y)) => {
+                x.len() == y.len()
+                    && x.iter()
+                        .zip(y)
+                        .all(|((ka, va), (kb, vb))| ka == kb && bit_eq(va, vb))
+            }
+            _ => a == b,
+        }
+    }
+
+    fn gen_string(rng: &mut Rng) -> String {
+        let n = rng.gen_range(0u64..12) as usize;
+        (0..n)
+            .map(|_| match rng.gen_range(0u64..8) {
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => '\u{7}',
+                4 => 'é',
+                5 => '💾',
+                _ => (b'a' + rng.gen_range(0u64..26) as u8) as char,
+            })
+            .collect()
+    }
+
+    fn gen_num(rng: &mut Rng) -> f64 {
+        match rng.gen_range(0u64..5) {
+            0 => rng.gen_range(0u64..1000) as f64,
+            1 => -(rng.gen_range(0u64..1000) as f64),
+            2 => f64::from_bits(rng.gen_range(0u64..u64::MAX)),
+            3 => rng.gen_range(0u64..u64::MAX) as f64 / 1e6,
+            _ => -0.0,
+        }
+    }
+
+    fn gen_json(rng: &mut Rng, depth: usize) -> Json {
+        let top = if depth >= 3 { 4 } else { 6 };
+        match rng.gen_range(0u64..top) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_range(0u64..2) == 1),
+            2 => {
+                let mut x = gen_num(rng);
+                while !x.is_finite() {
+                    x = gen_num(rng);
+                }
+                Json::Num(x)
+            }
+            3 => Json::Str(gen_string(rng)),
+            4 => {
+                let n = rng.gen_range(0u64..4) as usize;
+                Json::Arr((0..n).map(|_| gen_json(rng, depth + 1)).collect())
+            }
+            _ => {
+                let n = rng.gen_range(0u64..4) as usize;
+                Json::Obj(
+                    (0..n)
+                        .map(|_| (gen_string(rng), gen_json(rng, depth + 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_property() {
+        check(
+            "wire_roundtrip",
+            &Config::with_cases(256),
+            |rng| gen_json(rng, 0),
+            |v| {
+                for encoded in [v.encode(), v.encode_pretty()] {
+                    let back =
+                        decode(&encoded).map_err(|e| format!("decode({encoded:?}) failed: {e}"))?;
+                    if !bit_eq(v, &back) {
+                        return Err(format!("{v:?} -> {encoded} -> {back:?}"));
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage() {
+        check(
+            "wire_garbage_total",
+            &Config::with_cases(256),
+            |rng| {
+                let n = rng.gen_range(0u64..40) as usize;
+                (0..n)
+                    .map(|_| {
+                        let c = rng.gen_range(0u64..128) as u8 as char;
+                        if c == '\0' {
+                            ' '
+                        } else {
+                            c
+                        }
+                    })
+                    .collect::<String>()
+            },
+            |s| {
+                let _ = decode(s); // must return, not panic
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn escaping_specials() {
+        let v = Json::str("a\"b\\c\nd\te\u{7}f");
+        assert_eq!(v.encode(), r#""a\"b\\c\nd\te\u0007f""#);
+        assert!(bit_eq(&decode(&v.encode()).unwrap(), &v));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(decode(r#""💾""#).unwrap(), Json::Str("💾".into()));
+        assert!(decode(r#""\ud83d""#).is_err());
+        assert!(decode(r#""\udcbe""#).is_err());
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(Json::Num(3.0).encode(), "3");
+        assert_eq!(Json::Num(-0.0).encode(), "-0.0");
+        assert_eq!(Json::Num(0.5).encode(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).encode(), "null");
+        assert_eq!(decode("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(decode("-2.5e-2").unwrap(), Json::Num(-0.025));
+        assert!(decode("01").is_err());
+        assert!(decode("1.").is_err());
+        assert!(decode("1e").is_err());
+        assert!(decode("--1").is_err());
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(decode("").is_err());
+        assert!(decode("{").is_err());
+        assert!(decode("[1,]").is_err());
+        assert!(decode(r#"{"a" 1}"#).is_err());
+        assert!(decode("[1] x").is_err());
+        assert!(decode("\"\u{1}\"").is_err());
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(decode(&deep).is_err());
+    }
+
+    #[test]
+    fn pretty_is_indented_and_terminated() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::num(1.0)),
+            ("b".into(), Json::Arr(vec![Json::Null])),
+        ]);
+        assert_eq!(
+            v.encode_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    null\n  ]\n}\n"
+        );
+        assert_eq!(Json::Obj(vec![]).encode_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = decode(r#"{"k": "spmv", "top": 5, "flag": true, "xs": [1]}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_str), Some("spmv"));
+        assert_eq!(v.get("top").and_then(Json::as_usize), Some(5));
+        assert_eq!(v.get("flag").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("xs").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Num(1.5).as_usize(), None);
+        assert_eq!(Json::Num(-1.0).as_usize(), None);
+    }
+}

@@ -20,4 +20,28 @@ cargo fmt --check
 echo "==> search micro-benchmark (BENCH_search.json)"
 cargo run -q -p hms-bench --release --offline --bin bench_search -- test
 
+echo "==> serve smoke (hms serve + curl predict/metrics + clean SIGTERM)"
+serve_log="$(mktemp)"
+./target/release/hms serve --port 0 --threads 2 > "$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill -9 "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    grep -q '^listening on ' "$serve_log" && break
+    sleep 0.1
+done
+serve_url="$(sed -n 's#^listening on \(http://.*\)$#\1#p' "$serve_log")"
+[ -n "$serve_url" ] || { echo "serve did not come up"; cat "$serve_log"; exit 1; }
+predict_status="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$serve_url/v1/predict" \
+    -d '{"kernel":"vecadd","scale":"test","moves":[{"array":"a","space":"T"}]}')"
+[ "$predict_status" = "200" ] || { echo "predict returned $predict_status"; exit 1; }
+metrics_status="$(curl -s -o /dev/null -w '%{http_code}' "$serve_url/metrics")"
+[ "$metrics_status" = "200" ] || { echo "metrics returned $metrics_status"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "serve exited nonzero on SIGTERM"; exit 1; }
+trap - EXIT
+rm -f "$serve_log"
+
+echo "==> serve load benchmark (BENCH_serve.json)"
+cargo run -q -p hms-bench --release --offline --bin bench_serve -- test
+
 echo "CI OK"

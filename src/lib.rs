@@ -22,7 +22,10 @@
 //! * [`sim`] — the cycle-level execution simulator ("measured" ground
 //!   truth);
 //! * [`core`] — the paper's contribution: the `T = T_comp + T_mem −
-//!   T_overlap` predictor, baselines, ablations, and placement search.
+//!   T_overlap` predictor, baselines, ablations, and placement search;
+//! * [`serve`] — the placement-advisory HTTP server (std-only): JSON
+//!   wire codec, sharded prediction cache, worker pool with load
+//!   shedding, Prometheus metrics (`hms serve`).
 //!
 //! ## Quick start
 //!
@@ -50,6 +53,7 @@ pub use hms_cache as cache;
 pub use hms_core as core;
 pub use hms_dram as dram;
 pub use hms_kernels as kernels;
+pub use hms_serve as serve;
 pub use hms_sim as sim;
 pub use hms_stats as stats;
 pub use hms_trace as trace;
@@ -63,6 +67,7 @@ pub mod prelude {
         SearchStrategy, ToverlapModel,
     };
     pub use hms_kernels::{by_name, registry, Scale};
+    pub use hms_serve::{Advisor, Json, Metrics, ServeConfig, ServerHandle};
     pub use hms_sim::{simulate, simulate_default, EventSet, SimOptions, SimResult};
     pub use hms_trace::{materialize, rewrite, KernelTrace};
     pub use hms_types::{

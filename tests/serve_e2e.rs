@@ -1,0 +1,312 @@
+//! End-to-end tests for the advisory server: a real listener on an
+//! ephemeral port, real TCP clients, and assertions over both the
+//! response bodies and the `/metrics` counters that prove the caching
+//! claims (a warm repeat query re-runs neither the simulator nor the
+//! trace-rewrite engine).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use gpu_hms::core::Predictor;
+use gpu_hms::serve::{spawn, Advisor, Metrics, ServeConfig};
+use gpu_hms::types::GpuConfig;
+
+fn test_server(mutate: impl FnOnce(&mut ServeConfig)) -> gpu_hms::serve::ServerHandle {
+    let cfg = GpuConfig::test_small();
+    let advisor = Advisor::new(cfg.clone(), Predictor::new(cfg));
+    let mut scfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    mutate(&mut scfg);
+    spawn(scfg, advisor).expect("binds ephemeral port")
+}
+
+/// Minimal keep-alive HTTP/1.1 test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let writer = stream.try_clone().expect("clones");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Response {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("writes");
+        self.writer.flush().unwrap();
+        self.read_response().expect("response")
+    }
+
+    fn read_response(&mut self) -> Option<Response> {
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).ok()?;
+        if status_line.is_empty() {
+            return None;
+        }
+        let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).ok()?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse().ok()?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).ok()?;
+        Some(Response {
+            status,
+            body: String::from_utf8(body).ok()?,
+        })
+    }
+
+    fn get(&mut self, path: &str) -> Response {
+        self.request("GET", path, "")
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> Response {
+        self.request("POST", path, body)
+    }
+}
+
+fn counter(c: &mut Client, series: &str) -> f64 {
+    let text = c.get("/metrics").body;
+    Metrics::scrape_counter(&text, series).unwrap_or_else(|| panic!("no series {series}"))
+}
+
+const PREDICT: &str = r#"{"kernel":"vecadd","scale":"test","moves":[{"array":"a","space":"T"}]}"#;
+
+#[test]
+fn healthz_kernels_and_not_found() {
+    let h = test_server(|_| {});
+    let mut c = Client::connect(h.addr());
+    let r = c.get("/healthz");
+    assert_eq!((r.status, r.body.as_str()), (200, "ok\n"));
+
+    let r = c.get("/v1/kernels?scale=test");
+    assert_eq!(r.status, 200);
+    assert!(
+        r.body.contains("\"spmv\""),
+        "registry missing spmv: {}",
+        r.body
+    );
+    assert!(r.body.contains("\"scale\": \"test\""));
+    assert_eq!(c.get("/v1/kernels?scale=medium").status, 400);
+
+    assert_eq!(c.get("/v1/nope").status, 404);
+    // Wrong method on a real endpoint is 405, not 404.
+    assert_eq!(c.get("/v1/predict").status, 405);
+    assert_eq!(c.post("/healthz", "").status, 405);
+    h.shutdown();
+}
+
+#[test]
+fn predict_warm_cache_skips_model_work() {
+    let h = test_server(|_| {});
+    let mut c = Client::connect(h.addr());
+
+    let r1 = c.post("/v1/predict", PREDICT);
+    assert_eq!(r1.status, 200, "{}", r1.body);
+    assert!(r1.body.contains("\"predicted_cycles\""));
+    assert_eq!(counter(&mut c, "hms_simulations_total"), 1.0);
+    assert_eq!(counter(&mut c, "hms_prediction_cache_misses_total"), 1.0);
+    assert_eq!(counter(&mut c, "hms_predictions_computed_total"), 1.0);
+
+    // Warm repeat: byte-identical body, cache hit, and *no* new model
+    // work — the simulation and prediction counters stay flat.
+    let r2 = c.post("/v1/predict", PREDICT);
+    assert_eq!(r2.status, 200);
+    assert_eq!(r1.body, r2.body, "cached body diverged");
+    assert_eq!(counter(&mut c, "hms_prediction_cache_hits_total"), 1.0);
+    assert_eq!(counter(&mut c, "hms_simulations_total"), 1.0);
+    assert_eq!(counter(&mut c, "hms_predictions_computed_total"), 1.0);
+
+    // `placement` spelling of the same target placement also hits: the
+    // cache key is the resolved placement, not the request text.
+    let r3 = c.post(
+        "/v1/predict",
+        r#"{"kernel":"vecadd","scale":"test","placement":{"a":"T"}}"#,
+    );
+    assert_eq!(r3.status, 200);
+    assert_eq!(r1.body, r3.body);
+    assert_eq!(counter(&mut c, "hms_prediction_cache_hits_total"), 2.0);
+    h.shutdown();
+}
+
+#[test]
+fn search_warm_cache_skips_engine_work() {
+    let h = test_server(|_| {});
+    let mut c = Client::connect(h.addr());
+    let body = r#"{"kernel":"vecadd","scale":"test","top":3}"#;
+
+    let r1 = c.post("/v1/search", body);
+    assert_eq!(r1.status, 200, "{}", r1.body);
+    assert!(r1.body.contains("\"stats\""));
+    assert!(!r1.body.contains("nanos"), "wall-clock leaked into body");
+    let evaluated = counter(&mut c, "hms_engine_candidates_evaluated_total");
+    assert!(evaluated > 0.0);
+
+    let r2 = c.post("/v1/search", body);
+    assert_eq!(r2.status, 200);
+    assert_eq!(r1.body, r2.body);
+    assert_eq!(counter(&mut c, "hms_search_cache_hits_total"), 1.0);
+    // Engine counters flat: the repeat ran no rewrites, no evaluation.
+    assert_eq!(
+        counter(&mut c, "hms_engine_candidates_evaluated_total"),
+        evaluated
+    );
+
+    // Advise shares the ranking path but not the search cache entry
+    // (no stats block), and never accepts search knobs.
+    let r = c.post(
+        "/v1/advise",
+        r#"{"kernel":"vecadd","scale":"test","top":3}"#,
+    );
+    assert_eq!(r.status, 200);
+    assert!(!r.body.contains("\"stats\""));
+    let r = c.post(
+        "/v1/advise",
+        r#"{"kernel":"vecadd","scale":"test","prune":true}"#,
+    );
+    assert_eq!(r.status, 400);
+    h.shutdown();
+}
+
+#[test]
+fn client_errors_are_4xx() {
+    let h = test_server(|_| {});
+    let mut c = Client::connect(h.addr());
+    // Malformed JSON.
+    let r = c.post("/v1/predict", "{not json");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("invalid JSON"));
+    // Unknown kernel.
+    let r = c.post(
+        "/v1/predict",
+        r#"{"kernel":"ghost","moves":[{"array":"a","space":"T"}]}"#,
+    );
+    assert_eq!(r.status, 404);
+    // Unknown field.
+    let r = c.post("/v1/predict", r#"{"kernel":"vecadd","movez":[]}"#);
+    assert_eq!(r.status, 400);
+    // Illegal placement: written array into read-only constant memory.
+    let r = c.post(
+        "/v1/predict",
+        r#"{"kernel":"vecadd","scale":"test","placement":{"v":"C"}}"#,
+    );
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("read-only"), "{}", r.body);
+    h.shutdown();
+}
+
+#[test]
+fn zero_deadline_rejects_model_queries_but_not_probes() {
+    let h = test_server(|c| c.deadline = Duration::ZERO);
+    let mut c = Client::connect(h.addr());
+    // Liveness and metrics stay reachable on a saturated deadline.
+    assert_eq!(c.get("/healthz").status, 200);
+    assert_eq!(c.get("/metrics").status, 200);
+    let r = c.post("/v1/predict", PREDICT);
+    assert_eq!(r.status, 504, "{}", r.body);
+    assert!(r.body.contains("deadline"));
+    assert!(counter(&mut c, "hms_deadline_exceeded_total") >= 1.0);
+    h.shutdown();
+}
+
+#[test]
+fn zero_queue_sheds_with_503() {
+    let h = test_server(|c| c.queue_depth = 0);
+    // Every connection is refused before reaching a worker.
+    let mut c = Client::connect(h.addr());
+    let r = c.read_response().expect("shed response");
+    assert_eq!(r.status, 503, "{}", r.body);
+    assert!(r.body.contains("overloaded"));
+    h.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let h = test_server(|_| {});
+    let addr = h.addr();
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        (0..4)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let mut last = String::new();
+                    for _ in 0..20 {
+                        let r = c.post("/v1/predict", PREDICT);
+                        assert_eq!(r.status, 200);
+                        last = r.body;
+                    }
+                    last
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect()
+    });
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "clients saw different bodies for the same query"
+    );
+    // 80 requests, exactly one simulation.
+    let mut c = Client::connect(addr);
+    assert_eq!(counter(&mut c, "hms_simulations_total"), 1.0);
+    h.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_closes_the_port() {
+    let h = test_server(|_| {});
+    let addr = h.addr();
+    let mut c = Client::connect(addr);
+    assert_eq!(c.post("/v1/predict", PREDICT).status, 200);
+    h.shutdown(); // joins every thread; in-flight work already drained
+    std::thread::sleep(Duration::from_millis(50));
+    // New connections must now fail (or be closed without a response).
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(stream) => {
+            let mut buf = [0u8; 1];
+            let mut s = stream;
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+            assert!(
+                matches!(s.read(&mut buf), Ok(0) | Err(_)),
+                "server still answering after shutdown"
+            );
+        }
+    }
+}
