@@ -9,13 +9,22 @@
 //!
 //! `test` mode shrinks the run (2 clients, ~200 requests) so CI can
 //! exercise the whole path in well under a second of load.
+//!
+//! After the clean timed phase, a second *faulted* phase commits a
+//! seed-pinned [`FaultPlan`] storm against the same server while a good
+//! client keeps issuing requests through `retry_with_backoff` — the
+//! throughput it sustains (and the 4xx count the faults earn) land in
+//! `BENCH_serve.json` alongside the clean numbers, so a fault-path
+//! regression is as visible as a cache regression.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use hms_core::Predictor;
+use hms_faults::{retry_with_backoff, BackoffPolicy, FaultClient, FaultOutcome, FaultPlan};
 use hms_serve::{spawn, Advisor, Json, Metrics, ServeConfig};
+use hms_stats::rng::Rng;
 use hms_types::GpuConfig;
 
 /// The request mix, cycled per client: mostly repeat predicts (cache
@@ -57,9 +66,13 @@ fn main() {
     let t0 = Instant::now();
     let latencies: Vec<Vec<Duration>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
-            .map(|_| {
+            .map(|client_id| {
                 s.spawn(move || {
                     let mut c = Client::connect(addr);
+                    // Seeded per client: the retry schedule (if any
+                    // transient failure occurs) replays exactly.
+                    let mut rng = Rng::seed_from_u64(0xB3_5E_47 ^ client_id as u64);
+                    let policy = BackoffPolicy::default();
                     let mut lat = Vec::with_capacity(per_client);
                     for i in 0..per_client {
                         let (path, body) = if i % 16 == 15 {
@@ -68,7 +81,7 @@ fn main() {
                             ("/v1/predict", PREDICT_BODIES[i % PREDICT_BODIES.len()])
                         };
                         let r0 = Instant::now();
-                        let status = c.post(path, body);
+                        let status = post_with_retry(&mut c, addr, path, body, &policy, &mut rng);
                         assert_eq!(status, 200, "{path} failed");
                         lat.push(r0.elapsed());
                     }
@@ -79,6 +92,41 @@ fn main() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall = t0.elapsed().as_secs_f64();
+
+    // Faulted phase: commit a pinned fault storm while a good client
+    // keeps the request stream flowing through the retry path. Every
+    // good request must still come back 200 — faults cost their own
+    // connection, never a neighbour's.
+    const FAULT_SEED: u64 = 0xFA_17;
+    let storm = FaultPlan::from_seed(FAULT_SEED, if test_mode { 6 } else { 20 });
+    let mut fault_client = FaultClient::new(addr);
+    fault_client.trickle_delay = Duration::from_millis(1);
+    let mut good = Client::connect(addr);
+    let mut rng = Rng::seed_from_u64(FAULT_SEED);
+    let policy = BackoffPolicy::default();
+    let mut fault_errors_4xx = 0u64;
+    let mut faulted_requests = 0u64;
+    let tf = Instant::now();
+    for case in &storm.cases {
+        let outcome = fault_client.commit(*case, "/v1/predict", PREDICT_BODIES[0].as_bytes());
+        if let FaultOutcome::Status(s) = outcome {
+            if (400..500).contains(&s) {
+                fault_errors_4xx += 1;
+            }
+        }
+        for (i, body) in PREDICT_BODIES.iter().enumerate() {
+            let (path, body) = if i == 0 {
+                ("/v1/search", SEARCH_BODY)
+            } else {
+                ("/v1/predict", *body)
+            };
+            let status = post_with_retry(&mut good, addr, path, body, &policy, &mut rng);
+            assert_eq!(status, 200, "good traffic failed during fault storm");
+            faulted_requests += 1;
+        }
+    }
+    let faulted_wall = tf.elapsed().as_secs_f64();
+    let faulted_throughput = faulted_requests as f64 / faulted_wall.max(1e-9);
 
     let mut all: Vec<Duration> = latencies.into_iter().flatten().collect();
     all.sort();
@@ -106,6 +154,10 @@ fn main() {
     );
     println!("  cache hit rate:   {:.1}%", hit_rate * 100.0);
     println!("  simulations run:  {simulations:.0}");
+    println!(
+        "  fault storm:      {} good req at {faulted_throughput:.0} req/s, {fault_errors_4xx} fault 4xx",
+        faulted_requests
+    );
 
     let json = Json::Obj(vec![
         ("clients".into(), Json::Num(clients as f64)),
@@ -119,6 +171,18 @@ fn main() {
         ("prediction_cache_misses".into(), Json::Num(misses)),
         ("cache_hit_rate".into(), Json::Num(hit_rate)),
         ("simulations".into(), Json::Num(simulations)),
+        (
+            "faulted_requests".into(),
+            Json::Num(faulted_requests as f64),
+        ),
+        (
+            "faulted_throughput_rps".into(),
+            Json::Num(faulted_throughput),
+        ),
+        (
+            "fault_errors_4xx".into(),
+            Json::Num(fault_errors_4xx as f64),
+        ),
     ])
     .encode_pretty();
     std::fs::write("BENCH_serve.json", &json).expect("writes BENCH_serve.json");
@@ -143,27 +207,33 @@ impl Client {
     }
 
     /// POST a body, read the full response, return the status code.
+    /// Infallible convenience for warmup, where a failure is a bug.
     fn post(&mut self, path: &str, body: &str) -> u16 {
+        self.try_post(path, body).expect("warmup request succeeds")
+    }
+
+    /// POST a body; any transport or framing failure comes back as an
+    /// `io::Error` so the caller can retry on a fresh connection.
+    fn try_post(&mut self, path: &str, body: &str) -> std::io::Result<u16> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
         write!(
             self.writer,
             "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
-        )
-        .expect("writes request");
-        self.writer.flush().expect("flushes");
+        )?;
+        self.writer.flush()?;
         let mut status_line = String::new();
-        self.reader
-            .read_line(&mut status_line)
-            .expect("reads status line");
+        self.reader.read_line(&mut status_line)?;
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .expect("parses status");
+            .ok_or_else(|| bad("unparseable status line"))?;
         let mut content_length = 0usize;
         loop {
             let mut line = String::new();
-            self.reader.read_line(&mut line).expect("reads header");
+            self.reader.read_line(&mut line)?;
             let line = line.trim_end();
             if line.is_empty() {
                 break;
@@ -173,11 +243,31 @@ impl Client {
                 .strip_prefix("content-length:")
                 .map(str::trim)
             {
-                content_length = v.parse().expect("parses content-length");
+                content_length = v.parse().map_err(|_| bad("bad content-length"))?;
             }
         }
         let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body).expect("reads body");
-        status
+        self.reader.read_exact(&mut body)?;
+        Ok(status)
     }
+}
+
+/// One request through the jittered-backoff retry path; a transport
+/// failure costs a reconnect and a retry, not the whole benchmark.
+fn post_with_retry(
+    c: &mut Client,
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    policy: &BackoffPolicy,
+    rng: &mut Rng,
+) -> u16 {
+    retry_with_backoff(policy, rng, || match c.try_post(path, body) {
+        Ok(status) => Ok(status),
+        Err(e) => {
+            *c = Client::connect(addr);
+            Err(e)
+        }
+    })
+    .expect("request exhausted its retry budget")
 }

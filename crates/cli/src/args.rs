@@ -70,6 +70,9 @@ pub enum Command {
         prune: bool,
         threads: usize,
         json: bool,
+        /// Wall-clock budget for the search; past it, the best-so-far
+        /// ranking is returned flagged partial. `None` = unbounded.
+        deadline_ms: Option<u64>,
     },
     /// Run the placement-advisory HTTP server.
     Serve {
@@ -110,7 +113,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut addr = String::from("127.0.0.1");
     let mut port = 7070u16;
     let mut cache_entries = 4096usize;
-    let mut deadline_ms = 10_000u64;
+    let mut deadline_ms: Option<u64> = None;
     let mut queue = 128usize;
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
@@ -153,9 +156,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--deadline-ms" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--deadline-ms needs a number")?;
-                deadline_ms = v
-                    .parse()
-                    .map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
+                deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --deadline-ms value `{v}`"))?,
+                );
             }
             "--queue" => {
                 i += 1;
@@ -216,13 +220,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             prune,
             threads,
             json,
+            deadline_ms,
         }),
         "serve" => Ok(Command::Serve {
             addr,
             port,
             threads,
             cache_entries,
-            deadline_ms,
+            deadline_ms: deadline_ms.unwrap_or(10_000),
             queue,
             train,
         }),
@@ -245,7 +250,7 @@ USAGE:
     hms simulate <kernel> [--scale full|test] [--move array=SPACE]...
     hms predict  <kernel> [--scale full|test] [--train] [--json] --move array=SPACE...
     hms advise   <kernel> [--scale full|test] [--train] [--top N] [--json]
-    hms search   <kernel> [--scale full|test] [--train] [--top N] [--stats] [--prune] [--threads N] [--json]
+    hms search   <kernel> [--scale full|test] [--train] [--top N] [--stats] [--prune] [--threads N] [--deadline-ms N] [--json]
     hms dump     <kernel> [--scale full|test] [--move array=SPACE]...
     hms serve    [--addr HOST] [--port N] [--threads N] [--cache-entries N] [--deadline-ms N] [--queue N] [--train]
 
@@ -254,6 +259,8 @@ SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
 `search` ranks like `advise` but runs the incremental delta-evaluation
 engine; `--stats` prints its observability counters (full rewrites,
 delta hits, prune rate), `--prune` switches to branch-and-bound.
+`--deadline-ms` bounds the search wall clock: past it the best-so-far
+ranking is returned, flagged partial in the output.
 
 `--json` prints the exact response body the HTTP server would send for
 the equivalent request (byte-identical, asserted by tests).
@@ -374,6 +381,17 @@ mod tests {
         assert_eq!(threads, 2);
         assert!(parse(&v(&["search", "x", "--threads", "many"])).is_err());
         assert!(parse(&v(&["search"])).is_err());
+
+        let Command::Search { deadline_ms, .. } = parse(&v(&["search", "x"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(deadline_ms, None);
+        let Command::Search { deadline_ms, .. } =
+            parse(&v(&["search", "x", "--deadline-ms", "40"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(deadline_ms, Some(40));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use hms_serve::{signal, ServeConfig};
 use hms_sim::simulate_default;
 use hms_trace::materialize;
 use hms_types::GpuConfig;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A terminal failure: message for stderr plus the process exit code
 /// (2 = the query was wrong, 1 = the model failed on a valid query).
@@ -238,7 +238,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 threads: 1,
             };
             let mut effort = Effort::default();
-            let (body, _stats) = adv.rank(&q, false, &mut effort)?;
+            let (body, _outcome) = adv.rank(&q, false, None, &mut effort)?;
             if json {
                 print!("{}", body.encode_pretty());
                 return Ok(());
@@ -254,8 +254,12 @@ fn run(cmd: Command) -> Result<(), CliError> {
             prune,
             threads,
             json,
+            deadline_ms,
         } => {
             let adv = advisor(&cfg, train);
+            // The deadline clock starts now — profile simulation and
+            // search both count against it, like a server request.
+            let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
             // The JSON body intentionally omits wall-clock timings; the
             // human `--stats` view wants them, so run the full outcome
             // path here and the body builder for `--json`.
@@ -268,7 +272,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
                     threads,
                 };
                 let mut effort = Effort::default();
-                let (body, _stats) = adv.rank(&q, true, &mut effort)?;
+                let (body, _outcome) = adv.rank(&q, true, deadline, &mut effort)?;
                 print!("{}", body.encode_pretty());
                 return Ok(());
             }
@@ -285,7 +289,14 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 .read_only_candidates()
                 .strategy(strategy)
                 .threads(threads)
+                .deadline(deadline)
                 .run(&adv.predictor, &profile)?;
+            if outcome.partial {
+                println!(
+                    "deadline hit after {}ms: best-so-far ranking (partial)",
+                    deadline_ms.unwrap_or(0)
+                );
+            }
             println!("{} placements ranked; top {top}:", outcome.ranked.len());
             for r in outcome.ranked.iter().take(top) {
                 println!(
@@ -318,6 +329,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 cache_entries,
                 deadline: Duration::from_millis(deadline_ms),
                 queue_depth: queue,
+                ..ServeConfig::default()
             };
             let handle = hms_serve::spawn(scfg, adv).map_err(|e| CliError {
                 code: 1,

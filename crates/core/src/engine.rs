@@ -48,8 +48,8 @@
 //! ever pruned.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use hms_cache::{ConstantCache, L2Cache, L2Source, TextureCache};
@@ -390,6 +390,18 @@ pub struct Engine<'a> {
     memos: Mutex<HashMap<MemoKey, Arc<Vec<MemoOutcome>>>>,
     lb: LbStatics,
     pub(crate) counters: EngineCounters,
+    /// Fault-injection hook: when set, every skeleton built afterwards
+    /// is poisoned, forcing the exact-fallback path. Exercised by the
+    /// chaos suite to prove degradation is invisible in the output.
+    inject_poison: AtomicBool,
+}
+
+/// Lock one of the engine's caches, recovering from a poisoned mutex:
+/// a panicking worker can only have left a cache mid-insert of an
+/// `Arc` value, which the `HashMap` either holds or doesn't — both
+/// states are valid, so the data is safe to keep using.
+fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl<'a> Engine<'a> {
@@ -591,12 +603,23 @@ impl<'a> Engine<'a> {
             memos: Mutex::new(HashMap::new()),
             lb,
             counters: EngineCounters::default(),
+            inject_poison: AtomicBool::new(false),
         }
     }
 
     /// The predictor this engine evaluates with.
     pub fn predictor(&self) -> &Predictor {
         self.predictor
+    }
+
+    /// Force every skeleton built from now on to be poisoned, so each
+    /// candidate takes the exact `rewrite`+`analyze` fallback. Set it
+    /// **before** the first evaluation — already-cached healthy
+    /// skeletons keep serving. A deterministic stand-in for the real
+    /// poisoning trigger (a failed self-check), used by the chaos suite
+    /// to assert the fallback is bit-identical to the delta path.
+    pub fn inject_poison(&self, on: bool) {
+        self.inject_poison.store(on, Ordering::Relaxed);
     }
 
     /// The profiled sample this engine searches from.
@@ -629,13 +652,13 @@ impl<'a> Engine<'a> {
             base: bases.0,
             stride: bases.1,
         };
-        if let Some(m) = self.memos.lock().expect("memo lock").get(&key) {
+        if let Some(m) = lock_cache(&self.memos).get(&key) {
             return m.clone();
         }
         let built = Arc::new(self.build_memo(array, space, bases));
         // Count only winning inserts: losing a build race must not make
         // the observability counters depend on the worker count.
-        match self.memos.lock().expect("memo lock").entry(key) {
+        match lock_cache(&self.memos).entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
             std::collections::hash_map::Entry::Vacant(v) => {
                 self.counters.add(&self.counters.memo_tables_built, 1);
@@ -704,13 +727,11 @@ impl<'a> Engine<'a> {
     /// shared set of `canonical`.
     fn skeleton_for(&self, canonical: &PlacementMap) -> Arc<Skeleton> {
         let key = self.shared_key(canonical);
-        if let Some(s) = self.skeletons.lock().expect("skeleton lock").get(&key) {
+        if let Some(s) = lock_cache(&self.skeletons).get(&key) {
             return s.clone();
         }
         let built = Arc::new(self.build_skeleton(canonical));
-        self.skeletons
-            .lock()
-            .expect("skeleton lock")
+        lock_cache(&self.skeletons)
             .entry(key)
             .or_insert(built)
             .clone()
@@ -723,7 +744,7 @@ impl<'a> Engine<'a> {
         let t0 = Instant::now();
         let mut missing: Vec<PlacementMap> = Vec::new();
         {
-            let cache = self.skeletons.lock().expect("skeleton lock");
+            let cache = lock_cache(&self.skeletons);
             let mut seen: Vec<Vec<bool>> = Vec::new();
             for pm in candidates {
                 let key = self.shared_key(pm);
@@ -736,7 +757,7 @@ impl<'a> Engine<'a> {
         let built = hms_stats::par::par_map_threads(threads, &missing, |pm| {
             (self.shared_key(pm), Arc::new(self.build_skeleton(pm)))
         });
-        let mut cache = self.skeletons.lock().expect("skeleton lock");
+        let mut cache = lock_cache(&self.skeletons);
         for (key, skel) in built {
             cache.entry(key).or_insert(skel);
         }
@@ -771,6 +792,9 @@ impl<'a> Engine<'a> {
             bases: vec![(0, 0); n],
             poisoned: true,
         };
+        if self.inject_poison.load(Ordering::Relaxed) {
+            return poisoned_skeleton();
+        }
         let Ok(rewritten) = rewrite(&self.profile.trace, canonical, cfg) else {
             return poisoned_skeleton();
         };
@@ -1261,6 +1285,41 @@ mod tests {
         assert_eq!(stats.full_rewrites, 4);
         assert_eq!(stats.delta_cache_hits, 16); // self-check replays bypass predict()
         assert!(stats.rewrite_reduction() >= 4.0);
+    }
+
+    #[test]
+    fn injected_poison_degrades_to_exact_path_bit_identically() {
+        let (predictor, profile, arrays) = setup("vecadd");
+        let base = profile.trace.placement.clone();
+        let ids: Vec<ArrayId> = arrays.iter().map(|a| a.id).collect();
+        let cands = enumerate_placements(&arrays, &base, &ids, &predictor.cfg, 4096);
+
+        let healthy = Engine::new(&predictor, &profile);
+        let ranked = healthy.rank(&cands, 1).unwrap();
+
+        let faulted = Engine::new(&predictor, &profile);
+        faulted.inject_poison(true);
+        let ranked_faulted = faulted.rank(&cands, 1).unwrap();
+
+        assert_eq!(ranked.len(), ranked_faulted.len());
+        for (a, b) in ranked.iter().zip(&ranked_faulted) {
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(
+                a.predicted_cycles.to_bits(),
+                b.predicted_cycles.to_bits(),
+                "poisoned fallback diverged for {:?}",
+                a.placement
+            );
+        }
+        let stats = faulted.stats();
+        assert_eq!(stats.exact_fallbacks, cands.len() as u64);
+        assert_eq!(stats.delta_cache_hits, 0);
+
+        // Recovery: toggling injection off lets fresh skeletons build,
+        // but the poisoned ones already cached keep falling back.
+        faulted.inject_poison(false);
+        let again = faulted.rank(&cands, 1).unwrap();
+        assert_eq!(again.len(), ranked.len());
     }
 
     #[test]

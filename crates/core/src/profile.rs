@@ -36,8 +36,63 @@ impl Profile {
     /// Instruction replays on the sample run that are *not* attributable
     /// to causes (1)–(4) — carried over unchanged to every target
     /// placement (Eq. 3's assumption for causes (5)–(10)).
+    ///
+    /// Saturating: a cause subset exceeding the total is an inconsistent
+    /// event set, which [`Profile::validate`] reports as a typed
+    /// [`HmsError::CounterOverflow`]; the accessor itself must not panic
+    /// under `overflow-checks` on a profile that skipped validation.
     pub fn other_replays(&self) -> u64 {
-        self.events.total_replays() - self.events.replays_1_to_4()
+        self.events
+            .total_replays()
+            .saturating_sub(self.events.replays_1_to_4())
+    }
+
+    /// Check that this profile lies inside the model's validity domain
+    /// (see DESIGN.md §11): a non-empty trace, a nonzero measured time,
+    /// finite derived rates, and internally consistent event counters.
+    /// Every failure is a typed [`HmsError`], so degenerate profiles
+    /// surface as errors end-to-end instead of silently producing NaN
+    /// predictions or panicking under `overflow-checks`.
+    pub fn validate(&self, cfg: &GpuConfig) -> Result<(), HmsError> {
+        if self.trace.warps.is_empty() {
+            return Err(HmsError::EmptyTrace);
+        }
+        if self.measured_cycles == 0 {
+            return Err(HmsError::ZeroMeasuredCycles);
+        }
+        // Summing the replay causes must stay inside u64: a wrapped sum
+        // means a corrupt event set, and every downstream quantity
+        // (other_replays, replay ratios) would be silently saturated.
+        if self.events.checked_total_replays().is_none() {
+            return Err(HmsError::CounterOverflow {
+                what: "total_replays (replay cause counters wrap u64)",
+            });
+        }
+        // Zero issued instructions is legal (an empty kernel body; the
+        // CPI floor handles it) — but replays *of* instructions that
+        // were never issued are not.
+        if self.events.inst_issued == 0 && self.events.total_replays() > 0 {
+            return Err(HmsError::CounterOverflow {
+                what: "total_replays (replays counted with zero issued instructions)",
+            });
+        }
+        let cpi = self.cycles_per_instruction(cfg);
+        if !cpi.is_finite() || cpi <= 0.0 {
+            return Err(HmsError::NonFiniteRatio {
+                name: "cycles_per_instruction",
+                value: cpi,
+            });
+        }
+        if self.events.inst_issued > 0 {
+            let replay_ratio = self.events.total_replays() as f64 / self.events.inst_issued as f64;
+            if !replay_ratio.is_finite() {
+                return Err(HmsError::NonFiniteRatio {
+                    name: "replay_ratio",
+                    value: replay_ratio,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -49,11 +104,16 @@ pub fn profile_sample(
 ) -> Result<Profile, HmsError> {
     let trace = materialize(kernel, sample, cfg)?;
     let SimResult { cycles, events, .. } = simulate(&trace, cfg, &SimOptions::default())?;
-    Ok(Profile {
+    let profile = Profile {
         trace,
         events,
         measured_cycles: cycles,
-    })
+    };
+    // A simulator (or, one day, a real profiler) handing back a profile
+    // outside the model's validity domain is an error here, not a NaN
+    // prediction three layers later.
+    profile.validate(cfg)?;
+    Ok(profile)
 }
 
 #[cfg(test)]
@@ -70,6 +130,42 @@ mod tests {
         assert!(p.events.inst_issued > 0);
         assert_eq!(p.trace.placement, kt.default_placement());
         assert!(p.cycles_per_instruction(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_profiles() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let good = profile_sample(&kt, &kt.default_placement(), &cfg).unwrap();
+        assert_eq!(good.validate(&cfg), Ok(()));
+
+        let mut p = good.clone();
+        p.trace.warps.clear();
+        assert_eq!(p.validate(&cfg), Err(HmsError::EmptyTrace));
+
+        let mut p = good.clone();
+        p.measured_cycles = 0;
+        assert_eq!(p.validate(&cfg), Err(HmsError::ZeroMeasuredCycles));
+
+        // Doctored counters whose sum wraps u64: exactly the shape that
+        // used to panic inside `total_replays()` under overflow-checks.
+        let mut p = good.clone();
+        p.events.replay_global_divergence = u64::MAX;
+        p.events.replay_double_width = 1;
+        assert!(matches!(
+            p.validate(&cfg),
+            Err(HmsError::CounterOverflow { .. })
+        ));
+        assert_eq!(p.other_replays(), 0, "accessor saturates, never panics");
+
+        // Replays without any issued instructions are inconsistent.
+        let mut p = good;
+        p.events.inst_issued = 0;
+        p.events.replay_double_width = 5;
+        assert!(matches!(
+            p.validate(&cfg),
+            Err(HmsError::CounterOverflow { .. })
+        ));
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub struct SearchRequest<'a> {
     limit: usize,
     threads: usize,
     strategy: SearchStrategy,
+    deadline: Option<Instant>,
 }
 
 impl<'a> SearchRequest<'a> {
@@ -118,6 +119,7 @@ impl<'a> SearchRequest<'a> {
             limit: 4096,
             threads: 0,
             strategy: SearchStrategy::default(),
+            deadline: None,
         }
     }
 
@@ -161,6 +163,46 @@ impl<'a> SearchRequest<'a> {
         self
     }
 
+    /// Stop evaluating new candidates once `deadline` passes and return
+    /// the best-so-far ranking flagged [`SearchOutcome::partial`]. With
+    /// no deadline (the default) the evaluation schedule — and therefore
+    /// the bit pattern of every prediction — is exactly the deadline-free
+    /// path; the flag never changes results, only how many there are.
+    pub fn deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Reject structurally nonsense searches before any model work:
+    /// a zero candidate cap, a candidate id past the kernel's arrays, or
+    /// the same array listed twice (the branch-and-bound assignment
+    /// vector indexes by array id and would silently double-assign).
+    pub fn validate(&self) -> Result<(), HmsError> {
+        if self.limit == 0 {
+            return Err(HmsError::InvalidInput(
+                "search limit is 0; no placement can be ranked".into(),
+            ));
+        }
+        let mut seen = vec![false; self.arrays.len()];
+        for &id in &self.candidates {
+            let Some(slot) = seen.get_mut(id.index()) else {
+                return Err(HmsError::InvalidInput(format!(
+                    "candidate array id {} out of range (kernel has {} arrays)",
+                    id.index(),
+                    self.arrays.len()
+                )));
+            };
+            if *slot {
+                return Err(HmsError::InvalidInput(format!(
+                    "candidate array id {} listed twice",
+                    id.index()
+                )));
+            }
+            *slot = true;
+        }
+        Ok(())
+    }
+
     /// Run the search. Equivalent to `search(predictor, profile, &self)`.
     pub fn run(&self, predictor: &Predictor, profile: &Profile) -> Result<SearchOutcome, HmsError> {
         search(predictor, profile, self)
@@ -173,6 +215,11 @@ impl<'a> SearchRequest<'a> {
 pub struct SearchOutcome {
     pub ranked: Vec<RankedPlacement>,
     pub stats: EngineStats,
+    /// `true` when the search hit its [`SearchRequest::deadline`] before
+    /// covering the whole space: `ranked` is the best-so-far prefix of
+    /// the evaluation schedule, every entry still a real (bit-identical)
+    /// prediction. Always `false` without a deadline.
+    pub partial: bool,
 }
 
 impl SearchOutcome {
@@ -188,8 +235,10 @@ pub fn search(
     profile: &Profile,
     req: &SearchRequest<'_>,
 ) -> Result<SearchOutcome, HmsError> {
+    req.validate()?;
+    profile.validate(&predictor.cfg)?;
     let engine = Engine::new(predictor, profile);
-    let ranked = match req.strategy {
+    let (ranked, partial) = match req.strategy {
         SearchStrategy::Exhaustive => {
             let t0 = Instant::now();
             let space = enumerate_placements(
@@ -206,13 +255,35 @@ pub fn search(
             engine
                 .counters
                 .add(&engine.counters.candidates_enumerated, space.len() as u64);
-            engine.rank(&space, req.threads)?
+            match req.deadline {
+                // No deadline: the single-batch path, untouched — this is
+                // the byte/bit-identity baseline.
+                None => (engine.rank(&space, req.threads)?, false),
+                Some(deadline) => {
+                    // Evaluate in the same deterministic BB_BATCH chunks
+                    // the branch-and-bound path uses, checking the clock
+                    // only between chunks so each prediction inside a
+                    // chunk is computed exactly as in the no-deadline run.
+                    let mut ranked = Vec::with_capacity(space.len());
+                    let mut partial = false;
+                    for chunk in space.chunks(BB_BATCH) {
+                        if Instant::now() >= deadline && !ranked.is_empty() {
+                            partial = true;
+                            break;
+                        }
+                        ranked.extend(engine.evaluate_batch(chunk, req.threads)?);
+                    }
+                    ranked.sort_by(|a, b| a.predicted_cycles.total_cmp(&b.predicted_cycles));
+                    (ranked, partial)
+                }
+            }
         }
         SearchStrategy::BranchAndBound => branch_and_bound(&engine, req)?,
     };
     Ok(SearchOutcome {
         ranked,
         stats: engine.stats(),
+        partial,
     })
 }
 
@@ -231,7 +302,7 @@ const BB_BATCH: usize = 64;
 fn branch_and_bound(
     engine: &Engine<'_>,
     req: &SearchRequest<'_>,
-) -> Result<Vec<RankedPlacement>, HmsError> {
+) -> Result<(Vec<RankedPlacement>, bool), HmsError> {
     let t0 = Instant::now();
     let n = req.arrays.len();
     // Remaining-subtree sizes for the pruned-candidate estimate: the
@@ -260,9 +331,27 @@ fn branch_and_bound(
         evaluated: Vec<RankedPlacement>,
         leaves: usize,
         error: Option<HmsError>,
+        deadline: Option<Instant>,
+        partial: bool,
     }
 
     impl Dfs<'_, '_, '_> {
+        /// Deadline is checked only between leaves, and never before the
+        /// first leaf has been collected: a partial outcome always
+        /// carries at least one real best-so-far prediction.
+        fn out_of_time(&mut self) -> bool {
+            if self.partial {
+                return true;
+            }
+            if let Some(d) = self.deadline {
+                if self.leaves > 0 && Instant::now() >= d {
+                    self.partial = true;
+                    return true;
+                }
+            }
+            false
+        }
+
         fn flush(&mut self) {
             if self.batch.is_empty() || self.error.is_some() {
                 return;
@@ -287,7 +376,7 @@ fn branch_and_bound(
             assignment: &mut [Option<MemorySpace>],
             pm: &PlacementMap,
         ) {
-            if self.error.is_some() || self.leaves >= self.req.limit {
+            if self.error.is_some() || self.leaves >= self.req.limit || self.out_of_time() {
                 return;
             }
             if self.engine.lower_bound(assignment) > self.ub {
@@ -331,6 +420,8 @@ fn branch_and_bound(
         evaluated: Vec::new(),
         leaves: 0,
         error: None,
+        deadline: req.deadline,
+        partial: false,
     };
     let root = req.base.clone();
     engine.counters.add(
@@ -342,9 +433,10 @@ fn branch_and_bound(
     if let Some(e) = dfs.error {
         return Err(e);
     }
+    let partial = dfs.partial;
     let mut ranked = dfs.evaluated;
     ranked.sort_by(|a, b| a.predicted_cycles.total_cmp(&b.predicted_cycles));
-    Ok(ranked)
+    Ok((ranked, partial))
 }
 
 /// Predict every candidate placement and rank ascending by predicted
@@ -548,6 +640,79 @@ mod tests {
                     >= full.ranked.len() as u64,
                 true
             );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_requests() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg);
+
+        let zero = SearchRequest::new(&kt.arrays, &base).limit(0);
+        assert!(matches!(
+            zero.run(&predictor, &profile),
+            Err(HmsError::InvalidInput(_))
+        ));
+
+        let dup = SearchRequest::new(&kt.arrays, &base).candidates(&[ArrayId(0), ArrayId(0)]);
+        assert!(matches!(dup.validate(), Err(HmsError::InvalidInput(_))));
+
+        let oob = SearchRequest::new(&kt.arrays, &base).candidates(&[ArrayId(99)]);
+        let err = oob.validate().unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn deadline_yields_partial_best_so_far() {
+        let cfg = GpuConfig::test_small();
+        let kt = vecadd::build(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg);
+        let full = SearchRequest::new(&kt.arrays, &base)
+            .run(&predictor, &profile)
+            .unwrap();
+        assert!(!full.partial);
+
+        // An already-expired deadline: branch-and-bound still evaluates
+        // at least one leaf, flags the outcome, and every entry it does
+        // return is bit-identical to the deadline-free prediction.
+        let bb = SearchRequest::new(&kt.arrays, &base)
+            .strategy(SearchStrategy::BranchAndBound)
+            .deadline(Some(Instant::now()))
+            .run(&predictor, &profile)
+            .unwrap();
+        assert!(bb.partial);
+        assert!(!bb.ranked.is_empty());
+        assert!(bb.ranked.len() < full.ranked.len());
+        for r in &bb.ranked {
+            let truth = full
+                .ranked
+                .iter()
+                .find(|f| f.placement == r.placement)
+                .expect("partial entry is a real candidate");
+            assert_eq!(
+                r.predicted_cycles.to_bits(),
+                truth.predicted_cycles.to_bits()
+            );
+        }
+
+        // A generous deadline covers the space: not partial, and the
+        // chunked evaluation path reproduces the single-batch ranking
+        // bit for bit.
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let timed = SearchRequest::new(&kt.arrays, &base)
+            .deadline(Some(far))
+            .run(&predictor, &profile)
+            .unwrap();
+        assert!(!timed.partial);
+        assert_eq!(timed.ranked.len(), full.ranked.len());
+        for (a, b) in timed.ranked.iter().zip(&full.ranked) {
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.predicted_cycles.to_bits(), b.predicted_cycles.to_bits());
         }
     }
 

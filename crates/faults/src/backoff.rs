@@ -1,0 +1,135 @@
+//! Retry with jittered exponential backoff.
+//!
+//! The benchmark client (and any batch caller) retries transient
+//! transport failures instead of dying on the first reset. Jitter is
+//! drawn from the workspace's deterministic [`Rng`], so a seeded run
+//! retries on the same schedule every time — backoff is part of the
+//! reproducible experiment, not a source of noise.
+
+use std::time::Duration;
+
+use hms_stats::rng::Rng;
+
+/// Backoff schedule: `base * 2^attempt`, capped, each delay scaled by a
+/// uniform jitter in `[0.5, 1.0)` (the "equal jitter" scheme — never
+/// more than the exponential envelope, never a thundering herd of
+/// identical delays).
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    pub attempts: u32,
+    pub base: Duration,
+    pub cap: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The jittered delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32, rng: &mut Rng) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        exp.mul_f64(0.5 + rng.gen_f64() * 0.5)
+    }
+}
+
+/// Run `op` up to `policy.attempts` times, sleeping a jittered
+/// exponential delay between failures. Returns the first success, or
+/// the last error once attempts are exhausted.
+pub fn retry_with_backoff<T, E>(
+    policy: &BackoffPolicy,
+    rng: &mut Rng,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let mut last = None;
+    for attempt in 0..policy.attempts.max(1) {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < policy.attempts.max(1) {
+                    std::thread::sleep(policy.delay(attempt, rng));
+                }
+            }
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_without_retry_when_op_succeeds() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut calls = 0;
+        let r: Result<u32, ()> = retry_with_backoff(&BackoffPolicy::default(), &mut rng, || {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(r, Ok(7));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_then_returns_last_error() {
+        let policy = BackoffPolicy {
+            attempts: 3,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+        };
+        let mut rng = Rng::seed_from_u64(2);
+        let mut calls = 0;
+        let r: Result<(), u32> = retry_with_backoff(&policy, &mut rng, || {
+            calls += 1;
+            Err(calls)
+        });
+        assert_eq!(r, Err(3));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn recovers_after_transient_failures() {
+        let policy = BackoffPolicy {
+            attempts: 5,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+        };
+        let mut rng = Rng::seed_from_u64(3);
+        let mut calls = 0;
+        let r: Result<&str, &str> = retry_with_backoff(&policy, &mut rng, || {
+            calls += 1;
+            if calls < 3 {
+                Err("transient")
+            } else {
+                Ok("up")
+            }
+        });
+        assert_eq!(r, Ok("up"));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let policy = BackoffPolicy::default();
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
+        for attempt in 0..6 {
+            let da = policy.delay(attempt, &mut a);
+            let db = policy.delay(attempt, &mut b);
+            assert_eq!(da, db, "same seed, same schedule");
+            assert!(da <= policy.cap);
+            assert!(da >= policy.base / 2);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Seed-replayable fault schedules.
+//!
+//! A [`FaultPlan`] expands one 64-bit seed into a deterministic sequence
+//! of [`FaultCase`]s. The expansion has two guarantees the chaos suite
+//! leans on: the same seed always yields the same schedule (replay), and
+//! every [`FaultKind`] appears at least once in any plan of length ≥
+//! [`FaultKind::ALL`]`.len()` (coverage — a seed cannot dodge a fault
+//! class).
+
+use hms_stats::rng::Rng;
+
+/// One injectable fault class. Each maps to a concrete misbehavior the
+/// [`FaultClient`](crate::client::FaultClient) commits on the wire, and
+/// to a guaranteed server response documented in DESIGN.md §11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Drip the request onto the socket a few bytes at a time, slower
+    /// than any sane client: the classic slowloris worker-starvation
+    /// attack. Guarantee: the cumulative request-read deadline fires
+    /// (408 or connection close); the worker is freed.
+    SlowlorisTrickle,
+    /// Declare `content-length: N` and send fewer than `N` body bytes,
+    /// then half-close. Guarantee: 400 (malformed request), keep-alive
+    /// ended, no hang.
+    TruncateBody,
+    /// Vanish mid-request: drop the connection after the headers with
+    /// the body outstanding, reading nothing. Guarantee: the server
+    /// treats it as that one connection's I/O error — no response owed,
+    /// no worker leaked, process alive.
+    ResetMidRequest,
+    /// Declare a `content-length` beyond the server's body cap.
+    /// Guarantee: 413, connection closed before the body is read.
+    OversizedBody,
+    /// A syntactically hostile JSON body from the generated corpus
+    /// (truncated UTF-8, deep nesting, huge numbers, duplicate keys,
+    /// NUL bytes). Guarantee: 400 with an error body, keep-alive
+    /// intact.
+    MalformedJson,
+}
+
+impl FaultKind {
+    /// Every fault class, in schedule order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::SlowlorisTrickle,
+        FaultKind::TruncateBody,
+        FaultKind::ResetMidRequest,
+        FaultKind::OversizedBody,
+        FaultKind::MalformedJson,
+    ];
+
+    /// Stable label for failure messages and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::SlowlorisTrickle => "slowloris_trickle",
+            FaultKind::TruncateBody => "truncate_body",
+            FaultKind::ResetMidRequest => "reset_mid_request",
+            FaultKind::OversizedBody => "oversized_body",
+            FaultKind::MalformedJson => "malformed_json",
+        }
+    }
+}
+
+/// One scheduled fault: the class plus a per-case seed that fixes every
+/// free choice inside it (trickle chunk sizes, truncation point, which
+/// corpus document).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCase {
+    pub kind: FaultKind,
+    pub seed: u64,
+}
+
+impl FaultCase {
+    /// The one-line replay recipe printed when a case fails its
+    /// guarantee.
+    pub fn replay_line(&self, plan_seed: u64) -> String {
+        format!(
+            "replay: HMS_CHAOS_SEED={plan_seed} (case {} seed {:#x})",
+            self.kind.label(),
+            self.seed
+        )
+    }
+}
+
+/// A deterministic schedule of fault cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub cases: Vec<FaultCase>,
+}
+
+impl FaultPlan {
+    /// Expand `seed` into `n` cases. The first [`FaultKind::ALL`] cases
+    /// cover every kind once in a seed-shuffled order; the remainder are
+    /// drawn uniformly, so longer plans stress-repeat classes while
+    /// short plans still cover the matrix.
+    pub fn from_seed(seed: u64, n: usize) -> FaultPlan {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut kinds: Vec<FaultKind> = FaultKind::ALL.to_vec();
+        rng.shuffle(&mut kinds);
+        let mut cases = Vec::with_capacity(n);
+        for i in 0..n {
+            let kind = if i < kinds.len() {
+                kinds[i]
+            } else {
+                kinds[rng.gen_range(0usize..kinds.len())]
+            };
+            cases.push(FaultCase {
+                kind,
+                seed: rng.next_u64(),
+            });
+        }
+        FaultPlan { seed, cases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_replay_bit_identically() {
+        let a = FaultPlan::from_seed(0xC0FFEE, 32);
+        let b = FaultPlan::from_seed(0xC0FFEE, 32);
+        assert_eq!(a, b);
+        let c = FaultPlan::from_seed(0xC0FFEF, 32);
+        assert_ne!(a.cases, c.cases);
+    }
+
+    #[test]
+    fn every_kind_is_covered_by_any_full_length_plan() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let plan = FaultPlan::from_seed(seed, FaultKind::ALL.len());
+            for kind in FaultKind::ALL {
+                assert!(
+                    plan.cases.iter().any(|c| c.kind == kind),
+                    "seed {seed} plan missing {}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_line_names_seed_and_case() {
+        let plan = FaultPlan::from_seed(7, 1);
+        let line = plan.cases[0].replay_line(plan.seed);
+        assert!(line.contains("HMS_CHAOS_SEED=7"), "{line}");
+        assert!(line.contains(plan.cases[0].kind.label()), "{line}");
+    }
+}

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use hms_core::{profile_sample, Prediction, Predictor, Profile, SearchRequest, SearchStrategy};
 use hms_kernels::{by_name, registry, Scale};
@@ -263,14 +264,22 @@ impl Advisor {
     /// Build (or reuse) the kernel trace for `(name, scale)`.
     pub fn kernel(&self, name: &str, scale: Scale) -> Result<Arc<KernelTrace>, ApiError> {
         let key = (name.to_string(), scale);
-        if let Some(kt) = self.kernels.lock().expect("kernel cache").get(&key) {
+        // A worker that panicked while holding the cache lock can only
+        // have left a complete map behind (insert-or-read of immutable
+        // `Arc`s), so a poisoned mutex is safe to keep using.
+        if let Some(kt) = self
+            .kernels
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(&key)
+        {
             return Ok(Arc::clone(kt));
         }
         let kt = by_name(name, scale).ok_or_else(|| ApiError::UnknownKernel(name.to_string()))?;
         let kt = Arc::new(kt);
         self.kernels
             .lock()
-            .expect("kernel cache")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .entry(key)
             .or_insert_with(|| Arc::clone(&kt));
         Ok(kt)
@@ -353,12 +362,18 @@ impl Advisor {
     /// body carries the ranking (and, for `/v1/search`, the engine's
     /// deterministic counters); wall-clock timings stay out so identical
     /// queries produce identical bytes.
+    ///
+    /// `deadline` bounds the search itself: past it, the best-so-far
+    /// ranking is returned with a `"partial": true` member. The member
+    /// is *omitted* when the search completed, so finished responses are
+    /// byte-identical whether or not a deadline was set.
     pub fn rank(
         &self,
         q: &RankQuery,
         include_stats: bool,
+        deadline: Option<Instant>,
         effort: &mut Effort,
-    ) -> Result<(Json, hms_core::EngineStats), ApiError> {
+    ) -> Result<(Json, hms_core::SearchOutcome), ApiError> {
         let kt = self.kernel(&q.kernel, q.scale)?;
         let profile = self.profile(&kt, q.scale, effort)?;
         let sample = kt.default_placement();
@@ -366,6 +381,7 @@ impl Advisor {
             .read_only_candidates()
             .strategy(q.strategy())
             .threads(q.threads)
+            .deadline(deadline)
             .run(&self.predictor, &profile)?;
         let ranked: Vec<Json> = outcome
             .ranked
@@ -395,6 +411,9 @@ impl Advisor {
             ),
             ("ranked".into(), Json::Arr(ranked)),
         ];
+        if outcome.partial {
+            members.push(("partial".into(), Json::Bool(true)));
+        }
         if include_stats {
             let s = &outcome.stats;
             members.push((
@@ -429,7 +448,7 @@ impl Advisor {
                 ]),
             ));
         }
-        Ok((Json::Obj(members), outcome.stats))
+        Ok((Json::Obj(members), outcome))
     }
 
     /// The `GET /v1/kernels` body: every registered kernel with its
@@ -602,14 +621,17 @@ mod tests {
             threads: 1,
         };
         let mut e = Effort::default();
-        let (b1, stats) = a.rank(&q, true, &mut e).unwrap();
+        let (b1, outcome) = a.rank(&q, true, None, &mut e).unwrap();
         let q2 = RankQuery {
             threads: 2,
             ..q.clone()
         };
-        let (b2, _) = a.rank(&q2, true, &mut e).unwrap();
+        let (b2, _) = a.rank(&q2, true, None, &mut e).unwrap();
         assert_eq!(b1.encode_pretty(), b2.encode_pretty());
-        assert!(stats.candidates_evaluated > 0);
+        assert!(outcome.stats.candidates_evaluated > 0);
+        // Finished searches never carry the partial marker.
+        assert!(!outcome.partial);
+        assert!(b1.get("partial").is_none());
         let ranked = b1.get("ranked").and_then(Json::as_arr).unwrap();
         assert_eq!(ranked.len(), 3);
         // Stats block excludes wall-clock fields.
@@ -617,6 +639,32 @@ mod tests {
         assert!(s
             .iter()
             .all(|(k, _)| !k.contains("nanos") && !k.contains("secs")));
+    }
+
+    #[test]
+    fn expired_deadline_marks_body_partial() {
+        let a = advisor();
+        let q = RankQuery {
+            kernel: "vecadd".into(),
+            scale: Scale::Test,
+            top: 3,
+            prune: true, // branch-and-bound checks the deadline per leaf
+            threads: 1,
+        };
+        let mut e = Effort::default();
+        let deadline = Some(Instant::now()); // already expired
+        let (body, outcome) = a.rank(&q, true, deadline, &mut e).unwrap();
+        assert!(outcome.partial);
+        assert_eq!(body.get("partial").and_then(Json::as_bool), Some(true));
+        // Best-so-far is never empty: at least one leaf was evaluated.
+        assert!(!outcome.ranked.is_empty());
+        // A generous deadline completes and produces the exact same
+        // bytes as no deadline at all.
+        let far = Some(Instant::now() + std::time::Duration::from_secs(3600));
+        let (b_far, o_far) = a.rank(&q, true, far, &mut e).unwrap();
+        let (b_none, _) = a.rank(&q, true, None, &mut e).unwrap();
+        assert!(!o_far.partial);
+        assert_eq!(b_far.encode_pretty(), b_none.encode_pretty());
     }
 
     #[test]

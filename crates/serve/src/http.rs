@@ -8,7 +8,15 @@
 //! cannot balloon memory: 8 KiB request line, 64 headers of 8 KiB each,
 //! 1 MiB body.
 
+//! A read timeout on the stream alone is not enough: a slowloris peer
+//! that drips one byte per timeout window never trips it. So reading a
+//! request is bounded by a *cumulative* deadline that starts at the
+//! first request byte — however slowly the bytes arrive, the whole
+//! request must land within [`read_request`]'s `read_deadline` or the
+//! worker answers 408 and moves on.
+
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 pub const MAX_LINE_BYTES: usize = 8 * 1024;
 pub const MAX_HEADERS: usize = 64;
@@ -56,7 +64,11 @@ pub enum HttpError {
     /// request — an idle keep-alive connection, not an error. The server
     /// uses this to poll its shutdown flag between requests.
     IdleTimeout,
-    /// Read failed or timed out mid-request.
+    /// The cumulative request-read deadline expired mid-request: the
+    /// peer is trickling (slowloris) or stalled. Answered with 408 and
+    /// a close, freeing the worker.
+    RequestTimeout,
+    /// Read failed mid-request (reset, broken pipe, ...).
     Io(std::io::Error),
     /// The bytes are not an HTTP/1.1 request we accept; the message is
     /// safe to echo in a 400.
@@ -70,6 +82,7 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::Closed => write!(f, "connection closed"),
             HttpError::IdleTimeout => write!(f, "idle keep-alive timeout"),
+            HttpError::RequestTimeout => write!(f, "request not received within the read deadline"),
             HttpError::Io(e) => write!(f, "io error: {e}"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge(what) => write!(f, "{what} too large"),
@@ -77,9 +90,33 @@ impl std::fmt::Display for HttpError {
     }
 }
 
+/// Is this a stream read-timeout tick (retryable until the cumulative
+/// deadline) rather than a real failure?
+fn is_timeout_tick(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Map one retryable read error against the cumulative deadline.
+fn deadline_tick(e: std::io::Error, deadline: Instant) -> Result<(), HttpError> {
+    if is_timeout_tick(&e) {
+        if Instant::now() >= deadline {
+            Err(HttpError::RequestTimeout)
+        } else {
+            Ok(()) // still inside the budget: retry the read
+        }
+    } else if e.kind() == std::io::ErrorKind::Interrupted {
+        Ok(())
+    } else {
+        Err(HttpError::Io(e))
+    }
+}
+
 /// Read one CRLF- (or LF-) terminated line without the terminator,
-/// bounded by [`MAX_LINE_BYTES`].
-fn read_line(r: &mut impl BufRead) -> Result<String, HttpError> {
+/// bounded by [`MAX_LINE_BYTES`] and the cumulative `deadline`.
+fn read_line(r: &mut impl BufRead, deadline: Instant) -> Result<String, HttpError> {
     let mut buf = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -102,15 +139,28 @@ fn read_line(r: &mut impl BufRead) -> Result<String, HttpError> {
                 if buf.len() > MAX_LINE_BYTES {
                     return Err(HttpError::TooLarge("header line"));
                 }
+                // A trickling peer keeps every individual read under the
+                // socket timeout, so the deadline must also be enforced
+                // on the successful-read path.
+                if Instant::now() >= deadline {
+                    return Err(HttpError::RequestTimeout);
+                }
             }
-            Err(e) => return Err(HttpError::Io(e)),
+            Err(e) => deadline_tick(e, deadline)?,
         }
     }
 }
 
 /// Read and parse one request. `Err(Closed)` means the peer closed the
 /// connection between requests (normal keep-alive teardown).
-pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
+///
+/// `read_deadline` bounds the *whole* request read, measured from the
+/// first byte: the stream's own read timeout only bounds the gap
+/// between reads, so without this a trickling peer pins a worker
+/// indefinitely. The clock starts at the first byte — an idle
+/// keep-alive connection still surfaces as [`HttpError::IdleTimeout`]
+/// on the stream timeout, never as a request timeout.
+pub fn read_request(r: &mut impl BufRead, read_deadline: Duration) -> Result<Request, HttpError> {
     // Wait for the first byte explicitly so a read timeout on an idle
     // keep-alive connection is distinguishable from one mid-request.
     match r.fill_buf() {
@@ -124,7 +174,9 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
         }
         Err(e) => return Err(HttpError::Io(e)),
     }
-    let request_line = read_line(r)?;
+    // First byte is in: the cumulative budget for the rest starts now.
+    let deadline = Instant::now() + read_deadline;
+    let request_line = read_line(r, deadline)?;
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
@@ -139,7 +191,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
     }
     let mut headers = Vec::new();
     loop {
-        let line = match read_line(r) {
+        let line = match read_line(r, deadline) {
             Ok(l) => l,
             Err(HttpError::Closed) => {
                 return Err(HttpError::Malformed("eof inside headers".into()))
@@ -167,7 +219,23 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
         return Err(HttpError::TooLarge("body"));
     }
     let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body).map_err(HttpError::Io)?;
+    let mut filled = 0;
+    while filled < content_length {
+        match r.read(&mut body[filled..]) {
+            // EOF where body bytes were promised: a truncated request,
+            // answered 400 — not a silent connection drop.
+            Ok(0) => return Err(HttpError::Malformed("eof inside body".into())),
+            Ok(n) => {
+                filled += n;
+                // Same slowloris guard as in `read_line`: steady small
+                // chunks never trip the socket timeout on their own.
+                if filled < content_length && Instant::now() >= deadline {
+                    return Err(HttpError::RequestTimeout);
+                }
+            }
+            Err(e) => deadline_tick(e, deadline)?,
+        }
+    }
     Ok(Request {
         method: method.to_string(),
         target: target.to_string(),
@@ -220,7 +288,7 @@ mod tests {
     use std::io::BufReader;
 
     fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
-        read_request(&mut BufReader::new(bytes))
+        read_request(&mut BufReader::new(bytes), Duration::from_secs(5))
     }
 
     #[test]
@@ -287,11 +355,48 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_is_io_error() {
+    fn truncated_body_is_malformed() {
+        // A peer that promises 10 bytes and hangs up after 5 sent a
+        // *malformed request* (gets a 400), not an invisible I/O blip.
         assert!(matches!(
             parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
-            Err(HttpError::Io(_))
+            Err(HttpError::Malformed(m)) if m.contains("body")
         ));
+    }
+
+    #[test]
+    fn trickled_request_hits_cumulative_deadline() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // First byte lands, then the peer stalls far past the
+            // server's request-read deadline.
+            let _ = s.write_all(b"G");
+            std::thread::sleep(Duration::from_millis(700));
+            drop(s);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        // Per-read timeout far smaller than the trickle stall: without
+        // the cumulative deadline this loop would retry forever.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .unwrap();
+        let t0 = Instant::now();
+        let err = read_request(&mut BufReader::new(stream), Duration::from_millis(150))
+            .expect_err("trickled request must not parse");
+        assert!(
+            matches!(err, HttpError::RequestTimeout),
+            "expected RequestTimeout, got {err}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(600),
+            "deadline did not bound the read: {:?}",
+            t0.elapsed()
+        );
+        writer.join().unwrap();
     }
 
     #[test]
@@ -310,10 +415,14 @@ mod tests {
         let bytes: &[u8] =
             b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
         let mut r = BufReader::new(bytes);
-        assert_eq!(read_request(&mut r).unwrap().path(), "/healthz");
-        let second = read_request(&mut r).unwrap();
+        let budget = Duration::from_secs(5);
+        assert_eq!(read_request(&mut r, budget).unwrap().path(), "/healthz");
+        let second = read_request(&mut r, budget).unwrap();
         assert_eq!(second.path(), "/metrics");
         assert!(second.wants_close());
-        assert!(matches!(read_request(&mut r), Err(HttpError::Closed)));
+        assert!(matches!(
+            read_request(&mut r, budget),
+            Err(HttpError::Closed)
+        ));
     }
 }

@@ -13,7 +13,9 @@
 //! * `GET /v1/kernels` — the built-in kernel registry;
 //! * `GET /metrics` — Prometheus text exposition (request counts,
 //!   latency histograms, cache hit rates, engine counters);
-//! * `GET /healthz` — liveness.
+//! * `GET /healthz` — liveness;
+//! * `GET /readyz` — readiness, distinct from liveness: 503 with a
+//!   reason while shedding (queue at capacity) or draining (shutdown).
 //!
 //! Everything is built from `std::net` + `std::thread`: a hand-rolled
 //! escaping-correct JSON codec ([`wire`]), an HTTP/1.1 reader/writer
@@ -37,5 +39,5 @@ pub mod wire;
 pub use api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
 pub use cache::ShardedLru;
 pub use metrics::{Metrics, Route};
-pub use server::{spawn, ServeConfig, ServerHandle};
+pub use server::{ready_state, spawn, ReadyState, ServeConfig, ServerHandle};
 pub use wire::{decode, Json, WireError};

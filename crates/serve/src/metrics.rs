@@ -28,17 +28,19 @@ pub enum Route {
     Kernels,
     Metrics,
     Healthz,
+    Readyz,
     Other,
 }
 
 impl Route {
-    pub const ALL: [Route; 7] = [
+    pub const ALL: [Route; 8] = [
         Route::Predict,
         Route::Advise,
         Route::Search,
         Route::Kernels,
         Route::Metrics,
         Route::Healthz,
+        Route::Readyz,
         Route::Other,
     ];
 
@@ -50,6 +52,7 @@ impl Route {
             Route::Kernels => "kernels",
             Route::Metrics => "metrics",
             Route::Healthz => "healthz",
+            Route::Readyz => "readyz",
             Route::Other => "other",
         }
     }
@@ -126,6 +129,12 @@ pub struct Metrics {
     pub queue_depth: AtomicU64,
     /// Requests currently being handled by workers.
     pub inflight: AtomicU64,
+    /// Readiness state as `/readyz` reports it: 0 = ready, 1 = degraded
+    /// (shedding), 2 = draining (shutdown in progress).
+    pub ready_state: AtomicU64,
+    /// Requests that hit the cumulative read deadline (slowloris /
+    /// stalled peers answered 408).
+    pub read_timeouts: AtomicU64,
     engine: EngineTotals,
 }
 
@@ -239,7 +248,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, &AtomicU64); 12] = [
+        let counters: [(&str, &str, &AtomicU64); 13] = [
             (
                 "hms_prediction_cache_hits_total",
                 "Predict queries answered from the prediction cache.",
@@ -291,6 +300,11 @@ impl Metrics {
                 &self.deadline_exceeded,
             ),
             (
+                "hms_read_timeouts_total",
+                "Requests answered 408: not fully received within the read deadline.",
+                &self.read_timeouts,
+            ),
+            (
                 "hms_engine_full_rewrites_total",
                 "Whole-trace rewrite+analyze runs across all searches.",
                 &self.engine.full_rewrites,
@@ -333,7 +347,7 @@ impl Metrics {
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
 
-        let gauges: [(&str, &str, &AtomicU64); 2] = [
+        let gauges: [(&str, &str, &AtomicU64); 3] = [
             (
                 "hms_queue_depth",
                 "Connections waiting for a worker.",
@@ -343,6 +357,11 @@ impl Metrics {
                 "hms_inflight_requests",
                 "Requests currently being handled.",
                 &self.inflight,
+            ),
+            (
+                "hms_ready_state",
+                "Readiness: 0=ready, 1=degraded (shedding), 2=draining.",
+                &self.ready_state,
             ),
         ];
         for (name, help, v) in gauges {

@@ -54,6 +54,12 @@ pub struct ServeConfig {
     /// Accepted connections waiting for a worker before the acceptor
     /// sheds with 503. 0 sheds everything (useful for tests).
     pub queue_depth: usize,
+    /// Cumulative budget for *receiving* one request, measured from its
+    /// first byte. The per-read socket timeout only bounds the gap
+    /// between bytes, so a trickling (slowloris) peer would otherwise
+    /// pin a worker forever; past this budget the request is answered
+    /// 408 and the connection closed.
+    pub read_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -64,7 +70,46 @@ impl Default for ServeConfig {
             cache_entries: 4096,
             deadline: Duration::from_millis(10_000),
             queue_depth: 128,
+            read_deadline: Duration::from_millis(10_000),
         }
+    }
+}
+
+/// What `/readyz` reports (and `hms_ready_state` exposes as a gauge):
+/// liveness (`/healthz`) says the process can answer; readiness says it
+/// is worth sending real traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyState {
+    /// Accepting and serving normally.
+    Ready,
+    /// Alive but shedding: the accept queue is at capacity, new
+    /// connections are being refused with 503.
+    Degraded,
+    /// Shutdown requested: draining in-flight work, not accepting.
+    Draining,
+}
+
+impl ReadyState {
+    /// The numeric gauge value for `hms_ready_state`.
+    pub fn gauge(self) -> u64 {
+        match self {
+            ReadyState::Ready => 0,
+            ReadyState::Degraded => 1,
+            ReadyState::Draining => 2,
+        }
+    }
+}
+
+/// Pure readiness classification, separated from the server so tests
+/// can pin the mapping: draining wins over degraded, and a queue at (or
+/// over, including a zero-depth queue) capacity is degraded.
+pub fn ready_state(shutdown: bool, queue_len: usize, queue_depth: usize) -> ReadyState {
+    if shutdown {
+        ReadyState::Draining
+    } else if queue_len >= queue_depth {
+        ReadyState::Degraded
+    } else {
+        ReadyState::Ready
     }
 }
 
@@ -101,6 +146,19 @@ struct Shared {
     available: Condvar,
     shutdown: AtomicBool,
     deadline: Duration,
+    read_deadline: Duration,
+    queue_depth: usize,
+}
+
+/// Take the queue lock, recovering from poisoning: a worker that
+/// panicked while holding the lock must not take the whole server down
+/// with it — the queue of `TcpStream`s carries no invariant a panic can
+/// break.
+fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A running server: its bound address plus the levers to observe and
@@ -176,26 +234,39 @@ pub fn spawn(cfg: ServeConfig, advisor: Advisor) -> std::io::Result<ServerHandle
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         deadline: cfg.deadline,
+        read_deadline: cfg.read_deadline,
+        queue_depth: cfg.queue_depth,
     });
     let mut threads = Vec::with_capacity(workers + 1);
+    // Thread spawning can fail (resource exhaustion); surface it as the
+    // io::Result the caller already handles instead of panicking. A
+    // partial spawn is cleaned up by ServerHandle's Drop.
     {
         let shared = Arc::clone(&shared);
         let queue_depth = cfg.queue_depth;
         threads.push(
             std::thread::Builder::new()
                 .name("hms-accept".into())
-                .spawn(move || acceptor(listener, shared, queue_depth))
-                .expect("spawn acceptor"),
+                .spawn(move || acceptor(listener, shared, queue_depth))?,
         );
     }
     for i in 0..workers {
-        let shared = Arc::clone(&shared);
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("hms-worker-{i}"))
-                .spawn(move || worker(shared))
-                .expect("spawn worker"),
-        );
+        let worker_shared = Arc::clone(&shared);
+        let t = std::thread::Builder::new()
+            .name(format!("hms-worker-{i}"))
+            .spawn(move || worker(worker_shared));
+        match t {
+            Ok(t) => threads.push(t),
+            Err(e) => {
+                // Unwind what was spawned before reporting failure.
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.available.notify_all();
+                for t in threads {
+                    let _ = t.join();
+                }
+                return Err(e);
+            }
+        }
     }
     Ok(ServerHandle {
         addr,
@@ -211,7 +282,7 @@ fn acceptor(listener: TcpListener, shared: Arc<Shared>, queue_depth: usize) {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let mut q = shared.queue.lock().expect("queue");
+                let mut q = lock_queue(&shared);
                 if q.len() >= queue_depth {
                     drop(q);
                     shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
@@ -236,6 +307,18 @@ fn acceptor(listener: TcpListener, shared: Arc<Shared>, queue_depth: usize) {
     shared.available.notify_all();
 }
 
+/// Answer a request that failed before routing (unreadable, trickled,
+/// oversized) and account for it: these responses belong in
+/// `hms_responses_total` too — an operator watching a slowloris attack
+/// sees the 408s, not a silent worker.
+fn read_error_response(shared: &Shared, writer: &mut TcpStream, status: u16, msg: &str) {
+    let body = error_body(msg);
+    shared
+        .metrics
+        .on_response(Route::Other, status, Duration::ZERO);
+    let _ = write_response(writer, status, "application/json", body.as_bytes(), true);
+}
+
 /// Refuse one connection with 503 (queue full).
 fn shed(mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
@@ -246,7 +329,7 @@ fn shed(mut stream: TcpStream) {
 fn worker(shared: Arc<Shared>) {
     loop {
         let stream = {
-            let mut q = shared.queue.lock().expect("queue");
+            let mut q = lock_queue(&shared);
             loop {
                 if let Some(s) = q.pop_front() {
                     shared
@@ -258,11 +341,10 @@ fn worker(shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                let (guard, _timeout) = shared
-                    .available
-                    .wait_timeout(q, Duration::from_millis(100))
-                    .expect("queue wait");
-                q = guard;
+                q = match shared.available.wait_timeout(q, Duration::from_millis(100)) {
+                    Ok((guard, _timeout)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
             }
         };
         let Some(stream) = stream else {
@@ -286,7 +368,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let req = match read_request(&mut reader) {
+        let req = match read_request(&mut reader, shared.read_deadline) {
             Ok(req) => req,
             Err(HttpError::Closed) => return,
             Err(HttpError::IdleTimeout) => {
@@ -295,15 +377,19 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 }
                 continue; // still idle; keep the connection open
             }
-            Err(HttpError::Io(_)) => return, // timeout or reset mid-request
+            Err(HttpError::RequestTimeout) => {
+                // Slowloris / stalled peer: free the worker with a 408.
+                shared.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                read_error_response(shared, &mut writer, 408, "request read deadline exceeded");
+                return;
+            }
+            Err(HttpError::Io(_)) => return, // reset mid-request
             Err(HttpError::Malformed(m)) => {
-                let body = error_body(&format!("malformed request: {m}"));
-                let _ = write_response(&mut writer, 400, "application/json", body.as_bytes(), true);
+                read_error_response(shared, &mut writer, 400, &format!("malformed request: {m}"));
                 return;
             }
             Err(HttpError::TooLarge(what)) => {
-                let body = error_body(&format!("{what} too large"));
-                let _ = write_response(&mut writer, 413, "application/json", body.as_bytes(), true);
+                read_error_response(shared, &mut writer, 413, &format!("{what} too large"));
                 return;
             }
         };
@@ -332,12 +418,26 @@ fn respond(shared: &Shared, req: &Request, arrived: Instant) -> (Route, u16, &'s
     const JSON: &str = "application/json";
     match (req.method.as_str(), req.path()) {
         ("GET", "/healthz") => (Route::Healthz, 200, "text/plain", "ok\n".into()),
-        ("GET", "/metrics") => (
-            Route::Metrics,
-            200,
-            "text/plain; version=0.0.4",
-            shared.metrics.render(),
-        ),
+        ("GET", "/readyz") => {
+            let state = current_ready_state(shared);
+            let (status, body) = match state {
+                ReadyState::Ready => (200, "ready\n"),
+                ReadyState::Degraded => (503, "degraded: request queue at capacity\n"),
+                ReadyState::Draining => (503, "draining: shutdown in progress\n"),
+            };
+            (Route::Readyz, status, "text/plain", body.into())
+        }
+        ("GET", "/metrics") => {
+            // Refresh the readiness gauge so a scrape sees the same
+            // state `/readyz` would report right now.
+            current_ready_state(shared);
+            (
+                Route::Metrics,
+                200,
+                "text/plain; version=0.0.4",
+                shared.metrics.render(),
+            )
+        }
         ("GET", "/v1/kernels") => {
             let scale = match query_scale(req) {
                 Ok(s) => s,
@@ -357,10 +457,12 @@ fn respond(shared: &Shared, req: &Request, arrived: Instant) -> (Route, u16, &'s
         ("POST", "/v1/search") => with_body(req, Route::Search, |v| rank(shared, v, arrived, true)),
         (
             _,
-            "/healthz" | "/metrics" | "/v1/kernels" | "/v1/predict" | "/v1/advise" | "/v1/search",
+            "/healthz" | "/readyz" | "/metrics" | "/v1/kernels" | "/v1/predict" | "/v1/advise"
+            | "/v1/search",
         ) => {
             let route = match req.path() {
                 "/healthz" => Route::Healthz,
+                "/readyz" => Route::Readyz,
                 "/metrics" => Route::Metrics,
                 "/v1/kernels" => Route::Kernels,
                 "/v1/predict" => Route::Predict,
@@ -381,6 +483,22 @@ fn respond(shared: &Shared, req: &Request, arrived: Instant) -> (Route, u16, &'s
             error_body(&format!("no such endpoint `{}`", req.path())),
         ),
     }
+}
+
+/// Classify the server's current readiness and mirror it into the
+/// `hms_ready_state` gauge.
+fn current_ready_state(shared: &Shared) -> ReadyState {
+    let queue_len = lock_queue(shared).len();
+    let state = ready_state(
+        shared.shutdown.load(Ordering::SeqCst),
+        queue_len,
+        shared.queue_depth,
+    );
+    shared
+        .metrics
+        .ready_state
+        .store(state.gauge(), Ordering::Relaxed);
+    state
 }
 
 /// Parse `?scale=` (default full) for `GET /v1/kernels`.
@@ -528,14 +646,20 @@ fn rank(
     m.search_cache_misses.fetch_add(1, Ordering::Relaxed);
     check_deadline(shared, arrived)?;
     let mut effort = Effort::default();
-    let (body, stats) = shared
+    // The search stops at the request deadline and returns best-so-far
+    // flagged `"partial": true` instead of timing out with nothing.
+    let (body, outcome) = shared
         .advisor
-        .rank(&q, is_search, &mut effort)
+        .rank(&q, is_search, Some(arrived + shared.deadline), &mut effort)
         .map_err(api_error)?;
     count_effort(m, &effort);
-    m.on_engine_stats(&stats);
+    m.on_engine_stats(&outcome.stats);
     let body = Arc::new(body.encode_pretty());
-    shared.rank_cache.insert(key, Arc::clone(&body));
+    // A partial ranking reflects this request's deadline, not the
+    // query — caching it would serve truncated results forever.
+    if !outcome.partial {
+        shared.rank_cache.insert(key, Arc::clone(&body));
+    }
     Ok((200, body.as_ref().clone()))
 }
 

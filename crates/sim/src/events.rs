@@ -101,24 +101,42 @@ pub struct EventSet {
 }
 
 impl EventSet {
-    /// Total instruction replays across causes.
+    /// Total instruction replays across causes. Saturating: wrapped
+    /// counter values are a validity-domain violation that
+    /// `Profile::validate` reports via [`EventSet::checked_total_replays`];
+    /// the accessor itself must stay panic-free under `overflow-checks`.
     pub fn total_replays(&self) -> u64 {
-        self.replay_global_divergence
-            + self.replay_const_miss
-            + self.replay_const_divergence
-            + self.replay_shared_conflict
-            + self.replay_double_width
-            + self.replay_local_l1_miss
-            + self.replay_local_divergence
+        self.replay_double_width
+            .saturating_add(self.replay_local_l1_miss)
+            .saturating_add(self.replay_local_divergence)
+            .saturating_add(self.replays_1_to_4())
+    }
+
+    /// Overflow-aware [`EventSet::total_replays`]: `None` when the sum
+    /// of replay causes wraps u64, i.e. the event set is corrupt.
+    pub fn checked_total_replays(&self) -> Option<u64> {
+        let mut total = self.replay_global_divergence;
+        for v in [
+            self.replay_const_miss,
+            self.replay_const_divergence,
+            self.replay_shared_conflict,
+            self.replay_double_width,
+            self.replay_local_l1_miss,
+            self.replay_local_divergence,
+        ] {
+            total = total.checked_add(v)?;
+        }
+        Some(total)
     }
 
     /// Replays attributable to causes (1)–(4) — the placement-dependent
-    /// replays of the paper's Eq. 3.
+    /// replays of the paper's Eq. 3. Saturating, like
+    /// [`EventSet::total_replays`].
     pub fn replays_1_to_4(&self) -> u64 {
         self.replay_global_divergence
-            + self.replay_const_miss
-            + self.replay_const_divergence
-            + self.replay_shared_conflict
+            .saturating_add(self.replay_const_miss)
+            .saturating_add(self.replay_const_divergence)
+            .saturating_add(self.replay_shared_conflict)
     }
 
     /// All counters as named values, for the Table I cosine-similarity

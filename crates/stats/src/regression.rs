@@ -59,6 +59,23 @@ impl OlsFit {
         if rows.iter().any(|r| r.len() != d) {
             return Err(HmsError::InvalidInput("ragged feature rows".into()));
         }
+        // NaN/Inf anywhere in the training set poisons the normal
+        // equations silently (a NaN pivot passes the singularity check
+        // because every NaN comparison is false) — reject at the door.
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(&value) = row.iter().find(|v| !v.is_finite()) {
+                return Err(HmsError::NonFiniteRatio {
+                    name: "ols feature",
+                    value,
+                });
+            }
+            if !ys[i].is_finite() {
+                return Err(HmsError::NonFiniteRatio {
+                    name: "ols response",
+                    value: ys[i],
+                });
+            }
+        }
         let n = rows.len();
         let p = d + 1; // + intercept column
 
@@ -108,6 +125,15 @@ impl OlsFit {
             }
             solve_linear(&mut a2, &mut v2, p)
         })?;
+        // Belt and braces: finite inputs can still overflow to Inf in
+        // the normal equations (huge, near-collinear columns). A model
+        // with non-finite coefficients must never leave this function.
+        if let Some(&value) = coeffs.iter().find(|c| !c.is_finite()) {
+            return Err(HmsError::NonFiniteRatio {
+                name: "ols coefficient",
+                value,
+            });
+        }
 
         let model = LinearModel {
             weights: coeffs[..d].to_vec(),
@@ -309,7 +335,10 @@ fn solve_linear(a: &mut [f64], b: &mut [f64], n: usize) -> Result<Vec<f64>, HmsE
                 pivot = row;
             }
         }
-        if best < 1e-12 {
+        // `!(best >= 1e-12)` instead of `best < 1e-12`: a NaN diagonal
+        // (possible when callers bypass `fit`'s input screen) fails
+        // every ordered comparison and would otherwise be "pivotable".
+        if !(best >= 1e-12) {
             return Err(HmsError::Numerical("singular normal equations".into()));
         }
         if pivot != col {
@@ -380,6 +409,59 @@ mod tests {
         assert!(OlsFit::fit(&rows, &[1.0, 2.0], 0.0).is_err());
         let rows = vec![vec![1.0]];
         assert!(OlsFit::fit(&rows, &[1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs_with_typed_error() {
+        let rows = vec![vec![1.0, f64::NAN], vec![2.0, 3.0]];
+        assert!(matches!(
+            OlsFit::fit(&rows, &[1.0, 2.0], 0.0),
+            Err(HmsError::NonFiniteRatio {
+                name: "ols feature",
+                ..
+            })
+        ));
+        let rows = vec![vec![1.0], vec![f64::INFINITY]];
+        assert!(matches!(
+            OlsFit::fit(&rows, &[1.0, 2.0], 0.0),
+            Err(HmsError::NonFiniteRatio { .. })
+        ));
+        let rows = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            OlsFit::fit(&rows, &[1.0, f64::NAN], 0.0),
+            Err(HmsError::NonFiniteRatio {
+                name: "ols response",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn constant_column_is_fit_not_nan() {
+        // A constant non-zero column is collinear with the intercept;
+        // the fit must come back finite (ridge fallback), never NaN.
+        let rows: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 7.0]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0).collect();
+        let fit = OlsFit::fit(&rows, &ys, 0.0).unwrap();
+        assert!(fit.model.weights.iter().all(|w| w.is_finite()));
+        assert!(fit.model.intercept.is_finite());
+        assert!((fit.model.weights[0] - 3.0).abs() < 1e-3);
+        for row in &rows {
+            assert!(fit.model.predict(row).is_finite());
+        }
+    }
+
+    #[test]
+    fn nan_pivot_is_singular_not_pivotable() {
+        // Drive solve_linear directly with a NaN diagonal: every ordered
+        // comparison on NaN is false, so the old `best < 1e-12` check
+        // called it pivotable and produced NaN coefficients.
+        let mut a = vec![f64::NAN, 0.0, 0.0, f64::NAN];
+        let mut b = vec![1.0, 1.0];
+        assert!(matches!(
+            solve_linear(&mut a, &mut b, 2),
+            Err(HmsError::Numerical(_))
+        ));
     }
 
     #[test]

@@ -34,6 +34,19 @@ pub enum HmsError {
     Numerical(String),
     /// A model input was inconsistent (message explains).
     InvalidInput(String),
+    /// A profile carried no trace (zero warps / zero instructions) —
+    /// nothing to rewrite, nothing to model.
+    EmptyTrace,
+    /// A profile measured zero elapsed cycles: every derived rate
+    /// (cycles per instruction, overlap ratio) would divide by it.
+    ZeroMeasuredCycles,
+    /// A derived event ratio left the finite domain (NaN or ±inf) —
+    /// the validity boundary of the Eq. 11 regression inputs.
+    NonFiniteRatio { name: &'static str, value: f64 },
+    /// A u64 event counter combination over- or underflowed (e.g. a
+    /// cause-subset replay count exceeding the total). Surfaced as a
+    /// typed error instead of a panic under `overflow-checks`.
+    CounterOverflow { what: &'static str },
 }
 
 impl fmt::Display for HmsError {
@@ -79,6 +92,16 @@ impl fmt::Display for HmsError {
             }
             HmsError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             HmsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            HmsError::EmptyTrace => write!(f, "profile has an empty trace (no warps)"),
+            HmsError::ZeroMeasuredCycles => {
+                write!(f, "profile measured zero cycles; rates are undefined")
+            }
+            HmsError::NonFiniteRatio { name, value } => {
+                write!(f, "event ratio `{name}` is non-finite ({value})")
+            }
+            HmsError::CounterOverflow { what } => {
+                write!(f, "event counter overflow in {what}")
+            }
         }
     }
 }
@@ -111,6 +134,23 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("non-finite"));
         assert!(msg.contains("inf"));
+    }
+
+    #[test]
+    fn validity_domain_variants_display() {
+        assert!(HmsError::EmptyTrace.to_string().contains("empty trace"));
+        assert!(HmsError::ZeroMeasuredCycles
+            .to_string()
+            .contains("zero cycles"));
+        let e = HmsError::NonFiniteRatio {
+            name: "cycles_per_instruction",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("cycles_per_instruction"));
+        let e = HmsError::CounterOverflow {
+            what: "other_replays",
+        };
+        assert!(e.to_string().contains("other_replays"));
     }
 
     #[test]

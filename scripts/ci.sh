@@ -17,6 +17,22 @@ cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Arithmetic that only misbehaves when it wraps must fail loudly: rerun
+# the numeric crates' tests with overflow checks forced on (release
+# builds default them off).
+echo "==> overflow-checks test pass (core, sim, stats)"
+RUSTFLAGS="-C overflow-checks=on" \
+    cargo test -q --offline -p hms-core -p hms-sim -p hms-stats
+
+# Chaos gate: the seed-replayable fault matrix, pinned to three fixed
+# seeds so CI failures reproduce locally with the printed
+# HMS_CHAOS_SEED line (see DESIGN.md §11).
+echo "==> chaos gate (3 pinned seeds)"
+for seed in 12689413 271828 9221; do
+    echo "    HMS_CHAOS_SEED=$seed"
+    HMS_CHAOS_SEED="$seed" cargo test -q --offline --test chaos
+done
+
 echo "==> search micro-benchmark (BENCH_search.json)"
 cargo run -q -p hms-bench --release --offline --bin bench_search -- test
 

@@ -25,7 +25,10 @@
 //!   T_overlap` predictor, baselines, ablations, and placement search;
 //! * [`serve`] — the placement-advisory HTTP server (std-only): JSON
 //!   wire codec, sharded prediction cache, worker pool with load
-//!   shedding, Prometheus metrics (`hms serve`).
+//!   shedding, Prometheus metrics (`hms serve`);
+//! * [`faults`] — seed-replayable deterministic fault injection
+//!   (slowloris, truncation, resets, adversarial JSON corpus) used by
+//!   the chaos suite and the serving benchmark.
 //!
 //! ## Quick start
 //!
@@ -52,6 +55,7 @@
 pub use hms_cache as cache;
 pub use hms_core as core;
 pub use hms_dram as dram;
+pub use hms_faults as faults;
 pub use hms_kernels as kernels;
 pub use hms_serve as serve;
 pub use hms_sim as sim;
@@ -66,6 +70,7 @@ pub mod prelude {
         ModelOptions, Prediction, Predictor, Profile, QueuingMode, SearchOutcome, SearchRequest,
         SearchStrategy, ToverlapModel,
     };
+    pub use hms_faults::{FaultClient, FaultKind, FaultPlan};
     pub use hms_kernels::{by_name, registry, Scale};
     pub use hms_serve::{Advisor, Json, Metrics, ServeConfig, ServerHandle};
     pub use hms_sim::{simulate, simulate_default, EventSet, SimOptions, SimResult};

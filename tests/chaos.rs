@@ -1,0 +1,228 @@
+//! Chaos suite: a seed-replayable fault matrix committed against a live
+//! advisory server, plus the degradation guarantees around it.
+//!
+//! Every case is drawn from a [`FaultPlan`] expanded from one seed
+//! (`HMS_CHAOS_SEED` overrides the default), so a CI failure prints a
+//! one-line replay recipe. The invariants, per DESIGN.md §11:
+//!
+//! * every committed fault ends in its documented outcome (4xx/5xx or a
+//!   clean close) — never a hung worker ([`FaultOutcome::TimedOut`]);
+//! * after *every* fault the process still answers `/healthz` with the
+//!   exact bytes `ok\n` — faults cost one connection, never the server;
+//! * with faults disabled, predictions are byte-identical before and
+//!   after the storm — degradation machinery is invisible when idle.
+
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use gpu_hms::core::Predictor;
+use gpu_hms::faults::{FaultClient, FaultOutcome, FaultPlan};
+use gpu_hms::serve::api::{Effort, RankQuery};
+use gpu_hms::serve::{ready_state, spawn, Advisor, Json, Metrics, ReadyState, ServeConfig};
+use gpu_hms::types::GpuConfig;
+
+/// The pinned default plan seed; `HMS_CHAOS_SEED=<n>` replays any other.
+const DEFAULT_SEED: u64 = 0xC1A0_05;
+
+fn chaos_seed() -> u64 {
+    std::env::var("HMS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn advisor() -> Advisor {
+    let cfg = GpuConfig::test_small();
+    Advisor::new(cfg.clone(), Predictor::new(cfg))
+}
+
+fn chaos_server() -> gpu_hms::serve::ServerHandle {
+    let scfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        // Short enough that a slowloris trickle hits the cumulative
+        // read deadline within one case, long enough that a normal
+        // request never does.
+        read_deadline: Duration::from_millis(250),
+        ..ServeConfig::default()
+    };
+    spawn(scfg, advisor()).expect("binds ephemeral port")
+}
+
+/// Minimal well-formed HTTP/1.1 client for the non-fault probes.
+struct Probe {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Probe {
+    fn connect(addr: SocketAddr) -> Probe {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let writer = stream.try_clone().expect("clones");
+        Probe {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("writes");
+        self.writer.flush().unwrap();
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf8 body"))
+    }
+}
+
+const PREDICT: &str = r#"{"kernel":"vecadd","scale":"test","moves":[{"array":"a","space":"T"}]}"#;
+
+#[test]
+fn fault_matrix_is_survived_with_documented_outcomes() {
+    let seed = chaos_seed();
+    let plan = FaultPlan::from_seed(seed, 8);
+    let h = chaos_server();
+    let addr = h.addr();
+
+    // Baseline prediction before any fault is committed.
+    let (status, baseline) = Probe::connect(addr).request("POST", "/v1/predict", PREDICT);
+    assert_eq!(status, 200, "{baseline}");
+
+    let mut client = FaultClient::new(addr);
+    client.read_timeout = Duration::from_secs(5);
+    client.trickle_delay = Duration::from_millis(40);
+    let mut saw_408 = false;
+    for case in &plan.cases {
+        let outcome = client.commit(*case, "/v1/predict", PREDICT.as_bytes());
+        assert!(
+            outcome.satisfies(case.kind),
+            "fault `{}` ended in undocumented outcome {outcome:?}\n  {}",
+            case.kind.label(),
+            case.replay_line(seed)
+        );
+        saw_408 |= outcome == FaultOutcome::Status(408);
+        // The cardinal invariant: one poisoned connection never takes
+        // the process (or a worker) with it. A hung worker pool would
+        // stall this probe past its 10 s timeout.
+        let (status, body) = Probe::connect(addr).request("GET", "/healthz", "");
+        assert_eq!(
+            (status, body.as_str()),
+            (200, "ok\n"),
+            "liveness lost after `{}`\n  {}",
+            case.kind.label(),
+            case.replay_line(seed)
+        );
+    }
+
+    // Every slowloris that earned its 408 is visible to the operator.
+    if saw_408 {
+        let (_, text) = Probe::connect(addr).request("GET", "/metrics", "");
+        let timeouts = Metrics::scrape_counter(&text, "hms_read_timeouts_total")
+            .expect("read-timeout series exists");
+        assert!(timeouts >= 1.0, "408s answered but not counted");
+    }
+
+    // With faults off the wire again, the model output is bit-identical
+    // to the pre-chaos baseline: nothing degraded stays degraded.
+    let (status, after) = Probe::connect(addr).request("POST", "/v1/predict", PREDICT);
+    assert_eq!(status, 200);
+    assert_eq!(baseline, after, "prediction bytes drifted across chaos");
+    h.shutdown();
+}
+
+#[test]
+fn distinct_seeds_give_distinct_but_replayable_schedules() {
+    let a = FaultPlan::from_seed(1, 8);
+    let b = FaultPlan::from_seed(1, 8);
+    let c = FaultPlan::from_seed(2, 8);
+    assert_eq!(a, b, "same seed must replay the same schedule");
+    assert_ne!(a.cases, c.cases, "different seeds should differ");
+}
+
+#[test]
+fn readiness_is_distinct_from_liveness() {
+    let h = chaos_server();
+    let mut p = Probe::connect(h.addr());
+
+    // Healthy: ready, and the gauge agrees with the endpoint.
+    let (status, body) = p.request("GET", "/readyz", "");
+    assert_eq!((status, body.as_str()), (200, "ready\n"));
+    let (_, text) = p.request("GET", "/metrics", "");
+    assert_eq!(
+        Metrics::scrape_counter(&text, "hms_ready_state"),
+        Some(0.0),
+        "gauge disagrees with /readyz"
+    );
+    // Liveness body is part of the wire contract — byte-exact.
+    let (status, body) = p.request("GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // The classification function behind /readyz, on the states a live
+    // test cannot park a real server in without racing the acceptor.
+    assert_eq!(ready_state(false, 0, 8), ReadyState::Ready);
+    assert_eq!(ready_state(false, 8, 8), ReadyState::Degraded);
+    assert_eq!(ready_state(false, 9, 8), ReadyState::Degraded);
+    assert_eq!(ready_state(true, 0, 8), ReadyState::Draining);
+    // Draining wins over a full queue: shutdown is the stronger fact.
+    assert_eq!(ready_state(true, 8, 8), ReadyState::Draining);
+    h.shutdown();
+}
+
+#[test]
+fn deadline_partial_flag_reaches_the_wire_format() {
+    // Advisor::rank *is* the server's body builder (byte-identity is the
+    // serve crate's core claim), so asserting on it asserts the wire.
+    let adv = advisor();
+    let q = RankQuery {
+        kernel: "vecadd".into(),
+        scale: gpu_hms::kernels::Scale::Test,
+        top: 3,
+        prune: true,
+        threads: 1,
+    };
+    let mut effort = Effort::default();
+    let (body, outcome) = adv
+        .rank(&q, true, Some(Instant::now()), &mut effort)
+        .expect("partial rank succeeds");
+    assert!(outcome.partial);
+    assert!(!outcome.ranked.is_empty(), "partial must carry best-so-far");
+    assert_eq!(body.get("partial").and_then(Json::as_bool), Some(true));
+    assert!(body.encode_pretty().contains("\"partial\": true"));
+
+    // Unbounded: the member is absent, keeping finished responses
+    // byte-identical to the pre-deadline wire format.
+    let (body, outcome) = adv.rank(&q, true, None, &mut effort).expect("full rank");
+    assert!(!outcome.partial);
+    assert!(body.get("partial").is_none());
+    assert!(!body.encode_pretty().contains("partial"));
+}
