@@ -3,6 +3,17 @@
 //! the engine's observability counters, emitted as `BENCH_search.json`
 //! for CI trend tracking.
 //!
+//! Three timed passes:
+//!
+//! 1. **naive** — full rewrite + analysis per candidate;
+//! 2. **engine cold** — the incremental engine from scratch, writing
+//!    its skeletons into a fresh persistent cache directory;
+//! 3. **engine warm** — a *new* engine (as after a process restart)
+//!    reading the skeletons back from disk. This is the headline
+//!    `engine_candidates_per_sec`, the steady-state serving rate.
+//!
+//! Every pass is asserted bit-identical to the naive ranking.
+//!
 //! ```text
 //! cargo run -p hms-bench --release --bin bench_search [-- test]
 //! ```
@@ -39,21 +50,42 @@ fn main() {
     let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 0).expect("ranks");
     let naive_secs = t0.elapsed().as_secs_f64();
 
-    // Incremental engine, exhaustive.
-    let t0 = Instant::now();
-    let outcome = SearchRequest::new(&kt.arrays, &sample)
+    let assert_matches_naive = |ranked: &[hms_core::RankedPlacement], what: &str| {
+        assert_eq!(naive.len(), ranked.len());
+        for (a, b) in naive.iter().zip(ranked) {
+            assert_eq!(
+                a.predicted_cycles.to_bits(),
+                b.predicted_cycles.to_bits(),
+                "{what} diverged from naive"
+            );
+        }
+    };
+
+    // Incremental engine, exhaustive, cold persistent cache.
+    let skel_dir = std::env::temp_dir().join(format!("hms-bench-skel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&skel_dir);
+    let req = SearchRequest::new(&kt.arrays, &sample)
         .candidates(&candidates)
-        .run(&predictor, &profile)
-        .expect("searches");
+        .skeleton_cache(&skel_dir);
+    let t0 = Instant::now();
+    let cold = req.run(&predictor, &profile).expect("searches");
+    let cold_secs = t0.elapsed().as_secs_f64();
+    assert_matches_naive(&cold.ranked, "cold engine");
+
+    // Warm restart: a fresh engine loads the skeletons back from disk.
+    let t0 = Instant::now();
+    let outcome = req.run(&predictor, &profile).expect("searches");
     let engine_secs = t0.elapsed().as_secs_f64();
-    assert_eq!(naive.len(), outcome.ranked.len());
-    for (a, b) in naive.iter().zip(&outcome.ranked) {
-        assert_eq!(
-            a.predicted_cycles.to_bits(),
-            b.predicted_cycles.to_bits(),
-            "engine diverged from naive"
-        );
-    }
+    assert_matches_naive(&outcome.ranked, "warm engine");
+    assert_eq!(
+        outcome.stats.skeletons_built, 0,
+        "warm pass must not rebuild any skeleton"
+    );
+    assert!(
+        outcome.stats.skeleton_disk_hits > 0,
+        "warm pass must load skeletons from disk"
+    );
+    let _ = std::fs::remove_dir_all(&skel_dir);
 
     // Branch-and-bound, for the prune-rate counter.
     let bb = SearchRequest::new(&kt.arrays, &sample)
@@ -69,13 +101,19 @@ fn main() {
 
     let stats = &outcome.stats;
     let engine_cps = stats.candidates_evaluated as f64 / engine_secs.max(1e-9);
+    let cold_cps = cold.stats.candidates_evaluated as f64 / cold_secs.max(1e-9);
     let naive_cps = naive.len() as f64 / naive_secs.max(1e-9);
     println!("search micro-benchmark (spmv, 3 read-only candidate arrays)");
     println!("  candidates:            {}", stats.candidates_evaluated);
     println!("  naive:                 {naive_secs:.3} s  ({naive_cps:.0} cand/s)");
-    println!("  engine:                {engine_secs:.3} s  ({engine_cps:.0} cand/s)");
-    println!("  full rewrites:         {}", stats.full_rewrites);
-    println!("  rewrite reduction:     {:.2}x", stats.rewrite_reduction());
+    println!("  engine cold:           {cold_secs:.3} s  ({cold_cps:.0} cand/s)");
+    println!("  engine warm:           {engine_secs:.3} s  ({engine_cps:.0} cand/s)");
+    println!("  full rewrites (cold):  {}", cold.stats.full_rewrites);
+    println!("  skeleton disk hits:    {}", stats.skeleton_disk_hits);
+    println!(
+        "  rewrite reduction:     {:.2}x",
+        cold.stats.rewrite_reduction()
+    );
     println!(
         "  b&b prune rate:        {:.1}%",
         bb.stats.prune_rate() * 100.0
@@ -94,20 +132,26 @@ fn main() {
             Json::Num(stats.candidates_evaluated as f64),
         ),
         ("naive_secs".into(), Json::Num(naive_secs)),
+        ("engine_cold_secs".into(), Json::Num(cold_secs)),
         ("engine_secs".into(), Json::Num(engine_secs)),
         ("naive_candidates_per_sec".into(), Json::Num(naive_cps)),
+        ("engine_cold_candidates_per_sec".into(), Json::Num(cold_cps)),
         ("engine_candidates_per_sec".into(), Json::Num(engine_cps)),
         (
             "full_rewrites".into(),
-            Json::Num(stats.full_rewrites as f64),
+            Json::Num(cold.stats.full_rewrites as f64),
         ),
         (
             "delta_cache_hits".into(),
             Json::Num(stats.delta_cache_hits as f64),
         ),
         (
+            "skeleton_disk_hits".into(),
+            Json::Num(stats.skeleton_disk_hits as f64),
+        ),
+        (
             "rewrite_reduction".into(),
-            Json::Num(stats.rewrite_reduction()),
+            Json::Num(cold.stats.rewrite_reduction()),
         ),
         (
             "bb_candidates_pruned".into(),

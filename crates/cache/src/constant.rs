@@ -115,6 +115,22 @@ impl ConstantCache {
     pub fn flush(&mut self) {
         self.cache.flush();
     }
+
+    /// O(1) return to the just-constructed state (see
+    /// [`SetAssocCache::reset`]); lets the engine reuse per-SM cache
+    /// allocations across replays.
+    pub fn reset(&mut self) {
+        self.cache.reset();
+        self.warp_accesses = 0;
+        self.transactions = 0;
+        self.misses = 0;
+        self.divergence_replays = 0;
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> &CacheGeometry {
+        self.cache.geometry()
+    }
 }
 
 #[cfg(test)]

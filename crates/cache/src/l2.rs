@@ -101,6 +101,22 @@ impl L2Cache {
     pub fn flush(&mut self) {
         self.cache.flush();
     }
+
+    /// Return to the just-constructed state in O(1) (generation bump in
+    /// the underlying array; see [`SetAssocCache::reset`]) so the
+    /// engine's replay path can reuse one allocation per thread instead
+    /// of zeroing a fresh line array per candidate.
+    pub fn reset(&mut self) {
+        self.cache.reset();
+        self.accesses = [0; L2Source::COUNT];
+        self.misses = [0; L2Source::COUNT];
+    }
+
+    /// The geometry this cache was built with (used to validate that a
+    /// pooled instance may be reset and reused rather than rebuilt).
+    pub fn geometry(&self) -> &CacheGeometry {
+        self.cache.geometry()
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,10 @@ struct Line {
     valid: bool,
     dirty: bool,
     last_use: u64,
+    /// Generation stamp: the line is live only when `valid` *and* its
+    /// generation matches the cache's. [`SetAssocCache::reset`] bumps
+    /// the cache generation, lazily invalidating every line in O(1).
+    gen: u32,
 }
 
 /// A set-associative LRU cache over byte addresses.
@@ -38,6 +42,7 @@ pub struct SetAssocCache {
     sets: u64,
     lines: Vec<Line>,
     clock: u64,
+    gen: u32,
     accesses: u64,
     hits: u64,
     dirty_evictions: u64,
@@ -55,15 +60,50 @@ impl SetAssocCache {
                     tag: 0,
                     valid: false,
                     dirty: false,
-                    last_use: 0
+                    last_use: 0,
+                    gen: 0,
                 };
                 sets as usize * ways
             ],
             clock: 0,
+            gen: 0,
             accesses: 0,
             hits: 0,
             dirty_evictions: 0,
         }
+    }
+
+    /// Return the cache to its just-constructed state without touching
+    /// the line array: the generation stamp advances, so every line is
+    /// lazily invalid, and all counters restart from zero. The observable
+    /// behaviour after `reset()` is bit-identical to a fresh
+    /// [`SetAssocCache::new`] with the same geometry — stale lines rank
+    /// exactly like invalid ones in victim selection (both key to 0) and
+    /// are overwritten wholesale on fill. Unlike [`Self::flush`], no
+    /// write-backs are counted: this models reuse of the allocation, not
+    /// a kernel-boundary invalidation.
+    pub fn reset(&mut self) {
+        if self.gen == u32::MAX {
+            // One eager sweep per 2^32 resets keeps the wrap from
+            // resurrecting lines stamped with a recycled generation.
+            for l in &mut self.lines {
+                l.valid = false;
+                l.dirty = false;
+                l.gen = 0;
+            }
+            self.gen = 0;
+        } else {
+            self.gen += 1;
+        }
+        self.clock = 0;
+        self.accesses = 0;
+        self.hits = 0;
+        self.dirty_evictions = 0;
+    }
+
+    #[inline]
+    fn live(&self, l: &Line) -> bool {
+        l.valid && l.gen == self.gen
     }
 
     /// Access the line containing `addr`; allocate on miss (loads and
@@ -84,24 +124,33 @@ impl SetAssocCache {
         let tag = line_addr / self.sets;
         let ways = self.geometry.ways as usize;
         let base = set * ways;
+        let gen = self.gen;
         let set_lines = &mut self.lines[base..base + ways];
 
         // Hit path.
         for line in set_lines.iter_mut() {
-            if line.valid && line.tag == tag {
+            if line.valid && line.gen == gen && line.tag == tag {
                 line.last_use = self.clock;
                 line.dirty |= write;
                 self.hits += 1;
                 return AccessOutcome::Hit;
             }
         }
-        // Miss: fill the invalid way, else evict true-LRU.
+        // Miss: fill the invalid way, else evict true-LRU. Generation-
+        // stale lines key to 0 just like invalid ones, so a reset cache
+        // picks victims in exactly the order a fresh cache would.
         let victim = set_lines
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .min_by_key(|l| {
+                if l.valid && l.gen == gen {
+                    l.last_use
+                } else {
+                    0
+                }
+            })
             .expect("ways >= 1");
-        let evicted = victim.valid;
-        if victim.valid && victim.dirty {
+        let evicted = victim.valid && victim.gen == gen;
+        if evicted && victim.dirty {
             self.dirty_evictions += 1;
         }
         *victim = Line {
@@ -109,6 +158,7 @@ impl SetAssocCache {
             valid: true,
             dirty: write,
             last_use: self.clock,
+            gen,
         };
         AccessOutcome::Miss { evicted }
     }
@@ -121,14 +171,15 @@ impl SetAssocCache {
         let ways = self.geometry.ways as usize;
         self.lines[set * ways..(set + 1) * ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|l| self.live(l) && l.tag == tag)
     }
 
     /// Invalidate everything (kernel-launch boundary). Dirty lines are
     /// counted as write-backs on their way out.
     pub fn flush(&mut self) {
+        let gen = self.gen;
         for l in &mut self.lines {
-            if l.valid && l.dirty {
+            if l.valid && l.gen == gen && l.dirty {
                 self.dirty_evictions += 1;
             }
             l.valid = false;
@@ -255,6 +306,45 @@ mod tests {
         c.access_rw(128, false);
         c.flush();
         assert_eq!(c.dirty_evictions(), 2);
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_fresh() {
+        // Drive a pseudo-random mixed read/write stream, reset, then
+        // replay a second stream against both the reset cache and a
+        // fresh one: every outcome, probe, and counter must match.
+        let mut reset = tiny();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for _ in 0..200 {
+            let a = step() % 4096;
+            let w = step() % 2 == 0;
+            reset.access_rw(a, w);
+        }
+        reset.reset();
+        let mut fresh = tiny();
+        assert_eq!(reset.accesses(), 0);
+        assert_eq!(reset.hits(), 0);
+        assert_eq!(reset.dirty_evictions(), 0);
+        for _ in 0..400 {
+            let a = step() % 4096;
+            let w = step() % 2 == 0;
+            assert_eq!(reset.access_rw(a, w), fresh.access_rw(a, w));
+            let p = step() % 4096;
+            assert_eq!(reset.probe(p), fresh.probe(p));
+        }
+        assert_eq!(reset.accesses(), fresh.accesses());
+        assert_eq!(reset.hits(), fresh.hits());
+        assert_eq!(reset.dirty_evictions(), fresh.dirty_evictions());
+        // flush after reset counts only post-reset dirty lines.
+        reset.flush();
+        fresh.flush();
+        assert_eq!(reset.dirty_evictions(), fresh.dirty_evictions());
     }
 
     #[test]

@@ -73,6 +73,8 @@ pub enum Command {
         /// Wall-clock budget for the search; past it, the best-so-far
         /// ranking is returned flagged partial. `None` = unbounded.
         deadline_ms: Option<u64>,
+        /// Directory for the persistent engine-skeleton cache.
+        skel_cache: Option<String>,
     },
     /// Run the placement-advisory HTTP server.
     Serve {
@@ -83,6 +85,8 @@ pub enum Command {
         deadline_ms: u64,
         queue: usize,
         train: bool,
+        /// Directory for the persistent engine-skeleton cache.
+        skel_cache: Option<String>,
     },
     /// Dump a kernel's concrete trace in the v1 text format.
     Dump {
@@ -115,6 +119,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut cache_entries = 4096usize;
     let mut deadline_ms: Option<u64> = None;
     let mut queue = 128usize;
+    let mut skel_cache: Option<String> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -165,6 +170,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 i += 1;
                 let v = rest.get(i).ok_or("--queue needs a number")?;
                 queue = v.parse().map_err(|_| format!("bad --queue value `{v}`"))?;
+            }
+            "--skel-cache" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--skel-cache needs a directory")?;
+                skel_cache = Some(v.to_string());
             }
             "--threads" => {
                 i += 1;
@@ -221,6 +231,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             threads,
             json,
             deadline_ms,
+            skel_cache,
         }),
         "serve" => Ok(Command::Serve {
             addr,
@@ -230,6 +241,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             deadline_ms: deadline_ms.unwrap_or(10_000),
             queue,
             train,
+            skel_cache,
         }),
         "dump" => Ok(Command::Dump {
             kernel: kernel(&positional)?,
@@ -250,9 +262,9 @@ USAGE:
     hms simulate <kernel> [--scale full|test] [--move array=SPACE]...
     hms predict  <kernel> [--scale full|test] [--train] [--json] --move array=SPACE...
     hms advise   <kernel> [--scale full|test] [--train] [--top N] [--json]
-    hms search   <kernel> [--scale full|test] [--train] [--top N] [--stats] [--prune] [--threads N] [--deadline-ms N] [--json]
+    hms search   <kernel> [--scale full|test] [--train] [--top N] [--stats] [--prune] [--threads N] [--deadline-ms N] [--skel-cache DIR] [--json]
     hms dump     <kernel> [--scale full|test] [--move array=SPACE]...
-    hms serve    [--addr HOST] [--port N] [--threads N] [--cache-entries N] [--deadline-ms N] [--queue N] [--train]
+    hms serve    [--addr HOST] [--port N] [--threads N] [--cache-entries N] [--deadline-ms N] [--queue N] [--train] [--skel-cache DIR]
 
 SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
 
@@ -260,7 +272,10 @@ SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
 engine; `--stats` prints its observability counters (full rewrites,
 delta hits, prune rate), `--prune` switches to branch-and-bound.
 `--deadline-ms` bounds the search wall clock: past it the best-so-far
-ranking is returned, flagged partial in the output.
+ranking is returned, flagged partial in the output. `--skel-cache DIR`
+persists the engine's walk skeletons in DIR across runs (versioned and
+checksummed; stale or corrupt entries silently rebuild, results are
+bit-identical either way).
 
 `--json` prints the exact response body the HTTP server would send for
 the equivalent request (byte-identical, asserted by tests).
@@ -418,6 +433,7 @@ mod tests {
             deadline_ms,
             queue,
             train,
+            skel_cache,
         } = cmd
         else {
             panic!()
@@ -429,6 +445,7 @@ mod tests {
         assert_eq!(deadline_ms, 250);
         assert_eq!(queue, 9);
         assert!(!train);
+        assert_eq!(skel_cache, None);
         assert!(parse(&v(&["serve", "--port", "high"])).is_err());
 
         let cmd = parse(&v(&["predict", "spmv", "--json", "--move", "d_vec=T"])).unwrap();
@@ -440,6 +457,27 @@ mod tests {
             panic!()
         };
         assert!(!json);
+    }
+
+    #[test]
+    fn parses_skel_cache() {
+        let Command::Search { skel_cache, .. } =
+            parse(&v(&["search", "spmv", "--skel-cache", "/tmp/hms-skel"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(skel_cache.as_deref(), Some("/tmp/hms-skel"));
+        let Command::Serve { skel_cache, .. } =
+            parse(&v(&["serve", "--skel-cache", "cachedir"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(skel_cache.as_deref(), Some("cachedir"));
+        let Command::Search { skel_cache, .. } = parse(&v(&["search", "spmv"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(skel_cache, None);
+        assert!(parse(&v(&["search", "spmv", "--skel-cache"])).is_err());
     }
 
     #[test]

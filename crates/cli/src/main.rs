@@ -255,8 +255,12 @@ fn run(cmd: Command) -> Result<(), CliError> {
             threads,
             json,
             deadline_ms,
+            skel_cache,
         } => {
-            let adv = advisor(&cfg, train);
+            let mut adv = advisor(&cfg, train);
+            if let Some(dir) = &skel_cache {
+                adv = adv.with_skeleton_cache(dir.clone());
+            }
             // The deadline clock starts now — profile simulation and
             // search both count against it, like a server request.
             let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -285,12 +289,15 @@ fn run(cmd: Command) -> Result<(), CliError> {
             } else {
                 SearchStrategy::Exhaustive
             };
-            let outcome = hms_core::SearchRequest::new(&kt.arrays, &sample)
+            let mut req = hms_core::SearchRequest::new(&kt.arrays, &sample)
                 .read_only_candidates()
                 .strategy(strategy)
                 .threads(threads)
-                .deadline(deadline)
-                .run(&adv.predictor, &profile)?;
+                .deadline(deadline);
+            if let Some(dir) = &skel_cache {
+                req = req.skeleton_cache(dir.clone());
+            }
+            let outcome = req.run(&adv.predictor, &profile)?;
             if outcome.partial {
                 println!(
                     "deadline hit after {}ms: best-so-far ranking (partial)",
@@ -318,11 +325,15 @@ fn run(cmd: Command) -> Result<(), CliError> {
             deadline_ms,
             queue,
             train,
+            skel_cache,
         } => {
             // A client hanging up mid-response must be an io error on
             // that one connection, not process death.
             signal::sigpipe_ignore();
-            let adv = advisor(&cfg, train);
+            let mut adv = advisor(&cfg, train);
+            if let Some(dir) = &skel_cache {
+                adv = adv.with_skeleton_cache(dir.clone());
+            }
             let scfg = ServeConfig {
                 addr: format!("{addr}:{port}"),
                 threads,

@@ -16,10 +16,21 @@
 //! counters, and per-SM instruction positions. DRAM requests come out
 //! stamped with their issuing SM's instruction index, the paper's proxy
 //! for arrival time.
+//!
+//! Two implementations of the same walk live here:
+//!
+//! * [`analyze`] (and the observed variant the incremental engine
+//!   records through) streams over a [`ColumnarTrace`] — the
+//!   struct-of-arrays decomposition of the trace — so each op decode is
+//!   a couple of column loads and each access hands the cache models a
+//!   contiguous `&[u64]` address slice with zero per-op allocation;
+//! * [`analyze_reference`] is the original per-op walk over
+//!   [`CInstr`] structs, kept as the independent oracle the
+//!   property/fuzz equivalence net compares against bit for bit.
 
 use hms_cache::{ConstantCache, L2Cache, L2Source, SharedMemBanks, TextureCache};
 use hms_sim::copy::{shared_init_prologue, shared_writeback_epilogue};
-use hms_trace::{coalesce, CInstr, ConcreteTrace};
+use hms_trace::{coalesce, CInstr, ColumnarTrace, ConcreteTrace, OpRange, OpView};
 use hms_types::{GpuConfig, MemorySpace};
 
 /// One predicted DRAM request.
@@ -33,6 +44,71 @@ pub struct DramRequest {
     pub position: u64,
     /// Issuing SM.
     pub sm: u32,
+}
+
+/// The filtered post-L2 request stream, stored struct-of-arrays so the
+/// DRAM models ([`crate::tmem`], `hms-dram`) stream over contiguous
+/// address/position columns instead of an array of structs.
+///
+/// Order is analysis order — the arrival proxy the T_mem model depends
+/// on — and `PartialEq` is exact, like the rest of [`TraceAnalysis`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DramStream {
+    addrs: Vec<u64>,
+    positions: Vec<u64>,
+    sms: Vec<u32>,
+}
+
+impl DramStream {
+    #[inline]
+    pub fn push(&mut self, r: DramRequest) {
+        self.addrs.push(r.addr);
+        self.positions.push(r.position);
+        self.sms.push(r.sm);
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Requests in analysis order, decoded on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = DramRequest> + '_ {
+        self.addrs
+            .iter()
+            .zip(&self.positions)
+            .zip(&self.sms)
+            .map(|((&addr, &position), &sm)| DramRequest { addr, position, sm })
+    }
+
+    pub fn clear(&mut self) {
+        self.addrs.clear();
+        self.positions.clear();
+        self.sms.clear();
+    }
+
+    /// Transaction-aligned byte addresses, contiguous.
+    #[inline]
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// Arrival-proxy positions, contiguous and parallel to `addrs`.
+    #[inline]
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
+    /// Issuing SMs, contiguous and parallel to `addrs`.
+    #[inline]
+    pub fn sms(&self) -> &[u32] {
+        &self.sms
+    }
 }
 
 /// Event statistics and the filtered DRAM stream for one target trace.
@@ -80,7 +156,7 @@ pub struct TraceAnalysis {
     pub sync_count: u64,
 
     /// The filtered post-L2 request stream, in analysis order.
-    pub dram: Vec<DramRequest>,
+    pub dram: DramStream,
 
     /// Loads issued per `WaitLoads` barrier, averaged — the MLP estimate
     /// of Eq. 18.
@@ -115,28 +191,6 @@ impl TraceAnalysis {
     /// wait chain each warp runs through.
     pub fn waits_per_warp(&self) -> f64 {
         self.wait_events as f64 / self.total_warps.max(1) as f64
-    }
-}
-
-/// Per-warp cursor state during the analysis walk.
-struct Cursor<'t> {
-    instrs: Vec<CInstr>,
-    body: &'t [CInstr],
-    pc: usize,
-    outstanding: u32,
-    loads_since_wait: u32,
-    block: u32,
-    warp: u32,
-}
-
-impl<'t> Cursor<'t> {
-    fn get(&self, pc: usize) -> Option<&CInstr> {
-        let p = self.instrs.len();
-        if pc < p {
-            self.instrs.get(pc)
-        } else {
-            self.body.get(pc - p)
-        }
     }
 }
 
@@ -177,15 +231,21 @@ pub(crate) enum WalkEvent<'a> {
         array: hms_types::ArrayId,
         count: u16,
     },
-    /// A warp memory access. `body_idx` is the instruction's index in
-    /// the warp's body stream, or `None` for staging prologue/epilogue
-    /// copies. Emitted *before* the access's cache probes.
+    /// A warp memory access, decoded from the columnar trace. `addrs`
+    /// is the dense active-lane address slice; `body_idx` is the
+    /// instruction's index in the warp's body stream, or `None` for
+    /// staging prologue/epilogue copies. Emitted *before* the access's
+    /// cache probes.
     Access {
         sm: usize,
         block: u32,
         warp: u32,
         body_idx: Option<usize>,
-        mem: &'a hms_trace::CMemRef,
+        array: hms_types::ArrayId,
+        space: MemorySpace,
+        is_store: bool,
+        elem_bytes: u8,
+        addrs: &'a [u64],
     },
     /// An L1-missed local transaction continuing to L2 (the L1 outcome
     /// is walk-internal state the observer cannot recompute).
@@ -224,15 +284,16 @@ pub fn analyze_with(
     analyze_observed(trace, cfg, opts, &mut NoObserver)
 }
 
-/// [`analyze_with`] that also streams [`WalkEvent`]s to `obs` in exact
-/// walk order — the recording entry point of the incremental engine.
-pub(crate) fn analyze_observed(
-    trace: &ConcreteTrace,
-    cfg: &GpuConfig,
-    opts: AnalysisOptions,
-    obs: &mut impl WalkObserver,
-) -> TraceAnalysis {
-    let mut out = TraceAnalysis::default();
+/// Shared occupancy/wave math of both walk implementations.
+struct WalkShape {
+    num_sms: usize,
+    blocks: usize,
+    blocks_per_sm: usize,
+    wave_span: usize,
+    waves: usize,
+}
+
+fn walk_shape(trace: &ConcreteTrace, cfg: &GpuConfig, out: &mut TraceAnalysis) -> WalkShape {
     let num_sms = cfg.num_sms as usize;
     let blocks = trace.geometry.grid_blocks as usize;
 
@@ -251,8 +312,382 @@ pub(crate) fn analyze_observed(
         f64::from(wpb) * (blocks_per_sm.min(blocks.div_ceil(out.active_sms as usize))) as f64;
     out.total_warps = trace.geometry.total_warps();
 
+    // Waves of concurrent blocks: wave w puts block (w*SMs*K + sm*K + k)
+    // on SM `sm` — the same greedy fill the simulator starts with.
+    let wave_span = num_sms * blocks_per_sm;
+    let waves = blocks.div_ceil(wave_span.max(1));
+    out.waves = waves.max(1) as u32;
+    WalkShape {
+        num_sms,
+        blocks,
+        blocks_per_sm,
+        wave_span,
+        waves,
+    }
+}
+
+/// Per-warp cursor over the columnar op buffers: `pro` is the appended
+/// staging prologue+epilogue range, `body` the warp's own ops.
+struct ColCursor {
+    pro: OpRange,
+    body: OpRange,
+    pc: u32,
+    total: u32,
+    outstanding: u32,
+    loads_since_wait: u32,
+    block: u32,
+    warp: u32,
+}
+
+impl ColCursor {
+    #[inline]
+    fn op_index(&self, pc: u32) -> u32 {
+        if pc < self.pro.len {
+            self.pro.start + pc
+        } else {
+            self.body.start + (pc - self.pro.len)
+        }
+    }
+}
+
+/// [`analyze_with`] that also streams [`WalkEvent`]s to `obs` in exact
+/// walk order — the recording entry point of the incremental engine.
+///
+/// This is the columnar walk: the trace is decomposed once into a
+/// [`ColumnarTrace`] (staging copies appended into the same arenas) and
+/// the round-robin scheduler loop then decodes ops from flat columns,
+/// handing the cache models contiguous address slices.
+pub(crate) fn analyze_observed(
+    trace: &ConcreteTrace,
+    cfg: &GpuConfig,
+    opts: AnalysisOptions,
+    obs: &mut impl WalkObserver,
+) -> TraceAnalysis {
+    let mut out = TraceAnalysis::default();
+    let shape = walk_shape(trace, cfg, &mut out);
+    let num_sms = shape.num_sms;
+
+    let mut col = ColumnarTrace::from_concrete(trace);
+
+    // Group warps (by index into `col.warps()`) per block.
+    let mut block_warps: Vec<Vec<usize>> = vec![Vec::new(); shape.blocks];
+    for (i, w) in trace.warps.iter().enumerate() {
+        block_warps[w.block as usize].push(i);
+    }
+
+    // Shared device structures.
+    let mut l2 = L2Cache::new(cfg.l2_cache);
+    // Per-SM structures.
+    let mut const_caches: Vec<ConstantCache> = (0..num_sms)
+        .map(|_| ConstantCache::new(cfg.const_cache))
+        .collect();
+    let mut tex_caches: Vec<TextureCache> = (0..num_sms)
+        .map(|_| TextureCache::new(cfg.tex_cache))
+        .collect();
+    let mut shared_banks: Vec<SharedMemBanks> = (0..num_sms)
+        .map(|_| SharedMemBanks::new(cfg.shared_banks))
+        .collect();
+    let mut l1_caches: Vec<hms_cache::SetAssocCache> = (0..num_sms)
+        .map(|_| hms_cache::SetAssocCache::new(cfg.l1_cache))
+        .collect();
+    let mut sm_pos = vec![0u64; num_sms];
+
+    let mut wait_count: u64 = 0;
+    let mut loads_total: u64 = 0;
+    // Reused local-address scratch: cleared per local op, never freed.
+    let mut local_scratch: Vec<u64> = Vec::new();
+
+    for wave in 0..shape.waves {
+        // Collect this wave's warp cursors per SM, appending each
+        // warp's staging copies into the columnar arenas first.
+        let mut per_sm: Vec<Vec<ColCursor>> = (0..num_sms).map(|_| Vec::new()).collect();
+        for k in 0..shape.blocks_per_sm {
+            for sm in 0..num_sms {
+                let b = wave * shape.wave_span + k * num_sms + sm;
+                if b >= shape.blocks {
+                    continue;
+                }
+                for &wi in &block_warps[b] {
+                    let w = col.warps()[wi];
+                    let pro = if opts.include_staging {
+                        let mut v = shared_init_prologue(trace, w.block, w.warp, cfg);
+                        v.extend(shared_writeback_epilogue(trace, w.block, w.warp, cfg));
+                        // The prologue runs before the body; the
+                        // epilogue order relative to the body does not
+                        // affect counting, so the concatenation keeps
+                        // the walk simple.
+                        col.push_ops(&v)
+                    } else {
+                        OpRange { start: 0, len: 0 }
+                    };
+                    let body = col.warps()[wi].ops;
+                    per_sm[sm].push(ColCursor {
+                        pro,
+                        body,
+                        pc: 0,
+                        total: pro.len + body.len,
+                        outstanding: 0,
+                        loads_since_wait: 0,
+                        block: w.block,
+                        warp: w.warp,
+                    });
+                }
+            }
+        }
+        // Round-robin walk: one instruction per live warp per round,
+        // SMs interleaved — approximating the scheduler's order without
+        // timing.
+        let mut live = per_sm
+            .iter()
+            .flat_map(|v| v.iter())
+            .filter(|c| c.total > 0)
+            .count();
+        while live > 0 {
+            for sm in 0..num_sms {
+                for wi in 0..per_sm[sm].len() {
+                    let cur = &mut per_sm[sm][wi];
+                    if cur.pc >= cur.total {
+                        continue;
+                    }
+                    let pc0 = cur.pc;
+                    let op = col.op(cur.op_index(pc0));
+                    cur.pc += 1;
+                    if cur.pc == cur.total {
+                        live -= 1;
+                    }
+                    match op {
+                        OpView::WaitLoads => {
+                            if cur.outstanding > 0 {
+                                wait_count += 1;
+                                loads_total += u64::from(cur.loads_since_wait);
+                                cur.outstanding = 0;
+                                cur.loads_since_wait = 0;
+                            }
+                        }
+                        OpView::SyncThreads => {
+                            out.sync_count += 1;
+                            out.executed += 1;
+                            sm_pos[sm] += 1;
+                            obs.event(WalkEvent::Advance { sm, n: 1 });
+                        }
+                        OpView::Alu { kind, count } => {
+                            let n = u64::from(count);
+                            out.executed += n;
+                            sm_pos[sm] += n;
+                            if matches!(kind, hms_trace::concrete::AluKind::Fp64) {
+                                out.replay_double_width += n;
+                            }
+                            obs.event(WalkEvent::Advance { sm, n });
+                        }
+                        OpView::AddrCalc { array, count } => {
+                            let n = trace.addr_calc_expansion(array, count);
+                            out.executed += n;
+                            sm_pos[sm] += n;
+                            obs.event(WalkEvent::AddrCalc { sm, array, count });
+                        }
+                        OpView::Local { is_store, slots } => {
+                            out.executed += 1;
+                            out.mem_instrs += 1;
+                            out.local_requests += 1;
+                            sm_pos[sm] += 1;
+                            obs.event(WalkEvent::Advance { sm, n: 1 });
+                            if !is_store {
+                                cur.outstanding += 1;
+                                cur.loads_since_wait += 1;
+                            }
+                            let g = &trace.geometry;
+                            let total_threads = g.total_threads();
+                            let (cb, cw) = (cur.block, cur.warp);
+                            local_scratch.clear();
+                            local_scratch.extend(slots.iter().enumerate().filter_map(
+                                |(lane, &slot)| {
+                                    g.thread_id(cb, cw, lane as u32).map(|tid| {
+                                        hms_trace::concrete::local_addr(slot, tid, total_threads)
+                                    })
+                                },
+                            ));
+                            if local_scratch.is_empty() {
+                                continue;
+                            }
+                            let co =
+                                coalesce(local_scratch.iter().copied(), 4, cfg.transaction_bytes);
+                            out.replay_local += u64::from(co.replays);
+                            for t in &co.transactions {
+                                if !l1_caches[sm].access_rw(*t, is_store).is_hit() {
+                                    out.l1_local_misses += 1;
+                                    out.replay_local += 1;
+                                    obs.event(WalkEvent::LocalFill {
+                                        sm,
+                                        addr: *t,
+                                        is_store,
+                                    });
+                                    l2_fill(
+                                        &mut l2,
+                                        &mut out,
+                                        *t,
+                                        L2Source::Global,
+                                        sm_pos[sm],
+                                        sm as u32,
+                                        is_store,
+                                    );
+                                }
+                            }
+                        }
+                        OpView::Mem {
+                            array,
+                            space,
+                            is_store,
+                            elem_bytes,
+                            addrs,
+                            ..
+                        } => {
+                            out.executed += 1;
+                            out.mem_instrs += 1;
+                            sm_pos[sm] += 1;
+                            obs.event(WalkEvent::Access {
+                                sm,
+                                block: cur.block,
+                                warp: cur.warp,
+                                body_idx: pc0.checked_sub(cur.pro.len).map(|i| i as usize),
+                                array,
+                                space,
+                                is_store,
+                                elem_bytes,
+                                addrs,
+                            });
+                            if !is_store {
+                                cur.outstanding += 1;
+                                cur.loads_since_wait += 1;
+                            }
+                            if addrs.is_empty() {
+                                continue;
+                            }
+                            match space {
+                                MemorySpace::Shared => {
+                                    out.shared_requests += 1;
+                                    let r = shared_banks[sm].access_warp(addrs);
+                                    out.replay_shared_conflict += u64::from(r);
+                                }
+                                MemorySpace::Constant => {
+                                    let r = const_caches[sm].access_warp(addrs);
+                                    out.const_requests += 1;
+                                    out.const_transactions += u64::from(r.transactions);
+                                    out.const_misses += u64::from(r.misses);
+                                    out.replay_const_divergence += u64::from(r.transactions - 1);
+                                    out.replay_const_miss += u64::from(r.misses);
+                                    for line in &r.missed_lines {
+                                        l2_fill(
+                                            &mut l2,
+                                            &mut out,
+                                            *line,
+                                            L2Source::Constant,
+                                            sm_pos[sm],
+                                            sm as u32,
+                                            false,
+                                        );
+                                    }
+                                }
+                                MemorySpace::Texture1D | MemorySpace::Texture2D => {
+                                    let r = tex_caches[sm].access_warp(addrs);
+                                    out.tex_requests += 1;
+                                    out.tex_transactions += u64::from(r.transactions);
+                                    out.tex_misses += u64::from(r.misses);
+                                    for line in &r.missed_lines {
+                                        l2_fill(
+                                            &mut l2,
+                                            &mut out,
+                                            *line,
+                                            L2Source::Texture,
+                                            sm_pos[sm],
+                                            sm as u32,
+                                            false,
+                                        );
+                                    }
+                                }
+                                MemorySpace::Global => {
+                                    let co = coalesce(
+                                        addrs.iter().copied(),
+                                        u64::from(elem_bytes),
+                                        cfg.transaction_bytes,
+                                    );
+                                    out.global_requests += 1;
+                                    out.global_transactions += co.transactions.len() as u64;
+                                    out.replay_global_divergence += u64::from(co.replays);
+                                    for t in &co.transactions {
+                                        l2_fill(
+                                            &mut l2,
+                                            &mut out,
+                                            *t,
+                                            L2Source::Global,
+                                            sm_pos[sm],
+                                            sm as u32,
+                                            is_store,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.l2_transactions = l2.transactions();
+    out.l2_misses = l2.misses();
+    out.l2_writebacks = l2.writebacks();
+    out.wait_events = wait_count;
+    out.mlp = if wait_count == 0 {
+        1.0
+    } else {
+        (loads_total as f64 / wait_count as f64).max(1.0)
+    };
+    out
+}
+
+/// Per-warp cursor state during the reference (per-op) analysis walk.
+struct Cursor<'t> {
+    instrs: Vec<CInstr>,
+    body: &'t [CInstr],
+    pc: usize,
+    outstanding: u32,
+    loads_since_wait: u32,
+    block: u32,
+    warp: u32,
+}
+
+impl<'t> Cursor<'t> {
+    fn get(&self, pc: usize) -> Option<&CInstr> {
+        let p = self.instrs.len();
+        if pc < p {
+            self.instrs.get(pc)
+        } else {
+            self.body.get(pc - p)
+        }
+    }
+}
+
+/// [`analyze`] via the original per-op (`CInstr`-chasing) walk.
+///
+/// Kept as the independent oracle of the equivalence net: the columnar
+/// walk must reproduce this result bit for bit on every trace
+/// (`tests/trace_properties.rs` fuzzes the pair; `trace_analysis` unit
+/// tests pin it on the registry kernels).
+pub fn analyze_reference(trace: &ConcreteTrace, cfg: &GpuConfig) -> TraceAnalysis {
+    analyze_reference_with(trace, cfg, AnalysisOptions::default())
+}
+
+/// [`analyze_reference`] with explicit options.
+pub fn analyze_reference_with(
+    trace: &ConcreteTrace,
+    cfg: &GpuConfig,
+    opts: AnalysisOptions,
+) -> TraceAnalysis {
+    let mut out = TraceAnalysis::default();
+    let shape = walk_shape(trace, cfg, &mut out);
+    let num_sms = shape.num_sms;
+
     // Group warps by block.
-    let mut block_warps: Vec<Vec<&hms_trace::ConcreteWarp>> = vec![Vec::new(); blocks];
+    let mut block_warps: Vec<Vec<&hms_trace::ConcreteWarp>> = vec![Vec::new(); shape.blocks];
     for w in &trace.warps {
         block_warps[w.block as usize].push(w);
     }
@@ -277,18 +712,13 @@ pub(crate) fn analyze_observed(
     let mut wait_count: u64 = 0;
     let mut loads_total: u64 = 0;
 
-    // Waves of concurrent blocks: wave w puts block (w*SMs*K + sm*K + k)
-    // on SM `sm` — the same greedy fill the simulator starts with.
-    let wave_span = num_sms * blocks_per_sm;
-    let waves = blocks.div_ceil(wave_span.max(1));
-    out.waves = waves.max(1) as u32;
-    for wave in 0..waves {
+    for wave in 0..shape.waves {
         // Collect this wave's warp cursors per SM.
         let mut per_sm: Vec<Vec<Cursor>> = (0..num_sms).map(|_| Vec::new()).collect();
-        for k in 0..blocks_per_sm {
+        for k in 0..shape.blocks_per_sm {
             for sm in 0..num_sms {
-                let b = wave * wave_span + k * num_sms + sm;
-                if b >= blocks {
+                let b = wave * shape.wave_span + k * num_sms + sm;
+                if b >= shape.blocks {
                     continue;
                 }
                 for w in &block_warps[b] {
@@ -347,7 +777,6 @@ pub(crate) fn analyze_observed(
                             out.sync_count += 1;
                             out.executed += 1;
                             sm_pos[sm] += 1;
-                            obs.event(WalkEvent::Advance { sm, n: 1 });
                         }
                         CInstr::Alu { kind, count } => {
                             let n = u64::from(*count);
@@ -356,24 +785,17 @@ pub(crate) fn analyze_observed(
                             if matches!(kind, hms_trace::concrete::AluKind::Fp64) {
                                 out.replay_double_width += n;
                             }
-                            obs.event(WalkEvent::Advance { sm, n });
                         }
                         CInstr::AddrCalc { array, count } => {
                             let n = trace.addr_calc_expansion(*array, *count);
                             out.executed += n;
                             sm_pos[sm] += n;
-                            obs.event(WalkEvent::AddrCalc {
-                                sm,
-                                array: *array,
-                                count: *count,
-                            });
                         }
                         CInstr::Local { is_store, slots } => {
                             out.executed += 1;
                             out.mem_instrs += 1;
                             out.local_requests += 1;
                             sm_pos[sm] += 1;
-                            obs.event(WalkEvent::Advance { sm, n: 1 });
                             if !is_store {
                                 cur.outstanding += 1;
                                 cur.loads_since_wait += 1;
@@ -399,11 +821,6 @@ pub(crate) fn analyze_observed(
                                 if !l1_caches[sm].access_rw(*t, *is_store).is_hit() {
                                     out.l1_local_misses += 1;
                                     out.replay_local += 1;
-                                    obs.event(WalkEvent::LocalFill {
-                                        sm,
-                                        addr: *t,
-                                        is_store: *is_store,
-                                    });
                                     l2_fill(
                                         &mut l2,
                                         &mut out,
@@ -420,14 +837,6 @@ pub(crate) fn analyze_observed(
                             out.executed += 1;
                             out.mem_instrs += 1;
                             sm_pos[sm] += 1;
-                            let pc0 = cur.pc - 1;
-                            obs.event(WalkEvent::Access {
-                                sm,
-                                block: cur.block,
-                                warp: cur.warp,
-                                body_idx: pc0.checked_sub(cur.instrs.len()),
-                                mem: m,
-                            });
                             if !m.is_store {
                                 cur.outstanding += 1;
                                 cur.loads_since_wait += 1;
@@ -539,7 +948,7 @@ pub(crate) fn l2_fill(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hms_kernels::{convolution, vecadd, Scale};
+    use hms_kernels::{convolution, registry, vecadd, Scale};
     use hms_trace::materialize;
     use hms_types::{ArrayId, PlacementMap};
 
@@ -562,6 +971,41 @@ mod tests {
         assert_eq!(a.replays_1_to_4(), s.events.replays_1_to_4());
         assert_eq!(a.l2_transactions, s.events.l2_transactions);
         assert_eq!(a.mem_instrs, s.events.ldst_executed);
+    }
+
+    #[test]
+    fn columnar_walk_matches_reference_walk_registry_wide() {
+        // The bit-identity contract between the two implementations,
+        // pinned on every registry kernel under several placements
+        // (the fuzz net in tests/trace_properties.rs covers random
+        // kernels).
+        let cfg = cfg();
+        for spec in registry() {
+            let kt = (spec.build)(Scale::Test);
+            let base = kt.default_placement();
+            let spaces = [
+                base.clone(),
+                base.with(ArrayId(0), hms_types::MemorySpace::Shared),
+            ];
+            for pm in &spaces {
+                if pm.validate(&kt.arrays, &cfg).is_err() {
+                    continue;
+                }
+                let ct = materialize(&kt, pm, &cfg).unwrap();
+                for opts in [
+                    AnalysisOptions {
+                        include_staging: true,
+                    },
+                    AnalysisOptions {
+                        include_staging: false,
+                    },
+                ] {
+                    let fast = analyze_with(&ct, &cfg, opts);
+                    let slow = analyze_reference_with(&ct, &cfg, opts);
+                    assert_eq!(fast, slow, "{}: columnar walk diverged", spec.name);
+                }
+            }
+        }
     }
 
     #[test]
@@ -594,9 +1038,25 @@ mod tests {
         let a = analyze(&ct, &cfg);
         assert!(!a.dram.is_empty());
         let mut last = vec![0u64; cfg.num_sms as usize];
-        for r in &a.dram {
+        for r in a.dram.iter() {
             assert!(r.position >= last[r.sm as usize]);
             last[r.sm as usize] = r.position;
+        }
+    }
+
+    #[test]
+    fn dram_stream_columns_stay_parallel() {
+        let cfg = cfg();
+        let kt = vecadd::build(Scale::Test);
+        let ct = materialize(&kt, &kt.default_placement(), &cfg).unwrap();
+        let a = analyze(&ct, &cfg);
+        assert_eq!(a.dram.addrs().len(), a.dram.len());
+        assert_eq!(a.dram.positions().len(), a.dram.len());
+        assert_eq!(a.dram.sms().len(), a.dram.len());
+        for (i, r) in a.dram.iter().enumerate() {
+            assert_eq!(r.addr, a.dram.addrs()[i]);
+            assert_eq!(r.position, a.dram.positions()[i]);
+            assert_eq!(r.sm, a.dram.sms()[i]);
         }
     }
 

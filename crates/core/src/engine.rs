@@ -47,7 +47,9 @@
 //! cache misses are added, so no subtree containing the true optimum is
 //! ever pruned.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -85,6 +87,14 @@ pub struct EngineStats {
     pub exact_fallbacks: u64,
     /// `(array, space, base)` delta-memo tables built.
     pub memo_tables_built: u64,
+    /// Skeletons loaded from the persistent on-disk cache (each one a
+    /// full rewrite + recorded analysis *not* paid).
+    pub skeleton_disk_hits: u64,
+    /// Disk-cache lookups that missed (absent, stale, or corrupt file —
+    /// all trigger a silent rebuild).
+    pub skeleton_disk_misses: u64,
+    /// Skeletons persisted to the on-disk cache.
+    pub skeleton_disk_writes: u64,
     /// Legal candidates produced by enumeration (exhaustive) or visited
     /// as branch-and-bound leaves.
     pub candidates_enumerated: u64,
@@ -131,6 +141,9 @@ impl EngineStats {
         self.delta_cache_hits += other.delta_cache_hits;
         self.exact_fallbacks += other.exact_fallbacks;
         self.memo_tables_built += other.memo_tables_built;
+        self.skeleton_disk_hits += other.skeleton_disk_hits;
+        self.skeleton_disk_misses += other.skeleton_disk_misses;
+        self.skeleton_disk_writes += other.skeleton_disk_writes;
         self.candidates_enumerated += other.candidates_enumerated;
         self.candidates_evaluated += other.candidates_evaluated;
         self.candidates_pruned += other.candidates_pruned;
@@ -180,6 +193,16 @@ impl std::fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
+            "  skeleton disk hits      {:>10}",
+            self.skeleton_disk_hits
+        )?;
+        writeln!(
+            f,
+            "  skeleton disk misses    {:>10}",
+            self.skeleton_disk_misses
+        )?;
+        writeln!(
+            f,
             "  rewrite reduction       {:>13.2}x",
             self.rewrite_reduction()
         )?;
@@ -206,6 +229,9 @@ pub(crate) struct EngineCounters {
     pub delta_cache_hits: AtomicU64,
     pub exact_fallbacks: AtomicU64,
     pub memo_tables_built: AtomicU64,
+    pub skeleton_disk_hits: AtomicU64,
+    pub skeleton_disk_misses: AtomicU64,
+    pub skeleton_disk_writes: AtomicU64,
     pub candidates_enumerated: AtomicU64,
     pub candidates_evaluated: AtomicU64,
     pub candidates_pruned: AtomicU64,
@@ -224,6 +250,9 @@ impl EngineCounters {
             delta_cache_hits: g(&self.delta_cache_hits),
             exact_fallbacks: g(&self.exact_fallbacks),
             memo_tables_built: g(&self.memo_tables_built),
+            skeleton_disk_hits: g(&self.skeleton_disk_hits),
+            skeleton_disk_misses: g(&self.skeleton_disk_misses),
+            skeleton_disk_writes: g(&self.skeleton_disk_writes),
             candidates_enumerated: g(&self.candidates_enumerated),
             candidates_evaluated: g(&self.candidates_evaluated),
             candidates_pruned: g(&self.candidates_pruned),
@@ -239,50 +268,121 @@ impl EngineCounters {
     }
 }
 
-/// One recorded walk event, replayable under any placement sharing the
-/// skeleton's shared-memory set.
-#[derive(Debug, Clone)]
-enum REvent {
-    /// `n` placement-invariant issue slots on `sm` (adjacent same-SM
-    /// runs are merged during recording).
-    Advance { sm: u16, n: u64 },
-    /// Addressing-mode expansion site; the expansion is re-derived from
-    /// the candidate's space at replay.
-    AddrCalc { sm: u16, array: ArrayId, count: u16 },
-    /// A body access of a non-shared array: outcome comes from the
-    /// `(array, space, base)` memo at replay.
-    Body {
-        sm: u16,
-        array: ArrayId,
-        ordinal: u32,
-    },
-    /// A staging (prologue/epilogue) global access: its coalescing is
-    /// fixed per skeleton, but its L2 probes interleave with candidate
-    /// traffic, so the transaction list is replayed against L2.
-    StagingGlobal {
-        sm: u16,
-        is_store: bool,
-        replays: u32,
-        transactions: Vec<u64>,
-    },
-    /// A fixed L2 probe (an L1-missed local transaction).
-    L2Probe { sm: u16, addr: u64, is_store: bool },
+/// Event-kind codes of the skeleton's recorded stream.
+pub(crate) const EV_ADVANCE: u8 = 0;
+pub(crate) const EV_ADDR_CALC: u8 = 1;
+pub(crate) const EV_BODY: u8 = 2;
+pub(crate) const EV_STAGING_GLOBAL: u8 = 3;
+pub(crate) const EV_L2_PROBE: u8 = 4;
+
+/// One recorded walk event as a fixed-size record; the replay loop
+/// streams over a flat `Vec<EventRec>` (plus the shared transaction
+/// arena) instead of chasing per-event heap payloads.
+///
+/// Field use per kind:
+///
+/// | kind             | `flag`     | `arr`  | `x`        | `tx..tx+tx_len` |
+/// |------------------|------------|--------|------------|-----------------|
+/// | `EV_ADVANCE`     | –          | –      | slot count | –               |
+/// | `EV_ADDR_CALC`   | –          | array  | ref count  | –               |
+/// | `EV_BODY`        | –          | array  | ordinal    | –               |
+/// | `EV_STAGING_GLOBAL` | is_store | –     | replays    | transactions    |
+/// | `EV_L2_PROBE`    | is_store   | –      | address    | –               |
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EventRec {
+    pub kind: u8,
+    pub flag: u8,
+    pub sm: u16,
+    pub arr: u32,
+    pub x: u64,
+    pub tx: u32,
+    pub tx_len: u32,
 }
 
 /// The recorded walk of one shared-memory set.
 #[derive(Debug)]
-struct Skeleton {
+pub(crate) struct Skeleton {
     /// Placement-invariant counters copied from the canonical analysis;
     /// placement-dependent fields zeroed (recomputed at replay).
-    consts: TraceAnalysis,
-    events: Vec<REvent>,
+    pub(crate) consts: TraceAnalysis,
+    pub(crate) events: Vec<EventRec>,
+    /// Arena of staging-copy transaction addresses, referenced by
+    /// `EV_STAGING_GLOBAL` records.
+    pub(crate) tx_arena: Vec<u64>,
     /// Per-array `(offchip_base, block_stride)` under this skeleton's
     /// allocator (meaningless for arrays inside the shared set, which
     /// never appear as `Body` events).
-    bases: Vec<(u64, u64)>,
+    pub(crate) bases: Vec<(u64, u64)>,
     /// Self-check failed (or recording hit an inconsistency): all
     /// candidates of this shared set take the exact path.
-    poisoned: bool,
+    pub(crate) poisoned: bool,
+}
+
+/// Per-thread replay state. The stateful cache models dominate the
+/// replay's allocation cost (~hundreds of KiB per call when built
+/// fresh); keeping them thread-local and generation-resetting them
+/// ([`SetAssocCache::reset`](hms_cache::SetAssocCache)) makes a warm
+/// replay allocation-free.
+struct ReplayScratch {
+    l2: L2Cache,
+    const_caches: Vec<ConstantCache>,
+    tex_caches: Vec<TextureCache>,
+    sm_pos: Vec<u64>,
+    /// Per-array memo handle, resolved lazily once per replay (a
+    /// replay sees one space per array, so the array index is the
+    /// whole key).
+    memo_slots: Vec<Option<Arc<Vec<MemoOutcome>>>>,
+}
+
+impl ReplayScratch {
+    fn new(cfg: &GpuConfig) -> Self {
+        let num_sms = cfg.num_sms as usize;
+        ReplayScratch {
+            l2: L2Cache::new(cfg.l2_cache),
+            const_caches: (0..num_sms)
+                .map(|_| ConstantCache::new(cfg.const_cache))
+                .collect(),
+            tex_caches: (0..num_sms)
+                .map(|_| TextureCache::new(cfg.tex_cache))
+                .collect(),
+            sm_pos: vec![0; num_sms],
+            memo_slots: Vec::new(),
+        }
+    }
+
+    /// Was this scratch built for an identical machine shape? A thread
+    /// may serve engines with different configs over its lifetime.
+    fn matches(&self, cfg: &GpuConfig) -> bool {
+        self.sm_pos.len() == cfg.num_sms as usize
+            && *self.l2.geometry() == cfg.l2_cache
+            && self
+                .const_caches
+                .first()
+                .is_none_or(|c| *c.geometry() == cfg.const_cache)
+            && self
+                .tex_caches
+                .first()
+                .is_none_or(|c| *c.geometry() == cfg.tex_cache)
+    }
+
+    /// Return to the just-constructed state without reallocating.
+    fn reset(&mut self) {
+        self.l2.reset();
+        for c in &mut self.const_caches {
+            c.reset();
+        }
+        for c in &mut self.tex_caches {
+            c.reset();
+        }
+        self.sm_pos.fill(0);
+        for m in &mut self.memo_slots {
+            *m = None;
+        }
+    }
+}
+
+thread_local! {
+    static REPLAY_SCRATCH: RefCell<Option<ReplayScratch>> = const { RefCell::new(None) };
 }
 
 /// Per-access shape recovered once from the sample trace.
@@ -394,6 +494,8 @@ pub struct Engine<'a> {
     /// is poisoned, forcing the exact-fallback path. Exercised by the
     /// chaos suite to prove degradation is invisible in the output.
     inject_poison: AtomicBool,
+    /// Optional persistent skeleton cache (see [`crate::skelcache`]).
+    disk: Option<crate::skelcache::DiskCache>,
 }
 
 /// Lock one of the engine's caches, recovering from a poisoned mutex:
@@ -604,7 +706,20 @@ impl<'a> Engine<'a> {
             lb,
             counters: EngineCounters::default(),
             inject_poison: AtomicBool::new(false),
+            disk: None,
         }
+    }
+
+    /// Attach a persistent on-disk skeleton cache rooted at `dir` (see
+    /// the [`skelcache`](crate::skelcache) module docs for the file
+    /// format and invalidation rules). Every load is gated by the
+    /// format version, a kernel fingerprint, a payload checksum, and
+    /// structural validation; any failure silently rebuilds — a stale
+    /// or corrupt cache can cost a rewrite, never a wrong prediction.
+    pub fn with_disk_cache(mut self, dir: &Path) -> Self {
+        let hash = crate::skelcache::kernel_hash(&self.profile.trace, &self.predictor.cfg);
+        self.disk = Some(crate::skelcache::DiskCache::new(dir, hash));
+        self
     }
 
     /// The predictor this engine evaluates with.
@@ -723,18 +838,68 @@ impl<'a> Engine<'a> {
             .collect()
     }
 
-    /// Get (or build, recording one full rewrite) the skeleton for the
-    /// shared set of `canonical`.
+    /// Get (or load from disk, or build recording one full rewrite)
+    /// the skeleton for the shared set of `canonical`.
     fn skeleton_for(&self, canonical: &PlacementMap) -> Arc<Skeleton> {
         let key = self.shared_key(canonical);
         if let Some(s) = lock_cache(&self.skeletons).get(&key) {
             return s.clone();
         }
-        let built = Arc::new(self.build_skeleton(canonical));
+        let built = self.load_or_build(canonical, &key);
         lock_cache(&self.skeletons)
             .entry(key)
             .or_insert(built)
             .clone()
+    }
+
+    /// Probe the persistent cache (when configured), falling back to a
+    /// full build; healthy fresh builds are written back. Does not
+    /// touch the in-memory skeleton map.
+    fn load_or_build(&self, canonical: &PlacementMap, key: &[bool]) -> Arc<Skeleton> {
+        let Some(disk) = &self.disk else {
+            return Arc::new(self.build_skeleton(canonical));
+        };
+        if let Some(skel) = disk.load(key) {
+            if self.skeleton_is_plausible(&skel) {
+                self.counters.add(&self.counters.skeleton_disk_hits, 1);
+                return Arc::new(skel);
+            }
+        }
+        self.counters.add(&self.counters.skeleton_disk_misses, 1);
+        let built = Arc::new(self.build_skeleton(canonical));
+        if !built.poisoned && disk.store(key, &built) {
+            self.counters.add(&self.counters.skeleton_disk_writes, 1);
+        }
+        built
+    }
+
+    /// Structural validation of a deserialized skeleton against this
+    /// engine's trace: every record must decode to in-bounds indices.
+    /// Defense in depth behind the checksum — a file that passes the
+    /// header checks but indexes out of range is treated as a miss
+    /// rather than a panic source.
+    fn skeleton_is_plausible(&self, skel: &Skeleton) -> bool {
+        let n = self.dtypes.len();
+        let num_sms = u64::from(self.predictor.cfg.num_sms);
+        if skel.bases.len() != n || skel.poisoned {
+            return false;
+        }
+        skel.events.iter().all(|ev| {
+            if ev.kind > EV_L2_PROBE || u64::from(ev.sm) >= num_sms {
+                return false;
+            }
+            match ev.kind {
+                EV_ADDR_CALC => (ev.arr as usize) < n,
+                EV_BODY => {
+                    (ev.arr as usize) < n
+                        && (ev.x as usize) < self.access_info[ev.arr as usize].len()
+                }
+                EV_STAGING_GLOBAL => {
+                    u64::from(ev.tx) + u64::from(ev.tx_len) <= skel.tx_arena.len() as u64
+                }
+                _ => true,
+            }
+        })
     }
 
     /// Prebuild the skeletons for every distinct shared set among
@@ -755,7 +920,9 @@ impl<'a> Engine<'a> {
             }
         }
         let built = hms_stats::par::par_map_threads(threads, &missing, |pm| {
-            (self.shared_key(pm), Arc::new(self.build_skeleton(pm)))
+            let key = self.shared_key(pm);
+            let skel = self.load_or_build(pm, &key);
+            (key, skel)
         });
         let mut cache = lock_cache(&self.skeletons);
         for (key, skel) in built {
@@ -789,6 +956,7 @@ impl<'a> Engine<'a> {
         let poisoned_skeleton = || Skeleton {
             consts: TraceAnalysis::default(),
             events: Vec::new(),
+            tx_arena: Vec::new(),
             bases: vec![(0, 0); n],
             poisoned: true,
         };
@@ -802,6 +970,7 @@ impl<'a> Engine<'a> {
             cfg,
             map: &self.warp_body_map,
             events: Vec::new(),
+            tx_arena: Vec::new(),
             last_advance: vec![None; cfg.num_sms as usize],
             ok: true,
         };
@@ -842,10 +1011,11 @@ impl<'a> Engine<'a> {
         consts.l2_transactions = 0;
         consts.l2_misses = 0;
         consts.l2_writebacks = 0;
-        consts.dram = Vec::new();
+        consts.dram.clear();
         let skel = Skeleton {
             consts,
             events: rec.events,
+            tx_arena: rec.tx_arena,
             bases,
             poisoned: false,
         };
@@ -863,144 +1033,156 @@ impl<'a> Engine<'a> {
 
     /// Compose the exact `TraceAnalysis` of `target` from the skeleton's
     /// recorded events plus per-`(array, space)` memos, re-running only
-    /// the stateful cache models.
+    /// the stateful cache models. The cache models live in a per-thread
+    /// scratch that is generation-reset (not reallocated) between
+    /// replays — the hot loop streams over the flat `EventRec` column
+    /// with no per-event allocation.
     fn replay(&self, skel: &Skeleton, target: &PlacementMap) -> TraceAnalysis {
         let cfg = &self.predictor.cfg;
-        let num_sms = cfg.num_sms as usize;
+        let n_arrays = self.dtypes.len();
         let mut out = skel.consts.clone();
-        let mut l2 = L2Cache::new(cfg.l2_cache);
-        let mut const_caches: Vec<ConstantCache> = (0..num_sms)
-            .map(|_| ConstantCache::new(cfg.const_cache))
-            .collect();
-        let mut tex_caches: Vec<TextureCache> = (0..num_sms)
-            .map(|_| TextureCache::new(cfg.tex_cache))
-            .collect();
-        let mut sm_pos = vec![0u64; num_sms];
-        // Per-(array, space) memo handles resolved once per replay.
-        let mut local: HashMap<(ArrayId, MemorySpace), Arc<Vec<MemoOutcome>>> = HashMap::new();
-        for ev in &skel.events {
-            match ev {
-                REvent::Advance { sm, n } => {
-                    out.executed += n;
-                    sm_pos[*sm as usize] += n;
+        REPLAY_SCRATCH.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let scratch = match slot.as_mut() {
+                Some(s) if s.matches(cfg) => {
+                    s.reset();
+                    s
                 }
-                REvent::AddrCalc { sm, array, count } => {
-                    let n = u64::from(addr_calc_instrs(
-                        target.space(*array),
-                        self.dtypes[array.index()],
-                    )) * u64::from(*count);
-                    out.executed += n;
-                    sm_pos[*sm as usize] += n;
+                _ => {
+                    *slot = Some(ReplayScratch::new(cfg));
+                    slot.as_mut().unwrap()
                 }
-                REvent::StagingGlobal {
-                    sm,
-                    is_store,
-                    replays,
-                    transactions,
-                } => {
-                    let sm = *sm as usize;
-                    out.executed += 1;
-                    sm_pos[sm] += 1;
-                    out.global_requests += 1;
-                    out.global_transactions += transactions.len() as u64;
-                    out.replay_global_divergence += u64::from(*replays);
-                    for t in transactions {
+            };
+            scratch.memo_slots.resize(n_arrays, None);
+            let ReplayScratch {
+                l2,
+                const_caches,
+                tex_caches,
+                sm_pos,
+                memo_slots,
+                ..
+            } = scratch;
+            for ev in &skel.events {
+                let sm = ev.sm as usize;
+                match ev.kind {
+                    EV_ADVANCE => {
+                        out.executed += ev.x;
+                        sm_pos[sm] += ev.x;
+                    }
+                    EV_ADDR_CALC => {
+                        let array = ArrayId(ev.arr);
+                        let n = u64::from(addr_calc_instrs(
+                            target.space(array),
+                            self.dtypes[array.index()],
+                        )) * ev.x;
+                        out.executed += n;
+                        sm_pos[sm] += n;
+                    }
+                    EV_STAGING_GLOBAL => {
+                        out.executed += 1;
+                        sm_pos[sm] += 1;
+                        out.global_requests += 1;
+                        out.global_transactions += u64::from(ev.tx_len);
+                        out.replay_global_divergence += ev.x;
+                        let txs = &skel.tx_arena[ev.tx as usize..(ev.tx + ev.tx_len) as usize];
+                        for &t in txs {
+                            l2_fill(
+                                l2,
+                                &mut out,
+                                t,
+                                L2Source::Global,
+                                sm_pos[sm],
+                                ev.sm as u32,
+                                ev.flag != 0,
+                            );
+                        }
+                    }
+                    EV_L2_PROBE => {
                         l2_fill(
-                            &mut l2,
+                            l2,
                             &mut out,
-                            *t,
+                            ev.x,
                             L2Source::Global,
                             sm_pos[sm],
-                            sm as u32,
-                            *is_store,
+                            ev.sm as u32,
+                            ev.flag != 0,
                         );
                     }
-                }
-                REvent::L2Probe { sm, addr, is_store } => {
-                    let sm = *sm as usize;
-                    l2_fill(
-                        &mut l2,
-                        &mut out,
-                        *addr,
-                        L2Source::Global,
-                        sm_pos[sm],
-                        sm as u32,
-                        *is_store,
-                    );
-                }
-                REvent::Body { sm, array, ordinal } => {
-                    let sm = *sm as usize;
-                    out.executed += 1;
-                    sm_pos[sm] += 1;
-                    let space = target.space(*array);
-                    let memo = local
-                        .entry((*array, space))
-                        .or_insert_with(|| self.get_memo(*array, space, skel.bases[array.index()]));
-                    match &memo[*ordinal as usize] {
-                        MemoOutcome::Empty => {}
-                        MemoOutcome::Global {
-                            replays,
-                            transactions,
-                            is_store,
-                        } => {
-                            out.global_requests += 1;
-                            out.global_transactions += transactions.len() as u64;
-                            out.replay_global_divergence += u64::from(*replays);
-                            for t in transactions {
-                                l2_fill(
-                                    &mut l2,
-                                    &mut out,
-                                    *t,
-                                    L2Source::Global,
-                                    sm_pos[sm],
-                                    sm as u32,
-                                    *is_store,
-                                );
+                    _ => {
+                        // EV_BODY
+                        out.executed += 1;
+                        sm_pos[sm] += 1;
+                        let array = ArrayId(ev.arr);
+                        let space = target.space(array);
+                        let memo = memo_slots[array.index()].get_or_insert_with(|| {
+                            self.get_memo(array, space, skel.bases[array.index()])
+                        });
+                        match &memo[ev.x as usize] {
+                            MemoOutcome::Empty => {}
+                            MemoOutcome::Global {
+                                replays,
+                                transactions,
+                                is_store,
+                            } => {
+                                out.global_requests += 1;
+                                out.global_transactions += transactions.len() as u64;
+                                out.replay_global_divergence += u64::from(*replays);
+                                for t in transactions {
+                                    l2_fill(
+                                        l2,
+                                        &mut out,
+                                        *t,
+                                        L2Source::Global,
+                                        sm_pos[sm],
+                                        ev.sm as u32,
+                                        *is_store,
+                                    );
+                                }
                             }
-                        }
-                        MemoOutcome::Tex { lines } => {
-                            let r = tex_caches[sm].access_lines(lines);
-                            out.tex_requests += 1;
-                            out.tex_transactions += u64::from(r.transactions);
-                            out.tex_misses += u64::from(r.misses);
-                            for line in &r.missed_lines {
-                                l2_fill(
-                                    &mut l2,
-                                    &mut out,
-                                    *line,
-                                    L2Source::Texture,
-                                    sm_pos[sm],
-                                    sm as u32,
-                                    false,
-                                );
+                            MemoOutcome::Tex { lines } => {
+                                let r = tex_caches[sm].access_lines(lines);
+                                out.tex_requests += 1;
+                                out.tex_transactions += u64::from(r.transactions);
+                                out.tex_misses += u64::from(r.misses);
+                                for line in &r.missed_lines {
+                                    l2_fill(
+                                        l2,
+                                        &mut out,
+                                        *line,
+                                        L2Source::Texture,
+                                        sm_pos[sm],
+                                        ev.sm as u32,
+                                        false,
+                                    );
+                                }
                             }
-                        }
-                        MemoOutcome::Const { words } => {
-                            let r = const_caches[sm].access_words(words);
-                            out.const_requests += 1;
-                            out.const_transactions += u64::from(r.transactions);
-                            out.const_misses += u64::from(r.misses);
-                            out.replay_const_divergence += u64::from(r.transactions - 1);
-                            out.replay_const_miss += u64::from(r.misses);
-                            for line in &r.missed_lines {
-                                l2_fill(
-                                    &mut l2,
-                                    &mut out,
-                                    *line,
-                                    L2Source::Constant,
-                                    sm_pos[sm],
-                                    sm as u32,
-                                    false,
-                                );
+                            MemoOutcome::Const { words } => {
+                                let r = const_caches[sm].access_words(words);
+                                out.const_requests += 1;
+                                out.const_transactions += u64::from(r.transactions);
+                                out.const_misses += u64::from(r.misses);
+                                out.replay_const_divergence += u64::from(r.transactions - 1);
+                                out.replay_const_miss += u64::from(r.misses);
+                                for line in &r.missed_lines {
+                                    l2_fill(
+                                        l2,
+                                        &mut out,
+                                        *line,
+                                        L2Source::Constant,
+                                        sm_pos[sm],
+                                        ev.sm as u32,
+                                        false,
+                                    );
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-        out.l2_transactions = l2.transactions();
-        out.l2_misses = l2.misses();
-        out.l2_writebacks = l2.writebacks();
+            out.l2_transactions = l2.transactions();
+            out.l2_misses = l2.misses();
+            out.l2_writebacks = l2.writebacks();
+        });
         out
     }
 
@@ -1133,7 +1315,8 @@ impl<'a> Engine<'a> {
 struct Recorder<'e> {
     cfg: &'e GpuConfig,
     map: &'e HashMap<(u32, u32), Vec<Option<(ArrayId, u32)>>>,
-    events: Vec<REvent>,
+    events: Vec<EventRec>,
+    tx_arena: Vec<u64>,
     /// Index of the last `Advance` per SM, merge target for runs.
     last_advance: Vec<Option<usize>>,
     ok: bool,
@@ -1142,13 +1325,22 @@ struct Recorder<'e> {
 impl Recorder<'_> {
     fn advance(&mut self, sm: usize, n: u64) {
         if let Some(i) = self.last_advance[sm] {
-            if let REvent::Advance { n: m, .. } = &mut self.events[i] {
-                *m += n;
+            let e = &mut self.events[i];
+            if e.kind == EV_ADVANCE {
+                e.x += n;
                 return;
             }
         }
         self.last_advance[sm] = Some(self.events.len());
-        self.events.push(REvent::Advance { sm: sm as u16, n });
+        self.events.push(EventRec {
+            kind: EV_ADVANCE,
+            flag: 0,
+            sm: sm as u16,
+            arr: 0,
+            x: n,
+            tx: 0,
+            tx_len: 0,
+        });
     }
 }
 
@@ -1158,18 +1350,26 @@ impl WalkObserver for Recorder<'_> {
             WalkEvent::Advance { sm, n } => self.advance(sm, n),
             WalkEvent::AddrCalc { sm, array, count } => {
                 self.last_advance[sm] = None;
-                self.events.push(REvent::AddrCalc {
+                self.events.push(EventRec {
+                    kind: EV_ADDR_CALC,
+                    flag: 0,
                     sm: sm as u16,
-                    array,
-                    count,
+                    arr: array.0,
+                    x: u64::from(count),
+                    tx: 0,
+                    tx_len: 0,
                 });
             }
             WalkEvent::LocalFill { sm, addr, is_store } => {
                 self.last_advance[sm] = None;
-                self.events.push(REvent::L2Probe {
+                self.events.push(EventRec {
+                    kind: EV_L2_PROBE,
+                    flag: u8::from(is_store),
                     sm: sm as u16,
-                    addr,
-                    is_store,
+                    arr: 0,
+                    x: addr,
+                    tx: 0,
+                    tx_len: 0,
                 });
             }
             WalkEvent::Access {
@@ -1177,7 +1377,11 @@ impl WalkObserver for Recorder<'_> {
                 block,
                 warp,
                 body_idx,
-                mem,
+                array: ev_array,
+                space,
+                is_store,
+                elem_bytes,
+                addrs,
             } => match body_idx {
                 Some(i) => {
                     match self
@@ -1188,11 +1392,16 @@ impl WalkObserver for Recorder<'_> {
                         .flatten()
                     {
                         Some((array, ordinal)) => {
+                            debug_assert_eq!(array, ev_array);
                             self.last_advance[sm] = None;
-                            self.events.push(REvent::Body {
+                            self.events.push(EventRec {
+                                kind: EV_BODY,
+                                flag: 0,
                                 sm: sm as u16,
-                                array,
-                                ordinal,
+                                arr: array.0,
+                                x: u64::from(ordinal),
+                                tx: 0,
+                                tx_len: 0,
                             });
                         }
                         None => self.ok = false,
@@ -1202,21 +1411,25 @@ impl WalkObserver for Recorder<'_> {
                     // Staging copies touch only global and shared
                     // memory; shared staging counters are skeleton
                     // constants, so only the position advance replays.
-                    let active: Vec<u64> = mem.active_addrs().collect();
-                    if active.is_empty() || mem.space == MemorySpace::Shared {
+                    if addrs.is_empty() || space == MemorySpace::Shared {
                         self.advance(sm, 1);
-                    } else if mem.space == MemorySpace::Global {
+                    } else if space == MemorySpace::Global {
                         let co = coalesce(
-                            active.iter().copied(),
-                            u64::from(mem.elem_bytes),
+                            addrs.iter().copied(),
+                            u64::from(elem_bytes),
                             self.cfg.transaction_bytes,
                         );
                         self.last_advance[sm] = None;
-                        self.events.push(REvent::StagingGlobal {
+                        let tx = self.tx_arena.len() as u32;
+                        self.tx_arena.extend_from_slice(&co.transactions);
+                        self.events.push(EventRec {
+                            kind: EV_STAGING_GLOBAL,
+                            flag: u8::from(is_store),
                             sm: sm as u16,
-                            is_store: mem.is_store,
-                            replays: co.replays,
-                            transactions: co.transactions,
+                            arr: 0,
+                            x: u64::from(co.replays),
+                            tx,
+                            tx_len: co.transactions.len() as u32,
                         });
                     } else {
                         self.ok = false;

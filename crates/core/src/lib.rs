@@ -35,6 +35,7 @@ pub mod predictor;
 pub mod profile;
 pub mod search;
 pub mod sensitivity;
+mod skelcache;
 pub mod tcomp;
 pub mod tmem;
 pub mod toverlap;

@@ -12,6 +12,7 @@
 //! [`SearchStrategy`], and [`search`] returns a [`SearchOutcome`] with
 //! the ranking plus the engine's observability counters.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use hms_types::{ArrayDef, ArrayId, GpuConfig, HmsError, MemorySpace, PlacementMap};
@@ -105,6 +106,7 @@ pub struct SearchRequest<'a> {
     threads: usize,
     strategy: SearchStrategy,
     deadline: Option<Instant>,
+    skeleton_cache: Option<PathBuf>,
 }
 
 impl<'a> SearchRequest<'a> {
@@ -120,6 +122,7 @@ impl<'a> SearchRequest<'a> {
             threads: 0,
             strategy: SearchStrategy::default(),
             deadline: None,
+            skeleton_cache: None,
         }
     }
 
@@ -160,6 +163,15 @@ impl<'a> SearchRequest<'a> {
     /// Pick the coverage strategy.
     pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Persist engine skeletons under `dir` and reuse them across
+    /// processes (see [`Engine::with_disk_cache`]). Rankings are
+    /// bit-identical with a cold, warm, stale, or corrupt cache — a
+    /// bad file only costs the rebuild it would have saved.
+    pub fn skeleton_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.skeleton_cache = Some(dir.into());
         self
     }
 
@@ -237,7 +249,10 @@ pub fn search(
 ) -> Result<SearchOutcome, HmsError> {
     req.validate()?;
     profile.validate(&predictor.cfg)?;
-    let engine = Engine::new(predictor, profile);
+    let mut engine = Engine::new(predictor, profile);
+    if let Some(dir) = &req.skeleton_cache {
+        engine = engine.with_disk_cache(dir);
+    }
     let (ranked, partial) = match req.strategy {
         SearchStrategy::Exhaustive => {
             let t0 = Instant::now();

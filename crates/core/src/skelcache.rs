@@ -1,0 +1,488 @@
+//! Persistent on-disk skeleton cache.
+//!
+//! A skeleton (the engine's recorded walk of one shared-memory set) is
+//! expensive to build — one full `rewrite` + observed analysis — but is
+//! a pure function of the sample trace, the GPU config, and the shared
+//! set. This module persists healthy skeletons so a later process
+//! (another CLI run, a serving restart) skips straight to replay.
+//!
+//! # File format (`skel-<kernelhash>-<sharedbits>.hsk`)
+//!
+//! All integers little-endian; `f64` stored as its IEEE-754 bit
+//! pattern, so round-trips are bit-exact.
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 8    | magic `HMSSKEL1` |
+//! | 8      | 4    | format version ([`FORMAT_VERSION`]) |
+//! | 12     | 8    | kernel hash (trace + config fingerprint) |
+//! | 20     | 8    | payload length in bytes |
+//! | 28     | 8    | FNV-1a-64 checksum of the payload |
+//! | 36     | —    | payload |
+//!
+//! Payload: the skeleton's placement-invariant `TraceAnalysis`
+//! constants in fixed field order, the per-array `(base, stride)`
+//! table, the flat `EventRec` stream (24 bytes per record, same field
+//! order as in memory), and the staging-transaction arena.
+//!
+//! # Invalidation rules
+//!
+//! A cached file is used only if **all** of these hold; any failure is
+//! a miss that silently falls back to an in-process rebuild (which
+//! then rewrites the file):
+//!
+//! 1. magic and [`FORMAT_VERSION`] match this binary;
+//! 2. the kernel hash matches the engine's (sample-trace dump + GPU
+//!    config debug string), so a retraced kernel or retuned config
+//!    invalidates every old file;
+//! 3. the stored payload length matches the bytes actually present
+//!    (truncation detection);
+//! 4. the FNV-1a checksum over the payload matches (bit-rot
+//!    detection);
+//! 5. the decoded records pass the engine's structural validation
+//!    (event kinds, SM indices, body ordinals and transaction ranges
+//!    in bounds — see `Engine::skeleton_is_plausible`).
+//!
+//! Corruption therefore costs one rebuild, never a wrong result:
+//! predictions after a rejected load are byte-identical to a cold run.
+//!
+//! Writes go to a temp file in the same directory followed by an
+//! atomic rename; I/O errors are swallowed (the cache is an
+//! optimization, not a source of truth). Poisoned skeletons are never
+//! persisted. Shared sets wider than 64 arrays skip the disk (the
+//! filename packs the set into a `u64` bitmask).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hms_trace::{dump, ConcreteTrace};
+use hms_types::GpuConfig;
+
+use crate::analysis::TraceAnalysis;
+use crate::engine::{EventRec, Skeleton};
+
+/// Bump on any change to the payload encoding or to the skeleton's
+/// semantics (event kinds, `TraceAnalysis` field set, ...).
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"HMSSKEL1";
+const HEADER_LEN: usize = 36;
+
+/// FNV-1a 64-bit over `bytes`, continuing from `h` (seed with
+/// [`FNV_OFFSET`]).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of everything a skeleton's contents depend on besides
+/// the shared set: the sample trace (via its canonical text dump) and
+/// the GPU configuration (via its `Debug` form, which covers every
+/// model-relevant field).
+pub(crate) fn kernel_hash(trace: &ConcreteTrace, cfg: &GpuConfig) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &FORMAT_VERSION.to_le_bytes());
+    h = fnv1a(h, dump(trace).as_bytes());
+    fnv1a(h, format!("{cfg:?}").as_bytes())
+}
+
+/// Little-endian byte writer/reader over the payload.
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Dec<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Serialize the placement-invariant constants. Field order is fixed
+/// and covered by [`FORMAT_VERSION`]; the skeleton's DRAM stream is
+/// empty by construction, so it is not stored.
+fn enc_consts(e: &mut Enc, a: &TraceAnalysis) {
+    for v in [
+        a.executed,
+        a.mem_instrs,
+        a.replay_global_divergence,
+        a.replay_const_miss,
+        a.replay_const_divergence,
+        a.replay_shared_conflict,
+        a.replay_double_width,
+        a.global_requests,
+        a.global_transactions,
+        a.tex_requests,
+        a.tex_transactions,
+        a.tex_misses,
+        a.const_requests,
+        a.const_transactions,
+        a.const_misses,
+        a.shared_requests,
+        a.local_requests,
+        a.l1_local_misses,
+        a.replay_local,
+        a.l2_transactions,
+        a.l2_misses,
+        a.l2_writebacks,
+        a.sync_count,
+        a.wait_events,
+        a.total_warps,
+    ] {
+        e.u64(v);
+    }
+    e.f64(a.mlp);
+    e.f64(a.warps_per_sm);
+    e.u32(a.active_sms);
+    e.u32(a.waves);
+}
+
+fn dec_consts(d: &mut Dec) -> Option<TraceAnalysis> {
+    let mut a = TraceAnalysis::default();
+    for f in [
+        &mut a.executed,
+        &mut a.mem_instrs,
+        &mut a.replay_global_divergence,
+        &mut a.replay_const_miss,
+        &mut a.replay_const_divergence,
+        &mut a.replay_shared_conflict,
+        &mut a.replay_double_width,
+        &mut a.global_requests,
+        &mut a.global_transactions,
+        &mut a.tex_requests,
+        &mut a.tex_transactions,
+        &mut a.tex_misses,
+        &mut a.const_requests,
+        &mut a.const_transactions,
+        &mut a.const_misses,
+        &mut a.shared_requests,
+        &mut a.local_requests,
+        &mut a.l1_local_misses,
+        &mut a.replay_local,
+        &mut a.l2_transactions,
+        &mut a.l2_misses,
+        &mut a.l2_writebacks,
+        &mut a.sync_count,
+        &mut a.wait_events,
+        &mut a.total_warps,
+    ] {
+        *f = d.u64()?;
+    }
+    a.mlp = d.f64()?;
+    a.warps_per_sm = d.f64()?;
+    a.active_sms = d.u32()?;
+    a.waves = d.u32()?;
+    Some(a)
+}
+
+fn encode_payload(skel: &Skeleton) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(
+        64 + skel.events.len() * 24 + skel.tx_arena.len() * 8,
+    ));
+    enc_consts(&mut e, &skel.consts);
+    e.u32(skel.bases.len() as u32);
+    for &(b, s) in &skel.bases {
+        e.u64(b);
+        e.u64(s);
+    }
+    e.u32(skel.events.len() as u32);
+    for ev in &skel.events {
+        e.0.push(ev.kind);
+        e.0.push(ev.flag);
+        e.0.extend_from_slice(&ev.sm.to_le_bytes());
+        e.u32(ev.arr);
+        e.u64(ev.x);
+        e.u32(ev.tx);
+        e.u32(ev.tx_len);
+    }
+    e.u32(skel.tx_arena.len() as u32);
+    for &t in &skel.tx_arena {
+        e.u64(t);
+    }
+    e.0
+}
+
+fn decode_payload(payload: &[u8]) -> Option<Skeleton> {
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+    };
+    let consts = dec_consts(&mut d)?;
+    let n_bases = d.u32()? as usize;
+    let mut bases = Vec::with_capacity(n_bases.min(1 << 16));
+    for _ in 0..n_bases {
+        bases.push((d.u64()?, d.u64()?));
+    }
+    let n_events = d.u32()? as usize;
+    let mut events = Vec::with_capacity(n_events.min(1 << 20));
+    for _ in 0..n_events {
+        events.push(EventRec {
+            kind: d.u8()?,
+            flag: d.u8()?,
+            sm: d.u16()?,
+            arr: d.u32()?,
+            x: d.u64()?,
+            tx: d.u32()?,
+            tx_len: d.u32()?,
+        });
+    }
+    let n_tx = d.u32()? as usize;
+    let mut tx_arena = Vec::with_capacity(n_tx.min(1 << 20));
+    for _ in 0..n_tx {
+        tx_arena.push(d.u64()?);
+    }
+    if !d.done() {
+        return None; // trailing garbage: treat as corruption
+    }
+    Some(Skeleton {
+        consts,
+        events,
+        tx_arena,
+        bases,
+        poisoned: false,
+    })
+}
+
+/// Pack a shared set into the filename's `u64` bitmask; `None` (skip
+/// the disk entirely) beyond 64 arrays.
+pub(crate) fn key_bits(key: &[bool]) -> Option<u64> {
+    if key.len() > 64 {
+        return None;
+    }
+    let mut bits = 0u64;
+    for (i, &b) in key.iter().enumerate() {
+        if b {
+            bits |= 1 << i;
+        }
+    }
+    Some(bits)
+}
+
+/// Handle on one cache directory, bound to one kernel fingerprint.
+#[derive(Debug, Clone)]
+pub(crate) struct DiskCache {
+    dir: PathBuf,
+    kernel_hash: u64,
+}
+
+impl DiskCache {
+    /// Best-effort: the directory is created eagerly so a misconfigured
+    /// path degrades to misses, not errors.
+    pub(crate) fn new(dir: &Path, kernel_hash: u64) -> Self {
+        let _ = fs::create_dir_all(dir);
+        DiskCache {
+            dir: dir.to_path_buf(),
+            kernel_hash,
+        }
+    }
+
+    fn path(&self, bits: u64) -> PathBuf {
+        self.dir
+            .join(format!("skel-{:016x}-{:016x}.hsk", self.kernel_hash, bits))
+    }
+
+    /// Load the skeleton for `key`, or `None` on any miss/validation
+    /// failure (see the module docs for the invalidation rules).
+    pub(crate) fn load(&self, key: &[bool]) -> Option<Skeleton> {
+        let bits = key_bits(key)?;
+        let data = fs::read(self.path(bits)).ok()?;
+        if data.len() < HEADER_LEN || &data[0..8] != MAGIC {
+            return None;
+        }
+        let word = |at: usize| u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
+        let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION || word(12) != self.kernel_hash {
+            return None;
+        }
+        let payload_len = word(20) as usize;
+        let payload = data.get(HEADER_LEN..)?;
+        if payload.len() != payload_len || fnv1a(FNV_OFFSET, payload) != word(28) {
+            return None;
+        }
+        decode_payload(payload)
+    }
+
+    /// Persist `skel` under `key`; returns whether a file was written.
+    /// Errors are swallowed — a read-only or full disk only loses the
+    /// warm-start.
+    pub(crate) fn store(&self, key: &[bool], skel: &Skeleton) -> bool {
+        debug_assert!(!skel.poisoned, "poisoned skeletons are never persisted");
+        let Some(bits) = key_bits(key) else {
+            return false;
+        };
+        let payload = encode_payload(skel);
+        let mut data = Vec::with_capacity(HEADER_LEN + payload.len());
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        data.extend_from_slice(&self.kernel_hash.to_le_bytes());
+        data.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        data.extend_from_slice(&fnv1a(FNV_OFFSET, &payload).to_le_bytes());
+        data.extend_from_slice(&payload);
+        let dest = self.path(bits);
+        let tmp = dest.with_extension(format!("tmp{}", std::process::id()));
+        if fs::write(&tmp, &data).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return false;
+        }
+        if fs::rename(&tmp, &dest).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_skeleton() -> Skeleton {
+        let mut consts = TraceAnalysis::default();
+        consts.executed = 123;
+        consts.mlp = 2.5;
+        consts.warps_per_sm = 13.037;
+        consts.waves = 3;
+        Skeleton {
+            consts,
+            events: vec![
+                EventRec {
+                    kind: 0,
+                    flag: 0,
+                    sm: 1,
+                    arr: 0,
+                    x: 42,
+                    tx: 0,
+                    tx_len: 0,
+                },
+                EventRec {
+                    kind: 3,
+                    flag: 1,
+                    sm: 7,
+                    arr: 0,
+                    x: 2,
+                    tx: 0,
+                    tx_len: 3,
+                },
+            ],
+            tx_arena: vec![128, 256, 384],
+            bases: vec![(0x1000, 0x40), (0x2000, 0)],
+            poisoned: false,
+        }
+    }
+
+    fn skeletons_equal(a: &Skeleton, b: &Skeleton) -> bool {
+        a.consts == b.consts
+            && a.bases == b.bases
+            && a.tx_arena == b.tx_arena
+            && a.events.len() == b.events.len()
+            && a.events.iter().zip(&b.events).all(|(x, y)| {
+                (x.kind, x.flag, x.sm, x.arr, x.x, x.tx, x.tx_len)
+                    == (y.kind, y.flag, y.sm, y.arr, y.x, y.tx, y.tx_len)
+            })
+            && a.poisoned == b.poisoned
+    }
+
+    #[test]
+    fn payload_round_trips_bit_exactly() {
+        let skel = sample_skeleton();
+        let back = decode_payload(&encode_payload(&skel)).expect("decodes");
+        assert!(skeletons_equal(&skel, &back));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let p = encode_payload(&sample_skeleton());
+        for cut in [0, 1, p.len() / 2, p.len() - 1] {
+            assert!(decode_payload(&p[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut p = encode_payload(&sample_skeleton());
+        p.push(0);
+        assert!(decode_payload(&p).is_none());
+    }
+
+    #[test]
+    fn key_bits_packs_and_caps() {
+        assert_eq!(key_bits(&[]), Some(0));
+        assert_eq!(key_bits(&[true, false, true]), Some(0b101));
+        assert_eq!(key_bits(&vec![false; 64]), Some(0));
+        assert_eq!(key_bits(&vec![false; 65]), None);
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_bad_headers_miss() {
+        let dir = std::env::temp_dir().join(format!("hms-skelcache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(&dir, 0xDEAD_BEEF);
+        let key = vec![true, false];
+        let skel = sample_skeleton();
+        assert!(cache.store(&key, &skel));
+        let loaded = cache.load(&key).expect("hit");
+        assert!(skeletons_equal(&skel, &loaded));
+
+        // A different kernel hash misses the same file.
+        let other = DiskCache::new(&dir, 0xBADC_0FFE);
+        assert!(other.load(&key).is_none());
+
+        // Flip one payload byte: checksum rejects.
+        let path = cache.path(key_bits(&key).unwrap());
+        let mut data = fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x01;
+        fs::write(&path, &data).unwrap();
+        assert!(cache.load(&key).is_none());
+
+        // Restore, then bump the version header: versioning rejects.
+        data[last] ^= 0x01;
+        data[8] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        assert!(cache.load(&key).is_none());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

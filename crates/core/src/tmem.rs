@@ -103,46 +103,56 @@ pub fn dram_estimate(
         };
     }
 
-    // Distribute requests to banks (and channels, for the data-bus
-    // contention term — the channel buses are servers of the Figure 3
-    // queuing network too).
-    let mapping = AddressMapping::k80_like(t.total_banks());
+    // Distribute requests to banks. One flat `(bank, arrival, row)`
+    // buffer, stably sorted by bank then arrival, replaces the per-bank
+    // vectors: the stable sort preserves trace order on ties exactly as
+    // the push-then-sort-per-bank formulation did, so the per-bank
+    // streams — and every downstream float — are bit-identical.
+    let mapping = AddressMapping::k80_like(t.total_banks()).plan();
     let cpi = profile.cycles_per_instruction(cfg);
-    // Per-bank streams of (arrival_cycles_estimate, row).
-    let mut banks: Vec<Vec<(f64, u64)>> = vec![Vec::new(); nb];
-    let mut channels: Vec<Vec<f64>> = vec![Vec::new(); t.channels as usize];
+    let mut reqs: Vec<(u32, f64, u64)> = Vec::with_capacity(analysis.dram.len());
     for (i, r) in analysis.dram.iter().enumerate() {
         let arrival = r.position as f64 * cpi;
+        let decoded = mapping.decode(r.addr);
         let bank = match mode {
             QueuingMode::EvenDistribution => {
                 // "assume even distribution of memory requests between
                 // memory banks": round-robin, rows from the raw address.
-                i % nb
+                (i % nb) as u32
             }
-            QueuingMode::Mapped => mapping.decode(r.addr).bank as usize,
+            QueuingMode::Mapped => decoded.bank,
             QueuingMode::ConstantLatency => unreachable!(),
         };
-        let row = mapping.decode(r.addr).row;
-        banks[bank].push((arrival, row));
-        channels[bank / t.banks_per_channel as usize].push(arrival);
+        reqs.push((bank, arrival, decoded.row));
     }
+    reqs.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).expect("finite arrival"))
+    });
 
     // Eq. 6–10 per bank, Eq. 7's lambda-weighted average across banks.
     let total_requests = analysis.dram.len() as f64;
     let mut acc = 0.0;
     let mut bank_makespan = 0.0f64;
-    for stream in &mut banks {
-        if stream.is_empty() {
-            continue;
+    let mut service: Vec<f64> = Vec::new();
+    let mut arrivals: Vec<f64> = Vec::new();
+    let mut start = 0usize;
+    while start < reqs.len() {
+        let bank_id = reqs[start].0;
+        let mut end = start + 1;
+        while end < reqs.len() && reqs[end].0 == bank_id {
+            end += 1;
         }
-        stream.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrival"));
+        let stream = &reqs[start..end];
+        start = end;
         // Service classification via a row-buffer state walk (Eq. 8),
         // closing rows across auto-refresh boundaries like the machine.
         let refresh = t.refresh_interval_cycles;
         let mut bank = BankState::default();
         let mut last_epoch = 0u64;
-        let mut service: Vec<f64> = Vec::with_capacity(stream.len());
-        for &(arrival, row) in stream.iter() {
+        service.clear();
+        arrivals.clear();
+        for &(_, arrival, row) in stream {
             if let Some(epoch) = (arrival.max(0.0) as u64).checked_div(refresh) {
                 if epoch != last_epoch {
                     bank.precharge();
@@ -157,15 +167,14 @@ pub fn dram_estimate(
                 AccessKind::Conflict => t.conflict_cycles,
             };
             service.push(s as f64);
+            arrivals.push(arrival);
         }
         let svc = Summary::of(&service).expect("non-empty");
         bank_makespan = bank_makespan.max(service.iter().sum::<f64>());
-        let arrivals: Vec<f64> = stream.iter().map(|&(a, _)| a).collect();
         let lat_bank = queue_wait(&arrivals, &service) + svc.mean;
         let lambda_weight = stream.len() as f64 / total_requests;
         acc += lambda_weight * lat_bank;
     }
-    let _ = &channels; // channel streams feed only the makespan guard
     DramEstimate {
         avg_latency: acc + burst,
         bank_makespan,

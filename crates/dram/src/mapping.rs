@@ -99,26 +99,32 @@ impl AddressMapping {
     }
 
     /// Decode an address into bank/row/column coordinates.
+    ///
+    /// Convenience wrapper that compiles a [`DecodePlan`] per call; code
+    /// decoding many addresses against one mapping should build the plan
+    /// once with [`AddressMapping::plan`] and reuse it.
     pub fn decode(&self, addr: u64) -> DecodedAddr {
-        let addr = addr & self.addr_mask();
-        let col = Self::gather(addr, &self.col_bit_positions);
-        let row = Self::gather(addr, &self.row_bit_positions);
+        self.plan().decode(addr)
+    }
+
+    /// Precompile the per-bit classification into a [`DecodePlan`] so each
+    /// subsequent decode is a handful of shift/mask operations instead of
+    /// scanning the position lists for every address bit.
+    pub fn plan(&self) -> DecodePlan {
         // "A combination of the other bits identifies a unique memory
-        // bank": gather every bit that is neither byte nor row nor column
-        // and fold onto the configured bank count.
-        let mut other = 0u64;
-        let mut out = 0u32;
-        for bit in self.byte_bits..self.addr_bits {
-            if self.col_bit_positions.contains(&bit) || self.row_bit_positions.contains(&bit) {
-                continue;
-            }
-            other |= ((addr >> bit) & 1) << out;
-            out += 1;
-        }
-        DecodedAddr {
-            bank: (other % u64::from(self.total_banks)) as u32,
-            row,
-            col,
+        // bank": every bit that is neither byte nor row nor column, in
+        // ascending order (matching the bit-scan the plan replaces).
+        let other_bit_positions: Vec<u32> = (self.byte_bits..self.addr_bits)
+            .filter(|bit| {
+                !self.col_bit_positions.contains(bit) && !self.row_bit_positions.contains(bit)
+            })
+            .collect();
+        DecodePlan {
+            addr_mask: self.addr_mask(),
+            col_bit_positions: self.col_bit_positions.clone(),
+            row_bit_positions: self.row_bit_positions.clone(),
+            other_bit_positions,
+            total_banks: u64::from(self.total_banks),
         }
     }
 
@@ -143,6 +149,33 @@ impl AddressMapping {
             v |= ((addr >> p) & 1) << i;
         }
         v
+    }
+}
+
+/// A mapping with its bit classification resolved ahead of time.
+///
+/// Produced by [`AddressMapping::plan`]; decodes are bit-identical to
+/// [`AddressMapping::decode`] but cost only one pass over the (short)
+/// position lists, with no membership scans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodePlan {
+    addr_mask: u64,
+    col_bit_positions: Vec<u32>,
+    row_bit_positions: Vec<u32>,
+    other_bit_positions: Vec<u32>,
+    total_banks: u64,
+}
+
+impl DecodePlan {
+    /// Decode an address into bank/row/column coordinates.
+    pub fn decode(&self, addr: u64) -> DecodedAddr {
+        let addr = addr & self.addr_mask;
+        let other = AddressMapping::gather(addr, &self.other_bit_positions);
+        DecodedAddr {
+            bank: (other % self.total_banks) as u32,
+            row: AddressMapping::gather(addr, &self.row_bit_positions),
+            col: AddressMapping::gather(addr, &self.col_bit_positions),
+        }
     }
 }
 
@@ -220,6 +253,46 @@ mod tests {
     #[should_panic(expected = "assigned twice")]
     fn overlapping_bits_rejected() {
         AddressMapping::new(32, 5, vec![5, 6], vec![6, 7], 8);
+    }
+
+    #[test]
+    fn plan_matches_reference_bit_scan() {
+        // The plan must reproduce the definition exactly: gather col/row
+        // by their position lists, then fold every remaining non-byte bit
+        // (ascending) onto the bank count.
+        let reference = |m: &AddressMapping, addr: u64| -> DecodedAddr {
+            let addr = addr & m.addr_mask();
+            let mut other = 0u64;
+            let mut out = 0u32;
+            for bit in m.byte_bits..m.addr_bits {
+                if m.col_bit_positions.contains(&bit) || m.row_bit_positions.contains(&bit) {
+                    continue;
+                }
+                other |= ((addr >> bit) & 1) << out;
+                out += 1;
+            }
+            DecodedAddr {
+                bank: (other % u64::from(m.total_banks)) as u32,
+                row: AddressMapping::gather(addr, &m.row_bit_positions),
+                col: AddressMapping::gather(addr, &m.col_bit_positions),
+            }
+        };
+        for m in [
+            AddressMapping::k80_like(96),
+            AddressMapping::paper_k80(96),
+            // Deliberately unsorted position lists: gather order must hold.
+            AddressMapping::new(20, 2, vec![7, 3], vec![12, 9, 15], 5),
+        ] {
+            let plan = m.plan();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..2000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                assert_eq!(plan.decode(x), reference(&m, x));
+                assert_eq!(m.decode(x), reference(&m, x));
+            }
+        }
     }
 
     #[test]

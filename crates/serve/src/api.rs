@@ -236,6 +236,9 @@ pub struct Advisor {
     pub predictor: Predictor,
     kernels: Mutex<HashMap<(String, Scale), Arc<KernelTrace>>>,
     profiles: ShardedLru<(String, Scale), Arc<Profile>>,
+    /// When set, search engines persist their skeletons here so a
+    /// restarted server warm-starts instead of re-recording walks.
+    skeleton_cache: Option<std::path::PathBuf>,
 }
 
 /// What serving one query cost — the hooks the server turns into
@@ -258,7 +261,17 @@ impl Advisor {
             predictor,
             kernels: Mutex::new(HashMap::new()),
             profiles: ShardedLru::new(64, 8),
+            skeleton_cache: None,
         }
+    }
+
+    /// Persist engine skeletons under `dir` across queries *and*
+    /// process restarts. Responses are byte-identical with or without
+    /// the cache (stale/corrupt entries silently rebuild), so this is
+    /// purely a latency knob for the first search after a restart.
+    pub fn with_skeleton_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.skeleton_cache = Some(dir.into());
+        self
     }
 
     /// Build (or reuse) the kernel trace for `(name, scale)`.
@@ -377,12 +390,15 @@ impl Advisor {
         let kt = self.kernel(&q.kernel, q.scale)?;
         let profile = self.profile(&kt, q.scale, effort)?;
         let sample = kt.default_placement();
-        let outcome = SearchRequest::new(&kt.arrays, &sample)
+        let mut req = SearchRequest::new(&kt.arrays, &sample)
             .read_only_candidates()
             .strategy(q.strategy())
             .threads(q.threads)
-            .deadline(deadline)
-            .run(&self.predictor, &profile)?;
+            .deadline(deadline);
+        if let Some(dir) = &self.skeleton_cache {
+            req = req.skeleton_cache(dir.clone());
+        }
+        let outcome = req.run(&self.predictor, &profile)?;
         let ranked: Vec<Json> = outcome
             .ranked
             .iter()

@@ -103,6 +103,9 @@ struct EngineTotals {
     exact_fallbacks: AtomicU64,
     candidates_evaluated: AtomicU64,
     candidates_pruned: AtomicU64,
+    skeleton_disk_hits: AtomicU64,
+    skeleton_disk_misses: AtomicU64,
+    skeleton_disk_writes: AtomicU64,
 }
 
 /// All server metrics. One instance per server, shared by `Arc`.
@@ -171,6 +174,12 @@ impl Metrics {
             .fetch_add(s.candidates_evaluated, Ordering::Relaxed);
         e.candidates_pruned
             .fetch_add(s.candidates_pruned, Ordering::Relaxed);
+        e.skeleton_disk_hits
+            .fetch_add(s.skeleton_disk_hits, Ordering::Relaxed);
+        e.skeleton_disk_misses
+            .fetch_add(s.skeleton_disk_misses, Ordering::Relaxed);
+        e.skeleton_disk_writes
+            .fetch_add(s.skeleton_disk_writes, Ordering::Relaxed);
     }
 
     /// Render the Prometheus text exposition.
@@ -320,7 +329,7 @@ impl Metrics {
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
 
-        let more_engine: [(&str, &str, &AtomicU64); 4] = [
+        let more_engine: [(&str, &str, &AtomicU64); 7] = [
             (
                 "hms_engine_skeletons_built_total",
                 "Distinct walk skeletons built.",
@@ -340,6 +349,21 @@ impl Metrics {
                 "hms_engine_candidates_pruned_total",
                 "Candidates skipped by branch-and-bound (estimate).",
                 &self.engine.candidates_pruned,
+            ),
+            (
+                "hms_engine_skeleton_disk_hits_total",
+                "Skeletons loaded from the persistent cache.",
+                &self.engine.skeleton_disk_hits,
+            ),
+            (
+                "hms_engine_skeleton_disk_misses_total",
+                "Persistent-cache probes that fell back to a rebuild.",
+                &self.engine.skeleton_disk_misses,
+            ),
+            (
+                "hms_engine_skeleton_disk_writes_total",
+                "Healthy skeletons persisted to disk.",
+                &self.engine.skeleton_disk_writes,
             ),
         ];
         for (name, help, v) in more_engine {

@@ -26,6 +26,7 @@
 pub mod addressing;
 pub mod alloc;
 pub mod coalesce;
+pub mod columnar;
 pub mod concrete;
 pub mod op;
 pub mod rewrite;
@@ -34,6 +35,7 @@ pub mod serialize;
 pub use addressing::addr_calc_instrs;
 pub use alloc::AddressAllocator;
 pub use coalesce::{coalesce, CoalesceResult};
+pub use columnar::{ColWarp, ColumnarTrace, OpRange, OpView};
 pub use concrete::{element_offset, materialize, CInstr, CMemRef, ConcreteTrace, ConcreteWarp};
 pub use op::{ElemIdx, KernelTrace, MemRef, SymOp, WarpTrace};
 pub use rewrite::{recover_elem_indices, rewrite};

@@ -33,8 +33,31 @@ for seed in 12689413 271828 9221; do
     HMS_CHAOS_SEED="$seed" cargo test -q --offline --test chaos
 done
 
+# Bit-identity net with optimizations on: the release-mode equivalence
+# pass replays the columnar/engine/skeleton property suites under three
+# pinned seeds, so float-contraction or UB that only appears with
+# optimizations cannot slip through, and any failure reproduces locally
+# from the printed HMS_PROPTEST_SEED line (see DESIGN.md §12).
+echo "==> release equivalence net (3 pinned seeds)"
+for seed in 7 170831 948276; do
+    echo "    HMS_PROPTEST_SEED=$seed"
+    HMS_PROPTEST_SEED="$seed" HMS_PROPTEST_CASES=24 cargo test -q --offline --release \
+        --test trace_properties --test engine_equivalence --test skeleton_cache
+done
+
 echo "==> search micro-benchmark (BENCH_search.json)"
+bench_cps() {
+    sed -n 's/^ *"engine_candidates_per_sec": *\([0-9.eE+-]*\),*$/\1/p' "$1"
+}
+baseline_cps="$(bench_cps BENCH_search.json)"
+[ -n "$baseline_cps" ] || { echo "no committed BENCH_search.json baseline"; exit 1; }
 cargo run -q -p hms-bench --release --offline --bin bench_search -- test
+current_cps="$(bench_cps BENCH_search.json)"
+echo "    engine_candidates_per_sec: baseline=$baseline_cps current=$current_cps"
+awk -v cur="$current_cps" -v base="$baseline_cps" 'BEGIN { exit !(cur >= 0.8 * base) }' || {
+    echo "search throughput regressed >20% against the committed BENCH_search.json baseline"
+    exit 1
+}
 
 echo "==> serve smoke (hms serve + curl predict/metrics + clean SIGTERM)"
 serve_log="$(mktemp)"

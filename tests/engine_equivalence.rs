@@ -157,6 +157,69 @@ fn engine_prediction_matches_naive_on_random_placements() {
     );
 }
 
+/// Persistent skeletons: for every registry kernel, a warm restart
+/// that reads its skeletons back from disk ranks bit-identically to
+/// both the cold run that wrote them and the naive path — while
+/// rebuilding nothing.
+#[test]
+fn persistent_skeletons_reload_bit_identically_registry_wide() {
+    let cfg = GpuConfig::test_small();
+    let dir = std::env::temp_dir().join(format!(
+        "hms-skel-eqv-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    for spec in registry() {
+        let kt = (spec.build)(Scale::Test);
+        let base = kt.default_placement();
+        let profile = profile_sample(&kt, &base, &cfg).unwrap();
+        let predictor = Predictor::new(cfg.clone());
+        let ids: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
+        let space = enumerate_placements(&kt.arrays, &base, &ids, &cfg, 256);
+        #[allow(deprecated)]
+        let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 1).unwrap();
+        let req = SearchRequest::new(&kt.arrays, &base)
+            .limit(256)
+            .skeleton_cache(&dir);
+        let cold = req.run(&predictor, &profile).unwrap();
+        let warm = req.run(&predictor, &profile).unwrap();
+        assert_eq!(
+            bits(&naive),
+            bits(&cold.ranked),
+            "{}: cold persistent run diverged from naive",
+            spec.name
+        );
+        assert_eq!(
+            bits(&cold.ranked),
+            bits(&warm.ranked),
+            "{}: warm restart diverged from the cold run",
+            spec.name
+        );
+        assert_eq!(
+            warm.stats.skeletons_built, 0,
+            "{}: warm restart rebuilt a skeleton",
+            spec.name
+        );
+        assert!(
+            warm.stats.skeleton_disk_hits > 0,
+            "{}: warm restart never touched the disk cache",
+            spec.name
+        );
+        assert_eq!(
+            cold.stats.skeleton_disk_hits, 0,
+            "{}: cold run hit a cache that should have been empty",
+            spec.name
+        );
+        assert!(
+            cold.stats.skeleton_disk_writes > 0,
+            "{}: cold run persisted nothing",
+            spec.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Acceptance: on a three-array search over read-only arrays, the
 /// engine performs at least five times fewer full trace rewrites than
 /// candidate evaluations, while staying bit-identical to the naive

@@ -1,0 +1,216 @@
+//! Corruption suite for the persistent skeleton cache (DESIGN.md §12).
+//!
+//! The cache's contract is *rebuild-not-garbage*: whatever is on disk —
+//! truncated files, flipped bits, stale format versions, skeletons from
+//! a different kernel — a search must silently fall back to rebuilding
+//! and produce predictions byte-identical to a cold run. Every scenario
+//! here corrupts the on-disk files directly at the documented offsets
+//! (magic at 0, version at 8, kernel hash at 12, payload length at 20,
+//! checksum at 28, payload at 36) and asserts both the bits and the
+//! rebuild counters.
+
+use gpu_hms::prelude::*;
+use hms_kernels::Scale;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn bits(ranked: &[hms_core::RankedPlacement]) -> Vec<u64> {
+    ranked
+        .iter()
+        .map(|r| r.predicted_cycles.to_bits())
+        .collect()
+}
+
+struct Setup {
+    kt: KernelTrace,
+    profile: Profile,
+    predictor: Predictor,
+    candidates: Vec<ArrayId>,
+    dir: PathBuf,
+}
+
+impl Setup {
+    fn new(tag: &str) -> Setup {
+        let cfg = GpuConfig::test_small();
+        let kt = hms_kernels::by_name("spmv", Scale::Test).expect("spmv registered");
+        let sample = kt.default_placement();
+        let profile = profile_sample(&kt, &sample, &cfg).expect("profiles");
+        let predictor = Predictor::new(cfg);
+        let candidates: Vec<ArrayId> = kt
+            .arrays
+            .iter()
+            .filter(|a| !a.written)
+            .map(|a| a.id)
+            .take(3)
+            .collect();
+        let dir =
+            std::env::temp_dir().join(format!("hms-skelcorrupt-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Setup {
+            kt,
+            profile,
+            predictor,
+            candidates,
+            dir,
+        }
+    }
+
+    fn run(&self) -> SearchOutcome {
+        SearchRequest::new(&self.kt.arrays, &self.kt.default_placement())
+            .candidates(&self.candidates)
+            .skeleton_cache(&self.dir)
+            .run(&self.predictor, &self.profile)
+            .expect("searches")
+    }
+
+    fn skeleton_files(&self) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = fs::read_dir(&self.dir)
+            .expect("cache dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().is_some_and(|x| x == "hsk"))
+            .collect();
+        files.sort();
+        assert!(!files.is_empty(), "cold run persisted no skeletons");
+        files
+    }
+}
+
+impl Drop for Setup {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Corrupt every skeleton file with `f`, then assert the next run
+/// rebuilds (not loads) and still matches the cold-run bits exactly,
+/// and that the run after *that* trusts the freshly rewritten files.
+fn assert_rebuild_not_garbage(tag: &str, mut corrupt: impl FnMut(&Path, Vec<u8>) -> Vec<u8>) {
+    let setup = Setup::new(tag);
+    let cold = setup.run();
+    assert!(
+        cold.stats.skeleton_disk_writes > 0,
+        "{tag}: nothing persisted"
+    );
+    let baseline = bits(&cold.ranked);
+
+    for path in setup.skeleton_files() {
+        let body = fs::read(&path).expect("reads skeleton");
+        assert!(body.len() > 36, "{tag}: skeleton shorter than its header");
+        fs::write(&path, corrupt(&path, body)).expect("writes corrupted skeleton");
+    }
+
+    let after = setup.run();
+    assert_eq!(
+        baseline,
+        bits(&after.ranked),
+        "{tag}: corrupted cache changed the predictions"
+    );
+    assert_eq!(
+        after.stats.skeleton_disk_hits, 0,
+        "{tag}: a corrupted skeleton was accepted"
+    );
+    assert!(
+        after.stats.skeletons_built > 0,
+        "{tag}: nothing was rebuilt after corruption"
+    );
+    assert!(
+        after.stats.skeleton_disk_misses > 0,
+        "{tag}: the rejects were not counted as misses"
+    );
+
+    // The rebuild must have healed the cache in place.
+    let healed = setup.run();
+    assert_eq!(
+        baseline,
+        bits(&healed.ranked),
+        "{tag}: healed cache drifted"
+    );
+    assert_eq!(
+        healed.stats.skeletons_built, 0,
+        "{tag}: healed cache still rebuilding"
+    );
+    assert!(
+        healed.stats.skeleton_disk_hits > 0,
+        "{tag}: healed cache not reused"
+    );
+}
+
+#[test]
+fn truncated_skeleton_triggers_rebuild() {
+    assert_rebuild_not_garbage("truncate", |_, body| {
+        let cut = body.len() / 2;
+        body[..cut].to_vec()
+    });
+}
+
+#[test]
+fn truncation_inside_header_triggers_rebuild() {
+    assert_rebuild_not_garbage("truncate-header", |_, body| body[..17].to_vec());
+}
+
+#[test]
+fn flipped_payload_byte_triggers_rebuild() {
+    assert_rebuild_not_garbage("bitflip", |_, mut body| {
+        // One bit, deterministically placed inside the payload.
+        let at = 36 + (body.len() - 36) / 2;
+        body[at] ^= 0x10;
+        body
+    });
+}
+
+#[test]
+fn flipped_checksum_byte_triggers_rebuild() {
+    assert_rebuild_not_garbage("checksum-flip", |_, mut body| {
+        body[28] ^= 0xFF;
+        body
+    });
+}
+
+#[test]
+fn stale_version_header_triggers_rebuild() {
+    assert_rebuild_not_garbage("stale-version", |_, mut body| {
+        // Bump the u32 format version at offset 8: a file written by a
+        // future (or past) build of the codec.
+        body[8] = body[8].wrapping_add(1);
+        body
+    });
+}
+
+#[test]
+fn kernel_hash_mismatch_triggers_rebuild() {
+    assert_rebuild_not_garbage("kernel-hash", |_, mut body| {
+        // A skeleton recorded for a *different* kernel/config: flip the
+        // stored kernel hash at offset 12 without touching anything
+        // else (the checksum only covers the payload, so this is the
+        // hash check's job alone).
+        body[12] ^= 0xA5;
+        body
+    });
+}
+
+#[test]
+fn zero_length_and_garbage_files_trigger_rebuild() {
+    assert_rebuild_not_garbage("garbage", |path, body| {
+        // Alternate per file between an empty file and uniform junk of
+        // the original length.
+        if path.as_os_str().len() % 2 == 0 {
+            Vec::new()
+        } else {
+            vec![0xDB; body.len()]
+        }
+    });
+}
+
+/// The adversarial byte-soup corpus as whole-file contents: whatever
+/// `hms-faults` dreams up, dropped in place of every skeleton, must
+/// load as a miss and rebuild bit-identically.
+#[test]
+fn adversarial_byte_soup_files_trigger_rebuild() {
+    let corpus = gpu_hms::faults::adversarial_json(0xC0FF_EE00, 64);
+    let mut i = 0usize;
+    assert_rebuild_not_garbage("byte-soup", move |_, _| {
+        let doc = corpus[i % corpus.len()].clone();
+        i += 1;
+        doc
+    });
+}

@@ -7,7 +7,7 @@
 //! the harness docs for the replay workflow.
 
 use gpu_hms::prelude::*;
-use gpu_hms::trace::{coalesce, ElemIdx, MemRef, SymOp, WarpTrace};
+use gpu_hms::trace::{coalesce, ColumnarTrace, ElemIdx, MemRef, SymOp, WarpTrace};
 use hms_stats::proptest_lite::{check, check_shrink, gen_where, shrink_vec, Config};
 use hms_stats::rng::Rng;
 use hms_types::{ArrayDef, ArrayId};
@@ -214,6 +214,145 @@ fn coalescing_invariants() {
             Ok(())
         },
     );
+}
+
+/// Columnar decomposition is lossless on random kernels:
+/// `to_concrete` reconstructs the materialized trace exactly, and every
+/// op decodes back to its source `CInstr` through the per-op view.
+#[test]
+fn columnar_round_trip_is_exact() {
+    let cfg = cfg();
+    check(
+        "columnar_round_trip_is_exact",
+        &Config::with_cases(64),
+        |rng| {
+            let kt = arb_kernel(rng);
+            let s = valid_placement(rng, &kt, &cfg);
+            (kt, s)
+        },
+        |(kt, s)| {
+            let ct = materialize(kt, s, &cfg).map_err(|e| e.to_string())?;
+            let col = ColumnarTrace::from_concrete(&ct);
+            if col.to_concrete() != ct {
+                return Err("to_concrete() != source trace".into());
+            }
+            for (cw, w) in col.warps().iter().zip(&ct.warps) {
+                if (cw.block, cw.warp) != (w.block, w.warp) {
+                    return Err("warp identity drifted".into());
+                }
+                if cw.ops.len as usize != w.instrs.len() {
+                    return Err(format!(
+                        "op count drifted: {} columnar vs {} source",
+                        cw.ops.len,
+                        w.instrs.len()
+                    ));
+                }
+                for (j, instr) in w.instrs.iter().enumerate() {
+                    let idx = cw.ops.start + j as u32;
+                    if col.op_to_instr(idx) != *instr {
+                        return Err(format!("op {idx} decoded differently"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The columnar analysis walk produces a bit-identical `TraceAnalysis`
+/// to the per-op reference walk on random kernels and placements — the
+/// equivalence net's oracle, fuzzed (the registry-wide pinning lives in
+/// `hms-core`'s unit tests).
+#[test]
+fn columnar_walk_matches_reference_on_random_kernels() {
+    let cfg = cfg();
+    check(
+        "columnar_walk_matches_reference",
+        &Config::with_cases(64),
+        |rng| {
+            let kt = arb_kernel(rng);
+            let s = valid_placement(rng, &kt, &cfg);
+            (kt, s)
+        },
+        |(kt, s)| {
+            let ct = materialize(kt, s, &cfg).map_err(|e| e.to_string())?;
+            let fast = gpu_hms::core::analysis::analyze(&ct, &cfg);
+            let slow = gpu_hms::core::analysis::analyze_reference(&ct, &cfg);
+            if fast != slow {
+                return Err("columnar walk diverged from the reference walk".into());
+            }
+            // `PartialEq` on the analysis already compares the floats;
+            // pin the derived f64s to the exact bit patterns too.
+            if fast.mlp.to_bits() != slow.mlp.to_bits()
+                || fast.warps_per_sm.to_bits() != slow.warps_per_sm.to_bits()
+            {
+                return Err("float fields differ in bit pattern".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `dump`/`load` round-trips random materialized traces exactly and
+/// agrees with the columnar layout: serializing the columnar
+/// reconstruction yields byte-identical text.
+#[test]
+fn serialize_round_trips_against_columnar_layout() {
+    let cfg = cfg();
+    check(
+        "serialize_round_trips_against_columnar_layout",
+        &Config::with_cases(48),
+        |rng| {
+            let kt = arb_kernel(rng);
+            let s = valid_placement(rng, &kt, &cfg);
+            (kt, s)
+        },
+        |(kt, s)| {
+            let ct = materialize(kt, s, &cfg).map_err(|e| e.to_string())?;
+            let text = gpu_hms::trace::dump(&ct);
+            let back = gpu_hms::trace::load(&text, &cfg).map_err(|e| e.to_string())?;
+            if back != ct {
+                return Err("load(dump(t)) != t".into());
+            }
+            let via_columnar = ColumnarTrace::from_concrete(&ct).to_concrete();
+            if gpu_hms::trace::dump(&via_columnar) != text {
+                return Err("columnar reconstruction serializes differently".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The trace loader never panics on adversarial input: both raw
+/// byte-soup documents from the `hms-faults` corpus and valid dumps
+/// with hostile bytes spliced in must yield a parse or a typed error.
+#[test]
+fn trace_loader_survives_adversarial_byte_soup() {
+    let cfg = cfg();
+    let corpus = gpu_hms::faults::adversarial_json(0x5eed_7ace, 256);
+    for doc in &corpus {
+        let text = String::from_utf8_lossy(doc);
+        if let Err(e) = gpu_hms::trace::load(&text, &cfg) {
+            let _ = e.to_string(); // typed error, formats fine
+        }
+    }
+    // Splice corpus bytes into an otherwise-valid dump: exercises the
+    // parser states past the prologue.
+    let mut rng = Rng::seed_from_u64(0x5eed_7ace);
+    let kt = arb_kernel(&mut rng);
+    let s = valid_placement(&mut rng, &kt, &cfg);
+    let ct = materialize(&kt, &s, &cfg).expect("materializes");
+    let good = gpu_hms::trace::dump(&ct);
+    for doc in corpus.iter().take(128) {
+        let cut = rng.gen_range(0u64..good.len() as u64 + 1) as usize;
+        let mut hostile = good.as_bytes()[..cut].to_vec();
+        hostile.extend_from_slice(doc);
+        hostile.extend_from_slice(&good.as_bytes()[cut..]);
+        let text = String::from_utf8_lossy(&hostile);
+        if let Err(e) = gpu_hms::trace::load(&text, &cfg) {
+            let _ = e.to_string();
+        }
+    }
 }
 
 /// Predictions are finite and positive for any legal target.
