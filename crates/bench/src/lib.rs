@@ -25,11 +25,13 @@
 //! | `fig9`          | Figure 9 (queuing-alone ablation)            |
 //! | `train_overlap` | Section V training setup diagnostics         |
 
+pub mod hist;
 pub mod mining;
 pub mod runner;
 pub mod suite;
 pub mod table;
 
+pub use hist::Histogram;
 pub use mining::{mine_events, mine_events_paper, MinedEvent, PlacementStudy};
 pub use runner::{measure, run_suite, trained_predictor, ExperimentResult, Harness};
 pub use suite::{evaluation_suite, training_suite, PlacementTest};

@@ -50,6 +50,8 @@ pub enum Command {
         moves: Vec<MoveSpec>,
         train: bool,
         json: bool,
+        /// Named GPU configuration preset (`--config`); `None` = K80.
+        config: Option<String>,
     },
     /// Rank every legal placement of the kernel's read-only arrays.
     Advise {
@@ -58,6 +60,8 @@ pub enum Command {
         train: bool,
         top: usize,
         json: bool,
+        /// Named GPU configuration preset (`--config`); `None` = K80.
+        config: Option<String>,
     },
     /// Search the placement space through the incremental engine, with
     /// optional branch-and-bound pruning and observability stats.
@@ -75,18 +79,29 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Directory for the persistent engine-skeleton cache.
         skel_cache: Option<String>,
+        /// Named GPU configuration preset (`--config`); `None` = K80.
+        config: Option<String>,
     },
     /// Run the placement-advisory HTTP server.
     Serve {
         addr: String,
         port: u16,
+        /// Worker threads for cold model work (`--workers`, with
+        /// `--threads` kept as an alias). 0 = auto.
         threads: usize,
+        /// Event-loop shards (`--shards`). 0 = auto.
+        shards: usize,
         cache_entries: usize,
         deadline_ms: u64,
         queue: usize,
         train: bool,
         /// Directory for the persistent engine-skeleton cache.
         skel_cache: Option<String>,
+        /// Disable single-flight coalescing (`--no-coalesce`).
+        no_coalesce: bool,
+        /// Extra tenants: `--tenant NAME=PRESET`, repeatable. The
+        /// default tenant (the K80, or `--config`) is always present.
+        tenants: Vec<(String, String)>,
     },
     /// Dump a kernel's concrete trace in the v1 text format.
     Dump {
@@ -120,6 +135,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut deadline_ms: Option<u64> = None;
     let mut queue = 128usize;
     let mut skel_cache: Option<String> = None;
+    let mut shards = 0usize;
+    let mut no_coalesce = false;
+    let mut config: Option<String> = None;
+    let mut tenants: Vec<(String, String)> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -176,7 +195,29 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let v = rest.get(i).ok_or("--skel-cache needs a directory")?;
                 skel_cache = Some(v.to_string());
             }
-            "--threads" => {
+            "--config" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--config needs a name")?;
+                config = Some(v.to_string());
+            }
+            "--shards" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--shards needs a number")?;
+                shards = v.parse().map_err(|_| format!("bad --shards value `{v}`"))?;
+            }
+            "--no-coalesce" => no_coalesce = true,
+            "--tenant" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--tenant needs `NAME=PRESET`")?;
+                let (name, preset) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected `NAME=PRESET`, got `{v}`"))?;
+                if name.is_empty() || preset.is_empty() {
+                    return Err(format!("expected `NAME=PRESET`, got `{v}`"));
+                }
+                tenants.push((name.to_string(), preset.to_string()));
+            }
+            "--threads" | "--workers" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--threads needs a number")?;
                 threads = v
@@ -213,6 +254,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             moves,
             train,
             json,
+            config,
         }),
         "advise" => Ok(Command::Advise {
             kernel: kernel(&positional)?,
@@ -220,6 +262,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             train,
             top,
             json,
+            config,
         }),
         "search" => Ok(Command::Search {
             kernel: kernel(&positional)?,
@@ -232,16 +275,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             json,
             deadline_ms,
             skel_cache,
+            config,
         }),
         "serve" => Ok(Command::Serve {
             addr,
             port,
             threads,
+            shards,
             cache_entries,
             deadline_ms: deadline_ms.unwrap_or(10_000),
             queue,
             train,
             skel_cache,
+            no_coalesce,
+            tenants,
         }),
         "dump" => Ok(Command::Dump {
             kernel: kernel(&positional)?,
@@ -260,11 +307,11 @@ USAGE:
     hms list
     hms probe
     hms simulate <kernel> [--scale full|test] [--move array=SPACE]...
-    hms predict  <kernel> [--scale full|test] [--train] [--json] --move array=SPACE...
-    hms advise   <kernel> [--scale full|test] [--train] [--top N] [--json]
-    hms search   <kernel> [--scale full|test] [--train] [--top N] [--stats] [--prune] [--threads N] [--deadline-ms N] [--skel-cache DIR] [--json]
+    hms predict  <kernel> [--scale full|test] [--config NAME] [--train] [--json] --move array=SPACE...
+    hms advise   <kernel> [--scale full|test] [--config NAME] [--train] [--top N] [--json]
+    hms search   <kernel> [--scale full|test] [--config NAME] [--train] [--top N] [--stats] [--prune] [--threads N] [--deadline-ms N] [--skel-cache DIR] [--json]
     hms dump     <kernel> [--scale full|test] [--move array=SPACE]...
-    hms serve    [--addr HOST] [--port N] [--threads N] [--cache-entries N] [--deadline-ms N] [--queue N] [--train] [--skel-cache DIR]
+    hms serve    [--addr HOST] [--port N] [--workers N] [--shards N] [--cache-entries N] [--deadline-ms N] [--queue N] [--no-coalesce] [--tenant NAME=PRESET]... [--train] [--skel-cache DIR]
 
 SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
 
@@ -280,10 +327,18 @@ bit-identical either way).
 `--json` prints the exact response body the HTTP server would send for
 the equivalent request (byte-identical, asserted by tests).
 
+`--config NAME` selects a GPU configuration preset (k80, c2050,
+test-small) instead of the default Tesla K80 — the same names requests
+can send in their `config` member against a multi-tenant server.
+
 `serve` runs the advisory HTTP server: POST /v1/predict, /v1/advise,
 /v1/search; GET /v1/kernels, /metrics, /healthz. `--port 0` picks an
 ephemeral port (the bound address is printed). SIGINT/SIGTERM drain
-in-flight requests and exit cleanly.
+in-flight requests and exit cleanly. The event-driven core answers warm
+(cached) requests on `--shards` poll loops and runs cold model work on
+`--workers` threads; identical concurrent requests are answered by one
+computation unless `--no-coalesce`. `--tenant NAME=PRESET` (repeatable)
+adds a named GPU configuration requests select with \"config\": NAME.
 
 EXAMPLES:
     hms advise neuralnet --train
@@ -429,11 +484,14 @@ mod tests {
             addr,
             port,
             threads,
+            shards,
             cache_entries,
             deadline_ms,
             queue,
             train,
             skel_cache,
+            no_coalesce,
+            tenants,
         } = cmd
         else {
             panic!()
@@ -446,6 +504,9 @@ mod tests {
         assert_eq!(queue, 9);
         assert!(!train);
         assert_eq!(skel_cache, None);
+        assert_eq!(shards, 0);
+        assert!(!no_coalesce);
+        assert!(tenants.is_empty());
         assert!(parse(&v(&["serve", "--port", "high"])).is_err());
 
         let cmd = parse(&v(&["predict", "spmv", "--json", "--move", "d_vec=T"])).unwrap();
@@ -478,6 +539,53 @@ mod tests {
         };
         assert_eq!(skel_cache, None);
         assert!(parse(&v(&["search", "spmv", "--skel-cache"])).is_err());
+    }
+
+    #[test]
+    fn parses_multi_tenant_serve_flags() {
+        let cmd = parse(&v(&[
+            "serve",
+            "--workers",
+            "4",
+            "--shards",
+            "2",
+            "--no-coalesce",
+            "--tenant",
+            "legacy=c2050",
+            "--tenant",
+            "tiny=test-small",
+        ]))
+        .unwrap();
+        let Command::Serve {
+            threads,
+            shards,
+            no_coalesce,
+            tenants,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(threads, 4, "--workers must alias --threads");
+        assert_eq!(shards, 2);
+        assert!(no_coalesce);
+        assert_eq!(
+            tenants,
+            vec![
+                ("legacy".to_string(), "c2050".to_string()),
+                ("tiny".to_string(), "test-small".to_string()),
+            ]
+        );
+        assert!(parse(&v(&["serve", "--tenant", "nopreset"])).is_err());
+        assert!(parse(&v(&["serve", "--tenant", "=c2050"])).is_err());
+
+        let Command::Predict { config, .. } = parse(&v(&[
+            "predict", "spmv", "--config", "c2050", "--move", "d_vec=T",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(config.as_deref(), Some("c2050"));
     }
 
     #[test]

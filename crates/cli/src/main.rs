@@ -20,7 +20,7 @@ use hms_core::{ModelOptions, Predictor, SearchStrategy};
 use hms_dram::{detect_mapping, AddressMapping, MemoryController};
 use hms_kernels::{registry, Scale};
 use hms_serve::api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
-use hms_serve::{signal, ServeConfig};
+use hms_serve::{signal, ConfigRegistry, ServerConfig, PRESET_NAMES};
 use hms_sim::simulate_default;
 use hms_trace::materialize;
 use hms_types::GpuConfig;
@@ -99,6 +99,19 @@ fn predictor(cfg: &GpuConfig, train: bool) -> Predictor {
 
 fn advisor(cfg: &GpuConfig, train: bool) -> Advisor {
     Advisor::new(cfg.clone(), predictor(cfg, train))
+}
+
+/// Resolve `--config NAME` to a GPU preset (default: the paper's K80).
+fn gpu_config(config: Option<&str>) -> Result<GpuConfig, CliError> {
+    match config {
+        None => Ok(GpuConfig::tesla_k80()),
+        Some(name) => hms_serve::preset(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown config `{name}` (available: {})",
+                PRESET_NAMES.join(", ")
+            ))
+        }),
+    }
 }
 
 fn to_moves(moves: &[MoveSpec]) -> Vec<(String, hms_types::MemorySpace)> {
@@ -184,15 +197,18 @@ fn run(cmd: Command) -> Result<(), CliError> {
             moves,
             train,
             json,
+            config,
         } => {
             if moves.is_empty() {
                 return Err(CliError::usage("predict needs at least one --move"));
             }
+            let cfg = gpu_config(config.as_deref())?;
             let adv = advisor(&cfg, train);
             let q = PredictQuery {
                 kernel,
                 scale,
                 moves: to_moves(&moves),
+                config,
             };
             let mut effort = Effort::default();
             let (body, pred) = adv.predict(&q, &mut effort)?;
@@ -228,7 +244,9 @@ fn run(cmd: Command) -> Result<(), CliError> {
             train,
             top,
             json,
+            config,
         } => {
+            let cfg = gpu_config(config.as_deref())?;
             let adv = advisor(&cfg, train);
             let q = RankQuery {
                 kernel,
@@ -236,6 +254,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 top,
                 prune: false,
                 threads: 1,
+                config,
             };
             let mut effort = Effort::default();
             let (body, _outcome) = adv.rank(&q, false, None, &mut effort)?;
@@ -256,7 +275,9 @@ fn run(cmd: Command) -> Result<(), CliError> {
             json,
             deadline_ms,
             skel_cache,
+            config,
         } => {
+            let cfg = gpu_config(config.as_deref())?;
             let mut adv = advisor(&cfg, train);
             if let Some(dir) = &skel_cache {
                 adv = adv.with_skeleton_cache(dir.clone());
@@ -274,6 +295,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
                     top,
                     prune,
                     threads,
+                    config,
                 };
                 let mut effort = Effort::default();
                 let (body, _outcome) = adv.rank(&q, true, deadline, &mut effort)?;
@@ -321,11 +343,14 @@ fn run(cmd: Command) -> Result<(), CliError> {
             addr,
             port,
             threads,
+            shards,
             cache_entries,
             deadline_ms,
             queue,
             train,
             skel_cache,
+            no_coalesce,
+            tenants,
         } => {
             // A client hanging up mid-response must be an io error on
             // that one connection, not process death.
@@ -334,18 +359,27 @@ fn run(cmd: Command) -> Result<(), CliError> {
             if let Some(dir) = &skel_cache {
                 adv = adv.with_skeleton_cache(dir.clone());
             }
-            let scfg = ServeConfig {
-                addr: format!("{addr}:{port}"),
-                threads,
-                cache_entries,
-                deadline: Duration::from_millis(deadline_ms),
-                queue_depth: queue,
-                ..ServeConfig::default()
-            };
-            let handle = hms_serve::spawn(scfg, adv).map_err(|e| CliError {
-                code: 1,
-                msg: format!("cannot bind `{addr}:{port}`: {e}"),
-            })?;
+            // Tenant 0 is the default config (requests without a
+            // `config` member); `--tenant NAME=PRESET` adds the rest.
+            let mut registry = ConfigRegistry::new("default", adv);
+            for (name, preset) in &tenants {
+                let tcfg = gpu_config(Some(preset))
+                    .map_err(|e| CliError::usage(format!("--tenant {name}: {}", e.msg)))?;
+                registry = registry.with(name.clone(), advisor(&tcfg, false));
+            }
+            let handle = ServerConfig::new()
+                .bind(format!("{addr}:{port}"))
+                .workers(threads)
+                .shards(shards)
+                .cache_entries(cache_entries)
+                .deadline(Duration::from_millis(deadline_ms))
+                .queue_depth(queue)
+                .coalescing(!no_coalesce)
+                .spawn(registry)
+                .map_err(|e| CliError {
+                    code: 1,
+                    msg: format!("cannot bind `{addr}:{port}`: {e}"),
+                })?;
             // The smoke tests parse this line to find the ephemeral port.
             println!("listening on http://{}", handle.addr());
             signal::install();

@@ -9,7 +9,7 @@ use std::process::Command;
 use std::time::Duration;
 
 use hms_core::Predictor;
-use hms_serve::{spawn, Advisor, ServeConfig};
+use hms_serve::{preset, Advisor, ConfigRegistry, ServerConfig};
 use hms_types::GpuConfig;
 
 fn hms(args: &[&str]) -> std::process::Output {
@@ -19,20 +19,21 @@ fn hms(args: &[&str]) -> std::process::Output {
         .expect("runs hms")
 }
 
+fn advisor(cfg: GpuConfig) -> Advisor {
+    Advisor::new(cfg.clone(), Predictor::new(cfg))
+}
+
 /// One POST against an in-process server; returns (status, body bytes).
 fn server_post(path: &str, body: &str) -> (u16, Vec<u8>) {
-    // The CLI builds its advisor over tesla_k80; match it exactly.
-    let cfg = GpuConfig::tesla_k80();
-    let advisor = Advisor::new(cfg.clone(), Predictor::new(cfg));
-    let handle = spawn(
-        ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            threads: 1,
-            ..ServeConfig::default()
-        },
-        advisor,
-    )
-    .expect("binds");
+    // The CLI builds its default advisor over tesla_k80; match it
+    // exactly, and expose the same `--config` presets as named tenants.
+    let registry = ConfigRegistry::new("default", advisor(GpuConfig::tesla_k80()))
+        .with("c2050", advisor(preset("c2050").expect("c2050 preset")));
+    let handle = ServerConfig::new()
+        .bind("127.0.0.1:0")
+        .workers(1)
+        .spawn(registry)
+        .expect("binds");
     let stream = TcpStream::connect(handle.addr()).expect("connects");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
@@ -97,6 +98,52 @@ fn predict_json_is_byte_identical_to_server() {
         "cli --json and server body diverged:\ncli:    {}\nserver: {}",
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&server_bytes)
+    );
+}
+
+#[test]
+fn predict_with_config_is_byte_identical_to_server() {
+    // `--config c2050` on the CLI must equal a server request whose
+    // body names the same tenant — and the response must not echo the
+    // tenant, so the wire format is unchanged by multi-tenancy.
+    let out = hms(&[
+        "predict", "vecadd", "--scale", "test", "--json", "--move", "a=T", "--config", "c2050",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (status, server_bytes) = server_post(
+        "/v1/predict",
+        r#"{"kernel":"vecadd","scale":"test","config":"c2050","moves":[{"array":"a","space":"T"}]}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        out.stdout,
+        server_bytes,
+        "cli --json and server body diverged:\ncli:    {}\nserver: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&server_bytes)
+    );
+    let text = String::from_utf8_lossy(&server_bytes).into_owned();
+    assert!(!text.contains("config"), "tenant leaked into body: {text}");
+
+    // The `config` member is optional: omitting it selects the default
+    // tenant, keeping pre-multi-tenant requests byte-compatible.
+    let (status, default_bytes) = server_post(
+        "/v1/predict",
+        r#"{"kernel":"vecadd","scale":"test","moves":[{"array":"a","space":"T"}]}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, named_bytes) = server_post(
+        "/v1/predict",
+        r#"{"kernel":"vecadd","scale":"test","config":"default","moves":[{"array":"a","space":"T"}]}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        default_bytes, named_bytes,
+        "naming the default tenant changed the bytes"
     );
 }
 

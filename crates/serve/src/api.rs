@@ -20,7 +20,12 @@ use hms_trace::KernelTrace;
 use hms_types::{GpuConfig, HmsError, MemorySpace, PlacementMap};
 
 use crate::cache::ShardedLru;
+use crate::wire::v1::{PlacementV1, PredictResponse, RankResponse, RankedEntry};
 use crate::wire::Json;
+
+// The request structs live with the rest of the v1 wire format; these
+// aliases keep the original serving API spelling working.
+pub use crate::wire::v1::{PredictRequest as PredictQuery, RankRequest as RankQuery};
 
 /// An API failure, classified the way the transport needs it (HTTP
 /// status / CLI exit code).
@@ -61,173 +66,6 @@ impl From<HmsError> for ApiError {
             other => ApiError::Model(other),
         }
     }
-}
-
-/// `POST /v1/predict` — one target placement of one kernel.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PredictQuery {
-    pub kernel: String,
-    pub scale: Scale,
-    /// `array name -> space` moves applied on the default placement.
-    pub moves: Vec<(String, MemorySpace)>,
-}
-
-/// `POST /v1/advise` and `POST /v1/search` — rank the read-only
-/// placement space of one kernel.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RankQuery {
-    pub kernel: String,
-    pub scale: Scale,
-    pub top: usize,
-    /// Branch-and-bound instead of exhaustive (mirrors `hms search
-    /// --prune`). Always `false` for `/v1/advise`.
-    pub prune: bool,
-    /// Worker threads for candidate evaluation (0 = all cores). Does not
-    /// affect the response bytes — evaluation is thread-deterministic.
-    pub threads: usize,
-}
-
-impl RankQuery {
-    fn strategy(&self) -> SearchStrategy {
-        if self.prune {
-            SearchStrategy::BranchAndBound
-        } else {
-            SearchStrategy::Exhaustive
-        }
-    }
-}
-
-fn obj_members<'j>(v: &'j Json, what: &str) -> Result<&'j [(String, Json)], ApiError> {
-    v.as_obj()
-        .ok_or_else(|| ApiError::BadRequest(format!("{what} must be a JSON object")))
-}
-
-fn field_str(v: &Json, key: &str) -> Result<String, ApiError> {
-    v.get(key)
-        .ok_or_else(|| ApiError::BadRequest(format!("missing field `{key}`")))?
-        .as_str()
-        .map(str::to_string)
-        .ok_or_else(|| ApiError::BadRequest(format!("field `{key}` must be a string")))
-}
-
-fn opt_scale(v: &Json) -> Result<Scale, ApiError> {
-    match v.get("scale") {
-        None => Ok(Scale::Full),
-        Some(s) => {
-            let s = s
-                .as_str()
-                .ok_or_else(|| ApiError::BadRequest("field `scale` must be a string".into()))?;
-            Scale::parse(s)
-                .ok_or_else(|| ApiError::BadRequest(format!("unknown scale `{s}` (test|full)")))
-        }
-    }
-}
-
-fn opt_usize(v: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
-    match v.get(key) {
-        None => Ok(default),
-        Some(x) => x.as_usize().ok_or_else(|| {
-            ApiError::BadRequest(format!("field `{key}` must be a non-negative integer"))
-        }),
-    }
-}
-
-fn opt_bool(v: &Json, key: &str) -> Result<bool, ApiError> {
-    match v.get(key) {
-        None => Ok(false),
-        Some(x) => x
-            .as_bool()
-            .ok_or_else(|| ApiError::BadRequest(format!("field `{key}` must be a boolean"))),
-    }
-}
-
-fn reject_unknown(v: &Json, allowed: &[&str], what: &str) -> Result<(), ApiError> {
-    for (k, _) in obj_members(v, what)? {
-        if !allowed.contains(&k.as_str()) {
-            return Err(ApiError::BadRequest(format!(
-                "unknown field `{k}` in {what} (allowed: {})",
-                allowed.join(", ")
-            )));
-        }
-    }
-    Ok(())
-}
-
-impl PredictQuery {
-    /// Parse a predict request body. Moves come either as a `"moves"`
-    /// array of `{"array": .., "space": ..}` objects or a `"placement"`
-    /// object of `name -> space` pairs; both use the paper's short space
-    /// notation (`G`, `T`, `2T`, `C`, `S`).
-    pub fn from_json(v: &Json) -> Result<PredictQuery, ApiError> {
-        reject_unknown(
-            v,
-            &["kernel", "scale", "moves", "placement"],
-            "predict request",
-        )?;
-        let kernel = field_str(v, "kernel")?;
-        let scale = opt_scale(v)?;
-        let mut moves = Vec::new();
-        if let Some(list) = v.get("moves") {
-            let list = list
-                .as_arr()
-                .ok_or_else(|| ApiError::BadRequest("field `moves` must be an array".into()))?;
-            for m in list {
-                reject_unknown(m, &["array", "space"], "move")?;
-                moves.push((
-                    field_str(m, "array")?,
-                    parse_space(&field_str(m, "space")?)?,
-                ));
-            }
-        }
-        if let Some(pm) = v.get("placement") {
-            for (name, space) in obj_members(pm, "field `placement`")? {
-                let space = space.as_str().ok_or_else(|| {
-                    ApiError::BadRequest(format!("placement of `{name}` must be a string"))
-                })?;
-                moves.push((name.clone(), parse_space(space)?));
-            }
-        }
-        if moves.is_empty() {
-            return Err(ApiError::BadRequest(
-                "predict needs `moves` or `placement`".into(),
-            ));
-        }
-        Ok(PredictQuery {
-            kernel,
-            scale,
-            moves,
-        })
-    }
-}
-
-impl RankQuery {
-    /// Parse an advise/search request body. `allow_search_knobs` gates
-    /// the `prune` and `threads` fields (`/v1/advise` rejects them, like
-    /// `hms advise` has no `--prune`).
-    pub fn from_json(v: &Json, allow_search_knobs: bool) -> Result<RankQuery, ApiError> {
-        let allowed: &[&str] = if allow_search_knobs {
-            &["kernel", "scale", "top", "prune", "threads"]
-        } else {
-            &["kernel", "scale", "top"]
-        };
-        reject_unknown(v, allowed, "rank request")?;
-        Ok(RankQuery {
-            kernel: field_str(v, "kernel")?,
-            scale: opt_scale(v)?,
-            top: opt_usize(v, "top", 5)?,
-            prune: allow_search_knobs && opt_bool(v, "prune")?,
-            threads: if allow_search_knobs {
-                opt_usize(v, "threads", 1)?
-            } else {
-                1
-            },
-        })
-    }
-}
-
-fn parse_space(s: &str) -> Result<MemorySpace, ApiError> {
-    MemorySpace::from_short(s)
-        .ok_or_else(|| ApiError::BadRequest(format!("unknown space `{s}` (use G, T, 2T, C, or S)")))
 }
 
 /// The long-lived model state behind every advisory query.
@@ -298,6 +136,17 @@ impl Advisor {
         Ok(kt)
     }
 
+    /// The already-built kernel trace for `(name, scale)`, if any. The
+    /// event loop's warm fast path peeks here so a cold trace build
+    /// never runs on a loop thread — only workers call [`Self::kernel`].
+    pub fn cached_kernel(&self, name: &str, scale: Scale) -> Option<Arc<KernelTrace>> {
+        self.kernels
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(&(name.to_string(), scale))
+            .map(Arc::clone)
+    }
+
     /// The profiled sample placement for `(kernel, scale)` — one
     /// simulation ever per key, then served from the LRU underneath the
     /// prediction cache.
@@ -355,20 +204,17 @@ impl Advisor {
         let target = self.resolve_placement(&kt, &q.moves)?;
         let profile = self.profile(&kt, q.scale, effort)?;
         let pred = self.predictor.predict(&profile, &target)?;
-        let body = Json::Obj(vec![
-            ("kernel".into(), Json::str(&q.kernel)),
-            ("scale".into(), Json::str(q.scale.as_str())),
-            ("placement".into(), placement_obj(&kt, &target)),
-            ("predicted_cycles".into(), Json::Num(pred.cycles)),
-            ("t_comp".into(), Json::Num(pred.t_comp)),
-            ("t_mem".into(), Json::Num(pred.t_mem)),
-            ("t_overlap".into(), Json::Num(pred.t_overlap)),
-            (
-                "sample_measured_cycles".into(),
-                Json::Num(profile.measured_cycles as f64),
-            ),
-        ]);
-        Ok((body, pred))
+        let body = PredictResponse {
+            kernel: q.kernel.clone(),
+            scale: q.scale,
+            placement: named_placement(&kt, &target),
+            predicted_cycles: pred.cycles,
+            t_comp: pred.t_comp,
+            t_mem: pred.t_mem,
+            t_overlap: pred.t_overlap,
+            sample_measured_cycles: profile.measured_cycles as f64,
+        };
+        Ok((body.to_json(), pred))
     }
 
     /// Serve one advise/search query: ranked read-only placements. The
@@ -390,81 +236,42 @@ impl Advisor {
         let kt = self.kernel(&q.kernel, q.scale)?;
         let profile = self.profile(&kt, q.scale, effort)?;
         let sample = kt.default_placement();
+        let strategy = if q.prune {
+            SearchStrategy::BranchAndBound
+        } else {
+            SearchStrategy::Exhaustive
+        };
         let mut req = SearchRequest::new(&kt.arrays, &sample)
             .read_only_candidates()
-            .strategy(q.strategy())
+            .strategy(strategy)
             .threads(q.threads)
             .deadline(deadline);
         if let Some(dir) = &self.skeleton_cache {
             req = req.skeleton_cache(dir.clone());
         }
         let outcome = req.run(&self.predictor, &profile)?;
-        let ranked: Vec<Json> = outcome
-            .ranked
-            .iter()
-            .take(q.top)
-            .map(|r| {
-                Json::Obj(vec![
-                    ("placement".into(), placement_obj(&kt, &r.placement)),
-                    ("predicted_cycles".into(), Json::Num(r.predicted_cycles)),
-                ])
-            })
-            .collect();
-        let mut members = vec![
-            ("kernel".into(), Json::str(&q.kernel)),
-            ("scale".into(), Json::str(q.scale.as_str())),
-            (
-                "strategy".into(),
-                Json::str(if q.prune {
-                    "branch_and_bound"
-                } else {
-                    "exhaustive"
-                }),
-            ),
-            (
-                "ranked_total".into(),
-                Json::num(outcome.ranked.len() as u32),
-            ),
-            ("ranked".into(), Json::Arr(ranked)),
-        ];
-        if outcome.partial {
-            members.push(("partial".into(), Json::Bool(true)));
-        }
-        if include_stats {
-            let s = &outcome.stats;
-            members.push((
-                "stats".into(),
-                Json::Obj(vec![
-                    (
-                        "candidates_enumerated".into(),
-                        Json::Num(s.candidates_enumerated as f64),
-                    ),
-                    (
-                        "candidates_evaluated".into(),
-                        Json::Num(s.candidates_evaluated as f64),
-                    ),
-                    (
-                        "candidates_pruned".into(),
-                        Json::Num(s.candidates_pruned as f64),
-                    ),
-                    (
-                        "skeletons_built".into(),
-                        Json::Num(s.skeletons_built as f64),
-                    ),
-                    ("full_rewrites".into(), Json::Num(s.full_rewrites as f64)),
-                    (
-                        "delta_cache_hits".into(),
-                        Json::Num(s.delta_cache_hits as f64),
-                    ),
-                    (
-                        "exact_fallbacks".into(),
-                        Json::Num(s.exact_fallbacks as f64),
-                    ),
-                    ("rewrite_reduction".into(), Json::Num(s.rewrite_reduction())),
-                ]),
-            ));
-        }
-        Ok((Json::Obj(members), outcome))
+        let body = RankResponse {
+            kernel: q.kernel.clone(),
+            scale: q.scale,
+            strategy: if q.prune {
+                "branch_and_bound"
+            } else {
+                "exhaustive"
+            },
+            ranked_total: outcome.ranked.len(),
+            ranked: outcome
+                .ranked
+                .iter()
+                .take(q.top)
+                .map(|r| RankedEntry {
+                    placement: named_placement(&kt, &r.placement),
+                    predicted_cycles: r.predicted_cycles,
+                })
+                .collect(),
+            partial: outcome.partial,
+            stats: include_stats.then_some(outcome.stats),
+        };
+        Ok((body.to_json(), outcome))
     }
 
     /// The `GET /v1/kernels` body: every registered kernel with its
@@ -499,14 +306,17 @@ impl Advisor {
     }
 }
 
-/// `{array name -> short space}` in array-id order — the placement
-/// spelling every response uses.
-fn placement_obj(kt: &KernelTrace, pm: &PlacementMap) -> Json {
-    Json::Obj(
+/// `array name -> space` in array-id order — the placement spelling
+/// every response uses (and the per-tenant cache key building block).
+pub(crate) fn named_placement(kt: &KernelTrace, pm: &PlacementMap) -> PlacementV1 {
+    PlacementV1(
         pm.iter()
             .map(|(id, space)| {
-                let name = kt.arrays.get(id.index()).map_or("?", |a| a.name.as_str());
-                (name.to_string(), Json::str(space.short()))
+                let name = kt
+                    .arrays
+                    .get(id.index())
+                    .map_or_else(|| format!("#{}", id.0), |a| a.name.clone());
+                (name, space)
             })
             .collect(),
     )
@@ -569,6 +379,7 @@ mod tests {
             kernel: "vecadd".into(),
             scale: Scale::Test,
             moves: vec![("a".into(), MemorySpace::Texture1D)],
+            config: None,
         };
         let mut e1 = Effort::default();
         let (body, pred) = a.predict(&q, &mut e1).unwrap();
@@ -599,6 +410,7 @@ mod tests {
             kernel: "nope".into(),
             scale: Scale::Test,
             moves: vec![("a".into(), MemorySpace::Constant)],
+            config: None,
         };
         assert!(matches!(
             a.predict(&q, &mut e),
@@ -608,6 +420,7 @@ mod tests {
             kernel: "vecadd".into(),
             scale: Scale::Test,
             moves: vec![("ghost".into(), MemorySpace::Constant)],
+            config: None,
         };
         assert!(matches!(
             a.predict(&q, &mut e),
@@ -619,6 +432,7 @@ mod tests {
             kernel: "vecadd".into(),
             scale: Scale::Test,
             moves: vec![("v".into(), MemorySpace::Constant)],
+            config: None,
         };
         assert!(matches!(
             a.predict(&q, &mut e),
@@ -635,6 +449,7 @@ mod tests {
             top: 3,
             prune: false,
             threads: 1,
+            config: None,
         };
         let mut e = Effort::default();
         let (b1, outcome) = a.rank(&q, true, None, &mut e).unwrap();
@@ -666,6 +481,7 @@ mod tests {
             top: 3,
             prune: true, // branch-and-bound checks the deadline per leaf
             threads: 1,
+            config: None,
         };
         let mut e = Effort::default();
         let deadline = Some(Instant::now()); // already expired

@@ -1,0 +1,473 @@
+//! Typed endpoint handlers: the [`Handler`] trait every route
+//! implements, plus the built-in advisory endpoints.
+//!
+//! A handler splits each request into two stages matched to the
+//! event-driven server's two kinds of thread:
+//!
+//! * [`Handler::poll`] runs **on the event loop** and must stay cheap:
+//!   answer from static state or a cache ([`Outcome::Ready`]), or ask
+//!   for the slow path ([`Outcome::Compute`]). Warm traffic — the
+//!   overwhelming majority for an advisory service — never leaves the
+//!   loop thread, which is what makes high-connection throughput
+//!   possible on small machines.
+//! * [`Handler::compute`] runs **on a worker thread** and may block on
+//!   model work (sample simulation, engine search). Identical
+//!   concurrent requests are single-flighted by the server before
+//!   `compute` runs, so a thundering herd costs one evaluation.
+//!
+//! The [`Ctx`] passed to both stages carries the request's arrival
+//! time, the server deadline, metrics, and the multi-tenant registry;
+//! the per-tenant response caches stay internal to the built-ins.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hms_kernels::Scale;
+
+use crate::api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
+use crate::http::Request;
+use crate::metrics::Metrics;
+use crate::server::{current_ready_state, PredKey, RankKey, ReadyState, Shared};
+use crate::singleflight::FlightKey;
+use crate::wire::v1::error_body;
+use crate::wire::{decode, Json};
+
+/// One finished response.
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    /// Shared so an N-way coalesced response is encoded once.
+    pub body: Arc<String>,
+    /// May the server memoize this response for byte-identical future
+    /// requests? Only deterministic 200s (and never partial search
+    /// results) say yes.
+    pub cacheable: bool,
+}
+
+impl Response {
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: Arc::new(body.into()),
+            cacheable: false,
+        }
+    }
+
+    /// A JSON 200 whose body is already shared (cache hits).
+    pub fn json_shared(body: Arc<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+            cacheable: false,
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain",
+            body: Arc::new(body.into()),
+            cacheable: false,
+        }
+    }
+
+    /// The standard `{"error": msg}` body.
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response::json(status, error_body(msg))
+    }
+
+    /// Mark this response memoizable by the server's raw-request cache.
+    pub fn cacheable(mut self) -> Response {
+        self.cacheable = true;
+        self
+    }
+}
+
+/// What [`Handler::poll`] decided.
+pub enum Outcome {
+    /// Answer now, on the event loop.
+    Ready(Response),
+    /// Dispatch to the worker pool ([`Handler::compute`] runs there).
+    /// With `coalesce`, concurrent identical requests (same target +
+    /// body bytes) share one `compute` — only set it for handlers whose
+    /// response is a pure function of the request.
+    Compute { coalesce: bool },
+}
+
+/// Per-request context handed to both handler stages.
+pub struct Ctx<'a> {
+    pub(crate) shared: &'a Shared,
+    pub(crate) arrived: Instant,
+}
+
+impl Ctx<'_> {
+    /// When the request was parsed off the socket — the deadline anchor.
+    pub fn arrived(&self) -> Instant {
+        self.arrived
+    }
+
+    /// The server's per-request deadline.
+    pub fn deadline(&self) -> Duration {
+        self.shared.deadline
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Current readiness (also refreshes the `hms_ready_state` gauge).
+    pub fn ready_state(&self) -> ReadyState {
+        current_ready_state(self.shared)
+    }
+
+    /// Resolve an optional `config` member to a tenant index (`None` =
+    /// default tenant). The error is safe to echo in a 400.
+    pub fn resolve_config(&self, name: Option<&str>) -> Result<usize, String> {
+        self.shared.registry.resolve(name)
+    }
+
+    /// The advisor of a resolved tenant.
+    pub fn advisor(&self, tenant: usize) -> &Arc<Advisor> {
+        self.shared.registry.advisor(tenant)
+    }
+
+    /// Refuse with 504 if the request is already past its deadline —
+    /// checked before (and between) expensive stages, so work a dead
+    /// client will never see is not started.
+    pub fn check_deadline(&self) -> Result<(), Response> {
+        if self.arrived.elapsed() > self.shared.deadline {
+            self.shared
+                .metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            Err(Response::error(
+                504,
+                &format!(
+                    "deadline exceeded ({} ms)",
+                    self.shared.deadline.as_millis()
+                ),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Raw-request memo: a byte-identical request seen before answers
+    /// with the memoized body without even parsing its JSON.
+    fn raw_get(&self, req: &Request) -> Option<Arc<String>> {
+        self.shared
+            .raw_cache
+            .get(&FlightKey::new(&req.target, &req.body))
+    }
+
+    fn raw_put(&self, req: &Request, body: &Arc<String>) {
+        self.shared
+            .raw_cache
+            .insert(FlightKey::new(&req.target, &req.body), Arc::clone(body));
+    }
+}
+
+/// One endpoint. Implementations must be cheap in `poll` (it runs on
+/// the event loop) and may block in `compute` (it runs on a worker).
+pub trait Handler: Send + Sync {
+    fn poll(&self, ctx: &Ctx<'_>, req: &Request) -> Outcome;
+
+    /// The slow path. Only called after `poll` returned
+    /// [`Outcome::Compute`]; the default is a loud 500 so a handler
+    /// that forgets to implement it fails visibly, not silently.
+    fn compute(&self, _ctx: &Ctx<'_>, _req: &Request) -> Response {
+        Response::error(500, "endpoint has no compute stage")
+    }
+}
+
+/// Decode a POST body as JSON, mapping failures to ready-made 400s.
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    decode(text).map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
+}
+
+/// Map an [`ApiError`] to its response (400/404/500 per classification).
+fn api_error(e: ApiError) -> Response {
+    let status = match &e {
+        ApiError::BadRequest(_) => 400,
+        ApiError::UnknownKernel(_) => 404,
+        ApiError::Model(_) => 500,
+    };
+    Response::error(status, &e.to_string())
+}
+
+/// Parse `?scale=` (default full) for `GET /v1/kernels`.
+fn query_scale(req: &Request) -> Result<Scale, String> {
+    match req.target.split_once('?') {
+        None => Ok(Scale::Full),
+        Some((_, qs)) => {
+            for pair in qs.split('&') {
+                if let Some(v) = pair.strip_prefix("scale=") {
+                    return Scale::parse(v).ok_or_else(|| format!("unknown scale `{v}`"));
+                }
+            }
+            Ok(Scale::Full)
+        }
+    }
+}
+
+fn count_effort(m: &Metrics, e: &Effort) {
+    if e.simulated {
+        m.simulations.fetch_add(1, Ordering::Relaxed);
+        m.profile_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    if e.profile_hit {
+        m.profile_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `GET /healthz` — liveness, nothing else.
+pub(crate) struct Healthz;
+
+impl Handler for Healthz {
+    fn poll(&self, _ctx: &Ctx<'_>, _req: &Request) -> Outcome {
+        Outcome::Ready(Response::text(200, "ok\n"))
+    }
+}
+
+/// `GET /readyz` — readiness, distinct from liveness.
+pub(crate) struct Readyz;
+
+impl Handler for Readyz {
+    fn poll(&self, ctx: &Ctx<'_>, _req: &Request) -> Outcome {
+        let (status, body) = match ctx.ready_state() {
+            ReadyState::Ready => (200, "ready\n"),
+            ReadyState::Degraded => (503, "degraded: request queue at capacity\n"),
+            ReadyState::Draining => (503, "draining: shutdown in progress\n"),
+        };
+        Outcome::Ready(Response::text(status, body))
+    }
+}
+
+/// `GET /metrics` — Prometheus text exposition.
+pub(crate) struct MetricsEndpoint;
+
+impl Handler for MetricsEndpoint {
+    fn poll(&self, ctx: &Ctx<'_>, _req: &Request) -> Outcome {
+        // Refresh the readiness gauge so a scrape sees the same state
+        // `/readyz` would report right now.
+        ctx.ready_state();
+        Outcome::Ready(Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: Arc::new(ctx.metrics().render()),
+            cacheable: false,
+        })
+    }
+}
+
+/// `GET /v1/kernels` — the registry listing. Building every kernel
+/// trace is bounded but not event-loop cheap, so it computes.
+pub(crate) struct Kernels;
+
+impl Handler for Kernels {
+    fn poll(&self, _ctx: &Ctx<'_>, req: &Request) -> Outcome {
+        match query_scale(req) {
+            Ok(_) => Outcome::Compute { coalesce: true },
+            Err(e) => Outcome::Ready(Response::error(400, &e)),
+        }
+    }
+
+    fn compute(&self, ctx: &Ctx<'_>, req: &Request) -> Response {
+        let scale = match query_scale(req) {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &e),
+        };
+        // The kernel registry is tenant-independent; the default
+        // advisor's view is everyone's view.
+        Response::json(200, ctx.advisor(0).kernels_body(scale).encode_pretty()).cacheable()
+    }
+}
+
+/// `POST /v1/predict`.
+pub(crate) struct Predict;
+
+impl Predict {
+    /// Parse + resolve the parts both stages need.
+    fn query(&self, ctx: &Ctx<'_>, req: &Request) -> Result<(PredictQuery, usize), Response> {
+        let v = parse_body(req)?;
+        let q = PredictQuery::from_json(&v).map_err(api_error)?;
+        let tenant = ctx
+            .resolve_config(q.config.as_deref())
+            .map_err(|e| Response::error(400, &e))?;
+        Ok((q, tenant))
+    }
+}
+
+impl Handler for Predict {
+    fn poll(&self, ctx: &Ctx<'_>, req: &Request) -> Outcome {
+        if let Err(resp) = ctx.check_deadline() {
+            return Outcome::Ready(resp);
+        }
+        let m = ctx.metrics();
+        if let Some(body) = ctx.raw_get(req) {
+            m.prediction_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Outcome::Ready(Response::json_shared(body));
+        }
+        let (q, tenant) = match self.query(ctx, req) {
+            Ok(parts) => parts,
+            Err(resp) => return Outcome::Ready(resp),
+        };
+        // Semantic fast path — only when the kernel trace is already
+        // built (a cold build is worker-pool work).
+        let t = ctx.shared.tenant(tenant);
+        if let Some(kt) = t.advisor.cached_kernel(&q.kernel, q.scale) {
+            let resolved = match t.advisor.resolve_placement(&kt, &q.moves) {
+                Ok(r) => r,
+                Err(e) => return Outcome::Ready(api_error(e)),
+            };
+            let key = PredKey::new(&t.advisor, &q, &kt, &resolved);
+            if let Some(body) = t.pred_cache.get(&key) {
+                m.prediction_cache_hits.fetch_add(1, Ordering::Relaxed);
+                ctx.raw_put(req, &body);
+                return Outcome::Ready(Response::json_shared(body));
+            }
+        }
+        Outcome::Compute { coalesce: true }
+    }
+
+    fn compute(&self, ctx: &Ctx<'_>, req: &Request) -> Response {
+        if let Err(resp) = ctx.check_deadline() {
+            return resp;
+        }
+        let (q, tenant) = match self.query(ctx, req) {
+            Ok(parts) => parts,
+            Err(resp) => return resp,
+        };
+        let m = ctx.metrics();
+        let t = ctx.shared.tenant(tenant);
+        let kt = match t.advisor.kernel(&q.kernel, q.scale) {
+            Ok(kt) => kt,
+            Err(e) => return api_error(e),
+        };
+        let resolved = match t.advisor.resolve_placement(&kt, &q.moves) {
+            Ok(r) => r,
+            Err(e) => return api_error(e),
+        };
+        let key = PredKey::new(&t.advisor, &q, &kt, &resolved);
+        // The coalescing window only covers byte-identical requests; an
+        // equivalent spelling (`moves` vs `placement`) may have filled
+        // the semantic cache since `poll` looked.
+        if let Some(body) = t.pred_cache.get(&key) {
+            m.prediction_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::json_shared(body).cacheable();
+        }
+        m.prediction_cache_misses.fetch_add(1, Ordering::Relaxed);
+        if let Err(resp) = ctx.check_deadline() {
+            return resp;
+        }
+        let mut effort = Effort::default();
+        let (body, _pred) = match t.advisor.predict(&q, &mut effort) {
+            Ok(out) => out,
+            Err(e) => return api_error(e),
+        };
+        count_effort(m, &effort);
+        m.predictions_computed.fetch_add(1, Ordering::Relaxed);
+        let body = Arc::new(body.encode_pretty());
+        t.pred_cache.insert(key, Arc::clone(&body));
+        Response::json_shared(body).cacheable()
+    }
+}
+
+/// `POST /v1/advise` (`search: false`) and `POST /v1/search`
+/// (`search: true` — search knobs allowed, stats block included).
+pub(crate) struct Rank {
+    pub(crate) search: bool,
+}
+
+impl Rank {
+    fn query(&self, ctx: &Ctx<'_>, req: &Request) -> Result<(RankQuery, usize), Response> {
+        let v = parse_body(req)?;
+        let q = RankQuery::from_json(&v, self.search).map_err(api_error)?;
+        let tenant = ctx
+            .resolve_config(q.config.as_deref())
+            .map_err(|e| Response::error(400, &e))?;
+        Ok((q, tenant))
+    }
+
+    fn key(&self, advisor: &Advisor, q: &RankQuery) -> RankKey {
+        RankKey {
+            kernel: q.kernel.clone(),
+            scale: q.scale,
+            top: q.top,
+            prune: q.prune,
+            include_stats: self.search,
+            options: advisor.predictor.options,
+            trained: advisor.predictor.overlap.is_trained(),
+        }
+    }
+}
+
+impl Handler for Rank {
+    fn poll(&self, ctx: &Ctx<'_>, req: &Request) -> Outcome {
+        if let Err(resp) = ctx.check_deadline() {
+            return Outcome::Ready(resp);
+        }
+        let m = ctx.metrics();
+        if let Some(body) = ctx.raw_get(req) {
+            m.search_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Outcome::Ready(Response::json_shared(body));
+        }
+        let (q, tenant) = match self.query(ctx, req) {
+            Ok(parts) => parts,
+            Err(resp) => return Outcome::Ready(resp),
+        };
+        let t = ctx.shared.tenant(tenant);
+        if let Some(body) = t.rank_cache.get(&self.key(&t.advisor, &q)) {
+            m.search_cache_hits.fetch_add(1, Ordering::Relaxed);
+            ctx.raw_put(req, &body);
+            return Outcome::Ready(Response::json_shared(body));
+        }
+        Outcome::Compute { coalesce: true }
+    }
+
+    fn compute(&self, ctx: &Ctx<'_>, req: &Request) -> Response {
+        if let Err(resp) = ctx.check_deadline() {
+            return resp;
+        }
+        let (q, tenant) = match self.query(ctx, req) {
+            Ok(parts) => parts,
+            Err(resp) => return resp,
+        };
+        let m = ctx.metrics();
+        let t = ctx.shared.tenant(tenant);
+        let key = self.key(&t.advisor, &q);
+        if let Some(body) = t.rank_cache.get(&key) {
+            m.search_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::json_shared(body).cacheable();
+        }
+        m.search_cache_misses.fetch_add(1, Ordering::Relaxed);
+        if let Err(resp) = ctx.check_deadline() {
+            return resp;
+        }
+        let mut effort = Effort::default();
+        // The search stops at the request deadline and returns
+        // best-so-far flagged `"partial": true` instead of timing out
+        // with nothing.
+        let deadline = Some(ctx.arrived + ctx.shared.deadline);
+        let (body, outcome) = match t.advisor.rank(&q, self.search, deadline, &mut effort) {
+            Ok(out) => out,
+            Err(e) => return api_error(e),
+        };
+        count_effort(m, &effort);
+        m.on_engine_stats(&outcome.stats);
+        let body = Arc::new(body.encode_pretty());
+        // A partial ranking reflects this request's deadline, not the
+        // query — caching it would serve truncated results forever.
+        if !outcome.partial {
+            t.rank_cache.insert(key, Arc::clone(&body));
+            Response::json_shared(body).cacheable()
+        } else {
+            Response::json_shared(body)
+        }
+    }
+}

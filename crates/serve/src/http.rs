@@ -244,6 +244,121 @@ pub fn read_request(r: &mut impl BufRead, read_deadline: Duration) -> Result<Req
     })
 }
 
+/// Result of attempting to parse one request out of a byte buffer.
+/// The event-driven path's counterpart to [`read_request`]: the caller
+/// accumulates bytes as they arrive and re-parses from the front.
+#[derive(Debug)]
+pub enum Parse {
+    /// The buffer holds a prefix of a valid request; feed more bytes.
+    Partial,
+    /// One complete request; `consumed` bytes of the buffer belong to it
+    /// (pipelined peers may have more requests behind it).
+    Complete { req: Request, consumed: usize },
+    /// The buffer can never become a valid request — the connection is
+    /// done after the error response.
+    Bad(HttpError),
+}
+
+/// Take one CRLF- (or LF-) terminated line starting at `*pos`, advancing
+/// `*pos` past the terminator. `Ok(None)` means the line is still
+/// incomplete — but the size limit is enforced even then, so an
+/// unterminated flood fails fast instead of buffering forever.
+fn take_line(buf: &[u8], pos: &mut usize) -> Result<Option<String>, HttpError> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            if i > MAX_LINE_BYTES {
+                return Err(HttpError::TooLarge("header line"));
+            }
+            let mut line = &rest[..i];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            *pos += i + 1;
+            match std::str::from_utf8(line) {
+                Ok(s) => Ok(Some(s.to_string())),
+                Err(_) => Err(HttpError::Malformed("non-UTF-8 header line".into())),
+            }
+        }
+        None => {
+            if rest.len() > MAX_LINE_BYTES {
+                return Err(HttpError::TooLarge("header line"));
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Parse one request from the front of `buf` without consuming it —
+/// the incremental twin of [`read_request`], accepting exactly the same
+/// grammar and enforcing the same limits (checked against the partial
+/// prefix too, so a hostile peer cannot balloon the buffer by never
+/// finishing a line). Timeouts are not this function's concern: the
+/// connection layer tracks when the first byte arrived and gives up on
+/// its own clock.
+pub fn parse_request_bytes(buf: &[u8]) -> Parse {
+    let mut pos = 0usize;
+    macro_rules! line {
+        () => {
+            match take_line(buf, &mut pos) {
+                Ok(Some(l)) => l,
+                Ok(None) => return Parse::Partial,
+                Err(e) => return Parse::Bad(e),
+            }
+        };
+    }
+    let request_line = line!();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Parse::Bad(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Parse::Bad(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let l = line!();
+        if l.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Parse::Bad(HttpError::TooLarge("header count"));
+        }
+        let Some((name, value)) = l.split_once(':') else {
+            return Parse::Bad(HttpError::Malformed(format!("bad header `{l}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Parse::Bad(HttpError::Malformed(format!("bad content-length `{v}`"))),
+        },
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Parse::Bad(HttpError::TooLarge("body"));
+    }
+    if buf.len() - pos < content_length {
+        return Parse::Partial;
+    }
+    let body = buf[pos..pos + content_length].to_vec();
+    Parse::Complete {
+        req: Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            body,
+        },
+        consumed: pos + content_length,
+    }
+}
+
 /// Canonical reason phrase for the status codes this server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -408,6 +523,87 @@ mod tests {
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    /// Incremental parse of a byte-at-a-time feed must agree exactly
+    /// with the blocking reader on every accepted corpus entry.
+    #[test]
+    fn incremental_parse_matches_blocking_reader_at_every_split() {
+        let corpus: &[&[u8]] = &[
+            b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"",
+            b"GET /metrics?x=1 HTTP/1.1\r\nConnection: close\r\n\r\n",
+            b"GET /healthz HTTP/1.1\nHost: y\n\n",
+            b"POST /v1/search HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+        ];
+        for bytes in corpus {
+            let blocking = parse(bytes).unwrap();
+            for split in 0..bytes.len() {
+                // Every proper prefix is Partial...
+                assert!(
+                    matches!(parse_request_bytes(&bytes[..split]), Parse::Partial),
+                    "prefix of len {split} not Partial"
+                );
+                let _ = split;
+            }
+            // ...and the full buffer parses to the same request with
+            // every byte accounted for.
+            match parse_request_bytes(bytes) {
+                Parse::Complete { req, consumed } => {
+                    assert_eq!(consumed, bytes.len());
+                    assert_eq!(req.method, blocking.method);
+                    assert_eq!(req.target, blocking.target);
+                    assert_eq!(req.headers, blocking.headers);
+                    assert_eq!(req.body, blocking.body);
+                }
+                other => panic!("full buffer did not complete: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parse_handles_pipelined_requests() {
+        let bytes: &[u8] =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/predict HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let Parse::Complete { req, consumed } = parse_request_bytes(bytes) else {
+            panic!("first request incomplete");
+        };
+        assert_eq!(req.path(), "/healthz");
+        let Parse::Complete { req, consumed: c2 } = parse_request_bytes(&bytes[consumed..]) else {
+            panic!("second request incomplete");
+        };
+        assert_eq!(req.path(), "/v1/predict");
+        assert_eq!(req.body, b"{}");
+        assert_eq!(consumed + c2, bytes.len());
+    }
+
+    #[test]
+    fn incremental_parse_enforces_limits_on_partial_prefixes() {
+        // An unterminated request line past the limit fails *before* a
+        // newline ever shows up.
+        let flood = vec![b'A'; MAX_LINE_BYTES + 2];
+        assert!(matches!(
+            parse_request_bytes(&flood),
+            Parse::Bad(HttpError::TooLarge("header line"))
+        ));
+        // Oversize declared body fails at the header, not after
+        // buffering the body.
+        let oversize = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_request_bytes(oversize.as_bytes()),
+            Parse::Bad(HttpError::TooLarge("body"))
+        ));
+        // Malformed verdicts match the blocking reader's.
+        assert!(matches!(
+            parse_request_bytes(b"NOT_A_REQUEST\r\n\r\n"),
+            Parse::Bad(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request_bytes(b"GET / HTTP/2\r\n\r\n"),
+            Parse::Bad(HttpError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -17,12 +17,16 @@
 //! * `GET /readyz` — readiness, distinct from liveness: 503 with a
 //!   reason while shedding (queue at capacity) or draining (shutdown).
 //!
-//! Everything is built from `std::net` + `std::thread`: a hand-rolled
+//! Everything is built from `std::net` + `std::thread` + a `poll(2)`
+//! binding ([`poller`] — std already links libc): a hand-rolled
 //! escaping-correct JSON codec ([`wire`]), an HTTP/1.1 reader/writer
 //! with strict limits ([`http`]), a sharded LRU ([`cache`]) keying
-//! response bodies by `(kernel, scale, placement, model options)`, a
-//! fixed worker pool with a bounded accept queue and load shedding
-//! ([`server`]), and signal-driven graceful shutdown ([`signal`]).
+//! response bodies by `(kernel, scale, placement, model options)`,
+//! sharded event loops feeding a bounded worker pool through two-stage
+//! [`Handler`]s ([`server`], [`handlers`]), single-flight coalescing
+//! of concurrent identical requests ([`singleflight`]), a multi-tenant
+//! GPU-config registry ([`registry`]), and signal-driven graceful
+//! shutdown ([`signal`]).
 //!
 //! The same response-body builders back the CLI's `--json` mode
 //! ([`api`]), so `hms predict --json ...` and `POST /v1/predict` are
@@ -30,14 +34,23 @@
 
 pub mod api;
 pub mod cache;
+pub mod conn;
+pub mod handlers;
 pub mod http;
 pub mod metrics;
+pub mod poller;
+pub mod registry;
 pub mod server;
 pub mod signal;
+pub mod singleflight;
 pub mod wire;
 
 pub use api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
 pub use cache::ShardedLru;
+pub use handlers::{Ctx, Handler, Outcome, Response};
 pub use metrics::{Metrics, Route};
-pub use server::{ready_state, spawn, ReadyState, ServeConfig, ServerHandle};
+pub use registry::{preset, ConfigRegistry, PRESET_NAMES};
+pub use server::{ready_state, ReadyState, ServerConfig, ServerHandle};
+#[allow(deprecated)]
+pub use server::{spawn, ServeConfig};
 pub use wire::{decode, Json, WireError};

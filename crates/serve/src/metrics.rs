@@ -138,6 +138,13 @@ pub struct Metrics {
     /// Requests that hit the cumulative read deadline (slowloris /
     /// stalled peers answered 408).
     pub read_timeouts: AtomicU64,
+    /// Requests answered by joining another identical in-flight request
+    /// (single-flight followers — they cost zero model work).
+    pub coalesced_requests: AtomicU64,
+    /// Cold requests that led a single-flight computation.
+    pub singleflight_leaders: AtomicU64,
+    /// Connections currently registered with the event loops.
+    pub open_connections: AtomicU64,
     engine: EngineTotals,
 }
 
@@ -257,7 +264,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, &AtomicU64); 13] = [
+        let counters: [(&str, &str, &AtomicU64); 15] = [
             (
                 "hms_prediction_cache_hits_total",
                 "Predict queries answered from the prediction cache.",
@@ -312,6 +319,16 @@ impl Metrics {
                 "hms_read_timeouts_total",
                 "Requests answered 408: not fully received within the read deadline.",
                 &self.read_timeouts,
+            ),
+            (
+                "hms_coalesced_requests_total",
+                "Requests answered by joining an identical in-flight computation.",
+                &self.coalesced_requests,
+            ),
+            (
+                "hms_singleflight_leaders_total",
+                "Cold requests that led a single-flight computation.",
+                &self.singleflight_leaders,
             ),
             (
                 "hms_engine_full_rewrites_total",
@@ -371,11 +388,16 @@ impl Metrics {
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
 
-        let gauges: [(&str, &str, &AtomicU64); 3] = [
+        let gauges: [(&str, &str, &AtomicU64); 4] = [
             (
                 "hms_queue_depth",
-                "Connections waiting for a worker.",
+                "Jobs waiting for a worker.",
                 &self.queue_depth,
+            ),
+            (
+                "hms_open_connections",
+                "Connections currently registered with the event loops.",
+                &self.open_connections,
             ),
             (
                 "hms_inflight_requests",

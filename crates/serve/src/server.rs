@@ -1,45 +1,283 @@
-//! The placement-advisory HTTP server.
+//! The event-driven placement-advisory server (DESIGN.md §13).
 //!
-//! Architecture (DESIGN.md §10):
+//! Architecture:
 //!
-//! * **acceptor thread** — owns the listener (non-blocking, polled so
-//!   shutdown is prompt) and pushes accepted connections into a bounded
-//!   queue. A full queue sheds load: the acceptor answers `503` inline
-//!   and closes, so a saturated server degrades predictably instead of
-//!   queueing without bound;
-//! * **N worker threads** — pop connections, speak keep-alive HTTP/1.1,
-//!   and serve requests. Each request gets a deadline
-//!   (`deadline_ms` from arrival at the worker); queries past it are
-//!   refused with `504` before any model work runs, and re-checked
-//!   between the expensive stages (profile simulation, engine search);
-//! * **two cache tiers** — response-level sharded LRUs (prediction
-//!   cache keyed by `(kernel, scale, placement, model-options)`; search
-//!   cache keyed by the full rank query) over the [`Advisor`]'s
-//!   profiled-sample cache, so a warm repeat query runs neither the
-//!   simulator nor the trace rewriter — asserted through `/metrics`;
-//! * **graceful shutdown** — a flag flipped by [`ServerHandle::shutdown`]
-//!   or SIGINT/SIGTERM (see [`crate::signal`]). The acceptor stops
-//!   accepting, workers drain the queue and finish in-flight requests
-//!   (answering them with `connection: close`), then everything joins.
+//! * **shard event loops** — each shard owns a nonblocking clone of the
+//!   listener and drives hundreds of connections with a `poll(2)`-based
+//!   readiness loop ([`crate::poller`]): accept, read, incremental
+//!   HTTP parse ([`crate::conn`]), route. Warm requests — cache hits,
+//!   probes, metrics — are answered *inline on the loop thread*; only
+//!   cold model work leaves it;
+//! * **a bounded worker pool** — cold requests become jobs in a bounded
+//!   queue. When pending jobs reach `queue_depth`, new connections are
+//!   shed at accept with `503`, so a saturated server degrades
+//!   predictably instead of queueing without bound;
+//! * **single-flight coalescing** — concurrent byte-identical cold
+//!   requests share one computation: the first becomes the leader (one
+//!   job), the rest park as followers and are answered from the
+//!   leader's response ([`crate::singleflight`]). A thundering herd of
+//!   N identical searches costs one engine run, visible as
+//!   `hms_coalesced_requests_total`;
+//! * **multi-tenant registry** — requests carry an optional `config`
+//!   member naming a GPU configuration ([`crate::registry`]); each
+//!   tenant gets its own advisor and response caches, so two tenants
+//!   can never serve each other's bytes;
+//! * **deadlines** — per-request (`504` before any model stage that
+//!   would finish past the deadline) and cumulative read
+//!   (slowloris peers answered `408` by the loop's sweep);
+//! * **graceful shutdown** — a flag flipped by
+//!   [`ServerHandle::shutdown`] or SIGINT/SIGTERM (see
+//!   [`crate::signal`]). Shards stop accepting, in-flight jobs drain
+//!   (answered `connection: close`), then everything joins and the
+//!   port closes.
+//!
+//! The endpoint logic itself lives behind the [`crate::handlers`]
+//! two-stage [`Handler`] trait; this module is the machinery that
+//! schedules it.
 
 use std::collections::VecDeque;
-use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use hms_core::ModelOptions;
 use hms_kernels::Scale;
+use hms_trace::KernelTrace;
 use hms_types::{MemorySpace, PlacementMap};
 
-use crate::api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
+use crate::api::{named_placement, Advisor, PredictQuery};
 use crate::cache::ShardedLru;
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::conn::{Conn, FillResult};
+use crate::handlers::{self, Ctx, Handler, Outcome, Response};
+use crate::http::{write_response, HttpError, Request};
 use crate::metrics::{Metrics, Route};
-use crate::wire::{decode, Json};
+use crate::poller::{Interest, Poller, Waker};
+use crate::registry::ConfigRegistry;
+use crate::singleflight::{FlightKey, FlightTable, Join};
+use crate::wire::v1::error_body;
 
-/// Server tunables, mirrored by `hms serve`'s flags.
+/// How the event loops pace themselves when nothing is ready: the tick
+/// bounds slowloris-sweep granularity and shutdown latency.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Server tunables — a builder mirrored by `hms serve`'s flags.
+///
+/// ```no_run
+/// use hms_serve::{registry::ConfigRegistry, server::ServerConfig, Advisor};
+/// # fn advisor() -> Advisor { unimplemented!() }
+/// let handle = ServerConfig::new()
+///     .bind("127.0.0.1:0")
+///     .workers(2)
+///     .deadline(std::time::Duration::from_secs(5))
+///     .spawn(ConfigRegistry::new("k80", advisor()))
+///     .unwrap();
+/// println!("listening on {}", handle.addr());
+/// ```
+#[derive(Clone)]
+pub struct ServerConfig {
+    bind: String,
+    workers: usize,
+    shards: usize,
+    cache_entries: usize,
+    deadline: Duration,
+    queue_depth: usize,
+    read_deadline: Duration,
+    coalescing: bool,
+    routes: Vec<(String, String, Arc<dyn Handler>)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: "127.0.0.1:0".into(),
+            workers: 0,
+            shards: 0,
+            cache_entries: 4096,
+            deadline: Duration::from_millis(10_000),
+            queue_depth: 128,
+            read_deadline: Duration::from_millis(10_000),
+            coalescing: true,
+            routes: Vec::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Bind address; port 0 picks an ephemeral port (returned by
+    /// [`ServerHandle::addr`]).
+    pub fn bind(mut self, addr: impl Into<String>) -> Self {
+        self.bind = addr.into();
+        self
+    }
+
+    /// Worker threads for cold model work (0 = one per core, min 2).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Event-loop shards, each with its own accept loop (0 = auto: one
+    /// shard per ~8 cores — a single poll loop saturates a small
+    /// machine, extra shards only pay off when accept itself is hot).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Total response-cache entries, split across tenants.
+    pub fn cache_entries(mut self, n: usize) -> Self {
+        self.cache_entries = n;
+        self
+    }
+
+    /// Per-request deadline. Queries that can't start (or reach their
+    /// next model stage) in time are refused with 504.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    /// Pending cold jobs before new connections are shed with 503 at
+    /// accept. 0 sheds everything (useful for tests).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n;
+        self
+    }
+
+    /// Cumulative budget for *receiving* one request, measured from its
+    /// first byte; past it the request is answered 408 and the
+    /// connection closed (slowloris defense).
+    pub fn read_deadline(mut self, d: Duration) -> Self {
+        self.read_deadline = d;
+        self
+    }
+
+    /// Single-flight coalescing of identical concurrent cold requests
+    /// (on by default; off makes every request compute independently).
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.coalescing = on;
+        self
+    }
+
+    /// Mount a custom [`Handler`] at `method path` alongside the
+    /// built-in advisory endpoints (counted under the `other` route
+    /// label). Built-ins win ties.
+    pub fn route(
+        mut self,
+        method: impl Into<String>,
+        path: impl Into<String>,
+        handler: Arc<dyn Handler>,
+    ) -> Self {
+        self.routes.push((method.into(), path.into(), handler));
+        self
+    }
+
+    /// Bind, spawn the shard event loops and worker pool, and return
+    /// immediately. Tenant 0 of `registry` is the default config.
+    pub fn spawn(self, registry: ConfigRegistry) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&self.bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        let workers = if self.workers == 0 {
+            avail.max(2)
+        } else {
+            self.workers
+        };
+        let shards = if self.shards == 0 {
+            (avail / 8).clamp(1, 4)
+        } else {
+            self.shards
+        };
+        let n_tenants = registry.len();
+        let per_cache = (self.cache_entries.max(2) / (2 * n_tenants)).max(2);
+        let tenants: Vec<Tenant> = (0..n_tenants)
+            .map(|i| Tenant {
+                advisor: Arc::clone(registry.advisor(i)),
+                pred_cache: ShardedLru::new(per_cache, 8),
+                rank_cache: ShardedLru::new(per_cache, 8),
+            })
+            .collect();
+        let mut inboxes = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            inboxes.push(Inbox {
+                completions: Mutex::new(Vec::new()),
+                waker: Waker::new()?,
+            });
+        }
+        let shared = Arc::new(Shared {
+            registry,
+            tenants,
+            metrics: Arc::new(Metrics::new()),
+            raw_cache: ShardedLru::new(self.cache_entries.max(2), 8),
+            jobs: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            jobs_pending: AtomicU64::new(0),
+            flights: FlightTable::new(),
+            coalescing: self.coalescing,
+            shutdown: AtomicBool::new(false),
+            deadline: self.deadline,
+            read_deadline: self.read_deadline,
+            queue_depth: self.queue_depth,
+            inboxes,
+            router: Router::new(self.routes),
+        });
+        let mut threads = Vec::with_capacity(shards + workers);
+        // Thread spawning can fail (resource exhaustion); surface it as
+        // the io::Result the caller already handles instead of
+        // panicking, after unwinding whatever was spawned.
+        let fail = |shared: &Arc<Shared>, threads: Vec<std::thread::JoinHandle<()>>, e| {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.job_ready.notify_all();
+            for inbox in &shared.inboxes {
+                inbox.waker.wake();
+            }
+            for t in threads {
+                let _ = t.join();
+            }
+            Err(e)
+        };
+        for i in 0..shards {
+            let l = match listener.try_clone() {
+                Ok(l) => l,
+                Err(e) => return fail(&shared, threads, e),
+            };
+            let s = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("hms-shard-{i}"))
+                .spawn(move || shard_loop(i, l, s))
+            {
+                Ok(t) => threads.push(t),
+                Err(e) => return fail(&shared, threads, e),
+            }
+        }
+        for i in 0..workers {
+            let s = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("hms-worker-{i}"))
+                .spawn(move || worker_loop(s))
+            {
+                Ok(t) => threads.push(t),
+                Err(e) => return fail(&shared, threads, e),
+            }
+        }
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+/// Server tunables for the original single-advisor entry point.
+#[deprecated(note = "use `ServerConfig` (builder) with a `ConfigRegistry` instead")]
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port (printed/returned).
@@ -48,20 +286,16 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Total entries across the prediction and search caches.
     pub cache_entries: usize,
-    /// Per-request deadline. Queries that can't start (or reach their
-    /// next model stage) in time are refused with 504.
+    /// Per-request deadline.
     pub deadline: Duration,
-    /// Accepted connections waiting for a worker before the acceptor
-    /// sheds with 503. 0 sheds everything (useful for tests).
+    /// Pending cold jobs before new connections are shed with 503.
+    /// 0 sheds everything (useful for tests).
     pub queue_depth: usize,
-    /// Cumulative budget for *receiving* one request, measured from its
-    /// first byte. The per-read socket timeout only bounds the gap
-    /// between bytes, so a trickling (slowloris) peer would otherwise
-    /// pin a worker forever; past this budget the request is answered
-    /// 408 and the connection closed.
+    /// Cumulative budget for receiving one request (slowloris defense).
     pub read_deadline: Duration,
 }
 
+#[allow(deprecated)]
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -75,6 +309,20 @@ impl Default for ServeConfig {
     }
 }
 
+/// Original entry point: one advisor, serving as the only tenant.
+#[deprecated(note = "use `ServerConfig::spawn` with a `ConfigRegistry` instead")]
+#[allow(deprecated)]
+pub fn spawn(cfg: ServeConfig, advisor: Advisor) -> std::io::Result<ServerHandle> {
+    ServerConfig::new()
+        .bind(cfg.addr)
+        .workers(cfg.threads)
+        .cache_entries(cfg.cache_entries)
+        .deadline(cfg.deadline)
+        .queue_depth(cfg.queue_depth)
+        .read_deadline(cfg.read_deadline)
+        .spawn(ConfigRegistry::new("default", advisor))
+}
+
 /// What `/readyz` reports (and `hms_ready_state` exposes as a gauge):
 /// liveness (`/healthz`) says the process can answer; readiness says it
 /// is worth sending real traffic.
@@ -82,7 +330,7 @@ impl Default for ServeConfig {
 pub enum ReadyState {
     /// Accepting and serving normally.
     Ready,
-    /// Alive but shedding: the accept queue is at capacity, new
+    /// Alive but shedding: the job queue is at capacity, new
     /// connections are being refused with 503.
     Degraded,
     /// Shutdown requested: draining in-flight work, not accepting.
@@ -113,9 +361,10 @@ pub fn ready_state(shutdown: bool, queue_len: usize, queue_depth: usize) -> Read
     }
 }
 
-/// Prediction-cache key: everything that can change the response bytes.
+/// Prediction-cache key: everything that can change the response bytes
+/// (the tenant is implied — each tenant has its own cache).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct PredKey {
+pub(crate) struct PredKey {
     kernel: String,
     scale: Scale,
     placement: Vec<(String, MemorySpace)>,
@@ -123,42 +372,237 @@ struct PredKey {
     trained: bool,
 }
 
+impl PredKey {
+    /// Key on the *resolved* placement so `moves` and an equivalent
+    /// `placement` object hit the same entry.
+    pub(crate) fn new(
+        advisor: &Advisor,
+        q: &PredictQuery,
+        kt: &KernelTrace,
+        resolved: &PlacementMap,
+    ) -> PredKey {
+        PredKey {
+            kernel: q.kernel.clone(),
+            scale: q.scale,
+            placement: named_placement(kt, resolved).0,
+            options: advisor.predictor.options,
+            trained: advisor.predictor.overlap.is_trained(),
+        }
+    }
+}
+
 /// Search-cache key: the full rank query plus which endpoint shape
 /// (advise has no stats block) — threads excluded, results are
 /// thread-invariant.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct RankKey {
-    kernel: String,
-    scale: Scale,
-    top: usize,
-    prune: bool,
-    include_stats: bool,
-    options: ModelOptions,
-    trained: bool,
+pub(crate) struct RankKey {
+    pub(crate) kernel: String,
+    pub(crate) scale: Scale,
+    pub(crate) top: usize,
+    pub(crate) prune: bool,
+    pub(crate) include_stats: bool,
+    pub(crate) options: ModelOptions,
+    pub(crate) trained: bool,
 }
 
-struct Shared {
-    advisor: Advisor,
-    metrics: Arc<Metrics>,
-    pred_cache: ShardedLru<PredKey, Arc<String>>,
-    rank_cache: ShardedLru<RankKey, Arc<String>>,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+/// One tenant: an advisor plus its private response caches. Cache keys
+/// never cross tenants because the caches themselves don't.
+pub(crate) struct Tenant {
+    pub(crate) advisor: Arc<Advisor>,
+    pub(crate) pred_cache: ShardedLru<PredKey, Arc<String>>,
+    pub(crate) rank_cache: ShardedLru<RankKey, Arc<String>>,
+}
+
+/// Who gets a completed job's response, and where they're parked.
+/// The `gen` check makes a reused connection slot immune to stale
+/// completions for its previous occupant.
+#[derive(Clone)]
+pub(crate) struct Waiter {
+    shard: usize,
+    conn: usize,
+    gen: u64,
+    route: Route,
+    wants_close: bool,
+    arrived: Instant,
+}
+
+/// A finished response on its way back to a shard's event loop.
+struct Completion {
+    waiter: Waiter,
+    status: u16,
+    content_type: &'static str,
+    body: Arc<String>,
+}
+
+/// Per-shard channel from the worker pool back to the event loop.
+struct Inbox {
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+/// One cold request queued for the worker pool.
+struct Job {
+    handler: Arc<dyn Handler>,
+    req: Request,
+    /// Present when this job leads a single-flight (its completion
+    /// answers every parked follower).
+    key: Option<FlightKey>,
+    waiter: Waiter,
+}
+
+enum RouteMatch<'a> {
+    Found(&'a RouteEntry),
+    MethodNotAllowed(Route),
+    NotFound,
+}
+
+struct RouteEntry {
+    method: &'static str,
+    path: &'static str,
+    route: Route,
+    handler: Arc<dyn Handler>,
+    /// Custom mount (owned strings) — checked after built-ins.
+    custom: Option<(String, String)>,
+}
+
+struct Router {
+    entries: Vec<RouteEntry>,
+}
+
+impl Router {
+    fn new(custom: Vec<(String, String, Arc<dyn Handler>)>) -> Router {
+        let builtin = |method, path, route, handler: Arc<dyn Handler>| RouteEntry {
+            method,
+            path,
+            route,
+            handler,
+            custom: None,
+        };
+        let mut entries = vec![
+            builtin(
+                "GET",
+                "/healthz",
+                Route::Healthz,
+                Arc::new(handlers::Healthz),
+            ),
+            builtin("GET", "/readyz", Route::Readyz, Arc::new(handlers::Readyz)),
+            builtin(
+                "GET",
+                "/metrics",
+                Route::Metrics,
+                Arc::new(handlers::MetricsEndpoint),
+            ),
+            builtin(
+                "GET",
+                "/v1/kernels",
+                Route::Kernels,
+                Arc::new(handlers::Kernels),
+            ),
+            builtin(
+                "POST",
+                "/v1/predict",
+                Route::Predict,
+                Arc::new(handlers::Predict),
+            ),
+            builtin(
+                "POST",
+                "/v1/advise",
+                Route::Advise,
+                Arc::new(handlers::Rank { search: false }),
+            ),
+            builtin(
+                "POST",
+                "/v1/search",
+                Route::Search,
+                Arc::new(handlers::Rank { search: true }),
+            ),
+        ];
+        for (method, path, handler) in custom {
+            entries.push(RouteEntry {
+                method: "",
+                path: "",
+                route: Route::Other,
+                handler,
+                custom: Some((method, path)),
+            });
+        }
+        Router { entries }
+    }
+
+    fn find(&self, method: &str, path: &str) -> RouteMatch<'_> {
+        let mut path_hit = None;
+        for e in &self.entries {
+            let (m, p) = match &e.custom {
+                Some((m, p)) => (m.as_str(), p.as_str()),
+                None => (e.method, e.path),
+            };
+            if p == path {
+                if m == method {
+                    return RouteMatch::Found(e);
+                }
+                path_hit = Some(e.route);
+            }
+        }
+        match path_hit {
+            Some(route) => RouteMatch::MethodNotAllowed(route),
+            None => RouteMatch::NotFound,
+        }
+    }
+}
+
+/// Everything the shards, workers, and handle share.
+pub(crate) struct Shared {
+    pub(crate) registry: ConfigRegistry,
+    pub(crate) tenants: Vec<Tenant>,
+    pub(crate) metrics: Arc<Metrics>,
+    /// Whole-request memo: exact `(target, body)` bytes → response
+    /// body, for deterministic 200s. The warmest possible fast path —
+    /// no JSON parse, no placement resolution.
+    pub(crate) raw_cache: ShardedLru<FlightKey, Arc<String>>,
+    jobs: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    /// Mirror of the job-queue length, readable without the lock (the
+    /// accept path's shed check and `/readyz`).
+    jobs_pending: AtomicU64,
+    flights: FlightTable<Waiter>,
+    coalescing: bool,
     shutdown: AtomicBool,
-    deadline: Duration,
+    pub(crate) deadline: Duration,
     read_deadline: Duration,
     queue_depth: usize,
+    inboxes: Vec<Inbox>,
+    router: Router,
 }
 
-/// Take the queue lock, recovering from poisoning: a worker that
-/// panicked while holding the lock must not take the whole server down
-/// with it — the queue of `TcpStream`s carries no invariant a panic can
-/// break.
-fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+impl Shared {
+    pub(crate) fn tenant(&self, idx: usize) -> &Tenant {
+        &self.tenants[idx]
+    }
+}
+
+/// Take the job-queue lock, recovering from poisoning: a worker that
+/// panicked while holding it must not take the whole server down — the
+/// queue carries no invariant a panic can break.
+fn lock_jobs(shared: &Shared) -> MutexGuard<'_, VecDeque<Job>> {
     shared
-        .queue
+        .jobs
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Classify the server's current readiness and mirror it into the
+/// `hms_ready_state` gauge.
+pub(crate) fn current_ready_state(shared: &Shared) -> ReadyState {
+    let state = ready_state(
+        shared.shutdown.load(Ordering::SeqCst),
+        shared.jobs_pending.load(Ordering::SeqCst) as usize,
+        shared.queue_depth,
+    );
+    shared
+        .metrics
+        .ready_state
+        .store(state.gauge(), Ordering::Relaxed);
+    state
 }
 
 /// A running server: its bound address plus the levers to observe and
@@ -180,10 +624,23 @@ impl ServerHandle {
         Arc::clone(&self.shared.metrics)
     }
 
+    /// The tenant names this server answers for (index 0 = default).
+    pub fn tenants(&self) -> Vec<String> {
+        self.shared
+            .registry
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
     /// Ask the server to stop without blocking. Idempotent.
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        self.shared.job_ready.notify_all();
+        for inbox in &self.shared.inboxes {
+            inbox.waker.wake();
+        }
     }
 
     /// Whether a shutdown has been requested (by [`Self::request_shutdown`]
@@ -193,7 +650,7 @@ impl ServerHandle {
     }
 
     /// Stop accepting, drain queued and in-flight requests, join every
-    /// thread.
+    /// thread. The port is closed when this returns.
     pub fn shutdown(mut self) {
         self.request_shutdown();
         for t in self.threads.drain(..) {
@@ -211,480 +668,439 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Bind, spawn the acceptor and workers, and return immediately.
-pub fn spawn(cfg: ServeConfig, advisor: Advisor) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&cfg.addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
-    let workers = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2)
-            .max(2)
-    } else {
-        cfg.threads
-    };
-    let cache_entries = cfg.cache_entries.max(2);
-    let shared = Arc::new(Shared {
-        advisor,
-        metrics: Arc::new(Metrics::new()),
-        pred_cache: ShardedLru::new(cache_entries / 2, 8),
-        rank_cache: ShardedLru::new(cache_entries / 2, 8),
-        queue: Mutex::new(VecDeque::new()),
-        available: Condvar::new(),
-        shutdown: AtomicBool::new(false),
-        deadline: cfg.deadline,
-        read_deadline: cfg.read_deadline,
-        queue_depth: cfg.queue_depth,
-    });
-    let mut threads = Vec::with_capacity(workers + 1);
-    // Thread spawning can fail (resource exhaustion); surface it as the
-    // io::Result the caller already handles instead of panicking. A
-    // partial spawn is cleaned up by ServerHandle's Drop.
-    {
-        let shared = Arc::clone(&shared);
-        let queue_depth = cfg.queue_depth;
-        threads.push(
-            std::thread::Builder::new()
-                .name("hms-accept".into())
-                .spawn(move || acceptor(listener, shared, queue_depth))?,
-        );
-    }
-    for i in 0..workers {
-        let worker_shared = Arc::clone(&shared);
-        let t = std::thread::Builder::new()
-            .name(format!("hms-worker-{i}"))
-            .spawn(move || worker(worker_shared));
-        match t {
-            Ok(t) => threads.push(t),
-            Err(e) => {
-                // Unwind what was spawned before reporting failure.
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.available.notify_all();
-                for t in threads {
-                    let _ = t.join();
-                }
-                return Err(e);
-            }
-        }
-    }
-    Ok(ServerHandle {
-        addr,
-        shared,
-        threads,
-    })
-}
-
-fn acceptor(listener: TcpListener, shared: Arc<Shared>, queue_depth: usize) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let mut q = lock_queue(&shared);
-                if q.len() >= queue_depth {
-                    drop(q);
-                    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
-                    shed(stream);
-                    continue;
-                }
-                q.push_back(stream);
-                shared
-                    .metrics
-                    .queue_depth
-                    .store(q.len() as u64, Ordering::Relaxed);
-                drop(q);
-                shared.available.notify_one();
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-    // Wake every worker so none sleeps through the shutdown flag.
-    shared.available.notify_all();
-}
-
-/// Answer a request that failed before routing (unreadable, trickled,
-/// oversized) and account for it: these responses belong in
-/// `hms_responses_total` too — an operator watching a slowloris attack
-/// sees the 408s, not a silent worker.
-fn read_error_response(shared: &Shared, writer: &mut TcpStream, status: u16, msg: &str) {
-    let body = error_body(msg);
-    shared
-        .metrics
-        .on_response(Route::Other, status, Duration::ZERO);
-    let _ = write_response(writer, status, "application/json", body.as_bytes(), true);
-}
-
-/// Refuse one connection with 503 (queue full).
+/// Refuse one connection with 503 (job queue full). The stream is still
+/// blocking here — accepted sockets don't inherit the listener's
+/// nonblocking flag on every platform, and a bounded blocking write is
+/// fine off the hot path.
 fn shed(mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let body = error_body("server overloaded: request queue is full");
     let _ = write_response(&mut stream, 503, "application/json", body.as_bytes(), true);
 }
 
-fn worker(shared: Arc<Shared>) {
+/// Worker: drain cold jobs, run the handler's compute stage, fan the
+/// response out to every coalesced waiter.
+fn worker_loop(shared: Arc<Shared>) {
     loop {
-        let stream = {
-            let mut q = lock_queue(&shared);
+        let job = {
+            let mut q = lock_jobs(&shared);
             loop {
-                if let Some(s) = q.pop_front() {
-                    shared
-                        .metrics
-                        .queue_depth
-                        .store(q.len() as u64, Ordering::Relaxed);
-                    break Some(s);
+                if let Some(j) = q.pop_front() {
+                    let len = q.len() as u64;
+                    shared.jobs_pending.store(len, Ordering::SeqCst);
+                    shared.metrics.queue_depth.store(len, Ordering::Relaxed);
+                    break Some(j);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                q = match shared.available.wait_timeout(q, Duration::from_millis(100)) {
+                q = match shared.job_ready.wait_timeout(q, Duration::from_millis(100)) {
                     Ok((guard, _timeout)) => guard,
                     Err(poisoned) => poisoned.into_inner().0,
                 };
             }
         };
-        let Some(stream) = stream else {
+        let Some(job) = job else {
             return; // shutdown with an empty queue
         };
-        handle_connection(&shared, stream);
-    }
-}
-
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    // Short read timeout: an idle keep-alive connection surfaces as
-    // `IdleTimeout` every 250 ms, which is the worker's chance to notice
-    // a shutdown request (so `shutdown()` joins promptly instead of
-    // waiting out a long timeout).
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let req = match read_request(&mut reader, shared.read_deadline) {
-            Ok(req) => req,
-            Err(HttpError::Closed) => return,
-            Err(HttpError::IdleTimeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue; // still idle; keep the connection open
-            }
-            Err(HttpError::RequestTimeout) => {
-                // Slowloris / stalled peer: free the worker with a 408.
-                shared.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
-                read_error_response(shared, &mut writer, 408, "request read deadline exceeded");
-                return;
-            }
-            Err(HttpError::Io(_)) => return, // reset mid-request
-            Err(HttpError::Malformed(m)) => {
-                read_error_response(shared, &mut writer, 400, &format!("malformed request: {m}"));
-                return;
-            }
-            Err(HttpError::TooLarge(what)) => {
-                read_error_response(shared, &mut writer, 413, &format!("{what} too large"));
-                return;
-            }
-        };
-        let arrived = Instant::now();
-        let m = &shared.metrics;
+        let m = Arc::clone(&shared.metrics);
         m.inflight.fetch_add(1, Ordering::Relaxed);
-        let (route, status, content_type, body) = respond(shared, &req, arrived);
+        let ctx = Ctx {
+            shared: shared.as_ref(),
+            arrived: job.waiter.arrived,
+        };
+        // A panicking handler answers 500 and the server keeps serving;
+        // the shared state it can reach is all panic-tolerant (atomics,
+        // poison-recovering locks).
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job.handler.compute(&ctx, &job.req)
+        }))
+        .unwrap_or_else(|_| Response::error(500, "internal error: handler panicked"));
         m.inflight.fetch_sub(1, Ordering::Relaxed);
-        m.on_request(route);
-        m.on_response(route, status, arrived.elapsed());
-        // During shutdown finish this request but close the connection so
-        // the worker can exit instead of waiting on an idle keep-alive.
-        let close = req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
-        if write_response(&mut writer, status, content_type, body.as_bytes(), close).is_err() {
-            return;
+        if resp.cacheable {
+            shared.raw_cache.insert(
+                FlightKey::new(&job.req.target, &job.req.body),
+                Arc::clone(&resp.body),
+            );
         }
-        if close {
-            let _ = writer.flush();
-            return;
+        let waiters = match &job.key {
+            Some(key) => {
+                m.singleflight_leaders.fetch_add(1, Ordering::Relaxed);
+                let ws = shared.flights.complete(key);
+                if ws.len() > 1 {
+                    m.coalesced_requests
+                        .fetch_add((ws.len() - 1) as u64, Ordering::Relaxed);
+                }
+                ws
+            }
+            None => vec![job.waiter.clone()],
+        };
+        for w in waiters {
+            let inbox = &shared.inboxes[w.shard];
+            inbox
+                .completions
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push(Completion {
+                    waiter: w,
+                    status: resp.status,
+                    content_type: resp.content_type,
+                    body: Arc::clone(&resp.body),
+                });
+            inbox.waker.wake();
         }
     }
 }
 
-/// Route one request. Returns (route, status, content type, body).
-fn respond(shared: &Shared, req: &Request, arrived: Instant) -> (Route, u16, &'static str, String) {
-    const JSON: &str = "application/json";
-    match (req.method.as_str(), req.path()) {
-        ("GET", "/healthz") => (Route::Healthz, 200, "text/plain", "ok\n".into()),
-        ("GET", "/readyz") => {
-            let state = current_ready_state(shared);
-            let (status, body) = match state {
-                ReadyState::Ready => (200, "ready\n"),
-                ReadyState::Degraded => (503, "degraded: request queue at capacity\n"),
-                ReadyState::Draining => (503, "draining: shutdown in progress\n"),
+/// A connection slot in a shard's slab. `gen` bumps on reap so a
+/// completion addressed to a previous occupant is recognizably stale.
+struct Slot {
+    gen: u64,
+    conn: Option<Conn>,
+}
+
+/// What each poll-set index refers back to.
+#[derive(Clone, Copy)]
+enum Target {
+    WakerRx,
+    Listener,
+    Conn(usize),
+}
+
+/// One shard: an accept + event loop driving its share of connections.
+fn shard_loop(shard: usize, listener: TcpListener, shared: Arc<Shared>) {
+    let mut poller = Poller::new();
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut interests: Vec<Interest> = Vec::new();
+    let mut targets: Vec<Target> = Vec::new();
+    let inbox = &shared.inboxes[shard];
+    loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        if draining && slots.iter().all(|s| s.conn.is_none()) {
+            return; // every connection drained; dropping the listener clone
+        }
+
+        interests.clear();
+        targets.clear();
+        interests.push(Interest::new(inbox.waker.receiver()));
+        targets.push(Target::WakerRx);
+        if !draining {
+            interests.push(Interest::new(&listener));
+            targets.push(Target::Listener);
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(conn) = &slot.conn {
+                let mut it = Interest::new(conn.stream());
+                it.read = conn.wants_read();
+                it.write = conn.wants_write();
+                interests.push(it);
+                targets.push(Target::Conn(i));
+            }
+        }
+
+        if poller.wait(&mut interests, POLL_TICK).is_err() {
+            // Only unrecoverable poll errors land here (EINTR is eaten
+            // by the poller); don't spin on them.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        for (it, target) in interests.iter().zip(&targets) {
+            match *target {
+                Target::WakerRx => {
+                    if it.readable {
+                        inbox.waker.drain();
+                    }
+                }
+                Target::Listener => {
+                    if it.readable {
+                        accept_burst(&shared, &listener, &mut slots, &mut free);
+                    }
+                }
+                Target::Conn(i) => {
+                    let gen = slots[i].gen;
+                    let Some(conn) = slots[i].conn.as_mut() else {
+                        continue;
+                    };
+                    if it.readable {
+                        // Read before honoring a hangup: a FIN can ride
+                        // behind valid final requests.
+                        match conn.fill() {
+                            FillResult::Data | FillResult::Eof => {
+                                process_conn(&shared, shard, i, gen, conn);
+                            }
+                            FillResult::Idle => {}
+                        }
+                    } else if it.failed {
+                        conn.dead = true;
+                    }
+                    if it.writable && conn.wants_write() {
+                        conn.flush();
+                    }
+                }
+            }
+        }
+
+        // Deliver completed cold requests back onto their connections.
+        let completions = std::mem::take(
+            &mut *inbox
+                .completions
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+        for c in completions {
+            let w = c.waiter;
+            // The request *was* served even if its connection died
+            // while it computed; the latency series should say so.
+            shared
+                .metrics
+                .on_response(w.route, c.status, w.arrived.elapsed());
+            let Some(slot) = slots.get_mut(w.conn) else {
+                continue;
             };
-            (Route::Readyz, status, "text/plain", body.into())
-        }
-        ("GET", "/metrics") => {
-            // Refresh the readiness gauge so a scrape sees the same
-            // state `/readyz` would report right now.
-            current_ready_state(shared);
-            (
-                Route::Metrics,
-                200,
-                "text/plain; version=0.0.4",
-                shared.metrics.render(),
-            )
-        }
-        ("GET", "/v1/kernels") => {
-            let scale = match query_scale(req) {
-                Ok(s) => s,
-                Err(e) => return (Route::Kernels, 400, JSON, error_body(&e)),
+            if slot.gen != w.gen {
+                continue; // slot was reaped and reused; response is stale
+            }
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
             };
-            (
-                Route::Kernels,
-                200,
-                JSON,
-                shared.advisor.kernels_body(scale).encode_pretty(),
-            )
+            let close = w.wants_close || shared.shutdown.load(Ordering::SeqCst);
+            enqueue_response(conn, c.status, c.content_type, c.body.as_bytes(), close);
+            conn.busy = false;
+            conn.flush();
+            if !close {
+                // Pipelined requests parked behind the busy flag.
+                process_conn(&shared, shard, w.conn, w.gen, conn);
+            }
         }
-        ("POST", "/v1/predict") => with_body(req, Route::Predict, |v| predict(shared, v, arrived)),
-        ("POST", "/v1/advise") => {
-            with_body(req, Route::Advise, |v| rank(shared, v, arrived, false))
-        }
-        ("POST", "/v1/search") => with_body(req, Route::Search, |v| rank(shared, v, arrived, true)),
-        (
-            _,
-            "/healthz" | "/readyz" | "/metrics" | "/v1/kernels" | "/v1/predict" | "/v1/advise"
-            | "/v1/search",
-        ) => {
-            let route = match req.path() {
-                "/healthz" => Route::Healthz,
-                "/readyz" => Route::Readyz,
-                "/metrics" => Route::Metrics,
-                "/v1/kernels" => Route::Kernels,
-                "/v1/predict" => Route::Predict,
-                "/v1/advise" => Route::Advise,
-                _ => Route::Search,
+
+        // Slowloris sweep: a request that has been arriving for longer
+        // than the read deadline is answered 408 and the peer cut off.
+        for slot in slots.iter_mut() {
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
             };
-            (
-                route,
-                405,
-                JSON,
-                error_body(&format!("method {} not allowed here", req.method)),
-            )
+            if conn.busy || conn.close_after_flush || conn.dead {
+                continue;
+            }
+            if let Some(t0) = conn.first_byte_at {
+                if t0.elapsed() > shared.read_deadline {
+                    shared.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                    read_error(&shared, conn, 408, "request read deadline exceeded");
+                }
+            }
+            if draining && !conn.busy && conn.first_byte_at.is_none() && !conn.wants_write() {
+                // Idle keep-alive connection during drain: close it so
+                // the shard can exit (mid-request peers keep their
+                // read-deadline window).
+                conn.dead = true;
+            }
         }
-        _ => (
-            Route::Other,
-            404,
-            JSON,
-            error_body(&format!("no such endpoint `{}`", req.path())),
-        ),
+
+        // Reap finished connections; bump `gen` so any in-flight
+        // completion for the old occupant is dropped on arrival.
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if let Some(conn) = &slot.conn {
+                if conn.reapable() {
+                    slot.conn = None;
+                    slot.gen += 1;
+                    free.push(i);
+                    shared
+                        .metrics
+                        .open_connections
+                        .fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }
 
-/// Classify the server's current readiness and mirror it into the
-/// `hms_ready_state` gauge.
-fn current_ready_state(shared: &Shared) -> ReadyState {
-    let queue_len = lock_queue(shared).len();
-    let state = ready_state(
-        shared.shutdown.load(Ordering::SeqCst),
-        queue_len,
-        shared.queue_depth,
-    );
+/// Accept until the listener runs dry, shedding when the job queue is
+/// at capacity.
+fn accept_burst(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    slots: &mut Vec<Slot>,
+    free: &mut Vec<usize>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.jobs_pending.load(Ordering::SeqCst) as usize >= shared.queue_depth {
+                    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    shed(stream);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let conn = Conn::new(stream);
+                match free.pop() {
+                    Some(i) => slots[i].conn = Some(conn),
+                    None => slots.push(Slot {
+                        gen: 0,
+                        conn: Some(conn),
+                    }),
+                }
+                shared
+                    .metrics
+                    .open_connections
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serialize a response onto the connection's write buffer.
+fn enqueue_response(conn: &mut Conn, status: u16, content_type: &str, body: &[u8], close: bool) {
+    let mut bytes = Vec::with_capacity(body.len() + 128);
+    // Writing to a Vec cannot fail.
+    let _ = write_response(&mut bytes, status, content_type, body, close);
+    conn.enqueue(&bytes);
+    if close {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Answer a request that failed before routing (unreadable, trickled,
+/// oversized) and account for it: these responses belong in
+/// `hms_responses_total` too — an operator watching a slowloris attack
+/// sees the 408s, not a silent loop.
+fn read_error(shared: &Shared, conn: &mut Conn, status: u16, msg: &str) {
     shared
         .metrics
-        .ready_state
-        .store(state.gauge(), Ordering::Relaxed);
-    state
+        .on_response(Route::Other, status, Duration::ZERO);
+    enqueue_response(
+        conn,
+        status,
+        "application/json",
+        error_body(msg).as_bytes(),
+        true,
+    );
+    conn.flush();
 }
 
-/// Parse `?scale=` (default full) for `GET /v1/kernels`.
-fn query_scale(req: &Request) -> Result<Scale, String> {
-    match req.target.split_once('?') {
-        None => Ok(Scale::Full),
-        Some((_, qs)) => {
-            for pair in qs.split('&') {
-                if let Some(v) = pair.strip_prefix("scale=") {
-                    return Scale::parse(v).ok_or_else(|| format!("unknown scale `{v}`"));
+/// Parse and dispatch every complete request buffered on `conn`,
+/// stopping at the first one that goes cold (busy) or closes it.
+fn process_conn(shared: &Arc<Shared>, shard: usize, idx: usize, gen: u64, conn: &mut Conn) {
+    loop {
+        if conn.busy || conn.close_after_flush {
+            break;
+        }
+        match conn.next_request() {
+            None => break,
+            Some(Err(e)) => {
+                match e {
+                    HttpError::Malformed(m) => {
+                        read_error(shared, conn, 400, &format!("malformed request: {m}"))
+                    }
+                    HttpError::TooLarge(what) => {
+                        read_error(shared, conn, 413, &format!("{what} too large"))
+                    }
+                    // Reset mid-request: nobody left to answer.
+                    _ => conn.dead = true,
+                }
+                break;
+            }
+            Some(Ok(req)) => handle_request(shared, shard, idx, gen, conn, req),
+        }
+    }
+    conn.flush();
+}
+
+/// Route one request: answer warm outcomes inline, dispatch cold ones
+/// to the worker pool (joining an existing flight when an identical
+/// request is already computing).
+fn handle_request(
+    shared: &Arc<Shared>,
+    shard: usize,
+    idx: usize,
+    gen: u64,
+    conn: &mut Conn,
+    req: Request,
+) {
+    let arrived = Instant::now();
+    let m = &shared.metrics;
+    let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+    match shared.router.find(&req.method, req.path()) {
+        RouteMatch::Found(entry) => {
+            m.on_request(entry.route);
+            let ctx = Ctx {
+                shared: shared.as_ref(),
+                arrived,
+            };
+            match entry.handler.poll(&ctx, &req) {
+                Outcome::Ready(resp) => {
+                    let close = req.wants_close() || shutting_down;
+                    m.on_response(entry.route, resp.status, arrived.elapsed());
+                    enqueue_response(
+                        conn,
+                        resp.status,
+                        resp.content_type,
+                        resp.body.as_bytes(),
+                        close,
+                    );
+                }
+                Outcome::Compute { coalesce } => {
+                    let waiter = Waiter {
+                        shard,
+                        conn: idx,
+                        gen,
+                        route: entry.route,
+                        wants_close: req.wants_close(),
+                        arrived,
+                    };
+                    conn.busy = true;
+                    let key = (coalesce && shared.coalescing)
+                        .then(|| FlightKey::new(&req.target, &req.body));
+                    let leads = match &key {
+                        Some(k) => matches!(shared.flights.join(k, waiter.clone()), Join::Lead),
+                        None => true,
+                    };
+                    if leads {
+                        let handler = Arc::clone(&entry.handler);
+                        let mut q = lock_jobs(shared);
+                        q.push_back(Job {
+                            handler,
+                            req,
+                            key,
+                            waiter,
+                        });
+                        let len = q.len() as u64;
+                        shared.jobs_pending.store(len, Ordering::SeqCst);
+                        m.queue_depth.store(len, Ordering::Relaxed);
+                        drop(q);
+                        shared.job_ready.notify_one();
+                    }
                 }
             }
-            Ok(Scale::Full)
         }
-    }
-}
-
-/// Decode the body as JSON and dispatch, mapping failures to statuses.
-fn with_body(
-    req: &Request,
-    route: Route,
-    f: impl FnOnce(&Json) -> Result<(u16, String), (u16, String)>,
-) -> (Route, u16, &'static str, String) {
-    let text = match std::str::from_utf8(&req.body) {
-        Ok(t) => t,
-        Err(_) => {
-            return (
-                route,
-                400,
+        RouteMatch::MethodNotAllowed(route) => {
+            m.on_request(route);
+            let close = req.wants_close() || shutting_down;
+            m.on_response(route, 405, arrived.elapsed());
+            enqueue_response(
+                conn,
+                405,
                 "application/json",
-                error_body("body is not UTF-8"),
-            )
+                error_body(&format!("method {} not allowed here", req.method)).as_bytes(),
+                close,
+            );
         }
-    };
-    let v = match decode(text) {
-        Ok(v) => v,
-        Err(e) => {
-            return (
-                route,
-                400,
+        RouteMatch::NotFound => {
+            m.on_request(Route::Other);
+            let close = req.wants_close() || shutting_down;
+            m.on_response(Route::Other, 404, arrived.elapsed());
+            enqueue_response(
+                conn,
+                404,
                 "application/json",
-                error_body(&format!("invalid JSON: {e}")),
-            )
+                error_body(&format!("no such endpoint `{}`", req.path())).as_bytes(),
+                close,
+            );
         }
-    };
-    match f(&v) {
-        Ok((status, body)) => (route, status, "application/json", body),
-        Err((status, body)) => (route, status, "application/json", body),
     }
-}
-
-fn api_error(e: ApiError) -> (u16, String) {
-    let status = match &e {
-        ApiError::BadRequest(_) => 400,
-        ApiError::UnknownKernel(_) => 404,
-        ApiError::Model(_) => 500,
-    };
-    (status, error_body(&e.to_string()))
-}
-
-fn error_body(msg: &str) -> String {
-    Json::Obj(vec![("error".into(), Json::str(msg))]).encode_pretty()
-}
-
-/// Deadline check shared by the POST handlers: refuse with 504 before
-/// starting (or continuing into) expensive work a dead client will
-/// never see the result of.
-fn check_deadline(shared: &Shared, arrived: Instant) -> Result<(), (u16, String)> {
-    if arrived.elapsed() > shared.deadline {
-        shared
-            .metrics
-            .deadline_exceeded
-            .fetch_add(1, Ordering::Relaxed);
-        Err((
-            504,
-            error_body(&format!(
-                "deadline exceeded ({} ms)",
-                shared.deadline.as_millis()
-            )),
-        ))
-    } else {
-        Ok(())
-    }
-}
-
-fn predict(shared: &Shared, v: &Json, arrived: Instant) -> Result<(u16, String), (u16, String)> {
-    check_deadline(shared, arrived)?;
-    let q = PredictQuery::from_json(v).map_err(api_error)?;
-    let m = &shared.metrics;
-    // Resolving the placement needs the kernel; build it (cached) so the
-    // cache key is the *resolved* placement — `moves` and an equivalent
-    // `placement` object hit the same entry.
-    let kt = shared
-        .advisor
-        .kernel(&q.kernel, q.scale)
-        .map_err(api_error)?;
-    let resolved = shared
-        .advisor
-        .resolve_placement(&kt, &q.moves)
-        .map_err(api_error)?;
-    let key = PredKey {
-        kernel: q.kernel.clone(),
-        scale: q.scale,
-        placement: named_placement(&kt.arrays, &resolved),
-        options: shared.advisor.predictor.options,
-        trained: shared.advisor.predictor.overlap.is_trained(),
-    };
-    if let Some(body) = shared.pred_cache.get(&key) {
-        m.prediction_cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Ok((200, body.as_ref().clone()));
-    }
-    m.prediction_cache_misses.fetch_add(1, Ordering::Relaxed);
-    check_deadline(shared, arrived)?;
-    let mut effort = Effort::default();
-    let (body, _pred) = shared.advisor.predict(&q, &mut effort).map_err(api_error)?;
-    count_effort(m, &effort);
-    m.predictions_computed.fetch_add(1, Ordering::Relaxed);
-    let body = Arc::new(body.encode_pretty());
-    shared.pred_cache.insert(key, Arc::clone(&body));
-    Ok((200, body.as_ref().clone()))
-}
-
-fn rank(
-    shared: &Shared,
-    v: &Json,
-    arrived: Instant,
-    is_search: bool,
-) -> Result<(u16, String), (u16, String)> {
-    check_deadline(shared, arrived)?;
-    let q = RankQuery::from_json(v, is_search).map_err(api_error)?;
-    let m = &shared.metrics;
-    let key = RankKey {
-        kernel: q.kernel.clone(),
-        scale: q.scale,
-        top: q.top,
-        prune: q.prune,
-        include_stats: is_search,
-        options: shared.advisor.predictor.options,
-        trained: shared.advisor.predictor.overlap.is_trained(),
-    };
-    if let Some(body) = shared.rank_cache.get(&key) {
-        m.search_cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Ok((200, body.as_ref().clone()));
-    }
-    m.search_cache_misses.fetch_add(1, Ordering::Relaxed);
-    check_deadline(shared, arrived)?;
-    let mut effort = Effort::default();
-    // The search stops at the request deadline and returns best-so-far
-    // flagged `"partial": true` instead of timing out with nothing.
-    let (body, outcome) = shared
-        .advisor
-        .rank(&q, is_search, Some(arrived + shared.deadline), &mut effort)
-        .map_err(api_error)?;
-    count_effort(m, &effort);
-    m.on_engine_stats(&outcome.stats);
-    let body = Arc::new(body.encode_pretty());
-    // A partial ranking reflects this request's deadline, not the
-    // query — caching it would serve truncated results forever.
-    if !outcome.partial {
-        shared.rank_cache.insert(key, Arc::clone(&body));
-    }
-    Ok((200, body.as_ref().clone()))
-}
-
-fn count_effort(m: &Metrics, e: &Effort) {
-    if e.simulated {
-        m.simulations.fetch_add(1, Ordering::Relaxed);
-        m.profile_cache_misses.fetch_add(1, Ordering::Relaxed);
-    }
-    if e.profile_hit {
-        m.profile_cache_hits.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-fn named_placement(
-    arrays: &[hms_types::ArrayDef],
-    pm: &PlacementMap,
-) -> Vec<(String, MemorySpace)> {
-    pm.iter()
-        .map(|(id, space)| {
-            (
-                arrays
-                    .get(id.index())
-                    .map_or_else(|| format!("#{}", id.0), |a| a.name.clone()),
-                space,
-            )
-        })
-        .collect()
 }

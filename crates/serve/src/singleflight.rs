@@ -1,0 +1,193 @@
+//! Single-flight coalescing: concurrent identical requests share one
+//! engine evaluation.
+//!
+//! The sharded response cache already makes *sequential* repeats cheap,
+//! but a thundering herd of identical cold requests all miss the cache
+//! at once and race N engine evaluations for one answer. The flight
+//! table closes that gap: the first arrival for a key becomes the
+//! *leader* and computes; everyone else *joins* and waits for the
+//! leader's bytes. One lock guards the whole table, and completion
+//! removes the key and collects the waiters in the same critical
+//! section joiners insert under — so a waiter can never be added to a
+//! flight that already landed (the classic lost-wakeup of naive
+//! check-then-wait designs).
+//!
+//! The key is the request's routing identity: path plus the raw body
+//! bytes. Hashing the *bytes* (not the parsed query) is deliberate —
+//! two bodies that differ only in whitespace do not coalesce, but two
+//! tenants' queries (which differ in their `config` member) can never
+//! be confused, and no parse happens before the coalescing decision.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Identity of one in-flight computation: request path + raw body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlightKey {
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+impl FlightKey {
+    pub fn new(path: &str, body: &[u8]) -> FlightKey {
+        FlightKey {
+            path: path.to_string(),
+            body: body.to_vec(),
+        }
+    }
+}
+
+/// The verdict of [`FlightTable::join`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Join {
+    /// No flight existed: the caller is the leader and must compute,
+    /// then call [`FlightTable::complete`] exactly once.
+    Lead,
+    /// An identical request is already in flight; the caller's waiter
+    /// is parked and will be returned to the leader's `complete`.
+    Joined,
+}
+
+/// All in-flight computations, keyed by request identity. `W` is
+/// whatever the caller needs to deliver a finished response (the server
+/// uses a shard/connection address; tests use channels).
+pub struct FlightTable<W> {
+    flights: Mutex<HashMap<FlightKey, Vec<W>>>,
+}
+
+impl<W> FlightTable<W> {
+    pub fn new() -> FlightTable<W> {
+        FlightTable {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<FlightKey, Vec<W>>> {
+        // A panicking holder can only have left a structurally complete
+        // map (plain insert/remove), so poisoning is not data loss.
+        self.flights
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Join the flight for `key`, registering `waiter` for its result.
+    /// The first joiner leads; the leader's own waiter is parked too,
+    /// so [`complete`](FlightTable::complete) returns *all* N waiters
+    /// of an N-way coalesce.
+    pub fn join(&self, key: &FlightKey, waiter: W) -> Join {
+        let mut flights = self.lock();
+        match flights.get_mut(key) {
+            Some(waiters) => {
+                waiters.push(waiter);
+                Join::Joined
+            }
+            None => {
+                flights.insert(key.clone(), vec![waiter]);
+                Join::Lead
+            }
+        }
+    }
+
+    /// Land the flight: remove `key` and return every parked waiter.
+    /// Runs under the same lock `join` inserts under, so the returned
+    /// list is complete — later identical requests start a new flight
+    /// (and will hit the response cache the leader just populated).
+    pub fn complete(&self, key: &FlightKey) -> Vec<W> {
+        self.lock().remove(key).unwrap_or_default()
+    }
+
+    /// Number of distinct computations currently in flight.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<W> Default for FlightTable<W> {
+    fn default() -> Self {
+        FlightTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_joiner_leads_rest_follow() {
+        let table: FlightTable<u32> = FlightTable::new();
+        let key = FlightKey::new("/v1/predict", b"{\"kernel\":\"vecadd\"}");
+        assert_eq!(table.join(&key, 1), Join::Lead);
+        assert_eq!(table.join(&key, 2), Join::Joined);
+        assert_eq!(table.join(&key, 3), Join::Joined);
+        assert_eq!(table.len(), 1);
+        let waiters = table.complete(&key);
+        assert_eq!(waiters, vec![1, 2, 3]);
+        assert!(table.is_empty());
+        // After completion the key leads again (cache handles reuse).
+        assert_eq!(table.join(&key, 4), Join::Lead);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let table: FlightTable<u32> = FlightTable::new();
+        let a = FlightKey::new("/v1/predict", b"{\"kernel\":\"vecadd\"}");
+        let b = FlightKey::new("/v1/predict", b"{\"kernel\":\"spmv\"}");
+        let c = FlightKey::new("/v1/search", b"{\"kernel\":\"vecadd\"}");
+        assert_eq!(table.join(&a, 1), Join::Lead);
+        assert_eq!(table.join(&b, 2), Join::Lead);
+        assert_eq!(table.join(&c, 3), Join::Lead);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.complete(&a), vec![1]);
+        assert_eq!(table.complete(&b), vec![2]);
+        assert_eq!(table.complete(&c), vec![3]);
+    }
+
+    /// The lost-waiter race: joiners racing a completing leader must
+    /// each end up in exactly one flight — either collected by this
+    /// completion or leading a fresh flight. Nobody vanishes.
+    #[test]
+    fn no_waiter_is_lost_under_contention() {
+        let table: Arc<FlightTable<mpsc::Sender<()>>> = Arc::new(FlightTable::new());
+        let key = FlightKey::new("/v1/search", b"{}");
+        for _round in 0..50 {
+            let mut receivers = Vec::new();
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let (tx, rx) = mpsc::channel();
+                receivers.push(rx);
+                let t = Arc::clone(&table);
+                let k = key.clone();
+                handles.push(std::thread::spawn(move || {
+                    match t.join(&k, tx) {
+                        Join::Lead => {
+                            // Leader "computes" instantly and lands.
+                            for w in t.complete(&k) {
+                                let _ = w.send(());
+                            }
+                        }
+                        Join::Joined => {}
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Any flight left open (a joiner landed after the leader
+            // completed and became a new leader) is finished here.
+            for w in table.complete(&key) {
+                let _ = w.send(());
+            }
+            for rx in receivers {
+                rx.recv_timeout(std::time::Duration::from_secs(5))
+                    .expect("a waiter was lost");
+            }
+            assert!(table.is_empty());
+        }
+    }
+}

@@ -23,6 +23,8 @@
 
 use std::fmt::Write as _;
 
+pub mod v1;
+
 /// One JSON value. Numbers are `f64` (like JavaScript); object member
 /// order is preserved.
 #[derive(Debug, Clone, PartialEq)]

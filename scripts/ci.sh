@@ -80,7 +80,18 @@ wait "$serve_pid" || { echo "serve exited nonzero on SIGTERM"; exit 1; }
 trap - EXIT
 rm -f "$serve_log"
 
-echo "==> serve load benchmark (BENCH_serve.json)"
-cargo run -q -p hms-bench --release --offline --bin bench_serve -- test
+echo "==> serve load benchmark gate (256 connections, BENCH_serve.json)"
+bench_rps() {
+    sed -n 's/^ *"throughput_rps": *\([0-9.eE+-]*\),*$/\1/p' "$1"
+}
+baseline_rps="$(bench_rps BENCH_serve.json)"
+[ -n "$baseline_rps" ] || { echo "no committed BENCH_serve.json baseline"; exit 1; }
+cargo run -q -p hms-bench --release --offline --bin bench_serve -- gate
+current_rps="$(bench_rps BENCH_serve.json)"
+echo "    throughput_rps: baseline=$baseline_rps current=$current_rps"
+awk -v cur="$current_rps" -v base="$baseline_rps" 'BEGIN { exit !(cur >= 0.8 * base) }' || {
+    echo "serve throughput regressed >20% against the committed BENCH_serve.json baseline"
+    exit 1
+}
 
 echo "CI OK"

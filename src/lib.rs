@@ -23,9 +23,10 @@
 //!   truth);
 //! * [`core`] — the paper's contribution: the `T = T_comp + T_mem −
 //!   T_overlap` predictor, baselines, ablations, and placement search;
-//! * [`serve`] — the placement-advisory HTTP server (std-only): JSON
-//!   wire codec, sharded prediction cache, worker pool with load
-//!   shedding, Prometheus metrics (`hms serve`);
+//! * [`serve`] — the placement-advisory HTTP server (std-only):
+//!   event-driven readiness loops over `poll(2)`, single-flight
+//!   coalescing, a multi-tenant GPU-config registry, JSON wire codec,
+//!   sharded prediction cache, Prometheus metrics (`hms serve`);
 //! * [`faults`] — seed-replayable deterministic fault injection
 //!   (slowloris, truncation, resets, adversarial JSON corpus) used by
 //!   the chaos suite and the serving benchmark.
@@ -72,7 +73,12 @@ pub mod prelude {
     };
     pub use hms_faults::{FaultClient, FaultKind, FaultPlan};
     pub use hms_kernels::{by_name, registry, Scale};
-    pub use hms_serve::{Advisor, Json, Metrics, ServeConfig, ServerHandle};
+    #[allow(deprecated)]
+    pub use hms_serve::ServeConfig;
+    pub use hms_serve::{
+        Advisor, ConfigRegistry, Handler, Json, Metrics, Outcome, Response, ServerConfig,
+        ServerHandle,
+    };
     pub use hms_sim::{simulate, simulate_default, EventSet, SimOptions, SimResult};
     pub use hms_trace::{materialize, rewrite, KernelTrace};
     pub use hms_types::{

@@ -19,7 +19,9 @@ use std::time::{Duration, Instant};
 use gpu_hms::core::Predictor;
 use gpu_hms::faults::{FaultClient, FaultOutcome, FaultPlan};
 use gpu_hms::serve::api::{Effort, RankQuery};
-use gpu_hms::serve::{ready_state, spawn, Advisor, Json, Metrics, ReadyState, ServeConfig};
+use gpu_hms::serve::{
+    ready_state, Advisor, ConfigRegistry, Json, Metrics, ReadyState, ServerConfig,
+};
 use gpu_hms::types::GpuConfig;
 
 /// The pinned default plan seed; `HMS_CHAOS_SEED=<n>` replays any other.
@@ -38,16 +40,15 @@ fn advisor() -> Advisor {
 }
 
 fn chaos_server() -> gpu_hms::serve::ServerHandle {
-    let scfg = ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        threads: 2,
+    ServerConfig::new()
+        .bind("127.0.0.1:0")
+        .workers(2)
         // Short enough that a slowloris trickle hits the cumulative
         // read deadline within one case, long enough that a normal
         // request never does.
-        read_deadline: Duration::from_millis(250),
-        ..ServeConfig::default()
-    };
-    spawn(scfg, advisor()).expect("binds ephemeral port")
+        .read_deadline(Duration::from_millis(250))
+        .spawn(ConfigRegistry::new("default", advisor()))
+        .expect("binds ephemeral port")
 }
 
 /// Minimal well-formed HTTP/1.1 client for the non-fault probes.
@@ -209,6 +210,7 @@ fn deadline_partial_flag_reaches_the_wire_format() {
         top: 3,
         prune: true,
         threads: 1,
+        config: None,
     };
     let mut effort = Effort::default();
     let (body, outcome) = adv

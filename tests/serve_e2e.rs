@@ -6,22 +6,26 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use gpu_hms::core::Predictor;
-use gpu_hms::serve::{spawn, Advisor, Metrics, ServeConfig};
+use gpu_hms::serve::{
+    Advisor, ConfigRegistry, Ctx, Handler, Metrics, Outcome, Response as HandlerResponse,
+    ServerConfig,
+};
 use gpu_hms::types::GpuConfig;
 
-fn test_server(mutate: impl FnOnce(&mut ServeConfig)) -> gpu_hms::serve::ServerHandle {
-    let cfg = GpuConfig::test_small();
-    let advisor = Advisor::new(cfg.clone(), Predictor::new(cfg));
-    let mut scfg = ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        threads: 2,
-        ..ServeConfig::default()
-    };
-    mutate(&mut scfg);
-    spawn(scfg, advisor).expect("binds ephemeral port")
+fn advisor(cfg: GpuConfig) -> Advisor {
+    Advisor::new(cfg.clone(), Predictor::new(cfg))
+}
+
+fn test_server(mutate: impl FnOnce(ServerConfig) -> ServerConfig) -> gpu_hms::serve::ServerHandle {
+    let registry = ConfigRegistry::new("default", advisor(GpuConfig::test_small()));
+    mutate(ServerConfig::new().bind("127.0.0.1:0").workers(2))
+        .spawn(registry)
+        .expect("binds ephemeral port")
 }
 
 /// Minimal keep-alive HTTP/1.1 test client.
@@ -108,7 +112,7 @@ const PREDICT: &str = r#"{"kernel":"vecadd","scale":"test","moves":[{"array":"a"
 
 #[test]
 fn healthz_kernels_and_not_found() {
-    let h = test_server(|_| {});
+    let h = test_server(|c| c);
     let mut c = Client::connect(h.addr());
     let r = c.get("/healthz");
     assert_eq!((r.status, r.body.as_str()), (200, "ok\n"));
@@ -132,7 +136,7 @@ fn healthz_kernels_and_not_found() {
 
 #[test]
 fn predict_warm_cache_skips_model_work() {
-    let h = test_server(|_| {});
+    let h = test_server(|c| c);
     let mut c = Client::connect(h.addr());
 
     let r1 = c.post("/v1/predict", PREDICT);
@@ -165,7 +169,7 @@ fn predict_warm_cache_skips_model_work() {
 
 #[test]
 fn search_warm_cache_skips_engine_work() {
-    let h = test_server(|_| {});
+    let h = test_server(|c| c);
     let mut c = Client::connect(h.addr());
     let body = r#"{"kernel":"vecadd","scale":"test","top":3}"#;
 
@@ -204,7 +208,7 @@ fn search_warm_cache_skips_engine_work() {
 
 #[test]
 fn client_errors_are_4xx() {
-    let h = test_server(|_| {});
+    let h = test_server(|c| c);
     let mut c = Client::connect(h.addr());
     // Malformed JSON.
     let r = c.post("/v1/predict", "{not json");
@@ -231,7 +235,7 @@ fn client_errors_are_4xx() {
 
 #[test]
 fn zero_deadline_rejects_model_queries_but_not_probes() {
-    let h = test_server(|c| c.deadline = Duration::ZERO);
+    let h = test_server(|c| c.deadline(Duration::ZERO));
     let mut c = Client::connect(h.addr());
     // Liveness and metrics stay reachable on a saturated deadline.
     assert_eq!(c.get("/healthz").status, 200);
@@ -245,7 +249,7 @@ fn zero_deadline_rejects_model_queries_but_not_probes() {
 
 #[test]
 fn zero_queue_sheds_with_503() {
-    let h = test_server(|c| c.queue_depth = 0);
+    let h = test_server(|c| c.queue_depth(0));
     // Every connection is refused before reaching a worker.
     let mut c = Client::connect(h.addr());
     let r = c.read_response().expect("shed response");
@@ -256,7 +260,7 @@ fn zero_queue_sheds_with_503() {
 
 #[test]
 fn concurrent_clients_get_consistent_answers() {
-    let h = test_server(|_| {});
+    let h = test_server(|c| c);
     let addr = h.addr();
     let bodies: Vec<String> = std::thread::scope(|s| {
         (0..4)
@@ -289,7 +293,7 @@ fn concurrent_clients_get_consistent_answers() {
 
 #[test]
 fn graceful_shutdown_closes_the_port() {
-    let h = test_server(|_| {});
+    let h = test_server(|c| c);
     let addr = h.addr();
     let mut c = Client::connect(addr);
     assert_eq!(c.post("/v1/predict", PREDICT).status, 200);
@@ -309,4 +313,175 @@ fn graceful_shutdown_closes_the_port() {
             );
         }
     }
+}
+
+/// Worker-stage handler that records every `compute` call and parks
+/// long enough for concurrent identical requests to pile onto the
+/// leader's flight instead of racing it to the cache.
+struct SlowEcho {
+    computes: Arc<AtomicU64>,
+    park: Duration,
+}
+
+impl Handler for SlowEcho {
+    fn poll(&self, _ctx: &Ctx<'_>, _req: &gpu_hms::serve::http::Request) -> Outcome {
+        Outcome::Compute { coalesce: true }
+    }
+
+    fn compute(&self, _ctx: &Ctx<'_>, req: &gpu_hms::serve::http::Request) -> HandlerResponse {
+        self.computes.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(self.park);
+        HandlerResponse::json(
+            200,
+            format!("{{\"echo\": {}}}\n", String::from_utf8_lossy(&req.body)),
+        )
+    }
+}
+
+#[test]
+fn single_flight_coalesces_concurrent_identical_requests() {
+    const CLIENTS: usize = 8;
+    let computes = Arc::new(AtomicU64::new(0));
+    let handler = Arc::new(SlowEcho {
+        computes: Arc::clone(&computes),
+        park: Duration::from_millis(600),
+    });
+    let h = test_server(|c| c.route("POST", "/v1/slow", handler));
+    let addr = h.addr();
+
+    // All clients release together; the leader's compute parks for
+    // 600 ms, so every follower joins the in-progress flight.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        (0..CLIENTS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    barrier.wait();
+                    let r = c.post("/v1/slow", "7");
+                    assert_eq!(r.status, 200, "{}", r.body);
+                    r.body
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect()
+    });
+
+    assert!(
+        bodies.iter().all(|b| b == &bodies[0]),
+        "coalesced followers saw different bodies"
+    );
+    assert_eq!(
+        computes.load(Ordering::SeqCst),
+        1,
+        "single-flight must run the handler exactly once"
+    );
+    let mut c = Client::connect(addr);
+    assert_eq!(counter(&mut c, "hms_singleflight_leaders_total"), 1.0);
+    assert_eq!(
+        counter(&mut c, "hms_coalesced_requests_total"),
+        (CLIENTS - 1) as f64,
+        "every non-leader must be counted as coalesced"
+    );
+    h.shutdown();
+}
+
+#[test]
+fn coalescing_can_be_disabled() {
+    const CLIENTS: usize = 4;
+    let computes = Arc::new(AtomicU64::new(0));
+    let handler = Arc::new(SlowEcho {
+        computes: Arc::clone(&computes),
+        park: Duration::from_millis(100),
+    });
+    let h = test_server(|c| {
+        c.coalescing(false)
+            .workers(CLIENTS)
+            .route("POST", "/v1/slow", handler)
+    });
+    let addr = h.addr();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let mut c = Client::connect(addr);
+                barrier.wait();
+                assert_eq!(c.post("/v1/slow", "7").status, 200);
+            });
+        }
+    });
+    assert_eq!(
+        computes.load(Ordering::SeqCst),
+        CLIENTS as u64,
+        "with coalescing off every request must compute independently"
+    );
+    let mut c = Client::connect(addr);
+    assert_eq!(counter(&mut c, "hms_coalesced_requests_total"), 0.0);
+    h.shutdown();
+}
+
+#[test]
+fn tenants_never_share_cache_entries() {
+    // Two tenants: the default small machine and a C2050-class one
+    // (different core clock, so every latency constant differs). The
+    // same kernel + placement must be predicted per-tenant, on the
+    // tenant's own machine model, with fully separate caches.
+    let registry = ConfigRegistry::new("default", advisor(GpuConfig::test_small()))
+        .with("c2050", advisor(GpuConfig::tesla_c2050()));
+    let h = ServerConfig::new()
+        .bind("127.0.0.1:0")
+        .workers(2)
+        .spawn(registry)
+        .expect("binds ephemeral port");
+    let mut c = Client::connect(h.addr());
+
+    const PREDICT_C2050: &str = r#"{"kernel":"vecadd","scale":"test","config":"c2050","moves":[{"array":"a","space":"T"}]}"#;
+
+    let small = c.post("/v1/predict", PREDICT);
+    assert_eq!(small.status, 200, "{}", small.body);
+    let c2050 = c.post("/v1/predict", PREDICT_C2050);
+    assert_eq!(c2050.status, 200, "{}", c2050.body);
+    assert_ne!(
+        small.body, c2050.body,
+        "different machines must predict differently"
+    );
+    assert!(
+        !c2050.body.contains("config"),
+        "responses must not echo the tenant: {}",
+        c2050.body
+    );
+    assert_eq!(counter(&mut c, "hms_predictions_computed_total"), 2.0);
+    assert_eq!(counter(&mut c, "hms_prediction_cache_misses_total"), 2.0);
+
+    // Warm repeats hit each tenant's own cache; no cross-tenant reuse,
+    // no new model work.
+    let small2 = c.post("/v1/predict", PREDICT);
+    let c2050_2 = c.post("/v1/predict", PREDICT_C2050);
+    assert_eq!(small.body, small2.body);
+    assert_eq!(c2050.body, c2050_2.body);
+    assert_eq!(counter(&mut c, "hms_prediction_cache_hits_total"), 2.0);
+    assert_eq!(counter(&mut c, "hms_predictions_computed_total"), 2.0);
+
+    // Naming the default tenant explicitly is byte-identical to
+    // omitting `config` — same tenant, same cache entry.
+    let named = c.post(
+        "/v1/predict",
+        r#"{"kernel":"vecadd","scale":"test","config":"default","moves":[{"array":"a","space":"T"}]}"#,
+    );
+    assert_eq!(named.status, 200);
+    assert_eq!(small.body, named.body);
+    assert_eq!(counter(&mut c, "hms_predictions_computed_total"), 2.0);
+
+    // Unknown tenants are a client error, and list what exists.
+    let r = c.post(
+        "/v1/predict",
+        r#"{"kernel":"vecadd","scale":"test","config":"h100","moves":[{"array":"a","space":"T"}]}"#,
+    );
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("unknown config"), "{}", r.body);
+    h.shutdown();
 }
