@@ -46,8 +46,7 @@ fn main() {
     // Naive baseline: full rewrite + analysis per candidate.
     let space = hms_core::enumerate_placements(&kt.arrays, &sample, &candidates, &cfg, 4096);
     let t0 = Instant::now();
-    #[allow(deprecated)]
-    let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 0).expect("ranks");
+    let naive = hms_core::rank_placements_naive(&predictor, &profile, &space, 0).expect("ranks");
     let naive_secs = t0.elapsed().as_secs_f64();
 
     let assert_matches_naive = |ranked: &[hms_core::RankedPlacement], what: &str| {

@@ -72,6 +72,13 @@ pub enum Command {
         top: usize,
         stats: bool,
         prune: bool,
+        /// Search strategy spelling (`--strategy beam|halving|local|bnb|
+        /// exhaustive`); `None` falls back to `--prune`.
+        strategy: Option<String>,
+        /// Local-search seed (`--seed`, only with `--strategy local`).
+        seed: Option<u64>,
+        /// Beam width (`--beam`, only with `--strategy beam`).
+        beam: Option<usize>,
         threads: usize,
         json: bool,
         /// Wall-clock budget for the search; past it, the best-so-far
@@ -138,6 +145,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut shards = 0usize;
     let mut no_coalesce = false;
     let mut config: Option<String> = None;
+    let mut strategy: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut beam: Option<usize> = None;
     let mut tenants: Vec<(String, String)> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
@@ -206,6 +216,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 shards = v.parse().map_err(|_| format!("bad --shards value `{v}`"))?;
             }
             "--no-coalesce" => no_coalesce = true,
+            "--strategy" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--strategy needs a name")?;
+                strategy = Some(v.to_string());
+            }
+            "--seed" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--seed needs a number")?;
+                seed = Some(v.parse().map_err(|_| format!("bad --seed value `{v}`"))?);
+            }
+            "--beam" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--beam needs a number")?;
+                beam = Some(v.parse().map_err(|_| format!("bad --beam value `{v}`"))?);
+            }
             "--tenant" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--tenant needs `NAME=PRESET`")?;
@@ -271,6 +296,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             top,
             stats,
             prune,
+            strategy,
+            seed,
+            beam,
             threads,
             json,
             deadline_ms,
@@ -309,7 +337,7 @@ USAGE:
     hms simulate <kernel> [--scale full|test] [--move array=SPACE]...
     hms predict  <kernel> [--scale full|test] [--config NAME] [--train] [--json] --move array=SPACE...
     hms advise   <kernel> [--scale full|test] [--config NAME] [--train] [--top N] [--json]
-    hms search   <kernel> [--scale full|test] [--config NAME] [--train] [--top N] [--stats] [--prune] [--threads N] [--deadline-ms N] [--skel-cache DIR] [--json]
+    hms search   <kernel> [--scale full|test] [--config NAME] [--train] [--top N] [--stats] [--prune] [--strategy NAME] [--beam W] [--seed N] [--threads N] [--deadline-ms N] [--skel-cache DIR] [--json]
     hms dump     <kernel> [--scale full|test] [--move array=SPACE]...
     hms serve    [--addr HOST] [--port N] [--workers N] [--shards N] [--cache-entries N] [--deadline-ms N] [--queue N] [--no-coalesce] [--tenant NAME=PRESET]... [--train] [--skel-cache DIR]
 
@@ -318,6 +346,14 @@ SPACES: G (global), T (1-D texture), 2T (2-D texture), C (constant), S (shared)
 `search` ranks like `advise` but runs the incremental delta-evaluation
 engine; `--stats` prints its observability counters (full rewrites,
 delta hits, prune rate), `--prune` switches to branch-and-bound.
+`--strategy` picks the search algorithm by name: `exhaustive`, `bnb`
+(branch-and-bound), or the anytime strategies `beam` (beam search,
+width via `--beam`), `halving` (successive halving over skeleton
+groups), and `local` (seeded genetic local search, seed via `--seed`).
+Anytime strategies trade coverage for time and report a sound
+optimality-gap upper bound in `--stats`/`--json`: the true optimum is
+never better than best-found / (1 + gap). `--prune` conflicts with
+`--strategy`; `--beam`/`--seed` require their strategy.
 `--deadline-ms` bounds the search wall clock: past it the best-so-far
 ranking is returned, flagged partial in the output. `--skel-cache DIR`
 persists the engine's walk skeletons in DIR across runs (versioned and
@@ -343,6 +379,8 @@ adds a named GPU configuration requests select with \"config\": NAME.
 EXAMPLES:
     hms advise neuralnet --train
     hms search spmv --stats --prune
+    hms search wide8 --scale test --strategy beam --beam 16 --stats
+    hms search wide8 --scale test --strategy local --seed 7 --deadline-ms 2000
     hms predict spmv --move d_vec=G --move rowDelimiters=C
     hms predict spmv --json --move d_vec=T
     hms simulate md --move d_position=T
@@ -462,6 +500,64 @@ mod tests {
             panic!()
         };
         assert_eq!(deadline_ms, Some(40));
+    }
+
+    #[test]
+    fn parses_strategy_flags() {
+        let cmd = parse(&v(&[
+            "search",
+            "wide8",
+            "--strategy",
+            "beam",
+            "--beam",
+            "16",
+            "--scale",
+            "test",
+        ]))
+        .unwrap();
+        let Command::Search {
+            strategy,
+            beam,
+            seed,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(strategy.as_deref(), Some("beam"));
+        assert_eq!(beam, Some(16));
+        assert_eq!(seed, None);
+
+        let Command::Search { strategy, seed, .. } = parse(&v(&[
+            "search",
+            "wide8",
+            "--strategy",
+            "local",
+            "--seed",
+            "7",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(strategy.as_deref(), Some("local"));
+        assert_eq!(seed, Some(7));
+
+        // Absent flags stay absent (resolution happens in main, where a
+        // conflict is a usage error).
+        let Command::Search {
+            strategy,
+            seed,
+            beam,
+            ..
+        } = parse(&v(&["search", "wide8"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(strategy.is_none() && seed.is_none() && beam.is_none());
+
+        assert!(parse(&v(&["search", "wide8", "--strategy"])).is_err());
+        assert!(parse(&v(&["search", "wide8", "--seed", "lots"])).is_err());
+        assert!(parse(&v(&["search", "wide8", "--beam", "wide"])).is_err());
     }
 
     #[test]

@@ -255,6 +255,9 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 prune: false,
                 threads: 1,
                 config,
+                strategy: None,
+                seed: None,
+                beam: None,
             };
             let mut effort = Effort::default();
             let (body, _outcome) = adv.rank(&q, false, None, &mut effort)?;
@@ -271,6 +274,9 @@ fn run(cmd: Command) -> Result<(), CliError> {
             top,
             stats,
             prune,
+            strategy,
+            seed,
+            beam,
             threads,
             json,
             deadline_ms,
@@ -285,36 +291,39 @@ fn run(cmd: Command) -> Result<(), CliError> {
             // The deadline clock starts now — profile simulation and
             // search both count against it, like a server request.
             let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+            let q = RankQuery {
+                kernel,
+                scale,
+                top,
+                prune,
+                threads,
+                config,
+                strategy,
+                seed,
+                beam,
+            };
+            // Resolve before any model work so a contradictory flag set
+            // (`--prune --strategy beam`, `--seed` without `--strategy
+            // local`, ...) is a usage error — exit 2, same rule the
+            // server enforces with a 400.
+            let strategy: SearchStrategy = q.resolve_strategy()?;
             // The JSON body intentionally omits wall-clock timings; the
             // human `--stats` view wants them, so run the full outcome
             // path here and the body builder for `--json`.
             if json {
-                let q = RankQuery {
-                    kernel,
-                    scale,
-                    top,
-                    prune,
-                    threads,
-                    config,
-                };
                 let mut effort = Effort::default();
                 let (body, _outcome) = adv.rank(&q, true, deadline, &mut effort)?;
                 print!("{}", body.encode_pretty());
                 return Ok(());
             }
-            let kt = adv.kernel(&kernel, scale)?;
+            let kt = adv.kernel(&q.kernel, q.scale)?;
             let mut effort = Effort::default();
-            let profile = adv.profile(&kt, scale, &mut effort)?;
+            let profile = adv.profile(&kt, q.scale, &mut effort)?;
             let sample = kt.default_placement();
-            let strategy = if prune {
-                SearchStrategy::BranchAndBound
-            } else {
-                SearchStrategy::Exhaustive
-            };
             let mut req = hms_core::SearchRequest::new(&kt.arrays, &sample)
                 .read_only_candidates()
                 .strategy(strategy)
-                .threads(threads)
+                .threads(q.threads)
                 .deadline(deadline);
             if let Some(dir) = &skel_cache {
                 req = req.skeleton_cache(dir.clone());

@@ -184,6 +184,37 @@ fn search_json_is_byte_identical_to_server() {
 }
 
 #[test]
+fn strategy_search_json_is_byte_identical_to_server() {
+    let out = hms(&[
+        "search",
+        "wide6",
+        "--scale",
+        "test",
+        "--top",
+        "2",
+        "--strategy",
+        "beam",
+        "--beam",
+        "4",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (status, server_bytes) = server_post(
+        "/v1/search",
+        r#"{"kernel":"wide6","scale":"test","top":2,"strategy":"beam","beam":4}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(out.stdout, server_bytes);
+    let text = String::from_utf8_lossy(&server_bytes).into_owned();
+    assert!(text.contains("\"strategy\": \"beam\""));
+    assert!(text.contains("\"gap_upper_bound\""));
+}
+
+#[test]
 fn usage_errors_exit_2_with_one_line_diagnostic() {
     for args in [
         &["predict", "ghost", "--move", "a=T"][..], // unknown kernel
@@ -191,6 +222,10 @@ fn usage_errors_exit_2_with_one_line_diagnostic() {
         &["predict", "vecadd", "--move", "ghost=T"], // unknown array
         &["predict", "vecadd", "--scale", "test", "--move", "v=C"], // illegal placement
         &["frobnicate"],                            // unknown command
+        &["search", "vecadd", "--prune", "--strategy", "beam"], // conflicting strategies
+        &["search", "vecadd", "--beam", "4"],       // knob without its strategy
+        &["search", "vecadd", "--strategy", "local", "--beam", "4"], // wrong knob
+        &["search", "vecadd", "--strategy", "warp_drive"], // unknown strategy
     ] {
         let out = hms(args);
         assert_eq!(

@@ -112,6 +112,21 @@ pub struct EngineStats {
     pub enumerate_nanos: u64,
     /// Wall time evaluating candidates (model math + ranking).
     pub evaluate_nanos: u64,
+    /// Candidates *considered* by an anytime strategy — prefixes scored
+    /// by the lower bound, arms advanced by successive halving, genomes
+    /// proposed by local search — whether or not they reached the model.
+    /// Exact strategies leave this 0.
+    pub candidates_visited: u64,
+    /// Sound upper bound on the relative optimality gap of the best
+    /// returned placement: `best <= optimum * (1 + gap_upper_bound)`.
+    /// 0 for exact strategies that ran to completion; see
+    /// [`strategies`](crate::strategies) for how each strategy derives
+    /// its bound.
+    pub gap_upper_bound: f64,
+    /// Wire name of the strategy that produced this snapshot (see
+    /// [`SearchStrategy::name`](crate::search::SearchStrategy::name));
+    /// empty for snapshots taken outside a search.
+    pub strategy: &'static str,
 }
 
 impl EngineStats {
@@ -120,6 +135,16 @@ impl EngineStats {
     /// 3-array search is the working target).
     pub fn rewrite_reduction(&self) -> f64 {
         self.candidates_evaluated as f64 / self.full_rewrites.max(1) as f64
+    }
+
+    /// Whether `strategy` names one of the anytime approximate
+    /// strategies — the ones whose `candidates_visited` /
+    /// `gap_upper_bound` carry meaning (and appear on the wire).
+    pub fn anytime(&self) -> bool {
+        matches!(
+            self.strategy,
+            "beam" | "successive_halving" | "local_search"
+        )
     }
 
     /// Fraction of the (estimated) candidate space skipped by pruning.
@@ -151,6 +176,10 @@ impl EngineStats {
         self.prepare_nanos += other.prepare_nanos;
         self.enumerate_nanos += other.enumerate_nanos;
         self.evaluate_nanos += other.evaluate_nanos;
+        self.candidates_visited += other.candidates_visited;
+        // A cumulative total keeps the *worst* gap seen; the strategy
+        // name is per-search, so the accumulator's own label wins.
+        self.gap_upper_bound = self.gap_upper_bound.max(other.gap_upper_bound);
     }
 
     /// Candidates evaluated per second of evaluation wall time.
@@ -166,6 +195,21 @@ impl EngineStats {
 impl std::fmt::Display for EngineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "search engine stats:")?;
+        if !self.strategy.is_empty() {
+            writeln!(f, "  strategy                {:>10}", self.strategy)?;
+        }
+        if self.anytime() {
+            writeln!(
+                f,
+                "  candidates visited      {:>10}",
+                self.candidates_visited
+            )?;
+            writeln!(
+                f,
+                "  gap upper bound         {:>12.2}%",
+                self.gap_upper_bound * 100.0
+            )?;
+        }
         writeln!(
             f,
             "  candidates enumerated   {:>10}",
@@ -239,6 +283,7 @@ pub(crate) struct EngineCounters {
     pub prepare_nanos: AtomicU64,
     pub enumerate_nanos: AtomicU64,
     pub evaluate_nanos: AtomicU64,
+    pub candidates_visited: AtomicU64,
 }
 
 impl EngineCounters {
@@ -260,6 +305,11 @@ impl EngineCounters {
             prepare_nanos: g(&self.prepare_nanos),
             enumerate_nanos: g(&self.enumerate_nanos),
             evaluate_nanos: g(&self.evaluate_nanos),
+            candidates_visited: g(&self.candidates_visited),
+            // Per-search, filled in by `search()` on its outcome
+            // snapshot — there is no atomic mirror for them.
+            gap_upper_bound: 0.0,
+            strategy: "",
         }
     }
 
@@ -1216,7 +1266,7 @@ impl<'a> Engine<'a> {
 
     /// Evaluate and rank `candidates` (ascending predicted time, stable
     /// on ties). Bit-identical to the naive
-    /// [`rank_placements_threads`](crate::search::rank_placements_threads)
+    /// [`rank_placements_naive`](crate::search::rank_placements_naive)
     /// for every worker count.
     pub fn rank(
         &self,

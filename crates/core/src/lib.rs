@@ -26,7 +26,9 @@
 //! * [`baselines`] — the comparison models: a Sim-et-al.-style [7]
 //!   MWP/CWP model with constant DRAM latency and executed-instruction
 //!   counts, and a PORPLE-style latency-oriented ranking model;
-//! * [`search`] — legal-placement enumeration and model-driven ranking.
+//! * [`search`] — legal-placement enumeration and model-driven ranking;
+//! * [`strategies`] — anytime approximate search (beam, successive
+//!   halving, seeded local search) with sound reported optimality gaps.
 
 pub mod analysis;
 pub mod baselines;
@@ -36,6 +38,7 @@ pub mod profile;
 pub mod search;
 pub mod sensitivity;
 mod skelcache;
+pub mod strategies;
 pub mod tcomp;
 pub mod tmem;
 pub mod toverlap;
@@ -46,8 +49,8 @@ pub use engine::{Engine, EngineStats};
 pub use predictor::{ModelOptions, Prediction, Predictor, QueuingMode};
 pub use profile::{profile_sample, Profile};
 pub use search::{
-    enumerate_placements, rank_placements, search, RankedPlacement, SearchOutcome, SearchRequest,
-    SearchStrategy,
+    enumerate_placements, rank_placements, rank_placements_naive, search, RankedPlacement,
+    SearchOutcome, SearchRequest, SearchStrategy,
 };
 #[allow(deprecated)]
 pub use search::{exhaustive_search, rank_placements_threads};

@@ -72,7 +72,7 @@ pub struct RankedPlacement {
 }
 
 /// How [`search`] covers the placement space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SearchStrategy {
     /// Enumerate every legal placement (up to the limit) and rank all of
     /// them. The full ranking is bit-identical to the naive
@@ -85,6 +85,93 @@ pub enum SearchStrategy {
     /// placements are absent — but the top entry is always the true
     /// optimum of the legal space, for every worker count.
     BranchAndBound,
+    /// Anytime beam search over per-array placement prefixes: at each
+    /// depth only the `width` prefixes with the smallest monotone lower
+    /// bound survive. The gap bound comes from the cheapest dropped
+    /// prefix (see [`strategies::beam`](crate::strategies::beam)).
+    Beam {
+        /// Surviving prefixes per depth (≥ 1).
+        width: usize,
+    },
+    /// Anytime successive halving over skeleton groups: candidates that
+    /// share a shared-memory skeleton form one arm; arms are advanced
+    /// round-robin and the worse half is retired each rung (see
+    /// [`strategies::halving`](crate::strategies::halving)).
+    SuccessiveHalving,
+    /// Anytime seeded genetic local search on `hms_stats::rng`: the seed
+    /// fully determines the result, bit for bit, at any worker count
+    /// (see [`strategies::local`](crate::strategies::local)).
+    LocalSearch {
+        /// RNG seed; the whole run is a pure function of it.
+        seed: u64,
+    },
+}
+
+impl SearchStrategy {
+    /// Beam width used when the spelling `beam` carries no explicit
+    /// width.
+    pub const DEFAULT_BEAM_WIDTH: usize = 8;
+    /// Seed used when the spelling `local` carries no explicit seed.
+    pub const DEFAULT_SEED: u64 = 42;
+
+    /// The strategy's wire name, as it appears in `--json` bodies,
+    /// `/v1/search` responses, and [`EngineStats::strategy`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchStrategy::Exhaustive => "exhaustive",
+            SearchStrategy::BranchAndBound => "branch_and_bound",
+            SearchStrategy::Beam { .. } => "beam",
+            SearchStrategy::SuccessiveHalving => "successive_halving",
+            SearchStrategy::LocalSearch { .. } => "local_search",
+        }
+    }
+
+    /// True for the approximate anytime strategies — the ones that
+    /// report a meaningful [`EngineStats::gap_upper_bound`].
+    pub fn is_anytime(self) -> bool {
+        matches!(
+            self,
+            SearchStrategy::Beam { .. }
+                | SearchStrategy::SuccessiveHalving
+                | SearchStrategy::LocalSearch { .. }
+        )
+    }
+
+    /// Parse the CLI/wire spelling plus its optional knobs. Accepts the
+    /// short and long spellings (`bnb`/`branch_and_bound`,
+    /// `halving`/`successive_halving`, `local`/`local_search`), rejects
+    /// knobs that do not apply to the named strategy, and rejects a
+    /// zero beam width. The shared entry point for `hms search
+    /// --strategy` and the `/v1/search` `strategy` member, so both
+    /// surfaces accept exactly the same language.
+    pub fn parse(name: &str, beam: Option<usize>, seed: Option<u64>) -> Result<Self, String> {
+        let strategy = match name {
+            "exhaustive" => SearchStrategy::Exhaustive,
+            "bnb" | "branch_and_bound" => SearchStrategy::BranchAndBound,
+            "beam" => SearchStrategy::Beam {
+                width: beam.unwrap_or(Self::DEFAULT_BEAM_WIDTH),
+            },
+            "halving" | "successive_halving" => SearchStrategy::SuccessiveHalving,
+            "local" | "local_search" => SearchStrategy::LocalSearch {
+                seed: seed.unwrap_or(Self::DEFAULT_SEED),
+            },
+            other => {
+                return Err(format!(
+                    "unknown strategy `{other}` (expected beam|halving|local|bnb|exhaustive)"
+                ))
+            }
+        };
+        if beam.is_some() && !matches!(strategy, SearchStrategy::Beam { .. }) {
+            return Err(format!("beam width only applies to `beam`, not `{name}`"));
+        }
+        if matches!(strategy, SearchStrategy::Beam { width: 0 }) {
+            return Err("beam width must be at least 1".into());
+        }
+        if seed.is_some() && !matches!(strategy, SearchStrategy::LocalSearch { .. }) {
+            return Err(format!("seed only applies to `local`, not `{name}`"));
+        }
+        Ok(strategy)
+    }
 }
 
 /// A named-field description of one placement search. Replaces the old
@@ -99,14 +186,14 @@ pub enum SearchStrategy {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SearchRequest<'a> {
-    arrays: &'a [ArrayDef],
-    base: &'a PlacementMap,
-    candidates: Vec<ArrayId>,
-    limit: usize,
-    threads: usize,
-    strategy: SearchStrategy,
-    deadline: Option<Instant>,
-    skeleton_cache: Option<PathBuf>,
+    pub(crate) arrays: &'a [ArrayDef],
+    pub(crate) base: &'a PlacementMap,
+    pub(crate) candidates: Vec<ArrayId>,
+    pub(crate) limit: usize,
+    pub(crate) threads: usize,
+    pub(crate) strategy: SearchStrategy,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) skeleton_cache: Option<PathBuf>,
 }
 
 impl<'a> SearchRequest<'a> {
@@ -253,7 +340,7 @@ pub fn search(
     if let Some(dir) = &req.skeleton_cache {
         engine = engine.with_disk_cache(dir);
     }
-    let (ranked, partial) = match req.strategy {
+    let (ranked, partial, gap) = match req.strategy {
         SearchStrategy::Exhaustive => {
             let t0 = Instant::now();
             let space = enumerate_placements(
@@ -273,7 +360,7 @@ pub fn search(
             match req.deadline {
                 // No deadline: the single-batch path, untouched — this is
                 // the byte/bit-identity baseline.
-                None => (engine.rank(&space, req.threads)?, false),
+                None => (engine.rank(&space, req.threads)?, false, 0.0),
                 Some(deadline) => {
                     // Evaluate in the same deterministic BB_BATCH chunks
                     // the branch-and-bound path uses, checking the clock
@@ -281,23 +368,64 @@ pub fn search(
                     // chunk is computed exactly as in the no-deadline run.
                     let mut ranked = Vec::with_capacity(space.len());
                     let mut partial = false;
-                    for chunk in space.chunks(BB_BATCH) {
+                    let mut cut_at = space.len();
+                    for (i, chunk) in space.chunks(BB_BATCH).enumerate() {
                         if Instant::now() >= deadline && !ranked.is_empty() {
                             partial = true;
+                            cut_at = i * BB_BATCH;
                             break;
                         }
                         ranked.extend(engine.evaluate_batch(chunk, req.threads)?);
                     }
                     ranked.sort_by(|a, b| a.predicted_cycles.total_cmp(&b.predicted_cycles));
-                    (ranked, partial)
+                    // A deadline-cut exhaustive run is no longer exact:
+                    // bound the gap by the cheapest unevaluated
+                    // candidate's lower bound.
+                    let gap = if partial {
+                        let mut floor = crate::strategies::space_floor(
+                            &engine,
+                            req,
+                            space[cut_at..].iter(),
+                            space.len() >= req.limit,
+                        );
+                        if let Some(best) = ranked.first() {
+                            floor = floor.min(best.predicted_cycles);
+                        }
+                        crate::strategies::gap_from_floor(
+                            ranked.first().map(|r| r.predicted_cycles),
+                            floor,
+                        )
+                    } else {
+                        0.0
+                    };
+                    (ranked, partial, gap)
                 }
             }
         }
-        SearchStrategy::BranchAndBound => branch_and_bound(&engine, req)?,
+        SearchStrategy::BranchAndBound => {
+            let (ranked, partial) = branch_and_bound(&engine, req)?;
+            // Complete branch-and-bound is exact (gap 0); a deadline cut
+            // leaves unexplored subtrees whose bounds were never
+            // visited, so fall back to the all-free floor.
+            let gap = if partial {
+                let floor = crate::strategies::all_free_floor(&engine, req)
+                    .min(ranked.first().map_or(f64::INFINITY, |r| r.predicted_cycles));
+                crate::strategies::gap_from_floor(ranked.first().map(|r| r.predicted_cycles), floor)
+            } else {
+                0.0
+            };
+            (ranked, partial, gap)
+        }
+        SearchStrategy::Beam { width } => crate::strategies::beam::run(&engine, req, width)?,
+        SearchStrategy::SuccessiveHalving => crate::strategies::halving::run(&engine, req)?,
+        SearchStrategy::LocalSearch { seed } => crate::strategies::local::run(&engine, req, seed)?,
     };
+    let mut stats = engine.stats();
+    stats.strategy = req.strategy.name();
+    stats.gap_upper_bound = gap;
     Ok(SearchOutcome {
         ranked,
-        stats: engine.stats(),
+        stats,
         partial,
     })
 }
@@ -306,7 +434,7 @@ pub fn search(
 /// count or core count) so the bound-update schedule — and therefore the
 /// exact set of placements evaluated — is machine- and thread-count
 /// independent.
-const BB_BATCH: usize = 64;
+pub(crate) const BB_BATCH: usize = 64;
 
 /// Depth-first branch-and-bound over the candidate arrays, in candidate
 /// order, spaces in [`MemorySpace::ALL`] order. Leaves are collected
@@ -474,18 +602,21 @@ pub fn rank_placements(
 /// order, and the final ordering is a *stable* total sort on the
 /// predicted time, so ties keep enumeration order no matter how the
 /// work was scheduled.
-#[deprecated(note = "use `SearchRequest::run` / `search`, which evaluate incrementally")]
+#[deprecated(note = "use `rank_placements_naive` (oracle) or `SearchRequest::run` (fast path)")]
 pub fn rank_placements_threads(
     predictor: &Predictor,
     profile: &Profile,
     candidates: &[PlacementMap],
     threads: usize,
 ) -> Result<Vec<RankedPlacement>, HmsError> {
-    rank_naive(predictor, profile, candidates, threads)
+    rank_placements_naive(predictor, profile, candidates, threads)
 }
 
-/// Implementation of the naive path (see [`rank_placements_threads`]).
-pub(crate) fn rank_naive(
+/// The naive oracle: rank `candidates` with one full `rewrite` +
+/// `analyze` per candidate, no delta reuse. Slow by design — this is
+/// the ground truth the incremental engine is checked against, and the
+/// baseline the search benchmarks measure speedups from.
+pub fn rank_placements_naive(
     predictor: &Predictor,
     profile: &Profile,
     candidates: &[PlacementMap],

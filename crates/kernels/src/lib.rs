@@ -35,6 +35,7 @@ pub mod stencil2d;
 pub mod transpose;
 pub mod triad;
 pub mod vecadd;
+pub mod wide;
 
 use hms_trace::KernelTrace;
 
@@ -155,12 +156,16 @@ pub fn registry() -> Vec<KernelSpec> {
     ]
 }
 
-/// Look a kernel up by name.
+/// Look a kernel up by name. Beyond the Table IV registry this accepts
+/// the generated [`wide`] family (`wide3` … `wide12`), which stays out
+/// of [`registry`] — the registry is the checksummed paper set, and the
+/// exhaustive equivalence suites that iterate it would not terminate on
+/// a six-figure placement space.
 pub fn by_name(name: &str, scale: Scale) -> Option<KernelTrace> {
-    registry()
-        .into_iter()
-        .find(|k| k.name == name)
-        .map(|k| (k.build)(scale))
+    if let Some(spec) = registry().into_iter().find(|k| k.name == name) {
+        return Some((spec.build)(scale));
+    }
+    wide::parse_name(name).map(|n| wide::build_n(n, scale))
 }
 
 #[cfg(test)]
@@ -211,5 +216,10 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("spmv", Scale::Test).is_some());
         assert!(by_name("nope", Scale::Test).is_none());
+        // The generated wide family resolves without being registered.
+        let wide = by_name("wide8", Scale::Test).expect("wide8 resolves");
+        assert_eq!(wide.arrays.len(), 8);
+        assert!(by_name("wide99", Scale::Test).is_none());
+        assert!(registry().iter().all(|k| !k.name.starts_with("wide")));
     }
 }

@@ -1,0 +1,196 @@
+//! Parameterized wide multi-array kernels — the combinatorial search
+//! regime.
+//!
+//! Every Table IV workload has 2–4 placement-relevant arrays, so
+//! exhaustive search stays cheap (≤ a few hundred candidates). Real
+//! kernels carry 6–10 arrays, where the `m^n` placement space explodes
+//! into the hundreds of thousands — the regime the anytime strategies
+//! in `hms-core::strategies` exist for. [`build_n`] generates such a
+//! kernel on demand: `n − 1` read-only inputs with a rotating mix of
+//! access patterns (coalesced 1-D streams, 2-D tiles that make
+//! `Texture2D` legal, small broadcast-read coefficient tables that
+//! favour `Constant`, seeded 2-D gathers) feeding one written output.
+//!
+//! The generators are *not* in [`registry`](crate::registry) — the
+//! registry is the paper's fixed Table IV set, pinned by workload
+//! checksums and exercised exhaustively by the equivalence suite,
+//! which would not terminate on a 6-figure placement space. Instead
+//! [`by_name`](crate::by_name) accepts the spellings `wide3` …
+//! `wide12`, so the CLI, the server, and the benches can all name
+//! them.
+//!
+//! Gather indices come from the repo's seeded [`hms_stats::rng`]
+//! stream: a `wideN` trace is bit-identical on every machine.
+
+use hms_stats::rng::Rng;
+use hms_trace::{KernelTrace, SymOp, WarpTrace};
+use hms_types::{ArrayDef, DType, Geometry};
+
+use crate::common::{addr, load, load_uniform, load_xy, store, tid_preamble, warp_tids, WARP};
+use crate::Scale;
+
+/// Smallest accepted `wideN` arity (below this the Table IV kernels
+/// already cover the space).
+pub const MIN_ARRAYS: usize = 3;
+/// Largest accepted `wideN` arity.
+pub const MAX_ARRAYS: usize = 12;
+
+/// Elements in each broadcast-read coefficient table.
+const TABLE_ELEMS: u64 = 64;
+
+/// Build a `num_arrays`-array kernel: `num_arrays − 1` read-only
+/// inputs (patterns rotating stream / tile / table / gather) and one
+/// written 1-D output. Panics outside [`MIN_ARRAYS`]`..=`[`MAX_ARRAYS`].
+pub fn build_n(num_arrays: usize, scale: Scale) -> KernelTrace {
+    assert!(
+        (MIN_ARRAYS..=MAX_ARRAYS).contains(&num_arrays),
+        "wideN supports {MIN_ARRAYS}..={MAX_ARRAYS} arrays, got {num_arrays}"
+    );
+    let (blocks, threads) = match scale {
+        Scale::Test => (2u32, 64u32),
+        Scale::Full => (16u32, 128u32),
+    };
+    let n = u64::from(blocks) * u64::from(threads);
+    let geometry = Geometry::new(blocks, threads);
+    // 2-D shapes: one warp-wide row per y step.
+    let (w2d, h2d) = (WARP, n / WARP);
+    let inputs = num_arrays - 1;
+    let mut arrays = Vec::with_capacity(num_arrays);
+    for i in 0..inputs {
+        let id = i as u32;
+        let name = format!("in{i}");
+        arrays.push(match i % 4 {
+            0 => ArrayDef::new_1d(id, &name, DType::F32, n, false),
+            1 | 3 => ArrayDef::new_2d(id, &name, DType::F32, w2d, h2d, false),
+            _ => ArrayDef::new_1d(id, &name, DType::F32, TABLE_ELEMS, false),
+        });
+    }
+    arrays.push(ArrayDef::new_1d(inputs as u32, "out", DType::F32, n, true));
+
+    let mut warps = Vec::new();
+    for block in 0..blocks {
+        for warp in 0..geometry.warps_per_block() {
+            let tids: Vec<u64> = warp_tids(block, warp, threads).collect();
+            let global_warp =
+                u64::from(block) * u64::from(geometry.warps_per_block()) + u64::from(warp);
+            let mut ops = vec![tid_preamble(), SymOp::IntAlu(1)];
+            for i in 0..inputs {
+                let id = i as u32;
+                ops.push(addr(id));
+                ops.push(match i % 4 {
+                    // Coalesced 1-D stream: lane ↦ its own element.
+                    0 => load(id, tids.iter().copied()),
+                    // 2-D row tile: the warp reads one contiguous row.
+                    1 => load_xy(id, tids.iter().map(|&t| (t % w2d, (t / w2d) % h2d))),
+                    // Broadcast coefficient: all lanes read one word,
+                    // rotating per (warp, array) so the table is covered.
+                    2 => load_uniform(id, (global_warp * 7 + i as u64) % TABLE_ELEMS),
+                    // Seeded 2-D gather: irregular per-lane coordinates,
+                    // a pure function of (arity, array, warp).
+                    _ => {
+                        let seed = 0x1DE0_0000_0000
+                            ^ ((num_arrays as u64) << 24)
+                            ^ ((i as u64) << 16)
+                            ^ global_warp;
+                        let mut rng = Rng::seed_from_u64(seed);
+                        load_xy(
+                            id,
+                            (0..WARP)
+                                .map(|_| (rng.gen_range(0..w2d), rng.gen_range(0..h2d)))
+                                .collect::<Vec<_>>(),
+                        )
+                    }
+                });
+            }
+            ops.push(SymOp::WaitLoads);
+            ops.push(SymOp::FpAlu(inputs as u16));
+            ops.push(addr(inputs as u32));
+            ops.push(store(inputs as u32, tids.iter().copied()));
+            warps.push(WarpTrace { block, warp, ops });
+        }
+    }
+    KernelTrace {
+        name: format!("wide{num_arrays}"),
+        arrays,
+        geometry,
+        warps,
+    }
+}
+
+/// Parse a `wideN` kernel name (`wide3` … `wide12`). Returns `None`
+/// for anything else, including out-of-range arities.
+pub fn parse_name(name: &str) -> Option<usize> {
+    let n: usize = name.strip_prefix("wide")?.parse().ok()?;
+    (MIN_ARRAYS..=MAX_ARRAYS).contains(&n).then_some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hms_types::{Dims, GpuConfig, MemorySpace, PlacementMap};
+
+    #[test]
+    fn builds_are_deterministic() {
+        for n in [MIN_ARRAYS, 8, MAX_ARRAYS] {
+            let a = build_n(n, Scale::Test);
+            let b = build_n(n, Scale::Test);
+            assert_eq!(a.arrays.len(), n);
+            assert_eq!(format!("{:?}", a.warps), format!("{:?}", b.warps));
+        }
+    }
+
+    #[test]
+    fn shape_mixes_dimensionalities() {
+        let kt = build_n(8, Scale::Test);
+        let two_d = kt
+            .arrays
+            .iter()
+            .filter(|a| matches!(a.dims, Dims::D2 { .. }))
+            .count();
+        assert!(two_d >= 2, "wide8 should carry 2-D arrays, got {two_d}");
+        assert_eq!(kt.arrays.iter().filter(|a| a.written).count(), 1);
+        assert!(kt.arrays.last().unwrap().written);
+    }
+
+    #[test]
+    fn wide_kernels_simulate_and_search_space_is_combinatorial() {
+        let cfg = GpuConfig::test_small();
+        let kt = build_n(8, Scale::Test);
+        let base = kt.default_placement();
+        assert!(base.validate(&kt.arrays, &cfg).is_ok());
+        let ct = hms_trace::materialize(&kt, &base, &cfg).unwrap();
+        let sim = hms_sim::simulate_default(&ct, &cfg).unwrap();
+        assert!(sim.cycles > 0);
+        // Per-array standalone legality: the product over read-only
+        // arrays must be deep into anytime territory.
+        let mut product: u64 = 1;
+        for arr in kt.arrays.iter().filter(|a| !a.written) {
+            let legal = MemorySpace::ALL
+                .iter()
+                .filter(|&&s| {
+                    PlacementMap::all_global(kt.arrays.len())
+                        .with(arr.id, s)
+                        .validate(&kt.arrays, &cfg)
+                        .is_ok()
+                })
+                .count() as u64;
+            product *= legal;
+        }
+        assert!(
+            product >= 10_000,
+            "wide8 read-only space only {product} candidates"
+        );
+    }
+
+    #[test]
+    fn name_parsing_is_strict() {
+        assert_eq!(parse_name("wide8"), Some(8));
+        assert_eq!(parse_name("wide3"), Some(3));
+        assert_eq!(parse_name("wide12"), Some(12));
+        assert_eq!(parse_name("wide2"), None);
+        assert_eq!(parse_name("wide13"), None);
+        assert_eq!(parse_name("wide"), None);
+        assert_eq!(parse_name("widex"), None);
+        assert_eq!(parse_name("vecadd"), None);
+    }
+}

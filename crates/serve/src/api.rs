@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use hms_core::{profile_sample, Prediction, Predictor, Profile, SearchRequest, SearchStrategy};
+use hms_core::{profile_sample, Prediction, Predictor, Profile, SearchRequest};
 use hms_kernels::{by_name, registry, Scale};
 use hms_trace::KernelTrace;
 use hms_types::{GpuConfig, HmsError, MemorySpace, PlacementMap};
@@ -236,11 +236,7 @@ impl Advisor {
         let kt = self.kernel(&q.kernel, q.scale)?;
         let profile = self.profile(&kt, q.scale, effort)?;
         let sample = kt.default_placement();
-        let strategy = if q.prune {
-            SearchStrategy::BranchAndBound
-        } else {
-            SearchStrategy::Exhaustive
-        };
+        let strategy = q.resolve_strategy()?;
         let mut req = SearchRequest::new(&kt.arrays, &sample)
             .read_only_candidates()
             .strategy(strategy)
@@ -253,11 +249,7 @@ impl Advisor {
         let body = RankResponse {
             kernel: q.kernel.clone(),
             scale: q.scale,
-            strategy: if q.prune {
-                "branch_and_bound"
-            } else {
-                "exhaustive"
-            },
+            strategy: strategy.name(),
             ranked_total: outcome.ranked.len(),
             ranked: outcome
                 .ranked
@@ -450,6 +442,9 @@ mod tests {
             prune: false,
             threads: 1,
             config: None,
+            strategy: None,
+            seed: None,
+            beam: None,
         };
         let mut e = Effort::default();
         let (b1, outcome) = a.rank(&q, true, None, &mut e).unwrap();
@@ -473,6 +468,43 @@ mod tests {
     }
 
     #[test]
+    fn anytime_strategy_rank_reports_gap_in_body() {
+        let a = advisor();
+        let q = RankQuery {
+            kernel: "vecadd".into(),
+            scale: Scale::Test,
+            top: 3,
+            prune: false,
+            threads: 1,
+            config: None,
+            strategy: Some("beam".into()),
+            seed: None,
+            beam: Some(4),
+        };
+        let mut e = Effort::default();
+        let (body, outcome) = a.rank(&q, true, None, &mut e).unwrap();
+        assert_eq!(body.get("strategy").and_then(Json::as_str), Some("beam"));
+        let stats = body.get("stats").expect("search carries stats");
+        assert!(stats.get("candidates_visited").is_some());
+        let gap = stats
+            .get("gap_upper_bound")
+            .and_then(Json::as_f64)
+            .expect("anytime stats carry the gap");
+        assert!(gap >= 0.0 && gap.is_finite());
+        assert_eq!(outcome.stats.strategy, "beam");
+        // The anytime members never leak into an exact-strategy body.
+        let exact = RankQuery {
+            strategy: None,
+            beam: None,
+            ..q
+        };
+        let (body, _) = a.rank(&exact, true, None, &mut e).unwrap();
+        let text = body.encode_pretty();
+        assert!(!text.contains("candidates_visited"));
+        assert!(!text.contains("gap_upper_bound"));
+    }
+
+    #[test]
     fn expired_deadline_marks_body_partial() {
         let a = advisor();
         let q = RankQuery {
@@ -482,6 +514,9 @@ mod tests {
             prune: true, // branch-and-bound checks the deadline per leaf
             threads: 1,
             config: None,
+            strategy: None,
+            seed: None,
+            beam: None,
         };
         let mut e = Effort::default();
         let deadline = Some(Instant::now()); // already expired

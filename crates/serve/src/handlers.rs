@@ -399,7 +399,11 @@ impl Rank {
             kernel: q.kernel.clone(),
             scale: q.scale,
             top: q.top,
-            prune: q.prune,
+            // Infallible here: `query()` already parsed the request, and
+            // parsing rejects every unresolvable strategy combination.
+            strategy: q
+                .resolve_strategy()
+                .expect("strategy validated at the parse edge"),
             include_stats: self.search,
             options: advisor.predictor.options,
             trained: advisor.predictor.overlap.is_trained(),

@@ -103,9 +103,14 @@ struct EngineTotals {
     exact_fallbacks: AtomicU64,
     candidates_evaluated: AtomicU64,
     candidates_pruned: AtomicU64,
+    candidates_visited: AtomicU64,
     skeleton_disk_hits: AtomicU64,
     skeleton_disk_misses: AtomicU64,
     skeleton_disk_writes: AtomicU64,
+    /// `f64::to_bits` of the most recent anytime search's reported gap
+    /// upper bound (a gauge: last value wins, exact searches don't
+    /// touch it).
+    last_gap_bits: AtomicU64,
 }
 
 /// All server metrics. One instance per server, shared by `Arc`.
@@ -187,6 +192,12 @@ impl Metrics {
             .fetch_add(s.skeleton_disk_misses, Ordering::Relaxed);
         e.skeleton_disk_writes
             .fetch_add(s.skeleton_disk_writes, Ordering::Relaxed);
+        if s.anytime() {
+            e.candidates_visited
+                .fetch_add(s.candidates_visited, Ordering::Relaxed);
+            e.last_gap_bits
+                .store(s.gap_upper_bound.to_bits(), Ordering::Relaxed);
+        }
     }
 
     /// Render the Prometheus text exposition.
@@ -346,7 +357,7 @@ impl Metrics {
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
 
-        let more_engine: [(&str, &str, &AtomicU64); 7] = [
+        let more_engine: [(&str, &str, &AtomicU64); 8] = [
             (
                 "hms_engine_skeletons_built_total",
                 "Distinct walk skeletons built.",
@@ -366,6 +377,11 @@ impl Metrics {
                 "hms_engine_candidates_pruned_total",
                 "Candidates skipped by branch-and-bound (estimate).",
                 &self.engine.candidates_pruned,
+            ),
+            (
+                "hms_engine_candidates_visited_total",
+                "Partial assignments scored by anytime strategies.",
+                &self.engine.candidates_visited,
             ),
             (
                 "hms_engine_skeleton_disk_hits_total",
@@ -414,6 +430,16 @@ impl Metrics {
             g(&mut out, name, help, "gauge");
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
+        g(
+            &mut out,
+            "hms_engine_gap_upper_bound",
+            "Reported optimality-gap upper bound of the most recent anytime search.",
+            "gauge",
+        );
+        out.push_str(&format!(
+            "hms_engine_gap_upper_bound {}\n",
+            f64::from_bits(self.engine.last_gap_bits.load(Ordering::Relaxed))
+        ));
         out
     }
 
@@ -478,6 +504,37 @@ mod tests {
         assert!(text.contains("hms_engine_full_rewrites_total 8"));
         assert!(text.contains("hms_engine_delta_cache_hits_total 24"));
         assert!(text.contains("hms_engine_candidates_evaluated_total 32"));
+    }
+
+    #[test]
+    fn anytime_stats_feed_visited_counter_and_gap_gauge() {
+        let m = Metrics::new();
+        // Exact searches leave both series untouched.
+        let exact = EngineStats {
+            strategy: "exhaustive",
+            candidates_visited: 99,
+            gap_upper_bound: 0.5,
+            ..EngineStats::default()
+        };
+        m.on_engine_stats(&exact);
+        let text = m.render();
+        assert!(text.contains("hms_engine_candidates_visited_total 0"));
+        assert!(text.contains("hms_engine_gap_upper_bound 0\n"));
+        // Anytime searches accumulate visits; the gauge is last-wins.
+        let beam = EngineStats {
+            strategy: "beam",
+            candidates_visited: 10,
+            gap_upper_bound: 0.25,
+            ..EngineStats::default()
+        };
+        m.on_engine_stats(&beam);
+        m.on_engine_stats(&beam);
+        let text = m.render();
+        assert!(text.contains("hms_engine_candidates_visited_total 20"));
+        assert_eq!(
+            Metrics::scrape_counter(&text, "hms_engine_gap_upper_bound"),
+            Some(0.25)
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use hms_core::ModelOptions;
+use hms_core::{ModelOptions, SearchStrategy};
 use hms_kernels::Scale;
 use hms_trace::KernelTrace;
 use hms_types::{MemorySpace, PlacementMap};
@@ -399,7 +399,10 @@ pub(crate) struct RankKey {
     pub(crate) kernel: String,
     pub(crate) scale: Scale,
     pub(crate) top: usize,
-    pub(crate) prune: bool,
+    /// The *resolved* strategy, knobs included (beam width, local-search
+    /// seed) — resolution happens at the parse edge, so an invalid combo
+    /// 400s before it can ever touch this key.
+    pub(crate) strategy: SearchStrategy,
     pub(crate) include_stats: bool,
     pub(crate) options: ModelOptions,
     pub(crate) trained: bool,

@@ -64,6 +64,27 @@ fn opt_usize(v: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
     }
 }
 
+/// Optional non-negative integer with no default — absent stays `None`.
+fn opt_usize_maybe(v: &Json, key: &str) -> Result<Option<usize>, ApiError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x.as_usize().map(Some).ok_or_else(|| {
+            ApiError::BadRequest(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Optional `u64` (JSON numbers are f64, so values are exact up to
+/// 2^53 — plenty for a search seed).
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ApiError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x.as_usize().map(|n| Some(n as u64)).ok_or_else(|| {
+            ApiError::BadRequest(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
 fn opt_bool(v: &Json, key: &str) -> Result<bool, ApiError> {
     match v.get(key) {
         None => Ok(false),
@@ -194,20 +215,30 @@ pub struct RankRequest {
     pub threads: usize,
     /// Named GPU configuration (tenant); `None` = default tenant.
     pub config: Option<String>,
+    /// Explicit strategy spelling (`beam`, `halving`, `local`, `bnb`,
+    /// `exhaustive`); `None` falls back to the `prune` flag. `/v1/search`
+    /// only. Mutually exclusive with `prune: true`.
+    pub strategy: Option<String>,
+    /// Local-search seed; only legal with `"strategy": "local"`.
+    pub seed: Option<u64>,
+    /// Beam width; only legal with `"strategy": "beam"`.
+    pub beam: Option<usize>,
 }
 
 impl RankRequest {
     /// Parse an advise/search request body. `allow_search_knobs` gates
-    /// the `prune` and `threads` fields (`/v1/advise` rejects them, like
-    /// `hms advise` has no `--prune`).
+    /// the `prune`, `threads`, `strategy`, `seed`, and `beam` fields
+    /// (`/v1/advise` rejects them, like `hms advise` has no `--prune`).
     pub fn from_json(v: &Json, allow_search_knobs: bool) -> Result<RankRequest, ApiError> {
         let allowed: &[&str] = if allow_search_knobs {
-            &["kernel", "scale", "top", "prune", "threads", "config"]
+            &[
+                "kernel", "scale", "top", "prune", "threads", "config", "strategy", "seed", "beam",
+            ]
         } else {
             &["kernel", "scale", "top", "config"]
         };
         reject_unknown(v, allowed, "rank request")?;
-        Ok(RankRequest {
+        let req = RankRequest {
             kernel: field_str(v, "kernel")?,
             scale: opt_scale(v)?,
             top: opt_usize(v, "top", 5)?,
@@ -218,7 +249,52 @@ impl RankRequest {
                 1
             },
             config: opt_str(v, "config")?,
-        })
+            strategy: if allow_search_knobs {
+                opt_str(v, "strategy")?
+            } else {
+                None
+            },
+            seed: if allow_search_knobs {
+                opt_u64(v, "seed")?
+            } else {
+                None
+            },
+            beam: if allow_search_knobs {
+                opt_usize_maybe(v, "beam")?
+            } else {
+                None
+            },
+        };
+        // Fail structurally-contradictory requests at the parse edge so
+        // they can never reach the cache key.
+        req.resolve_strategy()?;
+        Ok(req)
+    }
+
+    /// The [`hms_core::SearchStrategy`] this request asks for.
+    /// `strategy` (with its knobs) wins; otherwise `prune` picks
+    /// branch-and-bound over exhaustive, exactly as before the anytime
+    /// strategies existed.
+    pub fn resolve_strategy(&self) -> Result<hms_core::SearchStrategy, ApiError> {
+        use hms_core::SearchStrategy;
+        match &self.strategy {
+            Some(name) => {
+                if self.prune {
+                    return Err(ApiError::BadRequest(
+                        "`prune` and `strategy` are mutually exclusive".into(),
+                    ));
+                }
+                SearchStrategy::parse(name, self.beam, self.seed).map_err(ApiError::BadRequest)
+            }
+            None if self.beam.is_some() => Err(ApiError::BadRequest(
+                "field `beam` requires `\"strategy\": \"beam\"`".into(),
+            )),
+            None if self.seed.is_some() => Err(ApiError::BadRequest(
+                "field `seed` requires `\"strategy\": \"local\"`".into(),
+            )),
+            None if self.prune => Ok(SearchStrategy::BranchAndBound),
+            None => Ok(SearchStrategy::Exhaustive),
+        }
     }
 }
 
@@ -283,7 +359,9 @@ pub struct RankedEntry {
 pub struct RankResponse {
     pub kernel: String,
     pub scale: Scale,
-    /// `"exhaustive"` or `"branch_and_bound"`.
+    /// [`SearchStrategy::name`](hms_core::SearchStrategy::name):
+    /// `"exhaustive"`, `"branch_and_bound"`, `"beam"`,
+    /// `"successive_halving"`, or `"local_search"`.
     pub strategy: &'static str,
     /// Candidates actually ranked (before the `top` cut).
     pub ranked_total: usize,
@@ -321,34 +399,46 @@ impl RankResponse {
         if let Some(s) = &self.stats {
             members.push((
                 "stats".into(),
-                Json::Obj(vec![
-                    (
-                        "candidates_enumerated".into(),
-                        Json::Num(s.candidates_enumerated as f64),
-                    ),
-                    (
-                        "candidates_evaluated".into(),
-                        Json::Num(s.candidates_evaluated as f64),
-                    ),
-                    (
-                        "candidates_pruned".into(),
-                        Json::Num(s.candidates_pruned as f64),
-                    ),
-                    (
-                        "skeletons_built".into(),
-                        Json::Num(s.skeletons_built as f64),
-                    ),
-                    ("full_rewrites".into(), Json::Num(s.full_rewrites as f64)),
-                    (
-                        "delta_cache_hits".into(),
-                        Json::Num(s.delta_cache_hits as f64),
-                    ),
-                    (
-                        "exact_fallbacks".into(),
-                        Json::Num(s.exact_fallbacks as f64),
-                    ),
-                    ("rewrite_reduction".into(), Json::Num(s.rewrite_reduction())),
-                ]),
+                Json::Obj({
+                    let mut stats = vec![
+                        (
+                            "candidates_enumerated".into(),
+                            Json::Num(s.candidates_enumerated as f64),
+                        ),
+                        (
+                            "candidates_evaluated".into(),
+                            Json::Num(s.candidates_evaluated as f64),
+                        ),
+                        (
+                            "candidates_pruned".into(),
+                            Json::Num(s.candidates_pruned as f64),
+                        ),
+                        (
+                            "skeletons_built".into(),
+                            Json::Num(s.skeletons_built as f64),
+                        ),
+                        ("full_rewrites".into(), Json::Num(s.full_rewrites as f64)),
+                        (
+                            "delta_cache_hits".into(),
+                            Json::Num(s.delta_cache_hits as f64),
+                        ),
+                        (
+                            "exact_fallbacks".into(),
+                            Json::Num(s.exact_fallbacks as f64),
+                        ),
+                        ("rewrite_reduction".into(), Json::Num(s.rewrite_reduction())),
+                    ];
+                    // Anytime-only members append after the legacy block so
+                    // exact-strategy responses stay byte-identical.
+                    if s.anytime() {
+                        stats.push((
+                            "candidates_visited".into(),
+                            Json::Num(s.candidates_visited as f64),
+                        ));
+                        stats.push(("gap_upper_bound".into(), Json::Num(s.gap_upper_bound)));
+                    }
+                    stats
+                }),
             ));
         }
         Json::Obj(members)
@@ -463,5 +553,86 @@ mod tests {
         let text = partial.to_json().encode_pretty();
         assert!(text.contains("\"partial\": true"));
         assert!(text.contains("\"rewrite_reduction\""));
+        // Exact strategies never emit the anytime-only stats members.
+        assert!(!text.contains("candidates_visited"));
+        assert!(!text.contains("gap_upper_bound"));
+    }
+
+    #[test]
+    fn anytime_stats_members_append_after_the_legacy_block() {
+        let stats = EngineStats {
+            strategy: "beam",
+            candidates_visited: 17,
+            gap_upper_bound: 0.25,
+            ..EngineStats::default()
+        };
+        assert!(stats.anytime());
+        let resp = RankResponse {
+            kernel: "wide8".into(),
+            scale: Scale::Test,
+            strategy: "beam",
+            ranked_total: 1,
+            ranked: vec![],
+            partial: false,
+            stats: Some(stats),
+        };
+        let text = resp.to_json().encode_pretty();
+        let legacy = text.find("\"rewrite_reduction\"").unwrap();
+        let visited = text.find("\"candidates_visited\"").unwrap();
+        let gap = text.find("\"gap_upper_bound\"").unwrap();
+        assert!(legacy < visited && visited < gap, "order broken: {text}");
+    }
+
+    #[test]
+    fn search_strategy_fields_parse_and_resolve() {
+        use hms_core::SearchStrategy;
+        let v = decode(r#"{"kernel":"wide8","strategy":"beam","beam":4}"#).unwrap();
+        let q = RankRequest::from_json(&v, true).unwrap();
+        assert_eq!(
+            q.resolve_strategy().unwrap(),
+            SearchStrategy::Beam { width: 4 }
+        );
+        let v = decode(r#"{"kernel":"wide8","strategy":"local","seed":9}"#).unwrap();
+        let q = RankRequest::from_json(&v, true).unwrap();
+        assert_eq!(
+            q.resolve_strategy().unwrap(),
+            SearchStrategy::LocalSearch { seed: 9 }
+        );
+        // The legacy spellings keep resolving as before.
+        let v = decode(r#"{"kernel":"wide8","prune":true}"#).unwrap();
+        let q = RankRequest::from_json(&v, true).unwrap();
+        assert_eq!(
+            q.resolve_strategy().unwrap(),
+            SearchStrategy::BranchAndBound
+        );
+        let v = decode(r#"{"kernel":"wide8"}"#).unwrap();
+        let q = RankRequest::from_json(&v, true).unwrap();
+        assert_eq!(q.resolve_strategy().unwrap(), SearchStrategy::Exhaustive);
+    }
+
+    #[test]
+    fn contradictory_strategy_requests_fail_at_the_parse_edge() {
+        for body in [
+            // prune and strategy are mutually exclusive.
+            r#"{"kernel":"wide8","prune":true,"strategy":"beam"}"#,
+            // knobs without their strategy.
+            r#"{"kernel":"wide8","beam":4}"#,
+            r#"{"kernel":"wide8","seed":7}"#,
+            // knobs on the wrong strategy.
+            r#"{"kernel":"wide8","strategy":"local","beam":4}"#,
+            r#"{"kernel":"wide8","strategy":"beam","seed":7}"#,
+            // unknown strategy / zero width.
+            r#"{"kernel":"wide8","strategy":"warp_drive"}"#,
+            r#"{"kernel":"wide8","strategy":"beam","beam":0}"#,
+        ] {
+            let v = decode(body).unwrap();
+            assert!(
+                RankRequest::from_json(&v, true).is_err(),
+                "accepted: {body}"
+            );
+        }
+        // /v1/advise rejects the knobs outright as unknown fields.
+        let v = decode(r#"{"kernel":"wide8","strategy":"beam"}"#).unwrap();
+        assert!(RankRequest::from_json(&v, false).is_err());
     }
 }

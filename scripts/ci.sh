@@ -59,6 +59,24 @@ awk -v cur="$current_cps" -v base="$baseline_cps" 'BEGIN { exit !(cur >= 0.8 * b
     exit 1
 }
 
+echo "==> anytime search gate (BENCH_anytime.json)"
+bench_gap() {
+    sed -n 's/^ *"gate_gap_upper_bound": *\([0-9.eE+-]*\),*$/\1/p' "$1"
+}
+baseline_gap="$(bench_gap BENCH_anytime.json)"
+[ -n "$baseline_gap" ] || { echo "no committed BENCH_anytime.json baseline"; exit 1; }
+cargo run -q -p hms-bench --release --offline --bin bench_anytime -- gate
+current_gap="$(bench_gap BENCH_anytime.json)"
+echo "    gate_gap_upper_bound: baseline=$baseline_gap current=$current_gap"
+# The gate gap is a pure function of the model (beam at a pinned width,
+# no deadline), so any growth is an engine/bound change, not noise; a
+# small epsilon absorbs float formatting.
+awk -v cur="$current_gap" -v base="$baseline_gap" \
+    'BEGIN { exit !(cur <= 1.2 * base + 1e-9) }' || {
+    echo "beam gap bound regressed >20% against the committed BENCH_anytime.json baseline"
+    exit 1
+}
+
 echo "==> serve smoke (hms serve + curl predict/metrics + clean SIGTERM)"
 serve_log="$(mktemp)"
 ./target/release/hms serve --port 0 --threads 2 > "$serve_log" 2>&1 &

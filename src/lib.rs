@@ -73,8 +73,6 @@ pub mod prelude {
     };
     pub use hms_faults::{FaultClient, FaultKind, FaultPlan};
     pub use hms_kernels::{by_name, registry, Scale};
-    #[allow(deprecated)]
-    pub use hms_serve::ServeConfig;
     pub use hms_serve::{
         Advisor, ConfigRegistry, Handler, Json, Metrics, Outcome, Response, ServerConfig,
         ServerHandle,

@@ -211,6 +211,9 @@ fn deadline_partial_flag_reaches_the_wire_format() {
         prune: true,
         threads: 1,
         config: None,
+        strategy: None,
+        seed: None,
+        beam: None,
     };
     let mut effort = Effort::default();
     let (body, outcome) = adv

@@ -35,8 +35,7 @@ fn incremental_ranking_is_bit_identical_to_naive_registry_wide() {
         let predictor = Predictor::new(cfg.clone());
         let ids: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
         let space = enumerate_placements(&kt.arrays, &base, &ids, &cfg, 256);
-        #[allow(deprecated)]
-        let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 1).unwrap();
+        let naive = hms_core::rank_placements_naive(&predictor, &profile, &space, 1).unwrap();
         for threads in [1usize, 2, 0] {
             let outcome = SearchRequest::new(&kt.arrays, &base)
                 .limit(256)
@@ -177,8 +176,7 @@ fn persistent_skeletons_reload_bit_identically_registry_wide() {
         let predictor = Predictor::new(cfg.clone());
         let ids: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
         let space = enumerate_placements(&kt.arrays, &base, &ids, &cfg, 256);
-        #[allow(deprecated)]
-        let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 1).unwrap();
+        let naive = hms_core::rank_placements_naive(&predictor, &profile, &space, 1).unwrap();
         let req = SearchRequest::new(&kt.arrays, &base)
             .limit(256)
             .skeleton_cache(&dir);
@@ -257,8 +255,7 @@ fn three_array_search_reuses_rewrites_five_fold() {
             outcome.stats.full_rewrites
         );
         let space = enumerate_placements(&kt.arrays, &base, candidates, &cfg, 4096);
-        #[allow(deprecated)]
-        let naive = hms_core::rank_placements_threads(&predictor, &profile, &space, 0).unwrap();
+        let naive = hms_core::rank_placements_naive(&predictor, &profile, &space, 0).unwrap();
         assert_eq!(bits(&naive), bits(&outcome.ranked), "{}", spec.name);
     }
     assert!(
