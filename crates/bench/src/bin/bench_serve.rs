@@ -29,7 +29,12 @@
 //!   leader and the rest coalesced onto it;
 //! * a *fault storm* — a seed-pinned [`FaultPlan`] committed while a
 //!   good client keeps issuing requests through `retry_with_backoff`,
-//!   so a fault-path regression is as visible as a cache regression.
+//!   so a fault-path regression is as visible as a cache regression;
+//! * a *degraded phase* — the deadline clock is skewed far past the
+//!   budget so the degradation ladder caps every cold search, measuring
+//!   `degraded_throughput_rps` (the floor the server holds while
+//!   answering gap-bounded approximations) and `recovery_ms` (how long
+//!   `/readyz` takes to report plain `ready` once the skew clears).
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
@@ -176,6 +181,50 @@ fn main() {
     let faulted_wall = tf.elapsed().as_secs_f64();
     let faulted_throughput = faulted_requests as f64 / faulted_wall.max(1e-9);
 
+    // Degraded phase: skew the deadline clock far past the budget so
+    // every cold search is capped by the degradation ladder, then
+    // measure the throughput floor the server holds while serving
+    // gap-bounded approximations, and how fast `/readyz` reports plain
+    // `ready` again once the skew clears.
+    let degraded_requests: u64 = match mode.name {
+        "test" => 50,
+        _ => 200,
+    };
+    handle.set_clock_skew(Duration::from_secs(60));
+    let mut degraded = Client::connect(addr);
+    let mut degraded_flagged = 0u64;
+    let td = Instant::now();
+    for i in 0..degraded_requests {
+        // Distinct cold queries: cache hits bypass the ladder.
+        let body = format!(r#"{{"kernel":"vecadd","scale":"test","top":{}}}"#, 200 + i);
+        let (status, text) = degraded
+            .post_full("/v1/search", &body)
+            .expect("degraded-phase request");
+        assert_eq!(status, 200, "degraded search failed: {text}");
+        if text.contains("\"degraded\": true") {
+            degraded_flagged += 1;
+        }
+    }
+    let degraded_wall = td.elapsed().as_secs_f64();
+    let degraded_throughput = degraded_requests as f64 / degraded_wall.max(1e-9);
+    assert!(
+        degraded_flagged > 0,
+        "no search was ladder-capped under a 60 s clock skew"
+    );
+    handle.set_clock_skew(Duration::ZERO);
+    let tr = Instant::now();
+    let recovery_ms = loop {
+        let (status, text) = degraded.get_full("/readyz").expect("readiness poll");
+        if status == 200 && text == "ready\n" {
+            break tr.elapsed().as_secs_f64() * 1e3;
+        }
+        assert!(
+            tr.elapsed() < Duration::from_secs(10),
+            "server never recovered from the degraded phase: {status} {text}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+
     let metrics = handle.metrics().render();
     let counter = |series: &str| Metrics::scrape_counter(&metrics, series).unwrap_or(0.0);
     let hits = counter("hms_prediction_cache_hits_total");
@@ -209,6 +258,9 @@ fn main() {
     );
     println!(
         "  fault storm:      {faulted_requests} good req at {faulted_throughput:.0} req/s, {fault_errors_4xx} fault 4xx",
+    );
+    println!(
+        "  degraded phase:   {degraded_requests} cold searches at {degraded_throughput:.0} req/s ({degraded_flagged} ladder-capped), ready again in {recovery_ms:.1} ms",
     );
 
     let json = Json::Obj(vec![
@@ -257,6 +309,19 @@ fn main() {
             "fault_errors_4xx".into(),
             Json::Num(fault_errors_4xx as f64),
         ),
+        (
+            "degraded_requests".into(),
+            Json::Num(degraded_requests as f64),
+        ),
+        (
+            "degraded_flagged".into(),
+            Json::Num(degraded_flagged as f64),
+        ),
+        (
+            "degraded_throughput_rps".into(),
+            Json::Num(degraded_throughput),
+        ),
+        ("recovery_ms".into(), Json::Num(recovery_ms)),
     ])
     .encode_pretty();
     std::fs::write("BENCH_serve.json", &json).expect("writes BENCH_serve.json");
@@ -546,14 +611,31 @@ impl Client {
     /// POST a body; any transport or framing failure comes back as an
     /// `io::Error` so the caller can retry on a fresh connection.
     fn try_post(&mut self, path: &str, body: &str) -> std::io::Result<u16> {
-        let bad =
-            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        self.post_full(path, body).map(|(status, _)| status)
+    }
+
+    /// POST a body and read the full response text back (the degraded
+    /// phase inspects the `degraded` wire member).
+    fn post_full(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
         write!(
             self.writer,
             "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         )?;
         self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// GET a path and read the full response text back.
+    fn get_full(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        write!(self.writer, "GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
         let mut status_line = String::new();
         self.reader.read_line(&mut status_line)?;
         let status: u16 = status_line
@@ -579,7 +661,10 @@ impl Client {
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(status)
+        Ok((
+            status,
+            String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?,
+        ))
     }
 }
 

@@ -95,6 +95,10 @@ pub struct EngineStats {
     pub skeleton_disk_misses: u64,
     /// Skeletons persisted to the on-disk cache.
     pub skeleton_disk_writes: u64,
+    /// Stranded `*.tmp` files swept when the disk cache was opened
+    /// (leftovers of writers that died mid-store — see the
+    /// [`skelcache`](crate::skelcache) temp-file hygiene notes).
+    pub skeleton_disk_tmp_swept: u64,
     /// Legal candidates produced by enumeration (exhaustive) or visited
     /// as branch-and-bound leaves.
     pub candidates_enumerated: u64,
@@ -169,6 +173,7 @@ impl EngineStats {
         self.skeleton_disk_hits += other.skeleton_disk_hits;
         self.skeleton_disk_misses += other.skeleton_disk_misses;
         self.skeleton_disk_writes += other.skeleton_disk_writes;
+        self.skeleton_disk_tmp_swept += other.skeleton_disk_tmp_swept;
         self.candidates_enumerated += other.candidates_enumerated;
         self.candidates_evaluated += other.candidates_evaluated;
         self.candidates_pruned += other.candidates_pruned;
@@ -245,6 +250,13 @@ impl std::fmt::Display for EngineStats {
             "  skeleton disk misses    {:>10}",
             self.skeleton_disk_misses
         )?;
+        if self.skeleton_disk_tmp_swept > 0 {
+            writeln!(
+                f,
+                "  skeleton temps swept    {:>10}",
+                self.skeleton_disk_tmp_swept
+            )?;
+        }
         writeln!(
             f,
             "  rewrite reduction       {:>13.2}x",
@@ -276,6 +288,7 @@ pub(crate) struct EngineCounters {
     pub skeleton_disk_hits: AtomicU64,
     pub skeleton_disk_misses: AtomicU64,
     pub skeleton_disk_writes: AtomicU64,
+    pub skeleton_disk_tmp_swept: AtomicU64,
     pub candidates_enumerated: AtomicU64,
     pub candidates_evaluated: AtomicU64,
     pub candidates_pruned: AtomicU64,
@@ -298,6 +311,7 @@ impl EngineCounters {
             skeleton_disk_hits: g(&self.skeleton_disk_hits),
             skeleton_disk_misses: g(&self.skeleton_disk_misses),
             skeleton_disk_writes: g(&self.skeleton_disk_writes),
+            skeleton_disk_tmp_swept: g(&self.skeleton_disk_tmp_swept),
             candidates_enumerated: g(&self.candidates_enumerated),
             candidates_evaluated: g(&self.candidates_evaluated),
             candidates_pruned: g(&self.candidates_pruned),
@@ -766,9 +780,25 @@ impl<'a> Engine<'a> {
     /// format version, a kernel fingerprint, a payload checksum, and
     /// structural validation; any failure silently rebuilds — a stale
     /// or corrupt cache can cost a rewrite, never a wrong prediction.
-    pub fn with_disk_cache(mut self, dir: &Path) -> Self {
+    pub fn with_disk_cache(self, dir: &Path) -> Self {
+        self.with_disk_cache_fs(dir, Arc::new(crate::skelcache::RealFs))
+    }
+
+    /// [`with_disk_cache`](Self::with_disk_cache) on an injected
+    /// filesystem — the chaos suite's entry point for disk faults
+    /// (ENOSPC, torn writes, bit-rot, rename failure). Opening sweeps
+    /// stranded temp files; the count lands in
+    /// [`EngineStats::skeleton_disk_tmp_swept`].
+    pub fn with_disk_cache_fs(
+        mut self,
+        dir: &Path,
+        fs: Arc<dyn crate::skelcache::CacheFs>,
+    ) -> Self {
         let hash = crate::skelcache::kernel_hash(&self.profile.trace, &self.predictor.cfg);
-        self.disk = Some(crate::skelcache::DiskCache::new(dir, hash));
+        let cache = crate::skelcache::DiskCache::with_fs(dir, hash, fs);
+        self.counters
+            .add(&self.counters.skeleton_disk_tmp_swept, cache.swept());
+        self.disk = Some(cache);
         self
     }
 

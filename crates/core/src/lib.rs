@@ -37,7 +37,7 @@ pub mod predictor;
 pub mod profile;
 pub mod search;
 pub mod sensitivity;
-mod skelcache;
+pub mod skelcache;
 pub mod strategies;
 pub mod tcomp;
 pub mod tmem;
@@ -55,4 +55,5 @@ pub use search::{
 #[allow(deprecated)]
 pub use search::{exhaustive_search, rank_placements_threads};
 pub use sensitivity::{stability, sweep, Knob, SensitivityReport};
+pub use skelcache::{CacheFs, RealFs};
 pub use toverlap::ToverlapModel;

@@ -13,6 +13,8 @@
 //! the ranking plus the engine's observability counters.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use hms_types::{ArrayDef, ArrayId, GpuConfig, HmsError, MemorySpace, PlacementMap};
@@ -194,6 +196,8 @@ pub struct SearchRequest<'a> {
     pub(crate) strategy: SearchStrategy,
     pub(crate) deadline: Option<Instant>,
     pub(crate) skeleton_cache: Option<PathBuf>,
+    pub(crate) cache_fs: Option<Arc<dyn crate::skelcache::CacheFs>>,
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'a> SearchRequest<'a> {
@@ -210,6 +214,8 @@ impl<'a> SearchRequest<'a> {
             strategy: SearchStrategy::default(),
             deadline: None,
             skeleton_cache: None,
+            cache_fs: None,
+            cancel: None,
         }
     }
 
@@ -262,6 +268,20 @@ impl<'a> SearchRequest<'a> {
         self
     }
 
+    /// Like [`Self::skeleton_cache`], but every cache I/O goes through
+    /// `fs` instead of the real filesystem — the injection seam the
+    /// robustness tests drive with `hms_faults::FaultyFs`. Rankings stay
+    /// bit-identical no matter what `fs` does to the bytes.
+    pub fn skeleton_cache_fs(
+        mut self,
+        dir: impl Into<PathBuf>,
+        fs: Arc<dyn crate::skelcache::CacheFs>,
+    ) -> Self {
+        self.skeleton_cache = Some(dir.into());
+        self.cache_fs = Some(fs);
+        self
+    }
+
     /// Stop evaluating new candidates once `deadline` passes and return
     /// the best-so-far ranking flagged [`SearchOutcome::partial`]. With
     /// no deadline (the default) the evaluation schedule — and therefore
@@ -270,6 +290,34 @@ impl<'a> SearchRequest<'a> {
     pub fn deadline(mut self, deadline: Option<Instant>) -> Self {
         self.deadline = deadline;
         self
+    }
+
+    /// Cooperative cancellation: when `flag` becomes `true` the search
+    /// stops at the next batch boundary — the same points the deadline
+    /// is checked at — and returns the best-so-far ranking flagged
+    /// [`SearchOutcome::partial`]. The server's pool watchdog raises
+    /// the flag on stalled compute slots; like the deadline, the flag
+    /// never changes the bit pattern of any returned prediction, only
+    /// how many there are.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Has the deadline passed or the cancel flag been raised? Checked
+    /// only between evaluation batches, so every prediction inside a
+    /// batch is computed exactly as in an uninterrupted run.
+    pub(crate) fn interrupted(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether this request can be interrupted at all — if not, the
+    /// single-batch evaluation path (the byte-identity baseline) runs.
+    pub(crate) fn interruptible(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
     }
 
     /// Reject structurally nonsense searches before any model work:
@@ -338,7 +386,10 @@ pub fn search(
     profile.validate(&predictor.cfg)?;
     let mut engine = Engine::new(predictor, profile);
     if let Some(dir) = &req.skeleton_cache {
-        engine = engine.with_disk_cache(dir);
+        engine = match &req.cache_fs {
+            Some(fs) => engine.with_disk_cache_fs(dir, Arc::clone(fs)),
+            None => engine.with_disk_cache(dir),
+        };
     }
     let (ranked, partial, gap) = match req.strategy {
         SearchStrategy::Exhaustive => {
@@ -357,20 +408,23 @@ pub fn search(
             engine
                 .counters
                 .add(&engine.counters.candidates_enumerated, space.len() as u64);
-            match req.deadline {
-                // No deadline: the single-batch path, untouched — this is
-                // the byte/bit-identity baseline.
-                None => (engine.rank(&space, req.threads)?, false, 0.0),
-                Some(deadline) => {
+            if !req.interruptible() {
+                // No deadline and no cancel flag: the single-batch
+                // path, untouched — this is the byte/bit-identity
+                // baseline.
+                (engine.rank(&space, req.threads)?, false, 0.0)
+            } else {
+                {
                     // Evaluate in the same deterministic BB_BATCH chunks
                     // the branch-and-bound path uses, checking the clock
-                    // only between chunks so each prediction inside a
-                    // chunk is computed exactly as in the no-deadline run.
+                    // (and the cancel flag) only between chunks so each
+                    // prediction inside a chunk is computed exactly as
+                    // in the uninterrupted run.
                     let mut ranked = Vec::with_capacity(space.len());
                     let mut partial = false;
                     let mut cut_at = space.len();
                     for (i, chunk) in space.chunks(BB_BATCH).enumerate() {
-                        if Instant::now() >= deadline && !ranked.is_empty() {
+                        if req.interrupted() && !ranked.is_empty() {
                             partial = true;
                             cut_at = i * BB_BATCH;
                             break;
@@ -474,23 +528,21 @@ fn branch_and_bound(
         evaluated: Vec<RankedPlacement>,
         leaves: usize,
         error: Option<HmsError>,
-        deadline: Option<Instant>,
         partial: bool,
     }
 
     impl Dfs<'_, '_, '_> {
-        /// Deadline is checked only between leaves, and never before the
-        /// first leaf has been collected: a partial outcome always
-        /// carries at least one real best-so-far prediction.
+        /// Deadline and cancel flag are checked only between leaves, and
+        /// never before the first leaf has been collected: a partial
+        /// outcome always carries at least one real best-so-far
+        /// prediction.
         fn out_of_time(&mut self) -> bool {
             if self.partial {
                 return true;
             }
-            if let Some(d) = self.deadline {
-                if self.leaves > 0 && Instant::now() >= d {
-                    self.partial = true;
-                    return true;
-                }
+            if self.leaves > 0 && self.req.interrupted() {
+                self.partial = true;
+                return true;
             }
             false
         }
@@ -563,7 +615,6 @@ fn branch_and_bound(
         evaluated: Vec::new(),
         leaves: 0,
         error: None,
-        deadline: req.deadline,
         partial: false,
     };
     let root = req.base.clone();

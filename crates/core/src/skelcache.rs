@@ -51,9 +51,28 @@
 //! optimization, not a source of truth). Poisoned skeletons are never
 //! persisted. Shared sets wider than 64 arrays skip the disk (the
 //! filename packs the set into a `u64` bitmask).
+//!
+//! # Temp-file hygiene
+//!
+//! A failed write or rename removes its own temp file, but a process
+//! that dies mid-store (or a disk so sick that even the cleanup
+//! `remove_file` fails) strands a `*.tmp<pid>` file. Opening the cache
+//! sweeps any `skel-*.tmp*` leftovers in the directory and reports the
+//! count (surfaced as `skeleton_disk_tmp_swept` in the engine stats),
+//! so a crash-looping writer can never fill the disk with orphans.
+//!
+//! # Fault injection
+//!
+//! Every filesystem touch goes through the [`CacheFs`] trait; the
+//! default [`RealFs`] is `std::fs`, and the chaos suite injects a
+//! deterministic faulty implementation (ENOSPC, torn writes, bit-rot,
+//! rename failure) to prove each failure mode degrades to a rebuild,
+//! never a wrong prediction.
 
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use hms_trace::{dump, ConcreteTrace};
 use hms_types::GpuConfig;
@@ -300,22 +319,86 @@ pub(crate) fn key_bits(key: &[bool]) -> Option<u64> {
     Some(bits)
 }
 
+/// The filesystem surface the disk cache runs on. Production code uses
+/// [`RealFs`]; fault suites inject an implementation that fails or
+/// corrupts specific operations on a deterministic schedule. Every
+/// method mirrors its `std::fs` namesake.
+pub trait CacheFs: Send + Sync + std::fmt::Debug {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// File paths directly inside `path` (no recursion, no dirs).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The passthrough `std::fs` implementation of [`CacheFs`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl CacheFs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::write(path, data)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut files = Vec::new();
+        for entry in fs::read_dir(path)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                files.push(entry.path());
+            }
+        }
+        Ok(files)
+    }
+}
+
 /// Handle on one cache directory, bound to one kernel fingerprint.
 #[derive(Debug, Clone)]
 pub(crate) struct DiskCache {
     dir: PathBuf,
     kernel_hash: u64,
+    fs: Arc<dyn CacheFs>,
+    /// Stale `*.tmp*` files removed when this handle opened the
+    /// directory (leftovers of writers that died mid-store).
+    swept: u64,
 }
 
 impl DiskCache {
     /// Best-effort: the directory is created eagerly so a misconfigured
     /// path degrades to misses, not errors.
+    #[cfg(test)]
     pub(crate) fn new(dir: &Path, kernel_hash: u64) -> Self {
-        let _ = fs::create_dir_all(dir);
+        Self::with_fs(dir, kernel_hash, Arc::new(RealFs))
+    }
+
+    /// Open on an injected filesystem (see [`CacheFs`]).
+    pub(crate) fn with_fs(dir: &Path, kernel_hash: u64, fs: Arc<dyn CacheFs>) -> Self {
+        let _ = fs.create_dir_all(dir);
+        let swept = sweep_stale_tmps(fs.as_ref(), dir);
         DiskCache {
             dir: dir.to_path_buf(),
             kernel_hash,
+            fs,
+            swept,
         }
+    }
+
+    /// Stale temp files removed at open time.
+    pub(crate) fn swept(&self) -> u64 {
+        self.swept
     }
 
     fn path(&self, bits: u64) -> PathBuf {
@@ -327,7 +410,7 @@ impl DiskCache {
     /// failure (see the module docs for the invalidation rules).
     pub(crate) fn load(&self, key: &[bool]) -> Option<Skeleton> {
         let bits = key_bits(key)?;
-        let data = fs::read(self.path(bits)).ok()?;
+        let data = self.fs.read(&self.path(bits)).ok()?;
         if data.len() < HEADER_LEN || &data[0..8] != MAGIC {
             return None;
         }
@@ -362,16 +445,42 @@ impl DiskCache {
         data.extend_from_slice(&payload);
         let dest = self.path(bits);
         let tmp = dest.with_extension(format!("tmp{}", std::process::id()));
-        if fs::write(&tmp, &data).is_err() {
-            let _ = fs::remove_file(&tmp);
+        if self.fs.write(&tmp, &data).is_err() {
+            // ENOSPC (or any short write) must not strand the temp; if
+            // even the cleanup fails, the next open's sweep collects it.
+            let _ = self.fs.remove_file(&tmp);
             return false;
         }
-        if fs::rename(&tmp, &dest).is_err() {
-            let _ = fs::remove_file(&tmp);
+        if self.fs.rename(&tmp, &dest).is_err() {
+            let _ = self.fs.remove_file(&tmp);
             return false;
         }
         true
     }
+}
+
+/// Remove stranded `skel-*.tmp*` files in `dir`, returning how many
+/// were deleted. Runs at open: a concurrent writer mid-store can lose
+/// its temp here, which costs that writer one swallowed `store` (its
+/// rename fails), never a corrupt file — renames of swept paths simply
+/// fail.
+fn sweep_stale_tmps(fs: &dyn CacheFs, dir: &Path) -> u64 {
+    let Ok(files) = fs.list_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for path in files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let is_tmp = name.starts_with("skel-")
+            && path
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e.starts_with("tmp"));
+        if is_tmp && fs.remove_file(&path).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
 }
 
 #[cfg(test)]
@@ -483,6 +592,36 @@ mod tests {
         fs::write(&path, &data).unwrap();
         assert!(cache.load(&key).is_none());
 
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files_and_counts_them() {
+        let dir = std::env::temp_dir().join(format!("hms-skelsweep-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Two stranded temps from writers that died mid-store, one
+        // healthy cache file, one unrelated file.
+        fs::write(dir.join("skel-aaaa-bbbb.tmp123"), b"dead").unwrap();
+        fs::write(dir.join("skel-cccc-dddd.tmp9"), b"dead").unwrap();
+        fs::write(dir.join("not-a-skel.tmp123"), b"keep").unwrap();
+
+        let cache = DiskCache::new(&dir, 0x1234);
+        let key = vec![true];
+        assert!(cache.store(&key, &sample_skeleton()));
+        assert_eq!(cache.swept(), 2, "both stranded temps swept");
+        assert!(!dir.join("skel-aaaa-bbbb.tmp123").exists());
+        assert!(!dir.join("skel-cccc-dddd.tmp9").exists());
+        assert!(
+            dir.join("not-a-skel.tmp123").exists(),
+            "sweep only touches skel-* temps"
+        );
+
+        // Reopening after the sweep finds nothing to do, and real cache
+        // files are never swept.
+        let again = DiskCache::new(&dir, 0x1234);
+        assert_eq!(again.swept(), 0);
+        assert!(again.load(&key).is_some(), "healthy files survive sweeps");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -102,12 +102,10 @@ pub(crate) fn run(
     let mut cut_at = leaves.len();
     let pms: Vec<PlacementMap> = leaves.iter().map(|p| p.pm.clone()).collect();
     for (i, chunk) in pms.chunks(BB_BATCH).enumerate() {
-        if let Some(deadline) = req.deadline {
-            if !ranked.is_empty() && Instant::now() >= deadline {
-                partial = true;
-                cut_at = i * BB_BATCH;
-                break;
-            }
+        if !ranked.is_empty() && req.interrupted() {
+            partial = true;
+            cut_at = i * BB_BATCH;
+            break;
         }
         ranked.extend(engine.evaluate_batch(chunk, req.threads)?);
     }

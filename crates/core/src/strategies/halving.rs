@@ -90,11 +90,9 @@ pub(crate) fn run(
         let pms: Vec<PlacementMap> = rung.iter().map(|&i| space[i].clone()).collect();
         let mut done = 0usize;
         for chunk in pms.chunks(BB_BATCH) {
-            if let Some(deadline) = req.deadline {
-                if !ranked.is_empty() && Instant::now() >= deadline {
-                    partial = true;
-                    break;
-                }
+            if !ranked.is_empty() && req.interrupted() {
+                partial = true;
+                break;
             }
             ranked.extend(engine.evaluate_batch(chunk, req.threads)?);
             done += chunk.len();

@@ -110,11 +110,9 @@ pub(crate) fn run(
         c.add(&c.candidates_enumerated, pms.len() as u64);
         let mut done = 0usize;
         for chunk in pms.chunks(BB_BATCH) {
-            if let Some(deadline) = req.deadline {
-                if !ranked.is_empty() && Instant::now() >= deadline {
-                    partial = true;
-                    break;
-                }
+            if !ranked.is_empty() && req.interrupted() {
+                partial = true;
+                break;
             }
             let evaluated = engine.evaluate_batch(chunk, req.threads)?;
             for (r, genome) in evaluated.iter().zip(&fresh[done..]) {

@@ -5,8 +5,14 @@
 //! drawn from the workspace's deterministic [`Rng`], so a seeded run
 //! retries on the same schedule every time — backoff is part of the
 //! reproducible experiment, not a source of noise.
+//!
+//! Attempts are bounded twice: by count (`attempts`) and, when set, by
+//! a total elapsed-time `budget`. The budget is the caller's request
+//! deadline made explicit — a retry loop inside a 10 s request must
+//! never sleep its way past the 10th second and then burn a doomed
+//! attempt against a server that already answered 504.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hms_stats::rng::Rng;
 
@@ -19,6 +25,13 @@ pub struct BackoffPolicy {
     pub attempts: u32,
     pub base: Duration,
     pub cap: Duration,
+    /// Total elapsed-time budget across all attempts and sleeps.
+    /// `None` preserves the attempt-count-only behavior. With a
+    /// budget, the loop never *starts* a sleep that the remaining
+    /// budget cannot cover, and never starts a retry attempt once the
+    /// budget is spent — so retries cannot outlive the caller's
+    /// deadline by more than one in-flight operation.
+    pub budget: Option<Duration>,
 }
 
 impl Default for BackoffPolicy {
@@ -27,6 +40,7 @@ impl Default for BackoffPolicy {
             attempts: 4,
             base: Duration::from_millis(10),
             cap: Duration::from_millis(500),
+            budget: None,
         }
     }
 }
@@ -40,25 +54,45 @@ impl BackoffPolicy {
             .min(self.cap);
         exp.mul_f64(0.5 + rng.gen_f64() * 0.5)
     }
+
+    /// Same policy with a total elapsed-time budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
 }
 
 /// Run `op` up to `policy.attempts` times, sleeping a jittered
 /// exponential delay between failures. Returns the first success, or
-/// the last error once attempts are exhausted.
+/// the last error once attempts (or the elapsed-time budget) are
+/// exhausted. The first attempt always runs, even with a zero budget —
+/// callers expect at least one try.
 pub fn retry_with_backoff<T, E>(
     policy: &BackoffPolicy,
     rng: &mut Rng,
     mut op: impl FnMut() -> Result<T, E>,
 ) -> Result<T, E> {
+    let start = Instant::now();
+    let attempts = policy.attempts.max(1);
     let mut last = None;
-    for attempt in 0..policy.attempts.max(1) {
+    for attempt in 0..attempts {
         match op() {
             Ok(v) => return Ok(v),
             Err(e) => {
                 last = Some(e);
-                if attempt + 1 < policy.attempts.max(1) {
-                    std::thread::sleep(policy.delay(attempt, rng));
+                if attempt + 1 >= attempts {
+                    break;
                 }
+                let delay = policy.delay(attempt, rng);
+                if let Some(budget) = policy.budget {
+                    // Sleeping past the budget is never useful: the
+                    // retry after it would land beyond the caller's
+                    // deadline. Return the last real error instead.
+                    if start.elapsed() + delay >= budget {
+                        break;
+                    }
+                }
+                std::thread::sleep(delay);
             }
         }
     }
@@ -87,6 +121,7 @@ mod tests {
             attempts: 3,
             base: Duration::from_micros(10),
             cap: Duration::from_micros(50),
+            budget: None,
         };
         let mut rng = Rng::seed_from_u64(2);
         let mut calls = 0;
@@ -104,6 +139,7 @@ mod tests {
             attempts: 5,
             base: Duration::from_micros(10),
             cap: Duration::from_micros(50),
+            budget: None,
         };
         let mut rng = Rng::seed_from_u64(3);
         let mut calls = 0;
@@ -131,5 +167,62 @@ mod tests {
             assert!(da <= policy.cap);
             assert!(da >= policy.base / 2);
         }
+    }
+
+    #[test]
+    fn zero_budget_still_runs_exactly_one_attempt() {
+        let policy = BackoffPolicy::default().with_budget(Duration::ZERO);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut calls = 0;
+        let r: Result<(), u32> = retry_with_backoff(&policy, &mut rng, || {
+            calls += 1;
+            Err(calls)
+        });
+        assert_eq!(r, Err(1));
+        assert_eq!(calls, 1, "budget never suppresses the first attempt");
+    }
+
+    #[test]
+    fn budget_stops_retries_that_cannot_finish_in_time() {
+        // Delays start at >= base/2 = 50 ms; a 1 ms budget cannot cover
+        // even the first sleep, so the loop stops after attempt one
+        // despite `attempts: 100`.
+        let policy = BackoffPolicy {
+            attempts: 100,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(100),
+            budget: Some(Duration::from_millis(1)),
+        };
+        let mut rng = Rng::seed_from_u64(5);
+        let start = Instant::now();
+        let mut calls = 0;
+        let r: Result<(), u32> = retry_with_backoff(&policy, &mut rng, || {
+            calls += 1;
+            Err(calls)
+        });
+        assert_eq!(r, Err(1));
+        assert_eq!(calls, 1);
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "loop slept past its budget"
+        );
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let policy = BackoffPolicy {
+            attempts: 3,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+            budget: Some(Duration::from_secs(60)),
+        };
+        let mut rng = Rng::seed_from_u64(6);
+        let mut calls = 0;
+        let r: Result<(), u32> = retry_with_backoff(&policy, &mut rng, || {
+            calls += 1;
+            Err(calls)
+        });
+        assert_eq!(r, Err(3));
+        assert_eq!(calls, 3, "a slack budget must not cut attempts");
     }
 }

@@ -20,17 +20,23 @@
 //!   live server and classifies the observable outcome
 //!   ([`client`]), plus [`backoff::retry_with_backoff`] for the
 //!   benchmark client's retry loop ([`backoff`]).
+//! * [`ResourceFaultPlan`] / [`FaultyFs`] — seed-replayable *resource*
+//!   faults: disk corruption against the skeleton cache, worker-pool
+//!   stalls, and deadline-clock skew ([`resource`]).
 //!
 //! The crate is std-only and is a dependency of tests and benches, not
-//! of the server: with no `FaultClient` pointed at it, the serving path
-//! runs exactly the code it runs in production.
+//! of the server: with no `FaultClient` pointed at it (and no
+//! [`FaultyFs`] injected), the serving path runs exactly the code it
+//! runs in production.
 
 pub mod backoff;
 pub mod client;
 pub mod corpus;
 pub mod plan;
+pub mod resource;
 
 pub use backoff::{retry_with_backoff, BackoffPolicy};
 pub use client::{FaultClient, FaultOutcome};
 pub use corpus::adversarial_json;
 pub use plan::{FaultCase, FaultKind, FaultPlan};
+pub use resource::{FaultyFs, FsFault, ResourceFaultCase, ResourceFaultKind, ResourceFaultPlan};

@@ -1,0 +1,382 @@
+//! Seed-replayable *resource* fault schedules: the disk, the worker
+//! pool, and the clock, as opposed to the connection faults in
+//! [`plan`](crate::plan).
+//!
+//! A [`ResourceFaultPlan`] expands one 64-bit seed exactly like a
+//! [`FaultPlan`](crate::plan::FaultPlan): same seed → same schedule,
+//! and any plan of length ≥ [`ResourceFaultKind::ALL`]`.len()` covers
+//! every kind at least once. The disk kinds are committed through
+//! [`FaultyFs`] — a deterministic [`CacheFs`] implementation injected
+//! into the engine's skeleton cache — while [`PoolStall`] and
+//! [`ClockSkew`] are committed by the chaos suite against the server's
+//! own injection points (a stalling compute route, the deadline-clock
+//! skew knob on `ServerHandle`).
+//!
+//! [`PoolStall`]: ResourceFaultKind::PoolStall
+//! [`ClockSkew`]: ResourceFaultKind::ClockSkew
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use hms_core::skelcache::{CacheFs, RealFs};
+use hms_stats::rng::Rng;
+
+/// One injectable resource fault class, and the guarantee the stack
+/// upholds against it (documented in DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceFaultKind {
+    /// The skeleton-cache write fails mid-file as if the disk filled
+    /// (a partial temp file is left behind and even the cleanup unlink
+    /// fails). Guarantee: the store is swallowed, predictions are
+    /// byte-identical to a cache-less run, and the next cache open
+    /// sweeps the stranded temp.
+    DiskEnospc,
+    /// The write silently persists only a prefix of the file (torn
+    /// write / power-cut image). Guarantee: the length + checksum
+    /// checks reject the file on load; one rebuild, never garbage.
+    DiskTornWrite,
+    /// A read returns the stored bytes with one bit flipped.
+    /// Guarantee: the checksum rejects the payload; rebuild, never a
+    /// wrong prediction, and the warm in-process cache is never
+    /// poisoned by the corrupt file.
+    DiskBitRot,
+    /// The atomic rename at the end of a store fails (cross-device
+    /// move, permission flip, antivirus hold). Guarantee: the store is
+    /// swallowed, the temp is cleaned, reads keep missing.
+    DiskRenameFail,
+    /// A compute task occupies a worker slot and never completes.
+    /// Guarantee: the pool watchdog cancels it (cooperatively for
+    /// searches — partial results out; forcibly for wedged tasks — a
+    /// watchdog 504), and the pool keeps serving.
+    PoolStall,
+    /// The deadline clock is skewed so in-flight requests appear to
+    /// have less (or no) time left. Guarantee: `/v1/search` degrades
+    /// down the ladder (never 5xx for in-quota traffic) and recovers
+    /// to non-degraded once the skew clears.
+    ClockSkew,
+}
+
+impl ResourceFaultKind {
+    /// Every resource fault class, in schedule order.
+    pub const ALL: [ResourceFaultKind; 6] = [
+        ResourceFaultKind::DiskEnospc,
+        ResourceFaultKind::DiskTornWrite,
+        ResourceFaultKind::DiskBitRot,
+        ResourceFaultKind::DiskRenameFail,
+        ResourceFaultKind::PoolStall,
+        ResourceFaultKind::ClockSkew,
+    ];
+
+    /// Stable label for failure messages and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceFaultKind::DiskEnospc => "disk_enospc",
+            ResourceFaultKind::DiskTornWrite => "disk_torn_write",
+            ResourceFaultKind::DiskBitRot => "disk_bit_rot",
+            ResourceFaultKind::DiskRenameFail => "disk_rename_fail",
+            ResourceFaultKind::PoolStall => "pool_stall",
+            ResourceFaultKind::ClockSkew => "clock_skew",
+        }
+    }
+
+    /// The [`FaultyFs`] mode that commits this kind, for the disk
+    /// kinds; `None` for the pool/clock kinds, which are committed
+    /// against the server instead.
+    pub fn fs_fault(self) -> Option<FsFault> {
+        match self {
+            ResourceFaultKind::DiskEnospc => Some(FsFault::Enospc),
+            ResourceFaultKind::DiskTornWrite => Some(FsFault::TornWrite),
+            ResourceFaultKind::DiskBitRot => Some(FsFault::BitRot),
+            ResourceFaultKind::DiskRenameFail => Some(FsFault::RenameFail),
+            ResourceFaultKind::PoolStall | ResourceFaultKind::ClockSkew => None,
+        }
+    }
+}
+
+/// One scheduled resource fault: the class plus a per-case seed fixing
+/// every free choice inside it (which bit rots, how much of a torn
+/// write survives, how hard the clock skews).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceFaultCase {
+    pub kind: ResourceFaultKind,
+    pub seed: u64,
+}
+
+impl ResourceFaultCase {
+    /// The one-line replay recipe printed when a case fails its
+    /// guarantee.
+    pub fn replay_line(&self, plan_seed: u64) -> String {
+        format!(
+            "replay: HMS_CHAOS_SEED={plan_seed} (resource case {} seed {:#x})",
+            self.kind.label(),
+            self.seed
+        )
+    }
+
+    /// Deterministic clock-skew magnitude for a [`ClockSkew`] case:
+    /// always enough to push a fresh request past any sane deadline.
+    ///
+    /// [`ClockSkew`]: ResourceFaultKind::ClockSkew
+    pub fn skew(&self) -> Duration {
+        let mut rng = Rng::seed_from_u64(self.seed);
+        Duration::from_secs(30 + rng.gen_range(0u64..90))
+    }
+}
+
+/// A deterministic schedule of resource fault cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceFaultPlan {
+    pub seed: u64,
+    pub cases: Vec<ResourceFaultCase>,
+}
+
+impl ResourceFaultPlan {
+    /// Expand `seed` into `n` cases: the first [`ResourceFaultKind::ALL`]
+    /// cases cover every kind once in a seed-shuffled order, the
+    /// remainder are drawn uniformly — the same contract as
+    /// [`FaultPlan::from_seed`](crate::plan::FaultPlan::from_seed).
+    pub fn from_seed(seed: u64, n: usize) -> ResourceFaultPlan {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut kinds: Vec<ResourceFaultKind> = ResourceFaultKind::ALL.to_vec();
+        rng.shuffle(&mut kinds);
+        let mut cases = Vec::with_capacity(n);
+        for i in 0..n {
+            let kind = if i < kinds.len() {
+                kinds[i]
+            } else {
+                kinds[rng.gen_range(0usize..kinds.len())]
+            };
+            cases.push(ResourceFaultCase {
+                kind,
+                seed: rng.next_u64(),
+            });
+        }
+        ResourceFaultPlan { seed, cases }
+    }
+}
+
+/// The filesystem misbehavior [`FaultyFs`] currently commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsFault {
+    /// Passthrough: behave exactly like the real filesystem.
+    #[default]
+    None,
+    /// Writes persist a prefix then fail, and unlinks fail too (the
+    /// worst ENOSPC: even cleanup can't run) — temp files strand.
+    Enospc,
+    /// Writes silently persist only a prefix and report success.
+    TornWrite,
+    /// Reads return the stored bytes with one deterministic bit
+    /// flipped.
+    BitRot,
+    /// Renames fail.
+    RenameFail,
+}
+
+/// A deterministic faulty [`CacheFs`]: every operation passes through
+/// to [`RealFs`] except the ones the active [`FsFault`] mode corrupts.
+/// Free choices (the torn-write cut point, the rotten bit) are drawn
+/// from a seeded [`Rng`], so a given seed + operation sequence always
+/// corrupts identically. Thread-safe; share via `Arc` and flip modes
+/// mid-run with [`set`](FaultyFs::set).
+#[derive(Debug)]
+pub struct FaultyFs {
+    inner: RealFs,
+    state: Mutex<FaultyState>,
+    /// Operations actually corrupted or failed so far.
+    injected: AtomicU64,
+}
+
+#[derive(Debug)]
+struct FaultyState {
+    mode: FsFault,
+    rng: Rng,
+}
+
+impl FaultyFs {
+    pub fn new(seed: u64) -> Self {
+        FaultyFs {
+            inner: RealFs,
+            state: Mutex::new(FaultyState {
+                mode: FsFault::None,
+                rng: Rng::seed_from_u64(seed),
+            }),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Switch the active fault mode (passthrough is [`FsFault::None`]).
+    pub fn set(&self, mode: FsFault) {
+        self.lock().mode = mode;
+    }
+
+    /// How many operations have been corrupted or failed so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultyState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn hit(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn err(kind: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {kind}"))
+    }
+}
+
+impl CacheFs for FaultyFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut data = self.inner.read(path)?;
+        let mut st = self.lock();
+        if st.mode == FsFault::BitRot && !data.is_empty() {
+            let bit = st.rng.gen_range(0u64..(data.len() as u64 * 8));
+            data[(bit / 8) as usize] ^= 1 << (bit % 8);
+            drop(st);
+            self.hit();
+        }
+        Ok(data)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        match st.mode {
+            FsFault::Enospc => {
+                // The disk filled mid-write: a prefix lands, the call
+                // errors, and the partial file stays behind.
+                let keep = if data.is_empty() {
+                    0
+                } else {
+                    st.rng.gen_range(0u64..data.len() as u64) as usize
+                };
+                drop(st);
+                self.hit();
+                let _ = self.inner.write(path, &data[..keep]);
+                Err(Self::err("ENOSPC"))
+            }
+            FsFault::TornWrite => {
+                // A torn write: a prefix persists, success is reported.
+                let keep = if data.is_empty() {
+                    0
+                } else {
+                    st.rng.gen_range(0u64..data.len() as u64) as usize
+                };
+                drop(st);
+                self.hit();
+                self.inner.write(path, &data[..keep])
+            }
+            _ => {
+                drop(st);
+                self.inner.write(path, data)
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.lock().mode == FsFault::RenameFail {
+            self.hit();
+            return Err(Self::err("rename failed"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if self.lock().mode == FsFault::Enospc {
+            // Even the cleanup unlink fails on the sick disk, so the
+            // partial temp strands — exactly what the open-time sweep
+            // exists for.
+            self.hit();
+            return Err(Self::err("unlink failed"));
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_plans_replay_bit_identically() {
+        let a = ResourceFaultPlan::from_seed(0xFEED, 24);
+        let b = ResourceFaultPlan::from_seed(0xFEED, 24);
+        assert_eq!(a, b);
+        let c = ResourceFaultPlan::from_seed(0xFEEE, 24);
+        assert_ne!(a.cases, c.cases);
+    }
+
+    #[test]
+    fn every_resource_kind_is_covered_by_any_full_length_plan() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let plan = ResourceFaultPlan::from_seed(seed, ResourceFaultKind::ALL.len());
+            for kind in ResourceFaultKind::ALL {
+                assert!(
+                    plan.cases.iter().any(|c| c.kind == kind),
+                    "seed {seed} plan missing {}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_fs_modes_corrupt_deterministically() {
+        let dir = std::env::temp_dir().join(format!("hms-faultyfs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let payload = vec![0xABu8; 64];
+
+        // Torn write: success reported, prefix persisted.
+        let fs = FaultyFs::new(7);
+        fs.set(FsFault::TornWrite);
+        let torn = dir.join("torn");
+        fs.write(&torn, &payload).unwrap();
+        let on_disk = std::fs::read(&torn).unwrap();
+        assert!(on_disk.len() < payload.len(), "write was not torn");
+        // Same seed, same cut point.
+        let fs2 = FaultyFs::new(7);
+        fs2.set(FsFault::TornWrite);
+        let torn2 = dir.join("torn2");
+        fs2.write(&torn2, &payload).unwrap();
+        assert_eq!(on_disk, std::fs::read(&torn2).unwrap());
+
+        // ENOSPC: error reported, partial file strands, unlink fails.
+        fs.set(FsFault::Enospc);
+        let full = dir.join("full");
+        assert!(fs.write(&full, &payload).is_err());
+        assert!(full.exists(), "ENOSPC strands its partial file");
+        assert!(fs.remove_file(&full).is_err());
+
+        // Bit rot: read differs from what was stored in exactly the
+        // bytes around one flipped bit.
+        fs.set(FsFault::None);
+        let rot = dir.join("rot");
+        fs.write(&rot, &payload).unwrap();
+        fs.set(FsFault::BitRot);
+        let read = fs.read(&rot).unwrap();
+        assert_ne!(read, payload, "bit rot must corrupt the read");
+        assert_eq!(read.len(), payload.len());
+
+        // Rename fail.
+        fs.set(FsFault::RenameFail);
+        assert!(fs.rename(&rot, &dir.join("moved")).is_err());
+        assert!(fs.injected() >= 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

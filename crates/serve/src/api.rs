@@ -11,10 +11,11 @@
 //! a pure function of the query.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use hms_core::{profile_sample, Prediction, Predictor, Profile, SearchRequest};
+use hms_core::{profile_sample, Prediction, Predictor, Profile, SearchRequest, SearchStrategy};
 use hms_kernels::{by_name, registry, Scale};
 use hms_trace::KernelTrace;
 use hms_types::{GpuConfig, HmsError, MemorySpace, PlacementMap};
@@ -77,6 +78,9 @@ pub struct Advisor {
     /// When set, search engines persist their skeletons here so a
     /// restarted server warm-starts instead of re-recording walks.
     skeleton_cache: Option<std::path::PathBuf>,
+    /// When set, skeleton-cache I/O goes through this filesystem — the
+    /// fault-injection seam the chaos tests drive with a `FaultyFs`.
+    skeleton_fs: Option<Arc<dyn hms_core::CacheFs>>,
 }
 
 /// What serving one query cost — the hooks the server turns into
@@ -100,6 +104,7 @@ impl Advisor {
             kernels: Mutex::new(HashMap::new()),
             profiles: ShardedLru::new(64, 8),
             skeleton_cache: None,
+            skeleton_fs: None,
         }
     }
 
@@ -109,6 +114,20 @@ impl Advisor {
     /// purely a latency knob for the first search after a restart.
     pub fn with_skeleton_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.skeleton_cache = Some(dir.into());
+        self
+    }
+
+    /// Like [`Self::with_skeleton_cache`], but with an injected cache
+    /// filesystem. The chaos suite hands in a fault-injecting
+    /// implementation to prove disk corruption (ENOSPC, torn writes,
+    /// bit-rot, failed renames) never changes a response byte.
+    pub fn with_skeleton_cache_fs(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        fs: Arc<dyn hms_core::CacheFs>,
+    ) -> Self {
+        self.skeleton_cache = Some(dir.into());
+        self.skeleton_fs = Some(fs);
         self
     }
 
@@ -233,17 +252,48 @@ impl Advisor {
         deadline: Option<Instant>,
         effort: &mut Effort,
     ) -> Result<(Json, hms_core::SearchOutcome), ApiError> {
+        self.rank_capped(q, include_stats, deadline, None, None, effort)
+    }
+
+    /// [`Self::rank`] with the degradation-ladder and watchdog hooks
+    /// the server needs:
+    ///
+    /// * `downgrade` — run this strategy *instead of* the requested one
+    ///   (the ladder's cap) and stamp the response `"degraded": true`
+    ///   with the gap upper bound actually achieved. `None` runs the
+    ///   request as asked, byte-identical to [`Self::rank`].
+    /// * `cancel` — a cooperative cancellation flag; the pool watchdog
+    ///   raises it on stalled slots and the search returns best-so-far
+    ///   flagged partial instead of wedging the worker.
+    pub fn rank_capped(
+        &self,
+        q: &RankQuery,
+        include_stats: bool,
+        deadline: Option<Instant>,
+        downgrade: Option<SearchStrategy>,
+        cancel: Option<Arc<AtomicBool>>,
+        effort: &mut Effort,
+    ) -> Result<(Json, hms_core::SearchOutcome), ApiError> {
         let kt = self.kernel(&q.kernel, q.scale)?;
         let profile = self.profile(&kt, q.scale, effort)?;
         let sample = kt.default_placement();
-        let strategy = q.resolve_strategy()?;
+        let strategy = match downgrade {
+            Some(cap) => cap,
+            None => q.resolve_strategy()?,
+        };
         let mut req = SearchRequest::new(&kt.arrays, &sample)
             .read_only_candidates()
             .strategy(strategy)
             .threads(q.threads)
             .deadline(deadline);
+        if let Some(flag) = cancel {
+            req = req.cancel_flag(flag);
+        }
         if let Some(dir) = &self.skeleton_cache {
-            req = req.skeleton_cache(dir.clone());
+            req = match &self.skeleton_fs {
+                Some(fs) => req.skeleton_cache_fs(dir.clone(), Arc::clone(fs)),
+                None => req.skeleton_cache(dir.clone()),
+            };
         }
         let outcome = req.run(&self.predictor, &profile)?;
         let body = RankResponse {
@@ -261,6 +311,7 @@ impl Advisor {
                 })
                 .collect(),
             partial: outcome.partial,
+            degraded: downgrade.map(|_| outcome.stats.gap_upper_bound),
             stats: include_stats.then_some(outcome.stats),
         };
         Ok((body.to_json(), outcome))

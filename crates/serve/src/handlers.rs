@@ -19,12 +19,13 @@
 //! time, the server deadline, metrics, and the multi-tenant registry;
 //! the per-tenant response caches stay internal to the built-ins.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hms_kernels::Scale;
 
+use crate::admission::{apply_cap, strategy_cap};
 use crate::api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
 use crate::http::Request;
 use crate::metrics::Metrics;
@@ -101,6 +102,9 @@ pub enum Outcome {
 pub struct Ctx<'a> {
     pub(crate) shared: &'a Shared,
     pub(crate) arrived: Instant,
+    /// The pool watchdog's cooperative cancel flag for this compute
+    /// slot (`None` on the event-loop poll stage).
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Ctx<'_> {
@@ -132,6 +136,30 @@ impl Ctx<'_> {
     /// The advisor of a resolved tenant.
     pub fn advisor(&self, tenant: usize) -> &Arc<Advisor> {
         self.shared.registry.advisor(tenant)
+    }
+
+    /// The watchdog's cooperative cancel flag for this compute slot.
+    pub fn cancel_flag(&self) -> Option<Arc<AtomicBool>> {
+        self.cancel.as_ref().map(Arc::clone)
+    }
+
+    /// Charge one token of tenant `idx`'s quota; out-of-quota cold
+    /// requests are refused with 429 before any model work. Tenants
+    /// without a configured quota always admit.
+    pub fn admit(&self, tenant: usize) -> Result<(), Response> {
+        let adm = &self.shared.admission[tenant];
+        if let Some(bucket) = &adm.bucket {
+            if !bucket.try_take() {
+                self.metrics()
+                    .admission_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Response::error(
+                    429,
+                    "quota exhausted for this config; retry later",
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Refuse with 504 if the request is already past its deadline —
@@ -225,6 +253,19 @@ fn count_effort(m: &Metrics, e: &Effort) {
     }
 }
 
+/// Feed a finished compute's outcome to the tenant's circuit breaker:
+/// 5xx responses count as failures (watchdog kills are fed by the
+/// watchdog itself), a 200 as success. Client errors say nothing about
+/// the server's health and leave the breaker alone.
+fn feed_breaker(ctx: &Ctx<'_>, tenant: usize, resp: &Response) {
+    let breaker = &ctx.shared.admission[tenant].breaker;
+    if resp.status >= 500 {
+        breaker.on_failure();
+    } else if resp.status == 200 {
+        breaker.on_success();
+    }
+}
+
 /// `GET /healthz` — liveness, nothing else.
 pub(crate) struct Healthz;
 
@@ -240,9 +281,15 @@ pub(crate) struct Readyz;
 impl Handler for Readyz {
     fn poll(&self, ctx: &Ctx<'_>, _req: &Request) -> Outcome {
         let (status, body) = match ctx.ready_state() {
-            ReadyState::Ready => (200, "ready\n"),
-            ReadyState::Degraded => (503, "degraded: request queue at capacity\n"),
-            ReadyState::Draining => (503, "draining: shutdown in progress\n"),
+            // A degraded ladder still answers 200: the server serves
+            // every request, just with cheaper, gap-bounded strategies.
+            // The body says so, and `hms_degradation_level` gauges it.
+            ReadyState::Ready => match ctx.shared.server_ladder_level() {
+                0 => (200, "ready\n".to_string()),
+                lvl => (200, format!("ready (degraded level {lvl})\n")),
+            },
+            ReadyState::Degraded => (503, "degraded: request queue at capacity\n".to_string()),
+            ReadyState::Draining => (503, "draining: shutdown in progress\n".to_string()),
         };
         Outcome::Ready(Response::text(status, body))
     }
@@ -253,9 +300,10 @@ pub(crate) struct MetricsEndpoint;
 
 impl Handler for MetricsEndpoint {
     fn poll(&self, ctx: &Ctx<'_>, _req: &Request) -> Outcome {
-        // Refresh the readiness gauge so a scrape sees the same state
-        // `/readyz` would report right now.
+        // Refresh the readiness and ladder gauges so a scrape sees the
+        // same state `/readyz` would report right now.
         ctx.ready_state();
+        ctx.shared.server_ladder_level();
         Outcome::Ready(Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
@@ -332,6 +380,11 @@ impl Handler for Predict {
                 return Outcome::Ready(Response::json_shared(body));
             }
         }
+        // Only cold requests (the ones that cost model work) consume
+        // quota; warm cache hits above stay free.
+        if let Err(resp) = ctx.admit(tenant) {
+            return Outcome::Ready(resp);
+        }
         Outcome::Compute { coalesce: true }
     }
 
@@ -343,6 +396,16 @@ impl Handler for Predict {
             Ok(parts) => parts,
             Err(resp) => return resp,
         };
+        let resp = self.compute_for(ctx, &q, tenant);
+        feed_breaker(ctx, tenant, &resp);
+        resp
+    }
+}
+
+impl Predict {
+    /// The tenant-resolved slow path; split out so `compute` can feed
+    /// the tenant's breaker with whatever this returns.
+    fn compute_for(&self, ctx: &Ctx<'_>, q: &PredictQuery, tenant: usize) -> Response {
         let m = ctx.metrics();
         let t = ctx.shared.tenant(tenant);
         let kt = match t.advisor.kernel(&q.kernel, q.scale) {
@@ -353,7 +416,7 @@ impl Handler for Predict {
             Ok(r) => r,
             Err(e) => return api_error(e),
         };
-        let key = PredKey::new(&t.advisor, &q, &kt, &resolved);
+        let key = PredKey::new(&t.advisor, q, &kt, &resolved);
         // The coalescing window only covers byte-identical requests; an
         // equivalent spelling (`moves` vs `placement`) may have filled
         // the semantic cache since `poll` looked.
@@ -366,7 +429,7 @@ impl Handler for Predict {
             return resp;
         }
         let mut effort = Effort::default();
-        let (body, _pred) = match t.advisor.predict(&q, &mut effort) {
+        let (body, _pred) = match t.advisor.predict(q, &mut effort) {
             Ok(out) => out,
             Err(e) => return api_error(e),
         };
@@ -431,6 +494,11 @@ impl Handler for Rank {
             ctx.raw_put(req, &body);
             return Outcome::Ready(Response::json_shared(body));
         }
+        // Only cold requests (the ones that run the engine) consume
+        // quota; warm cache hits above stay free.
+        if let Err(resp) = ctx.admit(tenant) {
+            return Outcome::Ready(resp);
+        }
         Outcome::Compute { coalesce: true }
     }
 
@@ -442,9 +510,24 @@ impl Handler for Rank {
             Ok(parts) => parts,
             Err(resp) => return resp,
         };
+        let resp = self.compute_for(ctx, &q, tenant);
+        feed_breaker(ctx, tenant, &resp);
+        resp
+    }
+}
+
+impl Rank {
+    /// The tenant-resolved slow path, with the degradation ladder in
+    /// front of the engine: under pressure the requested strategy is
+    /// downgraded (never upgraded) to the ladder's cap, and the
+    /// response is stamped `"degraded": true` with the gap bound the
+    /// cheaper strategy actually achieved. Degraded answers stay
+    /// bit-deterministic — the downgraded strategy is itself
+    /// deterministic — and are never cached.
+    fn compute_for(&self, ctx: &Ctx<'_>, q: &RankQuery, tenant: usize) -> Response {
         let m = ctx.metrics();
         let t = ctx.shared.tenant(tenant);
-        let key = self.key(&t.advisor, &q);
+        let key = self.key(&t.advisor, q);
         if let Some(body) = t.rank_cache.get(&key) {
             m.search_cache_hits.fetch_add(1, Ordering::Relaxed);
             return Response::json_shared(body).cacheable();
@@ -456,18 +539,36 @@ impl Handler for Rank {
         let mut effort = Effort::default();
         // The search stops at the request deadline and returns
         // best-so-far flagged `"partial": true` instead of timing out
-        // with nothing.
-        let deadline = Some(ctx.arrived + ctx.shared.deadline);
-        let (body, outcome) = match t.advisor.rank(&q, self.search, deadline, &mut effort) {
+        // with nothing. Injected clock skew drains the budget here —
+        // degrading or truncating the search — but never feeds the
+        // wall-clock 504 check above, so a skewed clock cannot turn
+        // in-quota traffic into 5xx.
+        let budget = ctx.shared.deadline.saturating_sub(ctx.shared.skew_ahead());
+        let deadline = Some(ctx.arrived + budget);
+        let remaining = budget.saturating_sub(ctx.arrived.elapsed());
+        let level = ctx.shared.ladder_level(tenant, Some(remaining));
+        let (effective, degraded) = apply_cap(key.strategy, strategy_cap(level));
+        let (body, outcome) = match t.advisor.rank_capped(
+            q,
+            self.search,
+            deadline,
+            degraded.then_some(effective),
+            ctx.cancel_flag(),
+            &mut effort,
+        ) {
             Ok(out) => out,
             Err(e) => return api_error(e),
         };
         count_effort(m, &effort);
         m.on_engine_stats(&outcome.stats);
+        if degraded {
+            m.degraded_responses.fetch_add(1, Ordering::Relaxed);
+        }
         let body = Arc::new(body.encode_pretty());
-        // A partial ranking reflects this request's deadline, not the
-        // query — caching it would serve truncated results forever.
-        if !outcome.partial {
+        // Partial or degraded rankings reflect this request's pressure,
+        // not the query — caching either would pin an approximation as
+        // the answer forever.
+        if !outcome.partial && !degraded {
             t.rank_cache.insert(key, Arc::clone(&body));
             Response::json_shared(body).cacheable()
         } else {

@@ -32,6 +32,7 @@
 //! ([`api`]), so `hms predict --json ...` and `POST /v1/predict` are
 //! byte-identical by construction — asserted by the integration tests.
 
+pub mod admission;
 pub mod api;
 pub mod cache;
 pub mod conn;
@@ -45,6 +46,9 @@ pub mod signal;
 pub mod singleflight;
 pub mod wire;
 
+pub use admission::{
+    apply_cap, degradation_level, strategy_cap, BreakerState, CircuitBreaker, TokenBucket,
+};
 pub use api::{Advisor, ApiError, Effort, PredictQuery, RankQuery};
 pub use cache::ShardedLru;
 pub use handlers::{Ctx, Handler, Outcome, Response};

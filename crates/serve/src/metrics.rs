@@ -63,7 +63,7 @@ impl Route {
 }
 
 /// Status classes tracked per route (the exact codes the server emits).
-const STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 500, 503, 504];
+const STATUSES: [u16; 10] = [200, 400, 404, 405, 408, 413, 429, 500, 503, 504];
 
 /// Upper bounds (microseconds) of the latency histogram buckets, plus an
 /// implicit `+Inf`. Spans cache-hit microseconds to full-scale
@@ -107,6 +107,7 @@ struct EngineTotals {
     skeleton_disk_hits: AtomicU64,
     skeleton_disk_misses: AtomicU64,
     skeleton_disk_writes: AtomicU64,
+    skeleton_disk_tmp_swept: AtomicU64,
     /// `f64::to_bits` of the most recent anytime search's reported gap
     /// upper bound (a gauge: last value wins, exact searches don't
     /// touch it).
@@ -150,6 +151,19 @@ pub struct Metrics {
     pub singleflight_leaders: AtomicU64,
     /// Connections currently registered with the event loops.
     pub open_connections: AtomicU64,
+    /// Requests refused with 429 by a tenant's token-bucket quota.
+    pub admission_rejected: AtomicU64,
+    /// Stalled compute slots the watchdog force-claimed (answered 504).
+    pub watchdog_cancels: AtomicU64,
+    /// Search responses served with a downgraded strategy (stamped
+    /// `"degraded": true` on the wire).
+    pub degraded_responses: AtomicU64,
+    /// Current degradation-ladder level: 0 = normal, 1 = capped at beam
+    /// search, 2 = capped at local search.
+    pub degradation_level: AtomicU64,
+    /// Circuit-breaker state of the most recently evaluated tenant:
+    /// 0 = closed, 1 = half-open, 2 = open.
+    pub breaker_state: AtomicU64,
     engine: EngineTotals,
 }
 
@@ -192,6 +206,8 @@ impl Metrics {
             .fetch_add(s.skeleton_disk_misses, Ordering::Relaxed);
         e.skeleton_disk_writes
             .fetch_add(s.skeleton_disk_writes, Ordering::Relaxed);
+        e.skeleton_disk_tmp_swept
+            .fetch_add(s.skeleton_disk_tmp_swept, Ordering::Relaxed);
         if s.anytime() {
             e.candidates_visited
                 .fetch_add(s.candidates_visited, Ordering::Relaxed);
@@ -275,7 +291,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, &AtomicU64); 15] = [
+        let counters: [(&str, &str, &AtomicU64); 18] = [
             (
                 "hms_prediction_cache_hits_total",
                 "Predict queries answered from the prediction cache.",
@@ -342,6 +358,21 @@ impl Metrics {
                 &self.singleflight_leaders,
             ),
             (
+                "hms_admission_rejected_total",
+                "Requests refused with 429 by a tenant quota.",
+                &self.admission_rejected,
+            ),
+            (
+                "hms_watchdog_cancels_total",
+                "Stalled compute slots force-claimed by the pool watchdog.",
+                &self.watchdog_cancels,
+            ),
+            (
+                "hms_degraded_responses_total",
+                "Search responses served with a ladder-downgraded strategy.",
+                &self.degraded_responses,
+            ),
+            (
                 "hms_engine_full_rewrites_total",
                 "Whole-trace rewrite+analyze runs across all searches.",
                 &self.engine.full_rewrites,
@@ -357,7 +388,7 @@ impl Metrics {
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
 
-        let more_engine: [(&str, &str, &AtomicU64); 8] = [
+        let more_engine: [(&str, &str, &AtomicU64); 9] = [
             (
                 "hms_engine_skeletons_built_total",
                 "Distinct walk skeletons built.",
@@ -398,13 +429,18 @@ impl Metrics {
                 "Healthy skeletons persisted to disk.",
                 &self.engine.skeleton_disk_writes,
             ),
+            (
+                "hms_engine_skeleton_tmp_swept_total",
+                "Stale skeleton temp files swept at cache open.",
+                &self.engine.skeleton_disk_tmp_swept,
+            ),
         ];
         for (name, help, v) in more_engine {
             g(&mut out, name, help, "counter");
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
 
-        let gauges: [(&str, &str, &AtomicU64); 4] = [
+        let gauges: [(&str, &str, &AtomicU64); 6] = [
             (
                 "hms_queue_depth",
                 "Jobs waiting for a worker.",
@@ -424,6 +460,16 @@ impl Metrics {
                 "hms_ready_state",
                 "Readiness: 0=ready, 1=degraded (shedding), 2=draining.",
                 &self.ready_state,
+            ),
+            (
+                "hms_degradation_level",
+                "Degradation ladder: 0=normal, 1=beam cap, 2=local-search cap.",
+                &self.degradation_level,
+            ),
+            (
+                "hms_breaker_state",
+                "Circuit breaker: 0=closed, 1=half-open, 2=open.",
+                &self.breaker_state,
             ),
         ];
         for (name, help, v) in gauges {

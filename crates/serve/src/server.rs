@@ -35,7 +35,7 @@
 //! two-stage [`Handler`] trait; this module is the machinery that
 //! schedules it.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -46,6 +46,7 @@ use hms_kernels::Scale;
 use hms_trace::KernelTrace;
 use hms_types::{MemorySpace, PlacementMap};
 
+use crate::admission::{degradation_level, BreakerState, CircuitBreaker, TokenBucket};
 use crate::api::{named_placement, Advisor, PredictQuery};
 use crate::cache::ShardedLru;
 use crate::conn::{Conn, FillResult};
@@ -84,6 +85,11 @@ pub struct ServerConfig {
     queue_depth: usize,
     read_deadline: Duration,
     coalescing: bool,
+    quota: Option<(u64, u64)>,
+    breaker_failures: u32,
+    breaker_cooldown: Duration,
+    watchdog_interval: Duration,
+    stall_timeout: Option<Duration>,
     routes: Vec<(String, String, Arc<dyn Handler>)>,
 }
 
@@ -98,6 +104,11 @@ impl Default for ServerConfig {
             queue_depth: 128,
             read_deadline: Duration::from_millis(10_000),
             coalescing: true,
+            quota: None,
+            breaker_failures: 5,
+            breaker_cooldown: Duration::from_millis(500),
+            watchdog_interval: Duration::from_millis(100),
+            stall_timeout: None,
             routes: Vec::new(),
         }
     }
@@ -164,6 +175,44 @@ impl ServerConfig {
         self
     }
 
+    /// Per-tenant token-bucket quota: `burst` requests of headroom,
+    /// refilled at `per_sec` requests per second. Out-of-quota cold
+    /// requests are refused with 429 before any model work. Default:
+    /// no quota.
+    pub fn quota(mut self, burst: u64, per_sec: u64) -> Self {
+        self.quota = Some((burst, per_sec));
+        self
+    }
+
+    /// Per-tenant circuit breaker: `failures` consecutive server-side
+    /// failures (5xx, watchdog kills) open it; `cooldown` later it goes
+    /// half-open. An open breaker never rejects — it forces searches
+    /// down the degradation ladder instead.
+    pub fn breaker(mut self, failures: u32, cooldown: Duration) -> Self {
+        self.breaker_failures = failures;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// How often the pool watchdog sweeps for stalled compute slots.
+    pub fn watchdog_interval(mut self, d: Duration) -> Self {
+        self.watchdog_interval = d;
+        self
+    }
+
+    /// How long a compute slot may run before the watchdog intervenes:
+    /// past `d` it raises the slot's cooperative cancel flag (the search
+    /// returns best-so-far, flagged partial); past `2 * d` it
+    /// force-claims the slot, answers its waiters 504, and spawns a
+    /// replacement worker. Defaults to twice the request deadline plus
+    /// 250 ms of grace: a deadline-honoring search legitimately runs
+    /// right up to the deadline plus encode overhead, and only jobs
+    /// that badly overshoot it are stalled.
+    pub fn stall_timeout(mut self, d: Duration) -> Self {
+        self.stall_timeout = Some(d);
+        self
+    }
+
     /// Mount a custom [`Handler`] at `method path` alongside the
     /// built-in advisory endpoints (counted under the `other` route
     /// label). Built-ins win ties.
@@ -212,6 +261,14 @@ impl ServerConfig {
                 waker: Waker::new()?,
             });
         }
+        let admission: Vec<TenantAdmission> = (0..n_tenants)
+            .map(|_| TenantAdmission {
+                bucket: self
+                    .quota
+                    .map(|(burst, per_sec)| TokenBucket::new(burst, per_sec)),
+                breaker: CircuitBreaker::new(self.breaker_failures, self.breaker_cooldown),
+            })
+            .collect();
         let shared = Arc::new(Shared {
             registry,
             tenants,
@@ -228,6 +285,13 @@ impl ServerConfig {
             queue_depth: self.queue_depth,
             inboxes,
             router: Router::new(self.routes),
+            admission,
+            skew_millis: AtomicU64::new(0),
+            watchdog: Watchdog::default(),
+            stall_timeout: self
+                .stall_timeout
+                .unwrap_or(self.deadline * 2 + Duration::from_millis(250)),
+            workers,
         });
         let mut threads = Vec::with_capacity(shards + workers);
         // Thread spawning can fail (resource exhaustion); surface it as
@@ -263,6 +327,17 @@ impl ServerConfig {
             match std::thread::Builder::new()
                 .name(format!("hms-worker-{i}"))
                 .spawn(move || worker_loop(s))
+            {
+                Ok(t) => threads.push(t),
+                Err(e) => return fail(&shared, threads, e),
+            }
+        }
+        {
+            let s = Arc::clone(&shared);
+            let interval = self.watchdog_interval;
+            match std::thread::Builder::new()
+                .name("hms-watchdog".into())
+                .spawn(move || watchdog_loop(s, interval))
             {
                 Ok(t) => threads.push(t),
                 Err(e) => return fail(&shared, threads, e),
@@ -553,6 +628,55 @@ impl Router {
     }
 }
 
+/// Per-tenant admission state: the optional request quota plus the
+/// circuit breaker feeding the degradation ladder.
+pub(crate) struct TenantAdmission {
+    pub(crate) bucket: Option<TokenBucket>,
+    pub(crate) breaker: CircuitBreaker,
+}
+
+/// One registered compute slot the watchdog is watching.
+struct ActiveSlot {
+    started: Instant,
+    /// Cooperative cancel: the search checks this at batch boundaries.
+    cancel: Arc<AtomicBool>,
+    /// Who answers the waiters — worker and watchdog race on a CAS;
+    /// exactly one side wins and delivers.
+    claimed: Arc<AtomicBool>,
+    key: Option<FlightKey>,
+    waiter: Waiter,
+}
+
+/// The pool watchdog's slot registry. Workers register before running a
+/// handler's compute stage and deregister after; the sweep cancels (and
+/// eventually force-claims) anything that overstays.
+#[derive(Default)]
+pub(crate) struct Watchdog {
+    slots: Mutex<HashMap<u64, ActiveSlot>>,
+    next_id: AtomicU64,
+    /// Replacement workers spawned for wedged slots — capped at the
+    /// configured pool size so a pathological storm can't fork-bomb.
+    replacements: AtomicU64,
+}
+
+impl Watchdog {
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, ActiveSlot>> {
+        self.slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn register(&self, slot: ActiveSlot) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.lock().insert(id, slot);
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.lock().remove(&id);
+    }
+}
+
 /// Everything the shards, workers, and handle share.
 pub(crate) struct Shared {
     pub(crate) registry: ConfigRegistry,
@@ -575,11 +699,75 @@ pub(crate) struct Shared {
     queue_depth: usize,
     inboxes: Vec<Inbox>,
     router: Router,
+    /// Per-tenant admission state, parallel to `tenants`.
+    pub(crate) admission: Vec<TenantAdmission>,
+    /// Injected forward skew on the deadline clock, in milliseconds —
+    /// the chaos suite's clock-skew fault. Skew eats deadline budget
+    /// (degrading searches); it never trips the 504 wall-clock check.
+    skew_millis: AtomicU64,
+    pub(crate) watchdog: Watchdog,
+    stall_timeout: Duration,
+    /// Configured worker-pool size (caps watchdog replacements).
+    workers: usize,
 }
 
 impl Shared {
     pub(crate) fn tenant(&self, idx: usize) -> &Tenant {
         &self.tenants[idx]
+    }
+
+    /// How far ahead the (possibly skewed) deadline clock runs.
+    pub(crate) fn skew_ahead(&self) -> Duration {
+        Duration::from_millis(self.skew_millis.load(Ordering::Relaxed))
+    }
+
+    /// The degradation-ladder level for one request of tenant `idx`
+    /// with `remaining` deadline budget left (already net of skew).
+    /// Refreshes the `hms_degradation_level` and `hms_breaker_state`
+    /// gauges.
+    pub(crate) fn ladder_level(&self, tenant: usize, remaining: Option<Duration>) -> u8 {
+        let breaker = self.admission[tenant].breaker.state();
+        let level = degradation_level(
+            self.jobs_pending.load(Ordering::SeqCst) as usize,
+            self.queue_depth,
+            breaker,
+            remaining,
+            self.deadline,
+        );
+        self.metrics
+            .breaker_state
+            .store(breaker.gauge(), Ordering::Relaxed);
+        self.metrics
+            .degradation_level
+            .store(u64::from(level), Ordering::Relaxed);
+        level
+    }
+
+    /// The server-wide ladder level `/readyz` and `/metrics` report:
+    /// the worst tenant's breaker, the shared queue, and the skewed
+    /// clock's drain on a fresh request's budget.
+    pub(crate) fn server_ladder_level(&self) -> u8 {
+        let breaker = self
+            .admission
+            .iter()
+            .map(|a| a.breaker.state())
+            .max_by_key(|s| s.gauge())
+            .unwrap_or(BreakerState::Closed);
+        let remaining = self.deadline.saturating_sub(self.skew_ahead());
+        let level = degradation_level(
+            self.jobs_pending.load(Ordering::SeqCst) as usize,
+            self.queue_depth,
+            breaker,
+            Some(remaining),
+            self.deadline,
+        );
+        self.metrics
+            .breaker_state
+            .store(breaker.gauge(), Ordering::Relaxed);
+        self.metrics
+            .degradation_level
+            .store(u64::from(level), Ordering::Relaxed);
+        level
     }
 }
 
@@ -637,6 +825,25 @@ impl ServerHandle {
             .collect()
     }
 
+    /// Skew the deadline clock `ahead` into the future — the chaos
+    /// suite's clock-skew fault. Skewed time drains every request's
+    /// deadline budget (forcing searches down the degradation ladder)
+    /// without ever tripping the wall-clock 504 check; `Duration::ZERO`
+    /// restores normal time.
+    pub fn set_clock_skew(&self, ahead: Duration) {
+        self.shared.skew_millis.store(
+            ahead.as_millis().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The server-wide degradation-ladder level right now (0 = normal,
+    /// 1 = beam cap, 2 = local-search cap). Also refreshes the
+    /// `hms_degradation_level` gauge.
+    pub fn degradation_level(&self) -> u8 {
+        self.shared.server_ladder_level()
+    }
+
     /// Ask the server to stop without blocking. Idempotent.
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -681,6 +888,40 @@ fn shed(mut stream: TcpStream) {
     let _ = write_response(&mut stream, 503, "application/json", body.as_bytes(), true);
 }
 
+/// Fan a finished response out to every waiter of `key` (or just
+/// `waiter` when uncoalesced) — shared by the worker pool and the
+/// watchdog's force-claim path, so exactly one of them ever answers a
+/// given job.
+fn deliver(shared: &Shared, key: Option<&FlightKey>, waiter: &Waiter, resp: &Response) {
+    let m = &shared.metrics;
+    let waiters = match key {
+        Some(key) => {
+            m.singleflight_leaders.fetch_add(1, Ordering::Relaxed);
+            let ws = shared.flights.complete(key);
+            if ws.len() > 1 {
+                m.coalesced_requests
+                    .fetch_add((ws.len() - 1) as u64, Ordering::Relaxed);
+            }
+            ws
+        }
+        None => vec![waiter.clone()],
+    };
+    for w in waiters {
+        let inbox = &shared.inboxes[w.shard];
+        inbox
+            .completions
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(Completion {
+                waiter: w,
+                status: resp.status,
+                content_type: resp.content_type,
+                body: Arc::clone(&resp.body),
+            });
+        inbox.waker.wake();
+    }
+}
+
 /// Worker: drain cold jobs, run the handler's compute stage, fan the
 /// response out to every coalesced waiter.
 fn worker_loop(shared: Arc<Shared>) {
@@ -708,9 +949,19 @@ fn worker_loop(shared: Arc<Shared>) {
         };
         let m = Arc::clone(&shared.metrics);
         m.inflight.fetch_add(1, Ordering::Relaxed);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let claimed = Arc::new(AtomicBool::new(false));
+        let slot_id = shared.watchdog.register(ActiveSlot {
+            started: Instant::now(),
+            cancel: Arc::clone(&cancel),
+            claimed: Arc::clone(&claimed),
+            key: job.key.clone(),
+            waiter: job.waiter.clone(),
+        });
         let ctx = Ctx {
             shared: shared.as_ref(),
             arrived: job.waiter.arrived,
+            cancel: Some(cancel),
         };
         // A panicking handler answers 500 and the server keeps serving;
         // the shared state it can reach is all panic-tolerant (atomics,
@@ -720,37 +971,87 @@ fn worker_loop(shared: Arc<Shared>) {
         }))
         .unwrap_or_else(|_| Response::error(500, "internal error: handler panicked"));
         m.inflight.fetch_sub(1, Ordering::Relaxed);
+        shared.watchdog.deregister(slot_id);
+        if claimed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            // The watchdog already force-claimed this slot and answered
+            // its waiters 504; the late result is dropped uncached so a
+            // stall can never poison a memo.
+            continue;
+        }
         if resp.cacheable {
             shared.raw_cache.insert(
                 FlightKey::new(&job.req.target, &job.req.body),
                 Arc::clone(&resp.body),
             );
         }
-        let waiters = match &job.key {
-            Some(key) => {
-                m.singleflight_leaders.fetch_add(1, Ordering::Relaxed);
-                let ws = shared.flights.complete(key);
-                if ws.len() > 1 {
-                    m.coalesced_requests
-                        .fetch_add((ws.len() - 1) as u64, Ordering::Relaxed);
+        deliver(&shared, job.key.as_ref(), &job.waiter, &resp);
+    }
+}
+
+/// The pool watchdog: every `interval`, sweep the registered compute
+/// slots. Past the stall timeout a slot gets its cooperative cancel
+/// flag raised (anytime searches return best-so-far, flagged partial);
+/// past twice the timeout the slot is force-claimed — its waiters are
+/// answered 504, the breaker records the failure, and a replacement
+/// worker is spawned (capped at the pool size) because the wedged
+/// thread may never come back.
+fn watchdog_loop(shared: Arc<Shared>, interval: Duration) {
+    let interval = interval.max(Duration::from_millis(1));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        let stall = shared.stall_timeout;
+        let mut kill: Vec<(u64, Option<FlightKey>, Waiter)> = Vec::new();
+        {
+            let mut slots = shared.watchdog.lock();
+            for (id, slot) in slots.iter() {
+                let age = slot.started.elapsed();
+                if age > stall {
+                    slot.cancel.store(true, Ordering::Relaxed);
                 }
-                ws
+                if age > stall.saturating_mul(2)
+                    && slot
+                        .claimed
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    kill.push((*id, slot.key.clone(), slot.waiter.clone()));
+                }
             }
-            None => vec![job.waiter.clone()],
-        };
-        for w in waiters {
-            let inbox = &shared.inboxes[w.shard];
-            inbox
-                .completions
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .push(Completion {
-                    waiter: w,
-                    status: resp.status,
-                    content_type: resp.content_type,
-                    body: Arc::clone(&resp.body),
-                });
-            inbox.waker.wake();
+            for (id, _, _) in &kill {
+                slots.remove(id);
+            }
+        }
+        for (_, key, waiter) in kill {
+            shared
+                .metrics
+                .watchdog_cancels
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            // Every tenant's breaker sees the stall: the watchdog can't
+            // know which tenant wedged the slot, and a stalled pool
+            // starves all of them equally.
+            for adm in &shared.admission {
+                adm.breaker.on_failure();
+            }
+            let resp = Response::error(504, "compute stalled; cancelled by the pool watchdog");
+            deliver(&shared, key.as_ref(), &waiter, &resp);
+            let n = shared.watchdog.replacements.load(Ordering::Relaxed);
+            if (n as usize) < shared.workers {
+                let s = Arc::clone(&shared);
+                if std::thread::Builder::new()
+                    .name(format!("hms-worker-r{n}"))
+                    .spawn(move || worker_loop(s))
+                    .is_ok()
+                {
+                    shared.watchdog.replacements.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
@@ -1034,6 +1335,7 @@ fn handle_request(
             let ctx = Ctx {
                 shared: shared.as_ref(),
                 arrived,
+                cancel: None,
             };
             match entry.handler.poll(&ctx, &req) {
                 Outcome::Ready(resp) => {

@@ -370,6 +370,12 @@ pub struct RankResponse {
     /// from the wire when `false` — finished responses are
     /// byte-identical whether or not a deadline was set.
     pub partial: bool,
+    /// `Some(gap_upper_bound)` when the degradation ladder downgraded
+    /// the requested strategy: the wire gets `"degraded": true` plus the
+    /// reported optimality-gap upper bound of the strategy actually run
+    /// (whose name the `strategy` member already carries). Omitted
+    /// entirely when `None`, keeping normal responses byte-identical.
+    pub degraded: Option<f64>,
     /// The engine's deterministic counters (`/v1/search` only).
     pub stats: Option<EngineStats>,
 }
@@ -395,6 +401,10 @@ impl RankResponse {
         ];
         if self.partial {
             members.push(("partial".into(), Json::Bool(true)));
+        }
+        if let Some(gap) = self.degraded {
+            members.push(("degraded".into(), Json::Bool(true)));
+            members.push(("gap_upper_bound".into(), Json::Num(gap)));
         }
         if let Some(s) = &self.stats {
             members.push((
@@ -540,10 +550,12 @@ mod tests {
                 predicted_cycles: 10.0,
             }],
             partial: false,
+            degraded: None,
             stats: None,
         };
         let text = resp.to_json().encode_pretty();
         assert!(!text.contains("partial"));
+        assert!(!text.contains("degraded"));
         assert!(!text.contains("stats"));
         let partial = RankResponse {
             partial: true,
@@ -556,6 +568,32 @@ mod tests {
         // Exact strategies never emit the anytime-only stats members.
         assert!(!text.contains("candidates_visited"));
         assert!(!text.contains("gap_upper_bound"));
+    }
+
+    #[test]
+    fn degraded_member_appends_after_partial_with_its_gap() {
+        let resp = RankResponse {
+            kernel: "vecadd".into(),
+            scale: Scale::Test,
+            strategy: "beam",
+            ranked_total: 1,
+            ranked: vec![],
+            partial: true,
+            degraded: Some(0.125),
+            stats: None,
+        };
+        let text = resp.to_json().encode_pretty();
+        let partial = text.find("\"partial\"").unwrap();
+        let degraded = text.find("\"degraded\": true").unwrap();
+        let gap = text.find("\"gap_upper_bound\": 0.125").unwrap();
+        assert!(partial < degraded && degraded < gap, "order broken: {text}");
+        // Absent means absent — no null, no false.
+        let normal = RankResponse {
+            partial: false,
+            degraded: None,
+            ..resp
+        };
+        assert!(!normal.to_json().encode_pretty().contains("degraded"));
     }
 
     #[test]
@@ -574,6 +612,7 @@ mod tests {
             ranked_total: 1,
             ranked: vec![],
             partial: false,
+            degraded: None,
             stats: Some(stats),
         };
         let text = resp.to_json().encode_pretty();

@@ -24,10 +24,13 @@ echo "==> overflow-checks test pass (core, sim, stats)"
 RUSTFLAGS="-C overflow-checks=on" \
     cargo test -q --offline -p hms-core -p hms-sim -p hms-stats
 
-# Chaos gate: the seed-replayable fault matrix, pinned to three fixed
-# seeds so CI failures reproduce locally with the printed
-# HMS_CHAOS_SEED line (see DESIGN.md §11).
-echo "==> chaos gate (3 pinned seeds)"
+# Chaos gate: the seed-replayable connection-fault matrix AND the
+# resource-fault storm (disk ENOSPC/torn-write/bit-rot/rename, pool
+# stalls, clock skew — DESIGN.md §11, §15), pinned to three fixed seeds
+# so CI failures reproduce locally with the printed HMS_CHAOS_SEED
+# line. The storm asserts zero 5xx for in-quota /v1/search (exact or
+# degraded:true with a sound gap bound) and monotone ladder recovery.
+echo "==> chaos gate (3 pinned seeds, connection + resource faults)"
 for seed in 12689413 271828 9221; do
     echo "    HMS_CHAOS_SEED=$seed"
     HMS_CHAOS_SEED="$seed" cargo test -q --offline --test chaos

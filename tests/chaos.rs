@@ -14,13 +14,18 @@
 
 use std::io::{BufRead, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gpu_hms::core::Predictor;
-use gpu_hms::faults::{FaultClient, FaultOutcome, FaultPlan};
+use gpu_hms::core::{CacheFs, Predictor};
+use gpu_hms::faults::{
+    FaultClient, FaultOutcome, FaultPlan, FaultyFs, FsFault, ResourceFaultKind, ResourceFaultPlan,
+};
 use gpu_hms::serve::api::{Effort, RankQuery};
+use gpu_hms::serve::http::Request;
 use gpu_hms::serve::{
-    ready_state, Advisor, ConfigRegistry, Json, Metrics, ReadyState, ServerConfig,
+    decode, ready_state, Advisor, ConfigRegistry, Ctx, Handler, Json, Metrics, Outcome, ReadyState,
+    Response, ServerConfig,
 };
 use gpu_hms::types::GpuConfig;
 
@@ -196,6 +201,335 @@ fn readiness_is_distinct_from_liveness() {
     assert_eq!(ready_state(true, 0, 8), ReadyState::Draining);
     // Draining wins over a full queue: shutdown is the stronger fact.
     assert_eq!(ready_state(true, 8, 8), ReadyState::Draining);
+    h.shutdown();
+}
+
+/// A compute job that ignores the cooperative cancel flag and parks for
+/// `park` — the wedged-task image. Bounded (it always returns) so the
+/// server can still join its workers at shutdown; the watchdog's
+/// force-claim answers the waiter long before the park ends.
+struct Wedge {
+    park: Duration,
+}
+
+impl Handler for Wedge {
+    fn poll(&self, _ctx: &Ctx<'_>, _req: &Request) -> Outcome {
+        Outcome::Compute { coalesce: false }
+    }
+
+    fn compute(&self, _ctx: &Ctx<'_>, _req: &Request) -> Response {
+        std::thread::sleep(self.park);
+        Response::text(200, "late\n")
+    }
+}
+
+/// One `/v1/search` answer under storm: either exact (no `degraded`
+/// member at all) or `degraded: true` with a finite, non-negative
+/// `gap_upper_bound`. Anything else — and any 5xx — fails the storm.
+fn assert_exact_or_degraded(status: u16, body: &str, when: &str) -> Option<(f64, f64)> {
+    assert!(
+        status < 500,
+        "{when}: in-quota /v1/search answered {status}: {body}"
+    );
+    assert_eq!(status, 200, "{when}: {body}");
+    let v = decode(body).expect("search body is JSON");
+    let best = v
+        .get("ranked")
+        .and_then(Json::as_arr)
+        .and_then(|r| r.first())
+        .and_then(|e| e.get("predicted_cycles"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{when}: no best candidate in {body}"));
+    match v.get("degraded") {
+        None => {
+            assert!(
+                v.get("gap_upper_bound").is_none(),
+                "{when}: gap without degraded flag"
+            );
+            None
+        }
+        Some(d) => {
+            assert_eq!(d.as_bool(), Some(true), "{when}: degraded must be `true`");
+            let gap = v
+                .get("gap_upper_bound")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{when}: degraded without a gap bound"));
+            assert!(
+                gap.is_finite() && gap >= 0.0,
+                "{when}: unsound gap bound {gap}"
+            );
+            Some((best, gap))
+        }
+    }
+}
+
+/// The resource-fault storm: every disk, pool, and clock fault from a
+/// pinned seed-replayable schedule, committed against one live server,
+/// with the tentpole guarantees asserted after every case — liveness,
+/// zero 5xx for in-quota `/v1/search` (exact or gap-bounded degraded),
+/// byte-identical predictions once the storm clears, and monotone
+/// ladder recovery back to a non-degraded `/readyz`.
+#[test]
+fn resource_storm_degrades_gracefully_and_recovers() {
+    let seed = chaos_seed();
+    let plan = ResourceFaultPlan::from_seed(seed, 8);
+    let dir = std::env::temp_dir().join(format!("hms-chaos-storm-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = Arc::new(FaultyFs::new(seed));
+
+    let cfg = GpuConfig::test_small();
+    let advisor = Advisor::new(cfg.clone(), Predictor::new(cfg))
+        .with_skeleton_cache_fs(&dir, Arc::clone(&fs) as Arc<dyn CacheFs>);
+    let sweep = Duration::from_millis(20);
+    let h = ServerConfig::new()
+        .bind("127.0.0.1:0")
+        .workers(2)
+        .deadline(Duration::from_secs(5))
+        // Generous quota: the storm's probe traffic is always in-quota,
+        // so every 429 would be a bug.
+        .quota(64, 1000)
+        // One watchdog kill opens the breaker — the ladder must engage
+        // visibly during the storm, and recover monotonically after it.
+        .breaker(1, Duration::from_millis(150))
+        .watchdog_interval(sweep)
+        .stall_timeout(Duration::from_millis(60))
+        .route(
+            "POST",
+            "/v1/wedge",
+            Arc::new(Wedge {
+                park: Duration::from_millis(400),
+            }),
+        )
+        .spawn(ConfigRegistry::new("default", advisor))
+        .expect("binds ephemeral port");
+    let addr = h.addr();
+
+    // Pre-storm baselines for the byte-identity check at the end.
+    let (status, predict_before) = Probe::connect(addr).request("POST", "/v1/predict", PREDICT);
+    assert_eq!(status, 200, "{predict_before}");
+    const BASELINE_SEARCH: &str = r#"{"kernel":"vecadd","scale":"test","top":2}"#;
+    let (status, search_before) =
+        Probe::connect(addr).request("POST", "/v1/search", BASELINE_SEARCH);
+    assert_eq!(status, 200, "{search_before}");
+    assert_exact_or_degraded(status, &search_before, "pre-storm baseline");
+
+    // Distinct cold queries per case (never repeating the baseline), so
+    // each storm search exercises the engine + faulty disk, not the
+    // rank cache.
+    let storm_query = |i: usize| {
+        let kernel = if i % 2 == 0 { "vecadd" } else { "spmv" };
+        format!(r#"{{"kernel":"{kernel}","scale":"test","top":{}}}"#, 3 + i)
+    };
+    // Queries issued degraded during the storm, to be re-run exact
+    // afterwards for the gap-soundness check.
+    let mut degraded_probes: Vec<(String, f64, f64)> = Vec::new();
+    let mut saw_watchdog_kill = false;
+
+    for (i, case) in plan.cases.iter().enumerate() {
+        let when = format!("case {i} `{}`", case.kind.label());
+        match case.kind.fs_fault() {
+            // Disk faults: committed through the injected cache fs
+            // under a live cold search.
+            Some(mode) => {
+                fs.set(mode);
+                let q = storm_query(i);
+                let (status, body) = Probe::connect(addr).request("POST", "/v1/search", &q);
+                if let Some((best, gap)) = assert_exact_or_degraded(status, &body, &when) {
+                    degraded_probes.push((q, best, gap));
+                }
+                fs.set(FsFault::None);
+            }
+            None => match case.kind {
+                ResourceFaultKind::PoolStall => {
+                    // Wedge one worker; the concurrent search must keep
+                    // being answered by the rest of the pool while the
+                    // watchdog force-claims the wedged slot with a 504.
+                    let wedged = std::thread::scope(|s| {
+                        let t = s.spawn(|| Probe::connect(addr).request("POST", "/v1/wedge", "{}"));
+                        std::thread::sleep(Duration::from_millis(10));
+                        let q = storm_query(i);
+                        let (status, body) = Probe::connect(addr).request("POST", "/v1/search", &q);
+                        if let Some((best, gap)) = assert_exact_or_degraded(status, &body, &when) {
+                            degraded_probes.push((q, best, gap));
+                        }
+                        t.join().expect("wedge probe")
+                    });
+                    assert_eq!(
+                        wedged.0,
+                        504,
+                        "a wedged task must be force-claimed, got {}: {}\n  {}",
+                        wedged.0,
+                        wedged.1,
+                        case.replay_line(seed)
+                    );
+                    saw_watchdog_kill = true;
+                    assert!(
+                        h.degradation_level() >= 1,
+                        "{when}: a watchdog kill must engage the ladder"
+                    );
+                }
+                ResourceFaultKind::ClockSkew => {
+                    // Skew the deadline clock far past the budget: the
+                    // search must downgrade (never 504) and stamp its
+                    // gap on the wire.
+                    h.set_clock_skew(case.skew());
+                    let q = storm_query(i);
+                    let (status, body) = Probe::connect(addr).request("POST", "/v1/search", &q);
+                    let (best, gap) = assert_exact_or_degraded(status, &body, &when)
+                        .unwrap_or_else(|| {
+                            panic!("{when}: a skewed-out search served exact? {body}")
+                        });
+                    degraded_probes.push((q, best, gap));
+                    h.set_clock_skew(Duration::ZERO);
+                }
+                _ => unreachable!("disk kinds are handled above"),
+            },
+        }
+        // The cardinal invariant, after every committed case.
+        let (status, body) = Probe::connect(addr).request("GET", "/healthz", "");
+        assert_eq!(
+            (status, body.as_str()),
+            (200, "ok\n"),
+            "liveness lost after {when}\n  {}",
+            case.replay_line(seed)
+        );
+    }
+
+    // Storm over: all faults cleared above. Monotone ladder recovery —
+    // the level never climbs while draining back to 0, and it reaches 0
+    // (a breaker needs one observed success to close, which the probe
+    // search provides).
+    let recovery_deadline = Instant::now() + Duration::from_secs(5);
+    let mut last = u8::MAX;
+    let mut attempt = 0usize;
+    loop {
+        let lvl = h.degradation_level();
+        assert!(
+            lvl <= last,
+            "ladder went back up during recovery: {last} -> {lvl}"
+        );
+        last = lvl;
+        if lvl == 0 {
+            break;
+        }
+        // A *cold* probe: cache hits are answered in the poll stage and
+        // never reach the breaker, so only a computed success can close
+        // a half-open breaker.
+        attempt += 1;
+        let q = format!(
+            r#"{{"kernel":"vecadd","scale":"test","top":{}}}"#,
+            100 + attempt
+        );
+        let (status, _) = Probe::connect(addr).request("POST", "/v1/search", &q);
+        assert_eq!(status, 200);
+        assert!(
+            Instant::now() < recovery_deadline,
+            "ladder never recovered to level 0"
+        );
+        std::thread::sleep(sweep);
+    }
+    // Non-degraded readiness within a watchdog sweep of reaching 0.
+    std::thread::sleep(sweep);
+    let (status, body) = Probe::connect(addr).request("GET", "/readyz", "");
+    assert_eq!(
+        (status, body.as_str()),
+        (200, "ready\n"),
+        "readiness still degraded after the storm"
+    );
+
+    // Byte-identity across the storm: the same predict query answers
+    // with the exact same bytes it did before any fault was committed.
+    let (status, predict_after) = Probe::connect(addr).request("POST", "/v1/predict", PREDICT);
+    assert_eq!(status, 200);
+    assert_eq!(
+        predict_before, predict_after,
+        "prediction bytes drifted across the resource storm"
+    );
+    let (status, search_after) =
+        Probe::connect(addr).request("POST", "/v1/search", BASELINE_SEARCH);
+    assert_eq!(status, 200);
+    assert_eq!(
+        search_before, search_after,
+        "search bytes drifted across the resource storm"
+    );
+
+    // Gap soundness: re-run every query that answered degraded, now
+    // exact (degraded bodies are never cached, so this recomputes), and
+    // check the documented contract `best <= optimum * (1 + gap)`.
+    for (q, degraded_best, gap) in &degraded_probes {
+        let (status, body) = Probe::connect(addr).request("POST", "/v1/search", q);
+        assert_eq!(status, 200, "{body}");
+        let v = decode(&body).expect("exact rerun is JSON");
+        assert!(
+            v.get("degraded").is_none(),
+            "post-storm rerun still degraded: {body}"
+        );
+        let optimum = v
+            .get("ranked")
+            .and_then(Json::as_arr)
+            .and_then(|r| r.first())
+            .and_then(|e| e.get("predicted_cycles"))
+            .and_then(Json::as_f64)
+            .expect("exact rerun has a best candidate");
+        assert!(
+            *degraded_best >= optimum * (1.0 - 1e-9),
+            "degraded answer beat the optimum? {degraded_best} < {optimum} for {q}"
+        );
+        assert!(
+            *degraded_best <= optimum * (1.0 + gap) * (1.0 + 1e-9),
+            "unsound gap bound: best {degraded_best}, optimum {optimum}, gap {gap} for {q}"
+        );
+    }
+
+    // A watchdog kill (if the plan scheduled one) is operator-visible.
+    if saw_watchdog_kill {
+        let (_, text) = Probe::connect(addr).request("GET", "/metrics", "");
+        let kills = Metrics::scrape_counter(&text, "hms_watchdog_cancels_total")
+            .expect("watchdog series exists");
+        assert!(kills >= 1.0, "watchdog 504s answered but not counted");
+    }
+
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Quota exhaustion is an admission decision (429), never a 5xx, and
+/// warm cache hits stay free — only cold requests spend tokens.
+#[test]
+fn quota_exhaustion_is_a_429_and_cache_hits_stay_free() {
+    let h = ServerConfig::new()
+        .bind("127.0.0.1:0")
+        .workers(1)
+        // One token, no refill: exactly one cold search is in quota.
+        .quota(1, 0)
+        .spawn(ConfigRegistry::new("default", advisor()))
+        .expect("binds");
+    let mut p = Probe::connect(h.addr());
+
+    let first = r#"{"kernel":"vecadd","scale":"test","top":1}"#;
+    let (status, body) = p.request("POST", "/v1/search", first);
+    assert_eq!(status, 200, "{body}");
+
+    // Second cold query: the bucket is empty.
+    let (status, body) = p.request(
+        "POST",
+        "/v1/search",
+        r#"{"kernel":"spmv","scale":"test","top":1}"#,
+    );
+    assert_eq!(
+        status, 429,
+        "expected quota rejection, got {status}: {body}"
+    );
+
+    // The first query again: a rank-cache hit, served without a token.
+    let (status, _) = p.request("POST", "/v1/search", first);
+    assert_eq!(status, 200, "cache hits must not consume quota");
+
+    // Rejections are counted for the operator.
+    let (_, text) = p.request("GET", "/metrics", "");
+    let rejected = Metrics::scrape_counter(&text, "hms_admission_rejected_total")
+        .expect("admission series exists");
+    assert!(rejected >= 1.0);
     h.shutdown();
 }
 

@@ -9,10 +9,13 @@
 //! checksum at 28, payload at 36) and asserts both the bits and the
 //! rebuild counters.
 
+use gpu_hms::faults::{FaultyFs, FsFault};
 use gpu_hms::prelude::*;
-use hms_kernels::Scale;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use hms_kernels::Scale;
 
 fn bits(ranked: &[hms_core::RankedPlacement]) -> Vec<u64> {
     ranked
@@ -61,6 +64,36 @@ impl Setup {
             .skeleton_cache(&self.dir)
             .run(&self.predictor, &self.profile)
             .expect("searches")
+    }
+
+    /// Like [`run`](Setup::run), but through an injected filesystem.
+    fn run_on(&self, fs: &Arc<FaultyFs>) -> SearchOutcome {
+        SearchRequest::new(&self.kt.arrays, &self.kt.default_placement())
+            .candidates(&self.candidates)
+            .skeleton_cache_fs(&self.dir, Arc::clone(fs) as Arc<dyn hms_core::CacheFs>)
+            .run(&self.predictor, &self.profile)
+            .expect("searches")
+    }
+
+    /// The no-disk-cache reference run the faulty runs must match.
+    fn run_nocache(&self) -> SearchOutcome {
+        SearchRequest::new(&self.kt.arrays, &self.kt.default_placement())
+            .candidates(&self.candidates)
+            .run(&self.predictor, &self.profile)
+            .expect("searches")
+    }
+
+    fn stranded_tmps(&self) -> Vec<PathBuf> {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.map(|e| e.expect("dir entry").path())
+                    .filter(|p| {
+                        p.extension()
+                            .is_some_and(|x| x.to_string_lossy().starts_with("tmp"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     fn skeleton_files(&self) -> Vec<PathBuf> {
@@ -199,6 +232,150 @@ fn zero_length_and_garbage_files_trigger_rebuild() {
             vec![0xDB; body.len()]
         }
     });
+}
+
+/// ENOSPC mid-store: the write fails after a prefix lands and even the
+/// cleanup unlink fails, stranding a partial temp. The search loses
+/// only the warm-start — bits match a cache-less run — and the next
+/// healthy open sweeps the stranded temps before serving.
+#[test]
+fn injected_enospc_loses_only_the_warm_start_and_temps_are_swept() {
+    let setup = Setup::new("fs-enospc");
+    let baseline = bits(&setup.run_nocache().ranked);
+
+    let fs = Arc::new(FaultyFs::new(0xD15C_0001));
+    fs.set(FsFault::Enospc);
+    let sick = setup.run_on(&fs);
+    assert_eq!(
+        baseline,
+        bits(&sick.ranked),
+        "a full disk changed the predictions"
+    );
+    assert_eq!(
+        sick.stats.skeleton_disk_writes, 0,
+        "a failed store was counted as persisted"
+    );
+    assert!(fs.injected() > 0, "the ENOSPC fault never fired");
+    assert!(
+        !setup.stranded_tmps().is_empty(),
+        "ENOSPC with a failing unlink must strand its partial temp"
+    );
+
+    // Disk recovers: the next open sweeps the strands, the run persists
+    // normally, and the one after that loads from disk.
+    fs.set(FsFault::None);
+    let healed = setup.run_on(&fs);
+    assert_eq!(baseline, bits(&healed.ranked));
+    assert!(
+        healed.stats.skeleton_disk_tmp_swept > 0,
+        "stranded temps were not swept at open"
+    );
+    assert!(setup.stranded_tmps().is_empty(), "sweep left temps behind");
+    assert!(healed.stats.skeleton_disk_writes > 0);
+    let warm = setup.run_on(&fs);
+    assert_eq!(baseline, bits(&warm.ranked));
+    assert!(warm.stats.skeleton_disk_hits > 0, "healed cache not reused");
+}
+
+/// A torn write (power-cut image): the store reports success but only a
+/// prefix persists. The next load must reject the short file via the
+/// length/checksum checks and rebuild bit-identically, then heal the
+/// cache in place.
+#[test]
+fn injected_torn_write_is_rejected_on_the_next_load() {
+    let setup = Setup::new("fs-torn");
+    let baseline = bits(&setup.run_nocache().ranked);
+
+    let fs = Arc::new(FaultyFs::new(0xD15C_0002));
+    fs.set(FsFault::TornWrite);
+    let torn = setup.run_on(&fs);
+    assert_eq!(baseline, bits(&torn.ranked));
+    assert!(fs.injected() > 0, "the torn-write fault never fired");
+
+    fs.set(FsFault::None);
+    let after = setup.run_on(&fs);
+    assert_eq!(
+        baseline,
+        bits(&after.ranked),
+        "a torn skeleton changed the predictions"
+    );
+    assert_eq!(
+        after.stats.skeleton_disk_hits, 0,
+        "a torn skeleton was accepted"
+    );
+    assert!(after.stats.skeleton_disk_misses > 0);
+    assert!(after.stats.skeletons_built > 0);
+
+    let healed = setup.run_on(&fs);
+    assert_eq!(baseline, bits(&healed.ranked));
+    assert!(
+        healed.stats.skeleton_disk_hits > 0,
+        "rewrite after the torn write did not heal the cache"
+    );
+}
+
+/// The atomic rename at the end of a store fails: the store is
+/// swallowed, the temp is cleaned (unlink still works), and reads keep
+/// missing — no half-named file is ever visible to a loader.
+#[test]
+fn injected_rename_failure_swallows_the_store_cleanly() {
+    let setup = Setup::new("fs-rename");
+    let baseline = bits(&setup.run_nocache().ranked);
+
+    let fs = Arc::new(FaultyFs::new(0xD15C_0003));
+    fs.set(FsFault::RenameFail);
+    let sick = setup.run_on(&fs);
+    assert_eq!(baseline, bits(&sick.ranked));
+    assert_eq!(
+        sick.stats.skeleton_disk_writes, 0,
+        "a store that never renamed into place was counted"
+    );
+    assert!(fs.injected() > 0, "the rename fault never fired");
+    assert!(
+        setup.stranded_tmps().is_empty(),
+        "rename failure must clean its temp (unlink works here)"
+    );
+
+    // Still all misses on the next run — nothing half-stored landed.
+    let again = setup.run_on(&fs);
+    assert_eq!(baseline, bits(&again.ranked));
+    assert_eq!(again.stats.skeleton_disk_hits, 0);
+}
+
+/// Bit-rot on the read path: a persisted skeleton comes back with one
+/// flipped bit. The checksum rejects it, the rebuild matches the
+/// baseline bit-for-bit, and the freshly rewritten file serves the next
+/// (healthy) run — the rot never reaches a prediction.
+#[test]
+fn injected_bit_rot_is_caught_by_the_checksum() {
+    let setup = Setup::new("fs-bitrot");
+    let baseline = bits(&setup.run_nocache().ranked);
+
+    let fs = Arc::new(FaultyFs::new(0xD15C_0004));
+    let cold = setup.run_on(&fs);
+    assert_eq!(baseline, bits(&cold.ranked));
+    assert!(cold.stats.skeleton_disk_writes > 0, "nothing persisted");
+
+    fs.set(FsFault::BitRot);
+    let rotten = setup.run_on(&fs);
+    assert_eq!(
+        baseline,
+        bits(&rotten.ranked),
+        "a rotten read changed the predictions"
+    );
+    assert_eq!(
+        rotten.stats.skeleton_disk_hits, 0,
+        "a bit-rotted skeleton passed the checksum"
+    );
+    assert!(rotten.stats.skeletons_built > 0);
+
+    fs.set(FsFault::None);
+    let healed = setup.run_on(&fs);
+    assert_eq!(baseline, bits(&healed.ranked));
+    assert!(
+        healed.stats.skeleton_disk_hits > 0,
+        "the rebuild did not heal the on-disk copy"
+    );
 }
 
 /// The adversarial byte-soup corpus as whole-file contents: whatever
