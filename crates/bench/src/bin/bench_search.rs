@@ -12,7 +12,14 @@
 //!    reading the skeletons back from disk. This is the headline
 //!    `engine_candidates_per_sec`, the steady-state serving rate.
 //!
-//! Every pass is asserted bit-identical to the naive ranking.
+//! Every pass is asserted bit-identical to the naive ranking. Warm
+//! passes are sub-millisecond, so each is taken as the best of three
+//! runs — one scheduler preemption would otherwise swamp the number.
+//!
+//! A fourth **batch** scenario ranks 512 candidates of the synthetic
+//! wide8 kernel (8 arrays, wide fan-out): many candidates per skeleton
+//! group is where lane-batched replay amortizes best, and the `batch_*`
+//! keys let CI track that separately from the narrow spmv search.
 //!
 //! ```text
 //! cargo run -p hms-bench --release --bin bench_search [-- test]
@@ -72,9 +79,15 @@ fn main() {
     assert_matches_naive(&cold.ranked, "cold engine");
 
     // Warm restart: a fresh engine loads the skeletons back from disk.
-    let t0 = Instant::now();
-    let outcome = req.run(&predictor, &profile).expect("searches");
-    let engine_secs = t0.elapsed().as_secs_f64();
+    // Best of three runs; stats are deterministic, so keep the last.
+    let mut engine_secs = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        outcome = Some(req.run(&predictor, &profile).expect("searches"));
+        engine_secs = engine_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let outcome = outcome.expect("three warm runs");
     assert_matches_naive(&outcome.ranked, "warm engine");
     assert_eq!(
         outcome.stats.skeletons_built, 0,
@@ -98,6 +111,67 @@ fn main() {
         "pruning dropped the optimum"
     );
 
+    // Batch scenario: wide8 (7 read-only arrays feeding one output),
+    // 512 candidates. One skeleton group covering hundreds of
+    // candidates is the lane-batched replay's best case.
+    let bkt = hms_kernels::by_name("wide8", scale).expect("wide8");
+    let bsample = bkt.default_placement();
+    let bprofile = profile_sample(&bkt, &bsample, &cfg).expect("profiles");
+    let bskel = std::env::temp_dir().join(format!("hms-bench-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bskel);
+    let breq = SearchRequest::new(&bkt.arrays, &bsample)
+        .read_only_candidates()
+        .limit(512)
+        .skeleton_cache(&bskel);
+    let bcold = breq.run(&predictor, &bprofile).expect("searches");
+    let mut batch_secs = f64::INFINITY;
+    let mut batch = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        batch = Some(breq.run(&predictor, &bprofile).expect("searches"));
+        batch_secs = batch_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let batch = batch.expect("three batch runs");
+    let _ = std::fs::remove_dir_all(&bskel);
+    assert_eq!(
+        batch.stats.skeletons_built, 0,
+        "warm batch pass must not rebuild any skeleton"
+    );
+    assert!(
+        batch.stats.batched_replays > 0,
+        "batch pass must take the lane-batched path"
+    );
+    assert_eq!(bcold.ranked.len(), batch.ranked.len());
+    for (a, b) in bcold.ranked.iter().zip(&batch.ranked) {
+        assert_eq!(
+            a.predicted_cycles.to_bits(),
+            b.predicted_cycles.to_bits(),
+            "warm batch ranking diverged from cold"
+        );
+    }
+    // The full equivalence net lives in the test suite; the bench
+    // re-checks against naive only at Test scale, where a 512-candidate
+    // naive pass stays cheap.
+    if matches!(scale, Scale::Test) {
+        let bcands: Vec<ArrayId> = bkt
+            .arrays
+            .iter()
+            .filter(|a| !a.written)
+            .map(|a| a.id)
+            .collect();
+        let bspace = hms_core::enumerate_placements(&bkt.arrays, &bsample, &bcands, &cfg, 512);
+        let bnaive =
+            hms_core::rank_placements_naive(&predictor, &bprofile, &bspace, 0).expect("ranks");
+        assert_eq!(bnaive.len(), batch.ranked.len());
+        for (a, b) in bnaive.iter().zip(&batch.ranked) {
+            assert_eq!(
+                a.predicted_cycles.to_bits(),
+                b.predicted_cycles.to_bits(),
+                "batch engine diverged from naive"
+            );
+        }
+    }
+
     let stats = &outcome.stats;
     let engine_cps = stats.candidates_evaluated as f64 / engine_secs.max(1e-9);
     let cold_cps = cold.stats.candidates_evaluated as f64 / cold_secs.max(1e-9);
@@ -117,6 +191,15 @@ fn main() {
         "  b&b prune rate:        {:.1}%",
         bb.stats.prune_rate() * 100.0
     );
+    let batch_cps = batch.stats.candidates_evaluated as f64 / batch_secs.max(1e-9);
+    println!(
+        "batch scenario (wide8, {} candidates)",
+        batch.stats.candidates_evaluated
+    );
+    println!("  engine warm:           {batch_secs:.3} s  ({batch_cps:.0} cand/s)");
+    println!("  batched replays:       {}", batch.stats.batched_replays);
+    println!("  peak lane width:       {}", batch.stats.lane_width);
+    println!("  events streamed:       {}", batch.stats.events_streamed);
 
     // Escaping-correct JSON via the serve wire codec (the workspace has
     // no external serializer by design).
@@ -157,6 +240,25 @@ fn main() {
             Json::Num(bb.stats.candidates_pruned as f64),
         ),
         ("bb_prune_rate".into(), Json::Num(bb.stats.prune_rate())),
+        ("batch_kernel".into(), Json::str("wide8")),
+        (
+            "batch_candidates".into(),
+            Json::Num(batch.stats.candidates_evaluated as f64),
+        ),
+        ("batch_secs".into(), Json::Num(batch_secs)),
+        ("batch_candidates_per_sec".into(), Json::Num(batch_cps)),
+        (
+            "batch_batched_replays".into(),
+            Json::Num(batch.stats.batched_replays as f64),
+        ),
+        (
+            "batch_peak_lane_width".into(),
+            Json::Num(batch.stats.lane_width as f64),
+        ),
+        (
+            "batch_events_streamed".into(),
+            Json::Num(batch.stats.events_streamed as f64),
+        ),
     ])
     .encode_pretty();
     std::fs::write("BENCH_search.json", &json).expect("writes BENCH_search.json");

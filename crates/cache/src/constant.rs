@@ -65,22 +65,41 @@ impl ConstantCache {
     /// [`access_warp`](Self::access_warp) delegates here, so both entry
     /// points apply identical state transitions.
     pub fn access_words(&mut self, words: &[u64]) -> ConstAccessResult {
+        let mut missed_lines = Vec::new();
+        let (transactions, misses) = self.access_words_into(words, &mut missed_lines);
+        ConstAccessResult {
+            transactions,
+            misses,
+            replays: transactions.saturating_sub(1) + misses,
+            missed_lines,
+        }
+    }
+
+    /// Allocation-free [`access_words`](Self::access_words): missed
+    /// line addresses land in the caller's `missed` buffer (cleared
+    /// first), and the `(transactions, misses)` pair is returned
+    /// directly — the replay's divergence replays are `transactions -
+    /// 1` and its miss replays `misses`, both derivable by the caller.
+    /// The engine's lane-batched replay calls this once per constant
+    /// body event per lane, so the result buffer must be reusable
+    /// scratch.
+    pub fn access_words_into(&mut self, words: &[u64], missed: &mut Vec<u64>) -> (u32, u32) {
+        missed.clear();
         if words.is_empty() {
-            return ConstAccessResult::default();
+            return (0, 0);
         }
         self.warp_accesses += 1;
         let transactions = words.len() as u32;
 
         let mut misses = 0u32;
-        let mut missed_lines = Vec::new();
         let line = self.cache.geometry().line_bytes;
         // Each distinct word probes the cache (line granularity inside).
         for &addr in words {
             if !self.cache.access(addr).is_hit() {
                 misses += 1;
                 let la = addr / line * line;
-                if missed_lines.last() != Some(&la) {
-                    missed_lines.push(la);
+                if missed.last() != Some(&la) {
+                    missed.push(la);
                 }
             }
         }
@@ -88,12 +107,7 @@ impl ConstantCache {
         self.transactions += u64::from(transactions);
         self.misses += u64::from(misses);
         self.divergence_replays += u64::from(divergence);
-        ConstAccessResult {
-            transactions,
-            misses,
-            replays: divergence + misses,
-            missed_lines,
-        }
+        (transactions, misses)
     }
 
     pub fn misses(&self) -> u64 {

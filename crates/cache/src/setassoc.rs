@@ -23,58 +23,123 @@ impl AccessOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_use: u64,
-    /// Generation stamp: the line is live only when `valid` *and* its
-    /// generation matches the cache's. [`SetAssocCache::reset`] bumps
-    /// the cache generation, lazily invalidating every line in O(1).
-    gen: u32,
-}
-
 /// A set-associative LRU cache over byte addresses.
+///
+/// Line state is struct-of-arrays: the hit path scans a contiguous run
+/// of liveness marks and tags (two cache lines for 16 ways) instead of
+/// striding over 32-byte line structs, and `last_use` / dirty bits are
+/// only touched on the way that hits. Address decomposition is
+/// strength-reduced: power-of-two line sizes and set counts index by
+/// shift/mask, and a non-power-of-two set count (the K80 L2 has 768
+/// sets) costs a single division — the quotient *is* the tag and the
+/// remainder the set — where the naive `%` + `/` pair cost two.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
     sets: u64,
-    lines: Vec<Line>,
+    ways: usize,
+    /// `log2(line_bytes)` when the line size is a power of two.
+    line_shift: Option<u32>,
+    set_index: SetIndexer,
+    tags: Vec<u64>,
+    last_use: Vec<u64>,
+    /// Per line: liveness marker. A line is live iff its mark equals
+    /// `live_mark`; 0 is never a live mark, so freshly-zeroed and
+    /// flushed lines are dead in every generation. [`Self::reset`]
+    /// bumps `live_mark`, lazily invalidating every line in O(1) — one
+    /// u32 compare replaces the old `valid && gen == gen` pair.
+    marks: Vec<u32>,
+    dirty: Vec<bool>,
+    live_mark: u32,
+    /// Monotone use-stamp; bumped once per access, so it doubles as the
+    /// access counter.
     clock: u64,
-    gen: u32,
-    accesses: u64,
     hits: u64,
     dirty_evictions: u64,
+}
+
+/// How an address's line number splits into `(set, tag)`. Power-of-two
+/// set counts shift/mask; everything else divides once — and that
+/// division is strength-reduced to a 128-bit reciprocal multiply
+/// (Granlund–Montgomery round-up method) for the quotients the
+/// exactness bound covers. Real GPU geometries have non-power-of-two
+/// set counts (the K80 L2 has 768 sets, its texture cache 96), so this
+/// is the hot path of every cache access in the replay engine.
+#[derive(Debug, Clone, Copy)]
+enum SetIndexer {
+    /// `sets` is a power of two: set = mask, tag = shift.
+    Pow2(u32),
+    /// `m = floor(2^64 / sets) + 1`; `x * m >> 64 == x / sets` exactly
+    /// for every `x < limit` (`limit = floor(2^64 / e)` with
+    /// `e = m * sets - 2^64`). Larger line numbers — beyond any real
+    /// address stream — fall back to the hardware divide.
+    Magic { m: u64, limit: u64 },
+}
+
+impl SetIndexer {
+    fn for_sets(sets: u64) -> SetIndexer {
+        if sets.is_power_of_two() {
+            return SetIndexer::Pow2(sets.trailing_zeros());
+        }
+        // Round-up reciprocal: exact because a non-power-of-two divisor
+        // never divides 2^64, so e >= 1 (and e <= sets).
+        let two64 = 1u128 << 64;
+        let m = (two64 / u128::from(sets) + 1) as u64;
+        let e = (u128::from(m) * u128::from(sets) - two64) as u64;
+        SetIndexer::Magic {
+            m,
+            limit: (two64 / u128::from(e)) as u64,
+        }
+    }
+
+    /// `line_addr / sets` (the tag); the caller recovers the set as
+    /// `line_addr - tag * sets`.
+    #[inline]
+    fn quotient(self, line_addr: u64, sets: u64) -> u64 {
+        match self {
+            SetIndexer::Pow2(s) => line_addr >> s,
+            SetIndexer::Magic { m, limit } => {
+                if line_addr < limit {
+                    ((u128::from(line_addr) * u128::from(m)) >> 64) as u64
+                } else {
+                    line_addr / sets
+                }
+            }
+        }
+    }
 }
 
 impl SetAssocCache {
     pub fn new(geometry: CacheGeometry) -> Self {
         let sets = geometry.sets().max(1);
         let ways = geometry.ways.max(1) as usize;
+        let lines = sets as usize * ways;
+        let pow2_shift = |n: u64| {
+            if n.is_power_of_two() {
+                Some(n.trailing_zeros())
+            } else {
+                None
+            }
+        };
         SetAssocCache {
-            geometry,
             sets,
-            lines: vec![
-                Line {
-                    tag: 0,
-                    valid: false,
-                    dirty: false,
-                    last_use: 0,
-                    gen: 0,
-                };
-                sets as usize * ways
-            ],
+            ways,
+            line_shift: pow2_shift(geometry.line_bytes),
+            set_index: SetIndexer::for_sets(sets),
+            geometry,
+            tags: vec![0; lines],
+            last_use: vec![0; lines],
+            marks: vec![0; lines],
+            dirty: vec![false; lines],
+            live_mark: 1,
             clock: 0,
-            gen: 0,
-            accesses: 0,
             hits: 0,
             dirty_evictions: 0,
         }
     }
 
     /// Return the cache to its just-constructed state without touching
-    /// the line array: the generation stamp advances, so every line is
+    /// the line arrays: the liveness mark advances, so every line is
     /// lazily invalid, and all counters restart from zero. The observable
     /// behaviour after `reset()` is bit-identical to a fresh
     /// [`SetAssocCache::new`] with the same geometry — stale lines rank
@@ -83,27 +148,32 @@ impl SetAssocCache {
     /// write-backs are counted: this models reuse of the allocation, not
     /// a kernel-boundary invalidation.
     pub fn reset(&mut self) {
-        if self.gen == u32::MAX {
+        if self.live_mark == u32::MAX {
             // One eager sweep per 2^32 resets keeps the wrap from
-            // resurrecting lines stamped with a recycled generation.
-            for l in &mut self.lines {
-                l.valid = false;
-                l.dirty = false;
-                l.gen = 0;
-            }
-            self.gen = 0;
+            // resurrecting lines stamped with a recycled mark.
+            self.marks.fill(0);
+            self.dirty.fill(false);
+            self.live_mark = 1;
         } else {
-            self.gen += 1;
+            self.live_mark += 1;
         }
         self.clock = 0;
-        self.accesses = 0;
         self.hits = 0;
         self.dirty_evictions = 0;
     }
 
+    /// Split `addr` into the index of its set's first way and its tag.
     #[inline]
-    fn live(&self, l: &Line) -> bool {
-        l.valid && l.gen == self.gen
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line_addr = match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.geometry.line_bytes,
+        };
+        // Quotient = tag, remainder = set: one (strength-reduced)
+        // division covers both.
+        let tag = self.set_index.quotient(line_addr, self.sets);
+        let set = (line_addr - tag * self.sets) as usize;
+        (set * self.ways, tag)
     }
 
     /// Access the line containing `addr`; allocate on miss (loads and
@@ -117,73 +187,141 @@ impl SetAssocCache {
     /// a write-back — the off-chip write traffic a pure read-miss model
     /// would miss.
     pub fn access_rw(&mut self, addr: u64, write: bool) -> AccessOutcome {
-        self.clock += 1;
-        self.accesses += 1;
-        let line_addr = addr / self.geometry.line_bytes;
-        let set = (line_addr % self.sets) as usize;
-        let tag = line_addr / self.sets;
-        let ways = self.geometry.ways as usize;
-        let base = set * ways;
-        let gen = self.gen;
-        let set_lines = &mut self.lines[base..base + ways];
+        // Dispatch to a fixed-associativity body for the way counts real
+        // geometries use (K80: L2 16, texture/constant 4): with `W`
+        // const the compiler fully unrolls and vectorizes the way scans,
+        // which sit under every cache access the replay engine makes.
+        match self.ways {
+            4 => self.access_rw_ways::<4>(addr, write),
+            8 => self.access_rw_ways::<8>(addr, write),
+            16 => self.access_rw_ways::<16>(addr, write),
+            _ => self.access_rw_ways_dyn(addr, write),
+        }
+    }
 
-        // Hit path.
-        for line in set_lines.iter_mut() {
-            if line.valid && line.gen == gen && line.tag == tag {
-                line.last_use = self.clock;
-                line.dirty |= write;
+    /// Fixed-associativity access body. Requires `self.ways == W`.
+    /// Behaviour is identical to [`Self::access_rw_ways_dyn`]: the hit
+    /// mask's first set bit is the first matching way (what `position`
+    /// finds), and the victim loop's strict `<` keeps the first minimal
+    /// way (what `min_by_key` keeps).
+    #[inline]
+    fn access_rw_ways<const W: usize>(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        debug_assert_eq!(self.ways, W);
+        self.clock += 1;
+        let (base, tag) = self.locate(addr);
+        let mark = self.live_mark;
+
+        let marks: &[u32; W] = self.marks[base..base + W].try_into().expect("way run");
+        let tags: &[u64; W] = self.tags[base..base + W].try_into().expect("way run");
+        // Tag-only match mask first (a branchless compare the compiler
+        // can vectorize over the fixed-width run); liveness is verified
+        // only on the rare candidate ways whose tag matches. Walking the
+        // mask in bit order keeps "first matching live way" semantics —
+        // a dead way with a stale matching tag is skipped, exactly as
+        // the combined scan would.
+        let mut cand = 0u32;
+        for w in 0..W {
+            cand |= u32::from(tags[w] == tag) << w;
+        }
+        while cand != 0 {
+            let w = cand.trailing_zeros() as usize;
+            if marks[w] == mark {
+                let w = base + w;
+                self.last_use[w] = self.clock;
+                self.dirty[w] |= write;
                 self.hits += 1;
                 return AccessOutcome::Hit;
             }
+            cand &= cand - 1;
         }
-        // Miss: fill the invalid way, else evict true-LRU. Generation-
-        // stale lines key to 0 just like invalid ones, so a reset cache
-        // picks victims in exactly the order a fresh cache would.
-        let victim = set_lines
-            .iter_mut()
-            .min_by_key(|l| {
-                if l.valid && l.gen == gen {
-                    l.last_use
-                } else {
-                    0
-                }
-            })
-            .expect("ways >= 1");
-        let evicted = victim.valid && victim.gen == gen;
-        if evicted && victim.dirty {
+        // Miss: fill the invalid way, else evict true-LRU. Stale lines
+        // key to 0 just like invalid ones (live `last_use` is >= 1), so
+        // a reset cache picks victims in exactly the order a fresh cache
+        // would.
+        let last_use: &[u64; W] = self.last_use[base..base + W].try_into().expect("way run");
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for w in 0..W {
+            let key = if marks[w] == mark { last_use[w] } else { 0 };
+            if key < best {
+                best = key;
+                victim = w;
+            }
+        }
+        self.fill(base + victim, tag, write)
+    }
+
+    /// Runtime-associativity fallback for geometries outside the
+    /// specialized way counts.
+    fn access_rw_ways_dyn(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let (base, tag) = self.locate(addr);
+        let mark = self.live_mark;
+
+        // Hit path: scan marks + tags only (as slices, so the way loop
+        // carries no bounds checks); the other arrays are touched just
+        // for the hitting way.
+        let marks = &self.marks[base..base + self.ways];
+        let tags = &self.tags[base..base + self.ways];
+        if let Some(w) = marks
+            .iter()
+            .zip(tags)
+            .position(|(&mk, &tg)| mk == mark && tg == tag)
+        {
+            let w = base + w;
+            self.last_use[w] = self.clock;
+            self.dirty[w] |= write;
+            self.hits += 1;
+            return AccessOutcome::Hit;
+        }
+        // Miss: strict `<` keeps the first minimal way, matching
+        // `min_by_key`.
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for (w, (&mk, &lu)) in marks
+            .iter()
+            .zip(&self.last_use[base..base + self.ways])
+            .enumerate()
+        {
+            let key = if mk == mark { lu } else { 0 };
+            if key < best {
+                best = key;
+                victim = base + w;
+            }
+        }
+        self.fill(victim, tag, write)
+    }
+
+    /// Install `tag` in `victim` (a global line index), accounting the
+    /// eviction of whatever live line it displaces.
+    #[inline]
+    fn fill(&mut self, victim: usize, tag: u64, write: bool) -> AccessOutcome {
+        let evicted = self.marks[victim] == self.live_mark;
+        if evicted && self.dirty[victim] {
             self.dirty_evictions += 1;
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: write,
-            last_use: self.clock,
-            gen,
-        };
+        self.tags[victim] = tag;
+        self.marks[victim] = self.live_mark;
+        self.dirty[victim] = write;
+        self.last_use[victim] = self.clock;
         AccessOutcome::Miss { evicted }
     }
 
     /// Non-mutating lookup: would `addr` hit right now?
     pub fn probe(&self, addr: u64) -> bool {
-        let line_addr = addr / self.geometry.line_bytes;
-        let set = (line_addr % self.sets) as usize;
-        let tag = line_addr / self.sets;
-        let ways = self.geometry.ways as usize;
-        self.lines[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|l| self.live(l) && l.tag == tag)
+        let (base, tag) = self.locate(addr);
+        (base..base + self.ways).any(|w| self.marks[w] == self.live_mark && self.tags[w] == tag)
     }
 
     /// Invalidate everything (kernel-launch boundary). Dirty lines are
     /// counted as write-backs on their way out.
     pub fn flush(&mut self) {
-        let gen = self.gen;
-        for l in &mut self.lines {
-            if l.valid && l.gen == gen && l.dirty {
+        for w in 0..self.marks.len() {
+            if self.marks[w] == self.live_mark && self.dirty[w] {
                 self.dirty_evictions += 1;
             }
-            l.valid = false;
-            l.dirty = false;
+            self.marks[w] = 0;
+            self.dirty[w] = false;
         }
     }
 
@@ -198,7 +336,7 @@ impl SetAssocCache {
     }
 
     pub fn accesses(&self) -> u64 {
-        self.accesses
+        self.clock
     }
 
     pub fn hits(&self) -> u64 {
@@ -206,15 +344,15 @@ impl SetAssocCache {
     }
 
     pub fn misses(&self) -> u64 {
-        self.accesses - self.hits
+        self.clock - self.hits
     }
 
     /// Miss ratio over the cache's lifetime (0 when never accessed).
     pub fn miss_ratio(&self) -> f64 {
-        if self.accesses == 0 {
+        if self.clock == 0 {
             0.0
         } else {
-            self.misses() as f64 / self.accesses as f64
+            self.misses() as f64 / self.clock as f64
         }
     }
 }

@@ -58,26 +58,37 @@ impl TextureCache {
     /// [`access_warp`](Self::access_warp) delegates here, so both entry
     /// points apply identical state transitions.
     pub fn access_lines(&mut self, lines: &[u64]) -> TexAccessResult {
-        if lines.is_empty() {
-            return TexAccessResult::default();
-        }
-        self.warp_accesses += 1;
-        let mut misses = 0u32;
         let mut missed_lines = Vec::new();
-        for &l in lines {
-            if !self.cache.access(l).is_hit() {
-                misses += 1;
-                missed_lines.push(l);
-            }
-        }
-        let transactions = lines.len() as u32;
-        self.transactions += u64::from(transactions);
-        self.misses += u64::from(misses);
+        let (transactions, misses) = self.access_lines_into(lines, &mut missed_lines);
         TexAccessResult {
             transactions,
             misses,
             missed_lines,
         }
+    }
+
+    /// Allocation-free [`access_lines`](Self::access_lines): missing
+    /// lines land in the caller's `missed` buffer (cleared first), and
+    /// the `(transactions, misses)` pair is returned directly. The
+    /// engine's lane-batched replay calls this once per texture body
+    /// event per lane, so the result buffer must be reusable scratch.
+    pub fn access_lines_into(&mut self, lines: &[u64], missed: &mut Vec<u64>) -> (u32, u32) {
+        missed.clear();
+        if lines.is_empty() {
+            return (0, 0);
+        }
+        self.warp_accesses += 1;
+        let mut misses = 0u32;
+        for &l in lines {
+            if !self.cache.access(l).is_hit() {
+                misses += 1;
+                missed.push(l);
+            }
+        }
+        let transactions = lines.len() as u32;
+        self.transactions += u64::from(transactions);
+        self.misses += u64::from(misses);
+        (transactions, misses)
     }
 
     pub fn transactions(&self) -> u64 {

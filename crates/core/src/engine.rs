@@ -127,6 +127,18 @@ pub struct EngineStats {
     /// [`strategies`](crate::strategies) for how each strategy derives
     /// its bound.
     pub gap_upper_bound: f64,
+    /// Lane-batched replay passes: each one streams a skeleton's event
+    /// column once for a whole batch of candidates. Compare against
+    /// `delta_cache_hits` (lanes replayed) for the batching factor.
+    pub batched_replays: u64,
+    /// Widest lane batch replayed so far (a gauge, not a sum): how many
+    /// candidates shared one event-stream pass at peak.
+    pub lane_width: u64,
+    /// Skeleton events decoded across all batched replays. Without
+    /// batching this grows per *candidate*; with it, per *batch* — the
+    /// ratio `events_streamed / delta_cache_hits` is the per-candidate
+    /// decode cost batching saves.
+    pub events_streamed: u64,
     /// Wire name of the strategy that produced this snapshot (see
     /// [`SearchStrategy::name`](crate::search::SearchStrategy::name));
     /// empty for snapshots taken outside a search.
@@ -182,6 +194,10 @@ impl EngineStats {
         self.enumerate_nanos += other.enumerate_nanos;
         self.evaluate_nanos += other.evaluate_nanos;
         self.candidates_visited += other.candidates_visited;
+        self.batched_replays += other.batched_replays;
+        // Peak gauge, like the gap bound below.
+        self.lane_width = self.lane_width.max(other.lane_width);
+        self.events_streamed += other.events_streamed;
         // A cumulative total keeps the *worst* gap seen; the strategy
         // name is per-search, so the accumulator's own label wins.
         self.gap_upper_bound = self.gap_upper_bound.max(other.gap_upper_bound);
@@ -257,6 +273,11 @@ impl std::fmt::Display for EngineStats {
                 self.skeleton_disk_tmp_swept
             )?;
         }
+        if self.batched_replays > 0 {
+            writeln!(f, "  batched replays         {:>10}", self.batched_replays)?;
+            writeln!(f, "  peak lane width         {:>10}", self.lane_width)?;
+            writeln!(f, "  events streamed         {:>10}", self.events_streamed)?;
+        }
         writeln!(
             f,
             "  rewrite reduction       {:>13.2}x",
@@ -297,6 +318,10 @@ pub(crate) struct EngineCounters {
     pub enumerate_nanos: AtomicU64,
     pub evaluate_nanos: AtomicU64,
     pub candidates_visited: AtomicU64,
+    pub batched_replays: AtomicU64,
+    /// Peak lane width (gauge; updated with `fetch_max`).
+    pub lane_width: AtomicU64,
+    pub events_streamed: AtomicU64,
 }
 
 impl EngineCounters {
@@ -320,6 +345,9 @@ impl EngineCounters {
             enumerate_nanos: g(&self.enumerate_nanos),
             evaluate_nanos: g(&self.evaluate_nanos),
             candidates_visited: g(&self.candidates_visited),
+            batched_replays: g(&self.batched_replays),
+            lane_width: g(&self.lane_width),
+            events_streamed: g(&self.events_streamed),
             // Per-search, filled in by `search()` on its outcome
             // snapshot — there is no atomic mirror for them.
             gap_upper_bound: 0.0,
@@ -330,7 +358,16 @@ impl EngineCounters {
     pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
+
+    fn max(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
+    }
 }
+
+/// Hard cap on replay lanes per batch: each lane carries its own L2 /
+/// texture / constant model state (~hundreds of KiB on real configs),
+/// so unbounded widths would trade cache locality for decode savings.
+const MAX_LANE_WIDTH: usize = 64;
 
 /// Event-kind codes of the skeleton's recorded stream.
 pub(crate) const EV_ADVANCE: u8 = 0;
@@ -382,26 +419,35 @@ pub(crate) struct Skeleton {
     pub(crate) poisoned: bool,
 }
 
-/// Per-thread replay state. The stateful cache models dominate the
-/// replay's allocation cost (~hundreds of KiB per call when built
-/// fresh); keeping them thread-local and generation-resetting them
-/// ([`SetAssocCache::reset`](hms_cache::SetAssocCache)) makes a warm
-/// replay allocation-free.
-struct ReplayScratch {
+/// One candidate lane of a batched replay: the full per-candidate model
+/// state (stateful caches, per-SM position, and the output accumulator).
+/// Lanes are mutually independent — each performs exactly the operation
+/// sequence the per-candidate replay would, which is what makes the
+/// lane-batched path bit-identical by construction.
+struct LaneState {
     l2: L2Cache,
     const_caches: Vec<ConstantCache>,
     tex_caches: Vec<TextureCache>,
     sm_pos: Vec<u64>,
-    /// Per-array memo handle, resolved lazily once per replay (a
-    /// replay sees one space per array, so the array index is the
-    /// whole key).
-    memo_slots: Vec<Option<Arc<Vec<MemoOutcome>>>>,
+    /// The accumulating `TraceAnalysis`; reused across replays so the
+    /// DRAM stream keeps its capacity (no per-replay allocation).
+    out: TraceAnalysis,
+    /// Per-array index of this lane's space in `MemorySpace::ALL` order.
+    space_of: Vec<u8>,
+    /// Per-array addressing expansion per `AddrCalc` count unit under
+    /// this lane's placement.
+    addr_n: Vec<u64>,
+    /// Scratch for the texture/constant caches' missed-line output
+    /// (cleared by [`TextureCache::access_lines_into`] /
+    /// [`ConstantCache::access_words_into`] on every call) — keeps the
+    /// per-body-event miss list off the heap.
+    missed: Vec<u64>,
 }
 
-impl ReplayScratch {
+impl LaneState {
     fn new(cfg: &GpuConfig) -> Self {
         let num_sms = cfg.num_sms as usize;
-        ReplayScratch {
+        LaneState {
             l2: L2Cache::new(cfg.l2_cache),
             const_caches: (0..num_sms)
                 .map(|_| ConstantCache::new(cfg.const_cache))
@@ -410,27 +456,19 @@ impl ReplayScratch {
                 .map(|_| TextureCache::new(cfg.tex_cache))
                 .collect(),
             sm_pos: vec![0; num_sms],
-            memo_slots: Vec::new(),
+            out: TraceAnalysis::default(),
+            space_of: Vec::new(),
+            addr_n: Vec::new(),
+            missed: Vec::new(),
         }
     }
 
-    /// Was this scratch built for an identical machine shape? A thread
-    /// may serve engines with different configs over its lifetime.
-    fn matches(&self, cfg: &GpuConfig) -> bool {
-        self.sm_pos.len() == cfg.num_sms as usize
-            && *self.l2.geometry() == cfg.l2_cache
-            && self
-                .const_caches
-                .first()
-                .is_none_or(|c| *c.geometry() == cfg.const_cache)
-            && self
-                .tex_caches
-                .first()
-                .is_none_or(|c| *c.geometry() == cfg.tex_cache)
-    }
-
-    /// Return to the just-constructed state without reallocating.
-    fn reset(&mut self) {
+    /// Return the model state to just-constructed and load the
+    /// skeleton's placement-invariant constants, all without touching
+    /// the heap: the caches generation-reset and the output's DRAM
+    /// stream keeps its buffers (the skeleton's `consts.dram` is empty
+    /// by construction, so the clone below allocates nothing).
+    fn reset(&mut self, consts: &TraceAnalysis) {
         self.l2.reset();
         for c in &mut self.const_caches {
             c.reset();
@@ -439,8 +477,71 @@ impl ReplayScratch {
             c.reset();
         }
         self.sm_pos.fill(0);
-        for m in &mut self.memo_slots {
-            *m = None;
+        self.space_of.clear();
+        self.addr_n.clear();
+        let mut dram = std::mem::take(&mut self.out.dram);
+        dram.clear();
+        self.out = consts.clone();
+        self.out.dram = dram;
+    }
+}
+
+/// Per-thread replay state: W candidate lanes plus the shared
+/// per-`(array, space)` memo table. The stateful cache models dominate
+/// the allocation cost (~hundreds of KiB per lane when built fresh);
+/// keeping them thread-local and generation-resetting them
+/// ([`SetAssocCache::reset`](hms_cache::SetAssocCache)) makes a warm
+/// batched replay allocation-free.
+struct ReplayScratch {
+    lanes: Vec<LaneState>,
+    /// Memo handle per `(array, space)` (flat `array * 5 + space_idx`),
+    /// resolved lazily once per batch — lanes sharing a space for the
+    /// active array share the memo row.
+    memo_slots: Vec<Option<Arc<MemoRow>>>,
+}
+
+impl ReplayScratch {
+    fn new(cfg: &GpuConfig) -> Self {
+        ReplayScratch {
+            lanes: vec![LaneState::new(cfg)],
+            memo_slots: Vec::new(),
+        }
+    }
+
+    /// Was this scratch built for an identical machine shape? A thread
+    /// may serve engines with different configs over its lifetime.
+    fn matches(&self, cfg: &GpuConfig) -> bool {
+        self.lanes.first().is_none_or(|lane| {
+            lane.sm_pos.len() == cfg.num_sms as usize
+                && *lane.l2.geometry() == cfg.l2_cache
+                && lane
+                    .const_caches
+                    .first()
+                    .is_none_or(|c| *c.geometry() == cfg.const_cache)
+                && lane
+                    .tex_caches
+                    .first()
+                    .is_none_or(|c| *c.geometry() == cfg.tex_cache)
+        })
+    }
+
+    /// Grow to `width` lanes and reset every model to just-constructed;
+    /// the memo table is cleared (or grown) to `n_arrays * 5` slots.
+    fn reset(&mut self, width: usize, n_arrays: usize, cfg: &GpuConfig, consts: &TraceAnalysis) {
+        while self.lanes.len() < width {
+            self.lanes.push(LaneState::new(cfg));
+        }
+        for lane in &mut self.lanes[..width] {
+            lane.reset(consts);
+        }
+        let slots = n_arrays * 5;
+        if self.memo_slots.len() != slots {
+            self.memo_slots.clear();
+            self.memo_slots.resize(slots, None);
+        } else {
+            for m in &mut self.memo_slots {
+                *m = None;
+            }
         }
     }
 }
@@ -458,21 +559,50 @@ struct AccessShape {
     idx: Vec<Option<ElemIdx>>,
 }
 
-/// Memoized stateless outcome of one access under one `(space, base)`.
-#[derive(Debug, Clone)]
-enum MemoOutcome {
+/// Which memory system one memoized access drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemoKind {
     /// No active lanes: the access advances the position but touches no
     /// memory system.
     Empty,
-    Global {
-        replays: u32,
-        transactions: Vec<u64>,
-        is_store: bool,
-    },
-    /// Sorted, deduplicated line-aligned addresses (texture).
-    Tex { lines: Vec<u64> },
-    /// Sorted, deduplicated word-aligned addresses (constant).
-    Const { words: Vec<u64> },
+    Global,
+    Tex,
+    Const,
+}
+
+/// Memoized stateless outcome of one access under one `(space, base)`:
+/// the kind plus a span into the row's shared address arena. `Copy`, so
+/// the base-shift that concretizes a cached base-0 row into a
+/// `(base, stride)` row is two flat buffer copies — no per-access heap
+/// allocation (the old per-outcome `Vec`s made that a deep clone).
+#[derive(Debug, Clone, Copy)]
+struct MemoItem {
+    kind: MemoKind,
+    /// Global only: is this a store (dirties L2 lines).
+    is_store: bool,
+    /// Global only: stateless divergence replays.
+    replays: u32,
+    /// Span of this access's addresses in [`MemoRow::addrs`]:
+    /// coalesced transactions (global), sorted deduplicated lines
+    /// (texture), or sorted deduplicated words (constant).
+    start: u32,
+    len: u32,
+}
+
+/// One `(array, space, base, stride)` memo: per-access items over one
+/// concatenated address arena.
+#[derive(Debug, Clone)]
+struct MemoRow {
+    items: Vec<MemoItem>,
+    addrs: Vec<u64>,
+}
+
+impl MemoRow {
+    /// The address span of item `ord`.
+    #[inline]
+    fn span(&self, item: &MemoItem) -> &[u64] {
+        &self.addrs[item.start as usize..(item.start + item.len) as usize]
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -491,6 +621,89 @@ fn space_idx(space: MemorySpace) -> usize {
         MemorySpace::Texture2D => 2,
         MemorySpace::Constant => 3,
         MemorySpace::Shared => 4,
+    }
+}
+
+/// Everything an [`Engine`] derives purely from `(sample trace, GPU
+/// config, model options)` — no placement enters any of it. Computed on
+/// the first `Engine::new` for a given `(profile, predictor shape)` and
+/// cached *inside the [`Profile`]* (see [`StaticsCache`]), so repeated
+/// engine construction over the same profile — the serving advisor, the
+/// warm benchmark pass, every search request — skips the whole sample
+/// scan, the sample analysis, and the kernel fingerprint.
+///
+/// Placement-*derived* state (skeletons, per-base memo tables) stays
+/// per-engine / on disk: caching it here would let one engine's search
+/// warm another's measurements.
+pub(crate) struct EngineStatics {
+    dtypes: Vec<DType>,
+    /// Per array, its body accesses in sample-trace order.
+    access_info: Vec<Vec<AccessShape>>,
+    /// `(block, warp)` → per-body-instruction `(array, ordinal)`.
+    warp_body_map: HashMap<(u32, u32), Vec<Option<(ArrayId, u32)>>>,
+    lb: LbStatics,
+    /// Sample-trace analysis, shared across predictions by the
+    /// non-detailed model variants (computed once instead of per call).
+    sample_analysis: Option<TraceAnalysis>,
+    /// [`crate::skelcache::kernel_hash`] of `(trace, cfg)` — the disk
+    /// cache's fingerprint, precomputed so `with_disk_cache` does not
+    /// re-serialize the trace on every engine construction.
+    kernel_fingerprint: u64,
+    /// Base-0 delta-memo rows keyed `(array, space, block_stride)`.
+    /// Every allocator base is `OFFCHIP_ALIGN`-aligned, which the
+    /// transaction size, texture line, and constant word all divide —
+    /// so a concrete `(base, stride)` row is the base-0 row with `base`
+    /// added to every address, bit-exactly (see `Engine::build_memo`).
+    base_rows: Mutex<HashMap<(ArrayId, u8, u64), Arc<MemoRow>>>,
+}
+
+/// Key identifying one statics entry: the machine + model shape the
+/// statics were derived under. The overlap model enters only through
+/// `max_ratio` (the lower bound's `rmax`), so its clamp ceiling is the
+/// whole key contribution.
+#[derive(Debug, Clone, PartialEq)]
+struct StaticsKey {
+    cfg: GpuConfig,
+    options: crate::predictor::ModelOptions,
+    rmax_bits: u64,
+}
+
+/// Interior-mutable statics cache carried by [`Profile`]. A handful of
+/// `(config, options)` shapes per profile at most, so a linear scan
+/// beats hashing the whole `GpuConfig`.
+#[derive(Default)]
+pub struct StaticsCache(Mutex<Vec<(StaticsKey, Arc<EngineStatics>)>>);
+
+impl StaticsCache {
+    fn get_or_build(
+        &self,
+        key: StaticsKey,
+        build: impl FnOnce() -> EngineStatics,
+    ) -> Arc<EngineStatics> {
+        let mut slot = lock_cache(&self.0);
+        if let Some((_, st)) = slot.iter().find(|(k, _)| *k == key) {
+            return st.clone();
+        }
+        let st = Arc::new(build());
+        slot.push((key, st.clone()));
+        st
+    }
+}
+
+impl Clone for StaticsCache {
+    /// A clone starts empty: the statics are pure functions of the
+    /// profile's trace, and a cloned profile may be about to mutate its
+    /// trace (the validation tests do exactly that). Rebuilding costs
+    /// one sample scan; inheriting stale statics could cost correctness.
+    fn clone(&self) -> Self {
+        StaticsCache::default()
+    }
+}
+
+impl std::fmt::Debug for StaticsCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = lock_cache(&self.0).len();
+        write!(f, "StaticsCache({n} entries)")
     }
 }
 
@@ -542,22 +755,19 @@ struct LbStatics {
 pub struct Engine<'a> {
     predictor: &'a Predictor,
     profile: &'a Profile,
-    /// Sample-trace analysis, shared across predictions by the
-    /// non-detailed model variants (computed once instead of per call).
-    sample_analysis: Option<TraceAnalysis>,
-    dtypes: Vec<DType>,
-    /// Per array, its body accesses in sample-trace order.
-    access_info: Vec<Vec<AccessShape>>,
-    /// `(block, warp)` → per-body-instruction `(array, ordinal)`.
-    warp_body_map: HashMap<(u32, u32), Vec<Option<(ArrayId, u32)>>>,
+    /// Shared placement-invariant derivations of the sample trace —
+    /// cached inside the profile, so re-constructing an engine over the
+    /// same `(profile, config, options)` costs one cache probe.
+    st: Arc<EngineStatics>,
     skeletons: Mutex<HashMap<Vec<bool>, Arc<Skeleton>>>,
-    memos: Mutex<HashMap<MemoKey, Arc<Vec<MemoOutcome>>>>,
-    lb: LbStatics,
+    memos: Mutex<HashMap<MemoKey, Arc<MemoRow>>>,
     pub(crate) counters: EngineCounters,
     /// Fault-injection hook: when set, every skeleton built afterwards
     /// is poisoned, forcing the exact-fallback path. Exercised by the
     /// chaos suite to prove degradation is invisible in the output.
     inject_poison: AtomicBool,
+    /// Lane width for batched replays; 0 = autosize per skeleton group.
+    lane_width: AtomicU64,
     /// Optional persistent skeleton cache (see [`crate::skelcache`]).
     disk: Option<crate::skelcache::DiskCache>,
 }
@@ -570,11 +780,11 @@ fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-impl<'a> Engine<'a> {
+impl EngineStatics {
     /// Scan the sample trace once: recover per-access element indices,
     /// assign per-array ordinals, and precompute the lower-bound
-    /// statics.
-    pub fn new(predictor: &'a Predictor, profile: &'a Profile) -> Self {
+    /// statics, the sample analysis, and the disk-cache fingerprint.
+    fn build(predictor: &Predictor, profile: &Profile) -> Self {
         let cfg = &predictor.cfg;
         let trace = &profile.trace;
         let n = trace.arrays.len();
@@ -758,18 +968,40 @@ impl<'a> Engine<'a> {
             Some(crate::analysis::analyze(&profile.trace, cfg))
         };
 
-        Engine {
-            predictor,
-            profile,
-            sample_analysis,
+        EngineStatics {
             dtypes: trace.arrays.iter().map(|a| a.dtype).collect(),
             access_info,
             warp_body_map,
+            lb,
+            sample_analysis,
+            kernel_fingerprint: crate::skelcache::kernel_hash(trace, cfg),
+            base_rows: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Create an engine over `(predictor, profile)`. The sample-trace
+    /// scan behind it is cached in the profile (see [`EngineStatics`]),
+    /// so repeated construction over the same profile is cheap.
+    pub fn new(predictor: &'a Predictor, profile: &'a Profile) -> Self {
+        let key = StaticsKey {
+            cfg: predictor.cfg.clone(),
+            options: predictor.options,
+            rmax_bits: predictor.overlap.max_ratio().to_bits(),
+        };
+        let st = profile
+            .statics
+            .get_or_build(key, || EngineStatics::build(predictor, profile));
+        Engine {
+            predictor,
+            profile,
+            st,
             skeletons: Mutex::new(HashMap::new()),
             memos: Mutex::new(HashMap::new()),
-            lb,
             counters: EngineCounters::default(),
             inject_poison: AtomicBool::new(false),
+            lane_width: AtomicU64::new(0),
             disk: None,
         }
     }
@@ -794,8 +1026,9 @@ impl<'a> Engine<'a> {
         dir: &Path,
         fs: Arc<dyn crate::skelcache::CacheFs>,
     ) -> Self {
-        let hash = crate::skelcache::kernel_hash(&self.profile.trace, &self.predictor.cfg);
-        let cache = crate::skelcache::DiskCache::with_fs(dir, hash, fs);
+        // The kernel fingerprint was computed (and cached) with the
+        // statics — attaching a disk cache costs no trace serialization.
+        let cache = crate::skelcache::DiskCache::with_fs(dir, self.st.kernel_fingerprint, fs);
         self.counters
             .add(&self.counters.skeleton_disk_tmp_swept, cache.swept());
         self.disk = Some(cache);
@@ -817,6 +1050,32 @@ impl<'a> Engine<'a> {
         self.inject_poison.store(on, Ordering::Relaxed);
     }
 
+    /// Fix the lane width of batched replays (`0` = autosize per
+    /// skeleton group, the default). Any width yields bit-identical
+    /// results — the knob trades decode amortization against per-lane
+    /// cache-model memory, and exists mostly for the equivalence suite
+    /// and benchmarks.
+    pub fn set_lane_width(&self, width: u64) {
+        self.lane_width
+            .store(width.min(MAX_LANE_WIDTH as u64), Ordering::Relaxed);
+    }
+
+    /// Lane width one skeleton group of `group_len` candidates splits
+    /// into, given `threads` evaluation workers. Autosizing favors full
+    /// groups (maximum decode amortization) but splits a group that
+    /// would otherwise leave workers idle.
+    fn unit_width(&self, group_len: usize, threads: usize) -> usize {
+        let fixed = self.lane_width.load(Ordering::Relaxed) as usize;
+        if fixed > 0 {
+            return fixed.min(MAX_LANE_WIDTH);
+        }
+        if threads <= 1 {
+            group_len.clamp(1, MAX_LANE_WIDTH)
+        } else {
+            group_len.div_ceil(threads).clamp(1, MAX_LANE_WIDTH)
+        }
+    }
+
     /// The profiled sample this engine searches from.
     pub fn profile(&self) -> &Profile {
         self.profile
@@ -828,19 +1087,14 @@ impl<'a> Engine<'a> {
     }
 
     fn shared_key(&self, pm: &PlacementMap) -> Vec<bool> {
-        (0..self.dtypes.len())
+        (0..self.st.dtypes.len())
             .map(|i| pm.space(ArrayId(i as u32)) == MemorySpace::Shared)
             .collect()
     }
 
     /// Fetch (or build) the delta memo for `(array, space)` under the
     /// given allocator bases.
-    fn get_memo(
-        &self,
-        array: ArrayId,
-        space: MemorySpace,
-        bases: (u64, u64),
-    ) -> Arc<Vec<MemoOutcome>> {
+    fn get_memo(&self, array: ArrayId, space: MemorySpace, bases: (u64, u64)) -> Arc<MemoRow> {
         let key = MemoKey {
             array,
             space,
@@ -862,60 +1116,131 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn build_memo(
-        &self,
-        array: ArrayId,
-        space: MemorySpace,
-        bases: (u64, u64),
-    ) -> Vec<MemoOutcome> {
+    /// Build the memo row for `(array, space)` under concrete allocator
+    /// `bases = (b0, stride)`. When `b0` is a multiple of every granule
+    /// the stateless math rounds to (transaction, texture line,
+    /// constant word), the row equals the shared base-0 row with `b0`
+    /// added to every address — bit-exactly: `floor((a + b0)/g)*g =
+    /// floor(a/g)*g + b0` whenever `g | b0`, a uniform shift preserves
+    /// sort order and dedup structure, and coalescing groups by
+    /// address-over-transaction quotients which all shift together. The
+    /// allocator's `OFFCHIP_ALIGN` guarantees the alignment in
+    /// practice; the guard keeps any other allocator on the direct
+    /// path.
+    fn build_memo(&self, array: ArrayId, space: MemorySpace, bases: (u64, u64)) -> MemoRow {
+        let cfg = &self.predictor.cfg;
+        let b0 = bases.0;
+        let aligned =
+            b0 % cfg.transaction_bytes == 0 && b0 % cfg.tex_cache.line_bytes == 0 && b0 % 4 == 0;
+        if !aligned {
+            return self.build_memo_at(array, space, bases);
+        }
+        let row0 = self.base_row(array, space, bases.1);
+        if b0 == 0 {
+            return (*row0).clone();
+        }
+        MemoRow {
+            items: row0.items.clone(),
+            addrs: row0.addrs.iter().map(|a| a + b0).collect(),
+        }
+    }
+
+    /// Fetch (or build) the shared base-0 row for `(array, space,
+    /// stride)` from the profile-level statics cache. The row is a pure
+    /// function of the sample trace and the config — every skeleton
+    /// whose allocator lands the array at the same block stride reuses
+    /// it, whatever the base.
+    fn base_row(&self, array: ArrayId, space: MemorySpace, stride: u64) -> Arc<MemoRow> {
+        let key = (array, space_idx(space) as u8, stride);
+        if let Some(r) = lock_cache(&self.st.base_rows).get(&key) {
+            return r.clone();
+        }
+        let built = Arc::new(self.build_memo_at(array, space, (0, stride)));
+        lock_cache(&self.st.base_rows)
+            .entry(key)
+            .or_insert(built)
+            .clone()
+    }
+
+    fn build_memo_at(&self, array: ArrayId, space: MemorySpace, bases: (u64, u64)) -> MemoRow {
         let cfg = &self.predictor.cfg;
         let arr = &self.profile.trace.arrays[array.index()];
         let tex_line = cfg.tex_cache.line_bytes;
-        self.access_info[array.index()]
-            .iter()
-            .map(|acc| {
-                let base = bases.0 + bases.1 * u64::from(acc.block);
-                let addrs: Vec<u64> = acc
-                    .idx
-                    .iter()
-                    .flatten()
-                    .map(|&ix| base + element_offset(arr, space, ix, cfg))
-                    .collect();
-                if addrs.is_empty() {
-                    return MemoOutcome::Empty;
+        let accesses = &self.st.access_info[array.index()];
+        let mut row = MemoRow {
+            items: Vec::with_capacity(accesses.len()),
+            addrs: Vec::new(),
+        };
+        let empty = MemoItem {
+            kind: MemoKind::Empty,
+            is_store: false,
+            replays: 0,
+            start: 0,
+            len: 0,
+        };
+        for acc in accesses {
+            let base = bases.0 + bases.1 * u64::from(acc.block);
+            let addrs: Vec<u64> = acc
+                .idx
+                .iter()
+                .flatten()
+                .map(|&ix| base + element_offset(arr, space, ix, cfg))
+                .collect();
+            if addrs.is_empty() {
+                row.items.push(empty);
+                continue;
+            }
+            let start = row.addrs.len() as u32;
+            let item = match space {
+                MemorySpace::Global => {
+                    let co = coalesce(
+                        addrs.iter().copied(),
+                        u64::from(acc.elem_bytes),
+                        cfg.transaction_bytes,
+                    );
+                    row.addrs.extend_from_slice(&co.transactions);
+                    MemoItem {
+                        kind: MemoKind::Global,
+                        is_store: acc.is_store,
+                        replays: co.replays,
+                        start,
+                        len: co.transactions.len() as u32,
+                    }
                 }
-                match space {
-                    MemorySpace::Global => {
-                        let co = coalesce(
-                            addrs.iter().copied(),
-                            u64::from(acc.elem_bytes),
-                            cfg.transaction_bytes,
-                        );
-                        MemoOutcome::Global {
-                            replays: co.replays,
-                            transactions: co.transactions,
-                            is_store: acc.is_store,
-                        }
+                MemorySpace::Texture1D | MemorySpace::Texture2D => {
+                    let mut lines: Vec<u64> =
+                        addrs.iter().map(|a| a / tex_line * tex_line).collect();
+                    lines.sort_unstable();
+                    lines.dedup();
+                    row.addrs.extend_from_slice(&lines);
+                    MemoItem {
+                        kind: MemoKind::Tex,
+                        is_store: false,
+                        replays: 0,
+                        start,
+                        len: lines.len() as u32,
                     }
-                    MemorySpace::Texture1D | MemorySpace::Texture2D => {
-                        let mut lines: Vec<u64> =
-                            addrs.iter().map(|a| a / tex_line * tex_line).collect();
-                        lines.sort_unstable();
-                        lines.dedup();
-                        MemoOutcome::Tex { lines }
-                    }
-                    MemorySpace::Constant => {
-                        let mut words: Vec<u64> = addrs.iter().map(|a| a / 4 * 4).collect();
-                        words.sort_unstable();
-                        words.dedup();
-                        MemoOutcome::Const { words }
-                    }
-                    // Shared-placed arrays never appear as Body events;
-                    // an empty outcome keeps the replay total-safe.
-                    MemorySpace::Shared => MemoOutcome::Empty,
                 }
-            })
-            .collect()
+                MemorySpace::Constant => {
+                    let mut words: Vec<u64> = addrs.iter().map(|a| a / 4 * 4).collect();
+                    words.sort_unstable();
+                    words.dedup();
+                    row.addrs.extend_from_slice(&words);
+                    MemoItem {
+                        kind: MemoKind::Const,
+                        is_store: false,
+                        replays: 0,
+                        start,
+                        len: words.len() as u32,
+                    }
+                }
+                // Shared-placed arrays never appear as Body events;
+                // an empty outcome keeps the replay total-safe.
+                MemorySpace::Shared => empty,
+            };
+            row.items.push(item);
+        }
+        row
     }
 
     /// Get (or load from disk, or build recording one full rewrite)
@@ -959,7 +1284,7 @@ impl<'a> Engine<'a> {
     /// header checks but indexes out of range is treated as a miss
     /// rather than a panic source.
     fn skeleton_is_plausible(&self, skel: &Skeleton) -> bool {
-        let n = self.dtypes.len();
+        let n = self.st.dtypes.len();
         let num_sms = u64::from(self.predictor.cfg.num_sms);
         if skel.bases.len() != n || skel.poisoned {
             return false;
@@ -972,7 +1297,7 @@ impl<'a> Engine<'a> {
                 EV_ADDR_CALC => (ev.arr as usize) < n,
                 EV_BODY => {
                     (ev.arr as usize) < n
-                        && (ev.x as usize) < self.access_info[ev.arr as usize].len()
+                        && (ev.x as usize) < self.st.access_info[ev.arr as usize].len()
                 }
                 EV_STAGING_GLOBAL => {
                     u64::from(ev.tx) + u64::from(ev.tx_len) <= skel.tx_arena.len() as u64
@@ -982,57 +1307,75 @@ impl<'a> Engine<'a> {
         })
     }
 
-    /// Prebuild the skeletons for every distinct shared set among
-    /// `candidates` (parallel across `threads` workers) so that
-    /// subsequent evaluation only reads the cache.
-    fn prepare(&self, candidates: &[PlacementMap], threads: usize) {
+    /// Resolve one skeleton per group (building the missing ones in
+    /// parallel) and warm every `(array, space, base)` memo the group
+    /// members will need — sequentially, so the parallel evaluation
+    /// pass only reads. Returns skeletons aligned with `groups`.
+    fn prepare_groups(
+        &self,
+        candidates: &[PlacementMap],
+        groups: &[(Vec<bool>, Vec<usize>)],
+        threads: usize,
+    ) -> Vec<Arc<Skeleton>> {
         let t0 = Instant::now();
-        let mut missing: Vec<PlacementMap> = Vec::new();
-        {
+        let missing: Vec<(&Vec<bool>, &PlacementMap)> = {
             let cache = lock_cache(&self.skeletons);
-            let mut seen: Vec<Vec<bool>> = Vec::new();
-            for pm in candidates {
-                let key = self.shared_key(pm);
-                if !cache.contains_key(&key) && !seen.contains(&key) {
-                    seen.push(key);
-                    missing.push(pm.clone());
-                }
+            groups
+                .iter()
+                .filter(|(key, _)| !cache.contains_key(key))
+                .map(|(key, members)| (key, &candidates[members[0]]))
+                .collect()
+        };
+        let built = hms_stats::par::par_map_threads(threads, &missing, |(key, pm)| {
+            self.load_or_build(pm, key)
+        });
+        {
+            let mut cache = lock_cache(&self.skeletons);
+            for ((key, _), skel) in missing.iter().zip(built) {
+                cache.entry((*key).clone()).or_insert(skel);
             }
         }
-        let built = hms_stats::par::par_map_threads(threads, &missing, |pm| {
-            let key = self.shared_key(pm);
-            let skel = self.load_or_build(pm, &key);
-            (key, skel)
-        });
-        let mut cache = lock_cache(&self.skeletons);
-        for (key, skel) in built {
-            cache.entry(key).or_insert(skel);
-        }
-        drop(cache);
-        // Warm every (array, space, base) memo the candidates will need,
-        // sequentially, so the parallel evaluation pass only reads.
-        for pm in candidates {
-            let skel = self.skeleton_for(pm);
+        let skels: Vec<Arc<Skeleton>> = {
+            let cache = lock_cache(&self.skeletons);
+            groups
+                .iter()
+                .map(|(key, _)| cache.get(key).expect("group prepared").clone())
+                .collect()
+        };
+        for ((_, members), skel) in groups.iter().zip(&skels) {
             if skel.poisoned {
                 continue;
             }
-            for i in 0..self.dtypes.len() {
-                let id = ArrayId(i as u32);
-                let space = pm.space(id);
-                if space != MemorySpace::Shared && !self.access_info[i].is_empty() {
-                    self.get_memo(id, space, skel.bases[i]);
+            for i in 0..self.st.dtypes.len() {
+                if self.st.access_info[i].is_empty() {
+                    continue;
+                }
+                // Distinct spaces across the group's members, as a
+                // 5-bit set — one memo fetch per (array, space).
+                let mut seen = 0u8;
+                for &ci in members {
+                    let space = candidates[ci].space(ArrayId(i as u32));
+                    if space == MemorySpace::Shared {
+                        continue;
+                    }
+                    let bit = 1u8 << space_idx(space);
+                    if seen & bit == 0 {
+                        seen |= bit;
+                        self.get_memo(ArrayId(i as u32), space, skel.bases[i]);
+                    }
                 }
             }
         }
         self.counters
             .add(&self.counters.prepare_nanos, t0.elapsed().as_nanos() as u64);
+        skels
     }
 
     fn build_skeleton(&self, canonical: &PlacementMap) -> Skeleton {
         let cfg = &self.predictor.cfg;
         self.counters.add(&self.counters.skeletons_built, 1);
         self.counters.add(&self.counters.full_rewrites, 1);
-        let n = self.dtypes.len();
+        let n = self.st.dtypes.len();
         let poisoned_skeleton = || Skeleton {
             consts: TraceAnalysis::default(),
             events: Vec::new(),
@@ -1048,7 +1391,7 @@ impl<'a> Engine<'a> {
         };
         let mut rec = Recorder {
             cfg,
-            map: &self.warp_body_map,
+            map: &self.st.warp_body_map,
             events: Vec::new(),
             tx_arena: Vec::new(),
             last_advance: vec![None; cfg.num_sms as usize],
@@ -1111,159 +1454,215 @@ impl<'a> Engine<'a> {
         skel
     }
 
-    /// Compose the exact `TraceAnalysis` of `target` from the skeleton's
-    /// recorded events plus per-`(array, space)` memos, re-running only
-    /// the stateful cache models. The cache models live in a per-thread
-    /// scratch that is generation-reset (not reallocated) between
-    /// replays — the hot loop streams over the flat `EventRec` column
-    /// with no per-event allocation.
-    fn replay(&self, skel: &Skeleton, target: &PlacementMap) -> TraceAnalysis {
+    /// Event-major lane-batched replay: stream the skeleton's event
+    /// column **once** while updating `targets.len()` candidate lanes
+    /// simultaneously, calling `sink(lane_index, &analysis)` per lane
+    /// when the stream ends. Placement-invariant events (`EV_ADVANCE`,
+    /// `EV_STAGING_GLOBAL` and its transaction walk, `EV_L2_PROBE`) are
+    /// decoded once and broadcast to every lane; `EV_ADDR_CALC` and
+    /// `EV_BODY` dispatch per lane on that lane's space for the active
+    /// array, with the memo row resolved once per `(array, space)` and
+    /// shared by every lane placing the array there. Each lane carries
+    /// fully independent model state and performs exactly the operation
+    /// sequence the per-candidate replay would — bit-identity for every
+    /// lane width falls out by construction.
+    fn replay_batch_with(
+        &self,
+        skel: &Skeleton,
+        targets: &[&PlacementMap],
+        mut sink: impl FnMut(usize, &TraceAnalysis),
+    ) {
         let cfg = &self.predictor.cfg;
-        let n_arrays = self.dtypes.len();
-        let mut out = skel.consts.clone();
+        let n_arrays = self.st.dtypes.len();
+        let width = targets.len();
+        debug_assert!(width <= MAX_LANE_WIDTH);
+        self.counters.add(&self.counters.batched_replays, 1);
+        self.counters
+            .add(&self.counters.events_streamed, skel.events.len() as u64);
+        self.counters.max(&self.counters.lane_width, width as u64);
         REPLAY_SCRATCH.with(|cell| {
             let mut slot = cell.borrow_mut();
             let scratch = match slot.as_mut() {
-                Some(s) if s.matches(cfg) => {
-                    s.reset();
-                    s
-                }
+                Some(s) if s.matches(cfg) => s,
                 _ => {
                     *slot = Some(ReplayScratch::new(cfg));
                     slot.as_mut().unwrap()
                 }
             };
-            scratch.memo_slots.resize(n_arrays, None);
-            let ReplayScratch {
-                l2,
-                const_caches,
-                tex_caches,
-                sm_pos,
-                memo_slots,
-                ..
-            } = scratch;
+            scratch.reset(width, n_arrays, cfg, &skel.consts);
+            let ReplayScratch { lanes, memo_slots } = scratch;
+            let lanes = &mut lanes[..width];
+            for (lane, pm) in lanes.iter_mut().zip(targets) {
+                for i in 0..n_arrays {
+                    let space = pm.space(ArrayId(i as u32));
+                    lane.space_of.push(space_idx(space) as u8);
+                    lane.addr_n
+                        .push(u64::from(addr_calc_instrs(space, self.st.dtypes[i])));
+                }
+            }
+            // Placement-invariant progress is accumulated once in shared
+            // bases rather than per lane: `lane.sm_pos` holds only the
+            // lane-dependent offset contributed by address-calculation
+            // events, so the effective position is `pos_base[sm] +
+            // lane.sm_pos[sm]` and EV_ADVANCE costs O(1) instead of
+            // O(lanes). u64 addition is associative, so totals stay
+            // bit-identical to the unsplit accumulation.
+            let mut executed_base = 0u64;
+            let mut pos_base = vec![0u64; self.predictor.cfg.num_sms as usize];
             for ev in &skel.events {
                 let sm = ev.sm as usize;
                 match ev.kind {
                     EV_ADVANCE => {
-                        out.executed += ev.x;
-                        sm_pos[sm] += ev.x;
+                        executed_base += ev.x;
+                        pos_base[sm] += ev.x;
                     }
                     EV_ADDR_CALC => {
-                        let array = ArrayId(ev.arr);
-                        let n = u64::from(addr_calc_instrs(
-                            target.space(array),
-                            self.dtypes[array.index()],
-                        )) * ev.x;
-                        out.executed += n;
-                        sm_pos[sm] += n;
+                        let ai = ev.arr as usize;
+                        for lane in lanes.iter_mut() {
+                            let n = lane.addr_n[ai] * ev.x;
+                            lane.out.executed += n;
+                            lane.sm_pos[sm] += n;
+                        }
                     }
                     EV_STAGING_GLOBAL => {
-                        out.executed += 1;
-                        sm_pos[sm] += 1;
-                        out.global_requests += 1;
-                        out.global_transactions += u64::from(ev.tx_len);
-                        out.replay_global_divergence += ev.x;
+                        executed_base += 1;
+                        pos_base[sm] += 1;
+                        let base = pos_base[sm];
                         let txs = &skel.tx_arena[ev.tx as usize..(ev.tx + ev.tx_len) as usize];
-                        for &t in txs {
+                        for lane in lanes.iter_mut() {
+                            lane.out.global_requests += 1;
+                            lane.out.global_transactions += u64::from(ev.tx_len);
+                            lane.out.replay_global_divergence += ev.x;
+                            let pos = base + lane.sm_pos[sm];
+                            for &t in txs {
+                                l2_fill(
+                                    &mut lane.l2,
+                                    &mut lane.out,
+                                    t,
+                                    L2Source::Global,
+                                    pos,
+                                    ev.sm as u32,
+                                    ev.flag != 0,
+                                );
+                            }
+                        }
+                    }
+                    EV_L2_PROBE => {
+                        let base = pos_base[sm];
+                        for lane in lanes.iter_mut() {
                             l2_fill(
-                                l2,
-                                &mut out,
-                                t,
+                                &mut lane.l2,
+                                &mut lane.out,
+                                ev.x,
                                 L2Source::Global,
-                                sm_pos[sm],
+                                base + lane.sm_pos[sm],
                                 ev.sm as u32,
                                 ev.flag != 0,
                             );
                         }
                     }
-                    EV_L2_PROBE => {
-                        l2_fill(
-                            l2,
-                            &mut out,
-                            ev.x,
-                            L2Source::Global,
-                            sm_pos[sm],
-                            ev.sm as u32,
-                            ev.flag != 0,
-                        );
-                    }
                     _ => {
                         // EV_BODY
-                        out.executed += 1;
-                        sm_pos[sm] += 1;
-                        let array = ArrayId(ev.arr);
-                        let space = target.space(array);
-                        let memo = memo_slots[array.index()].get_or_insert_with(|| {
-                            self.get_memo(array, space, skel.bases[array.index()])
-                        });
-                        match &memo[ev.x as usize] {
-                            MemoOutcome::Empty => {}
-                            MemoOutcome::Global {
-                                replays,
-                                transactions,
-                                is_store,
-                            } => {
-                                out.global_requests += 1;
-                                out.global_transactions += transactions.len() as u64;
-                                out.replay_global_divergence += u64::from(*replays);
-                                for t in transactions {
-                                    l2_fill(
-                                        l2,
-                                        &mut out,
-                                        *t,
-                                        L2Source::Global,
-                                        sm_pos[sm],
-                                        ev.sm as u32,
-                                        *is_store,
-                                    );
+                        let ai = ev.arr as usize;
+                        let ord = ev.x as usize;
+                        executed_base += 1;
+                        pos_base[sm] += 1;
+                        let base = pos_base[sm];
+                        for lane in lanes.iter_mut() {
+                            let si = lane.space_of[ai] as usize;
+                            let memo = memo_slots[ai * 5 + si].get_or_insert_with(|| {
+                                self.get_memo(ArrayId(ev.arr), MemorySpace::ALL[si], skel.bases[ai])
+                            });
+                            let pos = base + lane.sm_pos[sm];
+                            let item = memo.items[ord];
+                            match item.kind {
+                                MemoKind::Empty => {}
+                                MemoKind::Global => {
+                                    lane.out.global_requests += 1;
+                                    lane.out.global_transactions += u64::from(item.len);
+                                    lane.out.replay_global_divergence += u64::from(item.replays);
+                                    for &t in memo.span(&item) {
+                                        l2_fill(
+                                            &mut lane.l2,
+                                            &mut lane.out,
+                                            t,
+                                            L2Source::Global,
+                                            pos,
+                                            ev.sm as u32,
+                                            item.is_store,
+                                        );
+                                    }
                                 }
-                            }
-                            MemoOutcome::Tex { lines } => {
-                                let r = tex_caches[sm].access_lines(lines);
-                                out.tex_requests += 1;
-                                out.tex_transactions += u64::from(r.transactions);
-                                out.tex_misses += u64::from(r.misses);
-                                for line in &r.missed_lines {
-                                    l2_fill(
-                                        l2,
-                                        &mut out,
-                                        *line,
-                                        L2Source::Texture,
-                                        sm_pos[sm],
-                                        ev.sm as u32,
-                                        false,
-                                    );
+                                MemoKind::Tex => {
+                                    let (transactions, misses) = lane.tex_caches[sm]
+                                        .access_lines_into(memo.span(&item), &mut lane.missed);
+                                    lane.out.tex_requests += 1;
+                                    lane.out.tex_transactions += u64::from(transactions);
+                                    lane.out.tex_misses += u64::from(misses);
+                                    for line in &lane.missed {
+                                        l2_fill(
+                                            &mut lane.l2,
+                                            &mut lane.out,
+                                            *line,
+                                            L2Source::Texture,
+                                            pos,
+                                            ev.sm as u32,
+                                            false,
+                                        );
+                                    }
                                 }
-                            }
-                            MemoOutcome::Const { words } => {
-                                let r = const_caches[sm].access_words(words);
-                                out.const_requests += 1;
-                                out.const_transactions += u64::from(r.transactions);
-                                out.const_misses += u64::from(r.misses);
-                                out.replay_const_divergence += u64::from(r.transactions - 1);
-                                out.replay_const_miss += u64::from(r.misses);
-                                for line in &r.missed_lines {
-                                    l2_fill(
-                                        l2,
-                                        &mut out,
-                                        *line,
-                                        L2Source::Constant,
-                                        sm_pos[sm],
-                                        ev.sm as u32,
-                                        false,
-                                    );
+                                MemoKind::Const => {
+                                    let (transactions, misses) = lane.const_caches[sm]
+                                        .access_words_into(memo.span(&item), &mut lane.missed);
+                                    lane.out.const_requests += 1;
+                                    lane.out.const_transactions += u64::from(transactions);
+                                    lane.out.const_misses += u64::from(misses);
+                                    lane.out.replay_const_divergence += u64::from(transactions - 1);
+                                    lane.out.replay_const_miss += u64::from(misses);
+                                    for line in &lane.missed {
+                                        l2_fill(
+                                            &mut lane.l2,
+                                            &mut lane.out,
+                                            *line,
+                                            L2Source::Constant,
+                                            pos,
+                                            ev.sm as u32,
+                                            false,
+                                        );
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
-            out.l2_transactions = l2.transactions();
-            out.l2_misses = l2.misses();
-            out.l2_writebacks = l2.writebacks();
+            for (li, lane) in lanes.iter_mut().enumerate() {
+                lane.out.executed += executed_base;
+                lane.out.l2_transactions = lane.l2.transactions();
+                lane.out.l2_misses = lane.l2.misses();
+                lane.out.l2_writebacks = lane.l2.writebacks();
+                sink(li, &lane.out);
+            }
         });
+    }
+
+    /// Batched replay returning owned analyses, one per target, in
+    /// input order. The hot search path goes through
+    /// [`replay_batch_with`](Self::replay_batch_with) instead to skip
+    /// the per-lane clone.
+    pub(crate) fn replay_batch(
+        &self,
+        skel: &Skeleton,
+        targets: &[&PlacementMap],
+    ) -> Vec<TraceAnalysis> {
+        let mut out = Vec::with_capacity(targets.len());
+        self.replay_batch_with(skel, targets, |_, a| out.push(a.clone()));
         out
+    }
+
+    /// Single-candidate replay: a one-lane batch.
+    fn replay(&self, skel: &Skeleton, target: &PlacementMap) -> TraceAnalysis {
+        self.replay_batch(skel, &[target]).pop().expect("one lane")
     }
 
     /// Predict `target`'s execution time through the incremental path
@@ -1279,9 +1678,11 @@ impl<'a> Engine<'a> {
         }
         let analysis = self.replay(&skel, target);
         self.counters.add(&self.counters.delta_cache_hits, 1);
-        let pred =
-            self.predictor
-                .predict_prepared(self.profile, analysis, self.sample_analysis.as_ref());
+        let pred = self.predictor.predict_prepared(
+            self.profile,
+            analysis,
+            self.st.sample_analysis.as_ref(),
+        );
         if pred.cycles.is_finite() {
             Ok(pred)
         } else {
@@ -1308,25 +1709,57 @@ impl<'a> Engine<'a> {
         Ok(ranked)
     }
 
-    /// Evaluate `candidates` in input order (no sort): prepare the
-    /// skeletons and memos they need, then fan the pure-read
-    /// predictions out across `threads` workers.
+    /// Evaluate `candidates` in input order (no sort): group them by
+    /// shared-memory set, prepare each group's skeleton and memos, then
+    /// feed lane batches to `threads` workers — each batch streams its
+    /// skeleton's event column once for all its lanes. Workers steal
+    /// whole units across skeleton groups; results reassemble by input
+    /// index, so the output (and every non-wall-clock counter) is
+    /// bit-identical for any worker count and any lane width.
     pub(crate) fn evaluate_batch(
         &self,
         candidates: &[PlacementMap],
         threads: usize,
     ) -> Result<Vec<RankedPlacement>, HmsError> {
-        self.prepare(candidates, threads);
+        let mut groups: Vec<(Vec<bool>, Vec<usize>)> = Vec::new();
+        {
+            let mut group_of: HashMap<Vec<bool>, usize> = HashMap::new();
+            for (i, pm) in candidates.iter().enumerate() {
+                let key = self.shared_key(pm);
+                if let Some(&g) = group_of.get(&key) {
+                    groups[g].1.push(i);
+                } else {
+                    group_of.insert(key.clone(), groups.len());
+                    groups.push((key, vec![i]));
+                }
+            }
+        }
+        let skels = self.prepare_groups(candidates, &groups, threads);
         let t0 = Instant::now();
-        let predictions = hms_stats::par::par_map_threads(threads, candidates, |pm| {
-            self.predict(pm).map(|pred| RankedPlacement {
-                placement: pm.clone(),
-                predicted_cycles: pred.cycles,
-            })
+        let mut units: Vec<(usize, &[usize])> = Vec::new();
+        for (g, (_, members)) in groups.iter().enumerate() {
+            let width = self.unit_width(members.len(), threads);
+            for chunk in members.chunks(width) {
+                units.push((g, chunk));
+            }
+        }
+        let per_unit = hms_stats::par::par_map_steal(threads, &units, |&(g, chunk)| {
+            self.evaluate_unit(&skels[g], candidates, chunk)
         });
+        let mut slots: Vec<Option<Result<f64, HmsError>>> = Vec::new();
+        slots.resize_with(candidates.len(), || None);
+        for unit in per_unit {
+            for (ci, r) in unit {
+                slots[ci] = Some(r);
+            }
+        }
         let mut ranked = Vec::with_capacity(candidates.len());
-        for p in predictions {
-            ranked.push(p?);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let cycles = slot.expect("every candidate evaluated")?;
+            ranked.push(RankedPlacement {
+                placement: candidates[i].clone(),
+                predicted_cycles: cycles,
+            });
         }
         self.counters
             .add(&self.counters.candidates_evaluated, candidates.len() as u64);
@@ -1337,10 +1770,74 @@ impl<'a> Engine<'a> {
         Ok(ranked)
     }
 
+    /// Evaluate one lane batch: validate each member (the same check
+    /// [`predict`](Self::predict) runs), replay the valid lanes in one
+    /// event-stream pass, and turn each lane's borrowed analysis into
+    /// cycles without cloning it. A poisoned skeleton routes the whole
+    /// unit through the per-candidate exact path.
+    fn evaluate_unit(
+        &self,
+        skel: &Skeleton,
+        candidates: &[PlacementMap],
+        chunk: &[usize],
+    ) -> Vec<(usize, Result<f64, HmsError>)> {
+        let mut out = Vec::with_capacity(chunk.len());
+        if skel.poisoned {
+            for &ci in chunk {
+                let pm = &candidates[ci];
+                let r = pm
+                    .validate(&self.profile.trace.arrays, &self.predictor.cfg)
+                    .and_then(|()| {
+                        self.counters.add(&self.counters.exact_fallbacks, 1);
+                        self.counters.add(&self.counters.full_rewrites, 1);
+                        self.predictor.predict(self.profile, pm).map(|p| p.cycles)
+                    });
+                out.push((ci, r));
+            }
+            return out;
+        }
+        let mut lanes: Vec<&PlacementMap> = Vec::with_capacity(chunk.len());
+        let mut lane_ci: Vec<usize> = Vec::with_capacity(chunk.len());
+        for &ci in chunk {
+            let pm = &candidates[ci];
+            match pm.validate(&self.profile.trace.arrays, &self.predictor.cfg) {
+                Ok(()) => {
+                    lanes.push(pm);
+                    lane_ci.push(ci);
+                }
+                Err(e) => out.push((ci, Err(e))),
+            }
+        }
+        if lanes.is_empty() {
+            return out;
+        }
+        self.counters
+            .add(&self.counters.delta_cache_hits, lanes.len() as u64);
+        self.replay_batch_with(skel, &lanes, |li, analysis| {
+            let (cycles, t_comp, t_mem, t_overlap) = self.predictor.predict_parts(
+                self.profile,
+                analysis,
+                self.st.sample_analysis.as_ref(),
+            );
+            let r = if cycles.is_finite() {
+                Ok(cycles)
+            } else {
+                Err(HmsError::NonFinitePrediction {
+                    cycles,
+                    t_comp,
+                    t_mem,
+                    t_overlap,
+                })
+            };
+            out.push((lane_ci[li], r));
+        });
+        out
+    }
+
     /// Standalone-legal spaces for each array (superset of the jointly
     /// legal spaces) — drives branch-and-bound enumeration.
     pub(crate) fn legal_spaces(&self, array: ArrayId) -> &[MemorySpace] {
-        &self.lb.legal_spaces[array.index()]
+        &self.st.lb.legal_spaces[array.index()]
     }
 
     /// Monotone lower bound on the predicted cycles of **any** legal
@@ -1357,7 +1854,7 @@ impl<'a> Engine<'a> {
     /// A `1 - 1e-9` discount absorbs float-rounding asymmetry between
     /// the bound's and the model's operation order.
     pub(crate) fn lower_bound(&self, spaces: &[Option<MemorySpace>]) -> f64 {
-        let lb = &self.lb;
+        let lb = &self.st.lb;
         let mut amat_num = 0.0f64;
         let mut issued = lb.body_fixed_executed + lb.other_replays;
         for (i, s) in spaces.iter().enumerate() {

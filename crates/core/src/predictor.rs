@@ -169,8 +169,30 @@ impl Predictor {
         analysis: TraceAnalysis,
         sample_analysis: Option<&TraceAnalysis>,
     ) -> Prediction {
-        let tc = tcomp(profile, &analysis, &self.cfg, self.options.detailed_instr);
-        let tm = tmem(profile, &analysis, &self.cfg, self.options.queuing);
+        let (cycles, t_comp, t_mem, t_overlap) =
+            self.predict_parts(profile, &analysis, sample_analysis);
+        Prediction {
+            cycles,
+            t_comp,
+            t_mem,
+            t_overlap,
+            analysis,
+        }
+    }
+
+    /// [`predict_prepared`](Self::predict_prepared) without taking
+    /// ownership of the analysis: returns `(cycles, t_comp, t_mem,
+    /// t_overlap)`. The lane-batched search path predicts straight from
+    /// a borrowed per-lane accumulator, skipping the per-candidate
+    /// `TraceAnalysis` clone a full [`Prediction`] would need.
+    pub fn predict_parts(
+        &self,
+        profile: &Profile,
+        analysis: &TraceAnalysis,
+        sample_analysis: Option<&TraceAnalysis>,
+    ) -> (f64, f64, f64, f64) {
+        let tc = tcomp(profile, analysis, &self.cfg, self.options.detailed_instr);
+        let tm = tmem(profile, analysis, &self.cfg, self.options.queuing);
         // Without the detailed counting framework a model cannot know
         // the *target's* memory events — only the sample run's. The
         // paper's ablation baseline "incorrectly calculates the numbers
@@ -180,7 +202,7 @@ impl Predictor {
         let to = match (self.options.detailed_instr, sample_analysis) {
             (true, _) => self
                 .overlap
-                .t_overlap(&analysis, &self.cfg, tc.cycles, tm.cycles),
+                .t_overlap(analysis, &self.cfg, tc.cycles, tm.cycles),
             (false, Some(sa)) => self.overlap.t_overlap(sa, &self.cfg, tc.cycles, tm.cycles),
             (false, None) => {
                 let sa = analyze(&profile.trace, &self.cfg);
@@ -188,13 +210,7 @@ impl Predictor {
             }
         };
         let cycles = (tc.cycles + tm.cycles - to).max(1.0);
-        Prediction {
-            cycles,
-            t_comp: tc.cycles,
-            t_mem: tm.cycles,
-            t_overlap: to,
-            analysis,
-        }
+        (cycles, tc.cycles, tm.cycles, to)
     }
 
     /// Build one `T_overlap` training observation from a profiled

@@ -17,6 +17,13 @@ pub struct Profile {
     pub trace: ConcreteTrace,
     pub events: EventSet,
     pub measured_cycles: u64,
+    /// Cache of the search engine's placement-invariant derivations of
+    /// this profile (sample scan, lower-bound statics, fingerprint) —
+    /// see [`EngineStatics`](crate::engine). Interior-mutable and empty
+    /// until the first [`Engine::new`](crate::Engine::new); a `clone()`
+    /// of the profile starts with a fresh empty cache, since a clone is
+    /// typically about to mutate `trace`.
+    pub(crate) statics: crate::engine::StaticsCache,
 }
 
 impl Profile {
@@ -108,6 +115,7 @@ pub fn profile_sample(
         trace,
         events,
         measured_cycles: cycles,
+        statics: Default::default(),
     };
     // A simulator (or, one day, a real profiler) handing back a profile
     // outside the model's validity domain is an error here, not a NaN

@@ -57,10 +57,15 @@ pub fn enumerate_placements(
     }
     out.extend(stack);
     out.truncate(limit);
-    out.sort_by_key(|p| {
-        p.iter()
-            .map(|(_, s)| s.short().to_owned())
-            .collect::<Vec<_>>()
+    // Deterministic order by the placements' short-name tuples. The
+    // comparator walks the iterators directly — `sort_by_key` would
+    // materialize a `Vec<String>` key on *every comparison*, which
+    // dominated enumeration cost; elementwise `&str` comparison orders
+    // identically to the old `Vec<String>` lexicographic key.
+    out.sort_by(|a, b| {
+        a.iter()
+            .map(|(_, s)| s.short())
+            .cmp(b.iter().map(|(_, s)| s.short()))
     });
     out.dedup();
     out
@@ -198,6 +203,7 @@ pub struct SearchRequest<'a> {
     pub(crate) skeleton_cache: Option<PathBuf>,
     pub(crate) cache_fs: Option<Arc<dyn crate::skelcache::CacheFs>>,
     pub(crate) cancel: Option<Arc<AtomicBool>>,
+    pub(crate) lane_width: u64,
 }
 
 impl<'a> SearchRequest<'a> {
@@ -216,6 +222,7 @@ impl<'a> SearchRequest<'a> {
             skeleton_cache: None,
             cache_fs: None,
             cancel: None,
+            lane_width: 0,
         }
     }
 
@@ -256,6 +263,16 @@ impl<'a> SearchRequest<'a> {
     /// Pick the coverage strategy.
     pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Fix the engine's replay lane width (candidates evaluated per
+    /// event-stream pass; see [`Engine::set_lane_width`]). `0` (the
+    /// default) autosizes per skeleton group. Any width produces
+    /// bit-identical rankings — the knob trades skeleton-decode
+    /// amortization against per-lane cache-model footprint.
+    pub fn lane_width(mut self, width: u64) -> Self {
+        self.lane_width = width;
         self
     }
 
@@ -391,6 +408,7 @@ pub fn search(
             None => engine.with_disk_cache(dir),
         };
     }
+    engine.set_lane_width(req.lane_width);
     let (ranked, partial, gap) = match req.strategy {
         SearchStrategy::Exhaustive => {
             let t0 = Instant::now();

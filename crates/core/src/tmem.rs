@@ -13,12 +13,34 @@
 //! analysis's DRAM requests via the detected address mapping (Eq. 6–7);
 //! the Figure 8 ablation can instead spread them evenly.
 
-use hms_dram::{AccessKind, AddressMapping, BankState};
+use std::cell::RefCell;
+
+use hms_dram::{AccessKind, AddressMapping, BankState, DecodePlan};
 use hms_stats::{kingman_waiting_time, GG1Inputs, Summary};
 use hms_types::GpuConfig;
 
 use crate::analysis::TraceAnalysis;
 use crate::profile::Profile;
+
+/// Per-thread reusable state of the queuing model. The model itself is
+/// pure; only allocation is amortized here. The compiled [`DecodePlan`]
+/// is a function of the bank count alone (the mapping layout is the
+/// fixed K80-like one), and the request/service buffers are cleared per
+/// call — the search engine evaluates tens of thousands of candidates
+/// per second through this path, so per-candidate plan compilation and
+/// buffer allocation would dominate the actual arithmetic.
+#[derive(Default)]
+struct TmemScratch {
+    plan: Option<(u32, DecodePlan)>,
+    reqs: Vec<(u32, f64, u64, u32)>,
+    service: Vec<f64>,
+    arrivals: Vec<f64>,
+    inter: Vec<f64>,
+}
+
+thread_local! {
+    static TMEM_SCRATCH: RefCell<TmemScratch> = RefCell::new(TmemScratch::default());
+}
 
 /// How `DRAM_lat` is estimated — the knob behind Figures 8 and 9.
 /// `Hash` so the serving layer can key prediction caches on the exact
@@ -103,83 +125,119 @@ pub fn dram_estimate(
         };
     }
 
-    // Distribute requests to banks. One flat `(bank, arrival, row)`
-    // buffer, stably sorted by bank then arrival, replaces the per-bank
-    // vectors: the stable sort preserves trace order on ties exactly as
-    // the push-then-sort-per-bank formulation did, so the per-bank
-    // streams — and every downstream float — are bit-identical.
-    let mapping = AddressMapping::k80_like(t.total_banks()).plan();
-    let cpi = profile.cycles_per_instruction(cfg);
-    let mut reqs: Vec<(u32, f64, u64)> = Vec::with_capacity(analysis.dram.len());
-    for (i, r) in analysis.dram.iter().enumerate() {
-        let arrival = r.position as f64 * cpi;
-        let decoded = mapping.decode(r.addr);
-        let bank = match mode {
-            QueuingMode::EvenDistribution => {
-                // "assume even distribution of memory requests between
-                // memory banks": round-robin, rows from the raw address.
-                (i % nb) as u32
+    TMEM_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        // Distribute requests to banks. One flat `(bank, arrival, row)`
+        // buffer, stably sorted by bank then arrival, replaces the per-bank
+        // vectors: the stable sort preserves trace order on ties exactly as
+        // the push-then-sort-per-bank formulation did, so the per-bank
+        // streams — and every downstream float — are bit-identical.
+        let mapping = match &scratch.plan {
+            Some((banks, plan)) if *banks == t.total_banks() => plan,
+            _ => {
+                let plan = AddressMapping::k80_like(t.total_banks()).plan();
+                &scratch.plan.insert((t.total_banks(), plan)).1
             }
-            QueuingMode::Mapped => decoded.bank,
-            QueuingMode::ConstantLatency => unreachable!(),
         };
-        reqs.push((bank, arrival, decoded.row));
-    }
-    reqs.sort_by(|a, b| {
-        a.0.cmp(&b.0)
-            .then(a.1.partial_cmp(&b.1).expect("finite arrival"))
-    });
-
-    // Eq. 6–10 per bank, Eq. 7's lambda-weighted average across banks.
-    let total_requests = analysis.dram.len() as f64;
-    let mut acc = 0.0;
-    let mut bank_makespan = 0.0f64;
-    let mut service: Vec<f64> = Vec::new();
-    let mut arrivals: Vec<f64> = Vec::new();
-    let mut start = 0usize;
-    while start < reqs.len() {
-        let bank_id = reqs[start].0;
-        let mut end = start + 1;
-        while end < reqs.len() && reqs[end].0 == bank_id {
-            end += 1;
-        }
-        let stream = &reqs[start..end];
-        start = end;
-        // Service classification via a row-buffer state walk (Eq. 8),
-        // closing rows across auto-refresh boundaries like the machine.
-        let refresh = t.refresh_interval_cycles;
-        let mut bank = BankState::default();
-        let mut last_epoch = 0u64;
-        service.clear();
-        arrivals.clear();
-        for &(_, arrival, row) in stream {
-            if let Some(epoch) = (arrival.max(0.0) as u64).checked_div(refresh) {
-                if epoch != last_epoch {
-                    bank.precharge();
-                    last_epoch = epoch;
+        let cpi = profile.cycles_per_instruction(cfg);
+        let reqs = &mut scratch.reqs;
+        reqs.clear();
+        reqs.reserve(analysis.dram.len());
+        for (i, r) in analysis.dram.iter().enumerate() {
+            let arrival = r.position as f64 * cpi;
+            let decoded = mapping.decode(r.addr);
+            let bank = match mode {
+                QueuingMode::EvenDistribution => {
+                    // "assume even distribution of memory requests between
+                    // memory banks": round-robin, rows from the raw address.
+                    (i % nb) as u32
                 }
-            }
-            let kind = bank.classify(row);
-            bank.open_row = Some(row);
-            let s = match kind {
-                AccessKind::Hit => t.hit_cycles,
-                AccessKind::Miss => t.miss_cycles,
-                AccessKind::Conflict => t.conflict_cycles,
+                QueuingMode::Mapped => decoded.bank,
+                QueuingMode::ConstantLatency => unreachable!(),
             };
-            service.push(s as f64);
-            arrivals.push(arrival);
+            reqs.push((bank, arrival, decoded.row, i as u32));
         }
-        let svc = Summary::of(&service).expect("non-empty");
-        bank_makespan = bank_makespan.max(service.iter().sum::<f64>());
-        let lat_bank = queue_wait(&arrivals, &service) + svc.mean;
-        let lambda_weight = stream.len() as f64 / total_requests;
-        acc += lambda_weight * lat_bank;
-    }
-    DramEstimate {
-        avg_latency: acc + burst,
-        bank_makespan,
-        channel_makespan,
-    }
+        // The trace index as the final key makes the order total, so the
+        // allocation-free unstable sort reproduces the stable sort's
+        // tie order exactly.
+        reqs.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.partial_cmp(&b.1).expect("finite arrival"))
+                .then(a.3.cmp(&b.3))
+        });
+
+        // Eq. 6–10 per bank, Eq. 7's lambda-weighted average across banks.
+        let total_requests = analysis.dram.len() as f64;
+        let mut acc = 0.0;
+        let mut bank_makespan = 0.0f64;
+        let service = &mut scratch.service;
+        let arrivals = &mut scratch.arrivals;
+        let mut start = 0usize;
+        while start < reqs.len() {
+            let bank_id = reqs[start].0;
+            let mut end = start + 1;
+            while end < reqs.len() && reqs[end].0 == bank_id {
+                end += 1;
+            }
+            let stream = &reqs[start..end];
+            start = end;
+            let refresh = t.refresh_interval_cycles;
+            if let [(_, arrival, row, _)] = *stream {
+                // Singleton stream: no queuing (wait is 0), the mean of
+                // one service time is itself, and the refresh walk
+                // cannot change a fresh bank's classification. Same
+                // floats as the general walk, without the summary and
+                // buffer traffic.
+                let mut bank = BankState::default();
+                if let Some(epoch) = (arrival.max(0.0) as u64).checked_div(refresh) {
+                    if epoch != 0 {
+                        bank.precharge();
+                    }
+                }
+                let s = match bank.classify(row) {
+                    AccessKind::Hit => t.hit_cycles,
+                    AccessKind::Miss => t.miss_cycles,
+                    AccessKind::Conflict => t.conflict_cycles,
+                } as f64;
+                bank_makespan = bank_makespan.max(s);
+                acc += 1.0 / total_requests * (0.0 + s);
+                continue;
+            }
+            // Service classification via a row-buffer state walk (Eq. 8),
+            // closing rows across auto-refresh boundaries like the machine.
+            let mut bank = BankState::default();
+            let mut last_epoch = 0u64;
+            service.clear();
+            arrivals.clear();
+            for &(_, arrival, row, _) in stream {
+                if let Some(epoch) = (arrival.max(0.0) as u64).checked_div(refresh) {
+                    if epoch != last_epoch {
+                        bank.precharge();
+                        last_epoch = epoch;
+                    }
+                }
+                let kind = bank.classify(row);
+                bank.open_row = Some(row);
+                let s = match kind {
+                    AccessKind::Hit => t.hit_cycles,
+                    AccessKind::Miss => t.miss_cycles,
+                    AccessKind::Conflict => t.conflict_cycles,
+                };
+                service.push(s as f64);
+                arrivals.push(arrival);
+            }
+            let svc = Summary::of(service).expect("non-empty");
+            bank_makespan = bank_makespan.max(service.iter().sum::<f64>());
+            let lat_bank = queue_wait(arrivals, service, &mut scratch.inter) + svc.mean;
+            let lambda_weight = stream.len() as f64 / total_requests;
+            acc += lambda_weight * lat_bank;
+        }
+        DramEstimate {
+            avg_latency: acc + burst,
+            bank_makespan,
+            channel_makespan,
+        }
+    })
 }
 
 /// Mean queuing delay of one server's finite request stream.
@@ -192,18 +250,16 @@ pub fn dram_estimate(
 /// requests arriving uniformly over the observed span is the backlog
 /// growth `(n-1)/2 x (tau_s - tau_a)`; either way the wait cannot exceed
 /// the all-at-once bound `(n-1)/2 x tau_s`.
-fn queue_wait(arrivals_sorted: &[f64], service: &[f64]) -> f64 {
+fn queue_wait(arrivals_sorted: &[f64], service: &[f64], inter: &mut Vec<f64>) -> f64 {
     let n = arrivals_sorted.len();
     debug_assert_eq!(n, service.len());
     if n < 2 {
         return 0.0;
     }
     let svc = Summary::of(service).expect("non-empty");
-    let inter: Vec<f64> = arrivals_sorted
-        .windows(2)
-        .map(|w| (w[1] - w[0]).max(1.0))
-        .collect();
-    let ia = Summary::of(&inter).expect("non-empty");
+    inter.clear();
+    inter.extend(arrivals_sorted.windows(2).map(|w| (w[1] - w[0]).max(1.0)));
+    let ia = Summary::of(inter).expect("non-empty");
     let nf = n as f64;
     let backlog_cap = (nf - 1.0) / 2.0 * svc.mean;
     let rho = svc.mean / ia.mean;

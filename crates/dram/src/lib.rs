@@ -28,6 +28,6 @@ pub mod stats;
 pub use bank::{AccessKind, BankState};
 pub use controller::{DramRequestResult, MemoryController};
 pub use detect::{detect_mapping, BitClass, DetectedMapping};
-pub use mapping::{AddressMapping, DecodedAddr};
+pub use mapping::{AddressMapping, DecodePlan, DecodedAddr};
 pub use sched::{schedule_batch, BatchRequest, PagePolicy, SchedPolicy};
 pub use stats::DramStats;

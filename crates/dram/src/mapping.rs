@@ -121,6 +121,9 @@ impl AddressMapping {
             .collect();
         DecodePlan {
             addr_mask: self.addr_mask(),
+            col_runs: DecodePlan::compile_runs(&self.col_bit_positions),
+            row_runs: DecodePlan::compile_runs(&self.row_bit_positions),
+            other_runs: DecodePlan::compile_runs(&other_bit_positions),
             col_bit_positions: self.col_bit_positions.clone(),
             row_bit_positions: self.row_bit_positions.clone(),
             other_bit_positions,
@@ -143,6 +146,9 @@ impl AddressMapping {
         }
     }
 
+    /// Per-bit reference gather; [`DecodePlan`]'s run-compiled form must
+    /// stay bit-identical to this (see the equivalence test).
+    #[cfg_attr(not(test), allow(dead_code))]
     fn gather(addr: u64, positions: &[u32]) -> u64 {
         let mut v = 0u64;
         for (i, &p) in positions.iter().enumerate() {
@@ -160,21 +166,73 @@ impl AddressMapping {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodePlan {
     addr_mask: u64,
+    /// Maximal runs of consecutive source bits, compiled from the
+    /// position lists: one `(shift, mask, out)` entry extracts a whole
+    /// run with two shifts and a mask, so a decode costs a handful of
+    /// run ops instead of one op per address bit.
+    col_runs: Vec<GatherRun>,
+    row_runs: Vec<GatherRun>,
+    other_runs: Vec<GatherRun>,
     col_bit_positions: Vec<u32>,
     row_bit_positions: Vec<u32>,
     other_bit_positions: Vec<u32>,
     total_banks: u64,
 }
 
+/// One maximal run of consecutive source bits in a gather: the bits
+/// `shift..shift+len` of the address land at output bits `out..out+len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GatherRun {
+    shift: u32,
+    mask: u64,
+    out: u32,
+}
+
 impl DecodePlan {
+    /// Compress a bit-position list into maximal consecutive runs.
+    /// `gather` maps `positions[i]` to output bit `i`, so any stretch
+    /// where the source positions increase by exactly 1 collapses into
+    /// a single shift-mask-shift — bit-identical to the per-bit walk.
+    fn compile_runs(positions: &[u32]) -> Vec<GatherRun> {
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        while i < positions.len() {
+            let start = i;
+            while i + 1 < positions.len() && positions[i + 1] == positions[i] + 1 {
+                i += 1;
+            }
+            let len = (i - start + 1) as u32;
+            runs.push(GatherRun {
+                shift: positions[start],
+                mask: if len >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << len) - 1
+                },
+                out: start as u32,
+            });
+            i += 1;
+        }
+        runs
+    }
+
+    #[inline]
+    fn gather_runs(addr: u64, runs: &[GatherRun]) -> u64 {
+        let mut v = 0u64;
+        for r in runs {
+            v |= ((addr >> r.shift) & r.mask) << r.out;
+        }
+        v
+    }
+
     /// Decode an address into bank/row/column coordinates.
     pub fn decode(&self, addr: u64) -> DecodedAddr {
         let addr = addr & self.addr_mask;
-        let other = AddressMapping::gather(addr, &self.other_bit_positions);
+        let other = Self::gather_runs(addr, &self.other_runs);
         DecodedAddr {
             bank: (other % self.total_banks) as u32,
-            row: AddressMapping::gather(addr, &self.row_bit_positions),
-            col: AddressMapping::gather(addr, &self.col_bit_positions),
+            row: Self::gather_runs(addr, &self.row_runs),
+            col: Self::gather_runs(addr, &self.col_runs),
         }
     }
 }

@@ -108,6 +108,11 @@ struct EngineTotals {
     skeleton_disk_misses: AtomicU64,
     skeleton_disk_writes: AtomicU64,
     skeleton_disk_tmp_swept: AtomicU64,
+    batched_replays: AtomicU64,
+    events_streamed: AtomicU64,
+    /// Peak lane width over the server's lifetime (a high-water gauge:
+    /// folded with `fetch_max`, matching [`EngineStats::merge`]).
+    lane_width: AtomicU64,
     /// `f64::to_bits` of the most recent anytime search's reported gap
     /// upper bound (a gauge: last value wins, exact searches don't
     /// touch it).
@@ -208,6 +213,11 @@ impl Metrics {
             .fetch_add(s.skeleton_disk_writes, Ordering::Relaxed);
         e.skeleton_disk_tmp_swept
             .fetch_add(s.skeleton_disk_tmp_swept, Ordering::Relaxed);
+        e.batched_replays
+            .fetch_add(s.batched_replays, Ordering::Relaxed);
+        e.events_streamed
+            .fetch_add(s.events_streamed, Ordering::Relaxed);
+        e.lane_width.fetch_max(s.lane_width, Ordering::Relaxed);
         if s.anytime() {
             e.candidates_visited
                 .fetch_add(s.candidates_visited, Ordering::Relaxed);
@@ -388,7 +398,7 @@ impl Metrics {
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
 
-        let more_engine: [(&str, &str, &AtomicU64); 9] = [
+        let more_engine: [(&str, &str, &AtomicU64); 11] = [
             (
                 "hms_engine_skeletons_built_total",
                 "Distinct walk skeletons built.",
@@ -434,13 +444,23 @@ impl Metrics {
                 "Stale skeleton temp files swept at cache open.",
                 &self.engine.skeleton_disk_tmp_swept,
             ),
+            (
+                "hms_engine_batched_replays_total",
+                "Event-major lane-batched replay passes.",
+                &self.engine.batched_replays,
+            ),
+            (
+                "hms_engine_events_streamed_total",
+                "Skeleton events streamed by batched replays.",
+                &self.engine.events_streamed,
+            ),
         ];
         for (name, help, v) in more_engine {
             g(&mut out, name, help, "counter");
             out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
 
-        let gauges: [(&str, &str, &AtomicU64); 6] = [
+        let gauges: [(&str, &str, &AtomicU64); 7] = [
             (
                 "hms_queue_depth",
                 "Jobs waiting for a worker.",
@@ -470,6 +490,11 @@ impl Metrics {
                 "hms_breaker_state",
                 "Circuit breaker: 0=closed, 1=half-open, 2=open.",
                 &self.breaker_state,
+            ),
+            (
+                "hms_engine_lane_width",
+                "Peak replay lane width observed across all searches.",
+                &self.engine.lane_width,
             ),
         ];
         for (name, help, v) in gauges {
@@ -550,6 +575,32 @@ mod tests {
         assert!(text.contains("hms_engine_full_rewrites_total 8"));
         assert!(text.contains("hms_engine_delta_cache_hits_total 24"));
         assert!(text.contains("hms_engine_candidates_evaluated_total 32"));
+    }
+
+    #[test]
+    fn batched_replay_counters_accumulate_and_lane_width_is_peak() {
+        let m = Metrics::new();
+        let wide = EngineStats {
+            batched_replays: 3,
+            lane_width: 16,
+            events_streamed: 900,
+            ..EngineStats::default()
+        };
+        let narrow = EngineStats {
+            batched_replays: 1,
+            lane_width: 2,
+            events_streamed: 100,
+            ..EngineStats::default()
+        };
+        m.on_engine_stats(&wide);
+        m.on_engine_stats(&narrow);
+        let text = m.render();
+        assert!(text.contains("hms_engine_batched_replays_total 4"));
+        assert!(text.contains("hms_engine_events_streamed_total 1000"));
+        // High-water gauge: the narrower follow-up search must not
+        // lower it.
+        assert!(text.contains("hms_engine_lane_width 16"));
+        assert!(text.contains("# TYPE hms_engine_lane_width gauge"));
     }
 
     #[test]

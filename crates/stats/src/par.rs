@@ -100,9 +100,68 @@ where
     pairs.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`par_map_threads`] with per-*item* work stealing: workers claim one
+/// item at a time off the shared cursor instead of a chunk. For coarse,
+/// unevenly-sized units (lane batches spanning different skeleton
+/// groups, whole benchmark suites) chunked claiming can strand a long
+/// tail behind one worker; stealing single units keeps every worker
+/// busy until the queue drains. Output order equals input order for
+/// every worker count, exactly like [`par_map_threads`].
+pub fn par_map_steal<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if threads == 0 { max_threads() } else { threads };
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                collected
+                    .lock()
+                    .expect("no poisoned par_map worker")
+                    .extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("all workers joined");
+    debug_assert_eq!(pairs.len(), n);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn steal_matches_sequential_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = par_map_steal(threads, &items, |x| x * 3 + 1);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+        assert!(par_map_steal(2, &Vec::<u32>::new(), |x| *x).is_empty());
+    }
 
     #[test]
     fn matches_sequential_map() {

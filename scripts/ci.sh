@@ -49,16 +49,24 @@ for seed in 7 170831 948276; do
 done
 
 echo "==> search micro-benchmark (BENCH_search.json)"
-bench_cps() {
-    sed -n 's/^ *"engine_candidates_per_sec": *\([0-9.eE+-]*\),*$/\1/p' "$1"
+bench_num() {
+    sed -n 's/^ *"'"$2"'": *\([0-9.eE+-]*\),*$/\1/p' "$1"
 }
-baseline_cps="$(bench_cps BENCH_search.json)"
+baseline_cps="$(bench_num BENCH_search.json engine_candidates_per_sec)"
+baseline_batch_cps="$(bench_num BENCH_search.json batch_candidates_per_sec)"
 [ -n "$baseline_cps" ] || { echo "no committed BENCH_search.json baseline"; exit 1; }
+[ -n "$baseline_batch_cps" ] || { echo "no committed batch baseline in BENCH_search.json"; exit 1; }
 cargo run -q -p hms-bench --release --offline --bin bench_search -- test
-current_cps="$(bench_cps BENCH_search.json)"
+current_cps="$(bench_num BENCH_search.json engine_candidates_per_sec)"
+current_batch_cps="$(bench_num BENCH_search.json batch_candidates_per_sec)"
 echo "    engine_candidates_per_sec: baseline=$baseline_cps current=$current_cps"
 awk -v cur="$current_cps" -v base="$baseline_cps" 'BEGIN { exit !(cur >= 0.8 * base) }' || {
     echo "search throughput regressed >20% against the committed BENCH_search.json baseline"
+    exit 1
+}
+echo "    batch_candidates_per_sec: baseline=$baseline_batch_cps current=$current_batch_cps"
+awk -v cur="$current_batch_cps" -v base="$baseline_batch_cps" 'BEGIN { exit !(cur >= 0.8 * base) }' || {
+    echo "batch throughput regressed >20% against the committed BENCH_search.json baseline"
     exit 1
 }
 

@@ -156,6 +156,87 @@ fn engine_prediction_matches_naive_on_random_placements() {
     );
 }
 
+/// Property: the event-major lane-batched replay is bit-identical to
+/// the naive path for random kernels at every lane width and worker
+/// count — including the poisoned-skeleton case, where every candidate
+/// must route through the exact per-candidate fallback instead of a
+/// lane batch and still rank identically.
+#[test]
+fn batched_replay_is_bit_identical_across_lane_widths_and_workers() {
+    let cfg = GpuConfig::test_small();
+    let setups: Vec<_> = registry()
+        .iter()
+        .map(|spec| {
+            let kt = (spec.build)(Scale::Test);
+            let base = kt.default_placement();
+            let profile = profile_sample(&kt, &base, &cfg).unwrap();
+            let predictor = Predictor::new(cfg.clone());
+            let ids: Vec<ArrayId> = kt.arrays.iter().map(|a| a.id).collect();
+            let space = enumerate_placements(&kt.arrays, &base, &ids, &cfg, 128);
+            let naive = hms_core::rank_placements_naive(&predictor, &profile, &space, 1).unwrap();
+            (spec.name, profile, space, naive)
+        })
+        .collect();
+    let predictor = Predictor::new(cfg.clone());
+    check(
+        "batched_replay_matches_naive",
+        &Config::with_cases(24),
+        |rng| {
+            let k = rng.gen_range(0u64..setups.len() as u64) as usize;
+            let width = [1u64, 2, 7, 64][rng.gen_range(0..4) as usize];
+            let threads = [1usize, 2, 8][rng.gen_range(0..3) as usize];
+            let poison = rng.gen_range(0..4) == 0;
+            (k, width, threads, poison)
+        },
+        |&(k, width, threads, poison)| {
+            let (name, profile, space, naive) = &setups[k];
+            // Fresh engine per case: the skeleton cache must not leak a
+            // (possibly poisoned) skeleton across cases.
+            let engine = Engine::new(&predictor, profile);
+            engine.set_lane_width(width);
+            engine.inject_poison(poison);
+            let ranked = engine.rank(space, threads).map_err(|e| e.to_string())?;
+            if bits(naive) != bits(&ranked) {
+                return Err(format!(
+                    "{name}: batched ranking diverged from naive \
+                     (lane_width={width}, threads={threads}, poison={poison})"
+                ));
+            }
+            let stats = engine.stats();
+            if poison {
+                if stats.exact_fallbacks != space.len() as u64 {
+                    return Err(format!(
+                        "{name}: poisoned skeleton fell back {} of {} times",
+                        stats.exact_fallbacks,
+                        space.len()
+                    ));
+                }
+                if stats.batched_replays != 0 {
+                    return Err(format!(
+                        "{name}: poisoned skeleton still took the batched path"
+                    ));
+                }
+            } else {
+                if stats.exact_fallbacks != 0 {
+                    return Err(format!("{name}: healthy skeleton fell back"));
+                }
+                if stats.batched_replays == 0 || stats.events_streamed == 0 {
+                    return Err(format!(
+                        "{name}: healthy batch left the batched-replay counters at zero"
+                    ));
+                }
+                if stats.lane_width == 0 || stats.lane_width > width {
+                    return Err(format!(
+                        "{name}: peak lane width {} outside 1..={width}",
+                        stats.lane_width
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Persistent skeletons: for every registry kernel, a warm restart
 /// that reads its skeletons back from disk ranks bit-identically to
 /// both the cold run that wrote them and the naive path — while
